@@ -1,0 +1,132 @@
+// Shared environment for the DLFM experiment benches (E1..E9).
+//
+// Each bench binary reproduces one quantified claim or lesson from the
+// paper (see DESIGN.md §4 and EXPERIMENTS.md).  Numbers are reported as
+// google-benchmark counters so `for b in build/bench/*; do $b; done`
+// regenerates every row.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_server.h"
+#include "common/random.h"
+#include "dlff/filter.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+#include "hostdb/host_database.h"
+
+namespace datalinks::bench {
+
+/// A complete DataLinks deployment: one host database, one DLFM, one file
+/// server with DLFF, one archive server.
+struct Env {
+  std::unique_ptr<fsim::FileServer> fs;
+  std::unique_ptr<archive::ArchiveServer> archive;
+  std::unique_ptr<dlfm::DlfmServer> dlfm;
+  std::unique_ptr<dlff::FileSystemFilter> filter;
+  std::unique_ptr<hostdb::HostDatabase> host;
+  sqldb::TableId table = 0;
+
+  ~Env() {
+    host.reset();
+    if (dlfm) dlfm->Stop();
+  }
+};
+
+inline std::unique_ptr<Env> MakeEnv(dlfm::DlfmOptions dopts = {},
+                                    hostdb::HostOptions hopts = {}) {
+  auto env = std::make_unique<Env>();
+  dopts.server_name = "srv1";
+  env->fs = std::make_unique<fsim::FileServer>("srv1");
+  env->archive = std::make_unique<archive::ArchiveServer>();
+  env->dlfm = std::make_unique<dlfm::DlfmServer>(dopts, env->fs.get(), env->archive.get());
+  if (!env->dlfm->Start().ok()) std::abort();
+  env->filter = std::make_unique<dlff::FileSystemFilter>(
+      env->fs.get(), dlff::TokenAuthority(hopts.token_secret));
+  auto* dlfm_ptr = env->dlfm.get();
+  env->filter->SetUpcall([dlfm_ptr](const std::string& p) { return dlfm_ptr->UpcallIsLinked(p); });
+  env->filter->Attach();
+  env->host = std::make_unique<hostdb::HostDatabase>(hopts);
+  env->host->RegisterDlfm("srv1", env->dlfm->listener());
+  auto table = env->host->CreateTable(
+      "media",
+      {hostdb::ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+       hostdb::ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                          dlfm::AccessControl::kFull, /*recovery=*/false}});
+  if (!table.ok()) std::abort();
+  env->table = *table;
+  // Index + statistics so host-side point predicates use index scans (the
+  // host database is assumed competently tuned; the experiments target the
+  // DLFM's local database).
+  if (!env->host->db()->CreateIndex(sqldb::IndexDef{"ux_media_id", *table, {0}, true}).ok()) {
+    std::abort();
+  }
+  auto id_ix = env->host->db()->IndexByName(*table, "ux_media_id");
+  sqldb::TableStats stats;
+  stats.cardinality = 1000000;
+  stats.index_distinct[*id_ix] = 1000000;
+  env->host->db()->SetTableStats(*table, stats);
+  return env;
+}
+
+inline void Precreate(Env* env, const std::string& prefix, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)env->fs->CreateFile(prefix + std::to_string(i), "alice", 0644, "x");
+  }
+}
+
+/// Result of a multi-client host-session workload.
+struct WorkloadResult {
+  uint64_t committed = 0;
+  uint64_t rolled_back = 0;
+  double elapsed_seconds = 0;
+  uint64_t deadlocks = 0;  // in the DLFM's local database
+  uint64_t timeouts = 0;
+};
+
+/// Run `clients` concurrent host sessions, each performing `ops_per_client`
+/// transactions produced by `op(worker, i, session)`.  Returns rates and the
+/// DLFM lock-failure counters accumulated during the run.
+template <typename OpFn>
+WorkloadResult RunClients(Env* env, int clients, int ops_per_client, OpFn op) {
+  const auto before = env->dlfm->local_db()->lock_manager().stats();
+  std::atomic<uint64_t> committed{0}, rolled_back{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int w = 0; w < clients; ++w) {
+    threads.emplace_back([&, w] {
+      auto session = env->host->OpenSession();
+      for (int i = 0; i < ops_per_client; ++i) {
+        if (!session->Begin().ok()) continue;
+        if (op(w, i, session.get()) && session->Commit().ok()) {
+          committed.fetch_add(1);
+        } else if (session->in_transaction()) {
+          (void)session->Rollback();
+          rolled_back.fetch_add(1);
+        } else {
+          rolled_back.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  const auto after = env->dlfm->local_db()->lock_manager().stats();
+
+  WorkloadResult r;
+  r.committed = committed.load();
+  r.rolled_back = rolled_back.load();
+  r.elapsed_seconds = std::chrono::duration<double>(end - start).count();
+  r.deadlocks = after.deadlocks - before.deadlocks;
+  r.timeouts = after.timeouts - before.timeouts;
+  return r;
+}
+
+}  // namespace datalinks::bench

@@ -1,0 +1,130 @@
+// E1 — the paper's headline system-test numbers (abstract, §3.2.1, §5):
+//   "we were able to run 100-client workload ... without much
+//    deadlock/timeout problem. Also, the system achieves insert rate of
+//    300 per minute and 150 updates per minute."
+//
+// Rows: client count sweep (1..100) for an insert (LinkFile) workload and
+// an update (UnlinkFile+LinkFile) workload, reporting ops/minute and
+// deadlock/timeout counts in the DLFM's local database.  The paper's
+// production configuration is used: next-key locking OFF, hand-crafted
+// statistics ON.
+#include "bench_common.h"
+
+namespace datalinks::bench {
+namespace {
+
+void BM_InsertWorkload(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto env = MakeEnv();
+    Precreate(env.get(), "ins", clients * ops);
+    std::atomic<int> next{0};
+    WorkloadResult r = RunClients(env.get(), clients, ops, [&](int, int, hostdb::HostSession* s) {
+      const int k = next.fetch_add(1);
+      return s
+          ->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                sqldb::Value("dlfs://srv1/ins" + std::to_string(k))})
+          .ok();
+    });
+    state.counters["inserts_per_min"] = 60.0 * static_cast<double>(r.committed) /
+                                        r.elapsed_seconds;
+    state.counters["committed"] = static_cast<double>(r.committed);
+    state.counters["deadlocks"] = static_cast<double>(r.deadlocks);
+    state.counters["timeouts"] = static_cast<double>(r.timeouts);
+  }
+}
+BENCHMARK(BM_InsertWorkload)
+    ->Args({1, 40})
+    ->Args({10, 12})
+    ->Args({50, 4})
+    ->Args({100, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_UpdateWorkload(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto env = MakeEnv();
+    const int total = clients * ops;
+    Precreate(env.get(), "old", total);
+    Precreate(env.get(), "new", total);
+    // Preload: every row starts linked to oldK.
+    {
+      auto s = env->host->OpenSession();
+      for (int k = 0; k < total; ++k) {
+        (void)s->Begin();
+        (void)s->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                     sqldb::Value("dlfs://srv1/old" + std::to_string(k))});
+        (void)s->Commit();
+      }
+    }
+    std::atomic<int> next{0};
+    // Update = unlink old file + link new file in one transaction (§3.2).
+    WorkloadResult r = RunClients(env.get(), clients, ops, [&](int, int, hostdb::HostSession* s) {
+      const int k = next.fetch_add(1);
+      return s
+          ->Update(env->table, {sqldb::Pred::Eq("id", int64_t{k})},
+                   {{"clip", sqldb::Operand(std::string("dlfs://srv1/new" + std::to_string(k)))}})
+          .ok();
+    });
+    state.counters["updates_per_min"] = 60.0 * static_cast<double>(r.committed) /
+                                        r.elapsed_seconds;
+    state.counters["committed"] = static_cast<double>(r.committed);
+    state.counters["deadlocks"] = static_cast<double>(r.deadlocks);
+    state.counters["timeouts"] = static_cast<double>(r.timeouts);
+  }
+}
+BENCHMARK(BM_UpdateWorkload)
+    ->Args({1, 40})
+    ->Args({10, 12})
+    ->Args({50, 4})
+    ->Args({100, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Sustained soak at 100 clients (scaled stand-in for the 24-hour test):
+// a mixed insert/update/delete workload; the claim under test is the
+// *absence* of deadlock/timeout problems in the production configuration.
+void BM_MixedSoak100Clients(benchmark::State& state) {
+  for (auto _ : state) {
+    auto env = MakeEnv();
+    constexpr int kClients = 100;
+    constexpr int kOps = 4;
+    Precreate(env.get(), "mix", kClients * kOps * 2);
+    std::atomic<int> next{0};
+    WorkloadResult r =
+        RunClients(env.get(), kClients, kOps, [&](int w, int i, hostdb::HostSession* s) {
+          Random rng(static_cast<uint64_t>(w) * 7919 + i);
+          const int k = next.fetch_add(1);
+          const std::string url = "dlfs://srv1/mix" + std::to_string(k);
+          if (!s->Insert(env->table, {sqldb::Value(int64_t{k}), sqldb::Value(url)}).ok()) {
+            return false;
+          }
+          if (rng.Bernoulli(0.33)) {
+            return s->Delete(env->table, {sqldb::Pred::Eq("id", int64_t{k})}).ok();
+          }
+          if (rng.Bernoulli(0.5)) {
+            const std::string url2 = "dlfs://srv1/mix" + std::to_string(next.fetch_add(1));
+            return s
+                ->Update(env->table, {sqldb::Pred::Eq("id", int64_t{k})},
+                         {{"clip", sqldb::Operand(url2)}})
+                .ok();
+          }
+          return true;
+        });
+    state.counters["ops_per_min"] =
+        60.0 * static_cast<double>(r.committed) / r.elapsed_seconds;
+    state.counters["committed"] = static_cast<double>(r.committed);
+    state.counters["rolled_back"] = static_cast<double>(r.rolled_back);
+    state.counters["deadlocks"] = static_cast<double>(r.deadlocks);
+    state.counters["timeouts"] = static_cast<double>(r.timeouts);
+  }
+}
+BENCHMARK(BM_MixedSoak100Clients)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// E4 — §4: "lock escalation in any of the metadata tables usually brings
+// the system to its knees. ... applications should issue commit frequently
+// to avoid holding large number of locks and lock list size should be set
+// sufficiently large to avoid forced lock escalation."
+//
+// Rows: a concurrent link workload while a "big reader" transaction scans
+// the File table under different escalation thresholds.  A low threshold
+// escalates the reader to a table lock, stalling every writer (timeouts,
+// throughput collapse); a generous threshold keeps granular locks.
+#include "bench_common.h"
+
+#include "sqldb/database.h"
+
+namespace datalinks::bench {
+namespace {
+
+void RunEscalationConfig(benchmark::State& state, size_t threshold) {
+  for (auto _ : state) {
+    dlfm::DlfmOptions dopts;
+    dopts.lock_escalation_threshold = threshold;
+    dopts.lock_timeout_micros = 60 * 1000;
+    auto env = MakeEnv(dopts);
+    constexpr int kClients = 6;
+    constexpr int kOps = 15;
+    Precreate(env.get(), "e", kClients * kOps + 200);
+
+    // Preload 200 linked files so the scanner holds many row locks.
+    {
+      auto s = env->host->OpenSession();
+      for (int k = 0; k < 200; ++k) {
+        (void)s->Begin();
+        (void)s->Insert(env->table,
+                        {sqldb::Value(int64_t{500000 + k}),
+                         sqldb::Value("dlfs://srv1/e" + std::to_string(kClients * kOps + k))});
+        (void)s->Commit();
+      }
+    }
+
+    // The "big" transaction: an RS scan over the File table in the DLFM's
+    // local database (a reporting/monitoring query holding row locks).
+    std::atomic<bool> stop{false};
+    std::thread scanner([&] {
+      auto* db = env->dlfm->local_db();
+      while (!stop.load()) {
+        auto* t = db->Begin(sqldb::Isolation::kRS);
+        (void)db->Select(t, env->dlfm->repo().file_table(), {});
+        // Hold the (possibly escalated) locks for a while before commit.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        (void)db->Commit(t);
+      }
+    });
+
+    std::atomic<int> next{0};
+    WorkloadResult r =
+        RunClients(env.get(), kClients, kOps, [&](int, int, hostdb::HostSession* s) {
+          const int k = next.fetch_add(1);
+          return s
+              ->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                    sqldb::Value("dlfs://srv1/e" + std::to_string(k))})
+              .ok();
+        });
+    stop.store(true);
+    scanner.join();
+
+    const auto ls = env->dlfm->local_db()->lock_manager().stats();
+    state.counters["links_per_min"] =
+        60.0 * static_cast<double>(r.committed) / r.elapsed_seconds;
+    state.counters["committed"] = static_cast<double>(r.committed);
+    state.counters["rolled_back"] = static_cast<double>(r.rolled_back);
+    state.counters["timeouts"] = static_cast<double>(r.timeouts);
+    state.counters["escalations"] = static_cast<double>(ls.escalations);
+  }
+}
+
+// Threshold 50 < 200 preloaded rows: every scan escalates to a table lock.
+void BM_EscalationForced(benchmark::State& state) { RunEscalationConfig(state, 50); }
+// Generous lock list: no escalation, writers coexist with the scanner.
+void BM_EscalationAvoided(benchmark::State& state) { RunEscalationConfig(state, 100000); }
+
+BENCHMARK(BM_EscalationForced)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_EscalationAvoided)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

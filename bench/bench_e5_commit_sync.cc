@@ -1,0 +1,146 @@
+// E5 — §4: "commit transaction API must be synchronous with respect to host
+// database.  Desire was to release the database locks on the host DB2 side
+// while DLFM is doing the commit processing.  However, this could lead to a
+// distributed deadlock between host database and DLFM" — the T1/T11/T2
+// cycle, invisible to both lock managers, which persists through T1's
+// phase-2 lock-timeout retries for as long as T2 lives.
+//
+// Staged schedule (the cycle's three edges, made deterministic):
+//   1. T1 (session A) commits.  In asynchronous mode the host returns to
+//      the application while the child agent is still doing T1's commit
+//      processing (a configurable phase-2 start delay widens this window —
+//      the paper's "has not issued msg receive" state).
+//   2. During that window a DLFM-side transaction T2 X-locks the File-table
+//      row T1's phase-2 commit must read ("lock y" — staged directly on the
+//      local database, standing in for T2's own forward link/unlink work).
+//      T1's commit processing now times out and retries, §3.3-style.
+//   3. T11 — session A's next transaction — X-locks host record x and then
+//      issues a LinkFile, which blocks behind T1's unfinished commit
+//      processing on the same connection.
+//   4. T2's host-side agent asks for record x: blocked by T11.  Cycle:
+//      T1-commit -> lock y (T2); T2-host -> record x (T11); T11 -> channel
+//      (T1-commit).  Only T2's host lock timeout (60 s in the paper, scaled
+//      here) breaks it.  In synchronous mode T11 cannot start before commit
+//      processing finishes, so the cycle never forms.
+//
+// Rows: schedule wall time, T1's phase-2 retry count, and whether T2 had to
+// be killed by the host lock timeout — async vs sync.
+#include "bench_common.h"
+
+namespace datalinks::bench {
+namespace {
+
+void RunSchedule(benchmark::State& state, bool synchronous_commit) {
+  for (auto _ : state) {
+    dlfm::DlfmOptions dopts;
+    dopts.lock_timeout_micros = 50 * 1000;   // DLFM-local waits
+    dopts.retry_backoff_micros = 5 * 1000;
+    dopts.phase2_start_delay_micros = 150 * 1000;  // child agent "busy" window
+    hostdb::HostOptions hopts;
+    hopts.synchronous_commit = synchronous_commit;
+    hopts.lock_timeout_micros = 1200 * 1000;  // host waits much longer (60 s scaled)
+    auto env = MakeEnv(dopts, hopts);
+
+    auto plain = env->host->CreateTable(
+        "plain", {hostdb::ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+                  hostdb::ColumnSpec{"v", sqldb::ValueType::kInt, false, false, {}, false}});
+    if (!plain.ok()) std::abort();
+    Precreate(env.get(), "file", 4);
+
+    // Seed: record x and a committed link of file0 (T1 will unlink it).
+    {
+      auto s = env->host->OpenSession();
+      (void)s->Begin();
+      (void)s->Insert(*plain, {sqldb::Value(int64_t{1}), sqldb::Value(int64_t{0})});
+      (void)s->Insert(env->table,
+                      {sqldb::Value(int64_t{10}), sqldb::Value("dlfs://srv1/file0")});
+      (void)s->Commit();
+    }
+
+    const uint64_t retries_before = env->dlfm->counters().commit_retries.load();
+    const auto start = std::chrono::steady_clock::now();
+
+    // T2's DLFM side: will lock "lock y" (file0's unlinked File-table row)
+    // as soon as T1's prepare makes it visible.
+    auto* ldb = env->dlfm->local_db();
+    std::atomic<bool> t2_holds_y{false};
+    std::atomic<bool> t2_release{false};
+    std::thread t2_dlfm([&] {
+      // Wait (lock-free, uncommitted read) for T1's prepare to publish the
+      // unlinked row...
+      while (true) {
+        auto* peek = ldb->Begin(sqldb::Isolation::kUR);
+        auto rows = ldb->Select(peek, env->dlfm->repo().file_table(),
+                                {sqldb::Pred::Eq("name", "file0"), sqldb::Pred::Eq("state", "U")});
+        (void)ldb->Commit(peek);
+        if (rows.ok() && !rows->empty()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      // ...then X-lock it ("lock y") in T2's transaction.
+      auto* t2 = ldb->Begin();
+      while (true) {
+        auto n = ldb->Update(t2, env->dlfm->repo().file_table(),
+                             {sqldb::Pred::Eq("name", "file0"), sqldb::Pred::Eq("state", "U")},
+                             {{"group_id", sqldb::Operand(int64_t{1})}});
+        if (n.ok() && *n > 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      t2_holds_y.store(true);
+      while (!t2_release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      (void)ldb->Rollback(t2);  // T2 aborted -> lock y released
+    });
+
+    std::thread thread_a([&] {
+      auto session_a = env->host->OpenSession();
+      // T1: unlink file0; its phase-2 commit must read/delete the U row.
+      (void)session_a->Begin();
+      (void)session_a->Delete(env->table, {sqldb::Pred::Eq("id", int64_t{10})});
+      (void)session_a->Commit();  // async: returns with phase 2 in flight
+      // T11: lock record x, then issue a LinkFile on the same connection.
+      (void)session_a->Begin();
+      (void)session_a->Update(*plain, {sqldb::Pred::Eq("id", int64_t{1})},
+                              {{"v", sqldb::Operand(int64_t{1})}});
+      (void)session_a->Insert(env->table,
+                              {sqldb::Value(int64_t{12}), sqldb::Value("dlfs://srv1/file2")});
+      (void)session_a->Commit();
+    });
+
+    // T2's host side: once T2 holds lock y, it needs record x.
+    while (!t2_holds_y.load()) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));  // let T11 grab x (async)
+    Status t2_host_status;
+    {
+      auto session_b = env->host->OpenSession();
+      (void)session_b->Begin();
+      t2_host_status = session_b->Update(*plain, {sqldb::Pred::Eq("id", int64_t{1})},
+                                         {{"v", sqldb::Operand(int64_t{2})}})
+                           .status();
+      if (t2_host_status.ok()) {
+        (void)session_b->Commit();
+      } else {
+        (void)session_b->Rollback();  // host lock timeout broke the cycle
+      }
+    }
+    t2_release.store(true);  // T2's abort releases lock y at the DLFM
+    t2_dlfm.join();
+    thread_a.join();
+    const auto end = std::chrono::steady_clock::now();
+
+    state.counters["elapsed_ms"] =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    state.counters["commit_retries"] = static_cast<double>(
+        env->dlfm->counters().commit_retries.load() - retries_before);
+    state.counters["t2_broken_by_timeout"] = t2_host_status.ok() ? 0 : 1;
+  }
+}
+
+void BM_AsynchronousCommit(benchmark::State& state) { RunSchedule(state, false); }
+void BM_SynchronousCommit(benchmark::State& state) { RunSchedule(state, true); }
+
+BENCHMARK(BM_AsynchronousCommit)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SynchronousCommit)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E6 — §4: "Load and reconcile utilities tend to run for a long time and
+// involve large number of link/unlink operations. ... there is potential
+// for running out of system resources such as log file ... we put
+// intelligence in DLFM to recognize such transactions and to do local
+// commit after finishing processing of each piece."
+//
+// Rows: a bulk-load of N links through one host transaction against a DLFM
+// whose local database has a small WAL.  Batch size 0 (one monolithic local
+// transaction) exhausts the log; utility mode with periodic local commits
+// (the paper's fix) completes.  Also the delete-group variant: unlinking a
+// large group in one local transaction vs the daemon's batched commits.
+#include "bench_common.h"
+
+namespace datalinks::bench {
+namespace {
+
+constexpr int kFiles = 600;
+
+void RunLoad(benchmark::State& state, bool utility_mode, size_t batch) {
+  for (auto _ : state) {
+    dlfm::DlfmOptions dopts;
+    dopts.log_capacity_bytes = 48 * 1024;  // small WAL: long txns overflow it
+    dopts.commit_batch_size = batch;
+    auto env = MakeEnv(dopts);
+    Precreate(env.get(), "load", kFiles);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto s = env->host->OpenSession();
+    s->set_utility(utility_mode);
+    Status st = s->Begin();
+    int linked = 0;
+    for (int k = 0; k < kFiles && st.ok(); ++k) {
+      st = s->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                  sqldb::Value("dlfs://srv1/load" + std::to_string(k))});
+      if (st.ok()) ++linked;
+    }
+    if (st.ok()) st = s->Commit();
+    if (!st.ok() && s->in_transaction()) (void)s->Rollback();
+    const auto end = std::chrono::steady_clock::now();
+
+    state.counters["completed"] = st.ok() ? 1 : 0;
+    state.counters["log_full"] = st.IsLogFull() || st.IsAborted() ? 1 : 0;
+    state.counters["links_done"] = linked;
+    state.counters["batched_local_commits"] =
+        static_cast<double>(env->dlfm->counters().batched_local_commits.load());
+    state.counters["elapsed_ms"] =
+        std::chrono::duration<double, std::milli>(end - start).count();
+  }
+}
+
+void BM_LoadMonolithic(benchmark::State& state) {
+  RunLoad(state, /*utility_mode=*/false, /*batch=*/100);
+}
+void BM_LoadUtilityBatch50(benchmark::State& state) { RunLoad(state, true, 50); }
+void BM_LoadUtilityBatch200(benchmark::State& state) { RunLoad(state, true, 200); }
+
+BENCHMARK(BM_LoadMonolithic)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_LoadUtilityBatch50)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_LoadUtilityBatch200)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Delete-group daemon: "if large number of files are linked under one group
+// then unlinking them in single local DB2 transaction can cause the DB2 log
+// full error condition.  So we issue commits to local DB2 periodically
+// after processing every N records."
+void BM_DeleteGroupBatched(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    dlfm::DlfmOptions dopts;
+    dopts.log_capacity_bytes = 256 * 1024;
+    dopts.commit_batch_size = batch;
+    auto env = MakeEnv(dopts);
+    constexpr int kGroupFiles = 300;
+    Precreate(env.get(), "grp", kGroupFiles);
+    {
+      auto s = env->host->OpenSession();
+      s->set_utility(true);
+      (void)s->Begin();
+      for (int k = 0; k < kGroupFiles; ++k) {
+        (void)s->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                     sqldb::Value("dlfs://srv1/grp" + std::to_string(k))});
+      }
+      (void)s->Commit();
+    }
+    const uint64_t commits_before = env->dlfm->counters().batched_local_commits.load();
+    const auto start = std::chrono::steady_clock::now();
+    {
+      auto s = env->host->OpenSession();
+      (void)s->Begin();
+      (void)s->DropTable(env->table);
+      (void)s->Commit();
+    }
+    Status drained = env->dlfm->WaitGroupWorkDrained(30 * 1000 * 1000);
+    const auto end = std::chrono::steady_clock::now();
+    state.counters["group_drained"] = drained.ok() ? 1 : 0;
+    state.counters["daemon_local_commits"] = static_cast<double>(
+        env->dlfm->counters().batched_local_commits.load() - commits_before);
+    state.counters["elapsed_ms"] =
+        std::chrono::duration<double, std::milli>(end - start).count();
+  }
+}
+BENCHMARK(BM_DeleteGroupBatched)
+    ->Arg(25)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

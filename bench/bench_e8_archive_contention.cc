@@ -1,0 +1,77 @@
+// E8 — §3.4: "Because multiple indexes are defined on the Archive table and
+// size of the Archive table is small (entry gets deleted as soon as it is
+// archived), deadlocks were encountered between child agent and Copy Daemon
+// while accessing the Archive table.  Those deadlocks were eliminated by
+// disabling the next key locking feature in DLFM's local database."
+//
+// Rows: a link storm with the recovery option ON (child agents insert into
+// dfm_archive at phase-2 commit) racing the Copy daemon (which deletes the
+// entries as it archives), next-key locking ON vs OFF.  Measured: local
+// deadlock/timeout counts, archive throughput.
+#include "bench_common.h"
+
+namespace datalinks::bench {
+namespace {
+
+void RunArchiveStorm(benchmark::State& state, bool next_key_locking) {
+  for (auto _ : state) {
+    dlfm::DlfmOptions dopts;
+    dopts.next_key_locking = next_key_locking;
+    dopts.lock_timeout_micros = 30 * 1000;
+    dopts.copy_batch = 8;
+    dopts.archive_latency_micros = 1500;  // ADSM store latency (simulated)
+
+    auto env = std::make_unique<Env>();
+    dopts.server_name = "srv1";
+    env->fs = std::make_unique<fsim::FileServer>("srv1");
+    env->archive = std::make_unique<archive::ArchiveServer>();
+    env->dlfm = std::make_unique<dlfm::DlfmServer>(dopts, env->fs.get(), env->archive.get());
+    if (!env->dlfm->Start().ok()) std::abort();
+    hostdb::HostOptions hopts;
+    env->host = std::make_unique<hostdb::HostDatabase>(hopts);
+    env->host->RegisterDlfm("srv1", env->dlfm->listener());
+    // Recovery option ON: every committed link enqueues an archive copy.
+    auto table = env->host->CreateTable(
+        "media",
+        {hostdb::ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+         hostdb::ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                            dlfm::AccessControl::kNone, /*recovery=*/true}});
+    if (!table.ok()) std::abort();
+    env->table = *table;
+
+    constexpr int kClients = 8;
+    constexpr int kOps = 30;
+    Precreate(env.get(), "a", kClients * kOps);
+    std::atomic<int> next{0};
+    WorkloadResult r =
+        RunClients(env.get(), kClients, kOps, [&](int, int, hostdb::HostSession* s) {
+          const int k = next.fetch_add(1);
+          return s
+              ->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                    sqldb::Value("dlfs://srv1/a" + std::to_string(k))})
+              .ok();
+        });
+    Status drained = env->dlfm->WaitArchiveDrained(20 * 1000 * 1000);
+
+    state.counters["deadlocks"] = static_cast<double>(r.deadlocks);
+    state.counters["timeouts"] = static_cast<double>(r.timeouts);
+    state.counters["links_per_min"] =
+        60.0 * static_cast<double>(r.committed) / r.elapsed_seconds;
+    state.counters["files_archived"] =
+        static_cast<double>(env->dlfm->counters().files_archived.load());
+    state.counters["archive_drained"] = drained.ok() ? 1 : 0;
+    state.counters["commit_retries"] =
+        static_cast<double>(env->dlfm->counters().commit_retries.load());
+  }
+}
+
+void BM_ArchiveStormNextKeyOn(benchmark::State& state) { RunArchiveStorm(state, true); }
+void BM_ArchiveStormNextKeyOff(benchmark::State& state) { RunArchiveStorm(state, false); }
+
+BENCHMARK(BM_ArchiveStormNextKeyOn)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_ArchiveStormNextKeyOff)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

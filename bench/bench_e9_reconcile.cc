@@ -1,0 +1,67 @@
+// E9 — §3.4: "Since the number of entries/records processed could
+// potentially be very large, they are first stored in a temp table in the
+// local database to reduce the number of messages between the host database
+// and DLFM and the number of file scans."
+//
+// Rows: reconcile of a table with R datalink rows, per-row messages vs the
+// paper's temp-table batching.  Measured: RPC messages and elapsed time.
+#include "bench_common.h"
+
+namespace datalinks::bench {
+namespace {
+
+void RunReconcile(benchmark::State& state, bool use_temp_table, size_t batch) {
+  const int rows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto env = MakeEnv();
+    Precreate(env.get(), "r", rows);
+    {
+      auto s = env->host->OpenSession();
+      s->set_utility(true);
+      (void)s->Begin();
+      for (int k = 0; k < rows; ++k) {
+        (void)s->Insert(env->table, {sqldb::Value(int64_t{k}),
+                                     sqldb::Value("dlfs://srv1/r" + std::to_string(k))});
+      }
+      (void)s->Commit();
+    }
+    // Introduce divergence so the reconcile has real work: drop a tenth of
+    // the DLFM entries behind the system's back.
+    {
+      auto* db = env->dlfm->local_db();
+      auto* t = db->Begin();
+      for (int k = 0; k < rows; k += 10) {
+        (void)db->Delete(t, env->dlfm->repo().file_table(),
+                         {sqldb::Pred::Eq("name", "r" + std::to_string(k)),
+                          sqldb::Pred::Eq("check_flag", 0)});
+      }
+      (void)db->Commit(t);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto report = env->host->Reconcile(env->table, use_temp_table, batch);
+    const auto end = std::chrono::steady_clock::now();
+    if (!report.ok()) std::abort();
+
+    state.counters["messages"] = static_cast<double>(report->messages);
+    state.counters["elapsed_ms"] =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    state.counters["rows"] = rows;
+    state.counters["repaired_orphans"] = static_cast<double>(rows / 10);
+  }
+}
+
+void BM_ReconcilePerRow(benchmark::State& state) { RunReconcile(state, false, 1); }
+void BM_ReconcileTempTable(benchmark::State& state) { RunReconcile(state, true, 128); }
+
+BENCHMARK(BM_ReconcilePerRow)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_ReconcileTempTable)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Media library: the workload the paper's introduction motivates — "a video
+// clip used in TV commercials within the last year that contains images of
+// Michael Jordan" — i.e. searchable metadata in the database, large media
+// files in the file system, both under one transactional umbrella.
+//
+// Demonstrates: multiple files per row (thumbnail + clip), search via SQL,
+// direct file access with tokens, versioned replacement of a clip, the
+// savepoint-style statement compensation, and concurrent readers vs a
+// writer.
+//
+// Build & run:  ./build/examples/media_library
+#include <cstdio>
+#include <thread>
+
+#include "archive/archive_server.h"
+#include "dlff/filter.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+#include "hostdb/host_database.h"
+
+using namespace datalinks;
+using sqldb::Pred;
+using sqldb::Value;
+
+int main() {
+  fsim::FileServer fs("mediafs");
+  archive::ArchiveServer archive_server;
+  dlfm::DlfmOptions dopts;
+  dopts.server_name = "mediafs";
+  dlfm::DlfmServer dlfm(dopts, &fs, &archive_server);
+  if (!dlfm.Start().ok()) return 1;
+  dlff::FileSystemFilter filter(&fs, dlff::TokenAuthority("datalinks-token-secret"));
+  filter.SetUpcall([&](const std::string& p) { return dlfm.UpcallIsLinked(p); });
+  filter.Attach();
+
+  hostdb::HostDatabase host(hostdb::HostOptions{});
+  host.RegisterDlfm("mediafs", dlfm.listener());
+
+  // clips: searchable attributes + two DATALINK columns.  The clip itself
+  // is FULL control (token-guarded, archived); the thumbnail is PARTIAL
+  // (existence guarded via upcalls, world-readable).
+  auto clips = host.CreateTable(
+      "clips",
+      {hostdb::ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+       hostdb::ColumnSpec{"title", sqldb::ValueType::kString, false, false, {}, false},
+       hostdb::ColumnSpec{"year", sqldb::ValueType::kInt, false, false, {}, false},
+       hostdb::ColumnSpec{"video", sqldb::ValueType::kString, true, true,
+                          dlfm::AccessControl::kFull, /*recovery=*/true},
+       hostdb::ColumnSpec{"thumb", sqldb::ValueType::kString, true, true,
+                          dlfm::AccessControl::kPartial, /*recovery=*/false}});
+  if (!clips.ok()) return 1;
+
+  // Ingest a small library.
+  const char* titles[] = {"jordan_dunk", "superbowl_ad", "product_demo", "launch_event"};
+  auto session = host.OpenSession();
+  for (int i = 0; i < 4; ++i) {
+    const std::string video = std::string("videos/") + titles[i] + ".mpg";
+    const std::string thumb = std::string("thumbs/") + titles[i] + ".jpg";
+    (void)fs.CreateFile(video, "producer", 0644, std::string("MPEG:") + titles[i]);
+    (void)fs.CreateFile(thumb, "producer", 0644, std::string("JPG:") + titles[i]);
+    (void)session->Begin();
+    (void)session->Insert(*clips, {Value(int64_t{i}), Value(titles[i]),
+                                   Value(int64_t{1998 + i}),
+                                   Value("dlfs://mediafs/" + video),
+                                   Value("dlfs://mediafs/" + thumb)});
+    if (!session->Commit().ok()) return 1;
+  }
+  std::printf("ingested 4 clips; files on server: %zu\n", fs.file_count());
+
+  // Search: clips since 1999.
+  (void)session->Begin();
+  auto hits = session->Select(*clips, {Pred::Ge("year", 1999)});
+  (void)session->Commit();
+  std::printf("clips since 1999: %zu\n", hits.ok() ? hits->size() : 0);
+  for (const auto& row : *hits) {
+    const std::string url = row[3].as_string();
+    auto parsed = hostdb::ParseDatalinkUrl(url);
+    const std::string token = host.IssueToken(parsed->path);
+    auto content = fs.ReadFile(parsed->path, "analyst", token);
+    std::printf("  %-14s %s -> %s\n", row[1].as_string().c_str(), url.c_str(),
+                content.ok() ? content->c_str() : "<denied>");
+  }
+
+  // Thumbnails are world-readable (partial control), but protected from
+  // deletion via upcalls.
+  auto thumb = fs.ReadFile("thumbs/jordan_dunk.jpg", "anyone");
+  std::printf("thumbnail read (no token needed): %s\n",
+              thumb.ok() ? thumb->c_str() : thumb.status().ToString().c_str());
+  std::printf("thumbnail delete attempt: %s\n",
+              fs.DeleteFile("thumbs/jordan_dunk.jpg", "anyone").ToString().c_str());
+
+  // Version replacement: new cut of the Super Bowl ad, atomically swapped.
+  (void)fs.CreateFile("videos/superbowl_ad_v2.mpg", "producer", 0644, "MPEG:v2");
+  (void)session->Begin();
+  (void)session->Update(*clips, {Pred::Eq("title", "superbowl_ad")},
+                        {{"video", sqldb::Operand(std::string(
+                                       "dlfs://mediafs/videos/superbowl_ad_v2.mpg"))}});
+  (void)session->Commit();
+  std::printf("v1 linked: %d, v2 linked: %d (after atomic swap)\n",
+              dlfm.UpcallIsLinked("videos/superbowl_ad.mpg") ? 1 : 0,
+              dlfm.UpcallIsLinked("videos/superbowl_ad_v2.mpg") ? 1 : 0);
+
+  // Statement failure compensation: inserting a clip whose video is missing
+  // fails the statement but the transaction (and its earlier work) survives.
+  (void)fs.CreateFile("videos/extra.mpg", "producer", 0644, "MPEG:extra");
+  (void)session->Begin();
+  (void)session->Insert(*clips, {Value(int64_t{10}), Value("extra"), Value(int64_t{2000}),
+                                 Value("dlfs://mediafs/videos/extra.mpg"), Value::Null()});
+  Status bad = session->Insert(*clips, {Value(int64_t{11}), Value("ghost"), Value(int64_t{2000}),
+                                        Value("dlfs://mediafs/videos/ghost.mpg"), Value::Null()});
+  std::printf("ghost insert failed as expected: %s\n", bad.ToString().c_str());
+  (void)session->Commit();
+  std::printf("extra linked after commit: %d\n",
+              dlfm.UpcallIsLinked("videos/extra.mpg") ? 1 : 0);
+
+  // Concurrent readers while a writer replaces a clip.
+  std::thread writer([&] {
+    auto ws = host.OpenSession();
+    (void)fs.CreateFile("videos/demo_v2.mpg", "producer", 0644, "MPEG:demo2");
+    (void)ws->Begin();
+    (void)ws->Update(*clips, {Pred::Eq("title", "product_demo")},
+                     {{"video", sqldb::Operand(std::string("dlfs://mediafs/videos/demo_v2.mpg"))}});
+    (void)ws->Commit();
+  });
+  int reads_ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto rs = host.OpenSession();
+    (void)rs->Begin();
+    auto rows = rs->Select(*clips, {Pred::Eq("title", "jordan_dunk")});
+    if (rows.ok() && rows->size() == 1) ++reads_ok;
+    (void)rs->Commit();
+  }
+  writer.join();
+  std::printf("concurrent reads ok: %d/20; demo_v2 linked: %d\n", reads_ok,
+              dlfm.UpcallIsLinked("videos/demo_v2.mpg") ? 1 : 0);
+
+  session.reset();
+  dlfm.Stop();
+  std::printf("media_library done.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "archive/archive_server.h"
+
+namespace datalinks::archive {
+
+Status ArchiveServer::Store(const ArchiveKey& key, std::string content) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stores_;
+  auto it = copies_.find(key);
+  if (it != copies_.end()) {
+    bytes_ -= it->second.size();
+    bytes_ += content.size();
+    it->second = std::move(content);
+    return Status::OK();
+  }
+  bytes_ += content.size();
+  copies_.emplace(key, std::move(content));
+  return Status::OK();
+}
+
+Result<std::string> ArchiveServer::Retrieve(const ArchiveKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++retrieves_;
+  auto it = copies_.find(key);
+  if (it == copies_.end()) {
+    return Status::NotFound(key.server + ":" + key.filename + "@" +
+                            std::to_string(key.recovery_id));
+  }
+  return it->second;
+}
+
+Status ArchiveServer::Remove(const ArchiveKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++removes_;
+  auto it = copies_.find(key);
+  if (it != copies_.end()) {
+    bytes_ -= it->second.size();
+    copies_.erase(it);
+  }
+  return Status::OK();
+}
+
+bool ArchiveServer::Has(const ArchiveKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return copies_.count(key) != 0;
+}
+
+std::vector<int64_t> ArchiveServer::VersionsOf(const std::string& server,
+                                               const std::string& filename) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<int64_t> out;
+  for (auto it = copies_.lower_bound(ArchiveKey{server, filename, INT64_MIN});
+       it != copies_.end() && it->first.server == server && it->first.filename == filename;
+       ++it) {
+    out.push_back(it->first.recovery_id);
+  }
+  return out;
+}
+
+ArchiveStats ArchiveServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ArchiveStats s;
+  s.stores = stores_;
+  s.retrieves = retrieves_;
+  s.removes = removes_;
+  s.copies = copies_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace datalinks::archive

@@ -1,0 +1,65 @@
+// Simulated archive server (the paper's ADSM).  Versioned blob store keyed
+// by (file server, filename, recovery id).  The recovery id keying is the
+// point: the same filename can be linked/unlinked repeatedly with different
+// contents, and point-in-time restore must fetch the right version (§3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datalinks::archive {
+
+struct ArchiveKey {
+  std::string server;
+  std::string filename;
+  int64_t recovery_id = 0;
+
+  bool operator<(const ArchiveKey& o) const {
+    return std::tie(server, filename, recovery_id) <
+           std::tie(o.server, o.filename, o.recovery_id);
+  }
+};
+
+struct ArchiveStats {
+  uint64_t stores = 0;
+  uint64_t retrieves = 0;
+  uint64_t removes = 0;
+  size_t copies = 0;
+  size_t bytes = 0;
+};
+
+class ArchiveServer {
+ public:
+  /// Store a copy; idempotent for the same key (re-archival after a Copy
+  /// daemon crash must not fail).
+  Status Store(const ArchiveKey& key, std::string content);
+
+  Result<std::string> Retrieve(const ArchiveKey& key) const;
+
+  /// Remove one copy (garbage collection).  Missing keys are OK (idempotent).
+  Status Remove(const ArchiveKey& key);
+
+  bool Has(const ArchiveKey& key) const;
+
+  /// All archived versions of one file, oldest first.
+  std::vector<int64_t> VersionsOf(const std::string& server,
+                                  const std::string& filename) const;
+
+  ArchiveStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<ArchiveKey, std::string> copies_;
+  uint64_t stores_ = 0, removes_ = 0;
+  mutable uint64_t retrieves_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace datalinks::archive

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace datalinks {
+
+const std::shared_ptr<SystemClock>& SystemClock::Instance() {
+  static const std::shared_ptr<SystemClock> kInstance = std::make_shared<SystemClock>();
+  return kInstance;
+}
+
+}  // namespace datalinks

@@ -1,0 +1,55 @@
+// Clock abstraction.  Production code uses SystemClock; tests that need to
+// control time (garbage-collection expiry, backup retention) use SimClock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace datalinks {
+
+/// Monotonic microsecond timestamps.  All timeouts and expiry policies in the
+/// library are expressed in micros so simulated clocks stay trivial.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary epoch; strictly non-decreasing.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Sleep for the given duration (simulated clocks advance instead).
+  virtual void SleepForMicros(int64_t micros) = 0;
+};
+
+/// Wall-clock-backed implementation (steady_clock).
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepForMicros(int64_t micros) override {
+    if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+  /// Process-wide shared instance.
+  static const std::shared_ptr<SystemClock>& Instance();
+};
+
+/// Manually advanced clock for deterministic tests.  Thread-safe.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_.load(std::memory_order_acquire); }
+  void SleepForMicros(int64_t micros) override { Advance(micros); }
+  void Advance(int64_t micros) { now_.fetch_add(micros, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace datalinks

@@ -1,0 +1,15 @@
+#include "common/logging.h"
+
+namespace datalinks {
+
+std::atomic<int> Logger::level_{static_cast<int>(LogLevel::kOff)};
+
+void Logger::Log(LogLevel level, const std::string& component, const std::string& msg) {
+  static std::mutex mu;
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::lock_guard<std::mutex> guard(mu);
+  std::fprintf(stderr, "[%s] %s: %s\n", kNames[static_cast<int>(level)], component.c_str(),
+               msg.c_str());
+}
+
+}  // namespace datalinks

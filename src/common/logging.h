@@ -1,0 +1,41 @@
+// Minimal leveled logger.  Off by default so tests/benches stay quiet;
+// enable with Logger::SetLevel for debugging.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace datalinks {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static void SetLevel(LogLevel level) { level_.store(static_cast<int>(level)); }
+  static bool Enabled(LogLevel level) { return static_cast<int>(level) >= level_.load(); }
+
+  static void Log(LogLevel level, const std::string& component, const std::string& msg);
+
+ private:
+  static std::atomic<int> level_;
+};
+
+}  // namespace datalinks
+
+#define DLX_LOG(level, component, ...)                                          \
+  do {                                                                          \
+    if (::datalinks::Logger::Enabled(level)) {                                  \
+      std::ostringstream _oss;                                                  \
+      _oss << __VA_ARGS__;                                                      \
+      ::datalinks::Logger::Log(level, component, _oss.str());                   \
+    }                                                                           \
+  } while (0)
+
+#define DLX_TRACE(component, ...) DLX_LOG(::datalinks::LogLevel::kTrace, component, __VA_ARGS__)
+#define DLX_DEBUG(component, ...) DLX_LOG(::datalinks::LogLevel::kDebug, component, __VA_ARGS__)
+#define DLX_INFO(component, ...) DLX_LOG(::datalinks::LogLevel::kInfo, component, __VA_ARGS__)
+#define DLX_WARN(component, ...) DLX_LOG(::datalinks::LogLevel::kWarn, component, __VA_ARGS__)
+#define DLX_ERROR(component, ...) DLX_LOG(::datalinks::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,51 @@
+// Seedable PRNG helpers for workload generators and tests.  Thin wrapper
+// around a splitmix64/xorshift generator so benchmark workloads are
+// reproducible across platforms (std::mt19937 streams are, distributions
+// are not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace datalinks {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed ? seed : 1) {}
+
+  uint64_t NextU64() {
+    // xorshift64*
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n).  n must be > 0.
+  uint64_t Uniform(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0..1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Random lowercase identifier of the given length.
+  std::string NextName(size_t len) {
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back('a' + static_cast<char>(Uniform(26)));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace datalinks

@@ -1,0 +1,63 @@
+// Result<T>: value-or-Status, the companion of status.h for functions that
+// produce a value.  Mirrors arrow::Result / absl::StatusOr.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace datalinks {
+
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace datalinks
+
+/// Evaluate `rexpr` (a Result<T>); on error return the Status, otherwise
+/// bind the value to `lhs` (declaration or assignable lvalue).
+#define DLX_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  DLX_ASSIGN_OR_RETURN_IMPL_(                     \
+      DLX_CONCAT_(_dlx_result_, __COUNTER__), lhs, rexpr)
+
+#define DLX_CONCAT_INNER_(a, b) a##b
+#define DLX_CONCAT_(a, b) DLX_CONCAT_INNER_(a, b)
+
+#define DLX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()

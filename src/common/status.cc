@@ -1,0 +1,27 @@
+#include "common/status.h"
+
+namespace datalinks {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kDeadlock: return "Deadlock";
+    case StatusCode::kLockTimeout: return "LockTimeout";
+    case StatusCode::kLogFull: return "LogFull";
+    case StatusCode::kLockListFull: return "LockListFull";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kConflict: return "Conflict";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kUnavailable: return "Unavailable";
+  }
+  return "Unknown";
+}
+
+}  // namespace datalinks

@@ -1,0 +1,134 @@
+// Status: lightweight error-code-plus-message return type used across the
+// whole DataLinks codebase instead of exceptions (RocksDB/Arrow idiom).
+//
+// Conventions:
+//  - Every fallible function returns Status (or Result<T>, see result.h).
+//  - A Status must be inspected; use DLX_RETURN_IF_ERROR to propagate.
+//  - Error codes mirror the failure classes the paper talks about:
+//    kDeadlock / kLockTimeout / kLogFull are first-class because the DLFM's
+//    behaviour (retry loops, batched commits) is keyed off them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace datalinks {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kNotSupported,
+  kCorruption,
+  kIOError,
+  kBusy,
+  // Transaction / locking failure classes (see sqldb::LockManager).
+  kDeadlock,      // local deadlock detected; victim rolled back
+  kLockTimeout,   // lock wait exceeded the configured timeout
+  kLogFull,       // WAL space exhausted (long-running transaction)
+  kLockListFull,  // lock list exhausted and escalation could not free space
+  kAborted,       // transaction was rolled back (generic)
+  kConflict,      // unique-key or constraint violation
+  kPermissionDenied,
+  kUnavailable,   // peer (DLFM / host db) not reachable
+};
+
+/// Human-readable name of a StatusCode ("Deadlock", "LockTimeout", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+
+  Status(StatusCode code, std::string msg)
+      : code_(code),
+        msg_(msg.empty() ? nullptr : std::make_shared<std::string>(std::move(msg))) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m = "") {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotSupported(std::string m = "") {
+    return {StatusCode::kNotSupported, std::move(m)};
+  }
+  static Status Corruption(std::string m = "") { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status IOError(std::string m = "") { return {StatusCode::kIOError, std::move(m)}; }
+  static Status Busy(std::string m = "") { return {StatusCode::kBusy, std::move(m)}; }
+  static Status Deadlock(std::string m = "") { return {StatusCode::kDeadlock, std::move(m)}; }
+  static Status LockTimeout(std::string m = "") {
+    return {StatusCode::kLockTimeout, std::move(m)};
+  }
+  static Status LogFull(std::string m = "") { return {StatusCode::kLogFull, std::move(m)}; }
+  static Status LockListFull(std::string m = "") {
+    return {StatusCode::kLockListFull, std::move(m)};
+  }
+  static Status Aborted(std::string m = "") { return {StatusCode::kAborted, std::move(m)}; }
+  static Status Conflict(std::string m = "") { return {StatusCode::kConflict, std::move(m)}; }
+  static Status PermissionDenied(std::string m = "") {
+    return {StatusCode::kPermissionDenied, std::move(m)};
+  }
+  static Status Unavailable(std::string m = "") {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsLockTimeout() const { return code_ == StatusCode::kLockTimeout; }
+  bool IsLogFull() const { return code_ == StatusCode::kLogFull; }
+  bool IsLockListFull() const { return code_ == StatusCode::kLockListFull; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+
+  /// True for the failure classes that abort the current transaction as a
+  /// side effect (the paper: "if a severe error such as deadlock occurs in
+  /// the local database, the host database will always rollback the full
+  /// transaction").  After one of these the local transaction is already
+  /// rolled back and must not be retried statement-by-statement.
+  bool IsTransactionFatal() const {
+    return code_ == StatusCode::kDeadlock || code_ == StatusCode::kLockTimeout ||
+           code_ == StatusCode::kLogFull || code_ == StatusCode::kLockListFull;
+  }
+
+  std::string_view message() const {
+    return msg_ ? std::string_view(*msg_) : std::string_view();
+  }
+
+  std::string ToString() const {
+    std::string s(StatusCodeToString(code_));
+    if (msg_ && !msg_->empty()) {
+      s += ": ";
+      s += *msg_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::shared_ptr<std::string> msg_;  // shared so Status copies are cheap
+};
+
+}  // namespace datalinks
+
+/// Propagate any non-OK Status to the caller.
+#define DLX_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::datalinks::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                       \
+  } while (0)

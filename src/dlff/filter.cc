@@ -1,0 +1,73 @@
+#include "dlff/filter.h"
+
+namespace datalinks::dlff {
+
+bool FileSystemFilter::IsFullControlLinked(const std::string& path) const {
+  auto info = fs_->Stat(path);
+  return info.ok() && info->owner == kDlfmAdminUser;
+}
+
+bool FileSystemFilter::IsLinked(const std::string& path) {
+  if (IsFullControlLinked(path)) return true;
+  if (!upcall_) return false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.upcalls;
+  }
+  return upcall_(path);
+}
+
+Status FileSystemFilter::OnDelete(const std::string& path, const std::string& user) {
+  if (user == fsim::kRootUser || user == kDlfmAdminUser) return Status::OK();
+  if (IsLinked(path)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.rejected_deletes;
+    return Status::PermissionDenied("file is linked to a database: " + path);
+  }
+  return Status::OK();
+}
+
+Status FileSystemFilter::OnRename(const std::string& from, const std::string& to,
+                                  const std::string& user) {
+  (void)to;
+  if (user == fsim::kRootUser || user == kDlfmAdminUser) return Status::OK();
+  if (IsLinked(from)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.rejected_renames;
+    return Status::PermissionDenied("file is linked to a database: " + from);
+  }
+  return Status::OK();
+}
+
+Status FileSystemFilter::OnWrite(const std::string& path, const std::string& user) {
+  if (user == fsim::kRootUser || user == kDlfmAdminUser) return Status::OK();
+  // Full control: read-only under the DLFM; partial control leaves write
+  // authority with the file owner (the database controls only existence).
+  if (IsFullControlLinked(path)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.rejected_writes;
+    return Status::PermissionDenied("file is read-only under database control: " + path);
+  }
+  return Status::OK();
+}
+
+Status FileSystemFilter::OnRead(const std::string& path, const std::string& user,
+                                const std::string& token) {
+  if (user == fsim::kRootUser || user == kDlfmAdminUser) return Status::OK();
+  if (!IsFullControlLinked(path)) return Status::OK();  // POSIX rules apply
+  if (!token.empty() && tokens_.Validate(path, token)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.token_reads;
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.rejected_reads;
+  return Status::PermissionDenied("read requires a database access token: " + path);
+}
+
+FilterStats FileSystemFilter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace datalinks::dlff

@@ -1,0 +1,74 @@
+// DataLinks File System Filter (DLFF).
+//
+// Sits in the file server's operation path (fsim::Interceptor) and enforces
+// the constraints the DLFM applies to linked files:
+//  - delete / rename / move of a linked file is rejected,
+//  - in FULL access control the file is owned by the DLFM administrative
+//    user and read-only; reads additionally require a valid access token,
+//  - in PARTIAL access control the filter issues an *upcall* to the DLFM's
+//    Upcall daemon to ask whether the file is linked (§3.5).
+//
+// Full-control files need no upcall: ownership by the DLFM admin user is
+// the marker (exactly the paper's optimization).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dlff/token.h"
+#include "fsim/file_server.h"
+
+namespace datalinks::dlff {
+
+/// Name the DLFM takes ownership under in full access control.
+inline constexpr const char* kDlfmAdminUser = "dlfmadm";
+
+/// Answers "is this file linked to a database?" — wired to the DLFM Upcall
+/// daemon.  Must be safe to call from any thread and must never block on
+/// database locks (the DLFM serves it at uncommitted-read isolation).
+using UpcallFn = std::function<bool(const std::string& path)>;
+
+struct FilterStats {
+  uint64_t upcalls = 0;
+  uint64_t rejected_deletes = 0;
+  uint64_t rejected_renames = 0;
+  uint64_t rejected_writes = 0;
+  uint64_t rejected_reads = 0;
+  uint64_t token_reads = 0;
+};
+
+class FileSystemFilter : public fsim::Interceptor {
+ public:
+  FileSystemFilter(fsim::FileServer* fs, TokenAuthority token_authority)
+      : fs_(fs), tokens_(std::move(token_authority)) {}
+
+  void SetUpcall(UpcallFn upcall) { upcall_ = std::move(upcall); }
+
+  /// Install into the file server's interception point.
+  void Attach() { fs_->SetInterceptor(this); }
+
+  Status OnDelete(const std::string& path, const std::string& user) override;
+  Status OnRename(const std::string& from, const std::string& to,
+                  const std::string& user) override;
+  Status OnWrite(const std::string& path, const std::string& user) override;
+  Status OnRead(const std::string& path, const std::string& user,
+                const std::string& token) override;
+
+  FilterStats stats() const;
+
+ private:
+  /// Linked in full control: owned by the DLFM admin user (no upcall).
+  bool IsFullControlLinked(const std::string& path) const;
+  /// Linked at all (full-control marker, else upcall).
+  bool IsLinked(const std::string& path);
+
+  fsim::FileServer* fs_;
+  TokenAuthority tokens_;
+  UpcallFn upcall_;
+
+  mutable std::mutex mu_;
+  FilterStats stats_;
+};
+
+}  // namespace datalinks::dlff

@@ -1,0 +1,39 @@
+#include "dlff/token.h"
+
+#include <cstdlib>
+
+namespace datalinks::dlff {
+
+uint64_t TokenAuthority::Mac(const std::string& path, int64_t expiry) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(secret_);
+  mix(path);
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>((expiry >> (8 * i)) & 0xff);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string TokenAuthority::Issue(const std::string& path, int64_t ttl_micros) const {
+  const int64_t expiry = clock_->NowMicros() + ttl_micros;
+  return std::to_string(expiry) + ":" + std::to_string(Mac(path, expiry));
+}
+
+bool TokenAuthority::Validate(const std::string& path, const std::string& token) const {
+  const size_t colon = token.find(':');
+  if (colon == std::string::npos) return false;
+  char* end = nullptr;
+  const int64_t expiry = std::strtoll(token.substr(0, colon).c_str(), &end, 10);
+  const uint64_t mac = std::strtoull(token.substr(colon + 1).c_str(), &end, 10);
+  if (expiry < clock_->NowMicros()) return false;
+  return mac == Mac(path, expiry);
+}
+
+}  // namespace datalinks::dlff

@@ -1,0 +1,98 @@
+// Wire-level API between the host database's datalink engine and the DLFM.
+//
+// The paper's DLFM exposes: BeginTransaction, LinkFile, UnlinkFile, Prepare,
+// Commit, Abort (the 2PC surface), plus group management, backup/restore
+// coordination, and reconcile support.  Invocation is via RPC; here the
+// transport is rpc::Connection<DlfmRequest, DlfmResponse>.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/channel.h"
+
+namespace datalinks::dlfm {
+
+/// Host-database-global transaction id (monotonically increasing per host
+/// database — the paper calls this property "absolutely essential").
+using GlobalTxnId = uint64_t;
+
+/// Recovery ids are generated at the host database (dbid + timestamp in the
+/// paper); guaranteed globally unique and monotonically increasing.  We
+/// encode (dbid << 48) | sequence into one int64 so they order correctly.
+struct RecoveryId {
+  static int64_t Make(uint32_t dbid, uint64_t seq) {
+    return static_cast<int64_t>((static_cast<uint64_t>(dbid) << 48) | (seq & 0xFFFFFFFFFFFFull));
+  }
+  static uint32_t Dbid(int64_t rid) { return static_cast<uint32_t>(rid >> 48); }
+  static uint64_t Seq(int64_t rid) { return static_cast<uint64_t>(rid) & 0xFFFFFFFFFFFFull; }
+};
+
+/// DATALINK column access-control modes (paper §3.2): NONE leaves the file
+/// alone, PARTIAL guards existence (delete/rename) via DLFF upcalls, FULL
+/// additionally takes ownership, marks read-only, and requires tokens.
+enum class AccessControl : int32_t { kNone = 0, kPartial = 1, kFull = 2 };
+
+enum class DlfmApi : uint8_t {
+  kPing = 0,
+  kBeginTxn,
+  kLinkFile,
+  kUnlinkFile,
+  kPrepare,
+  kCommit,
+  kAbort,
+  kCreateGroup,
+  kDeleteGroup,
+  kEnsureArchived,    // backup barrier: drain pending copies up to a cut
+  kRegisterBackup,    // record a successful host backup (id, cut)
+  kRestoreToBackup,   // point-in-time restore reconciliation to a cut
+  kReconcileBegin,    // create the temp table
+  kReconcileAddBatch, // bulk-load host rows into the temp table
+  kReconcileRun,      // set-difference against the File table; fix + report
+  kIsLinked,          // upcall path (also used by tests)
+  kListIndoubt,       // prepared-but-unresolved transactions
+  kDisconnect,
+};
+
+struct DlfmRequest {
+  DlfmApi api = DlfmApi::kPing;
+  GlobalTxnId txn = 0;
+
+  std::string filename;
+  int64_t recovery_id = 0;
+  int64_t group_id = 0;
+  bool in_backout = false;  // §3.2: undo of link/unlink during host rollback
+  AccessControl access = AccessControl::kNone;
+  bool recovery_option = false;  // archive for point-in-time recovery
+  bool utility = false;          // long-running utility: batched local commits
+
+  int64_t aux = 0;  // cut recovery id / backup id / reconcile session id
+  std::vector<std::pair<std::string, int64_t>> batch;  // reconcile rows
+};
+
+struct DlfmResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  int64_t value = 0;
+  std::vector<int64_t> ids;
+  std::vector<std::string> names;   // reconcile: host-only files (fixed/missing)
+  std::vector<std::string> names2;  // reconcile: dlfm-only files (unlinked)
+
+  Status ToStatus() const {
+    return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+  }
+  static DlfmResponse FromStatus(const Status& st) {
+    DlfmResponse r;
+    r.code = st.code();
+    r.message = std::string(st.message());
+    return r;
+  }
+};
+
+using DlfmConnection = rpc::Connection<DlfmRequest, DlfmResponse>;
+using DlfmListener = rpc::Listener<DlfmRequest, DlfmResponse>;
+
+}  // namespace datalinks::dlfm

@@ -1,0 +1,569 @@
+#include "dlfm/metadata.h"
+
+namespace datalinks::dlfm {
+
+using sqldb::Assignment;
+using sqldb::BoundStatement;
+using sqldb::ColumnDef;
+using sqldb::Conjunction;
+using sqldb::IndexDef;
+using sqldb::Operand;
+using sqldb::Pred;
+using sqldb::Row;
+using sqldb::TableSchema;
+using sqldb::TableStats;
+using sqldb::Value;
+using sqldb::ValueType;
+
+namespace {
+Value NullableInt(int64_t v) { return v == 0 ? Value::Null() : Value(v); }
+int64_t IntOrZero(const Value& v) { return v.is_null() ? 0 : v.as_int(); }
+}  // namespace
+
+Status MetadataRepo::CreateSchema() {
+  // dfm_file -----------------------------------------------------------------
+  TableSchema file;
+  file.name = "dfm_file";
+  file.columns = {{"name", ValueType::kString, false},
+                  {"check_flag", ValueType::kInt, false},
+                  {"state", ValueType::kString, false},
+                  {"link_txn", ValueType::kInt, false},
+                  {"unlink_txn", ValueType::kInt, true},
+                  {"recovery_id", ValueType::kInt, false},
+                  {"group_id", ValueType::kInt, false},
+                  {"access", ValueType::kInt, false},
+                  {"rec_option", ValueType::kBool, false},
+                  {"orig_owner", ValueType::kString, false},
+                  {"orig_mode", ValueType::kInt, false},
+                  {"link_time", ValueType::kInt, false},
+                  {"unlink_time", ValueType::kInt, true}};
+  auto tid = db_->CreateTable(file);
+  if (!tid.ok()) {
+    if (!tid.status().IsAlreadyExists()) return tid.status();
+    // Re-open after a crash: recover ids of tables and indexes, then rebind.
+    DLX_ASSIGN_OR_RETURN(file_, db_->TableByName("dfm_file"));
+    DLX_ASSIGN_OR_RETURN(txn_, db_->TableByName("dfm_txn"));
+    DLX_ASSIGN_OR_RETURN(group_, db_->TableByName("dfm_group"));
+    DLX_ASSIGN_OR_RETURN(archive_, db_->TableByName("dfm_archive"));
+    DLX_ASSIGN_OR_RETURN(backup_, db_->TableByName("dfm_backup"));
+    DLX_ASSIGN_OR_RETURN(ux_name_flag_, db_->IndexByName(file_, "ux_file_name_flag"));
+    DLX_ASSIGN_OR_RETURN(ix_link_txn_, db_->IndexByName(file_, "ix_file_link_txn"));
+    DLX_ASSIGN_OR_RETURN(ix_unlink_txn_, db_->IndexByName(file_, "ix_file_unlink_txn"));
+    DLX_ASSIGN_OR_RETURN(ix_group_, db_->IndexByName(file_, "ix_file_group"));
+    DLX_ASSIGN_OR_RETURN(ix_recovery_, db_->IndexByName(file_, "ix_file_recovery"));
+    DLX_ASSIGN_OR_RETURN(ux_txn_, db_->IndexByName(txn_, "ux_txn_id"));
+    DLX_ASSIGN_OR_RETURN(ix_txn_state_, db_->IndexByName(txn_, "ix_txn_state"));
+    DLX_ASSIGN_OR_RETURN(ux_group_, db_->IndexByName(group_, "ux_group_id"));
+    DLX_ASSIGN_OR_RETURN(ix_group_deltxn_, db_->IndexByName(group_, "ix_group_deltxn"));
+    DLX_ASSIGN_OR_RETURN(ux_archive_, db_->IndexByName(archive_, "ux_arch_name_rec"));
+    DLX_ASSIGN_OR_RETURN(ix_archive_state_, db_->IndexByName(archive_, "ix_arch_state"));
+    DLX_ASSIGN_OR_RETURN(ix_archive_txn_, db_->IndexByName(archive_, "ix_arch_txn"));
+    DLX_ASSIGN_OR_RETURN(ux_backup_, db_->IndexByName(backup_, "ux_backup_id"));
+    return RebindAll();
+  }
+  file_ = *tid;
+  // Multiple indexes on the hot table — the paper's deadlock fodder.
+  DLX_ASSIGN_OR_RETURN(ux_name_flag_,
+                       db_->CreateIndex(IndexDef{"ux_file_name_flag", file_, {0, 1}, true}));
+  DLX_ASSIGN_OR_RETURN(ix_link_txn_,
+                       db_->CreateIndex(IndexDef{"ix_file_link_txn", file_, {3}, false}));
+  DLX_ASSIGN_OR_RETURN(ix_unlink_txn_,
+                       db_->CreateIndex(IndexDef{"ix_file_unlink_txn", file_, {4}, false}));
+  DLX_ASSIGN_OR_RETURN(ix_group_,
+                       db_->CreateIndex(IndexDef{"ix_file_group", file_, {6}, false}));
+  DLX_ASSIGN_OR_RETURN(ix_recovery_,
+                       db_->CreateIndex(IndexDef{"ix_file_recovery", file_, {5}, false}));
+
+  // dfm_txn ------------------------------------------------------------------
+  TableSchema txn;
+  txn.name = "dfm_txn";
+  txn.columns = {{"txn_id", ValueType::kInt, false},
+                 {"state", ValueType::kString, false},
+                 {"ngroups", ValueType::kInt, false},
+                 {"time", ValueType::kInt, false}};
+  DLX_ASSIGN_OR_RETURN(txn_, db_->CreateTable(txn));
+  DLX_ASSIGN_OR_RETURN(ux_txn_, db_->CreateIndex(IndexDef{"ux_txn_id", txn_, {0}, true}));
+  DLX_ASSIGN_OR_RETURN(ix_txn_state_,
+                       db_->CreateIndex(IndexDef{"ix_txn_state", txn_, {1}, false}));
+
+  // dfm_group ----------------------------------------------------------------
+  TableSchema group;
+  group.name = "dfm_group";
+  group.columns = {{"group_id", ValueType::kInt, false},
+                   {"dbid", ValueType::kInt, false},
+                   {"state", ValueType::kString, false},
+                   {"delete_txn", ValueType::kInt, true},
+                   {"del_rec_id", ValueType::kInt, true},
+                   {"expiry", ValueType::kInt, true}};
+  DLX_ASSIGN_OR_RETURN(group_, db_->CreateTable(group));
+  DLX_ASSIGN_OR_RETURN(ux_group_,
+                       db_->CreateIndex(IndexDef{"ux_group_id", group_, {0}, true}));
+  DLX_ASSIGN_OR_RETURN(ix_group_deltxn_,
+                       db_->CreateIndex(IndexDef{"ix_group_deltxn", group_, {3}, false}));
+
+  // dfm_archive ----------------------------------------------------------------
+  TableSchema arch;
+  arch.name = "dfm_archive";
+  arch.columns = {{"name", ValueType::kString, false},
+                  {"recovery_id", ValueType::kInt, false},
+                  {"state", ValueType::kString, false},
+                  {"priority", ValueType::kInt, false},
+                  {"txn_id", ValueType::kInt, false}};
+  DLX_ASSIGN_OR_RETURN(archive_, db_->CreateTable(arch));
+  // Multiple indexes on a small, hot table: §3.4's deadlock recipe.
+  DLX_ASSIGN_OR_RETURN(ux_archive_,
+                       db_->CreateIndex(IndexDef{"ux_arch_name_rec", archive_, {0, 1}, true}));
+  DLX_ASSIGN_OR_RETURN(ix_archive_state_,
+                       db_->CreateIndex(IndexDef{"ix_arch_state", archive_, {2}, false}));
+  DLX_ASSIGN_OR_RETURN(ix_archive_txn_,
+                       db_->CreateIndex(IndexDef{"ix_arch_txn", archive_, {4}, false}));
+
+  // dfm_backup ----------------------------------------------------------------
+  TableSchema backup;
+  backup.name = "dfm_backup";
+  backup.columns = {{"backup_id", ValueType::kInt, false},
+                    {"cut_recovery_id", ValueType::kInt, false},
+                    {"time", ValueType::kInt, false}};
+  DLX_ASSIGN_OR_RETURN(backup_, db_->CreateTable(backup));
+  DLX_ASSIGN_OR_RETURN(ux_backup_,
+                       db_->CreateIndex(IndexDef{"ux_backup_id", backup_, {0}, true}));
+
+  return RebindAll();
+}
+
+Status MetadataRepo::ApplyHandCraftedStats() {
+  // "To ensure that the optimizer always picks the access plan we want, the
+  // statistics in the catalog are manually set before DLFM's SQL programs
+  // are compiled and bound" (§3.2.1).
+  {
+    TableStats s;
+    s.cardinality = 1000000;
+    s.index_distinct[ux_name_flag_] = 1000000;
+    s.index_distinct[ix_link_txn_] = 500000;
+    s.index_distinct[ix_unlink_txn_] = 500000;
+    s.index_distinct[ix_group_] = 1000;
+    s.index_distinct[ix_recovery_] = 1000000;
+    db_->SetTableStats(file_, s);
+  }
+  {
+    TableStats s;
+    s.cardinality = 100000;
+    s.index_distinct[ux_txn_] = 100000;
+    s.index_distinct[ix_txn_state_] = 3;
+    db_->SetTableStats(txn_, s);
+  }
+  {
+    TableStats s;
+    s.cardinality = 10000;
+    s.index_distinct[ux_group_] = 10000;
+    s.index_distinct[ix_group_deltxn_] = 5000;
+    db_->SetTableStats(group_, s);
+  }
+  {
+    TableStats s;
+    s.cardinality = 100000;
+    s.index_distinct[ux_archive_] = 100000;
+    s.index_distinct[ix_archive_state_] = 2;
+    s.index_distinct[ix_archive_txn_] = 50000;
+    db_->SetTableStats(archive_, s);
+  }
+  {
+    TableStats s;
+    s.cardinality = 1000;
+    s.index_distinct[ux_backup_] = 1000;
+    db_->SetTableStats(backup_, s);
+  }
+  return RebindAll();
+}
+
+bool MetadataRepo::StatsLookClobbered() const {
+  auto stats = db_->GetTableStats(file_);
+  return stats.ok() && stats->cardinality < 100000;
+}
+
+Status MetadataRepo::RebindAll() {
+  using K = BoundStatement::Kind;
+  auto P = [](int i) { return Operand::Param(i); };
+
+  DLX_ASSIGN_OR_RETURN(
+      find_linked_,
+      db_->Bind(K::kSelect, file_, {Pred::Eq("name", P(0)), Pred::Eq("check_flag", 0)}));
+  DLX_ASSIGN_OR_RETURN(
+      mark_unlinked_,
+      db_->Bind(K::kUpdate, file_,
+                {Pred::Eq("name", P(0)), Pred::Eq("check_flag", 0), Pred::Eq("state", "L")},
+                {{"check_flag", P(1)},
+                 {"unlink_txn", P(2)},
+                 {"state", Operand("U")},
+                 {"unlink_time", P(3)}}));
+  DLX_ASSIGN_OR_RETURN(
+      backout_link_,
+      db_->Bind(K::kDelete, file_,
+                {Pred::Eq("name", P(0)), Pred::Eq("link_txn", P(1)),
+                 Pred::Eq("check_flag", 0)}));
+  DLX_ASSIGN_OR_RETURN(
+      backout_unlink_,
+      db_->Bind(K::kUpdate, file_,
+                {Pred::Eq("name", P(0)), Pred::Eq("unlink_txn", P(1)),
+                 Pred::Eq("check_flag", P(2))},
+                {{"check_flag", Operand(0)},
+                 {"unlink_txn", Operand(Value::Null())},
+                 {"state", Operand("L")},
+                 {"unlink_time", Operand(Value::Null())}}));
+  DLX_ASSIGN_OR_RETURN(
+      sel_linked_by_txn_,
+      db_->Bind(K::kSelect, file_,
+                {Pred::Eq("link_txn", P(0)), Pred::Eq("check_flag", 0),
+                 Pred::Eq("state", "L")}));
+  DLX_ASSIGN_OR_RETURN(
+      sel_unlinked_by_txn_,
+      db_->Bind(K::kSelect, file_, {Pred::Eq("unlink_txn", P(0)), Pred::Eq("state", "U")}));
+  DLX_ASSIGN_OR_RETURN(
+      del_linked_by_txn_,
+      db_->Bind(K::kDelete, file_, {Pred::Eq("link_txn", P(0)), Pred::Eq("check_flag", 0)}));
+  DLX_ASSIGN_OR_RETURN(
+      restore_unlinked_by_txn_,
+      db_->Bind(K::kUpdate, file_, {Pred::Eq("unlink_txn", P(0)), Pred::Eq("state", "U")},
+                {{"check_flag", Operand(0)},
+                 {"unlink_txn", Operand(Value::Null())},
+                 {"state", Operand("L")},
+                 {"unlink_time", Operand(Value::Null())}}));
+  DLX_ASSIGN_OR_RETURN(
+      del_file_version_,
+      db_->Bind(K::kDelete, file_, {Pred::Eq("name", P(0)), Pred::Eq("check_flag", P(1))}));
+  DLX_ASSIGN_OR_RETURN(
+      sel_by_group_linked_,
+      db_->Bind(K::kSelect, file_,
+                {Pred::Eq("group_id", P(0)), Pred::Eq("check_flag", 0),
+                 Pred::Eq("state", "L")}));
+  DLX_ASSIGN_OR_RETURN(sel_by_state_,
+                       db_->Bind(K::kSelect, file_, {Pred::Eq("state", P(0))}));
+  DLX_ASSIGN_OR_RETURN(sel_all_files_, db_->Bind(K::kSelect, file_, {}));
+  DLX_ASSIGN_OR_RETURN(
+      relink_version_,
+      db_->Bind(K::kUpdate, file_, {Pred::Eq("name", P(0)), Pred::Eq("check_flag", P(1))},
+                {{"check_flag", Operand(0)},
+                 {"unlink_txn", Operand(Value::Null())},
+                 {"state", Operand("L")},
+                 {"unlink_time", Operand(Value::Null())}}));
+
+  DLX_ASSIGN_OR_RETURN(get_txn_, db_->Bind(K::kSelect, txn_, {Pred::Eq("txn_id", P(0))}));
+  DLX_ASSIGN_OR_RETURN(upd_txn_state_,
+                       db_->Bind(K::kUpdate, txn_, {Pred::Eq("txn_id", P(0))},
+                                 {{"state", P(1)}}));
+  DLX_ASSIGN_OR_RETURN(del_txn_, db_->Bind(K::kDelete, txn_, {Pred::Eq("txn_id", P(0))}));
+  DLX_ASSIGN_OR_RETURN(sel_txn_by_state_,
+                       db_->Bind(K::kSelect, txn_, {Pred::Eq("state", P(0))}));
+
+  DLX_ASSIGN_OR_RETURN(get_group_,
+                       db_->Bind(K::kSelect, group_, {Pred::Eq("group_id", P(0))}));
+  DLX_ASSIGN_OR_RETURN(
+      mark_group_deleted_,
+      db_->Bind(K::kUpdate, group_, {Pred::Eq("group_id", P(0)), Pred::Eq("state", "A")},
+                {{"state", Operand("D")}, {"delete_txn", P(1)}, {"del_rec_id", P(2)}}));
+  DLX_ASSIGN_OR_RETURN(
+      restore_groups_,
+      db_->Bind(K::kUpdate, group_, {Pred::Eq("delete_txn", P(0)), Pred::Eq("state", "D")},
+                {{"state", Operand("A")}, {"delete_txn", Operand(Value::Null())}}));
+  DLX_ASSIGN_OR_RETURN(
+      sel_groups_by_deltxn_,
+      db_->Bind(K::kSelect, group_, {Pred::Eq("delete_txn", P(0)), Pred::Eq("state", "D")}));
+  DLX_ASSIGN_OR_RETURN(set_group_state_,
+                       db_->Bind(K::kUpdate, group_, {Pred::Eq("group_id", P(0))},
+                                 {{"state", P(1)}, {"expiry", P(2)}}));
+  DLX_ASSIGN_OR_RETURN(del_group_,
+                       db_->Bind(K::kDelete, group_, {Pred::Eq("group_id", P(0))}));
+  DLX_ASSIGN_OR_RETURN(sel_groups_by_state_,
+                       db_->Bind(K::kSelect, group_, {Pred::Eq("state", P(0))}));
+
+  DLX_ASSIGN_OR_RETURN(sel_pending_arch_,
+                       db_->Bind(K::kSelect, archive_, {Pred::Eq("state", "P")}));
+  DLX_ASSIGN_OR_RETURN(
+      del_arch_,
+      db_->Bind(K::kDelete, archive_,
+                {Pred::Eq("name", P(0)), Pred::Eq("recovery_id", P(1))}));
+  DLX_ASSIGN_OR_RETURN(boost_arch_,
+                       db_->Bind(K::kUpdate, archive_, {Pred::Eq("state", "P")},
+                                 {{"priority", Operand(1)}}));
+
+  DLX_ASSIGN_OR_RETURN(sel_backups_, db_->Bind(K::kSelect, backup_, {}));
+  DLX_ASSIGN_OR_RETURN(del_backup_,
+                       db_->Bind(K::kDelete, backup_, {Pred::Eq("backup_id", P(0))}));
+  return Status::OK();
+}
+
+// --- row conversions ---------------------------------------------------------
+
+FileEntry MetadataRepo::RowToFile(const Row& r) {
+  FileEntry e;
+  e.name = r[0].as_string();
+  e.check_flag = r[1].as_int();
+  e.state = r[2].as_string();
+  e.link_txn = r[3].as_int();
+  e.unlink_txn = IntOrZero(r[4]);
+  e.recovery_id = r[5].as_int();
+  e.group_id = r[6].as_int();
+  e.access = static_cast<int32_t>(r[7].as_int());
+  e.recovery_option = r[8].as_bool();
+  e.orig_owner = r[9].as_string();
+  e.orig_mode = r[10].as_int();
+  e.link_time = r[11].as_int();
+  e.unlink_time = IntOrZero(r[12]);
+  return e;
+}
+
+TxnEntry MetadataRepo::RowToTxn(const Row& r) {
+  return TxnEntry{r[0].as_int(), r[1].as_string(), r[2].as_int(), r[3].as_int()};
+}
+
+GroupEntry MetadataRepo::RowToGroup(const Row& r) {
+  return GroupEntry{r[0].as_int(),      r[1].as_int(),      r[2].as_string(),
+                    IntOrZero(r[3]),    IntOrZero(r[4]),    IntOrZero(r[5])};
+}
+
+ArchiveEntry MetadataRepo::RowToArchive(const Row& r) {
+  return ArchiveEntry{r[0].as_string(), r[1].as_int(), r[2].as_string(), r[3].as_int(),
+                      r[4].as_int()};
+}
+
+BackupEntry MetadataRepo::RowToBackup(const Row& r) {
+  return BackupEntry{r[0].as_int(), r[1].as_int(), r[2].as_int()};
+}
+
+// --- dfm_file ------------------------------------------------------------------
+
+Status MetadataRepo::InsertFile(sqldb::Transaction* t, const FileEntry& e) {
+  return db_->Insert(
+      t, file_,
+      Row{Value(e.name), Value(e.check_flag), Value(e.state), Value(e.link_txn),
+          NullableInt(e.unlink_txn), Value(e.recovery_id), Value(e.group_id),
+          Value(int64_t{e.access}), Value(e.recovery_option), Value(e.orig_owner),
+          Value(e.orig_mode), Value(e.link_time), NullableInt(e.unlink_time)});
+}
+
+Result<std::optional<FileEntry>> MetadataRepo::FindLinked(sqldb::Transaction* t,
+                                                          const std::string& name) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, find_linked_, {Value(name)}));
+  if (rows.empty()) return std::optional<FileEntry>();
+  return std::optional<FileEntry>(RowToFile(rows[0]));
+}
+
+Result<int64_t> MetadataRepo::MarkUnlinked(sqldb::Transaction* t, const std::string& name,
+                                           int64_t unlink_rec, int64_t unlink_txn,
+                                           int64_t now) {
+  return db_->ExecuteUpdate(
+      t, mark_unlinked_, {Value(name), Value(unlink_rec), Value(unlink_txn), Value(now)});
+}
+
+Result<int64_t> MetadataRepo::BackoutLink(sqldb::Transaction* t, const std::string& name,
+                                          int64_t link_txn) {
+  return db_->ExecuteDelete(t, backout_link_, {Value(name), Value(link_txn)});
+}
+
+Result<int64_t> MetadataRepo::BackoutUnlink(sqldb::Transaction* t, const std::string& name,
+                                            int64_t unlink_txn, int64_t unlink_rec) {
+  return db_->ExecuteUpdate(t, backout_unlink_,
+                            {Value(name), Value(unlink_txn), Value(unlink_rec)});
+}
+
+Result<std::vector<FileEntry>> MetadataRepo::LinkedByTxn(sqldb::Transaction* t, int64_t txn) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_linked_by_txn_, {Value(txn)}));
+  std::vector<FileEntry> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) out.push_back(RowToFile(r));
+  return out;
+}
+
+Result<std::vector<FileEntry>> MetadataRepo::UnlinkedByTxn(sqldb::Transaction* t,
+                                                           int64_t txn) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_unlinked_by_txn_, {Value(txn)}));
+  std::vector<FileEntry> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) out.push_back(RowToFile(r));
+  return out;
+}
+
+Result<int64_t> MetadataRepo::DeleteLinkedByTxn(sqldb::Transaction* t, int64_t txn) {
+  return db_->ExecuteDelete(t, del_linked_by_txn_, {Value(txn)});
+}
+
+Result<int64_t> MetadataRepo::RestoreUnlinkedByTxn(sqldb::Transaction* t, int64_t txn) {
+  return db_->ExecuteUpdate(t, restore_unlinked_by_txn_, {Value(txn)});
+}
+
+Result<int64_t> MetadataRepo::DeleteFileVersion(sqldb::Transaction* t,
+                                                const std::string& name, int64_t check_flag) {
+  return db_->ExecuteDelete(t, del_file_version_, {Value(name), Value(check_flag)});
+}
+
+Result<std::vector<FileEntry>> MetadataRepo::LinkedByGroup(sqldb::Transaction* t,
+                                                           int64_t group) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_by_group_linked_, {Value(group)}));
+  std::vector<FileEntry> out;
+  for (const Row& r : rows) out.push_back(RowToFile(r));
+  return out;
+}
+
+Result<std::vector<FileEntry>> MetadataRepo::AllInState(sqldb::Transaction* t,
+                                                        const std::string& state) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_by_state_, {Value(state)}));
+  std::vector<FileEntry> out;
+  for (const Row& r : rows) out.push_back(RowToFile(r));
+  return out;
+}
+
+Result<std::vector<FileEntry>> MetadataRepo::AllFiles(sqldb::Transaction* t) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows, db_->ExecuteSelect(t, sel_all_files_, {}));
+  std::vector<FileEntry> out;
+  for (const Row& r : rows) out.push_back(RowToFile(r));
+  return out;
+}
+
+Result<int64_t> MetadataRepo::RelinkVersion(sqldb::Transaction* t, const std::string& name,
+                                            int64_t check_flag) {
+  return db_->ExecuteUpdate(t, relink_version_, {Value(name), Value(check_flag)});
+}
+
+bool MetadataRepo::IsLinkedUR(const std::string& name) {
+  sqldb::Transaction* t = db_->Begin(sqldb::Isolation::kUR);
+  auto rows = db_->ExecuteSelect(t, find_linked_, {Value(name)});
+  const bool linked = rows.ok() && !rows->empty();
+  (void)db_->Commit(t);
+  return linked;
+}
+
+// --- dfm_txn ---------------------------------------------------------------------
+
+Status MetadataRepo::InsertTxn(sqldb::Transaction* t, const TxnEntry& e) {
+  return db_->Insert(t, txn_,
+                     Row{Value(e.txn_id), Value(e.state), Value(e.ngroups), Value(e.time)});
+}
+
+Result<std::optional<TxnEntry>> MetadataRepo::GetTxn(sqldb::Transaction* t, int64_t txn_id) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, get_txn_, {Value(txn_id)}));
+  if (rows.empty()) return std::optional<TxnEntry>();
+  return std::optional<TxnEntry>(RowToTxn(rows[0]));
+}
+
+Result<int64_t> MetadataRepo::UpdateTxnState(sqldb::Transaction* t, int64_t txn_id,
+                                             const std::string& state) {
+  return db_->ExecuteUpdate(t, upd_txn_state_, {Value(txn_id), Value(state)});
+}
+
+Result<int64_t> MetadataRepo::DeleteTxn(sqldb::Transaction* t, int64_t txn_id) {
+  return db_->ExecuteDelete(t, del_txn_, {Value(txn_id)});
+}
+
+Result<std::vector<TxnEntry>> MetadataRepo::TxnsInState(sqldb::Transaction* t,
+                                                        const std::string& state) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_txn_by_state_, {Value(state)}));
+  std::vector<TxnEntry> out;
+  for (const Row& r : rows) out.push_back(RowToTxn(r));
+  return out;
+}
+
+// --- dfm_group ---------------------------------------------------------------------
+
+Status MetadataRepo::InsertGroup(sqldb::Transaction* t, const GroupEntry& e) {
+  return db_->Insert(t, group_,
+                     Row{Value(e.group_id), Value(e.dbid), Value(e.state),
+                         NullableInt(e.delete_txn), NullableInt(e.del_rec_id),
+                         NullableInt(e.expiry)});
+}
+
+Result<std::optional<GroupEntry>> MetadataRepo::GetGroup(sqldb::Transaction* t,
+                                                         int64_t group_id) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, get_group_, {Value(group_id)}));
+  if (rows.empty()) return std::optional<GroupEntry>();
+  return std::optional<GroupEntry>(RowToGroup(rows[0]));
+}
+
+Result<int64_t> MetadataRepo::MarkGroupDeleted(sqldb::Transaction* t, int64_t group_id,
+                                               int64_t delete_txn, int64_t del_rec_id) {
+  return db_->ExecuteUpdate(t, mark_group_deleted_,
+                            {Value(group_id), Value(delete_txn), Value(del_rec_id)});
+}
+
+Result<int64_t> MetadataRepo::RestoreGroupsByTxn(sqldb::Transaction* t, int64_t delete_txn) {
+  return db_->ExecuteUpdate(t, restore_groups_, {Value(delete_txn)});
+}
+
+Result<std::vector<GroupEntry>> MetadataRepo::GroupsDeletedByTxn(sqldb::Transaction* t,
+                                                                 int64_t delete_txn) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_groups_by_deltxn_, {Value(delete_txn)}));
+  std::vector<GroupEntry> out;
+  for (const Row& r : rows) out.push_back(RowToGroup(r));
+  return out;
+}
+
+Result<int64_t> MetadataRepo::SetGroupState(sqldb::Transaction* t, int64_t group_id,
+                                            const std::string& state, int64_t expiry) {
+  return db_->ExecuteUpdate(t, set_group_state_,
+                            {Value(group_id), Value(state), Value(expiry)});
+}
+
+Result<int64_t> MetadataRepo::DeleteGroupRow(sqldb::Transaction* t, int64_t group_id) {
+  return db_->ExecuteDelete(t, del_group_, {Value(group_id)});
+}
+
+Result<std::vector<GroupEntry>> MetadataRepo::GroupsInState(sqldb::Transaction* t,
+                                                            const std::string& state) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                       db_->ExecuteSelect(t, sel_groups_by_state_, {Value(state)}));
+  std::vector<GroupEntry> out;
+  for (const Row& r : rows) out.push_back(RowToGroup(r));
+  return out;
+}
+
+// --- dfm_archive -------------------------------------------------------------------
+
+Status MetadataRepo::InsertArchive(sqldb::Transaction* t, const ArchiveEntry& e) {
+  return db_->Insert(t, archive_,
+                     Row{Value(e.name), Value(e.recovery_id), Value(e.state),
+                         Value(e.priority), Value(e.txn_id)});
+}
+
+Result<std::vector<ArchiveEntry>> MetadataRepo::PendingArchives(sqldb::Transaction* t) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows, db_->ExecuteSelect(t, sel_pending_arch_, {}));
+  std::vector<ArchiveEntry> out;
+  for (const Row& r : rows) out.push_back(RowToArchive(r));
+  return out;
+}
+
+Result<int64_t> MetadataRepo::DeleteArchive(sqldb::Transaction* t, const std::string& name,
+                                            int64_t recovery_id) {
+  return db_->ExecuteDelete(t, del_arch_, {Value(name), Value(recovery_id)});
+}
+
+Result<int64_t> MetadataRepo::BoostAllPending(sqldb::Transaction* t) {
+  return db_->ExecuteUpdate(t, boost_arch_, {});
+}
+
+// --- dfm_backup -------------------------------------------------------------------
+
+Status MetadataRepo::InsertBackup(sqldb::Transaction* t, const BackupEntry& e) {
+  return db_->Insert(t, backup_,
+                     Row{Value(e.backup_id), Value(e.cut_recovery_id), Value(e.time)});
+}
+
+Result<std::vector<BackupEntry>> MetadataRepo::AllBackups(sqldb::Transaction* t) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows, db_->ExecuteSelect(t, sel_backups_, {}));
+  std::vector<BackupEntry> out;
+  for (const Row& r : rows) out.push_back(RowToBackup(r));
+  return out;
+}
+
+Result<int64_t> MetadataRepo::DeleteBackup(sqldb::Transaction* t, int64_t backup_id) {
+  return db_->ExecuteDelete(t, del_backup_, {Value(backup_id)});
+}
+
+}  // namespace datalinks::dlfm

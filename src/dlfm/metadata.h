@@ -1,0 +1,188 @@
+// DLFM metadata repository (§3.1): the SQL tables the DLFM keeps in its
+// local database, the indexes on them, the hand-crafted catalog statistics,
+// and the pre-bound ("compiled and bound") statements that operate on them.
+//
+// Tables:
+//   dfm_file    one row per (version of a) file under database control.
+//               The UNIQUE index on (name, check_flag) is the paper's race
+//               closer: linked rows carry check_flag = 0, unlinked rows
+//               carry check_flag = <unlink recovery id>, so at most one
+//               linked row per file can exist while any number of unlinked
+//               history rows coexist.
+//   dfm_txn     2PC transaction states ('P' prepared, 'C' committed-with-
+//               pending-group-cleanup, 'F' in-flight utility).
+//   dfm_group   file groups (one per DATALINK column of an SQL table).
+//   dfm_archive pending archive copies (drained by the Copy daemon); kept
+//               separate from dfm_file exactly to avoid contention (§3.4).
+//   dfm_backup  registered host-database backups (id, cut recovery id).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sqldb/database.h"
+
+namespace datalinks::dlfm {
+
+struct FileEntry {
+  std::string name;
+  int64_t check_flag = 0;  // 0 = linked entry; else unlink recovery id
+  std::string state;       // "L" linked, "U" unlinked
+  int64_t link_txn = 0;
+  int64_t unlink_txn = 0;  // 0 = null
+  int64_t recovery_id = 0; // link recovery id
+  int64_t group_id = 0;
+  int32_t access = 0;      // AccessControl
+  bool recovery_option = false;
+  std::string orig_owner;
+  int64_t orig_mode = 0644;
+  int64_t link_time = 0;
+  int64_t unlink_time = 0;  // 0 = null
+};
+
+struct TxnEntry {
+  int64_t txn_id = 0;
+  std::string state;  // "P", "C", "F"
+  int64_t ngroups = 0;
+  int64_t time = 0;
+};
+
+struct GroupEntry {
+  int64_t group_id = 0;
+  int64_t dbid = 0;
+  std::string state;  // "A" active, "D" delete-marked, "G" garbage (expiring)
+  int64_t delete_txn = 0;   // 0 = null
+  int64_t del_rec_id = 0;   // recovery id of the group delete
+  int64_t expiry = 0;       // 0 = null
+};
+
+struct ArchiveEntry {
+  std::string name;
+  int64_t recovery_id = 0;
+  std::string state;  // "P" pending
+  int64_t priority = 0;
+  int64_t txn_id = 0;
+};
+
+struct BackupEntry {
+  int64_t backup_id = 0;
+  int64_t cut_recovery_id = 0;
+  int64_t time = 0;
+};
+
+/// Typed access layer over the DLFM's local database.  Thread-compatible:
+/// callers provide the transaction; the bound statements are immutable after
+/// Bind()/RebindAll().
+class MetadataRepo {
+ public:
+  explicit MetadataRepo(sqldb::Database* db) : db_(db) {}
+
+  /// Create tables + indexes (idempotent: kAlreadyExists tolerated on
+  /// re-open after crash).
+  Status CreateSchema();
+
+  /// Write the paper's hand-crafted catalog statistics so the optimizer
+  /// favours index scans on the hot tables, then (re)bind all statements.
+  Status ApplyHandCraftedStats();
+
+  /// Bind every statement against current statistics (initial bind, or the
+  /// §4 "re-invoke the utility ... and rebind plans" step after statistics
+  /// changed).
+  Status RebindAll();
+
+  /// True if the statistics no longer look hand-crafted (e.g. a user ran
+  /// runstats on a small table) — the watchdog trigger from §4.
+  bool StatsLookClobbered() const;
+
+  // --- dfm_file -------------------------------------------------------------
+  Status InsertFile(sqldb::Transaction* t, const FileEntry& e);
+  Result<std::optional<FileEntry>> FindLinked(sqldb::Transaction* t, const std::string& name);
+  Result<int64_t> MarkUnlinked(sqldb::Transaction* t, const std::string& name,
+                               int64_t unlink_rec, int64_t unlink_txn, int64_t now);
+  Result<int64_t> BackoutLink(sqldb::Transaction* t, const std::string& name,
+                              int64_t link_txn);
+  Result<int64_t> BackoutUnlink(sqldb::Transaction* t, const std::string& name,
+                                int64_t unlink_txn, int64_t unlink_rec);
+  Result<std::vector<FileEntry>> LinkedByTxn(sqldb::Transaction* t, int64_t txn);
+  Result<std::vector<FileEntry>> UnlinkedByTxn(sqldb::Transaction* t, int64_t txn);
+  Result<int64_t> DeleteLinkedByTxn(sqldb::Transaction* t, int64_t txn);
+  Result<int64_t> RestoreUnlinkedByTxn(sqldb::Transaction* t, int64_t txn);
+  Result<int64_t> DeleteFileVersion(sqldb::Transaction* t, const std::string& name,
+                                    int64_t check_flag);
+  Result<std::vector<FileEntry>> LinkedByGroup(sqldb::Transaction* t, int64_t group);
+  Result<std::vector<FileEntry>> AllInState(sqldb::Transaction* t, const std::string& state);
+  Result<std::vector<FileEntry>> AllFiles(sqldb::Transaction* t);
+  /// Restore an unlinked version back to linked (point-in-time restore).
+  Result<int64_t> RelinkVersion(sqldb::Transaction* t, const std::string& name,
+                                int64_t check_flag);
+
+  /// Upcall-path check at uncommitted-read isolation; never blocks on locks.
+  bool IsLinkedUR(const std::string& name);
+
+  // --- dfm_txn ---------------------------------------------------------------
+  Status InsertTxn(sqldb::Transaction* t, const TxnEntry& e);
+  Result<std::optional<TxnEntry>> GetTxn(sqldb::Transaction* t, int64_t txn_id);
+  Result<int64_t> UpdateTxnState(sqldb::Transaction* t, int64_t txn_id,
+                                 const std::string& state);
+  Result<int64_t> DeleteTxn(sqldb::Transaction* t, int64_t txn_id);
+  Result<std::vector<TxnEntry>> TxnsInState(sqldb::Transaction* t, const std::string& state);
+
+  // --- dfm_group ---------------------------------------------------------------
+  Status InsertGroup(sqldb::Transaction* t, const GroupEntry& e);
+  Result<std::optional<GroupEntry>> GetGroup(sqldb::Transaction* t, int64_t group_id);
+  Result<int64_t> MarkGroupDeleted(sqldb::Transaction* t, int64_t group_id,
+                                   int64_t delete_txn, int64_t del_rec_id);
+  Result<int64_t> RestoreGroupsByTxn(sqldb::Transaction* t, int64_t delete_txn);
+  Result<std::vector<GroupEntry>> GroupsDeletedByTxn(sqldb::Transaction* t,
+                                                     int64_t delete_txn);
+  Result<int64_t> SetGroupState(sqldb::Transaction* t, int64_t group_id,
+                                const std::string& state, int64_t expiry);
+  Result<int64_t> DeleteGroupRow(sqldb::Transaction* t, int64_t group_id);
+  Result<std::vector<GroupEntry>> GroupsInState(sqldb::Transaction* t,
+                                                const std::string& state);
+
+  // --- dfm_archive -------------------------------------------------------------
+  Status InsertArchive(sqldb::Transaction* t, const ArchiveEntry& e);
+  Result<std::vector<ArchiveEntry>> PendingArchives(sqldb::Transaction* t);
+  Result<int64_t> DeleteArchive(sqldb::Transaction* t, const std::string& name,
+                                int64_t recovery_id);
+  Result<int64_t> BoostAllPending(sqldb::Transaction* t);
+
+  // --- dfm_backup -------------------------------------------------------------
+  Status InsertBackup(sqldb::Transaction* t, const BackupEntry& e);
+  Result<std::vector<BackupEntry>> AllBackups(sqldb::Transaction* t);
+  Result<int64_t> DeleteBackup(sqldb::Transaction* t, int64_t backup_id);
+
+  sqldb::Database* db() { return db_; }
+  sqldb::TableId file_table() const { return file_; }
+  sqldb::TableId archive_table() const { return archive_; }
+
+ private:
+  static FileEntry RowToFile(const sqldb::Row& r);
+  static TxnEntry RowToTxn(const sqldb::Row& r);
+  static GroupEntry RowToGroup(const sqldb::Row& r);
+  static ArchiveEntry RowToArchive(const sqldb::Row& r);
+  static BackupEntry RowToBackup(const sqldb::Row& r);
+
+  sqldb::Database* db_;
+  sqldb::TableId file_ = 0, txn_ = 0, group_ = 0, archive_ = 0, backup_ = 0;
+  sqldb::IndexId ux_name_flag_ = 0, ix_link_txn_ = 0, ix_unlink_txn_ = 0, ix_group_ = 0,
+                 ix_recovery_ = 0, ux_txn_ = 0, ix_txn_state_ = 0, ux_group_ = 0,
+                 ix_group_deltxn_ = 0, ux_archive_ = 0, ix_archive_state_ = 0,
+                 ix_archive_txn_ = 0, ux_backup_ = 0;
+
+  // Bound statements (set by RebindAll).
+  sqldb::BoundStatement find_linked_, mark_unlinked_, backout_link_, backout_unlink_,
+      sel_linked_by_txn_, sel_unlinked_by_txn_, del_linked_by_txn_, restore_unlinked_by_txn_,
+      del_file_version_, sel_by_group_linked_, sel_by_state_, sel_all_files_, relink_version_,
+      get_txn_, upd_txn_state_, del_txn_, sel_txn_by_state_, get_group_, mark_group_deleted_,
+      restore_groups_, sel_groups_by_deltxn_, set_group_state_, del_group_,
+      sel_groups_by_state_, sel_pending_arch_, del_arch_, boost_arch_, sel_backups_,
+      del_backup_;
+};
+
+}  // namespace datalinks::dlfm

@@ -1,0 +1,1184 @@
+#include "dlfm/server.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "dlff/filter.h"
+
+namespace datalinks::dlfm {
+
+using sqldb::Isolation;
+using sqldb::Transaction;
+using sqldb::Value;
+
+// ---------------------------------------------------------------------------
+// ChownDaemon
+// ---------------------------------------------------------------------------
+
+ChownDaemon::ChownDaemon(fsim::FileServer* fs, std::string secret)
+    : fs_(fs), secret_(std::move(secret)) {}
+
+ChownDaemon::~ChownDaemon() { Stop(); }
+
+void ChownDaemon::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ChownDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  conn_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ChownDaemon::Run() {
+  while (true) {
+    auto req = conn_.NextRequest();
+    if (!req.ok()) return;  // connection closed: daemon exits
+    (void)conn_.Reply(Handle(*req));
+  }
+}
+
+ChownResponse ChownDaemon::Handle(const ChownRequest& req) {
+  ChownResponse resp;
+  // The Chown daemon runs as root; it must reject unauthenticated callers
+  // (§3.5: "it is important to safeguard unauthorized requests").
+  if (req.auth != secret_) {
+    resp.code = StatusCode::kPermissionDenied;
+    resp.message = "chown daemon: bad credentials";
+    return resp;
+  }
+  switch (req.op) {
+    case ChownRequest::Op::kStat: {
+      auto info = fs_->Stat(req.path);
+      if (!info.ok()) {
+        resp.code = info.status().code();
+        resp.message = std::string(info.status().message());
+      } else {
+        resp.info = *info;
+      }
+      return resp;
+    }
+    case ChownRequest::Op::kTakeover: {
+      // Full control: ownership to the DLFM admin user and read-only.
+      Status st = fs_->Chown(req.path, fsim::kRootUser, dlff::kDlfmAdminUser);
+      if (st.ok() && req.full_control) {
+        auto info = fs_->Stat(req.path);
+        const uint32_t mode = info.ok() ? (info->mode & ~0222u) : 0444u;
+        st = fs_->Chmod(req.path, fsim::kRootUser, mode);
+      }
+      if (!st.ok()) {
+        resp.code = st.code();
+        resp.message = std::string(st.message());
+      }
+      return resp;
+    }
+    case ChownRequest::Op::kRelease: {
+      Status st = fs_->Chown(req.path, fsim::kRootUser, req.owner);
+      if (st.ok()) st = fs_->Chmod(req.path, fsim::kRootUser, static_cast<uint32_t>(req.mode));
+      if (!st.ok()) {
+        resp.code = st.code();
+        resp.message = std::string(st.message());
+      }
+      return resp;
+    }
+  }
+  resp.code = StatusCode::kInvalidArgument;
+  return resp;
+}
+
+Result<fsim::FileInfo> ChownDaemon::Call(ChownRequest req) {
+  req.auth = secret_;
+  auto resp = conn_.Call(std::move(req));
+  if (!resp.ok()) return resp.status();
+  DLX_RETURN_IF_ERROR(resp->ToStatus());
+  return resp->info;
+}
+
+// ---------------------------------------------------------------------------
+// DlfmServer: lifecycle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<sqldb::Database> OpenLocalDbOrDie(
+    sqldb::DatabaseOptions opts, std::shared_ptr<sqldb::DurableStore> durable) {
+  auto db = sqldb::Database::Open(std::move(opts), std::move(durable));
+  if (!db.ok()) {
+    DLX_ERROR("dlfm", "local database open failed: " << db.status().ToString());
+    std::abort();
+  }
+  return std::move(db).value();
+}
+
+sqldb::DatabaseOptions ToDbOptions(const DlfmOptions& o) {
+  sqldb::DatabaseOptions d;
+  d.name = "dlfm_local@" + o.server_name;
+  d.next_key_locking = o.next_key_locking;
+  d.lock_timeout_micros = o.lock_timeout_micros;
+  d.lock_escalation_threshold = o.lock_escalation_threshold;
+  d.lock_list_capacity = o.lock_list_capacity;
+  d.log_capacity_bytes = o.log_capacity_bytes;
+  d.clock = o.clock;
+  return d;
+}
+}  // namespace
+
+DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
+                       archive::ArchiveServer* archive,
+                       std::shared_ptr<sqldb::DurableStore> durable)
+    : options_(std::move(options)),
+      clock_(options_.clock ? options_.clock : SystemClock::Instance()),
+      fs_(fs),
+      archive_(archive),
+      db_(OpenLocalDbOrDie(ToDbOptions(options_), std::move(durable))),
+      repo_(db_.get()),
+      chown_(fs, "dlfm-chown-secret") {}
+
+DlfmServer::~DlfmServer() { Stop(); }
+
+Status DlfmServer::Start() {
+  DLX_RETURN_IF_ERROR(repo_.CreateSchema());
+  if (options_.hand_crafted_stats) {
+    DLX_RETURN_IF_ERROR(repo_.ApplyHandCraftedStats());
+  }
+  chown_.Start();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  copy_thread_ = std::thread([this] { CopyLoop(); });
+  dg_thread_ = std::thread([this] { DeleteGroupLoop(); });
+
+  // Restart processing: resume group cleanup for committed transactions
+  // whose Delete Group daemon work was interrupted (§3.5).
+  Transaction* t = db_->Begin();
+  auto committed = repo_.TxnsInState(t, "C");
+  (void)db_->Commit(t);
+  if (committed.ok()) {
+    std::lock_guard<std::mutex> lk(dg_mu_);
+    for (const TxnEntry& e : *committed) dg_queue_.push_back(e.txn_id);
+    dg_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+void DlfmServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lk(dg_mu_);
+    dg_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (copy_thread_.joinable()) copy_thread_.join();
+  if (dg_thread_.joinable()) dg_thread_.join();
+  std::vector<std::thread> agents;
+  {
+    std::lock_guard<std::mutex> lk(agents_mu_);
+    agents.swap(agent_threads_);
+    // Sever live connections so child agents blocked in NextRequest exit.
+    for (auto& c : agent_conns_) c->Close();
+    agent_conns_.clear();
+  }
+  for (auto& th : agents) {
+    if (th.joinable()) th.join();
+  }
+  chown_.Stop();
+}
+
+std::shared_ptr<sqldb::DurableStore> DlfmServer::SimulateCrash() {
+  Stop();
+  return db_->SimulateCrash();
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+void DlfmServer::AcceptLoop() {
+  while (running_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) return;  // listener closed
+    std::lock_guard<std::mutex> lk(agents_mu_);
+    agent_conns_.push_back(*conn);
+    agent_threads_.emplace_back([this, c = *conn] { ServeConnection(c); });
+  }
+}
+
+void DlfmServer::ServeConnection(std::shared_ptr<DlfmConnection> conn) {
+  while (true) {
+    auto req = conn->NextRequest();
+    if (!req.ok()) return;
+    if (req->api == DlfmApi::kDisconnect) {
+      (void)conn->Reply(DlfmResponse{});
+      return;
+    }
+    (void)conn->Reply(Dispatch(*req));
+  }
+}
+
+DlfmResponse DlfmServer::Dispatch(const DlfmRequest& req) {
+  switch (req.api) {
+    case DlfmApi::kPing:
+      return DlfmResponse{};
+    case DlfmApi::kBeginTxn:
+      return DlfmResponse::FromStatus(ApiBegin(req.txn));
+    case DlfmApi::kLinkFile:
+      return DlfmResponse::FromStatus(ApiLink(req.txn, req));
+    case DlfmApi::kUnlinkFile:
+      return DlfmResponse::FromStatus(ApiUnlink(req.txn, req));
+    case DlfmApi::kPrepare:
+      return DlfmResponse::FromStatus(ApiPrepare(req.txn));
+    case DlfmApi::kCommit:
+      return DlfmResponse::FromStatus(ApiCommit(req.txn));
+    case DlfmApi::kAbort:
+      return DlfmResponse::FromStatus(ApiAbort(req.txn));
+    case DlfmApi::kCreateGroup:
+      return DlfmResponse::FromStatus(ApiCreateGroup(req.txn, req.group_id, req.aux));
+    case DlfmApi::kDeleteGroup:
+      return DlfmResponse::FromStatus(
+          ApiDeleteGroup(req.txn, req.group_id, req.recovery_id));
+    case DlfmApi::kEnsureArchived:
+      return DlfmResponse::FromStatus(
+          ApiEnsureArchived(req.recovery_id, /*timeout=*/5 * 1000 * 1000));
+    case DlfmApi::kRegisterBackup:
+      return DlfmResponse::FromStatus(ApiRegisterBackup(req.aux, req.recovery_id));
+    case DlfmApi::kRestoreToBackup:
+      return DlfmResponse::FromStatus(ApiRestoreToBackup(req.recovery_id));
+    case DlfmApi::kReconcileBegin: {
+      auto session = ApiReconcileBegin();
+      if (!session.ok()) return DlfmResponse::FromStatus(session.status());
+      DlfmResponse r;
+      r.value = *session;
+      return r;
+    }
+    case DlfmApi::kReconcileAddBatch:
+      return DlfmResponse::FromStatus(ApiReconcileAddBatch(req.aux, req.batch));
+    case DlfmApi::kReconcileRun: {
+      auto res = ApiReconcileRun(req.aux);
+      if (!res.ok()) return DlfmResponse::FromStatus(res.status());
+      DlfmResponse r;
+      r.names = std::move(res->first);
+      r.names2 = std::move(res->second);
+      return r;
+    }
+    case DlfmApi::kIsLinked: {
+      DlfmResponse r;
+      r.value = UpcallIsLinked(req.filename) ? 1 : 0;
+      return r;
+    }
+    case DlfmApi::kListIndoubt: {
+      auto ids = ListIndoubt();
+      if (!ids.ok()) return DlfmResponse::FromStatus(ids.status());
+      DlfmResponse r;
+      for (GlobalTxnId id : *ids) r.ids.push_back(static_cast<int64_t>(id));
+      return r;
+    }
+    case DlfmApi::kDisconnect:
+      return DlfmResponse{};
+  }
+  DlfmResponse r;
+  r.code = StatusCode::kInvalidArgument;
+  r.message = "unknown api";
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction context plumbing
+// ---------------------------------------------------------------------------
+
+Result<DlfmServer::TxnCtx*> DlfmServer::GetCtx(GlobalTxnId txn, bool create) {
+  std::lock_guard<std::mutex> lk(ctx_mu_);
+  auto it = ctxs_.find(txn);
+  if (it != ctxs_.end()) return it->second.get();
+  if (!create) return Status::InvalidArgument("no transaction " + std::to_string(txn));
+  auto ctx = std::make_unique<TxnCtx>();
+  TxnCtx* raw = ctx.get();
+  ctxs_[txn] = std::move(ctx);
+  return raw;
+}
+
+void DlfmServer::DropCtx(GlobalTxnId txn) {
+  std::lock_guard<std::mutex> lk(ctx_mu_);
+  ctxs_.erase(txn);
+}
+
+Status DlfmServer::FailCtx(TxnCtx* ctx, Status st) {
+  if (ctx->local != nullptr) {
+    (void)db_->Rollback(ctx->local);
+    ctx->local = nullptr;
+  }
+  ctx->failed = true;
+  return st;
+}
+
+Status DlfmServer::MaybeBatchCommit(GlobalTxnId txn, TxnCtx* ctx) {
+  if (!ctx->is_utility || ctx->ops_since_commit < options_.commit_batch_size) {
+    return Status::OK();
+  }
+  // §4: recognize utility transactions and commit locally after each piece.
+  // The transaction entry is written on the first local commit, marked
+  // in-flight ('F').
+  if (!ctx->txn_row_written) {
+    Status st = repo_.InsertTxn(ctx->local, TxnEntry{static_cast<int64_t>(txn), "F", 0,
+                                                     clock_->NowMicros()});
+    if (!st.ok()) return st.IsTransactionFatal() ? FailCtx(ctx, st) : st;
+    ctx->txn_row_written = true;
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(ctx->local));
+  counters_.batched_local_commits.fetch_add(1);
+  ctx->local = db_->Begin();
+  ctx->ops_since_commit = 0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// 2PC API
+// ---------------------------------------------------------------------------
+
+Status DlfmServer::ApiBegin(GlobalTxnId txn) {
+  DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/true));
+  if (ctx->local == nullptr && !ctx->failed && !ctx->prepared) {
+    ctx->local = db_->Begin();
+  }
+  return Status::OK();
+}
+
+Status DlfmServer::ApiLink(GlobalTxnId txn, const DlfmRequest& req) {
+  DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
+  if (ctx->failed) return Status::Aborted("transaction already failed at DLFM");
+  if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
+  ctx->is_utility = ctx->is_utility || req.utility;
+
+  if (req.in_backout) {
+    // Undo of a LinkFile during host-side (savepoint) rollback: delete the
+    // linked entry this transaction inserted (§3.2).
+    auto n = repo_.BackoutLink(ctx->local, req.filename, static_cast<int64_t>(txn));
+    if (!n.ok()) {
+      return n.status().IsTransactionFatal() ? FailCtx(ctx, n.status()) : n.status();
+    }
+    counters_.backouts.fetch_add(1);
+    return Status::OK();
+  }
+
+  if (!fs_->Exists(req.filename)) {
+    return Status::NotFound("no such file on server: " + req.filename);
+  }
+  // File metadata via the Chown daemon (it is the privileged process).
+  ChownRequest creq;
+  creq.op = ChownRequest::Op::kStat;
+  creq.path = req.filename;
+  auto info = chown_.Call(std::move(creq));
+  if (!info.ok()) return info.status();
+
+  // Link-file check #1: no existing linked entry (at most one linked entry
+  // per file).  The check-and-insert race is closed by the unique index on
+  // (name, check_flag).
+  auto existing = repo_.FindLinked(ctx->local, req.filename);
+  if (!existing.ok()) {
+    return existing.status().IsTransactionFatal() ? FailCtx(ctx, existing.status())
+                                                  : existing.status();
+  }
+  if (existing->has_value()) {
+    return Status::AlreadyExists("file already linked: " + req.filename);
+  }
+
+  // Ensure the file group exists on this server (groups are created lazily
+  // on the first link that references them from this file server).
+  if (req.group_id != 0) {
+    auto grp = repo_.GetGroup(ctx->local, req.group_id);
+    if (!grp.ok()) {
+      return grp.status().IsTransactionFatal() ? FailCtx(ctx, grp.status()) : grp.status();
+    }
+    if (!grp->has_value()) {
+      Status gst = repo_.InsertGroup(
+          ctx->local, GroupEntry{req.group_id, static_cast<int64_t>(RecoveryId::Dbid(
+                                                   req.recovery_id)),
+                                 "A", 0, 0, 0});
+      if (!gst.ok() && !gst.IsConflict()) {
+        return gst.IsTransactionFatal() ? FailCtx(ctx, gst) : gst;
+      }
+    }
+  }
+
+  FileEntry e;
+  e.name = req.filename;
+  e.check_flag = 0;
+  e.state = "L";
+  e.link_txn = static_cast<int64_t>(txn);
+  e.recovery_id = req.recovery_id;
+  e.group_id = req.group_id;
+  e.access = static_cast<int32_t>(req.access);
+  e.recovery_option = req.recovery_option;
+  e.orig_owner = info->owner;
+  e.orig_mode = info->mode;
+  e.link_time = clock_->NowMicros();
+  Status st = repo_.InsertFile(ctx->local, e);
+  if (!st.ok()) {
+    if (st.IsConflict()) {
+      return Status::AlreadyExists("file concurrently linked: " + req.filename);
+    }
+    return st.IsTransactionFatal() ? FailCtx(ctx, st) : st;
+  }
+  counters_.links.fetch_add(1);
+  ++ctx->ops_since_commit;
+  return MaybeBatchCommit(txn, ctx);
+}
+
+Status DlfmServer::ApiUnlink(GlobalTxnId txn, const DlfmRequest& req) {
+  DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
+  if (ctx->failed) return Status::Aborted("transaction already failed at DLFM");
+  if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
+  ctx->is_utility = ctx->is_utility || req.utility;
+
+  if (req.in_backout) {
+    // Undo of an UnlinkFile: restore the entry to linked state (§3.2).
+    auto n = repo_.BackoutUnlink(ctx->local, req.filename, static_cast<int64_t>(txn),
+                                 req.recovery_id);
+    if (!n.ok()) {
+      return n.status().IsTransactionFatal() ? FailCtx(ctx, n.status()) : n.status();
+    }
+    counters_.backouts.fetch_add(1);
+    return Status::OK();
+  }
+
+  auto n = repo_.MarkUnlinked(ctx->local, req.filename, req.recovery_id,
+                              static_cast<int64_t>(txn), clock_->NowMicros());
+  if (!n.ok()) {
+    if (n.status().IsConflict()) {
+      // Re-unlinking with a recovery id that collides with an older unlink
+      // version — surfaced to the host as a constraint error.
+      return Status::Conflict("unlink version collision: " + req.filename);
+    }
+    return n.status().IsTransactionFatal() ? FailCtx(ctx, n.status()) : n.status();
+  }
+  if (*n == 0) return Status::NotFound("file not linked: " + req.filename);
+  counters_.unlinks.fetch_add(1);
+  ++ctx->ops_since_commit;
+  return MaybeBatchCommit(txn, ctx);
+}
+
+Status DlfmServer::ApiCreateGroup(GlobalTxnId txn, int64_t group_id, int64_t dbid) {
+  DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
+  if (ctx->failed) return Status::Aborted("transaction already failed at DLFM");
+  if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
+  Status st = repo_.InsertGroup(ctx->local, GroupEntry{group_id, dbid, "A", 0, 0, 0});
+  if (!st.ok() && st.IsTransactionFatal()) return FailCtx(ctx, st);
+  return st;
+}
+
+Status DlfmServer::ApiDeleteGroup(GlobalTxnId txn, int64_t group_id, int64_t del_rec_id) {
+  DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
+  if (ctx->failed) return Status::Aborted("transaction already failed at DLFM");
+  if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
+  // Forward progress only marks the group deleted; the files are unlinked
+  // asynchronously by the Delete Group daemon after commit (§3.5).
+  auto n = repo_.MarkGroupDeleted(ctx->local, group_id, static_cast<int64_t>(txn),
+                                  del_rec_id);
+  if (!n.ok()) {
+    return n.status().IsTransactionFatal() ? FailCtx(ctx, n.status()) : n.status();
+  }
+  if (*n == 0) return Status::NotFound("no active group " + std::to_string(group_id));
+  ++ctx->groups_deleted;
+  return Status::OK();
+}
+
+Status DlfmServer::ApiPrepare(GlobalTxnId txn) {
+  DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
+  if (ctx->failed) return Status::Aborted("transaction failed before prepare");
+  if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
+
+  // The transaction entry is not written until Prepare (§3.3) — except for
+  // batched-commit utilities, whose in-flight entry is upgraded here.
+  Status st;
+  if (ctx->txn_row_written) {
+    auto del = repo_.DeleteTxn(ctx->local, static_cast<int64_t>(txn));
+    st = del.ok() ? Status::OK() : del.status();
+  }
+  if (st.ok()) {
+    st = repo_.InsertTxn(ctx->local, TxnEntry{static_cast<int64_t>(txn), "P",
+                                              ctx->groups_deleted, clock_->NowMicros()});
+  }
+  if (!st.ok()) {
+    (void)FailCtx(ctx, st);
+    return st;
+  }
+  // Standard SQL has no 2PC with the application: harden everything now by
+  // committing the local database transaction (§4 "changes to metadata are
+  // hardened during the prepare phase").
+  st = db_->Commit(ctx->local);
+  ctx->local = nullptr;
+  if (!st.ok()) {
+    ctx->failed = true;
+    return st;
+  }
+  ctx->prepared = true;
+  counters_.prepares.fetch_add(1);
+  return Status::OK();
+}
+
+Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked,
+                                 std::vector<FileEntry>* released) {
+  linked->clear();
+  released->clear();
+  Transaction* t = db_->Begin();
+  auto fail = [&](Status st) {
+    (void)db_->Rollback(t);
+    return st;
+  };
+
+  auto txn_row = repo_.GetTxn(t, static_cast<int64_t>(txn));
+  if (!txn_row.ok()) return fail(txn_row.status());
+  if (!txn_row->has_value()) {
+    // Already committed (idempotent redelivery after a crash).
+    return db_->Commit(t);
+  }
+  const int64_t ngroups = (*txn_row)->ngroups;
+
+  auto linked_r = repo_.LinkedByTxn(t, static_cast<int64_t>(txn));
+  if (!linked_r.ok()) return fail(linked_r.status());
+  *linked = std::move(*linked_r);
+  for (const FileEntry& e : *linked) {
+    if (e.recovery_option) {
+      Status st = repo_.InsertArchive(
+          t, ArchiveEntry{e.name, e.recovery_id, "P", 0, static_cast<int64_t>(txn)});
+      if (st.IsConflict()) continue;  // re-run after crash: entry already there
+      if (!st.ok()) return fail(st);
+    }
+  }
+
+  auto unlinked_r = repo_.UnlinkedByTxn(t, static_cast<int64_t>(txn));
+  if (!unlinked_r.ok()) return fail(unlinked_r.status());
+  *released = std::move(*unlinked_r);
+  for (const FileEntry& e : *released) {
+    if (!e.recovery_option) {
+      // No point-in-time recovery: the unlinked entry is deleted in the
+      // second phase of commit — not earlier, because we could not undo the
+      // delete if the outcome after phase 1 were abort (§3.2).
+      auto n = repo_.DeleteFileVersion(t, e.name, e.check_flag);
+      if (!n.ok()) return fail(n.status());
+    }
+  }
+
+  if (ngroups > 0) {
+    auto n = repo_.UpdateTxnState(t, static_cast<int64_t>(txn), "C");
+    if (!n.ok()) return fail(n.status());
+  } else {
+    auto n = repo_.DeleteTxn(t, static_cast<int64_t>(txn));
+    if (!n.ok()) return fail(n.status());
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(t));
+  if (ngroups > 0) {
+    std::lock_guard<std::mutex> lk(dg_mu_);
+    dg_queue_.push_back(txn);
+    dg_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status DlfmServer::ApiCommit(GlobalTxnId txn) {
+  // Phase 2.  Unlike SQL commit, this acquires NEW locks in the local
+  // database (Fig. 4), so deadlock/timeout is possible; since the outcome
+  // of a transaction cannot change in phase 2, we retry until it succeeds.
+  if (options_.phase2_start_delay_micros > 0) {
+    clock_->SleepForMicros(options_.phase2_start_delay_micros);
+  }
+  std::vector<FileEntry> linked, released;
+  int attempts = 0;
+  while (true) {
+    Status st = CommitAttempt(txn, &linked, &released);
+    if (st.ok()) break;
+    if (!st.IsTransactionFatal()) return st;
+    counters_.commit_retries.fetch_add(1);
+    if (++attempts > options_.max_phase2_retries) {
+      return Status::Busy("phase-2 commit retries exhausted: " + st.ToString());
+    }
+    clock_->SleepForMicros(options_.retry_backoff_micros);
+  }
+  // Filesystem work happens after the metadata commit; the operations are
+  // idempotent so redelivery after a crash is safe.
+  ApplyTakeovers(linked);
+  ApplyReleases(released);
+  DropCtx(txn);
+  counters_.commits.fetch_add(1);
+  return Status::OK();
+}
+
+Status DlfmServer::AbortAttempt(GlobalTxnId txn) {
+  Transaction* t = db_->Begin();
+  auto fail = [&](Status st) {
+    (void)db_->Rollback(t);
+    return st;
+  };
+  // Delete linked entries inserted by this transaction, restore entries it
+  // unlinked, then delete again: the second pass removes entries that were
+  // both linked and unlinked within the same transaction (they come back to
+  // check_flag 0 in the restore step but were never linked before it).
+  auto n = repo_.DeleteLinkedByTxn(t, static_cast<int64_t>(txn));
+  if (!n.ok()) return fail(n.status());
+  auto unlinked = repo_.UnlinkedByTxn(t, static_cast<int64_t>(txn));
+  if (!unlinked.ok()) return fail(unlinked.status());
+  for (const FileEntry& e : *unlinked) {
+    auto r = repo_.RelinkVersion(t, e.name, e.check_flag);
+    if (!r.ok()) {
+      if (r.status().IsConflict()) continue;  // someone re-linked the name meanwhile
+      return fail(r.status());
+    }
+  }
+  n = repo_.DeleteLinkedByTxn(t, static_cast<int64_t>(txn));
+  if (!n.ok()) return fail(n.status());
+  n = repo_.RestoreGroupsByTxn(t, static_cast<int64_t>(txn));
+  if (!n.ok()) return fail(n.status());
+  n = repo_.DeleteTxn(t, static_cast<int64_t>(txn));
+  if (!n.ok()) return fail(n.status());
+  return db_->Commit(t);
+}
+
+Status DlfmServer::ApiAbort(GlobalTxnId txn) {
+  {
+    std::lock_guard<std::mutex> lk(ctx_mu_);
+    auto it = ctxs_.find(txn);
+    if (it != ctxs_.end() && !it->second->prepared && !it->second->txn_row_written) {
+      // Before prepare and with no batched local commits: the local
+      // database's own rollback undoes everything.
+      if (it->second->local != nullptr) (void)db_->Rollback(it->second->local);
+      ctxs_.erase(it);
+      counters_.aborts.fetch_add(1);
+      return Status::OK();
+    }
+    if (it != ctxs_.end() && it->second->local != nullptr) {
+      // Batched-commit utility: roll back the open piece, then compensate
+      // for the committed pieces below.
+      (void)db_->Rollback(it->second->local);
+      it->second->local = nullptr;
+    }
+  }
+  // Abort after prepare (or after batched local commits): compensation via
+  // the delayed-update scheme — "change these records back to normal state
+  // from the deleted state" (§4).  Retries like commit.
+  int attempts = 0;
+  while (true) {
+    Status st = AbortAttempt(txn);
+    if (st.ok()) break;
+    if (!st.IsTransactionFatal()) return st;
+    counters_.abort_retries.fetch_add(1);
+    if (++attempts > options_.max_phase2_retries) {
+      return Status::Busy("phase-2 abort retries exhausted: " + st.ToString());
+    }
+    clock_->SleepForMicros(options_.retry_backoff_micros);
+  }
+  DropCtx(txn);
+  counters_.aborts.fetch_add(1);
+  return Status::OK();
+}
+
+void DlfmServer::ApplyTakeovers(const std::vector<FileEntry>& linked) {
+  for (const FileEntry& e : linked) {
+    if (e.access == static_cast<int32_t>(AccessControl::kNone)) continue;
+    ChownRequest req;
+    req.op = ChownRequest::Op::kTakeover;
+    req.path = e.name;
+    req.full_control = e.access == static_cast<int32_t>(AccessControl::kFull);
+    if (req.full_control) {
+      (void)chown_.Call(std::move(req));
+      counters_.takeovers.fetch_add(1);
+    }
+    // Partial control: no filesystem change; DLFF upcalls enforce existence.
+  }
+}
+
+void DlfmServer::ApplyReleases(const std::vector<FileEntry>& released) {
+  for (const FileEntry& e : released) {
+    if (e.access != static_cast<int32_t>(AccessControl::kFull)) continue;
+    if (!fs_->Exists(e.name)) continue;
+    ChownRequest req;
+    req.op = ChownRequest::Op::kRelease;
+    req.path = e.name;
+    req.owner = e.orig_owner;
+    req.mode = e.orig_mode;
+    (void)chown_.Call(std::move(req));
+    counters_.releases.fetch_add(1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemons
+// ---------------------------------------------------------------------------
+
+void DlfmServer::CopyLoop() {
+  while (running_.load()) {
+    Transaction* t = db_->Begin();
+    auto pending = repo_.PendingArchives(t);
+    if (!pending.ok()) {
+      (void)db_->Rollback(t);
+      clock_->SleepForMicros(1000);
+      continue;
+    }
+    if (pending->empty()) {
+      (void)db_->Commit(t);
+      clock_->SleepForMicros(1000);
+      continue;
+    }
+    // High-priority entries first (backup barrier boosts them, §3.4).
+    std::stable_sort(pending->begin(), pending->end(),
+                     [](const ArchiveEntry& a, const ArchiveEntry& b) {
+                       return a.priority > b.priority;
+                     });
+    size_t n = std::min(pending->size(), options_.copy_batch);
+    bool failed = false;
+    for (size_t i = 0; i < n && !failed; ++i) {
+      const ArchiveEntry& e = (*pending)[i];
+      auto content = fs_->ReadRaw(e.name);
+      if (content.ok()) {
+        if (options_.archive_latency_micros > 0) {
+          clock_->SleepForMicros(options_.archive_latency_micros);
+        }
+        (void)archive_->Store(
+            archive::ArchiveKey{options_.server_name, e.name, e.recovery_id},
+            std::move(*content));
+      }
+      auto del = repo_.DeleteArchive(t, e.name, e.recovery_id);
+      if (!del.ok()) {
+        failed = true;  // deadlock with a child agent (§3.4); retry next round
+        break;
+      }
+      counters_.files_archived.fetch_add(1);
+    }
+    if (failed) {
+      (void)db_->Rollback(t);
+    } else {
+      (void)db_->Commit(t);
+    }
+  }
+}
+
+void DlfmServer::DeleteGroupLoop() {
+  while (true) {
+    GlobalTxnId txn = 0;
+    {
+      std::unique_lock<std::mutex> lk(dg_mu_);
+      dg_cv_.wait(lk, [&] { return !running_.load() || !dg_queue_.empty(); });
+      if (!running_.load()) return;
+      txn = dg_queue_.front();
+      dg_queue_.pop_front();
+      ++dg_in_progress_;
+    }
+    (void)ProcessDeleteGroupTxn(txn);
+    {
+      std::lock_guard<std::mutex> lk(dg_mu_);
+      --dg_in_progress_;
+    }
+  }
+}
+
+Status DlfmServer::ProcessDeleteGroupTxn(GlobalTxnId txn) {
+  // "Using the transaction id the Delete Group daemon finds all the groups
+  // deleted in that transaction and then unlinks all the files in each
+  // group" — with periodic local commits so one huge group cannot blow the
+  // log (§4).
+  Transaction* t = db_->Begin();
+  auto groups = repo_.GroupsDeletedByTxn(t, static_cast<int64_t>(txn));
+  (void)db_->Commit(t);
+  if (!groups.ok()) return groups.status();
+
+  for (const GroupEntry& g : *groups) {
+    while (running_.load()) {
+      t = db_->Begin();
+      auto files = repo_.LinkedByGroup(t, g.group_id);
+      if (!files.ok()) {
+        (void)db_->Rollback(t);
+        clock_->SleepForMicros(options_.retry_backoff_micros);
+        continue;
+      }
+      if (files->empty()) {
+        const int64_t expiry = clock_->NowMicros() + options_.group_lifetime_micros;
+        (void)repo_.SetGroupState(t, g.group_id, "G", expiry);
+        (void)db_->Commit(t);
+        break;
+      }
+      const size_t batch = std::min(files->size(), options_.commit_batch_size);
+      bool failed = false;
+      std::vector<FileEntry> released;
+      for (size_t i = 0; i < batch; ++i) {
+        const FileEntry& e = (*files)[i];
+        Status st;
+        if (e.recovery_option) {
+          auto n = repo_.MarkUnlinked(t, e.name, g.del_rec_id, static_cast<int64_t>(txn),
+                                      clock_->NowMicros());
+          st = n.ok() ? Status::OK() : n.status();
+        } else {
+          auto n = repo_.DeleteFileVersion(t, e.name, 0);
+          st = n.ok() ? Status::OK() : n.status();
+        }
+        if (!st.ok() && st.IsTransactionFatal()) {
+          failed = true;
+          break;
+        }
+        released.push_back(e);
+      }
+      if (failed) {
+        (void)db_->Rollback(t);
+        clock_->SleepForMicros(options_.retry_backoff_micros);
+        continue;
+      }
+      // Periodic commit after each piece (§4).
+      if (!db_->Commit(t).ok()) continue;
+      counters_.batched_local_commits.fetch_add(1);
+      ApplyReleases(released);
+    }
+    counters_.groups_deleted.fetch_add(1);
+  }
+
+  // All groups processed: retire the transaction entry.
+  while (running_.load()) {
+    t = db_->Begin();
+    auto n = repo_.DeleteTxn(t, static_cast<int64_t>(txn));
+    if (n.ok() && db_->Commit(t).ok()) break;
+    (void)db_->Rollback(t);
+    clock_->SleepForMicros(options_.retry_backoff_micros);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Upcalls, indoubt, GC, backup coordination
+// ---------------------------------------------------------------------------
+
+bool DlfmServer::UpcallIsLinked(const std::string& path) {
+  counters_.upcalls.fetch_add(1);
+  return repo_.IsLinkedUR(path);
+}
+
+Result<std::vector<GlobalTxnId>> DlfmServer::ListIndoubt() {
+  Transaction* t = db_->Begin();
+  auto rows = repo_.TxnsInState(t, "P");
+  Status cs = db_->Commit(t);
+  if (!rows.ok()) return rows.status();
+  DLX_RETURN_IF_ERROR(cs);
+  std::vector<GlobalTxnId> out;
+  for (const TxnEntry& e : *rows) out.push_back(static_cast<GlobalTxnId>(e.txn_id));
+  return out;
+}
+
+Status DlfmServer::ApiEnsureArchived(int64_t cut_recovery_id, int64_t timeout_micros) {
+  // Backup barrier (§3.4): every file linked up to the cut must have its
+  // archive copy before the host declares the backup successful.  Pending
+  // copies get their priority boosted so the Copy daemon drains them first.
+  const int64_t deadline = clock_->NowMicros() + timeout_micros;
+  while (true) {
+    Transaction* t = db_->Begin();
+    auto pending = repo_.PendingArchives(t);
+    if (pending.ok()) {
+      bool any = false;
+      for (const ArchiveEntry& e : *pending) {
+        if (e.recovery_id <= cut_recovery_id) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        (void)db_->Commit(t);
+        return Status::OK();
+      }
+      (void)repo_.BoostAllPending(t);
+      (void)db_->Commit(t);
+    } else {
+      (void)db_->Rollback(t);
+    }
+    if (clock_->NowMicros() > deadline) {
+      return Status::Busy("archive copies still pending past deadline");
+    }
+    clock_->SleepForMicros(1000);
+  }
+}
+
+Status DlfmServer::ApiRegisterBackup(int64_t backup_id, int64_t cut_recovery_id) {
+  Transaction* t = db_->Begin();
+  Status st = repo_.InsertBackup(t, BackupEntry{backup_id, cut_recovery_id,
+                                                clock_->NowMicros()});
+  if (st.IsConflict()) st = Status::OK();  // re-registration is idempotent
+  if (!st.ok()) {
+    (void)db_->Rollback(t);
+    return st;
+  }
+  return db_->Commit(t);
+}
+
+Status DlfmServer::ApiRestoreToBackup(int64_t cut) {
+  Transaction* t = db_->Begin();
+  auto fail = [&](Status st) {
+    (void)db_->Rollback(t);
+    return st;
+  };
+  auto all = repo_.AllFiles(t);
+  if (!all.ok()) return fail(all.status());
+
+  std::vector<FileEntry> released;
+  // Pass 1: files linked AFTER the backup cut are removed from linked state
+  // (§3.4: "files that are linked after the backup are removed").
+  for (const FileEntry& e : *all) {
+    if (e.state == "L" && e.check_flag == 0 && e.recovery_id > cut) {
+      auto n = repo_.DeleteFileVersion(t, e.name, 0);
+      if (!n.ok()) return fail(n.status());
+      released.push_back(e);
+    }
+  }
+  // Pass 2: files linked before the cut and unlinked after it are restored
+  // to linked state; the Retrieve daemon fetches content if missing.
+  std::map<std::string, const FileEntry*> best;  // name -> best restorable version
+  for (const FileEntry& e : *all) {
+    if (e.state == "U" && e.recovery_id <= cut && e.check_flag > cut) {
+      auto [it, inserted] = best.emplace(e.name, &e);
+      if (!inserted && e.recovery_id > it->second->recovery_id) it->second = &e;
+    }
+  }
+  std::vector<FileEntry> relinked;
+  for (const auto& [name, e] : best) {
+    auto n = repo_.RelinkVersion(t, name, e->check_flag);
+    if (!n.ok()) {
+      if (n.status().IsConflict()) continue;
+      return fail(n.status());
+    }
+    relinked.push_back(*e);
+  }
+  // Pass 3: files that stayed linked across the restore window but are
+  // missing from the file system (disk loss) also need their content back
+  // ("DLFM may need to retrieve files from the archive server ... if the
+  // linked files are not present in the file system").
+  for (const FileEntry& e : *all) {
+    if (e.state == "L" && e.check_flag == 0 && e.recovery_id <= cut &&
+        e.recovery_option && !fs_->Exists(e.name)) {
+      relinked.push_back(e);
+    }
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(t));
+
+  // Filesystem reconciliation outside the metadata transaction.
+  ApplyReleases(released);
+  for (const FileEntry& e : relinked) {
+    if (!fs_->Exists(e.name)) {
+      auto content =
+          archive_->Retrieve(archive::ArchiveKey{options_.server_name, e.name, e.recovery_id});
+      if (content.ok()) {
+        (void)fs_->WriteRaw(e.name, e.orig_owner, static_cast<uint32_t>(e.orig_mode),
+                            std::move(*content));
+        counters_.files_retrieved.fetch_add(1);
+      }
+    }
+  }
+  ApplyTakeovers(relinked);
+  return Status::OK();
+}
+
+Status DlfmServer::RunGarbageCollection() {
+  Transaction* t = db_->Begin();
+  auto fail = [&](Status st) {
+    (void)db_->Rollback(t);
+    return st;
+  };
+  // Backup-driven cleanup: keep the last N backups' worth of unlinked
+  // entries; everything unlinked before the oldest kept cut is dead weight.
+  auto backups = repo_.AllBackups(t);
+  if (!backups.ok()) return fail(backups.status());
+  std::sort(backups->begin(), backups->end(),
+            [](const BackupEntry& a, const BackupEntry& b) { return a.backup_id < b.backup_id; });
+  if (static_cast<int>(backups->size()) > options_.keep_backups) {
+    const size_t first_kept = backups->size() - static_cast<size_t>(options_.keep_backups);
+    const int64_t oldest_kept_cut = (*backups)[first_kept].cut_recovery_id;
+    auto unlinked = repo_.AllInState(t, "U");
+    if (!unlinked.ok()) return fail(unlinked.status());
+    for (const FileEntry& e : *unlinked) {
+      if (e.check_flag <= oldest_kept_cut) {
+        auto n = repo_.DeleteFileVersion(t, e.name, e.check_flag);
+        if (!n.ok()) return fail(n.status());
+        (void)archive_->Remove(
+            archive::ArchiveKey{options_.server_name, e.name, e.recovery_id});
+        counters_.gc_removed_entries.fetch_add(1);
+      }
+    }
+    for (size_t i = 0; i < first_kept; ++i) {
+      auto n = repo_.DeleteBackup(t, (*backups)[i].backup_id);
+      if (!n.ok()) return fail(n.status());
+    }
+  }
+  // Expired deleted groups: remove group entries and their remaining
+  // unlinked file entries + archive copies.
+  auto garbage = repo_.GroupsInState(t, "G");
+  if (!garbage.ok()) return fail(garbage.status());
+  const int64_t now = clock_->NowMicros();
+  for (const GroupEntry& g : *garbage) {
+    if (g.expiry > now) continue;
+    auto all = repo_.AllInState(t, "U");
+    if (!all.ok()) return fail(all.status());
+    for (const FileEntry& e : *all) {
+      if (e.group_id != g.group_id) continue;
+      auto n = repo_.DeleteFileVersion(t, e.name, e.check_flag);
+      if (!n.ok()) return fail(n.status());
+      (void)archive_->Remove(
+          archive::ArchiveKey{options_.server_name, e.name, e.recovery_id});
+      counters_.gc_removed_entries.fetch_add(1);
+    }
+    auto n = repo_.DeleteGroupRow(t, g.group_id);
+    if (!n.ok()) return fail(n.status());
+  }
+  return db_->Commit(t);
+}
+
+Status DlfmServer::WaitArchiveDrained(int64_t timeout_micros) {
+  const int64_t deadline = clock_->NowMicros() + timeout_micros;
+  while (clock_->NowMicros() < deadline) {
+    Transaction* t = db_->Begin();
+    auto pending = repo_.PendingArchives(t);
+    (void)db_->Commit(t);
+    if (pending.ok() && pending->empty()) return Status::OK();
+    clock_->SleepForMicros(1000);
+  }
+  return Status::Busy("archive backlog not drained");
+}
+
+Status DlfmServer::WaitGroupWorkDrained(int64_t timeout_micros) {
+  const int64_t deadline = clock_->NowMicros() + timeout_micros;
+  while (clock_->NowMicros() < deadline) {
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lk(dg_mu_);
+      idle = dg_queue_.empty() && dg_in_progress_ == 0;
+    }
+    if (idle) return Status::OK();
+    clock_->SleepForMicros(1000);
+  }
+  return Status::Busy("delete-group backlog not drained");
+}
+
+Status DlfmServer::CheckAndRepairStats() {
+  if (!repo_.StatsLookClobbered()) return Status::OK();
+  // §4: "additional logic is put into DLFM to check for changes in metadata
+  // statistics and re-invoke the utility to reset statistics and rebind
+  // plans if necessary."
+  DLX_RETURN_IF_ERROR(repo_.ApplyHandCraftedStats());
+  counters_.stats_watchdog_rebinds.fetch_add(1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reconcile
+// ---------------------------------------------------------------------------
+
+Result<int64_t> DlfmServer::ApiReconcileBegin() {
+  std::lock_guard<std::mutex> lk(recon_mu_);
+  const int64_t session = next_recon_session_++;
+  sqldb::TableSchema s;
+  s.name = "recon_tmp_" + std::to_string(session);
+  s.columns = {{"name", sqldb::ValueType::kString, false},
+               {"recovery_id", sqldb::ValueType::kInt, false}};
+  DLX_ASSIGN_OR_RETURN(sqldb::TableId tid, db_->CreateTable(s));
+  recon_sessions_[session] = tid;
+  return session;
+}
+
+Status DlfmServer::ApiReconcileAddBatch(
+    int64_t session, const std::vector<std::pair<std::string, int64_t>>& rows) {
+  sqldb::TableId tid;
+  {
+    std::lock_guard<std::mutex> lk(recon_mu_);
+    auto it = recon_sessions_.find(session);
+    if (it == recon_sessions_.end()) return Status::NotFound("no reconcile session");
+    tid = it->second;
+  }
+  Transaction* t = db_->Begin();
+  for (const auto& [name, rec] : rows) {
+    Status st = db_->Insert(t, tid, sqldb::Row{Value(name), Value(rec)});
+    if (!st.ok()) {
+      (void)db_->Rollback(t);
+      return st;
+    }
+  }
+  return db_->Commit(t);
+}
+
+Result<std::pair<std::vector<std::string>, std::vector<std::string>>>
+DlfmServer::ApiReconcileRun(int64_t session) {
+  sqldb::TableId tid;
+  {
+    std::lock_guard<std::mutex> lk(recon_mu_);
+    auto it = recon_sessions_.find(session);
+    if (it == recon_sessions_.end()) return Status::NotFound("no reconcile session");
+    tid = it->second;
+  }
+  Transaction* t = db_->Begin();
+  auto fail = [&](Status st) {
+    (void)db_->Rollback(t);
+    return st;
+  };
+
+  auto host_rows = db_->Select(t, tid, {});
+  if (!host_rows.ok()) return fail(host_rows.status());
+  std::map<std::string, int64_t> host;  // name -> recovery id
+  for (const sqldb::Row& r : *host_rows) host[r[0].as_string()] = r[1].as_int();
+
+  auto all = repo_.AllFiles(t);
+  if (!all.ok()) return fail(all.status());
+  std::map<std::string, FileEntry> linked;
+  for (const FileEntry& e : *all) {
+    if (e.state == "L" && e.check_flag == 0) linked[e.name] = e;
+  }
+
+  // The set differences (the paper's EXCEPT between temp table and File
+  // table).  host_only: referenced by the host database but not linked here
+  // — relink if the file still exists, else report so the host can null the
+  // column.  dlfm_only: linked here but not referenced — unlink.
+  std::vector<std::string> host_only, dlfm_only;
+  std::vector<FileEntry> released;
+  for (const auto& [name, rec] : host) {
+    auto it = linked.find(name);
+    if (it != linked.end()) {
+      // Referenced and linked — but the file itself may have vanished from
+      // the file system (disk loss).  Then the link is meaningless: drop the
+      // metadata entry and tell the host to null the reference.
+      if (!fs_->Exists(name)) {
+        auto n = repo_.DeleteFileVersion(t, name, 0);
+        if (!n.ok()) return fail(n.status());
+        host_only.push_back(name);
+      }
+      continue;
+    }
+    if (!fs_->Exists(name)) {
+      // Unfixable: the host must null out the dangling reference.
+      host_only.push_back(name);
+    } else {
+      auto info = fs_->Stat(name);
+      FileEntry e;
+      e.name = name;
+      e.check_flag = 0;
+      e.state = "L";
+      e.link_txn = 0;
+      e.recovery_id = rec;
+      e.group_id = 0;
+      e.access = static_cast<int32_t>(AccessControl::kNone);
+      e.recovery_option = false;
+      e.orig_owner = info.ok() ? info->owner : "unknown";
+      e.orig_mode = info.ok() ? info->mode : 0644;
+      e.link_time = clock_->NowMicros();
+      Status st = repo_.InsertFile(t, e);
+      if (!st.ok() && !st.IsConflict()) return fail(st);
+    }
+  }
+  for (const auto& [name, e] : linked) {
+    if (host.count(name) != 0) continue;
+    dlfm_only.push_back(name);
+    auto n = repo_.DeleteFileVersion(t, name, 0);
+    if (!n.ok()) return fail(n.status());
+    released.push_back(e);
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(t));
+  ApplyReleases(released);
+
+  {
+    std::lock_guard<std::mutex> lk(recon_mu_);
+    recon_sessions_.erase(session);
+  }
+  (void)db_->DropTable(tid);
+  return std::make_pair(std::move(host_only), std::move(dlfm_only));
+}
+
+}  // namespace datalinks::dlfm

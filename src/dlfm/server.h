@@ -1,0 +1,293 @@
+// DataLinks File Manager (DLFM) — the paper's core contribution.
+//
+// A DLFM instance lives next to one file server.  It is a concurrent
+// server: a main daemon accepts connections from host-database agents and
+// spawns a child agent (thread) per connection; a set of service daemons
+// (Chown, Copy, Retrieve, Garbage Collector, Delete Group, Upcall) run
+// alongside (§3.5).  All DLFM metadata lives in a local SQL database used
+// strictly through the statement API ("DLFM treats the DB2 as a black
+// box"), and transactional semantics with the host database are provided
+// by a 2PC participant implemented *above* that black box via the
+// delayed-update scheme (§4):
+//
+//   - link inserts a File-table row; unlink marks the row unlinked
+//     (check_flag = unlink recovery id) instead of deleting it;
+//   - Prepare writes the Transaction-table entry and issues a local COMMIT
+//     (standard SQL has no 2PC between application and database, so the
+//     changes are hardened here);
+//   - phase-2 Commit physically deletes rows marked for deletion, enqueues
+//     archive copies and file takeovers; phase-2 Abort compensates by
+//     deleting rows the transaction inserted and restoring rows it marked;
+//   - both phase-2 paths acquire new locks in the local database and
+//     therefore can deadlock or time out — they retry until they succeed
+//     (Fig. 4 discussion).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "archive/archive_server.h"
+#include "common/clock.h"
+#include "dlfm/api.h"
+#include "dlfm/metadata.h"
+#include "fsim/file_server.h"
+#include "rpc/channel.h"
+#include "sqldb/database.h"
+
+namespace datalinks::dlfm {
+
+struct DlfmOptions {
+  std::string server_name = "fileserver1";
+
+  /// The paper disabled next-key locking in the DLFM's local database to
+  /// kill the multi-index deadlocks (§3.2.1, §4).  Default reflects the
+  /// production setting; benches flip it to reproduce the problem.
+  bool next_key_locking = false;
+
+  /// Hand-craft catalog statistics before binding (the §3.2.1 fix).  When
+  /// false, freshly created tables carry cardinality 0 and the optimizer
+  /// favours table scans — the "havoc" configuration.
+  bool hand_crafted_stats = true;
+
+  /// Lock timeout inside the local database.  The paper used 60 s; scaled.
+  int64_t lock_timeout_micros = 200 * 1000;
+
+  /// Batched local commits for utility transactions and daemons (commit
+  /// every N records, §4).
+  size_t commit_batch_size = 100;
+
+  /// Retry backoff for phase-2 commit/abort retries.
+  int64_t retry_backoff_micros = 1000;
+  int max_phase2_retries = 10000;
+
+  /// Fault-injection hook: delay before phase-2 commit processing starts.
+  /// Used by the E5 bench to widen the window in which the child agent is
+  /// "still doing the commit processing" (§4's distributed-deadlock
+  /// scenario) so the schedule is deterministic.  0 in production.
+  int64_t phase2_start_delay_micros = 0;
+
+  size_t lock_escalation_threshold = 4000;
+  size_t lock_list_capacity = 200000;
+  size_t log_capacity_bytes = 8ull << 20;
+
+  /// Keep the last N host-database backups' worth of unlinked entries (§3).
+  int keep_backups = 2;
+  /// Lifetime of a deleted group before the GC reaps it.
+  int64_t group_lifetime_micros = 0;  // 0 = immediately reapable
+
+  /// Copy daemon batch per local transaction.
+  size_t copy_batch = 4;
+
+  /// Simulated archive-server store latency.  The Copy daemon performs the
+  /// store inside its local transaction, so latency widens the window in
+  /// which it holds Archive-table locks against committing child agents —
+  /// the §3.4 contention the paper hit.
+  int64_t archive_latency_micros = 0;
+
+  std::shared_ptr<Clock> clock;
+};
+
+struct DlfmCounters {
+  std::atomic<uint64_t> links{0}, unlinks{0}, backouts{0};
+  std::atomic<uint64_t> prepares{0}, commits{0}, aborts{0};
+  std::atomic<uint64_t> commit_retries{0}, abort_retries{0};
+  std::atomic<uint64_t> batched_local_commits{0};
+  std::atomic<uint64_t> files_archived{0}, files_retrieved{0};
+  std::atomic<uint64_t> upcalls{0};
+  std::atomic<uint64_t> groups_deleted{0}, gc_removed_entries{0};
+  std::atomic<uint64_t> takeovers{0}, releases{0};
+  std::atomic<uint64_t> stats_watchdog_rebinds{0};
+};
+
+// ---------------------------------------------------------------------------
+// Chown daemon: the only component with superuser privilege.  Child agents
+// authenticate with a shared secret (§3.5).
+// ---------------------------------------------------------------------------
+
+struct ChownRequest {
+  enum class Op : uint8_t { kStat, kTakeover, kRelease } op = Op::kStat;
+  std::string path;
+  std::string owner;   // kRelease: owner to restore
+  int64_t mode = 0644; // kRelease: mode to restore
+  bool full_control = false;
+  std::string auth;    // shared secret
+};
+
+struct ChownResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  fsim::FileInfo info;
+  Status ToStatus() const {
+    return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+  }
+};
+
+class ChownDaemon {
+ public:
+  ChownDaemon(fsim::FileServer* fs, std::string secret);
+  ~ChownDaemon();
+
+  void Start();
+  void Stop();
+
+  /// Client call used by child agents (synchronous, authenticated).
+  Result<fsim::FileInfo> Call(ChownRequest req);
+
+  const std::string& secret() const { return secret_; }
+
+ private:
+  void Run();
+  ChownResponse Handle(const ChownRequest& req);
+
+  fsim::FileServer* fs_;
+  const std::string secret_;
+  rpc::Connection<ChownRequest, ChownResponse> conn_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+// ---------------------------------------------------------------------------
+// DlfmServer
+// ---------------------------------------------------------------------------
+
+class DlfmServer {
+ public:
+  /// `durable` re-opens a crashed DLFM's local database (indoubt txns etc).
+  DlfmServer(DlfmOptions options, fsim::FileServer* fs, archive::ArchiveServer* archive,
+             std::shared_ptr<sqldb::DurableStore> durable = {});
+  ~DlfmServer();
+
+  Status Start();
+  void Stop();
+
+  /// Crash simulation: stop everything abruptly (in-flight local state is
+  /// discarded) and return the durable store for re-construction.
+  std::shared_ptr<sqldb::DurableStore> SimulateCrash();
+
+  DlfmListener* listener() { return &listener_; }
+  const DlfmOptions& options() const { return options_; }
+  DlfmCounters& counters() { return counters_; }
+  sqldb::Database* local_db() { return db_.get(); }
+  MetadataRepo& repo() { return repo_; }
+
+  /// The Upcall daemon's service function (wired into the DLFF).
+  bool UpcallIsLinked(const std::string& path);
+
+  /// Prepared-but-unresolved transactions (host restart resolves these).
+  Result<std::vector<GlobalTxnId>> ListIndoubt();
+
+  /// Garbage Collector: one pass (also runs periodically if started).
+  Status RunGarbageCollection();
+
+  /// Wait until the Copy daemon has drained all pending archive entries.
+  Status WaitArchiveDrained(int64_t timeout_micros);
+
+  /// Block until the Delete Group daemon has no pending work.
+  Status WaitGroupWorkDrained(int64_t timeout_micros);
+
+  /// §4 stats watchdog: detect clobbered statistics, re-apply and rebind.
+  Status CheckAndRepairStats();
+
+  // --- API entry points (called by child agents; public for direct-embed
+  // use and unit tests) ------------------------------------------------------
+  Status ApiBegin(GlobalTxnId txn);
+  Status ApiLink(GlobalTxnId txn, const DlfmRequest& req);
+  Status ApiUnlink(GlobalTxnId txn, const DlfmRequest& req);
+  Status ApiPrepare(GlobalTxnId txn);
+  Status ApiCommit(GlobalTxnId txn);
+  Status ApiAbort(GlobalTxnId txn);
+  Status ApiCreateGroup(GlobalTxnId txn, int64_t group_id, int64_t dbid);
+  Status ApiDeleteGroup(GlobalTxnId txn, int64_t group_id, int64_t del_rec_id);
+  Status ApiEnsureArchived(int64_t cut_recovery_id, int64_t timeout_micros);
+  Status ApiRegisterBackup(int64_t backup_id, int64_t cut_recovery_id);
+  Status ApiRestoreToBackup(int64_t cut_recovery_id);
+  Result<int64_t> ApiReconcileBegin();
+  Status ApiReconcileAddBatch(int64_t session,
+                              const std::vector<std::pair<std::string, int64_t>>& rows);
+  /// Runs the reconcile set-difference; returns (host_only names fixed or
+  /// reported, dlfm_only names unlinked).
+  Result<std::pair<std::vector<std::string>, std::vector<std::string>>> ApiReconcileRun(
+      int64_t session);
+
+ private:
+  struct TxnCtx {
+    sqldb::Transaction* local = nullptr;  // active local transaction
+    bool prepared = false;
+    bool failed = false;       // fatal local error; host must abort
+    bool is_utility = false;
+    size_t ops_since_commit = 0;
+    int64_t groups_deleted = 0;
+    bool txn_row_written = false;  // 'F' row exists (batched-commit utility)
+  };
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<DlfmConnection> conn);
+  DlfmResponse Dispatch(const DlfmRequest& req);
+
+  Result<TxnCtx*> GetCtx(GlobalTxnId txn, bool create);
+  void DropCtx(GlobalTxnId txn);
+
+  /// Batched local commit for utility transactions (§4): keeps the 'F'
+  /// transaction-table entry, commits, opens a fresh local transaction.
+  Status MaybeBatchCommit(GlobalTxnId txn, TxnCtx* ctx);
+
+  /// Mark ctx failed and roll back its local transaction (severe local
+  /// error: the paper says host then rolls back the full transaction).
+  Status FailCtx(TxnCtx* ctx, Status st);
+
+  Status CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked,
+                       std::vector<FileEntry>* released);
+  Status AbortAttempt(GlobalTxnId txn);
+
+  // Post-phase-2 filesystem work (idempotent).
+  void ApplyTakeovers(const std::vector<FileEntry>& linked);
+  void ApplyReleases(const std::vector<FileEntry>& released);
+
+  // Daemon loops.
+  void CopyLoop();
+  void DeleteGroupLoop();
+  Status ProcessDeleteGroupTxn(GlobalTxnId txn);
+
+  DlfmOptions options_;
+  std::shared_ptr<Clock> clock_;
+  fsim::FileServer* fs_;
+  archive::ArchiveServer* archive_;
+
+  std::unique_ptr<sqldb::Database> db_;
+  MetadataRepo repo_;
+  DlfmCounters counters_;
+
+  ChownDaemon chown_;
+  DlfmListener listener_;
+
+  std::mutex ctx_mu_;
+  std::unordered_map<GlobalTxnId, std::unique_ptr<TxnCtx>> ctxs_;
+
+  // Delete-group work queue.
+  std::mutex dg_mu_;
+  std::condition_variable dg_cv_;
+  std::deque<GlobalTxnId> dg_queue_;
+  size_t dg_in_progress_ = 0;
+
+  // Reconcile sessions: session id -> temp table.
+  std::mutex recon_mu_;
+  std::unordered_map<int64_t, sqldb::TableId> recon_sessions_;
+  int64_t next_recon_session_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::thread copy_thread_;
+  std::thread dg_thread_;
+  std::vector<std::thread> agent_threads_;
+  std::vector<std::shared_ptr<DlfmConnection>> agent_conns_;
+  std::mutex agents_mu_;
+};
+
+}  // namespace datalinks::dlfm

@@ -1,0 +1,190 @@
+#include "fsim/file_server.h"
+
+namespace datalinks::fsim {
+
+FileServer::FileServer(std::string name, std::shared_ptr<Clock> clock)
+    : name_(std::move(name)), clock_(clock ? std::move(clock) : SystemClock::Instance()) {}
+
+void FileServer::SetInterceptor(Interceptor* interceptor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  interceptor_ = interceptor;
+}
+
+bool FileServer::MayWrite(const File& f, const std::string& user) const {
+  if (user == kRootUser) return true;
+  if (user == f.info.owner) return (f.info.mode & 0200) != 0;
+  return (f.info.mode & 0002) != 0;
+}
+
+bool FileServer::MayRead(const File& f, const std::string& user) const {
+  if (user == kRootUser) return true;
+  if (user == f.info.owner) return (f.info.mode & 0400) != 0;
+  return (f.info.mode & 0004) != 0;
+}
+
+Status FileServer::CreateFile(const std::string& path, const std::string& owner,
+                              uint32_t mode, std::string content) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (files_.count(path) != 0) return Status::AlreadyExists(path);
+  File f;
+  f.info.inode = next_inode_++;
+  f.info.owner = owner;
+  f.info.group = "users";
+  f.info.mode = mode;
+  f.info.mtime_micros = clock_->NowMicros();
+  f.info.size = content.size();
+  f.content = std::move(content);
+  files_.emplace(path, std::move(f));
+  return Status::OK();
+}
+
+Status FileServer::WriteFile(const std::string& path, const std::string& user,
+                             std::string content) {
+  Interceptor* icpt;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    icpt = interceptor_;
+  }
+  if (icpt != nullptr) DLX_RETURN_IF_ERROR(icpt->OnWrite(path, user));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (!MayWrite(it->second, user)) return Status::PermissionDenied(path);
+  it->second.content = std::move(content);
+  it->second.info.size = it->second.content.size();
+  it->second.info.mtime_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+Result<std::string> FileServer::ReadFile(const std::string& path, const std::string& user,
+                                         const std::string& token) {
+  Interceptor* icpt;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    icpt = interceptor_;
+  }
+  if (icpt != nullptr) DLX_RETURN_IF_ERROR(icpt->OnRead(path, user, token));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  // A valid DataLinks token grants read regardless of mode bits (the token
+  // embodies the database's authorization); otherwise POSIX rules apply.
+  if (token.empty() && !MayRead(it->second, user)) return Status::PermissionDenied(path);
+  return it->second.content;
+}
+
+Status FileServer::DeleteFile(const std::string& path, const std::string& user) {
+  Interceptor* icpt;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    icpt = interceptor_;
+  }
+  if (icpt != nullptr) DLX_RETURN_IF_ERROR(icpt->OnDelete(path, user));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (!MayWrite(it->second, user)) return Status::PermissionDenied(path);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FileServer::RenameFile(const std::string& from, const std::string& to,
+                              const std::string& user) {
+  Interceptor* icpt;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    icpt = interceptor_;
+  }
+  if (icpt != nullptr) DLX_RETURN_IF_ERROR(icpt->OnRename(from, to, user));
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound(from);
+  if (files_.count(to) != 0) return Status::AlreadyExists(to);
+  if (!MayWrite(it->second, user)) return Status::PermissionDenied(from);
+  File f = std::move(it->second);
+  files_.erase(it);
+  f.info.mtime_micros = clock_->NowMicros();
+  files_.emplace(to, std::move(f));
+  return Status::OK();
+}
+
+Status FileServer::Chown(const std::string& path, const std::string& user,
+                         std::string new_owner) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (user != kRootUser && user != it->second.info.owner) {
+    return Status::PermissionDenied("chown requires root or owner");
+  }
+  it->second.info.owner = std::move(new_owner);
+  return Status::OK();
+}
+
+Status FileServer::Chmod(const std::string& path, const std::string& user, uint32_t mode) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  if (user != kRootUser && user != it->second.info.owner) {
+    return Status::PermissionDenied("chmod requires root or owner");
+  }
+  it->second.info.mode = mode;
+  return Status::OK();
+}
+
+Result<FileInfo> FileServer::Stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return it->second.info;
+}
+
+bool FileServer::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.count(path) != 0;
+}
+
+Result<std::string> FileServer::ReadRaw(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return it->second.content;
+}
+
+Status FileServer::WriteRaw(const std::string& path, const std::string& owner, uint32_t mode,
+                            std::string content) {
+  std::lock_guard<std::mutex> lk(mu_);
+  File f;
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.content = std::move(content);
+    it->second.info.size = it->second.content.size();
+    it->second.info.owner = owner;
+    it->second.info.mode = mode;
+    it->second.info.mtime_micros = clock_->NowMicros();
+    return Status::OK();
+  }
+  f.info.inode = next_inode_++;
+  f.info.owner = owner;
+  f.info.group = "users";
+  f.info.mode = mode;
+  f.info.mtime_micros = clock_->NowMicros();
+  f.info.size = content.size();
+  f.content = std::move(content);
+  files_.emplace(path, std::move(f));
+  return Status::OK();
+}
+
+std::vector<std::string> FileServer::ListAll() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [p, f] : files_) out.push_back(p);
+  return out;
+}
+
+size_t FileServer::file_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.size();
+}
+
+}  // namespace datalinks::fsim

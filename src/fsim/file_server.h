@@ -1,0 +1,99 @@
+// Simulated file server (the paper's AIX/JFS box).  Flat namespace of files
+// with POSIX-ish metadata: owner, group, mode bits, mtime, inode, content.
+//
+// An Interceptor hook chain models the DataLinks File System Filter (DLFF):
+// every destructive or access operation consults the interceptor before
+// executing, exactly where a kernel filter driver would sit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datalinks::fsim {
+
+/// Superuser name: bypasses permission checks (the Chown daemon runs as it).
+inline constexpr const char* kRootUser = "root";
+
+struct FileInfo {
+  uint64_t inode = 0;
+  std::string owner;
+  std::string group;
+  uint32_t mode = 0644;
+  int64_t mtime_micros = 0;
+  uint64_t size = 0;
+};
+
+/// Filter interface (implemented by dlff::FileSystemFilter).  Any non-OK
+/// status vetoes the operation.
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+  virtual Status OnDelete(const std::string& path, const std::string& user) = 0;
+  virtual Status OnRename(const std::string& from, const std::string& to,
+                          const std::string& user) = 0;
+  virtual Status OnWrite(const std::string& path, const std::string& user) = 0;
+  virtual Status OnRead(const std::string& path, const std::string& user,
+                        const std::string& token) = 0;
+};
+
+class FileServer {
+ public:
+  FileServer(std::string name, std::shared_ptr<Clock> clock = {});
+
+  const std::string& name() const { return name_; }
+
+  /// Install/remove the DLFF.  Not owned.
+  void SetInterceptor(Interceptor* interceptor);
+
+  // --- Namespace operations (all run through the interceptor) -------------
+  Status CreateFile(const std::string& path, const std::string& owner, uint32_t mode,
+                    std::string content);
+  Status WriteFile(const std::string& path, const std::string& user, std::string content);
+  Result<std::string> ReadFile(const std::string& path, const std::string& user,
+                               const std::string& token = "");
+  Status DeleteFile(const std::string& path, const std::string& user);
+  Status RenameFile(const std::string& from, const std::string& to, const std::string& user);
+
+  // --- Metadata operations (privileged; used by the Chown daemon) ---------
+  Status Chown(const std::string& path, const std::string& user, std::string new_owner);
+  Status Chmod(const std::string& path, const std::string& user, uint32_t mode);
+
+  Result<FileInfo> Stat(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  /// Raw content read bypassing filter and permissions (Copy daemon runs as
+  /// the DLFM administrative user with physical access).
+  Result<std::string> ReadRaw(const std::string& path) const;
+  /// Raw create/overwrite (Retrieve daemon restoring from archive).
+  Status WriteRaw(const std::string& path, const std::string& owner, uint32_t mode,
+                  std::string content);
+
+  std::vector<std::string> ListAll() const;
+  size_t file_count() const;
+
+ private:
+  struct File {
+    FileInfo info;
+    std::string content;
+  };
+
+  bool MayWrite(const File& f, const std::string& user) const;
+  bool MayRead(const File& f, const std::string& user) const;
+
+  const std::string name_;
+  std::shared_ptr<Clock> clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, File> files_;
+  Interceptor* interceptor_ = nullptr;
+  uint64_t next_inode_ = 1;
+};
+
+}  // namespace datalinks::fsim

@@ -1,0 +1,516 @@
+#include "hostdb/host_database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace datalinks::hostdb {
+
+using dlfm::DlfmApi;
+using dlfm::DlfmRequest;
+using dlfm::DlfmResponse;
+using dlfm::GlobalTxnId;
+using dlfm::RecoveryId;
+using sqldb::Assignment;
+using sqldb::ColumnDef;
+using sqldb::Conjunction;
+using sqldb::Pred;
+using sqldb::Row;
+using sqldb::TableSchema;
+using sqldb::Transaction;
+using sqldb::Value;
+using sqldb::ValueType;
+
+namespace {
+std::unique_ptr<sqldb::Database> OpenOrDie(sqldb::DatabaseOptions opts,
+                                           std::shared_ptr<sqldb::DurableStore> durable) {
+  auto db = sqldb::Database::Open(std::move(opts), std::move(durable));
+  if (!db.ok()) {
+    DLX_ERROR("hostdb", "open failed: " << db.status().ToString());
+    std::abort();
+  }
+  return std::move(db).value();
+}
+
+sqldb::DatabaseOptions ToDbOptions(const HostOptions& o) {
+  sqldb::DatabaseOptions d;
+  d.name = o.name;
+  d.lock_timeout_micros = o.lock_timeout_micros;
+  d.log_capacity_bytes = o.log_capacity_bytes;
+  d.clock = o.clock;
+  return d;
+}
+
+std::string JoinServers(const std::set<std::string>& servers) {
+  std::string out;
+  for (const auto& s : servers) {
+    if (!out.empty()) out += ',';
+    out += s;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitServers(const std::string& joined) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < joined.size()) {
+    size_t comma = joined.find(',', pos);
+    if (comma == std::string::npos) comma = joined.size();
+    out.push_back(joined.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HostDatabase
+// ---------------------------------------------------------------------------
+
+HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableStore> durable)
+    : options_(std::move(options)),
+      clock_(options_.clock ? options_.clock : SystemClock::Instance()),
+      db_(OpenOrDie(ToDbOptions(options_), std::move(durable))),
+      tokens_(options_.token_secret, clock_) {
+  Status st = LoadCatalog();
+  if (!st.ok()) {
+    DLX_ERROR("hostdb", "catalog load failed: " << st.ToString());
+    std::abort();
+  }
+}
+
+HostDatabase::~HostDatabase() = default;
+
+Status HostDatabase::LoadCatalog() {
+  auto sys_cols = db_->TableByName("sys_datalink_cols");
+  if (sys_cols.ok()) {
+    sys_cols_ = *sys_cols;
+    DLX_ASSIGN_OR_RETURN(sys_txn_, db_->TableByName("sys_global_txn"));
+    DLX_ASSIGN_OR_RETURN(sys_seq_, db_->TableByName("sys_seq"));
+  } else {
+    TableSchema cols;
+    cols.name = "sys_datalink_cols";
+    cols.columns = {{"table_name", ValueType::kString, false},
+                    {"col_idx", ValueType::kInt, false},
+                    {"access", ValueType::kInt, false},
+                    {"recovery", ValueType::kBool, false},
+                    {"group_id", ValueType::kInt, false}};
+    DLX_ASSIGN_OR_RETURN(sys_cols_, db_->CreateTable(cols));
+
+    TableSchema txn;
+    txn.name = "sys_global_txn";
+    txn.columns = {{"txn_id", ValueType::kInt, false},
+                   {"servers", ValueType::kString, false}};
+    DLX_ASSIGN_OR_RETURN(sys_txn_, db_->CreateTable(txn));
+    DLX_RETURN_IF_ERROR(
+        db_->CreateIndex(sqldb::IndexDef{"ux_sys_txn", sys_txn_, {0}, true}).status());
+
+    TableSchema seq;
+    seq.name = "sys_seq";
+    seq.columns = {{"id", ValueType::kInt, false}, {"seq", ValueType::kInt, false}};
+    DLX_ASSIGN_OR_RETURN(sys_seq_, db_->CreateTable(seq));
+  }
+
+  // Rehydrate datalink column metadata and counters.
+  Transaction* t = db_->Begin();
+  auto rows = db_->Select(t, sys_cols_, {});
+  if (!rows.ok()) {
+    (void)db_->Rollback(t);
+    return rows.status();
+  }
+  int64_t max_group = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Row& r : *rows) {
+      auto tid = db_->TableByName(r[0].as_string());
+      if (!tid.ok()) continue;  // table dropped
+      TableMeta& meta = tables_[*tid];
+      meta.name = r[0].as_string();
+      DatalinkColumn col;
+      col.col_idx = static_cast<int>(r[1].as_int());
+      col.access = static_cast<dlfm::AccessControl>(r[2].as_int());
+      col.recovery = r[3].as_bool();
+      col.group_id = r[4].as_int();
+      max_group = std::max(max_group, col.group_id);
+      meta.datalink_cols.push_back(col);
+    }
+  }
+  next_group_id_.store(max_group + 1);
+
+  auto seq_rows = db_->Select(t, sys_seq_, {Pred::Eq("id", 0)});
+  if (seq_rows.ok() && !seq_rows->empty()) {
+    recovery_seq_.store(static_cast<uint64_t>((*seq_rows)[0][1].as_int()));
+  } else {
+    (void)db_->Insert(t, sys_seq_, Row{Value(0), Value(int64_t{128})});
+    recovery_seq_.store(1);
+  }
+  return db_->Commit(t);
+}
+
+int64_t HostDatabase::NextRecoveryId() {
+  const uint64_t seq = recovery_seq_.fetch_add(1);
+  if (seq % 64 == 0) {
+    // Persist a high-water mark so recovery ids stay monotonic across a
+    // host crash (the paper: "guaranteed to be globally unique and
+    // monotonically increasing", which is "absolutely essential").
+    Transaction* t = db_->Begin();
+    auto n = db_->Update(t, sys_seq_, {Pred::Eq("id", 0)},
+                         {{"seq", sqldb::Operand(static_cast<int64_t>(seq + 128))}});
+    if (n.ok()) {
+      (void)db_->Commit(t);
+    } else {
+      (void)db_->Rollback(t);
+    }
+  }
+  return RecoveryId::Make(options_.dbid, seq);
+}
+
+void HostDatabase::RegisterDlfm(const std::string& server_name,
+                                dlfm::DlfmListener* listener) {
+  std::lock_guard<std::mutex> lk(mu_);
+  dlfms_[server_name] = listener;
+}
+
+Result<std::shared_ptr<dlfm::DlfmConnection>> HostDatabase::ConnectTo(
+    const std::string& server) {
+  dlfm::DlfmListener* listener = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = dlfms_.find(server);
+    if (it == dlfms_.end()) return Status::Unavailable("no DLFM for server " + server);
+    listener = it->second;
+  }
+  return listener->Connect();
+}
+
+Result<sqldb::TableId> HostDatabase::CreateTable(const std::string& name,
+                                                 std::vector<ColumnSpec> columns) {
+  TableSchema schema;
+  schema.name = name;
+  for (const ColumnSpec& c : columns) {
+    // DATALINK columns are stored as URL strings.
+    schema.columns.push_back(
+        ColumnDef{c.name, c.is_datalink ? ValueType::kString : c.type, c.nullable});
+  }
+  DLX_ASSIGN_OR_RETURN(sqldb::TableId tid, db_->CreateTable(schema));
+
+  TableMeta meta;
+  meta.name = name;
+  Transaction* t = db_->Begin();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!columns[i].is_datalink) continue;
+    DatalinkColumn col;
+    col.col_idx = static_cast<int>(i);
+    col.access = columns[i].access;
+    col.recovery = columns[i].recovery;
+    col.group_id = next_group_id_.fetch_add(1);
+    meta.datalink_cols.push_back(col);
+    Status st = db_->Insert(t, sys_cols_,
+                            Row{Value(name), Value(int64_t{col.col_idx}),
+                                Value(static_cast<int64_t>(col.access)),
+                                Value(col.recovery), Value(col.group_id)});
+    if (!st.ok()) {
+      (void)db_->Rollback(t);
+      return st;
+    }
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(t));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tables_[tid] = std::move(meta);
+  }
+  return tid;
+}
+
+Result<const HostDatabase::TableMeta*> HostDatabase::MetaFor(sqldb::TableId table) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("unknown table");
+  return &it->second;
+}
+
+std::unique_ptr<HostSession> HostDatabase::OpenSession() {
+  return std::make_unique<HostSession>(this);
+}
+
+Status HostDatabase::WriteDecision(Transaction* t, GlobalTxnId txn,
+                                   const std::set<std::string>& servers) {
+  return db_->Insert(t, sys_txn_,
+                     Row{Value(static_cast<int64_t>(txn)), Value(JoinServers(servers))});
+}
+
+Status HostDatabase::EraseDecision(GlobalTxnId txn) {
+  Transaction* t = db_->Begin();
+  auto n = db_->Delete(t, sys_txn_, {Pred::Eq("txn_id", static_cast<int64_t>(txn))});
+  if (!n.ok()) {
+    (void)db_->Rollback(t);
+    return n.status();
+  }
+  return db_->Commit(t);
+}
+
+Status HostDatabase::ResolveIndoubts() {
+  // Committed decisions: re-deliver phase-2 Commit (idempotent at the DLFM).
+  Transaction* t = db_->Begin();
+  auto rows = db_->Select(t, sys_txn_, {});
+  Status cs = db_->Commit(t);
+  if (!rows.ok()) return rows.status();
+  DLX_RETURN_IF_ERROR(cs);
+  std::set<GlobalTxnId> decided;
+  for (const Row& r : *rows) {
+    const auto txn = static_cast<GlobalTxnId>(r[0].as_int());
+    decided.insert(txn);
+    for (const std::string& server : SplitServers(r[1].as_string())) {
+      auto conn = ConnectTo(server);
+      if (!conn.ok()) continue;  // DLFM down: the polling daemon retries later
+      DlfmRequest req;
+      req.api = DlfmApi::kCommit;
+      req.txn = txn;
+      auto resp = (*conn)->Call(std::move(req));
+      if (resp.ok() && resp->ToStatus().ok()) counters_.indoubts_resolved.fetch_add(1);
+      DlfmRequest bye;
+      bye.api = DlfmApi::kDisconnect;
+      (void)(*conn)->Call(std::move(bye));
+    }
+    DLX_RETURN_IF_ERROR(EraseDecision(txn));
+  }
+
+  // Indoubt transactions at the DLFMs with no decision record: presumed
+  // abort (the host never logged commit, so the outcome is rollback).
+  std::vector<std::string> servers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, l] : dlfms_) servers.push_back(name);
+  }
+  for (const std::string& server : servers) {
+    auto conn = ConnectTo(server);
+    if (!conn.ok()) continue;
+    DlfmRequest list;
+    list.api = DlfmApi::kListIndoubt;
+    auto resp = (*conn)->Call(std::move(list));
+    if (resp.ok()) {
+      for (int64_t id : resp->ids) {
+        if (decided.count(static_cast<GlobalTxnId>(id)) != 0) continue;
+        DlfmRequest abort_req;
+        abort_req.api = DlfmApi::kAbort;
+        abort_req.txn = static_cast<GlobalTxnId>(id);
+        auto ar = (*conn)->Call(std::move(abort_req));
+        if (ar.ok() && ar->ToStatus().ok()) counters_.indoubts_resolved.fetch_add(1);
+      }
+    }
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)(*conn)->Call(std::move(bye));
+  }
+  return Status::OK();
+}
+
+std::string HostDatabase::IssueToken(const std::string& path, int64_t ttl_micros) {
+  return tokens_.Issue(path, ttl_micros);
+}
+
+std::shared_ptr<sqldb::DurableStore> HostDatabase::SimulateCrash() {
+  std::lock_guard<std::mutex> lk(mu_);
+  backups_.clear();  // backup media modelled as volatile in tests
+  return db_->SimulateCrash();
+}
+
+// ---------------------------------------------------------------------------
+// Utilities: Backup / Restore / Reconcile
+// ---------------------------------------------------------------------------
+
+Result<int64_t> HostDatabase::Backup() {
+  // The cut consumes its own recovery id so that every link before the
+  // backup is strictly <= cut and every unlink after it is strictly > cut.
+  const int64_t cut = NextRecoveryId();
+  const int64_t backup_id = static_cast<int64_t>(RecoveryId::Seq(cut));
+
+  std::vector<std::string> servers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, l] : dlfms_) servers.push_back(name);
+  }
+  // The backup barrier: every DLFM must finish archiving files linked up to
+  // the cut before the backup is declared successful (§3.4).
+  for (const std::string& server : servers) {
+    DLX_ASSIGN_OR_RETURN(auto conn, ConnectTo(server));
+    DlfmRequest req;
+    req.api = DlfmApi::kEnsureArchived;
+    req.recovery_id = cut;
+    auto resp = conn->Call(std::move(req));
+    if (!resp.ok()) return resp.status();
+    DLX_RETURN_IF_ERROR(resp->ToStatus());
+    DlfmRequest reg;
+    reg.api = DlfmApi::kRegisterBackup;
+    reg.aux = backup_id;
+    reg.recovery_id = cut;
+    resp = conn->Call(std::move(reg));
+    if (!resp.ok()) return resp.status();
+    DLX_RETURN_IF_ERROR(resp->ToStatus());
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)conn->Call(std::move(bye));
+  }
+
+  // Snapshot host user tables.
+  BackupImage image;
+  image.cut = cut;
+  image.servers.insert(servers.begin(), servers.end());
+  std::vector<std::pair<sqldb::TableId, std::string>> user_tables;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [tid, meta] : tables_) user_tables.emplace_back(tid, meta.name);
+  }
+  Transaction* t = db_->Begin();
+  for (const auto& [tid, name] : user_tables) {
+    auto rows = db_->Select(t, tid, {});
+    if (!rows.ok()) {
+      (void)db_->Rollback(t);
+      return rows.status();
+    }
+    image.table_rows[name] = std::move(*rows);
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(t));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    backups_[backup_id] = std::move(image);
+  }
+  counters_.backups.fetch_add(1);
+  return backup_id;
+}
+
+Status HostDatabase::Restore(int64_t backup_id) {
+  BackupImage image;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = backups_.find(backup_id);
+    if (it == backups_.end()) return Status::NotFound("no backup " + std::to_string(backup_id));
+    image = it->second;
+  }
+  // Replace user-table contents with the image.
+  Transaction* t = db_->Begin();
+  for (const auto& [name, rows] : image.table_rows) {
+    auto tid = db_->TableByName(name);
+    if (!tid.ok()) continue;
+    auto n = db_->Delete(t, *tid, {});
+    if (!n.ok()) {
+      (void)db_->Rollback(t);
+      return n.status();
+    }
+    for (const Row& r : rows) {
+      Status st = db_->Insert(t, *tid, r);
+      if (!st.ok()) {
+        (void)db_->Rollback(t);
+        return st;
+      }
+    }
+  }
+  DLX_RETURN_IF_ERROR(db_->Commit(t));
+
+  // DLFM metadata reconciliation to the backup cut (§3.4).
+  for (const std::string& server : image.servers) {
+    DLX_ASSIGN_OR_RETURN(auto conn, ConnectTo(server));
+    DlfmRequest req;
+    req.api = DlfmApi::kRestoreToBackup;
+    req.recovery_id = image.cut;
+    auto resp = conn->Call(std::move(req));
+    if (!resp.ok()) return resp.status();
+    DLX_RETURN_IF_ERROR(resp->ToStatus());
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)conn->Call(std::move(bye));
+  }
+  counters_.restores.fetch_add(1);
+  return Status::OK();
+}
+
+Result<ReconcileReport> HostDatabase::Reconcile(sqldb::TableId table, bool use_temp_table,
+                                                size_t batch_size) {
+  DLX_ASSIGN_OR_RETURN(const TableMeta* meta, MetaFor(table));
+  ReconcileReport report;
+
+  // Scan the datalink columns.
+  Transaction* t = db_->Begin();
+  auto rows = db_->Select(t, table, {});
+  Status cs;
+  if (rows.ok()) {
+    cs = db_->Commit(t);
+  } else {
+    (void)db_->Rollback(t);
+    return rows.status();
+  }
+  DLX_RETURN_IF_ERROR(cs);
+
+  std::map<std::string, std::vector<std::pair<std::string, int64_t>>> per_server;
+  for (const Row& r : *rows) {
+    for (const DatalinkColumn& col : meta->datalink_cols) {
+      const Value& v = r[col.col_idx];
+      if (v.is_null()) continue;
+      auto url = ParseDatalinkUrl(v.as_string());
+      if (!url.ok()) continue;
+      per_server[url->server].emplace_back(url->path, NextRecoveryId());
+    }
+  }
+
+  for (auto& [server, entries] : per_server) {
+    DLX_ASSIGN_OR_RETURN(auto conn, ConnectTo(server));
+    DlfmRequest begin;
+    begin.api = DlfmApi::kReconcileBegin;
+    auto resp = conn->Call(std::move(begin));
+    if (!resp.ok()) return resp.status();
+    DLX_RETURN_IF_ERROR(resp->ToStatus());
+    const int64_t session = resp->value;
+
+    // The paper's design sends the records in batches into a temp table "to
+    // reduce the number of messages between the host database and DLFM";
+    // the naive alternative is one message per record (E9 contrast).
+    const size_t step = use_temp_table ? batch_size : 1;
+    for (size_t i = 0; i < entries.size(); i += step) {
+      DlfmRequest add;
+      add.api = DlfmApi::kReconcileAddBatch;
+      add.aux = session;
+      const size_t end = std::min(entries.size(), i + step);
+      add.batch.assign(entries.begin() + i, entries.begin() + end);
+      resp = conn->Call(std::move(add));
+      if (!resp.ok()) return resp.status();
+      DLX_RETURN_IF_ERROR(resp->ToStatus());
+    }
+    DlfmRequest run;
+    run.api = DlfmApi::kReconcileRun;
+    run.aux = session;
+    resp = conn->Call(std::move(run));
+    if (!resp.ok()) return resp.status();
+    DLX_RETURN_IF_ERROR(resp->ToStatus());
+
+    // Fix the host side: null out dangling references.
+    for (const std::string& name : resp->names) {
+      const std::string url = DatalinkUrl{server, name}.ToString();
+      Transaction* fix = db_->Begin();
+      bool ok = true;
+      for (const DatalinkColumn& col : meta->datalink_cols) {
+        auto schema = db_->GetSchema(table);
+        if (!schema.ok()) continue;
+        const std::string& col_name = schema->columns[col.col_idx].name;
+        auto n = db_->Update(fix, table, {Pred::Eq(col_name, url)},
+                             {{col_name, sqldb::Operand(Value::Null())}});
+        if (!n.ok()) ok = false;
+      }
+      if (ok) {
+        (void)db_->Commit(fix);
+        report.cleared_urls.push_back(url);
+      } else {
+        (void)db_->Rollback(fix);
+      }
+    }
+    for (const std::string& name : resp->names2) {
+      report.dlfm_unlinked.push_back(DatalinkUrl{server, name}.ToString());
+    }
+    report.messages += conn->messages_sent();
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)conn->Call(std::move(bye));
+  }
+  return report;
+}
+
+}  // namespace datalinks::hostdb

@@ -1,0 +1,232 @@
+// Host database with the datalink engine (the "DB2 UDB" side of the paper).
+//
+// Responsibilities reproduced here:
+//  - SQL tables with DATALINK columns; insert/update/delete of datalink
+//    values drives LinkFile/UnlinkFile calls to the responsible DLFM within
+//    the same transaction,
+//  - Recovery-id generation: (dbid, monotonically increasing sequence),
+//  - the two-phase commit coordinator across every DLFM a transaction
+//    touched, with a durable decision record and indoubt resolution after
+//    restart,
+//  - statement-level (savepoint) rollback compensation via the in_backout
+//    flag when the local part of a statement fails after DLFM calls,
+//  - the Backup, Restore and Reconcile utilities (§3.4),
+//  - access-token issuance for files under full access control.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "dlff/token.h"
+#include "dlfm/api.h"
+#include "hostdb/url.h"
+#include "sqldb/database.h"
+
+namespace datalinks::hostdb {
+
+struct HostOptions {
+  std::string name = "hostdb";
+  uint32_t dbid = 1;
+
+  /// §4: the commit transaction API must be synchronous with respect to the
+  /// host database — asynchronous phase-2 delivery enables the distributed
+  /// deadlock the paper describes.  Kept as an option so the failure can be
+  /// reproduced (bench E5).
+  bool synchronous_commit = true;
+
+  int64_t lock_timeout_micros = 500 * 1000;
+  size_t log_capacity_bytes = 64ull << 20;
+  std::string token_secret = "datalinks-token-secret";
+  std::shared_ptr<Clock> clock;
+};
+
+/// Per-table datalink column description.
+struct ColumnSpec {
+  std::string name;
+  sqldb::ValueType type = sqldb::ValueType::kString;
+  bool nullable = true;
+  bool is_datalink = false;
+  dlfm::AccessControl access = dlfm::AccessControl::kNone;
+  bool recovery = false;  // coordinated backup & restore for this column
+};
+
+struct ReconcileReport {
+  std::vector<std::string> cleared_urls;   // dangling references nulled out
+  std::vector<std::string> dlfm_unlinked;  // orphan links removed at DLFMs
+  uint64_t messages = 0;                   // RPC messages spent (E9 metric)
+};
+
+struct HostCounters {
+  std::atomic<uint64_t> commits{0}, rollbacks{0}, prepares_sent{0};
+  std::atomic<uint64_t> links_sent{0}, unlinks_sent{0}, backouts_sent{0};
+  std::atomic<uint64_t> statement_rollbacks{0};
+  std::atomic<uint64_t> indoubts_resolved{0};
+  std::atomic<uint64_t> backups{0}, restores{0};
+};
+
+class HostSession;
+
+class HostDatabase {
+ public:
+  explicit HostDatabase(HostOptions options,
+                        std::shared_ptr<sqldb::DurableStore> durable = {});
+  ~HostDatabase();
+
+  /// Make a DLFM reachable under its server name.
+  void RegisterDlfm(const std::string& server_name, dlfm::DlfmListener* listener);
+
+  /// DDL: create a table; datalink columns get a file group id each.
+  Result<sqldb::TableId> CreateTable(const std::string& name,
+                                     std::vector<ColumnSpec> columns);
+
+  std::unique_ptr<HostSession> OpenSession();
+
+  // --- Utilities -------------------------------------------------------------
+  /// Coordinated backup: waits for pending archive copies up to the cut at
+  /// every DLFM, snapshots host data, registers the backup.  Returns id.
+  Result<int64_t> Backup();
+  /// Point-in-time restore to a backup id + DLFM metadata reconciliation.
+  Status Restore(int64_t backup_id);
+  /// Reconcile utility for one table.  `use_temp_table` selects the paper's
+  /// batched temp-table flow vs naive per-row messages (E9).
+  Result<ReconcileReport> Reconcile(sqldb::TableId table, bool use_temp_table,
+                                    size_t batch_size = 128);
+
+  /// Resolve indoubt DLFM transactions from the durable decision records
+  /// (host restart processing / the polling daemon of §3.3).
+  Status ResolveIndoubts();
+
+  /// Access token for reading a FULL-control linked file.
+  std::string IssueToken(const std::string& path, int64_t ttl_micros = 60 * 1000 * 1000);
+  const dlff::TokenAuthority& token_authority() const { return tokens_; }
+
+  /// Crash simulation (in-memory backups are lost; durable tables survive).
+  std::shared_ptr<sqldb::DurableStore> SimulateCrash();
+
+  int64_t NextRecoveryId();
+
+  sqldb::Database* db() { return db_.get(); }
+  HostCounters& counters() { return counters_; }
+  const HostOptions& options() const { return options_; }
+
+ private:
+  friend class HostSession;
+
+  struct DatalinkColumn {
+    int col_idx = 0;
+    dlfm::AccessControl access = dlfm::AccessControl::kNone;
+    bool recovery = false;
+    int64_t group_id = 0;
+  };
+  struct TableMeta {
+    std::string name;
+    std::vector<DatalinkColumn> datalink_cols;
+  };
+
+  struct BackupImage {
+    int64_t cut = 0;
+    std::map<std::string, std::vector<sqldb::Row>> table_rows;
+    std::set<std::string> servers;
+  };
+
+  Result<std::shared_ptr<dlfm::DlfmConnection>> ConnectTo(const std::string& server);
+  Status LoadCatalog();
+  Result<const TableMeta*> MetaFor(sqldb::TableId table) const;
+
+  /// Durable 2PC decision record management.
+  Status WriteDecision(sqldb::Transaction* t, dlfm::GlobalTxnId txn,
+                       const std::set<std::string>& servers);
+  Status EraseDecision(dlfm::GlobalTxnId txn);
+
+  HostOptions options_;
+  std::shared_ptr<Clock> clock_;
+  std::unique_ptr<sqldb::Database> db_;
+  dlff::TokenAuthority tokens_;
+  HostCounters counters_;
+
+  sqldb::TableId sys_cols_ = 0;   // persisted datalink column catalog
+  sqldb::TableId sys_txn_ = 0;    // durable 2PC decision records
+  sqldb::TableId sys_seq_ = 0;    // recovery-id high-water mark
+
+  mutable std::mutex mu_;
+  std::map<std::string, dlfm::DlfmListener*> dlfms_;
+  std::map<sqldb::TableId, TableMeta> tables_;
+  std::map<int64_t, BackupImage> backups_;  // in-memory backup media
+  std::atomic<uint64_t> recovery_seq_{1};
+  std::atomic<int64_t> next_group_id_{1};
+
+  friend struct HostSessionAccess;
+};
+
+/// One application connection to the host database.  Not thread-safe; one
+/// session per client thread (exactly the paper's agent model).
+class HostSession {
+ public:
+  explicit HostSession(HostDatabase* host);
+  ~HostSession();
+
+  Status Begin();
+  /// Insert a row; DATALINK values are URL strings ("dlfs://server/path").
+  Status Insert(sqldb::TableId table, sqldb::Row row);
+  Result<int64_t> Delete(sqldb::TableId table, const sqldb::Conjunction& where);
+  Result<int64_t> Update(sqldb::TableId table, const sqldb::Conjunction& where,
+                         const std::vector<sqldb::Assignment>& sets);
+  Result<std::vector<sqldb::Row>> Select(sqldb::TableId table,
+                                         const sqldb::Conjunction& where);
+  /// Drop an SQL table: marks its file groups deleted at every DLFM (the
+  /// files are unlinked asynchronously by the Delete Group daemon, §3.5).
+  Status DropTable(sqldb::TableId table);
+
+  Status Commit();
+  Status Rollback();
+
+  /// Mark subsequent link/unlink requests as utility work (batched local
+  /// commits at the DLFM, §4).
+  void set_utility(bool u) { utility_ = u; }
+
+  bool in_transaction() const { return local_ != nullptr; }
+  dlfm::GlobalTxnId txn_id() const { return txn_id_; }
+
+ private:
+  struct DlfmPeer {
+    std::shared_ptr<dlfm::DlfmConnection> conn;
+    bool begun = false;            // BeginTransaction sent for current txn
+    size_t pending_async = 0;      // outstanding async phase-2 responses
+  };
+
+  Result<DlfmPeer*> PeerFor(const std::string& server);
+  Status DrainPeer(DlfmPeer* peer);
+  Result<dlfm::DlfmResponse> CallPeer(DlfmPeer* peer, dlfm::DlfmRequest req);
+
+  Status LinkOne(const DatalinkUrl& url, const HostDatabase::DatalinkColumn& col,
+                 int64_t recovery_id, bool in_backout);
+  Status UnlinkOne(const DatalinkUrl& url, int64_t recovery_id, bool in_backout);
+
+  /// Apply the datalink-engine work for inserting/deleting a set of URL
+  /// values.  On failure, compensates already-performed calls (in_backout).
+  struct LinkAction {
+    DatalinkUrl url;
+    const HostDatabase::DatalinkColumn* col;
+    int64_t recovery_id;
+    bool is_link;  // false = unlink
+  };
+  Status PerformActions(const std::vector<LinkAction>& actions);
+  void CompensateActions(const std::vector<LinkAction>& actions, size_t done);
+
+  HostDatabase* host_;
+  sqldb::Transaction* local_ = nullptr;
+  dlfm::GlobalTxnId txn_id_ = 0;
+  bool rollback_only_ = false;
+  bool utility_ = false;
+  std::map<std::string, DlfmPeer> peers_;
+  std::set<std::string> touched_;  // servers with datalink work this txn
+  std::vector<sqldb::TableId> drop_on_commit_;
+};
+
+}  // namespace datalinks::hostdb

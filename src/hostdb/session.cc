@@ -1,0 +1,422 @@
+// HostSession: one application connection.  Runs the datalink engine on
+// DML statements and coordinates two-phase commit across touched DLFMs.
+#include "hostdb/host_database.h"
+
+namespace datalinks::hostdb {
+
+using dlfm::AccessControl;
+using dlfm::DlfmApi;
+using dlfm::DlfmRequest;
+using dlfm::DlfmResponse;
+using sqldb::Conjunction;
+using sqldb::Row;
+using sqldb::Transaction;
+using sqldb::Value;
+
+HostSession::HostSession(HostDatabase* host) : host_(host) {}
+
+HostSession::~HostSession() {
+  if (local_ != nullptr) (void)Rollback();
+  for (auto& [server, peer] : peers_) {
+    (void)DrainPeer(&peer);
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)peer.conn->Call(std::move(bye));
+  }
+}
+
+Status HostSession::Begin() {
+  if (local_ != nullptr) return Status::InvalidArgument("transaction already open");
+  // Read Stability so the datalink engine's pre-reads of rows it is about
+  // to delete/update stay stable until the statement completes.
+  local_ = host_->db()->Begin(sqldb::Isolation::kRS);
+  txn_id_ = local_->id();
+  rollback_only_ = false;
+  touched_.clear();
+  return Status::OK();
+}
+
+Result<HostSession::DlfmPeer*> HostSession::PeerFor(const std::string& server) {
+  auto it = peers_.find(server);
+  if (it == peers_.end()) {
+    DLX_ASSIGN_OR_RETURN(auto conn, host_->ConnectTo(server));
+    DlfmPeer peer;
+    peer.conn = std::move(conn);
+    it = peers_.emplace(server, std::move(peer)).first;
+  }
+  DlfmPeer* peer = &it->second;
+  if (!peer->begun) {
+    DLX_RETURN_IF_ERROR(DrainPeer(peer));
+    DlfmRequest req;
+    req.api = DlfmApi::kBeginTxn;
+    req.txn = txn_id_;
+    DLX_ASSIGN_OR_RETURN(DlfmResponse resp, CallPeer(peer, std::move(req)));
+    DLX_RETURN_IF_ERROR(resp.ToStatus());
+    peer->begun = true;
+    touched_.insert(server);
+  }
+  return peer;
+}
+
+Status HostSession::DrainPeer(DlfmPeer* peer) {
+  // Asynchronous phase-2 responses from a previous transaction must be
+  // consumed before this connection is usable again — this is precisely
+  // where the §4 distributed deadlock bites in asynchronous-commit mode.
+  while (peer->pending_async > 0) {
+    auto resp = peer->conn->DrainResponse();
+    if (!resp.ok()) return resp.status();
+    --peer->pending_async;
+  }
+  return Status::OK();
+}
+
+Result<DlfmResponse> HostSession::CallPeer(DlfmPeer* peer, DlfmRequest req) {
+  DLX_RETURN_IF_ERROR(DrainPeer(peer));
+  return peer->conn->Call(std::move(req));
+}
+
+Status HostSession::LinkOne(const DatalinkUrl& url, const HostDatabase::DatalinkColumn& col,
+                            int64_t recovery_id, bool in_backout) {
+  DLX_ASSIGN_OR_RETURN(DlfmPeer * peer, PeerFor(url.server));
+  DlfmRequest req;
+  req.api = DlfmApi::kLinkFile;
+  req.txn = txn_id_;
+  req.filename = url.path;
+  req.recovery_id = recovery_id;
+  req.group_id = col.group_id;
+  req.access = col.access;
+  req.recovery_option = col.recovery;
+  req.in_backout = in_backout;
+  req.utility = utility_;
+  DLX_ASSIGN_OR_RETURN(DlfmResponse resp, CallPeer(peer, std::move(req)));
+  if (in_backout) {
+    host_->counters().backouts_sent.fetch_add(1);
+  } else {
+    host_->counters().links_sent.fetch_add(1);
+  }
+  return resp.ToStatus();
+}
+
+Status HostSession::UnlinkOne(const DatalinkUrl& url, int64_t recovery_id, bool in_backout) {
+  DLX_ASSIGN_OR_RETURN(DlfmPeer * peer, PeerFor(url.server));
+  DlfmRequest req;
+  req.api = DlfmApi::kUnlinkFile;
+  req.txn = txn_id_;
+  req.filename = url.path;
+  req.recovery_id = recovery_id;
+  req.in_backout = in_backout;
+  req.utility = utility_;
+  DLX_ASSIGN_OR_RETURN(DlfmResponse resp, CallPeer(peer, std::move(req)));
+  if (in_backout) {
+    host_->counters().backouts_sent.fetch_add(1);
+  } else {
+    host_->counters().unlinks_sent.fetch_add(1);
+  }
+  return resp.ToStatus();
+}
+
+Status HostSession::PerformActions(const std::vector<LinkAction>& actions) {
+  for (size_t i = 0; i < actions.size(); ++i) {
+    const LinkAction& a = actions[i];
+    Status st = a.is_link ? LinkOne(a.url, *a.col, a.recovery_id, /*in_backout=*/false)
+                          : UnlinkOne(a.url, a.recovery_id, /*in_backout=*/false);
+    if (!st.ok()) {
+      if (st.IsTransactionFatal() || st.IsAborted() || st.IsUnavailable()) {
+        // Severe error in the DLFM's local database: its transaction is
+        // already rolled back, so statement-level compensation is
+        // impossible — "the host database will always rollback the full
+        // transaction" (§3.2).
+        rollback_only_ = true;
+        return st;
+      }
+      // Clean statement failure: compensate the calls already made
+      // (savepoint-style rollback via in_backout).
+      CompensateActions(actions, i);
+      host_->counters().statement_rollbacks.fetch_add(1);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void HostSession::CompensateActions(const std::vector<LinkAction>& actions, size_t done) {
+  for (size_t j = 0; j < done; ++j) {
+    const LinkAction& a = actions[j];
+    Status st = a.is_link ? LinkOne(a.url, *a.col, a.recovery_id, /*in_backout=*/true)
+                          : UnlinkOne(a.url, a.recovery_id, /*in_backout=*/true);
+    if (!st.ok()) rollback_only_ = true;  // cannot compensate: force full rollback
+  }
+}
+
+Status HostSession::Insert(sqldb::TableId table, Row row) {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
+
+  std::vector<LinkAction> actions;
+  for (const auto& col : meta->datalink_cols) {
+    const Value& v = row[col.col_idx];
+    if (v.is_null()) continue;
+    DLX_ASSIGN_OR_RETURN(DatalinkUrl url, ParseDatalinkUrl(v.as_string()));
+    actions.push_back(LinkAction{std::move(url), &col, host_->NextRecoveryId(), true});
+  }
+  DLX_RETURN_IF_ERROR(PerformActions(actions));
+
+  Status st = host_->db()->Insert(local_, table, std::move(row));
+  if (!st.ok()) {
+    if (st.IsTransactionFatal()) {
+      rollback_only_ = true;
+    } else {
+      // Local statement failed after the files were linked: back the links
+      // out so the transaction can continue (statement-level rollback).
+      CompensateActions(actions, actions.size());
+      host_->counters().statement_rollbacks.fetch_add(1);
+    }
+  }
+  return st;
+}
+
+Result<int64_t> HostSession::Delete(sqldb::TableId table, const Conjunction& where) {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
+
+  // The datalink engine reads the victims first (RS keeps them stable),
+  // unlinks their files, then deletes the rows.
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> victims, host_->db()->Select(local_, table, where));
+  std::vector<LinkAction> actions;
+  for (const Row& r : victims) {
+    for (const auto& col : meta->datalink_cols) {
+      const Value& v = r[col.col_idx];
+      if (v.is_null()) continue;
+      DLX_ASSIGN_OR_RETURN(DatalinkUrl url, ParseDatalinkUrl(v.as_string()));
+      actions.push_back(LinkAction{std::move(url), &col, host_->NextRecoveryId(), false});
+    }
+  }
+  DLX_RETURN_IF_ERROR(PerformActions(actions));
+
+  auto n = host_->db()->Delete(local_, table, where);
+  if (!n.ok()) {
+    if (n.status().IsTransactionFatal()) {
+      rollback_only_ = true;
+    } else {
+      CompensateActions(actions, actions.size());
+      host_->counters().statement_rollbacks.fetch_add(1);
+    }
+  }
+  return n;
+}
+
+Result<int64_t> HostSession::Update(sqldb::TableId table, const Conjunction& where,
+                                    const std::vector<sqldb::Assignment>& sets) {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
+  DLX_ASSIGN_OR_RETURN(sqldb::TableSchema schema, host_->db()->GetSchema(table));
+
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> victims, host_->db()->Select(local_, table, where));
+  std::vector<LinkAction> actions;
+  for (const Row& r : victims) {
+    for (const auto& col : meta->datalink_cols) {
+      const std::string& col_name = schema.columns[col.col_idx].name;
+      const sqldb::Assignment* assign = nullptr;
+      for (const auto& a : sets) {
+        if (a.column == col_name) assign = &a;
+      }
+      if (assign == nullptr) continue;  // column untouched
+      const Value& old_v = r[col.col_idx];
+      const Value new_v = assign->operand.Resolve({});
+      if (old_v.Compare(new_v) == 0) continue;
+      // "DLFM also supports the unlink of a file from one datalink column
+      // and link of the same file to another ... within the same
+      // transaction" — update is modelled as unlink(old) + link(new).
+      if (!old_v.is_null()) {
+        DLX_ASSIGN_OR_RETURN(DatalinkUrl url, ParseDatalinkUrl(old_v.as_string()));
+        actions.push_back(LinkAction{std::move(url), &col, host_->NextRecoveryId(), false});
+      }
+      if (!new_v.is_null()) {
+        DLX_ASSIGN_OR_RETURN(DatalinkUrl url, ParseDatalinkUrl(new_v.as_string()));
+        actions.push_back(LinkAction{std::move(url), &col, host_->NextRecoveryId(), true});
+      }
+    }
+  }
+  DLX_RETURN_IF_ERROR(PerformActions(actions));
+
+  auto n = host_->db()->Update(local_, table, where, sets);
+  if (!n.ok()) {
+    if (n.status().IsTransactionFatal()) {
+      rollback_only_ = true;
+    } else {
+      CompensateActions(actions, actions.size());
+      host_->counters().statement_rollbacks.fetch_add(1);
+    }
+  }
+  return n;
+}
+
+Result<std::vector<Row>> HostSession::Select(sqldb::TableId table, const Conjunction& where) {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  return host_->db()->Select(local_, table, where);
+}
+
+Status HostSession::DropTable(sqldb::TableId table) {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
+
+  // Mark every file group of the table deleted at every registered DLFM;
+  // the files are unlinked asynchronously after commit (§3.5).
+  std::vector<std::string> servers;
+  {
+    std::lock_guard<std::mutex> lk(host_->mu_);
+    for (const auto& [name, l] : host_->dlfms_) servers.push_back(name);
+  }
+  for (const auto& col : meta->datalink_cols) {
+    for (const std::string& server : servers) {
+      DLX_ASSIGN_OR_RETURN(DlfmPeer * peer, PeerFor(server));
+      DlfmRequest req;
+      req.api = DlfmApi::kDeleteGroup;
+      req.txn = txn_id_;
+      req.group_id = col.group_id;
+      req.recovery_id = host_->NextRecoveryId();
+      DLX_ASSIGN_OR_RETURN(DlfmResponse resp, CallPeer(peer, std::move(req)));
+      Status st = resp.ToStatus();
+      if (!st.ok() && !st.IsNotFound()) {
+        if (st.IsTransactionFatal() || st.IsAborted()) rollback_only_ = true;
+        return st;
+      }
+    }
+  }
+  // Remove the rows now (logged, so a rollback restores them); the catalog
+  // entry is dropped only after a successful commit.
+  auto n = host_->db()->Delete(local_, table, {});
+  if (!n.ok()) {
+    if (n.status().IsTransactionFatal()) rollback_only_ = true;
+    return n.status();
+  }
+  drop_on_commit_.push_back(table);
+  return Status::OK();
+}
+
+Status HostSession::Commit() {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  if (rollback_only_) {
+    Status st = Rollback();
+    if (st.ok()) return Status::Aborted("transaction was rollback-only; rolled back");
+    return st;
+  }
+
+  if (touched_.empty()) {
+    Status st = host_->db()->Commit(local_);
+    local_ = nullptr;
+    if (st.ok()) host_->counters().commits.fetch_add(1);
+    return st;
+  }
+
+  // Phase 1: prepare every DLFM this transaction touched (§3.3).
+  bool prepare_failed = false;
+  for (const std::string& server : touched_) {
+    DlfmPeer& peer = peers_[server];
+    DlfmRequest req;
+    req.api = DlfmApi::kPrepare;
+    req.txn = txn_id_;
+    auto resp = CallPeer(&peer, std::move(req));
+    host_->counters().prepares_sent.fetch_add(1);
+    if (!resp.ok() || !resp->ToStatus().ok()) {
+      prepare_failed = true;
+      break;
+    }
+  }
+  if (prepare_failed) {
+    // "if one of the DLFMs fails to prepare ... the host database sends
+    // Abort request to all the remaining DLFMs, even though they may have
+    // prepared successfully."
+    (void)host_->db()->Rollback(local_);
+    local_ = nullptr;
+    for (const std::string& server : touched_) {
+      DlfmPeer& peer = peers_[server];
+      DlfmRequest req;
+      req.api = DlfmApi::kAbort;
+      req.txn = txn_id_;
+      (void)CallPeer(&peer, std::move(req));
+      peer.begun = false;
+    }
+    touched_.clear();
+    drop_on_commit_.clear();
+    host_->counters().rollbacks.fetch_add(1);
+    return Status::Aborted("a DLFM failed to prepare");
+  }
+
+  // Decision point: the commit record (with the participant list) is forced
+  // together with the user data — from here the outcome is COMMIT.
+  Status st = host_->WriteDecision(local_, txn_id_, touched_);
+  if (!st.ok()) {
+    (void)host_->db()->Rollback(local_);
+    local_ = nullptr;
+    for (const std::string& server : touched_) {
+      DlfmPeer& peer = peers_[server];
+      DlfmRequest req;
+      req.api = DlfmApi::kAbort;
+      req.txn = txn_id_;
+      (void)CallPeer(&peer, std::move(req));
+      peer.begun = false;
+    }
+    touched_.clear();
+    drop_on_commit_.clear();
+    return st;
+  }
+  DLX_RETURN_IF_ERROR(host_->db()->Commit(local_));
+  local_ = nullptr;
+
+  // Phase 2.
+  const bool sync = host_->options().synchronous_commit;
+  for (const std::string& server : touched_) {
+    DlfmPeer& peer = peers_[server];
+    DlfmRequest req;
+    req.api = DlfmApi::kCommit;
+    req.txn = txn_id_;
+    if (sync) {
+      auto resp = CallPeer(&peer, std::move(req));
+      (void)resp;  // idempotent redelivery via ResolveIndoubts if this failed
+    } else {
+      // §4's problematic mode: fire the commit and return to the
+      // application without waiting.  The child agent may still be doing
+      // commit processing when this connection's next request arrives.
+      (void)peer.conn->CallAsync(std::move(req));
+      ++peer.pending_async;
+    }
+    peer.begun = false;
+  }
+  if (sync) (void)host_->EraseDecision(txn_id_);
+
+  for (sqldb::TableId t : drop_on_commit_) {
+    (void)host_->db()->DropTable(t);
+    std::lock_guard<std::mutex> lk(host_->mu_);
+    host_->tables_.erase(t);
+  }
+  drop_on_commit_.clear();
+  touched_.clear();
+  host_->counters().commits.fetch_add(1);
+  return Status::OK();
+}
+
+Status HostSession::Rollback() {
+  if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  (void)host_->db()->Rollback(local_);
+  local_ = nullptr;
+  for (const std::string& server : touched_) {
+    DlfmPeer& peer = peers_[server];
+    DlfmRequest req;
+    req.api = DlfmApi::kAbort;
+    req.txn = txn_id_;
+    (void)CallPeer(&peer, std::move(req));
+    peer.begun = false;
+  }
+  touched_.clear();
+  drop_on_commit_.clear();
+  rollback_only_ = false;
+  host_->counters().rollbacks.fetch_add(1);
+  return Status::OK();
+}
+
+}  // namespace datalinks::hostdb

@@ -1,0 +1,35 @@
+// DATALINK URL handling.  Values stored in DATALINK columns are URLs of the
+// form "dlfs://<server>/<path>"; the datalink engine parses them to find the
+// responsible DLFM and the file path on that server.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+namespace datalinks::hostdb {
+
+struct DatalinkUrl {
+  std::string server;
+  std::string path;  // path on the file server (no leading slash)
+
+  std::string ToString() const { return "dlfs://" + server + "/" + path; }
+};
+
+inline Result<DatalinkUrl> ParseDatalinkUrl(const std::string& url) {
+  constexpr const char* kScheme = "dlfs://";
+  constexpr size_t kSchemeLen = 7;
+  if (url.rfind(kScheme, 0) != 0) {
+    return Status::InvalidArgument("not a DATALINK url: " + url);
+  }
+  const size_t slash = url.find('/', kSchemeLen);
+  if (slash == std::string::npos || slash == kSchemeLen || slash + 1 >= url.size()) {
+    return Status::InvalidArgument("malformed DATALINK url: " + url);
+  }
+  DatalinkUrl out;
+  out.server = url.substr(kSchemeLen, slash - kSchemeLen);
+  out.path = url.substr(slash + 1);
+  return out;
+}
+
+}  // namespace datalinks::hostdb

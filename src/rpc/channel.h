@@ -1,0 +1,158 @@
+// In-process "RPC" between host database agents and DLFM child agents.
+//
+// The paper's deployment is one DB2 agent talking to one DLFM child agent
+// over a connection, with *blocking* send/receive.  That blocking is
+// semantically load-bearing: §4's distributed-deadlock scenario arises
+// because a DB2 agent's next request blocks while the child agent is still
+// doing (asynchronous) commit processing for the previous transaction and
+// has not issued its message receive.  A bounded queue of depth 1 plus a
+// blocking response wait reproduces exactly that coupling.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datalinks::rpc {
+
+/// Bounded blocking MPMC queue.  Close() wakes all waiters with kUnavailable.
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity = 1) : capacity_(capacity) {}
+
+  Status Send(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return Status::Unavailable("queue closed");
+    q_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  Result<T> Recv() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return Status::Unavailable("queue closed");
+    T item = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking receive; kNotFound when empty.
+  Result<T> TryRecv() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) {
+      return closed_ ? Status::Unavailable("queue closed") : Status::NotFound("empty");
+    }
+    T item = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+/// One duplex connection: requests flow client->server, responses back.
+/// Depth-1 queues model the paper's one-outstanding-request agent pairs.
+template <typename Req, typename Resp>
+class Connection {
+ public:
+  Connection() : requests_(1), responses_(1) {}
+
+  // --- client side ---------------------------------------------------------
+  /// Send a request and block for its response (synchronous call).
+  Result<Resp> Call(Req req) {
+    std::lock_guard<std::mutex> lk(call_mu_);  // one call at a time per connection
+    DLX_RETURN_IF_ERROR(requests_.Send(std::move(req)));
+    ++messages_;
+    return responses_.Recv();
+  }
+
+  /// Fire a request without waiting for the response (the *asynchronous*
+  /// commit mode of §4 — the one that deadlocks).  The response must later
+  /// be drained with DrainResponse() before the next Call().
+  Status CallAsync(Req req) {
+    std::lock_guard<std::mutex> lk(call_mu_);
+    ++pending_;
+    ++messages_;
+    return requests_.Send(std::move(req));
+  }
+
+  Result<Resp> DrainResponse() {
+    std::lock_guard<std::mutex> lk(call_mu_);
+    if (pending_ == 0) return Status::InvalidArgument("no pending async response");
+    --pending_;
+    return responses_.Recv();
+  }
+
+  size_t pending_responses() const { return pending_; }
+  uint64_t messages_sent() const { return messages_; }
+
+  // --- server side ----------------------------------------------------------
+  Result<Req> NextRequest() { return requests_.Recv(); }
+  Status Reply(Resp resp) { return responses_.Send(std::move(resp)); }
+
+  void Close() {
+    requests_.Close();
+    responses_.Close();
+  }
+
+ private:
+  std::mutex call_mu_;
+  BlockingQueue<Req> requests_;
+  BlockingQueue<Resp> responses_;
+  size_t pending_ = 0;
+  uint64_t messages_ = 0;
+};
+
+/// Connection acceptor — the DLFM "main daemon" listens here and spawns a
+/// child agent per accepted connection.
+template <typename Req, typename Resp>
+class Listener {
+ public:
+  using Conn = Connection<Req, Resp>;
+
+  Listener() : pending_(64) {}
+
+  /// Client side: create a connection and hand one end to the listener.
+  Result<std::shared_ptr<Conn>> Connect() {
+    auto conn = std::make_shared<Conn>();
+    DLX_RETURN_IF_ERROR(pending_.Send(conn));
+    return conn;
+  }
+
+  /// Server side: block until a client connects.
+  Result<std::shared_ptr<Conn>> Accept() { return pending_.Recv(); }
+
+  void Close() { pending_.Close(); }
+
+ private:
+  BlockingQueue<std::shared_ptr<Conn>> pending_;
+};
+
+}  // namespace datalinks::rpc

@@ -1,0 +1,337 @@
+#include "sqldb/btree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace datalinks::sqldb {
+
+// Node layout:
+//  - Leaf: parallel vectors keys/rids hold the entries in order; `next`/`prev`
+//    form the leaf chain.
+//  - Internal: keys/rids hold separator (key, rid) pairs; children has one
+//    more element than keys.  Entry e routes to children[i] where i is the
+//    first separator with e < sep[i] (or the last child).  A separator equals
+//    the minimum entry of the subtree to its right at the time of the split;
+//    it may become stale after deletions, which only loosens routing, never
+//    breaks it.
+struct BTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Key> keys;
+  std::vector<RowId> rids;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+BTree::BTree() {
+  root_holder_ = std::make_unique<Node>();
+  root_ = root_holder_.get();
+}
+
+BTree::~BTree() = default;
+
+int BTree::CompareEntry(const Key& a, RowId arid, const Key& b, RowId brid) {
+  const int c = CompareKeys(a, b);
+  if (c != 0) return c;
+  return arid < brid ? -1 : (arid > brid ? 1 : 0);
+}
+
+BTree::Node* BTree::FindLeaf(const Key& key, RowId rid) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    size_t i = 0;
+    while (i < n->keys.size() && CompareEntry(key, rid, n->keys[i], n->rids[i]) >= 0) ++i;
+    n = n->children[i].get();
+  }
+  return n;
+}
+
+void BTree::Insert(const Key& key, RowId rid) {
+  Node* leaf = FindLeaf(key, rid);
+  InsertIntoLeaf(leaf, key, rid);
+  ++size_;
+  if (leaf->keys.size() > kFanout) SplitNode(leaf);
+}
+
+void BTree::InsertIntoLeaf(Node* leaf, const Key& key, RowId rid) {
+  size_t i = 0;
+  while (i < leaf->keys.size() && CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) < 0) ++i;
+  assert(i == leaf->keys.size() ||
+         CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) != 0);
+  leaf->keys.insert(leaf->keys.begin() + i, key);
+  leaf->rids.insert(leaf->rids.begin() + i, rid);
+}
+
+void BTree::SplitNode(Node* node) {
+  auto right = std::make_unique<Node>();
+  Node* r = right.get();
+  r->leaf = node->leaf;
+
+  Key sep_key;
+  RowId sep_rid = kInvalidRowId;
+
+  if (node->leaf) {
+    const size_t h = node->keys.size() / 2;
+    r->keys.assign(node->keys.begin() + h, node->keys.end());
+    r->rids.assign(node->rids.begin() + h, node->rids.end());
+    node->keys.resize(h);
+    node->rids.resize(h);
+    sep_key = r->keys.front();
+    sep_rid = r->rids.front();
+    // Leaf chain.
+    r->next = node->next;
+    r->prev = node;
+    if (node->next) node->next->prev = r;
+    node->next = r;
+  } else {
+    const size_t mid = node->keys.size() / 2;
+    sep_key = node->keys[mid];
+    sep_rid = node->rids[mid];
+    r->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    r->rids.assign(node->rids.begin() + mid + 1, node->rids.end());
+    for (size_t i = mid + 1; i < node->children.size(); ++i) {
+      node->children[i]->parent = r;
+      r->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(mid);
+    node->rids.resize(mid);
+    node->children.resize(mid + 1);
+  }
+
+  Node* parent = node->parent;
+  if (parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(sep_key));
+    new_root->rids.push_back(sep_rid);
+    node->parent = new_root.get();
+    r->parent = new_root.get();
+    new_root->children.push_back(std::move(root_holder_));
+    new_root->children.push_back(std::move(right));
+    root_holder_ = std::move(new_root);
+    root_ = root_holder_.get();
+    return;
+  }
+
+  // Insert separator + right child into parent just after `node`.
+  size_t pos = 0;
+  while (parent->children[pos].get() != node) ++pos;
+  r->parent = parent;
+  parent->keys.insert(parent->keys.begin() + pos, std::move(sep_key));
+  parent->rids.insert(parent->rids.begin() + pos, sep_rid);
+  parent->children.insert(parent->children.begin() + pos + 1, std::move(right));
+  if (parent->children.size() > kFanout) SplitNode(parent);
+}
+
+bool BTree::Erase(const Key& key, RowId rid) {
+  Node* leaf = FindLeaf(key, rid);
+  size_t i = 0;
+  while (i < leaf->keys.size() && CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) < 0) ++i;
+  if (i == leaf->keys.size() || CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) != 0) {
+    return false;
+  }
+  leaf->keys.erase(leaf->keys.begin() + i);
+  leaf->rids.erase(leaf->rids.begin() + i);
+  --size_;
+
+  // Remove nodes that became empty so sustained insert/delete churn (the
+  // File table workload) does not leave a trail of hollow leaves.
+  Node* n = leaf;
+  while (n != root_ && n->keys.empty() && (n->leaf || n->children.empty())) {
+    Node* parent = n->parent;
+    size_t pos = 0;
+    while (parent->children[pos].get() != n) ++pos;
+    if (n->leaf) {
+      if (n->prev) n->prev->next = n->next;
+      if (n->next) n->next->prev = n->prev;
+    }
+    // Drop the child and one adjacent separator.
+    if (pos > 0) {
+      parent->keys.erase(parent->keys.begin() + pos - 1);
+      parent->rids.erase(parent->rids.begin() + pos - 1);
+    } else if (!parent->keys.empty()) {
+      parent->keys.erase(parent->keys.begin());
+      parent->rids.erase(parent->rids.begin());
+    }
+    parent->children.erase(parent->children.begin() + pos);
+    n = parent;
+  }
+  // Collapse a root that has a single child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children[0]);
+    child->parent = nullptr;
+    root_holder_ = std::move(child);
+    root_ = root_holder_.get();
+  }
+  // An internal root that lost all children degenerates back to an empty leaf.
+  if (!root_->leaf && root_->children.empty()) {
+    root_->leaf = true;
+    root_->keys.clear();
+    root_->rids.clear();
+  }
+  return true;
+}
+
+bool BTree::ContainsKey(const Key& key) const {
+  auto e = LowerBound(key);
+  return e.has_value() && CompareKeys(e->key, key) == 0;
+}
+
+std::optional<BTreeEntry> BTree::LowerBound(const Key& key) const {
+  Node* leaf = FindLeaf(key, /*rid=*/0);
+  size_t i = 0;
+  while (true) {
+    while (i < leaf->keys.size()) {
+      if (CompareKeys(leaf->keys[i], key) >= 0) {
+        return BTreeEntry{leaf->keys[i], leaf->rids[i]};
+      }
+      ++i;
+    }
+    if (leaf->next == nullptr) return std::nullopt;
+    leaf = leaf->next;
+    i = 0;
+  }
+}
+
+std::optional<BTreeEntry> BTree::Successor(const Key& key, RowId rid) const {
+  Node* leaf = FindLeaf(key, rid);
+  size_t i = 0;
+  while (true) {
+    while (i < leaf->keys.size()) {
+      if (CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) > 0) {
+        return BTreeEntry{leaf->keys[i], leaf->rids[i]};
+      }
+      ++i;
+    }
+    if (leaf->next == nullptr) return std::nullopt;
+    leaf = leaf->next;
+    i = 0;
+  }
+}
+
+namespace {
+bool KeyHasPrefix(const Key& key, const Key& prefix) {
+  if (key.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (key[i].Compare(prefix[i]) != 0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void BTree::ScanPrefix(const Key& prefix, std::vector<BTreeEntry>* out) const {
+  Node* leaf = FindLeaf(prefix, /*rid=*/0);
+  size_t i = 0;
+  bool started = false;
+  while (leaf) {
+    for (; i < leaf->keys.size(); ++i) {
+      const int c = CompareKeys(leaf->keys[i], prefix);
+      if (c < 0) continue;
+      if (KeyHasPrefix(leaf->keys[i], prefix)) {
+        out->push_back(BTreeEntry{leaf->keys[i], leaf->rids[i]});
+        started = true;
+      } else if (started || c > 0) {
+        return;  // past the prefix range
+      }
+    }
+    leaf = leaf->next;
+    i = 0;
+  }
+}
+
+void BTree::ScanRange(const Key* lo, bool lo_inclusive, const Key* hi, bool hi_inclusive,
+                      std::vector<BTreeEntry>* out) const {
+  Node* leaf;
+  size_t i = 0;
+  if (lo) {
+    leaf = FindLeaf(*lo, /*rid=*/0);
+  } else {
+    leaf = root_;
+    while (!leaf->leaf) leaf = leaf->children[0].get();
+  }
+  while (leaf) {
+    for (; i < leaf->keys.size(); ++i) {
+      if (lo) {
+        const int c = CompareKeys(leaf->keys[i], *lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi) {
+        const int c = CompareKeys(leaf->keys[i], *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      out->push_back(BTreeEntry{leaf->keys[i], leaf->rids[i]});
+    }
+    leaf = leaf->next;
+    i = 0;
+  }
+}
+
+int64_t BTree::CountDistinctKeys() const {
+  Node* leaf = root_;
+  while (!leaf->leaf) leaf = leaf->children[0].get();
+  int64_t count = 0;
+  const Key* prev = nullptr;
+  while (leaf) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (prev == nullptr || CompareKeys(*prev, leaf->keys[i]) != 0) ++count;
+      prev = &leaf->keys[i];
+    }
+    // `prev` may dangle across leaves if we kept the pointer; copy instead.
+    leaf = leaf->next;
+  }
+  return count;
+}
+
+void BTree::CheckInvariants() const {
+  // Walk the whole tree checking ordering, parent pointers and fanout.
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  int leaf_depth = -1;
+  size_t counted = 0;
+  while (!stack.empty()) {
+    auto [n, depth] = stack.back();
+    stack.pop_back();
+    if (n->keys.size() > kFanout + 1) {
+      std::fprintf(stderr, "btree: node overflow\n");
+      std::abort();
+    }
+    for (size_t i = 1; i < n->keys.size(); ++i) {
+      if (CompareEntry(n->keys[i - 1], n->rids[i - 1], n->keys[i], n->rids[i]) >= 0) {
+        std::fprintf(stderr, "btree: unsorted node\n");
+        std::abort();
+      }
+    }
+    if (n->leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (leaf_depth != depth) {
+        std::fprintf(stderr, "btree: unbalanced leaves\n");
+        std::abort();
+      }
+      counted += n->keys.size();
+    } else {
+      if (n->children.size() != n->keys.size() + 1) {
+        std::fprintf(stderr, "btree: children/keys mismatch\n");
+        std::abort();
+      }
+      for (const auto& c : n->children) {
+        if (c->parent != n) {
+          std::fprintf(stderr, "btree: bad parent pointer\n");
+          std::abort();
+        }
+        stack.push_back({c.get(), depth + 1});
+      }
+    }
+  }
+  if (counted != size_) {
+    std::fprintf(stderr, "btree: size mismatch (%zu vs %zu)\n", counted, size_);
+    std::abort();
+  }
+}
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,87 @@
+// In-memory B+tree mapping composite keys to row ids.
+//
+// Entries are (user key, rid) pairs; the rid acts as a uniquifier so
+// non-unique indexes store duplicate user keys at distinct tree entries.
+// Uniqueness of user keys is enforced one level up (Database) because the
+// engine needs to report kConflict with transactional context.
+//
+// The tree exposes exactly what next-key locking (ARIES/KVL) needs:
+// lower-bound positioning and successor lookup.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+
+namespace datalinks::sqldb {
+
+struct BTreeEntry {
+  Key key;
+  RowId rid = kInvalidRowId;
+};
+
+class BTree {
+ public:
+  static constexpr int kFanout = 32;  // max entries per node
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Insert (key, rid).  Duplicate (key, rid) pairs are a programming error.
+  void Insert(const Key& key, RowId rid);
+
+  /// Remove (key, rid).  Returns false if the pair is absent.
+  bool Erase(const Key& key, RowId rid);
+
+  /// True if any entry has exactly this user key.
+  bool ContainsKey(const Key& key) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The smallest entry with user key >= `key` (any rid), or nullopt.
+  std::optional<BTreeEntry> LowerBound(const Key& key) const;
+
+  /// The smallest entry strictly greater than (key, rid) — the "next key"
+  /// that ARIES/KVL locks on insert/delete.  nullopt means end-of-index
+  /// (callers lock a virtual +infinity key).
+  std::optional<BTreeEntry> Successor(const Key& key, RowId rid) const;
+
+  /// Collect the rids of all entries whose user key starts with `prefix`
+  /// (equality on a key prefix).  Returns entries in key order.
+  void ScanPrefix(const Key& prefix, std::vector<BTreeEntry>* out) const;
+
+  /// Collect entries with lo <= user key < hi (either bound optional).
+  void ScanRange(const Key* lo, bool lo_inclusive, const Key* hi, bool hi_inclusive,
+                 std::vector<BTreeEntry>* out) const;
+
+  /// Number of distinct user keys (walks the leaves; used by RunStats).
+  int64_t CountDistinctKeys() const;
+
+  /// Verify structural invariants (sorted leaves, balanced height, fanout
+  /// bounds).  Test hook; aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  static int CompareEntry(const Key& a, RowId arid, const Key& b, RowId brid);
+
+  Node* FindLeaf(const Key& key, RowId rid) const;
+  void InsertIntoLeaf(Node* leaf, const Key& key, RowId rid);
+  void SplitNode(Node* node);
+
+  std::unique_ptr<Node> root_holder_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace datalinks::sqldb

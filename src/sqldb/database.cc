@@ -1,0 +1,637 @@
+#include "sqldb/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace datalinks::sqldb {
+
+namespace {
+
+constexpr uint32_t kImageMagic = 0xD1F0CA7A;
+constexpr uint32_t kImageVersion = 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 3; i >= 0; --i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r = (r << 8) | static_cast<unsigned char>((*in)[i]);
+  in->remove_prefix(4);
+  *v = r;
+  return true;
+}
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = (r << 8) | static_cast<unsigned char>((*in)[i]);
+  in->remove_prefix(8);
+  *v = r;
+  return true;
+}
+bool GetStr(std::string_view* in, std::string* s) {
+  uint32_t n;
+  if (!GetU32(in, &n) || in->size() < n) return false;
+  s->assign(in->substr(0, n));
+  in->remove_prefix(n);
+  return true;
+}
+
+}  // namespace
+
+std::string AccessPath::ToString() const {
+  if (kind == Kind::kTableScan) {
+    return "TableScan(cost=" + std::to_string(cost) + ")";
+  }
+  return "IndexScan(ix=" + std::to_string(index) + ", eq_prefix=" + std::to_string(eq_prefix_len) +
+         ", est_rows=" + std::to_string(estimated_rows) + ", cost=" + std::to_string(cost) + ")";
+}
+
+Database::Database(DatabaseOptions options, std::shared_ptr<DurableStore> durable)
+    : options_(std::move(options)), durable_(std::move(durable)) {
+  clock_ = options_.clock ? options_.clock : SystemClock::Instance();
+  if (!durable_) durable_ = std::make_shared<DurableStore>();
+  wal_ = std::make_unique<WriteAheadLog>(durable_, options_.log_capacity_bytes);
+  lock_manager_ = std::make_unique<LockManager>(clock_);
+}
+
+Database::~Database() = default;
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
+                                                 std::shared_ptr<DurableStore> durable) {
+  std::unique_ptr<Database> db(new Database(std::move(options), std::move(durable)));
+  {
+    std::lock_guard<std::mutex> lk(db->data_mu_);
+    DLX_RETURN_IF_ERROR(db->RecoverLocked());
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization / recovery
+// ---------------------------------------------------------------------------
+
+std::string Database::SerializeLocked() const {
+  std::string out;
+  PutU32(&out, kImageMagic);
+  PutU32(&out, kImageVersion);
+  PutU64(&out, next_table_id_);
+  PutU64(&out, next_index_id_);
+  PutU64(&out, next_txn_id_.load());
+  PutU32(&out, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [tid, t] : tables_) {
+    PutU64(&out, tid);
+    PutStr(&out, t->schema.name);
+    PutU32(&out, static_cast<uint32_t>(t->schema.columns.size()));
+    for (const ColumnDef& c : t->schema.columns) {
+      PutStr(&out, c.name);
+      out.push_back(static_cast<char>(c.type));
+      out.push_back(c.nullable ? 1 : 0);
+    }
+    // Stats.
+    PutU64(&out, static_cast<uint64_t>(t->stats.cardinality));
+    PutU32(&out, static_cast<uint32_t>(t->stats.index_distinct.size()));
+    for (const auto& [ix, d] : t->stats.index_distinct) {
+      PutU64(&out, ix);
+      PutU64(&out, static_cast<uint64_t>(d));
+    }
+    // Indexes.
+    PutU32(&out, static_cast<uint32_t>(t->indexes.size()));
+    for (const auto& ix : t->indexes) {
+      PutU64(&out, ix->id);
+      PutStr(&out, ix->def.name);
+      out.push_back(ix->def.unique ? 1 : 0);
+      PutU32(&out, static_cast<uint32_t>(ix->def.key_columns.size()));
+      for (int c : ix->def.key_columns) PutU32(&out, static_cast<uint32_t>(c));
+    }
+    // Heap contents.
+    PutU64(&out, t->heap.slot_count());
+    PutU64(&out, t->heap.live_count());
+    t->heap.ForEach([&](RowId rid, const Row& row) {
+      PutU64(&out, rid);
+      EncodeRowTo(row, &out);
+      return true;
+    });
+  }
+  return out;
+}
+
+Status Database::DeserializeLocked(const std::string& image) {
+  std::string_view in(image);
+  uint32_t magic, version;
+  if (!GetU32(&in, &magic) || magic != kImageMagic || !GetU32(&in, &version) ||
+      version != kImageVersion) {
+    return Status::Corruption("bad checkpoint image header");
+  }
+  uint64_t ntid, niid, ntxn;
+  uint32_t ntables;
+  if (!GetU64(&in, &ntid) || !GetU64(&in, &niid) || !GetU64(&in, &ntxn) ||
+      !GetU32(&in, &ntables)) {
+    return Status::Corruption("bad checkpoint image counters");
+  }
+  next_table_id_ = static_cast<TableId>(ntid);
+  next_index_id_ = static_cast<IndexId>(niid);
+  next_txn_id_.store(ntxn);
+  tables_.clear();
+  table_names_.clear();
+  for (uint32_t i = 0; i < ntables; ++i) {
+    auto t = std::make_unique<TableState>();
+    uint64_t tid;
+    uint32_t ncols;
+    if (!GetU64(&in, &tid) || !GetStr(&in, &t->schema.name) || !GetU32(&in, &ncols)) {
+      return Status::Corruption("bad table header");
+    }
+    t->id = static_cast<TableId>(tid);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      ColumnDef col;
+      if (!GetStr(&in, &col.name) || in.size() < 2) return Status::Corruption("bad column");
+      col.type = static_cast<ValueType>(in[0]);
+      col.nullable = in[1] != 0;
+      in.remove_prefix(2);
+      t->schema.columns.push_back(std::move(col));
+    }
+    uint64_t card;
+    uint32_t ndist;
+    if (!GetU64(&in, &card) || !GetU32(&in, &ndist)) return Status::Corruption("bad stats");
+    t->stats.cardinality = static_cast<int64_t>(card);
+    for (uint32_t d = 0; d < ndist; ++d) {
+      uint64_t ix, dv;
+      if (!GetU64(&in, &ix) || !GetU64(&in, &dv)) return Status::Corruption("bad stats entry");
+      t->stats.index_distinct[static_cast<IndexId>(ix)] = static_cast<int64_t>(dv);
+    }
+    uint32_t nidx;
+    if (!GetU32(&in, &nidx)) return Status::Corruption("bad index count");
+    for (uint32_t x = 0; x < nidx; ++x) {
+      auto ix = std::make_unique<IndexState>();
+      uint64_t iid;
+      uint32_t nkeys;
+      if (!GetU64(&in, &iid) || !GetStr(&in, &ix->def.name) || in.empty()) {
+        return Status::Corruption("bad index header");
+      }
+      ix->def.unique = in[0] != 0;
+      in.remove_prefix(1);
+      if (!GetU32(&in, &nkeys)) return Status::Corruption("bad index keys");
+      for (uint32_t k = 0; k < nkeys; ++k) {
+        uint32_t c;
+        if (!GetU32(&in, &c)) return Status::Corruption("bad index key col");
+        ix->def.key_columns.push_back(static_cast<int>(c));
+      }
+      ix->id = static_cast<IndexId>(iid);
+      ix->def.table = t->id;
+      t->indexes.push_back(std::move(ix));
+    }
+    uint64_t slot_count, nlive;
+    if (!GetU64(&in, &slot_count) || !GetU64(&in, &nlive)) {
+      return Status::Corruption("bad heap header");
+    }
+    for (uint64_t r = 0; r < nlive; ++r) {
+      uint64_t rid;
+      if (!GetU64(&in, &rid)) return Status::Corruption("bad rid");
+      DLX_ASSIGN_OR_RETURN(Row row, DecodeRowFrom(&in));
+      t->heap.InsertAt(rid, std::move(row));
+    }
+    // Populate the indexes from the heap.
+    for (auto& ix : t->indexes) {
+      t->heap.ForEach([&](RowId rid, const Row& row) {
+        ix->tree.Insert(ExtractKey(*ix, row), rid);
+        return true;
+      });
+    }
+    t->heap.RebuildFreeList();
+    table_names_[t->schema.name] = t->id;
+    tables_[t->id] = std::move(t);
+  }
+  return Status::OK();
+}
+
+Status Database::RecoverLocked() {
+  const std::string image = durable_->checkpoint_image();
+  if (!image.empty()) {
+    DLX_RETURN_IF_ERROR(DeserializeLocked(image));
+  }
+  // All retained records: the truncation point never advances past the
+  // begin-LSN of an active transaction, so records of in-flight (loser)
+  // transactions are retained even when they predate the checkpoint.
+  const std::vector<LogRecord> records = durable_->ForcedSince(0);
+  const Lsn checkpoint_lsn = durable_->checkpoint_lsn();
+
+  // Redo pass (only records newer than the checkpoint image; older ones are
+  // already reflected in the image).  Outcomes are tracked across ALL
+  // retained records.
+  enum class Outcome : char { kActive, kCommitted, kAborted };
+  std::unordered_map<TxnId, Outcome> outcome;
+  TxnId max_txn = 0;
+  for (const LogRecord& r : records) {
+    max_txn = std::max(max_txn, r.txn);
+    switch (r.type) {
+      case LogRecordType::kBegin:
+        outcome[r.txn] = Outcome::kActive;
+        break;
+      case LogRecordType::kCommit:
+        outcome[r.txn] = Outcome::kCommitted;
+        break;
+      case LogRecordType::kAbort:
+        outcome[r.txn] = Outcome::kAborted;
+        break;
+      default:
+        // DML from before the first Begin record we can see (possible when
+        // the Begin itself was truncated) still counts as active unless a
+        // later Commit/Abort shows up.
+        if (outcome.find(r.txn) == outcome.end()) outcome[r.txn] = Outcome::kActive;
+        break;
+    }
+  }
+  for (const LogRecord& r : records) {
+    if (r.lsn <= checkpoint_lsn) continue;
+    TableState* t = nullptr;
+    switch (r.type) {
+      case LogRecordType::kInsert:
+        t = FindTable(r.table);
+        if (t != nullptr) {
+          t->heap.InsertAt(r.rid, r.after);
+          for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.after), r.rid);
+        }
+        break;
+      case LogRecordType::kDelete:
+        t = FindTable(r.table);
+        if (t != nullptr && t->heap.Valid(r.rid)) {
+          Row old = t->heap.Delete(r.rid);
+          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), r.rid);
+        }
+        break;
+      case LogRecordType::kUpdate:
+        t = FindTable(r.table);
+        if (t != nullptr && t->heap.Valid(r.rid)) {
+          const Row old = t->heap.Get(r.rid);
+          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), r.rid);
+          t->heap.Update(r.rid, r.after);
+          for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.after), r.rid);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Undo pass: roll back transactions with no COMMIT/ABORT record.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const LogRecord& r = *it;
+    auto oit = outcome.find(r.txn);
+    if (oit == outcome.end() || oit->second != Outcome::kActive) continue;
+    TableState* t = FindTable(r.table);
+    switch (r.type) {
+      case LogRecordType::kInsert:
+        if (t != nullptr && t->heap.Valid(r.rid)) {
+          Row old = t->heap.Delete(r.rid);
+          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), r.rid);
+        }
+        break;
+      case LogRecordType::kDelete:
+        if (t != nullptr && !t->heap.Valid(r.rid)) {
+          t->heap.InsertAt(r.rid, r.before);
+          for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.before), r.rid);
+        }
+        break;
+      case LogRecordType::kUpdate:
+        if (t != nullptr && t->heap.Valid(r.rid)) {
+          const Row cur = t->heap.Get(r.rid);
+          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, cur), r.rid);
+          t->heap.Update(r.rid, r.before);
+          for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.before), r.rid);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (auto& [tid, t] : tables_) t->heap.RebuildFreeList();
+  next_txn_id_.store(std::max(next_txn_id_.load(), max_txn + 1));
+
+  // Compact so repeated crash/recover cycles start from a clean image.
+  if (!records.empty() || !image.empty()) {
+    DLX_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  return Status::OK();
+}
+
+Status Database::CheckpointLocked() {
+  wal_->ForceAll();
+  const Lsn lsn = wal_->last_lsn();
+  durable_->SetCheckpoint(SerializeLocked(), lsn);
+  wal_->OnCheckpoint(lsn);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  return CheckpointLocked();
+}
+
+void Database::MaybeAutoCheckpoint() {
+  const size_t threshold = options_.checkpoint_threshold_bytes != 0
+                               ? options_.checkpoint_threshold_bytes
+                               : options_.log_capacity_bytes / 2;
+  if (wal_->BytesInUse() <= threshold) return;
+  // Only checkpoint when it can actually reclaim space: log pinned by an
+  // old active transaction stays pinned regardless (that is the log-full
+  // failure mode the paper's batched commits avoid).
+  const size_t pinned = wal_->BytesPinnedByActiveTxns();
+  if (wal_->BytesInUse() - pinned < threshold / 2) return;
+  std::lock_guard<std::mutex> lk(data_mu_);
+  (void)CheckpointLocked();
+}
+
+std::shared_ptr<DurableStore> Database::SimulateCrash() {
+  crashed_.store(true);
+  return durable_;
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Result<TableId> Database::CreateTable(TableSchema schema) {
+  if (schema.name.empty() || schema.columns.empty()) {
+    return Status::InvalidArgument("table needs a name and at least one column");
+  }
+  std::lock_guard<std::mutex> lk(data_mu_);
+  if (table_names_.count(schema.name) != 0) {
+    return Status::AlreadyExists("table " + schema.name);
+  }
+  auto t = std::make_unique<TableState>();
+  t->id = next_table_id_++;
+  t->schema = std::move(schema);
+  const TableId id = t->id;
+  table_names_[t->schema.name] = id;
+  tables_[id] = std::move(t);
+  DLX_RETURN_IF_ERROR(CheckpointLocked());
+  return id;
+}
+
+Result<IndexId> Database::CreateIndex(IndexDef def) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(def.table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(def.table));
+  for (int c : def.key_columns) {
+    if (c < 0 || static_cast<size_t>(c) >= t->schema.columns.size()) {
+      return Status::InvalidArgument("index key column out of range");
+    }
+  }
+  for (const auto& ix : t->indexes) {
+    if (ix->def.name == def.name) return Status::AlreadyExists("index " + def.name);
+  }
+  auto ix = std::make_unique<IndexState>();
+  ix->id = next_index_id_++;
+  ix->def = std::move(def);
+  // Populate, checking uniqueness against existing data.
+  Status st;
+  t->heap.ForEach([&](RowId rid, const Row& row) {
+    Key k = ExtractKey(*ix, row);
+    if (ix->def.unique && ix->tree.ContainsKey(k)) {
+      st = Status::Conflict("duplicate key building unique index " + ix->def.name);
+      return false;
+    }
+    ix->tree.Insert(std::move(k), rid);
+    return true;
+  });
+  DLX_RETURN_IF_ERROR(st);
+  const IndexId id = ix->id;
+  t->indexes.push_back(std::move(ix));
+  DLX_RETURN_IF_ERROR(CheckpointLocked());
+  return id;
+}
+
+Status Database::DropTable(TableId table) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  table_names_.erase(t->schema.name);
+  tables_.erase(table);
+  return CheckpointLocked();
+}
+
+Result<TableId> Database::TableByName(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  auto it = table_names_.find(std::string(name));
+  if (it == table_names_.end()) return Status::NotFound("table " + std::string(name));
+  return it->second;
+}
+
+Result<TableSchema> Database::GetSchema(TableId table) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  return t->schema;
+}
+
+std::vector<IndexDef> Database::GetIndexes(TableId table) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  std::vector<IndexDef> out;
+  TableState* t = FindTable(table);
+  if (t != nullptr) {
+    for (const auto& ix : t->indexes) out.push_back(ix->def);
+  }
+  return out;
+}
+
+Result<IndexId> Database::IndexByName(TableId table, std::string_view name) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  for (const auto& ix : t->indexes) {
+    if (ix->def.name == name) return ix->id;
+  }
+  return Status::NotFound("index " + std::string(name));
+}
+
+Database::TableState* Database::FindTable(TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Transaction* Database::Begin() { return Begin(options_.default_isolation); }
+
+Transaction* Database::Begin(Isolation isolation) {
+  auto txn = std::make_unique<Transaction>();
+  txn->id_ = next_txn_id_.fetch_add(1);
+  txn->isolation_ = isolation;
+  Transaction* raw = txn.get();
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    (void)wal_->Append(LogRecord{0, raw->id_, LogRecordType::kBegin, 0, 0, {}, {}},
+                       /*exempt=*/true);
+    wal_->OnBegin(raw->id_, wal_->last_lsn());
+  }
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    txns_[raw->id_] = std::move(txn);
+  }
+  begins_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (crashed_.load()) return Status::Unavailable("database crashed");
+  if (txn->finished_) return Status::InvalidArgument("transaction already finished");
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kCommit, 0, 0, {}, {}},
+                       /*exempt=*/true);
+    wal_->ForceAll();
+    for (const auto& [table, rid] : txn->pending_free_) {
+      TableState* t = FindTable(table);
+      if (t != nullptr) t->heap.FreeSlot(rid);
+    }
+  }
+  wal_->OnEnd(txn->id_);
+  lock_manager_->ReleaseAll(txn->id_);
+  FinishTxn(txn);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status Database::Rollback(Transaction* txn) {
+  if (crashed_.load()) return Status::Unavailable("database crashed");
+  if (txn->finished_) return Status::InvalidArgument("transaction already finished");
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    DLX_RETURN_IF_ERROR(RollbackLocked(txn));
+  }
+  wal_->OnEnd(txn->id_);
+  lock_manager_->ReleaseAll(txn->id_);
+  FinishTxn(txn);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Database::RollbackLocked(Transaction* txn) {
+  // Reverse-apply the undo chain, logging compensations as ordinary records
+  // so redo replays them (ARIES CLR-lite).
+  for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
+    TableState* t = FindTable(it->table);
+    if (t == nullptr) continue;
+    switch (it->type) {
+      case LogRecordType::kInsert: {
+        if (!t->heap.Valid(it->rid)) break;
+        Row old = t->heap.Delete(it->rid);
+        for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), it->rid);
+        (void)wal_->Append(
+            LogRecord{0, txn->id_, LogRecordType::kDelete, it->table, it->rid, old, {}},
+            /*exempt=*/true);
+        t->heap.FreeSlot(it->rid);
+        break;
+      }
+      case LogRecordType::kDelete: {
+        if (t->heap.Valid(it->rid)) break;
+        t->heap.InsertAt(it->rid, it->before);
+        for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, it->before), it->rid);
+        (void)wal_->Append(
+            LogRecord{0, txn->id_, LogRecordType::kInsert, it->table, it->rid, {}, it->before},
+            /*exempt=*/true);
+        break;
+      }
+      case LogRecordType::kUpdate: {
+        if (!t->heap.Valid(it->rid)) break;
+        const Row cur = t->heap.Get(it->rid);
+        for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, cur), it->rid);
+        t->heap.Update(it->rid, it->before);
+        for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, it->before), it->rid);
+        (void)wal_->Append(
+            LogRecord{0, txn->id_, LogRecordType::kUpdate, it->table, it->rid, cur, it->before},
+            /*exempt=*/true);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  txn->undo_.clear();
+  (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kAbort, 0, 0, {}, {}},
+                     /*exempt=*/true);
+  return Status::OK();
+}
+
+void Database::FinishTxn(Transaction* txn) {
+  txn->finished_ = true;
+  std::lock_guard<std::mutex> lk(txn_mu_);
+  txns_.erase(txn->id_);  // destroys *txn
+}
+
+int64_t Database::LockTimeout(const Transaction* txn) const {
+  return txn->lock_timeout_override_.value_or(options_.lock_timeout_micros);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics / misc
+// ---------------------------------------------------------------------------
+
+void Database::SetTableStats(TableId table, TableStats stats) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t != nullptr) t->stats = std::move(stats);
+}
+
+Result<TableStats> Database::GetTableStats(TableId table) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  return t->stats;
+}
+
+Status Database::RunStats(TableId table) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  t->stats.cardinality = static_cast<int64_t>(t->heap.live_count());
+  t->stats.index_distinct.clear();
+  for (const auto& ix : t->indexes) {
+    t->stats.index_distinct[ix->id] = ix->tree.CountDistinctKeys();
+  }
+  return Status::OK();
+}
+
+Result<size_t> Database::LiveRowCount(TableId table) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  return t->heap.live_count();
+}
+
+DatabaseStats Database::stats() const {
+  DatabaseStats s;
+  s.begins = begins_.load(std::memory_order_relaxed);
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.updates = updates_.load(std::memory_order_relaxed);
+  s.deletes = deletes_.load(std::memory_order_relaxed);
+  s.selects = selects_.load(std::memory_order_relaxed);
+  s.unique_conflicts = unique_conflicts_.load(std::memory_order_relaxed);
+  s.table_scans = table_scans_.load(std::memory_order_relaxed);
+  s.index_scans = index_scans_.load(std::memory_order_relaxed);
+  s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Key Database::ExtractKey(const IndexState& ix, const Row& row) const {
+  Key k;
+  k.reserve(ix.def.key_columns.size());
+  for (int c : ix.def.key_columns) k.push_back(row[c]);
+  return k;
+}
+
+}  // namespace datalinks::sqldb

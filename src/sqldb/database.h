@@ -1,0 +1,278 @@
+// Embedded multi-threaded relational engine — the stand-in for the paper's
+// "local DB2" that the DLFM uses strictly as a black box, and for the host
+// DB2 that stores the user tables.
+//
+// Faithfully modelled behaviours the reproduction depends on:
+//  - strict two-phase row/key/table locking with IS/IX/S/SIX/X modes,
+//  - next-key locking (ARIES/KVL-style) on every index of a table,
+//    switchable per database: DatabaseOptions::next_key_locking — the
+//    paper's fix for the multi-index deadlocks was turning this off,
+//  - DB2-style lock escalation: more than `lock_escalation_threshold`
+//    row+key locks on one table (or a full lock list) converts to a table
+//    lock — the paper's "brings the system to its knees" failure mode,
+//  - deadlock detection (victim = requester) and lock timeouts,
+//  - WAL with bounded log space (kLogFull for long transactions) and
+//    crash/restart recovery, and
+//  - a cost-based access-path optimizer driven by catalog statistics that
+//    can be hand-set (SetTableStats) or recomputed (RunStats), including
+//    the trap the paper describes: with default (empty-table) statistics
+//    the optimizer prefers a table scan even when an index exists.
+//
+// Concurrency: one thread per transaction.  A short global data latch
+// protects physical structures; lock waits never happen under the latch.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sqldb/btree.h"
+#include "sqldb/heap.h"
+#include "sqldb/lock_manager.h"
+#include "sqldb/schema.h"
+#include "sqldb/statement.h"
+#include "sqldb/value.h"
+#include "sqldb/wal.h"
+
+namespace datalinks::sqldb {
+
+/// Isolation levels, DB2-named: UR (uncommitted read), CS (cursor
+/// stability), RS (read stability), RR (repeatable read).  RR acquires
+/// next-key locks on index scans only while next_key_locking is enabled —
+/// disabling it degrades RR to RS, which is exactly the trade the paper
+/// accepted ("repeatable read is not really needed by DLFM processes").
+enum class Isolation : uint8_t { kUR, kCS, kRS, kRR };
+
+struct DatabaseOptions {
+  std::string name = "db";
+
+  /// ARIES/KVL next-key locking on index insert/delete and RR scans.
+  bool next_key_locking = true;
+
+  /// Default lock-wait timeout; negative = wait forever.  The paper used
+  /// 60 s in production to break distributed deadlocks.
+  int64_t lock_timeout_micros = -1;
+
+  /// Row+key locks one transaction may hold on one table before the engine
+  /// escalates to a table lock (DB2 MAXLOCKS).
+  size_t lock_escalation_threshold = 100000;
+
+  /// Total granted locks across all transactions (DB2 LOCKLIST).  When
+  /// exceeded the requesting transaction escalates; if that fails the
+  /// statement gets kLockListFull.
+  size_t lock_list_capacity = 1000000;
+
+  /// WAL capacity; exceeded -> kLogFull (long-running transaction).
+  size_t log_capacity_bytes = 64ull << 20;
+
+  /// Auto-checkpoint when the retained log exceeds this (0 = capacity/2).
+  size_t checkpoint_threshold_bytes = 0;
+
+  Isolation default_isolation = Isolation::kCS;
+
+  std::shared_ptr<Clock> clock;  // defaults to SystemClock
+};
+
+struct DatabaseStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t selects = 0;
+  uint64_t unique_conflicts = 0;
+  uint64_t table_scans = 0;
+  uint64_t index_scans = 0;
+  uint64_t rows_scanned = 0;
+};
+
+/// Handle for an open transaction.  Owned by the Database; valid until
+/// Commit/Rollback returns.  Not thread-safe (one thread per transaction).
+class Transaction {
+ public:
+  TxnId id() const { return id_; }
+  Isolation isolation() const { return isolation_; }
+  void set_isolation(Isolation iso) { isolation_ = iso; }
+
+  /// Per-transaction lock timeout override (micros; negative = forever).
+  void set_lock_timeout_micros(int64_t t) { lock_timeout_override_ = t; }
+
+ private:
+  friend class Database;
+
+  struct UndoRecord {
+    LogRecordType type;  // kInsert / kDelete / kUpdate (forward op)
+    TableId table;
+    RowId rid;
+    Row before;  // delete/update
+  };
+
+  TxnId id_ = 0;
+  Isolation isolation_ = Isolation::kCS;
+  std::optional<int64_t> lock_timeout_override_;
+  std::vector<UndoRecord> undo_;
+  std::vector<std::pair<TableId, RowId>> pending_free_;
+  std::unordered_set<TableId> escalated_tables_;
+  bool finished_ = false;
+};
+
+class Database {
+ public:
+  /// Open (or re-open after a crash) a database.  If `durable` contains a
+  /// checkpoint/log, runs restart recovery (redo + undo of losers).
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options,
+                                                std::shared_ptr<DurableStore> durable = {});
+
+  ~Database();
+
+  // --- DDL (auto-committed; each DDL forces a checkpoint) ----------------
+  Result<TableId> CreateTable(TableSchema schema);
+  Result<IndexId> CreateIndex(IndexDef def);
+  Status DropTable(TableId table);
+  Result<TableId> TableByName(std::string_view name) const;
+  Result<TableSchema> GetSchema(TableId table) const;
+  std::vector<IndexDef> GetIndexes(TableId table) const;
+  Result<IndexId> IndexByName(TableId table, std::string_view name) const;
+
+  // --- Transactions -------------------------------------------------------
+  Transaction* Begin();
+  Transaction* Begin(Isolation isolation);
+  Status Commit(Transaction* txn);
+  Status Rollback(Transaction* txn);
+
+  // --- DML ----------------------------------------------------------------
+  Status Insert(Transaction* txn, TableId table, Row row);
+
+  /// Compile a statement against current catalog statistics (the paper's
+  /// static-SQL "bind").  The chosen access path is frozen in the result.
+  Result<BoundStatement> Bind(BoundStatement::Kind kind, TableId table, Conjunction where,
+                              std::vector<Assignment> sets = {}) const;
+
+  Result<std::vector<Row>> ExecuteSelect(Transaction* txn, const BoundStatement& stmt,
+                                         const std::vector<Value>& params = {});
+  Result<int64_t> ExecuteUpdate(Transaction* txn, const BoundStatement& stmt,
+                                const std::vector<Value>& params = {});
+  Result<int64_t> ExecuteDelete(Transaction* txn, const BoundStatement& stmt,
+                                const std::vector<Value>& params = {});
+
+  // One-shot conveniences (bind + execute).
+  Result<std::vector<Row>> Select(Transaction* txn, TableId table, const Conjunction& where);
+  Result<int64_t> Update(Transaction* txn, TableId table, const Conjunction& where,
+                         const std::vector<Assignment>& sets);
+  Result<int64_t> Delete(Transaction* txn, TableId table, const Conjunction& where);
+  Result<int64_t> CountAll(Transaction* txn, TableId table);
+
+  // --- Optimizer & statistics ---------------------------------------------
+  AccessPath ChooseAccessPath(TableId table, const Conjunction& where) const;
+  void SetTableStats(TableId table, TableStats stats);
+  Result<TableStats> GetTableStats(TableId table) const;
+  /// Recompute statistics from live data (the `runstats` utility — the one
+  /// that can clobber hand-crafted statistics, §4).
+  Status RunStats(TableId table);
+
+  // --- Durability ----------------------------------------------------------
+  Status Checkpoint();
+  /// Abandon all volatile state and return the durable store for re-Open.
+  /// The database is unusable afterwards.  Callers must quiesce first.
+  std::shared_ptr<DurableStore> SimulateCrash();
+
+  // --- Introspection --------------------------------------------------------
+  LockManager& lock_manager() { return *lock_manager_; }
+  const WriteAheadLog& wal() const { return *wal_; }
+  DatabaseStats stats() const;
+  const DatabaseOptions& options() const { return options_; }
+  /// Number of live rows (latched read; for tests).
+  Result<size_t> LiveRowCount(TableId table) const;
+
+ private:
+  struct IndexState {
+    IndexDef def;
+    IndexId id = 0;
+    BTree tree;
+  };
+  struct TableState {
+    TableId id = 0;
+    TableSchema schema;
+    HeapTable heap;
+    std::vector<std::unique_ptr<IndexState>> indexes;
+    TableStats stats;
+  };
+
+  explicit Database(DatabaseOptions options, std::shared_ptr<DurableStore> durable);
+
+  Status RecoverLocked();
+  std::string SerializeLocked() const;
+  Status DeserializeLocked(const std::string& image);
+  Status CheckpointLocked();
+  void MaybeAutoCheckpoint();
+
+  TableState* FindTable(TableId id) const;
+  int64_t LockTimeout(const Transaction* txn) const;
+
+  /// Row/key lock acquisition with DB2-style escalation.
+  Status AcquireGranular(Transaction* txn, TableState* t, const LockId& id, LockMode mode);
+  Status MaybeEscalate(Transaction* txn, TableState* t, bool for_write);
+
+  /// Key-lock ids for one index entry; `next_key` = lock the successor
+  /// instead of the entry itself.  Must be called under the data latch.
+  LockId KeyLockId(const TableState& t, const IndexState& ix, const Key& key) const;
+  LockId NextKeyLockId(const TableState& t, const IndexState& ix, const Key& key) const;
+
+  Key ExtractKey(const IndexState& ix, const Row& row) const;
+
+  static bool EvalPred(const Value& lhs, PredOp op, const Value& rhs);
+  bool RowMatches(const BoundStatement& stmt, const std::vector<Value>& params,
+                  const Row& row) const;
+
+  /// Collect candidate (rid, row-snapshot) pairs for a bound statement.
+  /// Takes and releases the data latch internally.
+  struct Candidate {
+    RowId rid;
+    Row row;
+  };
+  Result<std::vector<Candidate>> CollectCandidates(Transaction* txn,
+                                                   const BoundStatement& stmt,
+                                                   const std::vector<Value>& params);
+
+  /// Write one WAL record under the latch.  `exempt` bypasses the capacity
+  /// check (compensations and commit/abort records must never fail).
+  Status LogLocked(Transaction* txn, LogRecordType type, TableId table, RowId rid, Row before,
+                   Row after, bool exempt);
+
+  Status RollbackLocked(Transaction* txn);
+  void FinishTxn(Transaction* txn);
+
+  DatabaseOptions options_;
+  std::shared_ptr<Clock> clock_;
+  std::shared_ptr<DurableStore> durable_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<LockManager> lock_manager_;
+
+  mutable std::mutex data_mu_;  // the data latch
+  std::unordered_map<TableId, std::unique_ptr<TableState>> tables_;
+  std::unordered_map<std::string, TableId> table_names_;
+  TableId next_table_id_ = 1;
+  IndexId next_index_id_ = 1;
+
+  mutable std::mutex txn_mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> txns_;
+  std::atomic<TxnId> next_txn_id_{1};
+
+  std::atomic<bool> crashed_{false};
+
+  // Stats.
+  mutable std::atomic<uint64_t> begins_{0}, commits_{0}, rollbacks_{0}, inserts_{0},
+      updates_{0}, deletes_{0}, selects_{0}, unique_conflicts_{0}, table_scans_{0},
+      index_scans_{0}, rows_scanned_{0};
+};
+
+}  // namespace datalinks::sqldb

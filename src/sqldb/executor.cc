@@ -1,0 +1,611 @@
+// DML execution: access-path selection, candidate collection, and the
+// locking protocol (granular locks, escalation, next-key locking).
+#include <cmath>
+
+#include "sqldb/database.h"
+
+namespace datalinks::sqldb {
+
+namespace {
+// Optimizer cost constants.  Deliberately simple: the point the paper makes
+// is *which* plan wins under which statistics, not absolute costs.  With
+// default statistics (cardinality 0, e.g. freshly created tables) the table
+// scan costs less than an index probe, so the optimizer picks the scan —
+// the trap §3.2.1 describes.
+constexpr double kIndexProbeCost = 2.0;
+constexpr double kIndexRowCost = 1.0;
+constexpr double kScanBaseCost = 1.0;
+constexpr double kScanRowCost = 0.25;
+constexpr double kDefaultDistinctPerCol = 10.0;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+AccessPath Database::ChooseAccessPath(TableId table, const Conjunction& where) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  AccessPath best;
+  TableState* t = FindTable(table);
+  if (t == nullptr) return best;
+  const double card = static_cast<double>(t->stats.cardinality);
+  best.kind = AccessPath::Kind::kTableScan;
+  best.estimated_rows = card;
+  best.cost = kScanBaseCost + card * kScanRowCost;
+
+  for (const auto& ix : t->indexes) {
+    int eq_prefix = 0;
+    for (int col : ix->def.key_columns) {
+      const std::string& col_name = t->schema.columns[col].name;
+      bool found = false;
+      for (const Pred& p : where) {
+        if (p.op == PredOp::kEq && p.column == col_name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      ++eq_prefix;
+    }
+    if (eq_prefix == 0) continue;
+    const double ncols = static_cast<double>(ix->def.key_columns.size());
+    auto dit = t->stats.index_distinct.find(ix->id);
+    const double distinct = dit != t->stats.index_distinct.end() && dit->second > 0
+                                ? static_cast<double>(dit->second)
+                                : 0.0;
+    const double sel_per_col =
+        distinct > 0 ? std::pow(distinct, 1.0 / ncols) : kDefaultDistinctPerCol;
+    double est = card;
+    for (int i = 0; i < eq_prefix; ++i) est /= sel_per_col;
+    if (ix->def.unique && eq_prefix == static_cast<int>(ix->def.key_columns.size())) {
+      est = std::min(est, 1.0);
+    }
+    if (card > 0) est = std::max(est, 1.0);
+    const double cost = kIndexProbeCost + est * kIndexRowCost;
+    if (cost < best.cost) {
+      best.kind = AccessPath::Kind::kIndexScan;
+      best.index = ix->id;
+      best.eq_prefix_len = eq_prefix;
+      best.estimated_rows = est;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+Result<BoundStatement> Database::Bind(BoundStatement::Kind kind, TableId table,
+                                      Conjunction where, std::vector<Assignment> sets) const {
+  BoundStatement stmt;
+  stmt.kind = kind;
+  stmt.table = table;
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    TableState* t = FindTable(table);
+    if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+    for (const Pred& p : where) {
+      const int c = t->schema.ColumnIndex(p.column);
+      if (c < 0) return Status::InvalidArgument("unknown column " + p.column);
+      stmt.where_cols.push_back(c);
+    }
+    for (const Assignment& a : sets) {
+      const int c = t->schema.ColumnIndex(a.column);
+      if (c < 0) return Status::InvalidArgument("unknown column " + a.column);
+      stmt.set_cols.push_back(c);
+    }
+  }
+  stmt.where = std::move(where);
+  stmt.sets = std::move(sets);
+  stmt.path = ChooseAccessPath(table, stmt.where);
+  return stmt;
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+bool Database::EvalPred(const Value& lhs, PredOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) {
+    // SQL three-valued logic collapsed: NULL = NULL is true (the DLFM
+    // repository uses NULL as "not yet set" and matches on it), every other
+    // comparison involving NULL is false.
+    if (op == PredOp::kEq) return lhs.is_null() && rhs.is_null();
+    if (op == PredOp::kNe) return lhs.is_null() != rhs.is_null();
+    return false;
+  }
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case PredOp::kEq: return c == 0;
+    case PredOp::kNe: return c != 0;
+    case PredOp::kLt: return c < 0;
+    case PredOp::kLe: return c <= 0;
+    case PredOp::kGt: return c > 0;
+    case PredOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+bool Database::RowMatches(const BoundStatement& stmt, const std::vector<Value>& params,
+                          const Row& row) const {
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    const Pred& p = stmt.where[i];
+    if (!EvalPred(row[stmt.where_cols[i]], p.op, p.operand.Resolve(params))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lock helpers
+// ---------------------------------------------------------------------------
+
+LockId Database::KeyLockId(const TableState& t, const IndexState& ix, const Key& key) const {
+  std::string encoded;
+  EncodeRowTo(key, &encoded);
+  return LockId::KeyLock(t.id, ix.id, std::move(encoded));
+}
+
+LockId Database::NextKeyLockId(const TableState& t, const IndexState& ix,
+                               const Key& key) const {
+  auto succ = ix.tree.Successor(key, kInvalidRowId);
+  if (!succ.has_value()) return LockId::EndOfIndex(t.id, ix.id);
+  return KeyLockId(t, ix, succ->key);
+}
+
+Status Database::MaybeEscalate(Transaction* txn, TableState* t, bool for_write) {
+  // Escalating to a table lock can itself block behind other transactions'
+  // intent locks — that wait (and the timeouts it spreads) is the
+  // "brings the system to its knees" behaviour of §4.
+  const LockMode table_mode = for_write ? LockMode::kX : LockMode::kS;
+  Status st = lock_manager_->Acquire(txn->id_, LockId::Table(t->id), table_mode,
+                                     LockTimeout(txn));
+  if (!st.ok()) {
+    if (lock_manager_->TotalHeldLocks() >= options_.lock_list_capacity) {
+      return Status::LockListFull("lock list full and escalation failed: " + st.ToString());
+    }
+    return st;
+  }
+  lock_manager_->ReleaseRowAndKeyLocks(txn->id_, t->id);
+  txn->escalated_tables_.insert(t->id);
+  lock_manager_->BumpEscalations();
+  return Status::OK();
+}
+
+Status Database::AcquireGranular(Transaction* txn, TableState* t, const LockId& id,
+                                 LockMode mode) {
+  if (txn->escalated_tables_.count(t->id) != 0) return Status::OK();
+  const size_t held_here = lock_manager_->CountRowAndKeyLocks(txn->id_, t->id);
+  if (held_here + 1 > options_.lock_escalation_threshold ||
+      lock_manager_->TotalHeldLocks() + 1 > options_.lock_list_capacity) {
+    const LockMode table_held = lock_manager_->HeldMode(txn->id_, LockId::Table(t->id));
+    const bool for_write = mode == LockMode::kX || table_held == LockMode::kIX ||
+                           table_held == LockMode::kSIX || table_held == LockMode::kX;
+    DLX_RETURN_IF_ERROR(MaybeEscalate(txn, t, for_write));
+    return Status::OK();
+  }
+  return lock_manager_->Acquire(txn->id_, id, mode, LockTimeout(txn));
+}
+
+Status Database::LogLocked(Transaction* txn, LogRecordType type, TableId table, RowId rid,
+                           Row before, Row after, bool exempt) {
+  return wal_->Append(
+      LogRecord{0, txn->id_, type, table, rid, std::move(before), std::move(after)}, exempt);
+}
+
+// ---------------------------------------------------------------------------
+// Candidate collection
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Database::Candidate>> Database::CollectCandidates(
+    Transaction* txn, const BoundStatement& stmt, const std::vector<Value>& params) {
+  (void)txn;
+  std::vector<Candidate> out;
+  std::lock_guard<std::mutex> lk(data_mu_);
+  TableState* t = FindTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(stmt.table));
+
+  if (stmt.path.kind == AccessPath::Kind::kIndexScan) {
+    index_scans_.fetch_add(1, std::memory_order_relaxed);
+    IndexState* ix = nullptr;
+    for (auto& i : t->indexes) {
+      if (i->id == stmt.path.index) {
+        ix = i.get();
+        break;
+      }
+    }
+    if (ix == nullptr) return Status::Corruption("bound index vanished; rebind required");
+    // Build the equality prefix in index column order.
+    Key prefix;
+    for (int k = 0; k < stmt.path.eq_prefix_len; ++k) {
+      const std::string& col_name = t->schema.columns[ix->def.key_columns[k]].name;
+      bool found = false;
+      for (const Pred& p : stmt.where) {
+        if (p.op == PredOp::kEq && p.column == col_name) {
+          prefix.push_back(p.operand.Resolve(params));
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Status::Corruption("bound plan predicate shape mismatch");
+    }
+    std::vector<BTreeEntry> entries;
+    ix->tree.ScanPrefix(prefix, &entries);
+    for (const BTreeEntry& e : entries) {
+      if (t->heap.Valid(e.rid)) {
+        rows_scanned_.fetch_add(1, std::memory_order_relaxed);
+        out.push_back(Candidate{e.rid, t->heap.Get(e.rid)});
+      }
+    }
+  } else {
+    // Table scan touches (and will lock) every live row — the concurrency
+    // havoc of a mis-chosen plan comes from exactly this.
+    table_scans_.fetch_add(1, std::memory_order_relaxed);
+    t->heap.ForEach([&](RowId rid, const Row& row) {
+      rows_scanned_.fetch_add(1, std::memory_order_relaxed);
+      out.push_back(Candidate{rid, row});
+      return true;
+    });
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------------
+
+Status Database::Insert(Transaction* txn, TableId table, Row row) {
+  if (crashed_.load()) return Status::Unavailable("database crashed");
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+
+  // Validate against the schema and compute index keys (row-only work, no
+  // latch needed yet).
+  std::vector<std::pair<IndexState*, Key>> keys;       // all indexes
+  std::vector<LockId> unique_key_locks;
+  TableState* t;
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    t = FindTable(table);
+    if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+    if (row.size() != t->schema.columns.size()) {
+      return Status::InvalidArgument("row arity mismatch for " + t->schema.name);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      const ColumnDef& c = t->schema.columns[i];
+      if (row[i].is_null()) {
+        if (!c.nullable) return Status::InvalidArgument("null in non-nullable " + c.name);
+      } else if (row[i].type() != c.type) {
+        return Status::InvalidArgument("type mismatch in column " + c.name);
+      }
+    }
+    for (auto& ix : t->indexes) {
+      keys.emplace_back(ix.get(), ExtractKey(*ix, row));
+      if (ix->def.unique) unique_key_locks.push_back(KeyLockId(*t, *ix, keys.back().second));
+    }
+  }
+
+  // Table intent lock.
+  if (txn->escalated_tables_.count(table) == 0) {
+    DLX_RETURN_IF_ERROR(
+        lock_manager_->Acquire(txn->id_, LockId::Table(table), LockMode::kIX, LockTimeout(txn)));
+  }
+
+  // Key-value locks on unique keys: serializes concurrent inserters of the
+  // same key (the engine-level analogue of the DLFM's check-flag trick).
+  for (const LockId& id : unique_key_locks) {
+    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+  }
+
+  // Next-key locks (ARIES/KVL) on every index, when enabled.
+  if (options_.next_key_locking) {
+    std::vector<LockId> next_locks;
+    {
+      std::lock_guard<std::mutex> lk(data_mu_);
+      for (auto& [ix, key] : keys) next_locks.push_back(NextKeyLockId(*t, *ix, key));
+    }
+    for (const LockId& id : next_locks) {
+      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+    }
+  }
+
+  // Escalation pressure check for the row lock we are about to take.
+  const bool escalated = txn->escalated_tables_.count(table) != 0;
+
+  std::lock_guard<std::mutex> lk(data_mu_);
+  // Re-check uniqueness now that we hold the key locks.
+  for (auto& [ix, key] : keys) {
+    if (ix->def.unique && ix->tree.ContainsKey(key)) {
+      unique_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Conflict("duplicate key in unique index " + ix->def.name + ": " +
+                              KeyToString(key));
+    }
+  }
+  const RowId rid = t->heap.Insert(row);
+  Status st = LogLocked(txn, LogRecordType::kInsert, table, rid, {}, row, /*exempt=*/false);
+  if (!st.ok()) {
+    t->heap.Delete(rid);
+    t->heap.FreeSlot(rid);
+    return st;
+  }
+  for (auto& [ix, key] : keys) ix->tree.Insert(key, rid);
+  txn->undo_.push_back(Transaction::UndoRecord{LogRecordType::kInsert, table, rid, {}});
+  if (!escalated) {
+    // Fresh rid: the grant is immediate (nobody else can reference it yet),
+    // so acquiring under the latch cannot block.
+    (void)lock_manager_->Acquire(txn->id_, LockId::Row(table, rid), LockMode::kX, 0);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundStatement& stmt,
+                                                 const std::vector<Value>& params) {
+  if (crashed_.load()) return Status::Unavailable("database crashed");
+  if (stmt.kind != BoundStatement::Kind::kSelect) {
+    return Status::InvalidArgument("not a select statement");
+  }
+  selects_.fetch_add(1, std::memory_order_relaxed);
+  const Isolation iso = txn->isolation_;
+
+  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands, CollectCandidates(txn, stmt, params));
+
+  std::vector<Row> out;
+  if (iso == Isolation::kUR) {
+    // Uncommitted read: no locks at all (the Upcall daemon runs here).
+    for (const Candidate& c : cands) {
+      if (RowMatches(stmt, params, c.row)) out.push_back(c.row);
+    }
+    return out;
+  }
+
+  TableState* t;
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    t = FindTable(stmt.table);
+    if (t == nullptr) return Status::NotFound("table");
+  }
+
+  // Table lock.
+  if (txn->escalated_tables_.count(stmt.table) == 0) {
+    const bool rr_scan =
+        iso == Isolation::kRR && stmt.path.kind == AccessPath::Kind::kTableScan;
+    const LockMode tmode = rr_scan ? LockMode::kS : LockMode::kIS;
+    DLX_RETURN_IF_ERROR(
+        lock_manager_->Acquire(txn->id_, LockId::Table(stmt.table), tmode, LockTimeout(txn)));
+    if (rr_scan) {
+      // Table-level S lock covers every row; no row locks needed.
+      for (const Candidate& c : cands) {
+        if (RowMatches(stmt, params, c.row)) out.push_back(c.row);
+      }
+      return out;
+    }
+  }
+
+  for (const Candidate& c : cands) {
+    const LockId row_lock = LockId::Row(stmt.table, c.rid);
+    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, row_lock, LockMode::kS));
+    bool matched = false;
+    {
+      std::lock_guard<std::mutex> lk(data_mu_);
+      if (t->heap.Valid(c.rid)) {
+        const Row& fresh = t->heap.Get(c.rid);
+        if (RowMatches(stmt, params, fresh)) {
+          out.push_back(fresh);
+          matched = true;
+        }
+      }
+    }
+    // CS releases the lock once the cursor moves on; RS/RR release only
+    // non-qualifying rows (RS) or nothing (RR).
+    const bool escalated = txn->escalated_tables_.count(stmt.table) != 0;
+    if (!escalated) {
+      if (iso == Isolation::kCS || (iso == Isolation::kRS && !matched)) {
+        lock_manager_->Release(txn->id_, row_lock);
+      }
+    }
+  }
+
+  // RR phantom protection on index scans: lock the key range boundary.
+  if (iso == Isolation::kRR && options_.next_key_locking &&
+      stmt.path.kind == AccessPath::Kind::kIndexScan &&
+      txn->escalated_tables_.count(stmt.table) == 0) {
+    LockId boundary = LockId::EndOfIndex(stmt.table, stmt.path.index);
+    {
+      std::lock_guard<std::mutex> lk(data_mu_);
+      IndexState* ix = nullptr;
+      for (auto& i : t->indexes) {
+        if (i->id == stmt.path.index) ix = i.get();
+      }
+      if (ix != nullptr && !cands.empty()) {
+        boundary = NextKeyLockId(*t, *ix, ExtractKey(*ix, cands.back().row));
+      }
+    }
+    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, boundary, LockMode::kS));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE
+// ---------------------------------------------------------------------------
+
+Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& stmt,
+                                        const std::vector<Value>& params) {
+  if (crashed_.load()) return Status::Unavailable("database crashed");
+  if (stmt.kind != BoundStatement::Kind::kDelete) {
+    return Status::InvalidArgument("not a delete statement");
+  }
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+
+  TableState* t;
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    t = FindTable(stmt.table);
+    if (t == nullptr) return Status::NotFound("table");
+  }
+  if (txn->escalated_tables_.count(stmt.table) == 0) {
+    DLX_RETURN_IF_ERROR(lock_manager_->Acquire(txn->id_, LockId::Table(stmt.table),
+                                               LockMode::kIX, LockTimeout(txn)));
+  }
+
+  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands, CollectCandidates(txn, stmt, params));
+
+  int64_t count = 0;
+  for (const Candidate& c : cands) {
+    DLX_RETURN_IF_ERROR(
+        AcquireGranular(txn, t, LockId::Row(stmt.table, c.rid), LockMode::kX));
+
+    // Compute key locks from the current row image.
+    std::vector<LockId> key_locks;
+    bool still_matches = false;
+    Row current;
+    {
+      std::lock_guard<std::mutex> lk(data_mu_);
+      if (t->heap.Valid(c.rid)) {
+        current = t->heap.Get(c.rid);
+        still_matches = RowMatches(stmt, params, current);
+        if (still_matches) {
+          for (auto& ix : t->indexes) {
+            const Key k = ExtractKey(*ix, current);
+            if (ix->def.unique) key_locks.push_back(KeyLockId(*t, *ix, k));
+            if (options_.next_key_locking) key_locks.push_back(NextKeyLockId(*t, *ix, k));
+          }
+        }
+      }
+    }
+    if (!still_matches) continue;
+    for (const LockId& id : key_locks) {
+      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+    }
+
+    std::lock_guard<std::mutex> lk(data_mu_);
+    if (!t->heap.Valid(c.rid)) continue;  // deleted while we waited for locks
+    const Row fresh = t->heap.Get(c.rid);
+    if (!RowMatches(stmt, params, fresh)) continue;
+    DLX_RETURN_IF_ERROR(
+        LogLocked(txn, LogRecordType::kDelete, stmt.table, c.rid, fresh, {}, false));
+    Row old = t->heap.Delete(c.rid);
+    for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), c.rid);
+    txn->undo_.push_back(
+        Transaction::UndoRecord{LogRecordType::kDelete, stmt.table, c.rid, std::move(old)});
+    txn->pending_free_.emplace_back(stmt.table, c.rid);
+    ++count;
+  }
+  return count;
+}
+
+Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& stmt,
+                                        const std::vector<Value>& params) {
+  if (crashed_.load()) return Status::Unavailable("database crashed");
+  if (stmt.kind != BoundStatement::Kind::kUpdate) {
+    return Status::InvalidArgument("not an update statement");
+  }
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  TableState* t;
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+    t = FindTable(stmt.table);
+    if (t == nullptr) return Status::NotFound("table");
+  }
+  if (txn->escalated_tables_.count(stmt.table) == 0) {
+    DLX_RETURN_IF_ERROR(lock_manager_->Acquire(txn->id_, LockId::Table(stmt.table),
+                                               LockMode::kIX, LockTimeout(txn)));
+  }
+
+  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands, CollectCandidates(txn, stmt, params));
+
+  int64_t count = 0;
+  for (const Candidate& c : cands) {
+    DLX_RETURN_IF_ERROR(
+        AcquireGranular(txn, t, LockId::Row(stmt.table, c.rid), LockMode::kX));
+
+    // Compute the new row and the key locks implied by changed index keys.
+    std::vector<LockId> key_locks;
+    std::vector<std::pair<IndexState*, std::pair<Key, Key>>> key_changes;  // old -> new
+    bool still_matches = false;
+    Row new_row;
+    {
+      std::lock_guard<std::mutex> lk(data_mu_);
+      if (t->heap.Valid(c.rid)) {
+        const Row& current = t->heap.Get(c.rid);
+        still_matches = RowMatches(stmt, params, current);
+        if (still_matches) {
+          new_row = current;
+          for (size_t i = 0; i < stmt.sets.size(); ++i) {
+            new_row[stmt.set_cols[i]] = stmt.sets[i].operand.Resolve(params);
+          }
+          for (auto& ix : t->indexes) {
+            Key old_key = ExtractKey(*ix, current);
+            Key new_key = ExtractKey(*ix, new_row);
+            if (CompareKeys(old_key, new_key) == 0) continue;
+            if (ix->def.unique) key_locks.push_back(KeyLockId(*t, *ix, new_key));
+            if (options_.next_key_locking) {
+              key_locks.push_back(NextKeyLockId(*t, *ix, old_key));
+              key_locks.push_back(NextKeyLockId(*t, *ix, new_key));
+            }
+            key_changes.emplace_back(ix.get(),
+                                     std::make_pair(std::move(old_key), std::move(new_key)));
+          }
+        }
+      }
+    }
+    if (!still_matches) continue;
+    for (const LockId& id : key_locks) {
+      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+    }
+
+    std::lock_guard<std::mutex> lk(data_mu_);
+    if (!t->heap.Valid(c.rid)) continue;
+    const Row fresh = t->heap.Get(c.rid);
+    if (!RowMatches(stmt, params, fresh)) continue;
+    // Unique checks on changed keys.
+    bool conflict = false;
+    for (auto& [ix, change] : key_changes) {
+      if (ix->def.unique && ix->tree.ContainsKey(change.second)) {
+        unique_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) return Status::Conflict("unique index violation on update");
+    DLX_RETURN_IF_ERROR(
+        LogLocked(txn, LogRecordType::kUpdate, stmt.table, c.rid, fresh, new_row, false));
+    for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, fresh), c.rid);
+    t->heap.Update(c.rid, new_row);
+    for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, new_row), c.rid);
+    txn->undo_.push_back(
+        Transaction::UndoRecord{LogRecordType::kUpdate, stmt.table, c.rid, fresh});
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot conveniences
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Row>> Database::Select(Transaction* txn, TableId table,
+                                          const Conjunction& where) {
+  DLX_ASSIGN_OR_RETURN(BoundStatement stmt, Bind(BoundStatement::Kind::kSelect, table, where));
+  return ExecuteSelect(txn, stmt);
+}
+
+Result<int64_t> Database::Update(Transaction* txn, TableId table, const Conjunction& where,
+                                 const std::vector<Assignment>& sets) {
+  DLX_ASSIGN_OR_RETURN(BoundStatement stmt,
+                       Bind(BoundStatement::Kind::kUpdate, table, where, sets));
+  return ExecuteUpdate(txn, stmt);
+}
+
+Result<int64_t> Database::Delete(Transaction* txn, TableId table, const Conjunction& where) {
+  DLX_ASSIGN_OR_RETURN(BoundStatement stmt, Bind(BoundStatement::Kind::kDelete, table, where));
+  return ExecuteDelete(txn, stmt);
+}
+
+Result<int64_t> Database::CountAll(Transaction* txn, TableId table) {
+  DLX_ASSIGN_OR_RETURN(std::vector<Row> rows, Select(txn, table, {}));
+  return static_cast<int64_t>(rows.size());
+}
+
+}  // namespace datalinks::sqldb

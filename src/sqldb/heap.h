@@ -1,0 +1,102 @@
+// Slotted in-memory heap table.  Row ids are slot numbers; freed slots are
+// recycled only after the deleting transaction commits (the Database defers
+// the free) so a held row lock can never refer to a recycled slot.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+
+namespace datalinks::sqldb {
+
+class HeapTable {
+ public:
+  /// Insert into a fresh or recycled slot; returns the row id.
+  RowId Insert(Row row) {
+    RowId rid;
+    if (!free_.empty()) {
+      rid = free_.back();
+      free_.pop_back();
+    } else {
+      rid = slots_.size();
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[rid];
+    assert(!s.valid);
+    s.valid = true;
+    s.row = std::move(row);
+    ++live_;
+    return rid;
+  }
+
+  /// Insert at a specific slot (recovery replay).  Grows the slot array.
+  void InsertAt(RowId rid, Row row) {
+    if (rid >= slots_.size()) slots_.resize(rid + 1);
+    Slot& s = slots_[rid];
+    assert(!s.valid);
+    s.valid = true;
+    s.row = std::move(row);
+    ++live_;
+  }
+
+  /// Remove the row; the slot is NOT recycled until FreeSlot().
+  Row Delete(RowId rid) {
+    Slot& s = slots_[rid];
+    assert(s.valid);
+    s.valid = false;
+    --live_;
+    return std::move(s.row);
+  }
+
+  /// Make a deleted slot reusable (called at commit of the deleter).
+  void FreeSlot(RowId rid) {
+    assert(!slots_[rid].valid);
+    free_.push_back(rid);
+  }
+
+  bool Valid(RowId rid) const { return rid < slots_.size() && slots_[rid].valid; }
+
+  const Row& Get(RowId rid) const {
+    assert(Valid(rid));
+    return slots_[rid].row;
+  }
+
+  void Update(RowId rid, Row row) {
+    assert(Valid(rid));
+    slots_[rid].row = std::move(row);
+  }
+
+  size_t live_count() const { return live_; }
+  size_t slot_count() const { return slots_.size(); }
+
+  /// Iterate all live rows in slot order; `fn(rid, row)` returns false to stop.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (RowId rid = 0; rid < slots_.size(); ++rid) {
+      if (slots_[rid].valid) {
+        if (!fn(rid, slots_[rid].row)) return;
+      }
+    }
+  }
+
+  /// Rebuild the free list from slot validity (end of recovery).
+  void RebuildFreeList() {
+    free_.clear();
+    for (RowId rid = 0; rid < slots_.size(); ++rid) {
+      if (!slots_[rid].valid) free_.push_back(rid);
+    }
+  }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    Row row;
+  };
+  std::vector<Slot> slots_;
+  std::vector<RowId> free_;
+  size_t live_ = 0;
+};
+
+}  // namespace datalinks::sqldb

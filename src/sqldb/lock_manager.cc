@@ -1,0 +1,372 @@
+#include "sqldb/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace datalinks::sqldb {
+
+std::string_view LockModeToString(LockMode m) {
+  switch (m) {
+    case LockMode::kNone: return "None";
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+bool LockModesCompatible(LockMode held, LockMode req) {
+  // Rows/cols: IS, IX, S, SIX, X.
+  static constexpr bool kCompat[5][5] = {
+      //           IS     IX     S      SIX    X
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  if (held == LockMode::kNone || req == LockMode::kNone) return true;
+  return kCompat[static_cast<int>(held) - 1][static_cast<int>(req) - 1];
+}
+
+LockMode LockModeSupremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kNone) return b;
+  if (b == LockMode::kNone) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  // Order so a <= b by enum value for the remaining cases.
+  if (static_cast<int>(a) > static_cast<int>(b)) std::swap(a, b);
+  if (a == LockMode::kIS) return b;                       // IS + anything = anything
+  if (a == LockMode::kIX && b == LockMode::kS) return LockMode::kSIX;
+  if (a == LockMode::kIX && b == LockMode::kSIX) return LockMode::kSIX;
+  if (a == LockMode::kS && b == LockMode::kSIX) return LockMode::kSIX;
+  return b;
+}
+
+std::string LockId::ToString() const {
+  switch (kind) {
+    case Kind::kTable: return "table:" + std::to_string(table);
+    case Kind::kRow: return "row:" + std::to_string(table) + "/" + std::to_string(rid);
+    case Kind::kKey:
+      return "key:" + std::to_string(table) + "/ix" + std::to_string(index);
+  }
+  return "?";
+}
+
+bool LockManager::CanGrant(const Queue& q, TxnId txn, LockMode mode) const {
+  for (const Request& r : q.requests) {
+    if (r.txn == txn) continue;
+    if (r.granted) {
+      if (!LockModesCompatible(r.mode, mode)) return false;
+      if (r.convert_to != LockMode::kNone) return false;  // conversion pending: queue up
+    } else {
+      return false;  // FIFO fairness: queue behind existing waiters
+    }
+  }
+  return true;
+}
+
+bool LockManager::CanGrantConversion(const Queue& q, TxnId txn, LockMode to) const {
+  for (const Request& r : q.requests) {
+    if (r.txn == txn || !r.granted) continue;
+    if (!LockModesCompatible(r.mode, to)) return false;
+  }
+  return true;
+}
+
+void LockManager::GrantWaiters(const LockId& id, Queue* q) {
+  bool granted_any = false;
+  // Conversions first (they hold the resource already and have priority).
+  for (Request& r : q->requests) {
+    if (r.granted && r.convert_to != LockMode::kNone &&
+        CanGrantConversion(*q, r.txn, r.convert_to)) {
+      r.mode = r.convert_to;
+      r.convert_to = LockMode::kNone;
+      conversions_.fetch_add(1, std::memory_order_relaxed);
+      granted_any = true;
+    }
+  }
+  // Then FIFO waiters, stopping at the first that cannot be granted.
+  for (Request& r : q->requests) {
+    if (r.granted) continue;
+    bool ok = true;
+    for (const Request& g : q->requests) {
+      if (&g == &r || !g.granted) continue;
+      if (!LockModesCompatible(g.mode, r.mode)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) break;
+    r.granted = true;
+    held_[r.txn].push_back(id);
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+void LockManager::CollectWaitsFor(TxnId waiter, std::unordered_set<TxnId>* out) const {
+  // Find the (single) queue where `waiter` is blocked and report who blocks it.
+  for (const auto& [id, q] : queues_) {
+    for (const Request& r : q.requests) {
+      if (r.txn != waiter) continue;
+      if (!r.granted) {
+        // Blocked new request: waits for incompatible granted holders and for
+        // every request ahead of it in the queue (FIFO).
+        for (const Request& o : q.requests) {
+          if (&o == &r) break;  // requests behind us do not block us
+          if (o.txn == waiter) continue;
+          if (o.granted) {
+            if (!LockModesCompatible(o.mode, r.mode) || o.convert_to != LockMode::kNone) {
+              out->insert(o.txn);
+            }
+          } else {
+            out->insert(o.txn);  // waiter ahead of us
+          }
+        }
+        return;
+      }
+      if (r.convert_to != LockMode::kNone) {
+        for (const Request& o : q.requests) {
+          if (o.txn == waiter || !o.granted) continue;
+          if (!LockModesCompatible(o.mode, r.convert_to)) out->insert(o.txn);
+        }
+        return;
+      }
+    }
+  }
+}
+
+bool LockManager::WouldDeadlock(TxnId requester) const {
+  // DFS through the waits-for graph starting from whoever blocks `requester`.
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack;
+  {
+    std::unordered_set<TxnId> first;
+    CollectWaitsFor(requester, &first);
+    for (TxnId t : first) stack.push_back(t);
+  }
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == requester) return true;
+    if (!visited.insert(t).second) continue;
+    std::unordered_set<TxnId> next;
+    CollectWaitsFor(t, &next);
+    for (TxnId n : next) stack.push_back(n);
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
+                            int64_t timeout_micros) {
+  using SteadyClock = std::chrono::steady_clock;
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  Queue& q = queues_[id];
+
+  // Re-request of a resource we already hold?
+  Request* mine = nullptr;
+  for (Request& r : q.requests) {
+    if (r.txn == txn && r.granted) {
+      mine = &r;
+      break;
+    }
+  }
+
+  bool converting = false;
+  if (mine != nullptr) {
+    const LockMode target = LockModeSupremum(mine->mode, mode);
+    if (target == mine->mode) return Status::OK();  // covered already
+    if (CanGrantConversion(q, txn, target)) {
+      mine->mode = target;
+      conversions_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    mine->convert_to = target;
+    converting = true;
+  } else {
+    if (CanGrant(q, txn, mode)) {
+      q.requests.push_back(Request{txn, mode, LockMode::kNone, true});
+      held_[txn].push_back(id);
+      return Status::OK();
+    }
+    q.requests.push_back(Request{txn, mode, LockMode::kNone, false});
+  }
+
+  waits_.fetch_add(1, std::memory_order_relaxed);
+
+  auto remove_my_request = [&]() {
+    if (converting) {
+      for (Request& r : q.requests) {
+        if (r.txn == txn && r.granted) {
+          r.convert_to = LockMode::kNone;
+          break;
+        }
+      }
+    } else {
+      for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
+        if (it->txn == txn && !it->granted) {
+          q.requests.erase(it);
+          break;
+        }
+      }
+    }
+    GrantWaiters(id, &q);
+    if (q.requests.empty()) queues_.erase(id);
+  };
+
+  const bool has_deadline = timeout_micros >= 0;
+  const auto deadline = SteadyClock::now() + std::chrono::microseconds(
+                                                 has_deadline ? timeout_micros : 0);
+  constexpr auto kDetectInterval = std::chrono::milliseconds(3);
+
+  while (true) {
+    // Granted?
+    bool granted = false;
+    for (const Request& r : q.requests) {
+      if (r.txn != txn) continue;
+      if (converting) {
+        granted = r.granted && r.convert_to == LockMode::kNone;
+      } else {
+        granted = r.granted;
+      }
+      break;
+    }
+    if (granted) return Status::OK();
+
+    if (WouldDeadlock(txn)) {
+      deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      remove_my_request();
+      return Status::Deadlock("lock " + id.ToString());
+    }
+
+    auto wake = SteadyClock::now() + kDetectInterval;
+    if (has_deadline) {
+      if (SteadyClock::now() >= deadline) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        remove_my_request();
+        return Status::LockTimeout("lock " + id.ToString());
+      }
+      wake = std::min(wake, deadline);
+    }
+    cv_.wait_until(lk, wake);
+  }
+}
+
+void LockManager::Release(TxnId txn, const LockId& id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto qit = queues_.find(id);
+  if (qit == queues_.end()) return;
+  Queue& q = qit->second;
+  for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
+    if (it->txn == txn && it->granted) {
+      q.requests.erase(it);
+      break;
+    }
+  }
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    auto& v = hit->second;
+    auto vit = std::find(v.begin(), v.end(), id);
+    if (vit != v.end()) v.erase(vit);
+    if (v.empty()) held_.erase(hit);
+  }
+  GrantWaiters(id, &q);
+  if (q.requests.empty()) queues_.erase(qit);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  std::vector<LockId> ids = std::move(hit->second);
+  held_.erase(hit);
+  for (const LockId& id : ids) {
+    auto qit = queues_.find(id);
+    if (qit == queues_.end()) continue;
+    Queue& q = qit->second;
+    for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
+      if (it->txn == txn && it->granted) {
+        q.requests.erase(it);
+        break;
+      }
+    }
+    GrantWaiters(id, &q);
+    if (q.requests.empty()) queues_.erase(qit);
+  }
+}
+
+size_t LockManager::ReleaseRowAndKeyLocks(TxnId txn, TableId table) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return 0;
+  size_t released = 0;
+  auto& v = hit->second;
+  for (size_t i = 0; i < v.size();) {
+    const LockId& id = v[i];
+    if (id.table == table && id.kind != LockId::Kind::kTable) {
+      auto qit = queues_.find(id);
+      if (qit != queues_.end()) {
+        Queue& q = qit->second;
+        for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
+          if (it->txn == txn && it->granted) {
+            q.requests.erase(it);
+            break;
+          }
+        }
+        GrantWaiters(id, &q);
+        if (q.requests.empty()) queues_.erase(qit);
+      }
+      v.erase(v.begin() + i);
+      ++released;
+    } else {
+      ++i;
+    }
+  }
+  return released;
+}
+
+size_t LockManager::CountRowAndKeyLocks(TxnId txn, TableId table) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return 0;
+  size_t n = 0;
+  for (const LockId& id : hit->second) {
+    if (id.table == table && id.kind != LockId::Kind::kTable) ++n;
+  }
+  return n;
+}
+
+size_t LockManager::TotalHeldLocks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [txn, v] : held_) n += v.size();
+  return n;
+}
+
+LockMode LockManager::HeldMode(TxnId txn, const LockId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto qit = queues_.find(id);
+  if (qit == queues_.end()) return LockMode::kNone;
+  for (const Request& r : qit->second.requests) {
+    if (r.txn == txn && r.granted) return r.mode;
+  }
+  return LockMode::kNone;
+}
+
+LockStats LockManager::stats() const {
+  LockStats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.waits = waits_.load(std::memory_order_relaxed);
+  s.deadlocks = deadlocks_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.escalations = escalations_.load(std::memory_order_relaxed);
+  s.conversions = conversions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,57 @@
+// Table and index schemas plus catalog statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/value.h"
+
+namespace datalinks::sqldb {
+
+using TableId = uint32_t;
+using IndexId = uint32_t;
+using RowId = uint64_t;
+using TxnId = uint64_t;
+
+inline constexpr RowId kInvalidRowId = ~0ULL;
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool nullable = true;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Column position by name, or -1.
+  int ColumnIndex(std::string_view col) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == col) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+struct IndexDef {
+  std::string name;
+  TableId table = 0;
+  std::vector<int> key_columns;  // positions in the table schema
+  bool unique = false;
+};
+
+/// Catalog statistics driving the cost-based optimizer.  The paper's
+/// "hand-crafted statistics" trick is SetStats() writing these directly;
+/// RunStats() recomputes them from the live data (the `runstats` utility
+/// that can clobber the hand-crafted values).
+struct TableStats {
+  int64_t cardinality = 0;
+  /// Per index: number of distinct full keys (for selectivity estimates).
+  std::map<IndexId, int64_t> index_distinct;
+};
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,687 @@
+#include "sqldb/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace datalinks::sqldb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // unquoted identifier or keyword (uppercased in `upper`)
+  kInt,
+  kDouble,
+  kString,   // 'quoted'
+  kSymbol,   // ( ) , * = != <> < <= > >= ?
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // raw text (identifier case preserved, symbol text)
+  std::string upper;  // uppercased (keyword matching)
+  int64_t int_val = 0;
+  double dbl_val = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= in_.size()) break;
+      const char c = in_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(Ident());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < in_.size() &&
+                  std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+        DLX_ASSIGN_OR_RETURN(Token t, Number());
+        out.push_back(std::move(t));
+      } else if (c == '\'') {
+        DLX_ASSIGN_OR_RETURN(Token t, QuotedString());
+        out.push_back(std::move(t));
+      } else {
+        DLX_ASSIGN_OR_RETURN(Token t, Symbol());
+        out.push_back(std::move(t));
+      }
+    }
+    out.push_back(Token{});  // kEnd
+    return out;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+    // -- line comments
+    if (pos_ + 1 < in_.size() && in_[pos_] == '-' && in_[pos_ + 1] == '-') {
+      while (pos_ < in_.size() && in_[pos_] != '\n') ++pos_;
+      SkipSpace();
+    }
+  }
+
+  Token Ident() {
+    size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isalnum(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '_' ||
+            in_[pos_] == '.')) {
+      ++pos_;
+    }
+    Token t;
+    t.kind = TokKind::kIdent;
+    t.text = in_.substr(start, pos_ - start);
+    t.upper = t.text;
+    std::transform(t.upper.begin(), t.upper.end(), t.upper.begin(),
+                   [](unsigned char ch) { return std::toupper(ch); });
+    return t;
+  }
+
+  Result<Token> Number() {
+    size_t start = pos_;
+    if (in_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '.')) {
+      if (in_[pos_] == '.') is_double = true;
+      ++pos_;
+    }
+    Token t;
+    const std::string text = in_.substr(start, pos_ - start);
+    if (is_double) {
+      t.kind = TokKind::kDouble;
+      t.dbl_val = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TokKind::kInt;
+      t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    t.text = text;
+    return t;
+  }
+
+  Result<Token> QuotedString() {
+    ++pos_;  // opening quote
+    std::string s;
+    while (pos_ < in_.size()) {
+      if (in_[pos_] == '\'') {
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '\'') {  // escaped ''
+          s.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        Token t;
+        t.kind = TokKind::kString;
+        t.text = std::move(s);
+        return t;
+      }
+      s.push_back(in_[pos_++]);
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  Result<Token> Symbol() {
+    static const char* kTwo[] = {"!=", "<>", "<=", ">="};
+    Token t;
+    t.kind = TokKind::kSymbol;
+    for (const char* two : kTwo) {
+      if (in_.compare(pos_, 2, two) == 0) {
+        t.text = two;
+        pos_ += 2;
+        return t;
+      }
+    }
+    const char c = in_[pos_];
+    if (std::string("(),*=<>?").find(c) == std::string::npos) {
+      return Status::InvalidArgument(std::string("unexpected character '") + c + "'");
+    }
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(Database* db, std::vector<Token> tokens) : db_(db), toks_(std::move(tokens)) {}
+
+  Result<SqlStatement> Parse() {
+    const Token& t = Peek();
+    if (t.kind != TokKind::kIdent) return Err("expected a statement");
+    if (t.upper == "CREATE") return ParseCreate();
+    if (t.upper == "DROP") return ParseDrop();
+    if (t.upper == "INSERT") return ParseInsert();
+    if (t.upper == "SELECT") return ParseSelect(/*explain=*/false);
+    if (t.upper == "UPDATE") return ParseUpdate();
+    if (t.upper == "DELETE") return ParseDelete();
+    if (t.upper == "EXPLAIN") {
+      Advance();
+      if (Peek().upper != "SELECT") return Err("EXPLAIN supports SELECT only");
+      return ParseSelect(/*explain=*/true);
+    }
+    if (t.upper == "BEGIN" || t.upper == "COMMIT" || t.upper == "ROLLBACK") {
+      SqlStatement s;
+      s.kind = t.upper == "BEGIN"    ? SqlStatement::Kind::kBegin
+               : t.upper == "COMMIT" ? SqlStatement::Kind::kCommit
+                                     : SqlStatement::Kind::kRollback;
+      Advance();
+      DLX_RETURN_IF_ERROR(ExpectEnd());
+      return s;
+    }
+    return Err("unknown statement '" + t.text + "'");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    return toks_[std::min(pos_ + ahead, toks_.size() - 1)];
+  }
+  void Advance() { ++pos_; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error: " + msg);
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (Peek().kind != TokKind::kSymbol || Peek().text != sym) {
+      return Err("expected '" + sym + "' got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (Peek().kind != TokKind::kIdent || Peek().upper != kw) {
+      return Err("expected " + kw + " got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind != TokKind::kEnd) return Err("trailing input at '" + Peek().text + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected identifier");
+    std::string s = Peek().text;
+    Advance();
+    return s;
+  }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kIdent && Peek().upper == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<TableId> ResolveTable(const std::string& name) {
+    auto tid = db_->TableByName(name);
+    if (!tid.ok()) return Err("unknown table '" + name + "'");
+    return *tid;
+  }
+
+  // --- CREATE ----------------------------------------------------------------
+
+  Result<SqlStatement> ParseCreate() {
+    Advance();  // CREATE
+    bool unique = ConsumeKeyword("UNIQUE");
+    if (ConsumeKeyword("TABLE")) {
+      if (unique) return Err("UNIQUE TABLE is not a thing");
+      return ParseCreateTable();
+    }
+    if (ConsumeKeyword("INDEX")) return ParseCreateIndex(unique);
+    return Err("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<SqlStatement> ParseCreateTable() {
+    SqlStatement s;
+    s.kind = SqlStatement::Kind::kCreateTable;
+    DLX_ASSIGN_OR_RETURN(s.schema.name, ExpectIdent());
+    DLX_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      ColumnDef col;
+      DLX_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+      DLX_ASSIGN_OR_RETURN(std::string type, ExpectIdent());
+      std::string up = type;
+      std::transform(up.begin(), up.end(), up.begin(),
+                     [](unsigned char c) { return std::toupper(c); });
+      if (up == "INT" || up == "INTEGER" || up == "BIGINT") {
+        col.type = ValueType::kInt;
+      } else if (up == "STRING" || up == "TEXT" || up == "VARCHAR" || up == "DATALINK") {
+        col.type = ValueType::kString;
+      } else if (up == "BOOL" || up == "BOOLEAN") {
+        col.type = ValueType::kBool;
+      } else if (up == "DOUBLE" || up == "FLOAT" || up == "REAL") {
+        col.type = ValueType::kDouble;
+      } else {
+        return Err("unknown type '" + type + "'");
+      }
+      if (ConsumeKeyword("NOT")) {
+        DLX_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        col.nullable = false;
+      }
+      s.schema.columns.push_back(std::move(col));
+      if (Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DLX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    return s;
+  }
+
+  Result<SqlStatement> ParseCreateIndex(bool unique) {
+    SqlStatement s;
+    s.kind = SqlStatement::Kind::kCreateIndex;
+    s.index.unique = unique;
+    DLX_ASSIGN_OR_RETURN(s.index.name, ExpectIdent());
+    DLX_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    DLX_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    DLX_ASSIGN_OR_RETURN(s.index.table, ResolveTable(table));
+    DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(s.index.table));
+    DLX_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      DLX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      const int idx = schema.ColumnIndex(col);
+      if (idx < 0) return Err("unknown column '" + col + "'");
+      s.index.key_columns.push_back(idx);
+      if (Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DLX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    return s;
+  }
+
+  Result<SqlStatement> ParseDrop() {
+    Advance();  // DROP
+    DLX_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    SqlStatement s;
+    s.kind = SqlStatement::Kind::kDropTable;
+    DLX_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    DLX_ASSIGN_OR_RETURN(s.table, ResolveTable(table));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    return s;
+  }
+
+  // --- Literals / operands -----------------------------------------------------
+
+  Result<Operand> ParseOperand(int* param_count) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kInt: {
+        Operand op{Value(t.int_val)};
+        Advance();
+        return op;
+      }
+      case TokKind::kDouble: {
+        Operand op{Value(t.dbl_val)};
+        Advance();
+        return op;
+      }
+      case TokKind::kString: {
+        Operand op{Value(t.text)};
+        Advance();
+        return op;
+      }
+      case TokKind::kSymbol:
+        if (t.text == "?") {
+          Advance();
+          return Operand::Param((*param_count)++);
+        }
+        break;
+      case TokKind::kIdent:
+        if (t.upper == "NULL") {
+          Advance();
+          return Operand{Value::Null()};
+        }
+        if (t.upper == "TRUE" || t.upper == "FALSE") {
+          Operand op{Value(t.upper == "TRUE")};
+          Advance();
+          return op;
+        }
+        break;
+      default:
+        break;
+    }
+    return Err("expected a literal or '?', got '" + t.text + "'");
+  }
+
+  // --- WHERE -----------------------------------------------------------------
+
+  Result<Conjunction> ParseWhere(const TableSchema& schema, int* param_count) {
+    Conjunction where;
+    if (!ConsumeKeyword("WHERE")) return where;
+    while (true) {
+      Pred p;
+      DLX_ASSIGN_OR_RETURN(p.column, ExpectIdent());
+      if (schema.ColumnIndex(p.column) < 0) return Err("unknown column '" + p.column + "'");
+      const std::string op = Peek().text;
+      if (Peek().kind != TokKind::kSymbol) return Err("expected comparison operator");
+      if (op == "=") {
+        p.op = PredOp::kEq;
+      } else if (op == "!=" || op == "<>") {
+        p.op = PredOp::kNe;
+      } else if (op == "<") {
+        p.op = PredOp::kLt;
+      } else if (op == "<=") {
+        p.op = PredOp::kLe;
+      } else if (op == ">") {
+        p.op = PredOp::kGt;
+      } else if (op == ">=") {
+        p.op = PredOp::kGe;
+      } else {
+        return Err("unsupported operator '" + op + "'");
+      }
+      Advance();
+      DLX_ASSIGN_OR_RETURN(p.operand, ParseOperand(param_count));
+      where.push_back(std::move(p));
+      if (!ConsumeKeyword("AND")) break;
+    }
+    return where;
+  }
+
+  // --- DML -----------------------------------------------------------------
+
+  Result<SqlStatement> ParseInsert() {
+    Advance();  // INSERT
+    DLX_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    SqlStatement s;
+    s.kind = SqlStatement::Kind::kInsert;
+    DLX_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    DLX_ASSIGN_OR_RETURN(s.table, ResolveTable(table));
+    DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(s.table));
+    if (Peek().text == "(") {
+      Advance();
+      while (true) {
+        DLX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        const int idx = schema.ColumnIndex(col);
+        if (idx < 0) return Err("unknown column '" + col + "'");
+        s.insert_cols.push_back(idx);
+        if (Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DLX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    DLX_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    DLX_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      DLX_ASSIGN_OR_RETURN(Operand op, ParseOperand(&s.param_count));
+      s.insert_values.push_back(std::move(op));
+      if (Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DLX_RETURN_IF_ERROR(ExpectSymbol(")"));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    const size_t expected =
+        s.insert_cols.empty() ? schema.columns.size() : s.insert_cols.size();
+    if (s.insert_values.size() != expected) {
+      return Err("value count does not match column count");
+    }
+    return s;
+  }
+
+  Result<SqlStatement> ParseSelect(bool explain) {
+    Advance();  // SELECT
+    SqlStatement s;
+    s.kind = explain ? SqlStatement::Kind::kExplain : SqlStatement::Kind::kSelect;
+    if (Peek().text == "*") {
+      Advance();
+    } else {
+      while (true) {
+        DLX_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        s.select_cols.push_back(std::move(col));
+        if (Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    DLX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DLX_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    DLX_ASSIGN_OR_RETURN(s.table, ResolveTable(table));
+    DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(s.table));
+    for (const std::string& col : s.select_cols) {
+      const int idx = schema.ColumnIndex(col);
+      if (idx < 0) return Err("unknown column '" + col + "'");
+      s.select_col_idx.push_back(idx);
+    }
+    DLX_ASSIGN_OR_RETURN(Conjunction where, ParseWhere(schema, &s.param_count));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    DLX_ASSIGN_OR_RETURN(
+        s.bound, db_->Bind(BoundStatement::Kind::kSelect, s.table, std::move(where)));
+    if (explain) s.explain_text = s.bound.path.ToString();
+    return s;
+  }
+
+  Result<SqlStatement> ParseUpdate() {
+    Advance();  // UPDATE
+    SqlStatement s;
+    s.kind = SqlStatement::Kind::kUpdate;
+    DLX_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    DLX_ASSIGN_OR_RETURN(s.table, ResolveTable(table));
+    DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(s.table));
+    DLX_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    std::vector<Assignment> sets;
+    while (true) {
+      Assignment a;
+      DLX_ASSIGN_OR_RETURN(a.column, ExpectIdent());
+      if (schema.ColumnIndex(a.column) < 0) return Err("unknown column '" + a.column + "'");
+      DLX_RETURN_IF_ERROR(ExpectSymbol("="));
+      DLX_ASSIGN_OR_RETURN(a.operand, ParseOperand(&s.param_count));
+      sets.push_back(std::move(a));
+      if (Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DLX_ASSIGN_OR_RETURN(Conjunction where, ParseWhere(schema, &s.param_count));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    DLX_ASSIGN_OR_RETURN(s.bound, db_->Bind(BoundStatement::Kind::kUpdate, s.table,
+                                            std::move(where), std::move(sets)));
+    return s;
+  }
+
+  Result<SqlStatement> ParseDelete() {
+    Advance();  // DELETE
+    DLX_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SqlStatement s;
+    s.kind = SqlStatement::Kind::kDelete;
+    DLX_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    DLX_ASSIGN_OR_RETURN(s.table, ResolveTable(table));
+    DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(s.table));
+    DLX_ASSIGN_OR_RETURN(Conjunction where, ParseWhere(schema, &s.param_count));
+    DLX_RETURN_IF_ERROR(ExpectEnd());
+    DLX_ASSIGN_OR_RETURN(
+        s.bound, db_->Bind(BoundStatement::Kind::kDelete, s.table, std::move(where)));
+    return s;
+  }
+
+  Database* db_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlStatement> ParseSql(Database* db, const std::string& sql) {
+  Lexer lexer(sql);
+  DLX_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(db, std::move(tokens));
+  return parser.Parse();
+}
+
+// ---------------------------------------------------------------------------
+// SqlSession
+// ---------------------------------------------------------------------------
+
+SqlSession::~SqlSession() {
+  if (txn_ != nullptr) (void)db_->Rollback(txn_);
+}
+
+Result<SqlResult> SqlSession::Execute(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  DLX_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(db_, sql));
+  return ExecuteParsed(stmt, params);
+}
+
+Result<SqlResult> SqlSession::ExecuteParsed(const SqlStatement& stmt,
+                                            const std::vector<Value>& params) {
+  SqlResult out;
+  if (static_cast<int>(params.size()) < stmt.param_count) {
+    return Status::InvalidArgument("statement needs " + std::to_string(stmt.param_count) +
+                                   " parameters");
+  }
+
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kBegin:
+      if (txn_ != nullptr) return Status::InvalidArgument("transaction already open");
+      txn_ = db_->Begin();
+      out.message = "BEGIN";
+      return out;
+    case SqlStatement::Kind::kCommit: {
+      if (txn_ == nullptr) return Status::InvalidArgument("no open transaction");
+      Status st = db_->Commit(txn_);
+      txn_ = nullptr;
+      DLX_RETURN_IF_ERROR(st);
+      out.message = "COMMIT";
+      return out;
+    }
+    case SqlStatement::Kind::kRollback: {
+      if (txn_ == nullptr) return Status::InvalidArgument("no open transaction");
+      Status st = db_->Rollback(txn_);
+      txn_ = nullptr;
+      DLX_RETURN_IF_ERROR(st);
+      out.message = "ROLLBACK";
+      return out;
+    }
+    case SqlStatement::Kind::kCreateTable: {
+      DLX_ASSIGN_OR_RETURN(TableId id, db_->CreateTable(stmt.schema));
+      out.message = "CREATE TABLE (id " + std::to_string(id) + ")";
+      return out;
+    }
+    case SqlStatement::Kind::kCreateIndex: {
+      DLX_ASSIGN_OR_RETURN(IndexId id, db_->CreateIndex(stmt.index));
+      out.message = "CREATE INDEX (id " + std::to_string(id) + ")";
+      return out;
+    }
+    case SqlStatement::Kind::kDropTable:
+      DLX_RETURN_IF_ERROR(db_->DropTable(stmt.table));
+      out.message = "DROP TABLE";
+      return out;
+    case SqlStatement::Kind::kExplain:
+      out.message = stmt.explain_text;
+      return out;
+    default:
+      break;
+  }
+
+  // DML: runs in the open transaction, or auto-commits a fresh one.
+  const bool auto_commit = txn_ == nullptr;
+  Transaction* txn = auto_commit ? db_->Begin() : txn_;
+  auto finish = [&](Status st) -> Status {
+    if (auto_commit) {
+      if (st.ok()) return db_->Commit(txn);
+      (void)db_->Rollback(txn);
+      return st;
+    }
+    if (st.IsTransactionFatal()) {
+      // The engine statement failed fatally; roll the session txn back so
+      // the caller cannot continue on a broken transaction.
+      (void)db_->Rollback(txn_);
+      txn_ = nullptr;
+    }
+    return st;
+  };
+
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kInsert: {
+      DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(stmt.table));
+      Row row(schema.columns.size(), Value::Null());
+      if (stmt.insert_cols.empty()) {
+        for (size_t i = 0; i < stmt.insert_values.size(); ++i) {
+          row[i] = stmt.insert_values[i].Resolve(params);
+        }
+      } else {
+        for (size_t i = 0; i < stmt.insert_cols.size(); ++i) {
+          row[stmt.insert_cols[i]] = stmt.insert_values[i].Resolve(params);
+        }
+      }
+      Status st = db_->Insert(txn, stmt.table, std::move(row));
+      DLX_RETURN_IF_ERROR(finish(st));
+      out.affected = 1;
+      out.message = "INSERT 1";
+      return out;
+    }
+    case SqlStatement::Kind::kSelect: {
+      auto rows = db_->ExecuteSelect(txn, stmt.bound, params);
+      DLX_RETURN_IF_ERROR(finish(rows.ok() ? Status::OK() : rows.status()));
+      DLX_RETURN_IF_ERROR(rows.status());
+      DLX_ASSIGN_OR_RETURN(TableSchema schema, db_->GetSchema(stmt.table));
+      if (stmt.select_col_idx.empty()) {
+        for (const ColumnDef& c : schema.columns) out.columns.push_back(c.name);
+        out.rows = std::move(*rows);
+      } else {
+        out.columns = stmt.select_cols;
+        for (Row& r : *rows) {
+          Row proj;
+          proj.reserve(stmt.select_col_idx.size());
+          for (int idx : stmt.select_col_idx) proj.push_back(std::move(r[idx]));
+          out.rows.push_back(std::move(proj));
+        }
+      }
+      out.affected = static_cast<int64_t>(out.rows.size());
+      return out;
+    }
+    case SqlStatement::Kind::kUpdate: {
+      auto n = db_->ExecuteUpdate(txn, stmt.bound, params);
+      DLX_RETURN_IF_ERROR(finish(n.ok() ? Status::OK() : n.status()));
+      DLX_RETURN_IF_ERROR(n.status());
+      out.affected = *n;
+      out.message = "UPDATE " + std::to_string(*n);
+      return out;
+    }
+    case SqlStatement::Kind::kDelete: {
+      auto n = db_->ExecuteDelete(txn, stmt.bound, params);
+      DLX_RETURN_IF_ERROR(finish(n.ok() ? Status::OK() : n.status()));
+      DLX_RETURN_IF_ERROR(n.status());
+      out.affected = *n;
+      out.message = "DELETE " + std::to_string(*n);
+      return out;
+    }
+    default:
+      return Status::NotSupported("statement kind");
+  }
+}
+
+}  // namespace datalinks::sqldb

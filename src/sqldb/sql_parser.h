@@ -1,0 +1,100 @@
+// A small SQL dialect over the embedded engine.
+//
+// The paper calls the DLFM "a sophisticated SQL application": its
+// repository operations are expressed as (static) SQL against the local
+// database.  This front-end provides that surface — enough SQL for the
+// DataLinks metadata schema, the examples and ad-hoc inspection:
+//
+//   CREATE TABLE t (a INT NOT NULL, b STRING, c BOOL, d DOUBLE)
+//   CREATE [UNIQUE] INDEX ix ON t (a, b)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (1, 'x', TRUE, NULL)
+//   INSERT INTO t (a, b) VALUES (?, ?)
+//   SELECT * FROM t WHERE a = 1 AND b >= 'k'
+//   SELECT a, b FROM t
+//   UPDATE t SET b = 'y', c = FALSE WHERE a = ?
+//   DELETE FROM t WHERE a != 3
+//   BEGIN / COMMIT / ROLLBACK
+//   EXPLAIN SELECT ...        -- shows the chosen access path
+//
+// Statements with `?` markers can be prepared once and executed repeatedly
+// with bound parameters — modelling the paper's compiled-and-bound SQL.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sqldb/database.h"
+
+namespace datalinks::sqldb {
+
+/// A parsed (and, for DML, plan-bound) statement.
+struct SqlStatement {
+  enum class Kind {
+    kCreateTable,
+    kCreateIndex,
+    kDropTable,
+    kInsert,
+    kSelect,
+    kUpdate,
+    kDelete,
+    kBegin,
+    kCommit,
+    kRollback,
+    kExplain,
+  };
+  Kind kind = Kind::kSelect;
+
+  // kCreateTable / kCreateIndex / kDropTable
+  TableSchema schema;
+  IndexDef index;
+
+  // DML
+  TableId table = 0;
+  std::vector<int> insert_cols;     // positions; empty = all, in order
+  std::vector<Operand> insert_values;
+  std::vector<std::string> select_cols;  // empty = *
+  std::vector<int> select_col_idx;       // resolved positions (empty = *)
+  BoundStatement bound;                  // select/update/delete plan
+  int param_count = 0;
+
+  std::string explain_text;  // kExplain
+};
+
+/// Result of executing one statement.
+struct SqlResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected = 0;
+  std::string message;
+};
+
+/// Parse a single SQL statement against the catalog of `db` (tables and
+/// columns are resolved and, for DML, an access plan is bound).
+Result<SqlStatement> ParseSql(Database* db, const std::string& sql);
+
+/// Interactive session: owns the current transaction.  Not thread-safe.
+class SqlSession {
+ public:
+  explicit SqlSession(Database* db) : db_(db) {}
+  ~SqlSession();
+
+  /// Parse + execute one statement (auto-commits if no BEGIN is active,
+  /// except for explicit transaction-control statements).
+  Result<SqlResult> Execute(const std::string& sql,
+                            const std::vector<Value>& params = {});
+
+  /// Execute an already-parsed statement (prepared-statement flow).
+  Result<SqlResult> ExecuteParsed(const SqlStatement& stmt,
+                                  const std::vector<Value>& params = {});
+
+  bool in_transaction() const { return txn_ != nullptr; }
+
+ private:
+  Database* db_;
+  Transaction* txn_ = nullptr;
+};
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,91 @@
+// Statement model: conjunctive predicates with optional parameter markers,
+// assignments, and bound access plans.
+//
+// This models the paper's *static SQL*: DLFM's statements are "compiled and
+// bound" once (Database::Bind chooses the access path from the catalog
+// statistics in force at bind time) and then executed many times with
+// different parameter values.  Re-running Bind after statistics change is
+// the paper's "rebind plans" step.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+
+namespace datalinks::sqldb {
+
+/// A predicate operand: a literal value or a parameter marker ("?").
+struct Operand {
+  bool is_param = false;
+  int param_index = 0;  // when is_param
+  Value literal;        // when !is_param
+
+  static Operand Param(int index) {
+    Operand op;
+    op.is_param = true;
+    op.param_index = index;
+    return op;
+  }
+  /*implicit*/ Operand(Value v) : literal(std::move(v)) {}
+  /*implicit*/ Operand(int64_t v) : literal(v) {}
+  /*implicit*/ Operand(int v) : literal(int64_t{v}) {}
+  /*implicit*/ Operand(const char* v) : literal(std::string(v)) {}
+  /*implicit*/ Operand(std::string v) : literal(std::move(v)) {}
+  Operand() = default;
+
+  const Value& Resolve(const std::vector<Value>& params) const {
+    return is_param ? params[param_index] : literal;
+  }
+};
+
+enum class PredOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Pred {
+  std::string column;
+  PredOp op = PredOp::kEq;
+  Operand operand;
+
+  static Pred Eq(std::string col, Operand v) { return {std::move(col), PredOp::kEq, std::move(v)}; }
+  static Pred Ne(std::string col, Operand v) { return {std::move(col), PredOp::kNe, std::move(v)}; }
+  static Pred Lt(std::string col, Operand v) { return {std::move(col), PredOp::kLt, std::move(v)}; }
+  static Pred Le(std::string col, Operand v) { return {std::move(col), PredOp::kLe, std::move(v)}; }
+  static Pred Gt(std::string col, Operand v) { return {std::move(col), PredOp::kGt, std::move(v)}; }
+  static Pred Ge(std::string col, Operand v) { return {std::move(col), PredOp::kGe, std::move(v)}; }
+};
+
+/// AND of simple predicates (the subset DLFM's repository needs).
+using Conjunction = std::vector<Pred>;
+
+struct Assignment {
+  std::string column;
+  Operand operand;
+};
+
+/// The access path the optimizer picked.
+struct AccessPath {
+  enum class Kind : uint8_t { kTableScan, kIndexScan } kind = Kind::kTableScan;
+  IndexId index = 0;      // kIndexScan
+  int eq_prefix_len = 0;  // leading index columns bound by equality preds
+  double estimated_rows = 0;
+  double cost = 0;
+
+  std::string ToString() const;
+};
+
+/// A statement bound to an access plan.  Value semantics; safe to cache and
+/// share across threads (execution state lives in the transaction).
+struct BoundStatement {
+  enum class Kind : uint8_t { kSelect, kUpdate, kDelete } kind = Kind::kSelect;
+  TableId table = 0;
+  Conjunction where;
+  std::vector<Assignment> sets;  // kUpdate
+  AccessPath path;
+  // Pred columns resolved to positions at bind time.
+  std::vector<int> where_cols;
+  std::vector<int> set_cols;
+};
+
+}  // namespace datalinks::sqldb

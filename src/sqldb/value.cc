@@ -1,0 +1,179 @@
+#include "sqldb/value.h"
+
+#include <cstring>
+
+namespace datalinks::sqldb {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kString: return "STRING";
+    case ValueType::kBool: return "BOOL";
+    case ValueType::kDouble: return "DOUBLE";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  const auto ti = static_cast<int>(type());
+  const auto to = static_cast<int>(other.type());
+  if (ti != to) return ti < to ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt: {
+      const int64_t a = as_int(), b = other.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString:
+      return as_string().compare(other.as_string()) < 0
+                 ? -1
+                 : (as_string() == other.as_string() ? 0 : 1);
+    case ValueType::kBool: {
+      const int a = as_bool(), b = other.as_bool();
+      return a - b;
+    }
+    case ValueType::kDouble: {
+      const double a = as_double(), b = other.as_double();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kString: return "'" + as_string() + "'";
+    case ValueType::kBool: return as_bool() ? "TRUE" : "FALSE";
+    case ValueType::kDouble: return std::to_string(as_double());
+  }
+  return "?";
+}
+
+namespace {
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = (r << 8) | static_cast<unsigned char>((*in)[i]);
+  in->remove_prefix(8);
+  *v = r;
+  return true;
+}
+
+}  // namespace
+
+void Value::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutU64(out, static_cast<uint64_t>(as_int()));
+      break;
+    case ValueType::kString:
+      PutU64(out, as_string().size());
+      out->append(as_string());
+      break;
+    case ValueType::kBool:
+      out->push_back(as_bool() ? 1 : 0);
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = as_double();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+  }
+}
+
+Result<Value> Value::DecodeFrom(std::string_view* in) {
+  if (in->empty()) return Status::Corruption("value: empty input");
+  const auto t = static_cast<ValueType>((*in)[0]);
+  in->remove_prefix(1);
+  switch (t) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      uint64_t v;
+      if (!GetU64(in, &v)) return Status::Corruption("value: short int");
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kString: {
+      uint64_t n;
+      if (!GetU64(in, &n) || in->size() < n) return Status::Corruption("value: short string");
+      Value v(std::string(in->substr(0, n)));
+      in->remove_prefix(n);
+      return v;
+    }
+    case ValueType::kBool: {
+      if (in->empty()) return Status::Corruption("value: short bool");
+      const bool b = (*in)[0] != 0;
+      in->remove_prefix(1);
+      return Value(b);
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      if (!GetU64(in, &bits)) return Status::Corruption("value: short double");
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value(d);
+    }
+  }
+  return Status::Corruption("value: bad type tag");
+}
+
+int CompareKeys(const Key& a, const Key& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+std::string RowToString(const Row& row) {
+  std::string s = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) s += ", ";
+    s += row[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+std::string KeyToString(const Key& key) { return RowToString(key); }
+
+void EncodeRowTo(const Row& row, std::string* out) {
+  out->push_back(static_cast<char>(row.size()));
+  for (const Value& v : row) v.EncodeTo(out);
+}
+
+Result<Row> DecodeRowFrom(std::string_view* in) {
+  if (in->empty()) return Status::Corruption("row: empty input");
+  const size_t n = static_cast<unsigned char>((*in)[0]);
+  in->remove_prefix(1);
+  Row row;
+  row.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DLX_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(in));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,87 @@
+// Typed SQL values and composite keys for the embedded engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datalinks::sqldb {
+
+enum class ValueType : uint8_t { kNull = 0, kInt = 1, kString = 2, kBool = 3, kDouble = 4 };
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A single SQL value.  NULL compares lowest; cross-type comparison of
+/// non-null values is a programming error (schemas are statically typed).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  /*implicit*/ Value(int64_t i) : v_(i) {}
+  /*implicit*/ Value(int i) : v_(static_cast<int64_t>(i)) {}
+  /*implicit*/ Value(bool b) : v_(b) {}
+  /*implicit*/ Value(double d) : v_(d) {}
+  /*implicit*/ Value(std::string s) : v_(std::move(s)) {}
+  /*implicit*/ Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kString;
+      case 3: return ValueType::kBool;
+      default: return ValueType::kDouble;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+
+  /// Three-way comparison.  NULL < everything; same-type values compare
+  /// naturally.  Comparing distinct non-null types compares the type tag
+  /// (total order, never equal) so containers stay well-behaved.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  std::string ToString() const;
+
+  /// Order- and self-delimiting binary encoding, used for WAL records and
+  /// durable checkpoints.
+  void EncodeTo(std::string* out) const;
+  static Result<Value> DecodeFrom(std::string_view* in);
+
+ private:
+  std::variant<std::monostate, int64_t, std::string, bool, double> v_;
+};
+
+/// A row is a flat vector of values, positionally matching a TableSchema.
+using Row = std::vector<Value>;
+
+/// A composite key (index key or primary-key prefix).
+using Key = std::vector<Value>;
+
+/// Lexicographic comparison of composite keys.  A shorter key that is a
+/// prefix of a longer one compares lower (enables prefix range scans).
+int CompareKeys(const Key& a, const Key& b);
+
+std::string RowToString(const Row& row);
+std::string KeyToString(const Key& key);
+
+void EncodeRowTo(const Row& row, std::string* out);
+Result<Row> DecodeRowFrom(std::string_view* in);
+
+}  // namespace datalinks::sqldb

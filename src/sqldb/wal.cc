@@ -1,0 +1,200 @@
+#include "sqldb/wal.h"
+
+#include <algorithm>
+
+namespace datalinks::sqldb {
+
+size_t LogRecord::ByteSize() const {
+  size_t n = 32;  // header
+  std::string tmp;
+  for (const Row* r : {&before, &after}) {
+    for (const Value& v : *r) {
+      tmp.clear();
+      v.EncodeTo(&tmp);
+      n += tmp.size();
+    }
+  }
+  return n;
+}
+
+void DurableStore::SetCheckpoint(std::string image, Lsn checkpoint_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  checkpoint_image_ = std::move(image);
+  checkpoint_lsn_ = checkpoint_lsn;
+}
+
+std::string DurableStore::checkpoint_image() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return checkpoint_image_;
+}
+
+Lsn DurableStore::checkpoint_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return checkpoint_lsn_;
+}
+
+void DurableStore::AppendForced(std::vector<LogRecord> records) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& r : records) {
+    forced_bytes_ += r.ByteSize();
+    forced_.push_back(std::move(r));
+  }
+}
+
+std::vector<LogRecord> DurableStore::ForcedSince(Lsn after) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LogRecord> out;
+  for (const auto& r : forced_) {
+    if (r.lsn > after) out.push_back(r);
+  }
+  return out;
+}
+
+void DurableStore::TruncateBefore(Lsn point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (!forced_.empty() && forced_.front().lsn < point) {
+    forced_bytes_ -= forced_.front().ByteSize();
+    forced_.pop_front();
+  }
+}
+
+Lsn DurableStore::max_forced_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return forced_.empty() ? kInvalidLsn : forced_.back().lsn;
+}
+
+size_t DurableStore::forced_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return forced_bytes_;
+}
+
+WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes)
+    : durable_(std::move(durable)), capacity_(capacity_bytes) {
+  // Resume LSN numbering past anything already durable (re-open after crash).
+  next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), durable_->checkpoint_lsn()) + 1;
+  checkpoint_lsn_ = durable_->checkpoint_lsn();
+}
+
+Lsn WriteAheadLog::TruncationPoint() const {
+  // Records with lsn <= checkpoint_lsn_ are reflected in the checkpoint
+  // image, so the first record that must be retained is checkpoint_lsn_+1 —
+  // unless an active transaction began earlier (its records are needed for
+  // undo).  Keeping the record AT the checkpoint lsn would make the next
+  // recovery re-undo an already-resolved loser.
+  Lsn point = checkpoint_lsn_ == kInvalidLsn ? 1 : checkpoint_lsn_ + 1;
+  if (!active_begin_.empty()) point = std::min(point, active_begin_.begin()->first);
+  return point;
+}
+
+size_t WriteAheadLog::BytesInUse() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Lsn point = TruncationPoint();
+  size_t n = 0;
+  for (auto it = record_bytes_.lower_bound(point); it != record_bytes_.end(); ++it) {
+    n += it->second;
+  }
+  return n;
+}
+
+Status WriteAheadLog::Append(LogRecord record, bool exempt) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const size_t sz = record.ByteSize();
+  // Space check against the truncation point.
+  const Lsn point = TruncationPoint();
+  size_t in_use = 0;
+  for (auto it = record_bytes_.lower_bound(point); it != record_bytes_.end(); ++it) {
+    in_use += it->second;
+  }
+  if (!exempt && in_use + sz > capacity_) {
+    ++log_full_errors_;
+    return Status::LogFull("log capacity " + std::to_string(capacity_) +
+                           " bytes exceeded; oldest active txn pins lsn " +
+                           std::to_string(point));
+  }
+  record.lsn = next_lsn_++;
+  ++appends_;
+  record_bytes_[record.lsn] = sz;
+  tail_bytes_ += sz;
+  tail_.push_back(std::move(record));
+  return Status::OK();
+}
+
+void WriteAheadLog::ForceTo(Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LogRecord> forced;
+  size_t i = 0;
+  for (; i < tail_.size() && tail_[i].lsn <= lsn; ++i) {
+    tail_bytes_ -= tail_[i].ByteSize();
+    forced.push_back(std::move(tail_[i]));
+  }
+  if (i > 0) {
+    tail_.erase(tail_.begin(), tail_.begin() + i);
+    durable_->AppendForced(std::move(forced));
+    ++forces_;
+  }
+}
+
+void WriteAheadLog::ForceAll() {
+  Lsn last;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last = next_lsn_ - 1;
+  }
+  ForceTo(last);
+}
+
+void WriteAheadLog::OnBegin(TxnId txn, Lsn begin_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  active_begin_[begin_lsn] = txn;
+  txn_begin_[txn] = begin_lsn;
+}
+
+void WriteAheadLog::OnEnd(TxnId txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = txn_begin_.find(txn);
+  if (it == txn_begin_.end()) return;
+  active_begin_.erase(it->second);
+  txn_begin_.erase(it);
+}
+
+void WriteAheadLog::OnCheckpoint(Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  checkpoint_lsn_ = lsn;
+  ++checkpoints_;
+  const Lsn point = TruncationPoint();
+  durable_->TruncateBefore(point);
+  record_bytes_.erase(record_bytes_.begin(), record_bytes_.lower_bound(point));
+}
+
+size_t WriteAheadLog::BytesPinnedByActiveTxns() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (active_begin_.empty()) return 0;
+  const Lsn oldest = active_begin_.begin()->first;
+  size_t n = 0;
+  for (auto it = record_bytes_.lower_bound(oldest); it != record_bytes_.end(); ++it) {
+    n += it->second;
+  }
+  return n;
+}
+
+Lsn WriteAheadLog::last_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_lsn_ - 1;
+}
+
+WalStats WriteAheadLog::stats() const {
+  WalStats s;
+  s.capacity = capacity_;
+  std::lock_guard<std::mutex> lk(mu_);
+  const Lsn point = TruncationPoint();
+  for (auto it = record_bytes_.lower_bound(point); it != record_bytes_.end(); ++it) {
+    s.bytes_in_use += it->second;
+  }
+  s.appends = appends_;
+  s.forces = forces_;
+  s.log_full_errors = log_full_errors_;
+  s.checkpoints = checkpoints_;
+  return s;
+}
+
+}  // namespace datalinks::sqldb

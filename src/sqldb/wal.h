@@ -1,0 +1,149 @@
+// Write-ahead log + durable store for the embedded engine.
+//
+// Durability model (ARIES-lite, tuned for crash *simulation*):
+//  - Every mutation appends a redo/undo record to a volatile log tail.
+//  - "Force" (at commit / local-db commit during DLFM Prepare) moves the
+//    tail into the DurableStore, which survives SimulateCrash().
+//  - Fuzzy checkpoints serialize the entire database image (catalog + heap
+//    contents, including uncommitted rows) after forcing the log; recovery
+//    starts from the image, redoes the forced suffix, then rolls back
+//    transactions with no COMMIT/ABORT record using before-images.
+//  - Log space is accounted from the truncation point (min of checkpoint
+//    LSN and the begin-LSN of the oldest active transaction) to the end.
+//    Exceeding DatabaseOptions::log_capacity_bytes yields kLogFull — the
+//    failure the paper's batched-commit lesson (§4) is about: one huge
+//    transaction pins the truncation point and fills the log.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+
+namespace datalinks::sqldb {
+
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kCommit,
+  kAbort,
+};
+
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  TxnId txn = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  TableId table = 0;
+  RowId rid = 0;
+  Row before;  // kDelete / kUpdate
+  Row after;   // kInsert / kUpdate
+
+  size_t ByteSize() const;
+};
+
+/// The state that survives a simulated crash: the last checkpoint image and
+/// the forced log suffix.  Shared between a live Database and the test
+/// harness; Database::SimulateCrash() hands it back for re-opening.
+class DurableStore {
+ public:
+  /// Checkpoint image bytes (opaque to the store; Database serializes).
+  void SetCheckpoint(std::string image, Lsn checkpoint_lsn);
+  std::string checkpoint_image() const;
+  Lsn checkpoint_lsn() const;
+
+  void AppendForced(std::vector<LogRecord> records);
+  /// All forced records with lsn > `after`, in order.
+  std::vector<LogRecord> ForcedSince(Lsn after) const;
+
+  /// Discard forced records with lsn < `point` (checkpoint truncation).
+  void TruncateBefore(Lsn point);
+
+  Lsn max_forced_lsn() const;
+  size_t forced_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string checkpoint_image_;
+  Lsn checkpoint_lsn_ = kInvalidLsn;
+  std::deque<LogRecord> forced_;
+  size_t forced_bytes_ = 0;
+};
+
+struct WalStats {
+  uint64_t appends = 0;
+  uint64_t forces = 0;
+  uint64_t log_full_errors = 0;
+  uint64_t checkpoints = 0;
+  size_t bytes_in_use = 0;   // from truncation point to end
+  size_t capacity = 0;
+};
+
+/// Volatile WAL front-end.  Thread-compat: callers serialize via the
+/// Database data latch (append order must match apply order anyway).
+class WriteAheadLog {
+ public:
+  WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes);
+
+  /// Append a record; assigns the LSN.  Fails with kLogFull if retained log
+  /// bytes (truncation point .. end) would exceed capacity.  `exempt`
+  /// bypasses the capacity check — rollback compensations and commit/abort
+  /// records must never fail for space (DB2 reserves log space for undo).
+  Status Append(LogRecord record, bool exempt = false);
+
+  /// Bytes pinned by the oldest active transaction (cannot be reclaimed by
+  /// a checkpoint); used to decide whether auto-checkpointing would help.
+  size_t BytesPinnedByActiveTxns() const;
+
+  /// Move everything up to and including `lsn` into the durable store.
+  void ForceTo(Lsn lsn);
+  void ForceAll();
+
+  /// Transaction lifecycle hooks for space accounting.
+  void OnBegin(TxnId txn, Lsn begin_lsn);
+  void OnEnd(TxnId txn);
+
+  /// Record that a checkpoint at `lsn` completed; truncates retired space.
+  void OnCheckpoint(Lsn lsn);
+
+  Lsn last_lsn() const;
+  size_t BytesInUse() const;
+  WalStats stats() const;
+
+  DurableStore* durable() { return durable_.get(); }
+
+ private:
+  Lsn TruncationPoint() const;  // mu_ held
+
+  std::shared_ptr<DurableStore> durable_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<LogRecord> tail_;           // not yet forced
+  size_t tail_bytes_ = 0;
+  Lsn next_lsn_ = 1;
+  Lsn checkpoint_lsn_ = kInvalidLsn;
+  std::map<Lsn, TxnId> active_begin_;     // begin-LSN -> txn (ordered)
+  std::map<TxnId, Lsn> txn_begin_;
+  // Cumulative byte sizes for forced+tail records since last truncation,
+  // keyed by lsn, to compute BytesInUse cheaply enough.
+  std::map<Lsn, size_t> record_bytes_;
+
+  uint64_t appends_ = 0;
+  uint64_t forces_ = 0;
+  uint64_t log_full_errors_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "sqldb/btree.h"
+
+namespace datalinks::sqldb {
+namespace {
+
+Key K(int64_t v) { return Key{Value(v)}; }
+Key K2(int64_t a, const std::string& b) { return Key{Value(a), Value(b)}; }
+
+TEST(BTree, EmptyTree) {
+  BTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.ContainsKey(K(1)));
+  EXPECT_FALSE(t.LowerBound(K(0)).has_value());
+  EXPECT_FALSE(t.Successor(K(0), 0).has_value());
+  t.CheckInvariants();
+}
+
+TEST(BTree, InsertAndLookup) {
+  BTree t;
+  t.Insert(K(5), 50);
+  t.Insert(K(1), 10);
+  t.Insert(K(3), 30);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.ContainsKey(K(3)));
+  EXPECT_FALSE(t.ContainsKey(K(2)));
+  auto lb = t.LowerBound(K(2));
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_EQ(lb->rid, 30u);
+  t.CheckInvariants();
+}
+
+TEST(BTree, DuplicateUserKeysDistinctRids) {
+  BTree t;
+  t.Insert(K(7), 1);
+  t.Insert(K(7), 2);
+  t.Insert(K(7), 3);
+  EXPECT_EQ(t.size(), 3u);
+  std::vector<BTreeEntry> out;
+  t.ScanPrefix(K(7), &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].rid, 1u);
+  EXPECT_EQ(out[2].rid, 3u);
+}
+
+TEST(BTree, SuccessorSemantics) {
+  BTree t;
+  t.Insert(K(10), 1);
+  t.Insert(K(20), 2);
+  t.Insert(K(20), 5);
+  t.Insert(K(30), 3);
+  // Successor past all rids of key 20 is key 30.
+  auto s = t.Successor(K(20), kInvalidRowId);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rid, 3u);
+  // Successor of (20, rid 2) is (20, rid 5).
+  s = t.Successor(K(20), 2);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->rid, 5u);
+  // Nothing after the last entry.
+  EXPECT_FALSE(t.Successor(K(30), kInvalidRowId).has_value());
+}
+
+TEST(BTree, EraseRemovesExactPair) {
+  BTree t;
+  t.Insert(K(1), 1);
+  t.Insert(K(1), 2);
+  EXPECT_FALSE(t.Erase(K(1), 9));
+  EXPECT_TRUE(t.Erase(K(1), 1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.ContainsKey(K(1)));
+  EXPECT_TRUE(t.Erase(K(1), 2));
+  EXPECT_TRUE(t.empty());
+  t.CheckInvariants();
+}
+
+TEST(BTree, SplitsUnderLoad) {
+  BTree t;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) t.Insert(K(i), static_cast<RowId>(i));
+  EXPECT_EQ(t.size(), static_cast<size_t>(kN));
+  t.CheckInvariants();
+  for (int i = 0; i < kN; i += 37) EXPECT_TRUE(t.ContainsKey(K(i)));
+  // Ordered iteration via range scan.
+  std::vector<BTreeEntry> all;
+  t.ScanRange(nullptr, true, nullptr, true, &all);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kN));
+  for (int i = 1; i < kN; ++i) {
+    EXPECT_LT(CompareKeys(all[i - 1].key, all[i].key), 0);
+  }
+}
+
+TEST(BTree, ReverseInsertionOrder) {
+  BTree t;
+  for (int i = 999; i >= 0; --i) t.Insert(K(i), static_cast<RowId>(i));
+  t.CheckInvariants();
+  auto lb = t.LowerBound(K(0));
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_EQ(lb->rid, 0u);
+}
+
+TEST(BTree, ScanPrefixCompositeKeys) {
+  BTree t;
+  t.Insert(K2(1, "a"), 1);
+  t.Insert(K2(1, "b"), 2);
+  t.Insert(K2(2, "a"), 3);
+  t.Insert(K2(2, "b"), 4);
+  t.Insert(K2(3, "a"), 5);
+  std::vector<BTreeEntry> out;
+  t.ScanPrefix(K(2), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rid, 3u);
+  EXPECT_EQ(out[1].rid, 4u);
+}
+
+TEST(BTree, ScanRangeBounds) {
+  BTree t;
+  for (int i = 0; i < 100; ++i) t.Insert(K(i), static_cast<RowId>(i));
+  std::vector<BTreeEntry> out;
+  Key lo = K(10), hi = K(20);
+  t.ScanRange(&lo, true, &hi, false, &out);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().rid, 10u);
+  EXPECT_EQ(out.back().rid, 19u);
+
+  out.clear();
+  t.ScanRange(&lo, false, &hi, true, &out);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front().rid, 11u);
+  EXPECT_EQ(out.back().rid, 20u);
+}
+
+TEST(BTree, CountDistinctKeys) {
+  BTree t;
+  for (int i = 0; i < 50; ++i) {
+    t.Insert(K(i % 10), static_cast<RowId>(i));
+  }
+  EXPECT_EQ(t.CountDistinctKeys(), 10);
+}
+
+TEST(BTree, RandomizedAgainstReferenceSet) {
+  BTree t;
+  std::set<std::pair<int64_t, RowId>> ref;
+  Random rng(123);
+  for (int op = 0; op < 20000; ++op) {
+    const int64_t k = static_cast<int64_t>(rng.Uniform(500));
+    const RowId rid = rng.Uniform(50);
+    if (rng.Bernoulli(0.6)) {
+      if (ref.emplace(k, rid).second) t.Insert(K(k), rid);
+    } else {
+      const bool in_ref = ref.erase({k, rid}) > 0;
+      EXPECT_EQ(t.Erase(K(k), rid), in_ref);
+    }
+    if (op % 2500 == 0) t.CheckInvariants();
+  }
+  t.CheckInvariants();
+  EXPECT_EQ(t.size(), ref.size());
+  // Full-order agreement.
+  std::vector<BTreeEntry> all;
+  t.ScanRange(nullptr, true, nullptr, true, &all);
+  ASSERT_EQ(all.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [k, rid] : ref) {
+    EXPECT_EQ(all[i].key[0].as_int(), k);
+    EXPECT_EQ(all[i].rid, rid);
+    ++i;
+  }
+}
+
+TEST(BTree, ChurnKeepsTreeCompact) {
+  // Sustained insert/delete at the same keys must not leak nodes (the File
+  // table sees exactly this workload).
+  BTree t;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 100; ++i) t.Insert(K(i), static_cast<RowId>(i));
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(t.Erase(K(i), static_cast<RowId>(i)));
+  }
+  EXPECT_TRUE(t.empty());
+  t.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace datalinks::sqldb

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datalinks {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::Deadlock("victim txn 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDeadlock());
+  EXPECT_EQ(s.ToString(), "Deadlock: victim txn 7");
+}
+
+TEST(Status, TransactionFatalClassification) {
+  EXPECT_TRUE(Status::Deadlock().IsTransactionFatal());
+  EXPECT_TRUE(Status::LockTimeout().IsTransactionFatal());
+  EXPECT_TRUE(Status::LogFull().IsTransactionFatal());
+  EXPECT_TRUE(Status::LockListFull().IsTransactionFatal());
+  EXPECT_FALSE(Status::Conflict().IsTransactionFatal());
+  EXPECT_FALSE(Status::NotFound().IsTransactionFatal());
+  EXPECT_FALSE(Status::OK().IsTransactionFatal());
+}
+
+TEST(Status, CopiesAreCheapAndEqualByCode) {
+  Status a = Status::Busy("x");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "x");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Status UseParse(int v, int* out) {
+  DLX_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+
+  Result<int> e = ParsePositive(-1);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.ValueOr(7), 7);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseParse(0, &out).ok());
+}
+
+TEST(SimClock, AdvancesManually) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SleepForMicros(10);
+  EXPECT_EQ(clock.NowMicros(), 160);
+}
+
+TEST(SystemClock, MonotonicNonDecreasing) {
+  auto clock = SystemClock::Instance();
+  const int64_t a = clock->NowMicros();
+  const int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(Random, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Random, UniformRangeInclusive) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformRange(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(Random, NamesAreLowercaseAlpha) {
+  Random r(3);
+  const std::string name = r.NextName(16);
+  ASSERT_EQ(name.size(), 16u);
+  for (char c : name) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace datalinks

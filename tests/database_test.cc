@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "sqldb/database.h"
+
+namespace datalinks::sqldb {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions opts;
+    opts.name = "testdb";
+    opts.lock_timeout_micros = 200 * 1000;
+    auto db = Database::Open(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    TableSchema files;
+    files.name = "files";
+    files.columns = {{"name", ValueType::kString, false},
+                     {"txn", ValueType::kInt, false},
+                     {"state", ValueType::kString, false},
+                     {"size", ValueType::kInt, true}};
+    auto t = db_->CreateTable(files);
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    auto ix = db_->CreateIndex(IndexDef{"files_name", table_, {0}, /*unique=*/true});
+    ASSERT_TRUE(ix.ok());
+    name_ix_ = *ix;
+    ix = db_->CreateIndex(IndexDef{"files_txn", table_, {1}, /*unique=*/false});
+    ASSERT_TRUE(ix.ok());
+  }
+
+  Row MakeRow(const std::string& name, int64_t txn, const std::string& state,
+              int64_t size = 0) {
+    return Row{Value(name), Value(txn), Value(state), Value(size)};
+  }
+
+  std::unique_ptr<Database> db_;
+  TableId table_ = 0;
+  IndexId name_ix_ = 0;
+};
+
+TEST_F(DatabaseTest, InsertSelectCommit) {
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(db_->Insert(txn, table_, MakeRow("a.mpg", 1, "linked")).ok());
+  ASSERT_TRUE(db_->Insert(txn, table_, MakeRow("b.mpg", 1, "linked")).ok());
+  auto rows = db_->Select(txn, table_, {Pred::Eq("name", "a.mpg")});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][2].as_string(), "linked");
+  ASSERT_TRUE(db_->Commit(txn).ok());
+
+  Transaction* txn2 = db_->Begin();
+  auto count = db_->CountAll(txn2, table_);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2);
+  ASSERT_TRUE(db_->Commit(txn2).ok());
+}
+
+TEST_F(DatabaseTest, RollbackUndoesEverything) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("keep.dat", 1, "linked")).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+
+  Transaction* t2 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t2, table_, MakeRow("drop.dat", 2, "linked")).ok());
+  auto n = db_->Update(t2, table_, {Pred::Eq("name", "keep.dat")},
+                       {{"state", Operand(std::string("unlinked"))}});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  n = db_->Delete(t2, table_, {Pred::Eq("name", "keep.dat")});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  ASSERT_TRUE(db_->Rollback(t2).ok());
+
+  Transaction* t3 = db_->Begin();
+  auto rows = db_->Select(t3, table_, {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_string(), "keep.dat");
+  EXPECT_EQ((*rows)[0][2].as_string(), "linked");
+  ASSERT_TRUE(db_->Commit(t3).ok());
+}
+
+TEST_F(DatabaseTest, UniqueIndexRejectsDuplicate) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("x", 1, "linked")).ok());
+  Status st = db_->Insert(t1, table_, MakeRow("x", 2, "linked"));
+  EXPECT_TRUE(st.IsConflict()) << st.ToString();
+  ASSERT_TRUE(db_->Rollback(t1).ok());
+}
+
+TEST_F(DatabaseTest, UniqueIndexAllowsReinsertAfterDelete) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("x", 1, "linked")).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+
+  Transaction* t2 = db_->Begin();
+  ASSERT_TRUE(db_->Delete(t2, table_, {Pred::Eq("name", "x")}).ok());
+  ASSERT_TRUE(db_->Insert(t2, table_, MakeRow("x", 2, "relinked")).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+
+  Transaction* t3 = db_->Begin();
+  auto rows = db_->Select(t3, table_, {Pred::Eq("name", "x")});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][2].as_string(), "relinked");
+  ASSERT_TRUE(db_->Commit(t3).ok());
+}
+
+TEST_F(DatabaseTest, UpdateMovesIndexEntries) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("old-name", 1, "linked")).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+
+  Transaction* t2 = db_->Begin();
+  auto n = db_->Update(t2, table_, {Pred::Eq("name", "old-name")},
+                       {{"name", Operand(std::string("new-name"))}});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  ASSERT_TRUE(db_->Commit(t2).ok());
+
+  Transaction* t3 = db_->Begin();
+  auto rows = db_->Select(t3, table_, {Pred::Eq("name", "old-name")});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  rows = db_->Select(t3, table_, {Pred::Eq("name", "new-name")});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  ASSERT_TRUE(db_->Commit(t3).ok());
+}
+
+TEST_F(DatabaseTest, UpdateToExistingUniqueKeyConflicts) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("a", 1, "linked")).ok());
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("b", 1, "linked")).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+
+  Transaction* t2 = db_->Begin();
+  Status st = db_->Update(t2, table_, {Pred::Eq("name", "a")},
+                          {{"name", Operand(std::string("b"))}})
+                  .status();
+  EXPECT_TRUE(st.IsConflict()) << st.ToString();
+  ASSERT_TRUE(db_->Rollback(t2).ok());
+}
+
+TEST_F(DatabaseTest, SchemaValidationOnInsert) {
+  Transaction* t1 = db_->Begin();
+  // Wrong arity.
+  EXPECT_FALSE(db_->Insert(t1, table_, Row{Value("x")}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(db_->Insert(t1, table_, Row{Value(1), Value(1), Value("s"), Value(0)}).ok());
+  // Null in non-nullable.
+  EXPECT_FALSE(
+      db_->Insert(t1, table_, Row{Value::Null(), Value(1), Value("s"), Value(0)}).ok());
+  // Null in nullable column is fine.
+  EXPECT_TRUE(
+      db_->Insert(t1, table_, Row{Value("ok"), Value(1), Value("s"), Value::Null()}).ok());
+  ASSERT_TRUE(db_->Rollback(t1).ok());
+}
+
+TEST_F(DatabaseTest, ParameterizedBoundStatement) {
+  Transaction* t1 = db_->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("f" + std::to_string(i), i % 3, "linked")).ok());
+  }
+  ASSERT_TRUE(db_->Commit(t1).ok());
+
+  auto stmt = db_->Bind(BoundStatement::Kind::kSelect, table_,
+                        {Pred::Eq("txn", Operand::Param(0))});
+  ASSERT_TRUE(stmt.ok());
+
+  Transaction* t2 = db_->Begin();
+  auto rows = db_->ExecuteSelect(t2, *stmt, {Value(int64_t{1})});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  rows = db_->ExecuteSelect(t2, *stmt, {Value(int64_t{0})});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);
+  ASSERT_TRUE(db_->Commit(t2).ok());
+}
+
+TEST_F(DatabaseTest, RangePredicates) {
+  Transaction* t1 = db_->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("f" + std::to_string(i), i, "linked", i * 100)).ok());
+  }
+  auto rows = db_->Select(t1, table_, {Pred::Ge("txn", 3), Pred::Lt("txn", 7)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);
+  rows = db_->Select(t1, table_, {Pred::Ne("txn", 5)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 9u);
+  ASSERT_TRUE(db_->Commit(t1).ok());
+}
+
+TEST_F(DatabaseTest, NullComparisonSemantics) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, Row{Value("n"), Value(1), Value("s"), Value::Null()}).ok());
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("m", 1, "s", 5)).ok());
+  auto rows = db_->Select(t1, table_, {Pred::Eq("size", Value::Null())});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_string(), "n");
+  // Range predicates never match NULL.
+  rows = db_->Select(t1, table_, {Pred::Ge("size", 0)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  ASSERT_TRUE(db_->Commit(t1).ok());
+}
+
+TEST_F(DatabaseTest, DropTable) {
+  ASSERT_TRUE(db_->DropTable(table_).ok());
+  EXPECT_FALSE(db_->TableByName("files").ok());
+  Transaction* t1 = db_->Begin();
+  EXPECT_TRUE(db_->Insert(t1, table_, MakeRow("x", 1, "s")).IsNotFound());
+  ASSERT_TRUE(db_->Rollback(t1).ok());
+}
+
+TEST_F(DatabaseTest, StatsCounters) {
+  Transaction* t1 = db_->Begin();
+  ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("x", 1, "s")).ok());
+  ASSERT_TRUE(db_->Select(t1, table_, {}).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  const DatabaseStats s = db_->stats();
+  EXPECT_GE(s.begins, 1u);
+  EXPECT_GE(s.commits, 1u);
+  EXPECT_GE(s.inserts, 1u);
+  EXPECT_GE(s.selects, 1u);
+}
+
+TEST_F(DatabaseTest, RunStatsReflectsData) {
+  Transaction* t1 = db_->Begin();
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(db_->Insert(t1, table_, MakeRow("f" + std::to_string(i), i % 5, "s")).ok());
+  }
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  ASSERT_TRUE(db_->RunStats(table_).ok());
+  auto stats = db_->GetTableStats(table_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cardinality, 25);
+  EXPECT_EQ(stats->index_distinct.at(name_ix_), 25);
+}
+
+}  // namespace
+}  // namespace datalinks::sqldb

@@ -1,0 +1,456 @@
+// End-to-end DataLinks tests: host database + datalink engine + DLFM(s) +
+// DLFF + archive server, wired exactly like Figure 1 of the paper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "archive/archive_server.h"
+#include "dlff/filter.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+#include "hostdb/host_database.h"
+
+namespace datalinks {
+namespace {
+
+using dlfm::AccessControl;
+using hostdb::ColumnSpec;
+using sqldb::Pred;
+using sqldb::Row;
+using sqldb::Value;
+
+class DataLinksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs1_ = std::make_unique<fsim::FileServer>("srv1");
+    fs2_ = std::make_unique<fsim::FileServer>("srv2");
+    archive_ = std::make_unique<archive::ArchiveServer>();
+
+    StartDlfm(&dlfm1_, fs1_.get(), "srv1");
+    StartDlfm(&dlfm2_, fs2_.get(), "srv2");
+
+    // DLFF on each file server, upcalling into its DLFM.
+    filter1_ = std::make_unique<dlff::FileSystemFilter>(
+        fs1_.get(), dlff::TokenAuthority("datalinks-token-secret"));
+    filter1_->SetUpcall([this](const std::string& p) { return dlfm1_->UpcallIsLinked(p); });
+    filter1_->Attach();
+    filter2_ = std::make_unique<dlff::FileSystemFilter>(
+        fs2_.get(), dlff::TokenAuthority("datalinks-token-secret"));
+    filter2_->SetUpcall([this](const std::string& p) { return dlfm2_->UpcallIsLinked(p); });
+    filter2_->Attach();
+
+    hostdb::HostOptions hopts;
+    hopts.dbid = 1;
+    host_ = std::make_unique<hostdb::HostDatabase>(hopts);
+    host_->RegisterDlfm("srv1", dlfm1_->listener());
+    host_->RegisterDlfm("srv2", dlfm2_->listener());
+
+    auto table = host_->CreateTable(
+        "media", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+                  ColumnSpec{"title", sqldb::ValueType::kString, false, false, {}, false},
+                  ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                             AccessControl::kFull, true}});
+    ASSERT_TRUE(table.ok());
+    media_ = *table;
+  }
+
+  void TearDown() override {
+    host_.reset();  // sessions and connections close before the DLFMs stop
+    if (dlfm1_) dlfm1_->Stop();
+    if (dlfm2_) dlfm2_->Stop();
+  }
+
+  void StartDlfm(std::unique_ptr<dlfm::DlfmServer>* out, fsim::FileServer* fs,
+                 const std::string& name,
+                 std::shared_ptr<sqldb::DurableStore> durable = {}) {
+    dlfm::DlfmOptions opts;
+    opts.server_name = name;
+    *out = std::make_unique<dlfm::DlfmServer>(opts, fs, archive_.get(), std::move(durable));
+    ASSERT_TRUE((*out)->Start().ok());
+  }
+
+  void MakeFile(fsim::FileServer* fs, const std::string& name,
+                const std::string& content = "data") {
+    ASSERT_TRUE(fs->CreateFile(name, "alice", 0644, content).ok());
+  }
+
+  Row MediaRow(int64_t id, const std::string& title, const std::string& url) {
+    return Row{Value(id), Value(title),
+               url.empty() ? Value::Null() : Value(url)};
+  }
+
+  std::unique_ptr<fsim::FileServer> fs1_, fs2_;
+  std::unique_ptr<archive::ArchiveServer> archive_;
+  std::unique_ptr<dlfm::DlfmServer> dlfm1_, dlfm2_;
+  std::unique_ptr<dlff::FileSystemFilter> filter1_, filter2_;
+  std::unique_ptr<hostdb::HostDatabase> host_;
+  sqldb::TableId media_ = 0;
+};
+
+TEST_F(DataLinksTest, InsertLinksAndCommits) {
+  MakeFile(fs1_.get(), "clips/jordan.mpg");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(
+      session->Insert(media_, MediaRow(1, "MJ ad", "dlfs://srv1/clips/jordan.mpg")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("clips/jordan.mpg"));
+  // Full access control: file taken over, unauthorized delete rejected.
+  EXPECT_EQ(fs1_->Stat("clips/jordan.mpg")->owner, dlff::kDlfmAdminUser);
+  EXPECT_TRUE(fs1_->DeleteFile("clips/jordan.mpg", "alice").IsPermissionDenied());
+}
+
+TEST_F(DataLinksTest, RollbackUnwindsLink) {
+  MakeFile(fs1_.get(), "f");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "t", "dlfs://srv1/f")).ok());
+  ASSERT_TRUE(session->Rollback().ok());
+
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("f"));
+  EXPECT_EQ(fs1_->Stat("f")->owner, "alice");
+  auto check = host_->OpenSession();
+  ASSERT_TRUE(check->Begin().ok());
+  auto rows = check->Select(media_, {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+TEST_F(DataLinksTest, SelectThenReadWithToken) {
+  MakeFile(fs1_.get(), "report.pdf", "the-report");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(7, "report", "dlfs://srv1/report.pdf")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  // Application flow (Fig. 3): search the host database, get the URL, read
+  // the file through the standard filesystem API with a token.
+  ASSERT_TRUE(session->Begin().ok());
+  auto rows = session->Select(media_, {Pred::Eq("id", 7)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const std::string url = (*rows)[0][2].as_string();
+  ASSERT_TRUE(session->Commit().ok());
+  auto parsed = hostdb::ParseDatalinkUrl(url);
+  ASSERT_TRUE(parsed.ok());
+
+  // Without a token: denied.  With a host-issued token: allowed.
+  EXPECT_TRUE(fs1_->ReadFile(parsed->path, "bob").status().IsPermissionDenied());
+  const std::string token = host_->IssueToken(parsed->path);
+  auto content = fs1_->ReadFile(parsed->path, "bob", token);
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "the-report");
+}
+
+TEST_F(DataLinksTest, DeleteUnlinksAndReleases) {
+  MakeFile(fs1_.get(), "f");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "t", "dlfs://srv1/f")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  ASSERT_TRUE(dlfm1_->UpcallIsLinked("f"));
+
+  ASSERT_TRUE(session->Begin().ok());
+  auto n = session->Delete(media_, {Pred::Eq("id", 1)});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  ASSERT_TRUE(session->Commit().ok());
+
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("f"));
+  EXPECT_EQ(fs1_->Stat("f")->owner, "alice");
+  EXPECT_TRUE(fs1_->DeleteFile("f", "alice").ok());  // free again
+}
+
+TEST_F(DataLinksTest, UpdateMovesLinkBetweenFiles) {
+  MakeFile(fs1_.get(), "old.mpg");
+  MakeFile(fs1_.get(), "new.mpg");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "t", "dlfs://srv1/old.mpg")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  ASSERT_TRUE(session->Begin().ok());
+  auto n = session->Update(media_, {Pred::Eq("id", 1)},
+                           {{"clip", sqldb::Operand(std::string("dlfs://srv1/new.mpg"))}});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  ASSERT_TRUE(session->Commit().ok());
+
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("old.mpg"));
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("new.mpg"));
+}
+
+TEST_F(DataLinksTest, TwoPhaseCommitAcrossTwoDlfms) {
+  MakeFile(fs1_.get(), "a");
+  MakeFile(fs2_.get(), "b");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "a", "dlfs://srv1/a")).ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(2, "b", "dlfs://srv2/b")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("a"));
+  EXPECT_TRUE(dlfm2_->UpcallIsLinked("b"));
+
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Delete(media_, {}).ok());
+  ASSERT_TRUE(session->Rollback().ok());
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("a"));
+  EXPECT_TRUE(dlfm2_->UpcallIsLinked("b"));
+}
+
+TEST_F(DataLinksTest, PrepareFailureAbortsEverywhere) {
+  // srv2's file vanishes between the host check and... actually simpler:
+  // linking a missing file on srv2 fails the statement; the host session
+  // then rolls back, and srv1's link is undone too.
+  MakeFile(fs1_.get(), "good");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "good", "dlfs://srv1/good")).ok());
+  Status st = session->Insert(media_, MediaRow(2, "bad", "dlfs://srv2/missing"));
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  // Statement failed but the transaction is still usable; roll it back.
+  ASSERT_TRUE(session->Rollback().ok());
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("good"));
+}
+
+TEST_F(DataLinksTest, StatementRollbackCompensatesPartialWork) {
+  // Host-side duplicate key on the second insert: the already-sent link of
+  // that statement is backed out (in_backout), and the earlier statement's
+  // link survives the eventual commit.
+  auto id_ix = host_->db()->CreateIndex(sqldb::IndexDef{"ux_media_id", media_, {0}, true});
+  ASSERT_TRUE(id_ix.ok());
+  MakeFile(fs1_.get(), "first");
+  MakeFile(fs1_.get(), "second");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "first", "dlfs://srv1/first")).ok());
+  Status st = session->Insert(media_, MediaRow(1, "dup", "dlfs://srv1/second"));
+  EXPECT_TRUE(st.IsConflict()) << st.ToString();
+  ASSERT_TRUE(session->Commit().ok());
+
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("first"));
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("second"));  // backed out
+  EXPECT_GE(host_->counters().statement_rollbacks.load(), 1u);
+  EXPECT_GE(host_->counters().backouts_sent.load(), 1u);
+}
+
+TEST_F(DataLinksTest, ReferentialIntegrityUnderConcurrentFsAttacks) {
+  MakeFile(fs1_.get(), "guarded");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "g", "dlfs://srv1/guarded")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> attackers;
+  for (int i = 0; i < 4; ++i) {
+    attackers.emplace_back([&, i] {
+      for (int k = 0; k < 25; ++k) {
+        if (fs1_->DeleteFile("guarded", "mallory").IsPermissionDenied()) rejected.fetch_add(1);
+        if (fs1_->RenameFile("guarded", "stolen" + std::to_string(i), "mallory")
+                .IsPermissionDenied()) {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : attackers) t.join();
+  EXPECT_EQ(rejected.load(), 4 * 25 * 2);
+  EXPECT_TRUE(fs1_->Exists("guarded"));
+}
+
+TEST_F(DataLinksTest, DropTableTriggersGroupDelete) {
+  constexpr int kFiles = 8;
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "drop/f" + std::to_string(i);
+    MakeFile(fs1_.get(), name);
+    ASSERT_TRUE(session->Insert(media_, MediaRow(i, "t", "dlfs://srv1/" + name)).ok());
+  }
+  ASSERT_TRUE(session->Commit().ok());
+
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->DropTable(media_).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  ASSERT_TRUE(dlfm1_->WaitGroupWorkDrained(5 * 1000 * 1000).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "drop/f" + std::to_string(i);
+    EXPECT_FALSE(dlfm1_->UpcallIsLinked(name)) << name;
+    EXPECT_TRUE(fs1_->DeleteFile(name, "alice").ok()) << name;  // free again
+  }
+  EXPECT_FALSE(host_->db()->TableByName("media").ok());
+}
+
+TEST_F(DataLinksTest, CoordinatedBackupAndRestore) {
+  MakeFile(fs1_.get(), "keepme", "version-1");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "k", "dlfs://srv1/keepme")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  auto backup = host_->Backup();
+  ASSERT_TRUE(backup.ok()) << backup.status().ToString();
+  // Backup barrier: the archive copy exists by now.
+  EXPECT_GE(archive_->stats().copies, 1u);
+
+  // After the backup: delete the row (unlink) and add a new one.
+  MakeFile(fs1_.get(), "newer");
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Delete(media_, {Pred::Eq("id", 1)}).ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(2, "n", "dlfs://srv1/newer")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("keepme"));
+
+  // Lose the file entirely; restore must bring content back from archive.
+  ASSERT_TRUE(fs1_->DeleteFile("keepme", "alice").ok());
+
+  ASSERT_TRUE(host_->Restore(*backup).ok());
+
+  // Host data restored.
+  auto check = host_->OpenSession();
+  ASSERT_TRUE(check->Begin().ok());
+  auto rows = check->Select(media_, {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_int(), 1);
+  ASSERT_TRUE(check->Commit().ok());
+  // DLFM metadata and file content restored to match.
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("keepme"));
+  EXPECT_EQ(*fs1_->ReadRaw("keepme"), "version-1");
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("newer"));
+}
+
+TEST_F(DataLinksTest, ReconcileRepairsDivergence) {
+  MakeFile(fs1_.get(), "ok");
+  MakeFile(fs1_.get(), "vanishing");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "ok", "dlfs://srv1/ok")).ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(2, "v", "dlfs://srv1/vanishing")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  // Break both sides behind the system's back: remove the DLFM entry for
+  // "ok" (orphan host reference) and delete "vanishing" from disk as root.
+  {
+    auto* db = dlfm1_->local_db();
+    auto* t = db->Begin();
+    ASSERT_TRUE(db->Delete(t, dlfm1_->repo().file_table(),
+                           {Pred::Eq("name", "ok"), Pred::Eq("check_flag", 0)})
+                    .ok());
+    ASSERT_TRUE(db->Commit(t).ok());
+    ASSERT_TRUE(fs1_->DeleteFile("vanishing", "root").ok());
+  }
+
+  auto report = host_->Reconcile(media_, /*use_temp_table=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // "vanishing" is gone from disk: its host reference is nulled.
+  ASSERT_EQ(report->cleared_urls.size(), 1u);
+  EXPECT_EQ(report->cleared_urls[0], "dlfs://srv1/vanishing");
+  // "ok" is re-linked at the DLFM.
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("ok"));
+
+  auto check = host_->OpenSession();
+  ASSERT_TRUE(check->Begin().ok());
+  auto rows = check->Select(media_, {Pred::Eq("id", 2)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_TRUE((*rows)[0][2].is_null());
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+TEST_F(DataLinksTest, HostCrashIndoubtResolution) {
+  MakeFile(fs1_.get(), "indoubt-file");
+  // Drive the DLFM to prepared state manually (as if the host crashed after
+  // sending Prepare but before phase 2), with a durable commit decision.
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "t", "dlfs://srv1/indoubt-file")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("indoubt-file"));
+
+  // Now simulate an interrupted 2PC: prepare a fresh transaction directly.
+  ASSERT_TRUE(dlfm1_->ApiBegin(99999).ok());
+  MakeFile(fs1_.get(), "limbo");
+  dlfm::DlfmRequest link;
+  link.api = dlfm::DlfmApi::kLinkFile;
+  link.txn = 99999;
+  link.filename = "limbo";
+  link.recovery_id = dlfm::RecoveryId::Make(1, 999);
+  ASSERT_TRUE(dlfm1_->ApiLink(99999, link).ok());
+  ASSERT_TRUE(dlfm1_->ApiPrepare(99999).ok());
+  ASSERT_EQ(dlfm1_->ListIndoubt()->size(), 1u);
+
+  // Host restart processing: no decision record exists for txn 99999, so it
+  // is presumed aborted.
+  ASSERT_TRUE(host_->ResolveIndoubts().ok());
+  EXPECT_TRUE(dlfm1_->ListIndoubt()->empty());
+  EXPECT_FALSE(dlfm1_->UpcallIsLinked("limbo"));
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("indoubt-file"));  // untouched
+}
+
+TEST_F(DataLinksTest, ConcurrentSessionsLinkDistinctFiles) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 10;
+  for (int w = 0; w < kThreads; ++w) {
+    for (int i = 0; i < kPerThread; ++i) {
+      MakeFile(fs1_.get(), "c" + std::to_string(w) + "_" + std::to_string(i));
+    }
+  }
+  std::atomic<int> committed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      auto session = host_->OpenSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!session->Begin().ok()) continue;
+        const std::string name = "c" + std::to_string(w) + "_" + std::to_string(i);
+        Status st = session->Insert(
+            media_, Row{Value(int64_t{w * 1000 + i}), Value(name),
+                        Value("dlfs://srv1/" + name)});
+        if (st.ok() && session->Commit().ok()) {
+          committed.fetch_add(1);
+        } else if (session->in_transaction()) {
+          (void)session->Rollback();
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(committed.load(), kThreads * kPerThread);
+  auto check = host_->OpenSession();
+  ASSERT_TRUE(check->Begin().ok());
+  auto rows = check->Select(media_, {});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), static_cast<size_t>(kThreads * kPerThread));
+  ASSERT_TRUE(check->Commit().ok());
+}
+
+TEST_F(DataLinksTest, ConcurrentLinkRaceOnSameFileOneWinner) {
+  MakeFile(fs1_.get(), "hot");
+  constexpr int kThreads = 6;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      auto session = host_->OpenSession();
+      if (!session->Begin().ok()) return;
+      Status st =
+          session->Insert(media_, Row{Value(int64_t{w}), Value("hot"), Value("dlfs://srv1/hot")});
+      if (st.ok() && session->Commit().ok()) {
+        winners.fetch_add(1);
+      } else if (session->in_transaction()) {
+        (void)session->Rollback();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+}  // namespace
+}  // namespace datalinks

@@ -1,0 +1,539 @@
+// DLFM core semantics: link/unlink transactionality, delayed-update
+// compensation, 2PC states, daemons, backup/restore, reconcile.
+#include <gtest/gtest.h>
+
+#include "archive/archive_server.h"
+#include "dlff/filter.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+
+namespace datalinks::dlfm {
+namespace {
+
+class DlfmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { NewServer(); }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  void NewServer(std::shared_ptr<sqldb::DurableStore> durable = {}) {
+    if (server_) server_->Stop();
+    DlfmOptions opts;
+    opts.server_name = "srv1";
+    opts.commit_batch_size = 5;
+    opts.group_lifetime_micros = 0;
+    server_ = std::make_unique<DlfmServer>(opts, &fs_, &archive_, std::move(durable));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void MakeFile(const std::string& name, const std::string& content = "data",
+                const std::string& owner = "alice") {
+    ASSERT_TRUE(fs_.CreateFile(name, owner, 0644, content).ok());
+  }
+
+  DlfmRequest LinkReq(GlobalTxnId txn, const std::string& name, int64_t rec,
+                      AccessControl access = AccessControl::kFull, bool recovery = true,
+                      int64_t group = 1) {
+    DlfmRequest r;
+    r.api = DlfmApi::kLinkFile;
+    r.txn = txn;
+    r.filename = name;
+    r.recovery_id = rec;
+    r.group_id = group;
+    r.access = access;
+    r.recovery_option = recovery;
+    return r;
+  }
+
+  DlfmRequest UnlinkReq(GlobalTxnId txn, const std::string& name, int64_t rec) {
+    DlfmRequest r;
+    r.api = DlfmApi::kUnlinkFile;
+    r.txn = txn;
+    r.filename = name;
+    r.recovery_id = rec;
+    return r;
+  }
+
+  int64_t NextRec() { return RecoveryId::Make(1, seq_++); }
+
+  // Full happy-path link+commit of one file.
+  void LinkAndCommit(GlobalTxnId txn, const std::string& name, int64_t rec,
+                     AccessControl access = AccessControl::kFull, bool recovery = true) {
+    ASSERT_TRUE(server_->ApiBegin(txn).ok());
+    ASSERT_TRUE(server_->ApiLink(txn, LinkReq(txn, name, rec, access, recovery)).ok());
+    ASSERT_TRUE(server_->ApiPrepare(txn).ok());
+    ASSERT_TRUE(server_->ApiCommit(txn).ok());
+  }
+
+  fsim::FileServer fs_{"srv1"};
+  archive::ArchiveServer archive_;
+  std::unique_ptr<DlfmServer> server_;
+  uint64_t seq_ = 1;
+  GlobalTxnId next_txn_ = 100;
+};
+
+TEST_F(DlfmTest, LinkCommitTakesOverFullControlFile) {
+  MakeFile("video.mpg");
+  const int64_t rec = NextRec();
+  LinkAndCommit(1, "video.mpg", rec);
+
+  // Linked: owned by the DLFM admin user, read-only.
+  auto info = fs_.Stat("video.mpg");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->owner, dlff::kDlfmAdminUser);
+  EXPECT_EQ(info->mode & 0222u, 0u);
+  EXPECT_TRUE(server_->UpcallIsLinked("video.mpg"));
+
+  // Recovery option: the Copy daemon archives the file asynchronously.
+  ASSERT_TRUE(server_->WaitArchiveDrained(3 * 1000 * 1000).ok());
+  EXPECT_TRUE(archive_.Has(archive::ArchiveKey{"srv1", "video.mpg", rec}));
+}
+
+TEST_F(DlfmTest, LinkWithoutTakeoverForNoneAccess) {
+  MakeFile("doc.txt");
+  LinkAndCommit(1, "doc.txt", NextRec(), AccessControl::kNone, /*recovery=*/false);
+  EXPECT_EQ(fs_.Stat("doc.txt")->owner, "alice");
+  EXPECT_TRUE(server_->UpcallIsLinked("doc.txt"));
+  // No recovery option: nothing archived.
+  ASSERT_TRUE(server_->WaitArchiveDrained(1000 * 1000).ok());
+  EXPECT_FALSE(archive_.Has(archive::ArchiveKey{"srv1", "doc.txt", 0}));
+}
+
+TEST_F(DlfmTest, LinkMissingFileFails) {
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  Status st = server_->ApiLink(1, LinkReq(1, "nope", NextRec()));
+  EXPECT_TRUE(st.IsNotFound());
+  ASSERT_TRUE(server_->ApiAbort(1).ok());
+}
+
+TEST_F(DlfmTest, AbortBeforePrepareUndoesLink) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiAbort(1).ok());
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+  EXPECT_EQ(fs_.Stat("f")->owner, "alice");  // never taken over
+}
+
+TEST_F(DlfmTest, AbortAfterPrepareCompensatesLink) {
+  // The paper's headline trick: the link was already committed in the local
+  // database at prepare time; abort in phase 2 compensates.
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  ASSERT_TRUE(server_->ApiAbort(1).ok());
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+  EXPECT_TRUE(server_->ListIndoubt()->empty());
+}
+
+TEST_F(DlfmTest, UnlinkCommitReleasesFile) {
+  MakeFile("f");
+  const int64_t rec = NextRec();
+  LinkAndCommit(1, "f", rec);
+  ASSERT_EQ(fs_.Stat("f")->owner, dlff::kDlfmAdminUser);
+
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());
+
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+  auto info = fs_.Stat("f");
+  EXPECT_EQ(info->owner, "alice");          // original owner restored
+  EXPECT_NE(info->mode & 0200u, 0u);        // writable again
+}
+
+TEST_F(DlfmTest, AbortAfterPrepareRestoresUnlinkedEntry) {
+  MakeFile("f");
+  LinkAndCommit(1, "f", NextRec());
+
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  // Outcome: abort.  The unlinked entry must be restored to linked state
+  // ("change these records back to normal state from the deleted state").
+  ASSERT_TRUE(server_->ApiAbort(2).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, LinkAndUnlinkSameTransactionAbortIsNetZero) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(3).ok());
+  ASSERT_TRUE(server_->ApiLink(3, LinkReq(3, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiUnlink(3, UnlinkReq(3, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(3).ok());
+  ASSERT_TRUE(server_->ApiAbort(3).ok());
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, UnlinkThenRelinkSameTransaction) {
+  // §3.2: "unlink of a file from one datalink column and link of the same
+  // file to another datalink column within the same transaction ... an
+  // important customer requirement."
+  MakeFile("f");
+  LinkAndCommit(1, "f", NextRec());
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiLink(2, LinkReq(2, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, UnlinkThenRelinkSameTransactionAbort) {
+  MakeFile("f");
+  LinkAndCommit(1, "f", NextRec());
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiLink(2, LinkReq(2, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiAbort(2).ok());
+  // Back to the original linked state (old entry restored, new one gone).
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, InBackoutLinkDeletesPendingEntry) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "f", NextRec())).ok());
+  // Savepoint rollback at the host: undo the link, transaction continues.
+  DlfmRequest backout = LinkReq(1, "f", 0);
+  backout.in_backout = true;
+  ASSERT_TRUE(server_->ApiLink(1, backout).ok());
+  // The same transaction can re-link and commit.
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  ASSERT_TRUE(server_->ApiCommit(1).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, InBackoutUnlinkRestoresEntry) {
+  MakeFile("f");
+  LinkAndCommit(1, "f", NextRec());
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  const int64_t urec = NextRec();
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "f", urec)).ok());
+  DlfmRequest backout = UnlinkReq(2, "f", urec);
+  backout.in_backout = true;
+  ASSERT_TRUE(server_->ApiUnlink(2, backout).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, DoubleLinkRejected) {
+  MakeFile("f");
+  LinkAndCommit(1, "f", NextRec());
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  Status st = server_->ApiLink(2, LinkReq(2, "f", NextRec()));
+  EXPECT_TRUE(st.IsAlreadyExists()) << st.ToString();
+  ASSERT_TRUE(server_->ApiAbort(2).ok());
+}
+
+TEST_F(DlfmTest, CommitIsIdempotent) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  ASSERT_TRUE(server_->ApiCommit(1).ok());
+  // Redelivery of phase 2 after a lost ack must succeed quietly.
+  EXPECT_TRUE(server_->ApiCommit(1).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, IndoubtAfterCrashResolvedByCommit) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(7).ok());
+  ASSERT_TRUE(server_->ApiLink(7, LinkReq(7, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(7).ok());
+
+  auto durable = server_->SimulateCrash();
+  server_.reset();
+  NewServer(durable);
+
+  auto indoubt = server_->ListIndoubt();
+  ASSERT_TRUE(indoubt.ok());
+  ASSERT_EQ(indoubt->size(), 1u);
+  EXPECT_EQ((*indoubt)[0], 7u);
+  // The entry is hardened but the commit has not happened: still linked in
+  // metadata (visible), awaiting the coordinator's outcome.
+  ASSERT_TRUE(server_->ApiCommit(7).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+  EXPECT_TRUE(server_->ListIndoubt()->empty());
+}
+
+TEST_F(DlfmTest, IndoubtAfterCrashResolvedByAbort) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(8).ok());
+  ASSERT_TRUE(server_->ApiLink(8, LinkReq(8, "f", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(8).ok());
+
+  auto durable = server_->SimulateCrash();
+  server_.reset();
+  NewServer(durable);
+
+  ASSERT_TRUE(server_->ApiAbort(8).ok());
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+  EXPECT_TRUE(server_->ListIndoubt()->empty());
+}
+
+TEST_F(DlfmTest, UncommittedWorkLostOnCrash) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(9).ok());
+  ASSERT_TRUE(server_->ApiLink(9, LinkReq(9, "f", NextRec())).ok());
+  // No prepare: local transaction never committed.
+  auto durable = server_->SimulateCrash();
+  server_.reset();
+  NewServer(durable);
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+  EXPECT_TRUE(server_->ListIndoubt()->empty());
+}
+
+TEST_F(DlfmTest, DeleteGroupDaemonUnlinksAsync) {
+  constexpr int kFiles = 12;
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "g/f" + std::to_string(i);
+    MakeFile(name);
+    ASSERT_TRUE(
+        server_->ApiLink(1, LinkReq(1, name, NextRec(), AccessControl::kFull, true, 42))
+            .ok());
+  }
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  ASSERT_TRUE(server_->ApiCommit(1).ok());
+
+  // Drop the group (the host dropped the SQL table).
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiDeleteGroup(2, 42, NextRec()).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());  // returns before files unlinked
+
+  ASSERT_TRUE(server_->WaitGroupWorkDrained(5 * 1000 * 1000).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "g/f" + std::to_string(i);
+    EXPECT_FALSE(server_->UpcallIsLinked(name)) << name;
+    EXPECT_EQ(fs_.Stat(name)->owner, "alice") << name;  // released
+  }
+  EXPECT_GE(server_->counters().groups_deleted.load(), 1u);
+  EXPECT_GE(server_->counters().batched_local_commits.load(), 2u);  // kFiles > batch(5)
+}
+
+TEST_F(DlfmTest, DeleteGroupAbortRestoresGroup) {
+  MakeFile("f");
+  LinkAndCommit(1, "f", NextRec(), AccessControl::kFull, true);
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiDeleteGroup(2, 1, NextRec()).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiAbort(2).ok());
+  // Group restored; file untouched.
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+  ASSERT_TRUE(server_->ApiBegin(3).ok());
+  EXPECT_TRUE(server_->ApiDeleteGroup(3, 1, NextRec()).ok());  // group is active again
+  ASSERT_TRUE(server_->ApiAbort(3).ok());
+}
+
+TEST_F(DlfmTest, DeleteGroupWorkResumesAfterCrash) {
+  constexpr int kFiles = 8;
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "h/f" + std::to_string(i);
+    MakeFile(name);
+    ASSERT_TRUE(
+        server_->ApiLink(1, LinkReq(1, name, NextRec(), AccessControl::kNone, false, 77))
+            .ok());
+  }
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  ASSERT_TRUE(server_->ApiCommit(1).ok());
+
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiDeleteGroup(2, 77, NextRec()).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());
+
+  // Crash immediately: the daemon may not have processed anything yet, but
+  // the committed 'C' transaction entry survives and work resumes (§3.5).
+  auto durable = server_->SimulateCrash();
+  server_.reset();
+  NewServer(durable);
+  ASSERT_TRUE(server_->WaitGroupWorkDrained(5 * 1000 * 1000).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_FALSE(server_->UpcallIsLinked("h/f" + std::to_string(i)));
+  }
+}
+
+TEST_F(DlfmTest, BackupBarrierAndGarbageCollection) {
+  MakeFile("a", "v1");
+  const int64_t rec_a = NextRec();
+  LinkAndCommit(1, "a", rec_a);
+  ASSERT_TRUE(server_->ApiEnsureArchived(rec_a, 3 * 1000 * 1000).ok());
+  EXPECT_TRUE(archive_.Has(archive::ArchiveKey{"srv1", "a", rec_a}));
+
+  // Three backups with an unlink in between; keep_backups = 2.
+  ASSERT_TRUE(server_->ApiRegisterBackup(1, NextRec()).ok());
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "a", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());
+
+  ASSERT_TRUE(server_->ApiRegisterBackup(2, NextRec()).ok());
+  ASSERT_TRUE(server_->ApiRegisterBackup(3, NextRec()).ok());
+  ASSERT_TRUE(server_->ApiRegisterBackup(4, NextRec()).ok());
+
+  // The unlinked entry predates the oldest kept backup: GC removes it and
+  // its archive copy.
+  ASSERT_TRUE(server_->RunGarbageCollection().ok());
+  EXPECT_GE(server_->counters().gc_removed_entries.load(), 1u);
+  EXPECT_FALSE(archive_.Has(archive::ArchiveKey{"srv1", "a", rec_a}));
+}
+
+TEST_F(DlfmTest, RestoreToBackupRelinksAndRetrieves) {
+  MakeFile("movie", "original-content");
+  const int64_t rec = NextRec();
+  LinkAndCommit(1, "movie", rec);
+  ASSERT_TRUE(server_->ApiEnsureArchived(rec, 3 * 1000 * 1000).ok());
+
+  const int64_t cut = NextRec();
+  ASSERT_TRUE(server_->ApiRegisterBackup(1, cut).ok());
+
+  // After the backup: unlink the file, then lose it from the filesystem,
+  // and link a brand-new file.
+  ASSERT_TRUE(server_->ApiBegin(2).ok());
+  ASSERT_TRUE(server_->ApiUnlink(2, UnlinkReq(2, "movie", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(2).ok());
+  ASSERT_TRUE(server_->ApiCommit(2).ok());
+  ASSERT_TRUE(fs_.DeleteFile("movie", "alice").ok());
+
+  MakeFile("newfile");
+  LinkAndCommit(3, "newfile", NextRec());
+
+  // Point-in-time restore to the backup cut.
+  ASSERT_TRUE(server_->ApiRestoreToBackup(cut).ok());
+
+  // "movie" is linked again and its content came back from the archive.
+  EXPECT_TRUE(server_->UpcallIsLinked("movie"));
+  ASSERT_TRUE(fs_.Exists("movie"));
+  EXPECT_EQ(*fs_.ReadRaw("movie"), "original-content");
+  EXPECT_GE(server_->counters().files_retrieved.load(), 1u);
+  // "newfile" was linked after the cut: no longer under database control.
+  EXPECT_FALSE(server_->UpcallIsLinked("newfile"));
+}
+
+TEST_F(DlfmTest, ReconcileFixesBothSides) {
+  MakeFile("present");   // referenced by host, file exists, not linked -> relink
+  MakeFile("orphan");    // linked at DLFM, not referenced by host -> unlink
+  LinkAndCommit(1, "orphan", NextRec(), AccessControl::kNone, false);
+
+  auto session = server_->ApiReconcileBegin();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server_
+                  ->ApiReconcileAddBatch(*session, {{"present", NextRec()},
+                                                    {"missing-file", NextRec()}})
+                  .ok());
+  auto report = server_->ApiReconcileRun(*session);
+  ASSERT_TRUE(report.ok());
+  // "missing-file" cannot be fixed (no file on the server): reported.
+  ASSERT_EQ(report->first.size(), 1u);
+  EXPECT_EQ(report->first[0], "missing-file");
+  // "orphan" was unlinked.
+  ASSERT_EQ(report->second.size(), 1u);
+  EXPECT_EQ(report->second[0], "orphan");
+  EXPECT_FALSE(server_->UpcallIsLinked("orphan"));
+  // "present" was silently relinked.
+  EXPECT_TRUE(server_->UpcallIsLinked("present"));
+}
+
+TEST_F(DlfmTest, UpcallSeesUncommittedLinkConservatively) {
+  MakeFile("f");
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "f", NextRec())).ok());
+  // Uncommitted-read isolation: the in-flight linked entry is already
+  // visible, so DLFF conservatively protects the file.
+  EXPECT_TRUE(server_->UpcallIsLinked("f"));
+  ASSERT_TRUE(server_->ApiAbort(1).ok());
+  EXPECT_FALSE(server_->UpcallIsLinked("f"));
+}
+
+TEST_F(DlfmTest, StatsWatchdogRepairsClobberedStatistics) {
+  // A user-issued runstats on the (small) live table clobbers the
+  // hand-crafted statistics (§4)...
+  ASSERT_TRUE(server_->local_db()->RunStats(server_->repo().file_table()).ok());
+  EXPECT_TRUE(server_->repo().StatsLookClobbered());
+  // ...and the watchdog re-applies and rebinds.
+  ASSERT_TRUE(server_->CheckAndRepairStats().ok());
+  EXPECT_FALSE(server_->repo().StatsLookClobbered());
+  EXPECT_EQ(server_->counters().stats_watchdog_rebinds.load(), 1u);
+}
+
+TEST_F(DlfmTest, UtilityTransactionUsesBatchedCommits) {
+  constexpr int kFiles = 23;  // commit_batch_size = 5
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "load/f" + std::to_string(i);
+    MakeFile(name);
+    DlfmRequest req = LinkReq(1, name, NextRec(), AccessControl::kNone, false);
+    req.utility = true;
+    ASSERT_TRUE(server_->ApiLink(1, req).ok());
+  }
+  EXPECT_GE(server_->counters().batched_local_commits.load(), 4u);
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  ASSERT_TRUE(server_->ApiCommit(1).ok());
+  EXPECT_TRUE(server_->UpcallIsLinked("load/f0"));
+  EXPECT_TRUE(server_->UpcallIsLinked("load/f22"));
+}
+
+TEST_F(DlfmTest, UtilityAbortCompensatesCommittedPieces) {
+  constexpr int kFiles = 13;
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "load2/f" + std::to_string(i);
+    MakeFile(name);
+    DlfmRequest req = LinkReq(1, name, NextRec(), AccessControl::kNone, false);
+    req.utility = true;
+    ASSERT_TRUE(server_->ApiLink(1, req).ok());
+  }
+  // Host aborts the utility: pieces already committed locally must be
+  // compensated via the in-flight transaction entry.
+  ASSERT_TRUE(server_->ApiAbort(1).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_FALSE(server_->UpcallIsLinked("load2/f" + std::to_string(i))) << i;
+  }
+}
+
+TEST_F(DlfmTest, RpcPathEndToEnd) {
+  MakeFile("rpc-file");
+  auto conn = server_->listener()->Connect();
+  ASSERT_TRUE(conn.ok());
+  auto call = [&](DlfmRequest req) {
+    auto resp = (*conn)->Call(std::move(req));
+    EXPECT_TRUE(resp.ok());
+    return resp->ToStatus();
+  };
+  DlfmRequest begin;
+  begin.api = DlfmApi::kBeginTxn;
+  begin.txn = 55;
+  ASSERT_TRUE(call(begin).ok());
+  ASSERT_TRUE(call(LinkReq(55, "rpc-file", NextRec())).ok());
+  DlfmRequest prep;
+  prep.api = DlfmApi::kPrepare;
+  prep.txn = 55;
+  ASSERT_TRUE(call(prep).ok());
+  DlfmRequest commit;
+  commit.api = DlfmApi::kCommit;
+  commit.txn = 55;
+  ASSERT_TRUE(call(commit).ok());
+  DlfmRequest islinked;
+  islinked.api = DlfmApi::kIsLinked;
+  islinked.filename = "rpc-file";
+  auto resp = (*conn)->Call(std::move(islinked));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->value, 1);
+  DlfmRequest bye;
+  bye.api = DlfmApi::kDisconnect;
+  (void)(*conn)->Call(std::move(bye));
+}
+
+}  // namespace
+}  // namespace datalinks::dlfm

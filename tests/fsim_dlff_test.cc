@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "archive/archive_server.h"
+#include "dlff/filter.h"
+#include "dlff/token.h"
+#include "fsim/file_server.h"
+
+namespace datalinks {
+namespace {
+
+TEST(FileServer, CreateReadWriteDelete) {
+  fsim::FileServer fs("srv1");
+  ASSERT_TRUE(fs.CreateFile("a/video.mpg", "alice", 0644, "content").ok());
+  EXPECT_TRUE(fs.Exists("a/video.mpg"));
+  auto content = fs.ReadFile("a/video.mpg", "alice");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "content");
+  ASSERT_TRUE(fs.WriteFile("a/video.mpg", "alice", "new").ok());
+  EXPECT_EQ(*fs.ReadFile("a/video.mpg", "alice"), "new");
+  ASSERT_TRUE(fs.DeleteFile("a/video.mpg", "alice").ok());
+  EXPECT_FALSE(fs.Exists("a/video.mpg"));
+}
+
+TEST(FileServer, PermissionBits) {
+  fsim::FileServer fs("srv1");
+  ASSERT_TRUE(fs.CreateFile("f", "alice", 0600, "x").ok());
+  EXPECT_TRUE(fs.ReadFile("f", "bob").status().IsPermissionDenied());
+  EXPECT_TRUE(fs.WriteFile("f", "bob", "y").IsPermissionDenied());
+  EXPECT_TRUE(fs.ReadFile("f", "root").ok());  // root bypasses
+  ASSERT_TRUE(fs.Chmod("f", "alice", 0644).ok());
+  EXPECT_TRUE(fs.ReadFile("f", "bob").ok());
+  // Read-only file cannot be written even by the owner.
+  ASSERT_TRUE(fs.Chmod("f", "alice", 0444).ok());
+  EXPECT_TRUE(fs.WriteFile("f", "alice", "z").IsPermissionDenied());
+}
+
+TEST(FileServer, RenameAndStat) {
+  fsim::FileServer fs("srv1");
+  ASSERT_TRUE(fs.CreateFile("old", "alice", 0644, "x").ok());
+  auto before = fs.Stat("old");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(fs.RenameFile("old", "new", "alice").ok());
+  EXPECT_FALSE(fs.Exists("old"));
+  auto after = fs.Stat("new");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->inode, after->inode);  // same file
+  EXPECT_TRUE(fs.RenameFile("new", "new", "alice").IsAlreadyExists());
+}
+
+TEST(FileServer, ChownRequiresPrivilege) {
+  fsim::FileServer fs("srv1");
+  ASSERT_TRUE(fs.CreateFile("f", "alice", 0644, "x").ok());
+  EXPECT_TRUE(fs.Chown("f", "bob", "bob").IsPermissionDenied());
+  EXPECT_TRUE(fs.Chown("f", "root", "dlfmadm").ok());
+  EXPECT_EQ(fs.Stat("f")->owner, "dlfmadm");
+}
+
+TEST(Token, IssueValidateExpire) {
+  auto clock = std::make_shared<SimClock>(1000);
+  dlff::TokenAuthority auth("secret", clock);
+  const std::string tok = auth.Issue("path/file", 5000);
+  EXPECT_TRUE(auth.Validate("path/file", tok));
+  EXPECT_FALSE(auth.Validate("other/file", tok));  // bound to the path
+  clock->Advance(10000);
+  EXPECT_FALSE(auth.Validate("path/file", tok));  // expired
+}
+
+TEST(Token, DifferentSecretsReject) {
+  dlff::TokenAuthority a("secret-a"), b("secret-b");
+  const std::string tok = a.Issue("f", 1000000);
+  EXPECT_FALSE(b.Validate("f", tok));
+  EXPECT_FALSE(a.Validate("f", "garbage"));
+  EXPECT_FALSE(a.Validate("f", "123:456"));
+}
+
+class FilterTest : public ::testing::Test {
+ protected:
+  FilterTest()
+      : fs_("srv1"), filter_(&fs_, dlff::TokenAuthority("secret")) {
+    filter_.Attach();
+    EXPECT_TRUE(fs_.CreateFile("linked_full", "alice", 0644, "data").ok());
+    EXPECT_TRUE(fs_.CreateFile("linked_partial", "alice", 0644, "data").ok());
+    EXPECT_TRUE(fs_.CreateFile("free", "alice", 0644, "data").ok());
+    // Full-control linked file: owned by the DLFM admin, read-only.
+    EXPECT_TRUE(fs_.Chown("linked_full", "root", dlff::kDlfmAdminUser).ok());
+    EXPECT_TRUE(fs_.Chmod("linked_full", "root", 0444).ok());
+    filter_.SetUpcall([this](const std::string& path) { return path == "linked_partial"; });
+  }
+  fsim::FileServer fs_;
+  dlff::FileSystemFilter filter_;
+};
+
+TEST_F(FilterTest, LinkedFilesCannotBeDeletedOrRenamed) {
+  EXPECT_TRUE(fs_.DeleteFile("linked_full", "alice").IsPermissionDenied());
+  EXPECT_TRUE(fs_.RenameFile("linked_full", "x", "alice").IsPermissionDenied());
+  EXPECT_TRUE(fs_.DeleteFile("linked_partial", "alice").IsPermissionDenied());
+  EXPECT_TRUE(fs_.RenameFile("linked_partial", "x", "alice").IsPermissionDenied());
+  EXPECT_GE(filter_.stats().rejected_deletes, 2u);
+  EXPECT_GE(filter_.stats().rejected_renames, 2u);
+}
+
+TEST_F(FilterTest, UnlinkedFilesBehaveNormally) {
+  EXPECT_TRUE(fs_.RenameFile("free", "free2", "alice").ok());
+  EXPECT_TRUE(fs_.DeleteFile("free2", "alice").ok());
+}
+
+TEST_F(FilterTest, FullControlRequiresToken) {
+  // Without a token, even a user who could read by mode bits is rejected.
+  EXPECT_TRUE(fs_.ReadFile("linked_full", "alice").status().IsPermissionDenied());
+  dlff::TokenAuthority auth("secret");
+  const std::string tok = auth.Issue("linked_full", 1000000);
+  auto content = fs_.ReadFile("linked_full", "alice", tok);
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "data");
+  EXPECT_TRUE(fs_.ReadFile("linked_full", "alice", "bad-token").status().IsPermissionDenied());
+  EXPECT_GE(filter_.stats().token_reads, 1u);
+  EXPECT_GE(filter_.stats().rejected_reads, 2u);
+}
+
+TEST_F(FilterTest, PartialControlUsesUpcallsOnlyWhenNeeded) {
+  const uint64_t upcalls_before = filter_.stats().upcalls;
+  // Full-control check is ownership-based: no upcall.
+  (void)fs_.DeleteFile("linked_full", "alice");
+  EXPECT_EQ(filter_.stats().upcalls, upcalls_before);
+  // Partial control requires the upcall.
+  (void)fs_.DeleteFile("linked_partial", "alice");
+  EXPECT_GT(filter_.stats().upcalls, upcalls_before);
+}
+
+TEST_F(FilterTest, PartialControlFilesRemainWritableByOwner) {
+  EXPECT_TRUE(fs_.WriteFile("linked_partial", "alice", "edited").ok());
+  EXPECT_TRUE(fs_.WriteFile("linked_full", "alice", "edited").IsPermissionDenied());
+}
+
+TEST(Archive, StoreRetrieveVersions) {
+  archive::ArchiveServer ar;
+  archive::ArchiveKey v1{"srv", "f", 100};
+  archive::ArchiveKey v2{"srv", "f", 200};
+  ASSERT_TRUE(ar.Store(v1, "old").ok());
+  ASSERT_TRUE(ar.Store(v2, "new").ok());
+  EXPECT_EQ(*ar.Retrieve(v1), "old");
+  EXPECT_EQ(*ar.Retrieve(v2), "new");
+  auto versions = ar.VersionsOf("srv", "f");
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], 100);
+  EXPECT_EQ(versions[1], 200);
+  ASSERT_TRUE(ar.Remove(v1).ok());
+  EXPECT_FALSE(ar.Has(v1));
+  EXPECT_TRUE(ar.Retrieve(v1).status().IsNotFound());
+  EXPECT_TRUE(ar.Remove(v1).ok());  // idempotent
+  EXPECT_EQ(ar.stats().copies, 1u);
+}
+
+TEST(Archive, StoreIsIdempotentPerKey) {
+  archive::ArchiveServer ar;
+  archive::ArchiveKey k{"srv", "f", 1};
+  ASSERT_TRUE(ar.Store(k, "a").ok());
+  ASSERT_TRUE(ar.Store(k, "a").ok());
+  EXPECT_EQ(ar.stats().copies, 1u);
+  EXPECT_EQ(ar.stats().bytes, 1u);
+}
+
+}  // namespace
+}  // namespace datalinks

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "sqldb/lock_manager.h"
+
+namespace datalinks::sqldb {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() : lm_(SystemClock::Instance()) {}
+  LockManager lm_;
+};
+
+constexpr int64_t kShort = 50 * 1000;  // 50ms
+
+TEST_F(LockManagerTest, CompatMatrix) {
+  using M = LockMode;
+  EXPECT_TRUE(LockModesCompatible(M::kIS, M::kIX));
+  EXPECT_TRUE(LockModesCompatible(M::kIX, M::kIX));
+  EXPECT_TRUE(LockModesCompatible(M::kS, M::kS));
+  EXPECT_TRUE(LockModesCompatible(M::kSIX, M::kIS));
+  EXPECT_FALSE(LockModesCompatible(M::kS, M::kIX));
+  EXPECT_FALSE(LockModesCompatible(M::kSIX, M::kS));
+  EXPECT_FALSE(LockModesCompatible(M::kX, M::kIS));
+  EXPECT_FALSE(LockModesCompatible(M::kX, M::kX));
+}
+
+TEST_F(LockManagerTest, Supremum) {
+  using M = LockMode;
+  EXPECT_EQ(LockModeSupremum(M::kIS, M::kIX), M::kIX);
+  EXPECT_EQ(LockModeSupremum(M::kIX, M::kS), M::kSIX);
+  EXPECT_EQ(LockModeSupremum(M::kS, M::kIX), M::kSIX);
+  EXPECT_EQ(LockModeSupremum(M::kS, M::kX), M::kX);
+  EXPECT_EQ(LockModeSupremum(M::kSIX, M::kIX), M::kSIX);
+  EXPECT_EQ(LockModeSupremum(M::kNone, M::kS), M::kS);
+}
+
+TEST_F(LockManagerTest, GrantAndRelease) {
+  const LockId id = LockId::Row(1, 42);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kX, kShort).ok());
+  EXPECT_EQ(lm_.HeldMode(1, id), LockMode::kX);
+  EXPECT_EQ(lm_.TotalHeldLocks(), 1u);
+  lm_.ReleaseAll(1);
+  EXPECT_EQ(lm_.HeldMode(1, id), LockMode::kNone);
+  EXPECT_EQ(lm_.TotalHeldLocks(), 0u);
+}
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kS, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(2, id, LockMode::kS, kShort).ok());
+  EXPECT_EQ(lm_.TotalHeldLocks(), 2u);
+}
+
+TEST_F(LockManagerTest, ReacquireCoveredModeIsNoop) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kX, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kS, kShort).ok());
+  EXPECT_EQ(lm_.HeldMode(1, id), LockMode::kX);
+  EXPECT_EQ(lm_.TotalHeldLocks(), 1u);
+}
+
+TEST_F(LockManagerTest, ConflictTimesOut) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kX, kShort).ok());
+  Status st = lm_.Acquire(2, id, LockMode::kS, kShort);
+  EXPECT_TRUE(st.IsLockTimeout()) << st.ToString();
+  EXPECT_EQ(lm_.stats().timeouts, 1u);
+  // Queue cleaned up: releasing grants nothing stale.
+  lm_.ReleaseAll(1);
+  ASSERT_TRUE(lm_.Acquire(2, id, LockMode::kS, kShort).ok());
+}
+
+TEST_F(LockManagerTest, WaiterGrantedOnRelease) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kX, kShort).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status st = lm_.Acquire(2, id, LockMode::kX, 5 * 1000 * 1000);
+    granted.store(st.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  lm_.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(lm_.HeldMode(2, id), LockMode::kX);
+}
+
+TEST_F(LockManagerTest, UpgradeSToX) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kS, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kX, kShort).ok());
+  EXPECT_EQ(lm_.HeldMode(1, id), LockMode::kX);
+}
+
+TEST_F(LockManagerTest, ConversionWaitsForOtherReaders) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kS, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(2, id, LockMode::kS, kShort).ok());
+  std::atomic<bool> upgraded{false};
+  std::thread t([&] {
+    Status st = lm_.Acquire(1, id, LockMode::kX, 5 * 1000 * 1000);
+    upgraded.store(st.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(upgraded.load());
+  lm_.ReleaseAll(2);
+  t.join();
+  EXPECT_TRUE(upgraded.load());
+  EXPECT_EQ(lm_.HeldMode(1, id), LockMode::kX);
+}
+
+TEST_F(LockManagerTest, DeadlockDetectedTwoTxns) {
+  const LockId a = LockId::Row(1, 1);
+  const LockId b = LockId::Row(1, 2);
+  ASSERT_TRUE(lm_.Acquire(1, a, LockMode::kX, -1).ok());
+  ASSERT_TRUE(lm_.Acquire(2, b, LockMode::kX, -1).ok());
+
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> successes{0};
+  std::thread t1([&] {
+    Status st = lm_.Acquire(1, b, LockMode::kX, 10 * 1000 * 1000);
+    if (st.IsDeadlock()) {
+      deadlocks.fetch_add(1);
+      lm_.ReleaseAll(1);
+    } else if (st.ok()) {
+      successes.fetch_add(1);
+    }
+  });
+  std::thread t2([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Status st = lm_.Acquire(2, a, LockMode::kX, 10 * 1000 * 1000);
+    if (st.IsDeadlock()) {
+      deadlocks.fetch_add(1);
+      lm_.ReleaseAll(2);
+    } else if (st.ok()) {
+      successes.fetch_add(1);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_GE(lm_.stats().deadlocks, 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeDeadlockDetected) {
+  // Two readers both upgrading to X is the classic conversion deadlock.
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kS, -1).ok());
+  ASSERT_TRUE(lm_.Acquire(2, id, LockMode::kS, -1).ok());
+  std::atomic<int> deadlocks{0};
+  auto upgrade = [&](TxnId txn) {
+    Status st = lm_.Acquire(txn, id, LockMode::kX, 10 * 1000 * 1000);
+    if (st.IsDeadlock()) {
+      deadlocks.fetch_add(1);
+      lm_.ReleaseAll(txn);
+    }
+  };
+  std::thread t1(upgrade, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread t2(upgrade, 2);
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+}
+
+TEST_F(LockManagerTest, FifoFairnessNoWriterStarvation) {
+  const LockId id = LockId::Row(1, 1);
+  ASSERT_TRUE(lm_.Acquire(1, id, LockMode::kS, -1).ok());
+  // Writer queues.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(lm_.Acquire(2, id, LockMode::kX, 5 * 1000 * 1000).ok());
+    writer_done.store(true);
+    lm_.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // A new reader must queue behind the waiting writer, not jump it.
+  std::thread reader([&] {
+    ASSERT_TRUE(lm_.Acquire(3, id, LockMode::kS, 5 * 1000 * 1000).ok());
+    EXPECT_TRUE(writer_done.load());
+    lm_.ReleaseAll(3);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm_.ReleaseAll(1);
+  writer.join();
+  reader.join();
+}
+
+TEST_F(LockManagerTest, ReleaseRowAndKeyLocksKeepsTableLock) {
+  ASSERT_TRUE(lm_.Acquire(1, LockId::Table(5), LockMode::kIX, kShort).ok());
+  for (RowId r = 0; r < 10; ++r) {
+    ASSERT_TRUE(lm_.Acquire(1, LockId::Row(5, r), LockMode::kX, kShort).ok());
+  }
+  ASSERT_TRUE(lm_.Acquire(1, LockId::KeyLock(5, 2, "abc"), LockMode::kX, kShort).ok());
+  EXPECT_EQ(lm_.CountRowAndKeyLocks(1, 5), 11u);
+  EXPECT_EQ(lm_.ReleaseRowAndKeyLocks(1, 5), 11u);
+  EXPECT_EQ(lm_.CountRowAndKeyLocks(1, 5), 0u);
+  EXPECT_EQ(lm_.HeldMode(1, LockId::Table(5)), LockMode::kIX);
+}
+
+TEST_F(LockManagerTest, IntentAndRowLocksAcrossTxns) {
+  ASSERT_TRUE(lm_.Acquire(1, LockId::Table(1), LockMode::kIX, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(2, LockId::Table(1), LockMode::kIX, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(1, LockId::Row(1, 1), LockMode::kX, kShort).ok());
+  ASSERT_TRUE(lm_.Acquire(2, LockId::Row(1, 2), LockMode::kX, kShort).ok());
+  // Table X blocked while intent holders exist.
+  Status st = lm_.Acquire(3, LockId::Table(1), LockMode::kX, kShort);
+  EXPECT_TRUE(st.IsLockTimeout());
+}
+
+TEST_F(LockManagerTest, EndOfIndexLockIsSharedResource) {
+  const LockId eoi = LockId::EndOfIndex(1, 3);
+  ASSERT_TRUE(lm_.Acquire(1, eoi, LockMode::kX, kShort).ok());
+  EXPECT_TRUE(lm_.Acquire(2, eoi, LockMode::kX, kShort).IsLockTimeout());
+}
+
+}  // namespace
+}  // namespace datalinks::sqldb

@@ -1,0 +1,174 @@
+// Tests for the cost-based access-path optimizer — including the specific
+// trap from §3.2.1/§4 of the paper: with small/default catalog statistics
+// the optimizer picks a table scan even though a suitable index exists, and
+// hand-crafted statistics force the index plan.
+#include <gtest/gtest.h>
+
+#include "sqldb/database.h"
+
+namespace datalinks::sqldb {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions opts;
+    auto db = Database::Open(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    TableSchema s;
+    s.name = "dfm_file";
+    s.columns = {{"name", ValueType::kString, false},
+                 {"txn", ValueType::kInt, false},
+                 {"grp", ValueType::kInt, false},
+                 {"recovery_id", ValueType::kInt, false}};
+    table_ = *db_->CreateTable(s);
+    name_ix_ = *db_->CreateIndex(IndexDef{"ix_name", table_, {0}, false});
+    txn_ix_ = *db_->CreateIndex(IndexDef{"ix_txn", table_, {1}, false});
+    grp_rec_ix_ = *db_->CreateIndex(IndexDef{"ix_grp_rec", table_, {2, 3}, false});
+  }
+
+  std::unique_ptr<Database> db_;
+  TableId table_ = 0;
+  IndexId name_ix_ = 0, txn_ix_ = 0, grp_rec_ix_ = 0;
+};
+
+TEST_F(OptimizerTest, DefaultStatsPickTableScanDespiteIndex) {
+  // Freshly created table: cardinality 0.  The paper: "When the table size
+  // (cardinality) is small, the optimizer could still pick table scan even
+  // when an index is available."
+  AccessPath p = db_->ChooseAccessPath(table_, {Pred::Eq("name", "f1")});
+  EXPECT_EQ(p.kind, AccessPath::Kind::kTableScan);
+}
+
+TEST_F(OptimizerTest, HandCraftedStatsForceIndexScan) {
+  // The paper's fix: "the statistics in the catalog are manually set before
+  // DLFM's SQL programs are compiled and bound."
+  TableStats stats;
+  stats.cardinality = 1000000;
+  stats.index_distinct[name_ix_] = 1000000;
+  db_->SetTableStats(table_, stats);
+  AccessPath p = db_->ChooseAccessPath(table_, {Pred::Eq("name", "f1")});
+  EXPECT_EQ(p.kind, AccessPath::Kind::kIndexScan);
+  EXPECT_EQ(p.index, name_ix_);
+  EXPECT_LE(p.estimated_rows, 2.0);
+}
+
+TEST_F(OptimizerTest, PicksMostSelectiveIndex) {
+  TableStats stats;
+  stats.cardinality = 100000;
+  stats.index_distinct[name_ix_] = 100000;  // nearly unique
+  stats.index_distinct[txn_ix_] = 100;      // low cardinality
+  db_->SetTableStats(table_, stats);
+  AccessPath p =
+      db_->ChooseAccessPath(table_, {Pred::Eq("name", "f"), Pred::Eq("txn", 7)});
+  EXPECT_EQ(p.kind, AccessPath::Kind::kIndexScan);
+  EXPECT_EQ(p.index, name_ix_);
+}
+
+TEST_F(OptimizerTest, CompositeIndexPrefixMatch) {
+  TableStats stats;
+  stats.cardinality = 100000;
+  stats.index_distinct[grp_rec_ix_] = 50000;
+  db_->SetTableStats(table_, stats);
+  // Equality on grp only -> prefix length 1 on the composite index.
+  AccessPath p = db_->ChooseAccessPath(table_, {Pred::Eq("grp", 3)});
+  EXPECT_EQ(p.kind, AccessPath::Kind::kIndexScan);
+  EXPECT_EQ(p.index, grp_rec_ix_);
+  EXPECT_EQ(p.eq_prefix_len, 1);
+  // Equality on both -> prefix length 2, better estimate.
+  AccessPath p2 = db_->ChooseAccessPath(table_, {Pred::Eq("grp", 3), Pred::Eq("recovery_id", 9)});
+  EXPECT_EQ(p2.eq_prefix_len, 2);
+  EXPECT_LT(p2.estimated_rows, p.estimated_rows);
+}
+
+TEST_F(OptimizerTest, NoUsableIndexFallsBackToScan) {
+  TableStats stats;
+  stats.cardinality = 100000;
+  db_->SetTableStats(table_, stats);
+  // recovery_id alone is not a prefix of any index.
+  AccessPath p = db_->ChooseAccessPath(table_, {Pred::Eq("recovery_id", 5)});
+  EXPECT_EQ(p.kind, AccessPath::Kind::kTableScan);
+}
+
+TEST_F(OptimizerTest, RunStatsOverwritesHandCraftedStats) {
+  // The §4 warning: a user-issued runstats clobbers hand-crafted values and
+  // can flip plans back to table scans.
+  TableStats stats;
+  stats.cardinality = 1000000;
+  stats.index_distinct[name_ix_] = 1000000;
+  db_->SetTableStats(table_, stats);
+  ASSERT_EQ(db_->ChooseAccessPath(table_, {Pred::Eq("name", "x")}).kind,
+            AccessPath::Kind::kIndexScan);
+
+  ASSERT_TRUE(db_->RunStats(table_).ok());  // table is actually empty
+  EXPECT_EQ(db_->ChooseAccessPath(table_, {Pred::Eq("name", "x")}).kind,
+            AccessPath::Kind::kTableScan);
+}
+
+TEST_F(OptimizerTest, BoundPlanIsFrozenUntilRebind) {
+  TableStats stats;
+  stats.cardinality = 1000000;
+  stats.index_distinct[name_ix_] = 1000000;
+  db_->SetTableStats(table_, stats);
+  auto stmt = db_->Bind(BoundStatement::Kind::kSelect, table_,
+                        {Pred::Eq("name", Operand::Param(0))});
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->path.kind, AccessPath::Kind::kIndexScan);
+
+  // Stats change does not affect the already-bound plan.
+  db_->SetTableStats(table_, TableStats{});
+  EXPECT_EQ(stmt->path.kind, AccessPath::Kind::kIndexScan);
+  // ...but a re-bind picks the (now) scan plan.
+  auto rebound = db_->Bind(BoundStatement::Kind::kSelect, table_,
+                           {Pred::Eq("name", Operand::Param(0))});
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(rebound->path.kind, AccessPath::Kind::kTableScan);
+}
+
+TEST_F(OptimizerTest, UniqueFullMatchEstimatesOneRow) {
+  auto uix = db_->CreateIndex(IndexDef{"ix_uniq", table_, {0, 1}, true});
+  ASSERT_TRUE(uix.ok());
+  TableStats stats;
+  stats.cardinality = 500000;
+  stats.index_distinct[*uix] = 500000;
+  db_->SetTableStats(table_, stats);
+  AccessPath p =
+      db_->ChooseAccessPath(table_, {Pred::Eq("name", "f"), Pred::Eq("txn", 1)});
+  EXPECT_EQ(p.kind, AccessPath::Kind::kIndexScan);
+  EXPECT_EQ(p.index, *uix);
+  EXPECT_DOUBLE_EQ(p.estimated_rows, 1.0);
+}
+
+TEST_F(OptimizerTest, ExecutionAgreesWithEitherPlan) {
+  // Whatever plan is chosen, results must be identical.
+  Transaction* t = db_->Begin();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db_->Insert(t, table_,
+                            Row{Value("f" + std::to_string(i)), Value(i % 10), Value(i % 4),
+                                Value(int64_t{i})})
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Commit(t).ok());
+
+  Conjunction where = {Pred::Eq("txn", 3)};
+  // Scan plan.
+  db_->SetTableStats(table_, TableStats{});
+  Transaction* t1 = db_->Begin();
+  auto scan_rows = db_->Select(t1, table_, where);
+  ASSERT_TRUE(scan_rows.ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  // Index plan.
+  ASSERT_TRUE(db_->RunStats(table_).ok());
+  Transaction* t2 = db_->Begin();
+  auto ix_rows = db_->Select(t2, table_, where);
+  ASSERT_TRUE(ix_rows.ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+
+  EXPECT_EQ(scan_rows->size(), ix_rows->size());
+  EXPECT_EQ(scan_rows->size(), 20u);
+}
+
+}  // namespace
+}  // namespace datalinks::sqldb

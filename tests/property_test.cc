@@ -1,0 +1,331 @@
+// Property-based tests (parameterized over PRNG seeds):
+//
+//  P1  Crash-recovery: after random committed/rolled-back/in-flight work
+//      and a crash at an arbitrary point, recovery yields exactly the
+//      committed state (compared against an in-memory model), unique
+//      indexes still hold, and the engine remains fully usable.
+//
+//  P2  DLFM 2PC outcomes: a random interleaving of link/unlink/backout
+//      operations with random prepare/commit/abort outcomes (and random
+//      DLFM crashes between prepare and resolution) always converges to
+//      the model's linked-set — the delayed-update scheme never loses or
+//      resurrects a link.
+//
+//  P3  Engine under concurrent randomized load keeps the File-table
+//      invariant (at most one linked entry per name) regardless of the
+//      next-key-locking / escalation configuration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "archive/archive_server.h"
+#include "common/random.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+#include "sqldb/database.h"
+
+namespace datalinks {
+namespace {
+
+using sqldb::Pred;
+using sqldb::Row;
+using sqldb::Value;
+
+// ---------------------------------------------------------------------------
+// P1: crash-recovery fuzz
+// ---------------------------------------------------------------------------
+
+class RecoveryFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoveryFuzz, RecoversExactlyCommittedState) {
+  Random rng(GetParam());
+  sqldb::DatabaseOptions opts;
+  opts.lock_timeout_micros = 200 * 1000;
+  // Small log: forces auto-checkpoints into the mix.
+  opts.log_capacity_bytes = 64 * 1024;
+  auto db = std::move(sqldb::Database::Open(opts)).value();
+
+  sqldb::TableSchema schema;
+  schema.name = "kv";
+  schema.columns = {{"k", sqldb::ValueType::kString, false},
+                    {"v", sqldb::ValueType::kInt, false}};
+  sqldb::TableId table = *db->CreateTable(schema);
+  ASSERT_TRUE(db->CreateIndex(sqldb::IndexDef{"ux_k", table, {0}, true}).ok());
+
+  std::map<std::string, int64_t> model;  // committed state
+  const int kRounds = 30;
+  for (int round = 0; round < kRounds; ++round) {
+    auto* txn = db->Begin();
+    std::map<std::string, std::optional<int64_t>> staged;  // this txn's writes
+    const int ops = 1 + static_cast<int>(rng.Uniform(5));
+    bool aborted_by_engine = false;
+    for (int i = 0; i < ops && !aborted_by_engine; ++i) {
+      const std::string k = "k" + std::to_string(rng.Uniform(20));
+      const bool exists =
+          staged.count(k) != 0 ? staged[k].has_value() : model.count(k) != 0;
+      Status st;
+      if (!exists) {
+        const int64_t v = static_cast<int64_t>(rng.Uniform(1000));
+        st = db->Insert(txn, table, Row{Value(k), Value(v)});
+        if (st.ok()) staged[k] = v;
+      } else if (rng.Bernoulli(0.5)) {
+        const int64_t v = static_cast<int64_t>(rng.Uniform(1000));
+        auto n = db->Update(txn, table, {Pred::Eq("k", k)}, {{"v", sqldb::Operand(v)}});
+        st = n.ok() ? Status::OK() : n.status();
+        if (st.ok()) staged[k] = v;
+      } else {
+        auto n = db->Delete(txn, table, {Pred::Eq("k", k)});
+        st = n.ok() ? Status::OK() : n.status();
+        if (st.ok()) staged[k] = std::nullopt;
+      }
+      if (st.IsTransactionFatal()) aborted_by_engine = true;
+    }
+    const double dice = rng.Bernoulli(0.5) ? 1 : 0;
+    if (aborted_by_engine || dice == 0) {
+      ASSERT_TRUE(db->Rollback(txn).ok());
+    } else {
+      ASSERT_TRUE(db->Commit(txn).ok());
+      for (auto& [k, v] : staged) {
+        if (v.has_value()) {
+          model[k] = *v;
+        } else {
+          model.erase(k);
+        }
+      }
+    }
+    // Occasionally leave a transaction in flight and crash.
+    if (rng.Bernoulli(0.15)) {
+      auto* loser = db->Begin();
+      (void)db->Insert(loser, table,
+                       Row{Value("loser" + std::to_string(round)), Value(int64_t{-1})});
+      if (rng.Bernoulli(0.5)) (void)db->Checkpoint();  // harden the loser's records
+      auto durable = db->SimulateCrash();
+      db = std::move(sqldb::Database::Open(opts, durable)).value();
+      table = *db->TableByName("kv");
+    }
+  }
+
+  // Final crash + recovery, then compare against the model.
+  auto durable = db->SimulateCrash();
+  db = std::move(sqldb::Database::Open(opts, durable)).value();
+  table = *db->TableByName("kv");
+  auto* check = db->Begin();
+  auto rows = db->Select(check, table, {});
+  ASSERT_TRUE(rows.ok());
+  std::map<std::string, int64_t> actual;
+  for (const Row& r : *rows) {
+    EXPECT_TRUE(actual.emplace(r[0].as_string(), r[1].as_int()).second)
+        << "duplicate key " << r[0].as_string();
+  }
+  EXPECT_EQ(actual, model);
+  ASSERT_TRUE(db->Commit(check).ok());
+
+  // The engine is still fully usable: the unique index still enforces.
+  auto* post = db->Begin();
+  if (!model.empty()) {
+    EXPECT_TRUE(
+        db->Insert(post, table, Row{Value(model.begin()->first), Value(int64_t{1})})
+            .IsConflict());
+  }
+  ASSERT_TRUE(db->Rollback(post).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz, ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// P2: DLFM 2PC outcome model
+// ---------------------------------------------------------------------------
+
+class DlfmOutcomeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DlfmOutcomeFuzz, DelayedUpdateConvergesToModel) {
+  Random rng(GetParam());
+  fsim::FileServer fs("srv");
+  archive::ArchiveServer ar;
+  dlfm::DlfmOptions opts;
+  opts.server_name = "srv";
+  auto server = std::make_unique<dlfm::DlfmServer>(opts, &fs, &ar);
+  ASSERT_TRUE(server->Start().ok());
+
+  constexpr int kFiles = 8;
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(fs.CreateFile("f" + std::to_string(i), "u", 0644, "x").ok());
+  }
+
+  std::set<std::string> model;  // linked files (committed state)
+  uint64_t seq = 1;
+  dlfm::GlobalTxnId next_txn = 100;
+
+  for (int round = 0; round < 25; ++round) {
+    const dlfm::GlobalTxnId txn = next_txn++;
+    ASSERT_TRUE(server->ApiBegin(txn).ok());
+    std::set<std::string> staged_links, staged_unlinks;
+    std::map<std::string, int64_t> unlink_recs;
+    bool failed = false;
+
+    const int ops = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < ops && !failed; ++i) {
+      const std::string f = "f" + std::to_string(rng.Uniform(kFiles));
+      const bool linked_now = (model.count(f) != 0 || staged_links.count(f) != 0) &&
+                              staged_unlinks.count(f) == 0;
+      dlfm::DlfmRequest req;
+      req.txn = txn;
+      req.filename = f;
+      req.recovery_id = dlfm::RecoveryId::Make(1, seq++);
+      if (!linked_now && staged_unlinks.count(f) == 0) {
+        req.api = dlfm::DlfmApi::kLinkFile;
+        req.recovery_option = false;
+        Status st = server->ApiLink(txn, req);
+        if (st.ok()) {
+          staged_links.insert(f);
+          // Sometimes exercise the savepoint backout immediately.
+          if (rng.Bernoulli(0.2)) {
+            dlfm::DlfmRequest undo = req;
+            undo.in_backout = true;
+            ASSERT_TRUE(server->ApiLink(txn, undo).ok());
+            staged_links.erase(f);
+          }
+        } else if (st.IsTransactionFatal()) {
+          failed = true;
+        }
+      } else if (linked_now && staged_links.count(f) == 0) {
+        req.api = dlfm::DlfmApi::kUnlinkFile;
+        Status st = server->ApiUnlink(txn, req);
+        if (st.ok()) {
+          staged_unlinks.insert(f);
+          unlink_recs[f] = req.recovery_id;
+          if (rng.Bernoulli(0.2)) {
+            dlfm::DlfmRequest undo = req;
+            undo.in_backout = true;
+            ASSERT_TRUE(server->ApiUnlink(txn, undo).ok());
+            staged_unlinks.erase(f);
+            unlink_recs.erase(f);
+          }
+        } else if (st.IsTransactionFatal()) {
+          failed = true;
+        }
+      }
+    }
+
+    // Random outcome: abort before prepare / abort after prepare / commit,
+    // with an optional crash after prepare (indoubt resolution path).
+    const uint64_t outcome = rng.Uniform(failed ? 1 : 4);
+    if (outcome == 0) {
+      ASSERT_TRUE(server->ApiAbort(txn).ok());
+      continue;
+    }
+    Status pst = server->ApiPrepare(txn);
+    if (!pst.ok()) {
+      ASSERT_TRUE(server->ApiAbort(txn).ok());
+      continue;
+    }
+    if (outcome == 3 && rng.Bernoulli(0.6)) {
+      // Crash while indoubt; the outcome is delivered after restart.
+      auto durable = server->SimulateCrash();
+      server = std::make_unique<dlfm::DlfmServer>(opts, &fs, &ar, durable);
+      ASSERT_TRUE(server->Start().ok());
+      auto indoubt = server->ListIndoubt();
+      ASSERT_TRUE(indoubt.ok());
+      ASSERT_TRUE(std::count(indoubt->begin(), indoubt->end(), txn) == 1);
+    }
+    if (outcome == 1) {
+      ASSERT_TRUE(server->ApiAbort(txn).ok());
+    } else {
+      ASSERT_TRUE(server->ApiCommit(txn).ok());
+      for (const std::string& f : staged_unlinks) model.erase(f);
+      for (const std::string& f : staged_links) model.insert(f);
+    }
+  }
+
+  // Convergence: the DLFM's linked set equals the model, file by file.
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string f = "f" + std::to_string(i);
+    EXPECT_EQ(server->UpcallIsLinked(f), model.count(f) != 0) << f << " seed " << GetParam();
+  }
+  EXPECT_TRUE(server->ListIndoubt()->empty());
+  server->Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DlfmOutcomeFuzz, ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// P3: concurrent invariant sweep over engine configurations
+// ---------------------------------------------------------------------------
+
+struct EngineConfig {
+  bool next_key_locking;
+  size_t escalation_threshold;
+};
+
+class ConcurrentInvariant : public ::testing::TestWithParam<EngineConfig> {};
+
+TEST_P(ConcurrentInvariant, UniqueLinkedEntryInvariantHolds) {
+  sqldb::DatabaseOptions opts;
+  opts.next_key_locking = GetParam().next_key_locking;
+  opts.lock_escalation_threshold = GetParam().escalation_threshold;
+  opts.lock_timeout_micros = 100 * 1000;
+  auto db = std::move(sqldb::Database::Open(opts)).value();
+
+  sqldb::TableSchema schema;
+  schema.name = "dfm_file";
+  schema.columns = {{"name", sqldb::ValueType::kString, false},
+                    {"check_flag", sqldb::ValueType::kInt, false},
+                    {"txn", sqldb::ValueType::kInt, false}};
+  sqldb::TableId table = *db->CreateTable(schema);
+  ASSERT_TRUE(db->CreateIndex(sqldb::IndexDef{"ux", table, {0, 1}, true}).ok());
+  ASSERT_TRUE(db->CreateIndex(sqldb::IndexDef{"ix_txn", table, {2}, false}).ok());
+  ASSERT_TRUE(db->RunStats(table).ok());
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> unlink_seq{1000};
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Random rng(GetParam().escalation_threshold * 977 + w);
+      for (int i = 0; i < 50; ++i) {
+        auto* txn = db->Begin();
+        const std::string name = "f" + std::to_string(rng.Uniform(12));
+        Status st;
+        if (rng.Bernoulli(0.5)) {
+          // "Link": insert the linked entry (check_flag 0).
+          st = db->Insert(txn, table, Row{Value(name), Value(int64_t{0}), Value(int64_t{w})});
+        } else {
+          // "Unlink": flip check_flag from 0 to a unique recovery id.
+          auto n = db->Update(
+              txn, table, {Pred::Eq("name", name), Pred::Eq("check_flag", 0)},
+              {{"check_flag",
+                sqldb::Operand(static_cast<int64_t>(unlink_seq.fetch_add(1)))}});
+          st = n.ok() ? Status::OK() : n.status();
+        }
+        if (!st.ok() || rng.Bernoulli(0.3)) {
+          (void)db->Rollback(txn);
+        } else {
+          (void)db->Commit(txn);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Invariant: at most one linked (check_flag 0) entry per name.
+  auto* check = db->Begin();
+  auto rows = db->Select(check, table, {Pred::Eq("check_flag", 0)});
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> seen;
+  for (const Row& r : *rows) {
+    EXPECT_TRUE(seen.insert(r[0].as_string()).second)
+        << "two linked entries for " << r[0].as_string();
+  }
+  ASSERT_TRUE(db->Commit(check).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ConcurrentInvariant,
+                         ::testing::Values(EngineConfig{false, 100000},
+                                           EngineConfig{true, 100000},
+                                           EngineConfig{false, 20},
+                                           EngineConfig{true, 20}));
+
+}  // namespace
+}  // namespace datalinks

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rpc/channel.h"
+
+namespace datalinks::rpc {
+namespace {
+
+TEST(BlockingQueue, SendRecvFifo) {
+  BlockingQueue<int> q(4);
+  ASSERT_TRUE(q.Send(1).ok());
+  ASSERT_TRUE(q.Send(2).ok());
+  EXPECT_EQ(*q.Recv(), 1);
+  EXPECT_EQ(*q.Recv(), 2);
+}
+
+TEST(BlockingQueue, TryRecvEmpty) {
+  BlockingQueue<int> q(1);
+  EXPECT_TRUE(q.TryRecv().status().IsNotFound());
+  ASSERT_TRUE(q.Send(7).ok());
+  EXPECT_EQ(*q.TryRecv(), 7);
+}
+
+TEST(BlockingQueue, BoundedSendBlocksUntilRecv) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Send(1).ok());
+  std::atomic<bool> sent{false};
+  std::thread t([&] {
+    ASSERT_TRUE(q.Send(2).ok());
+    sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(sent.load());  // queue full: the sender is blocked
+  EXPECT_EQ(*q.Recv(), 1);
+  t.join();
+  EXPECT_TRUE(sent.load());
+}
+
+TEST(BlockingQueue, CloseWakesWaiters) {
+  BlockingQueue<int> q(1);
+  std::thread t([&] {
+    auto r = q.Recv();
+    EXPECT_TRUE(r.status().IsUnavailable());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  t.join();
+  EXPECT_TRUE(q.Send(1).IsUnavailable());
+}
+
+TEST(Connection, SynchronousCall) {
+  Connection<int, int> conn;
+  std::thread server([&] {
+    auto req = conn.NextRequest();
+    ASSERT_TRUE(req.ok());
+    ASSERT_TRUE(conn.Reply(*req * 2).ok());
+  });
+  auto resp = conn.Call(21);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, 42);
+  server.join();
+  EXPECT_EQ(conn.messages_sent(), 1u);
+}
+
+TEST(Connection, AsyncCallAndDrain) {
+  Connection<int, int> conn;
+  std::thread server([&] {
+    for (int i = 0; i < 2; ++i) {
+      auto req = conn.NextRequest();
+      ASSERT_TRUE(req.ok());
+      ASSERT_TRUE(conn.Reply(*req + 1).ok());
+    }
+  });
+  ASSERT_TRUE(conn.CallAsync(1).ok());
+  EXPECT_EQ(conn.pending_responses(), 1u);
+  auto r = conn.DrainResponse();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  // Synchronous call still works after draining.
+  auto r2 = conn.Call(10);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 11);
+  server.join();
+}
+
+TEST(Connection, DrainWithoutPendingIsError) {
+  Connection<int, int> conn;
+  EXPECT_FALSE(conn.DrainResponse().ok());
+}
+
+TEST(Connection, AsyncSenderBlocksWhileServerBusy) {
+  // The §4 scenario shape: the server is "busy" (has not posted a receive),
+  // so after one queued request the next Call blocks until the server gets
+  // around to serving.
+  Connection<int, int> conn;
+  ASSERT_TRUE(conn.CallAsync(1).ok());  // sits in the depth-1 request queue
+  std::atomic<bool> second_done{false};
+  std::thread client([&] {
+    ASSERT_TRUE(conn.CallAsync(2).ok());  // blocks: queue full
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_done.load());
+  // Server finally serves.
+  auto r1 = conn.NextRequest();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(conn.Reply(0).ok());
+  client.join();
+  EXPECT_TRUE(second_done.load());
+  auto r2 = conn.NextRequest();
+  ASSERT_TRUE(r2.ok());
+  // Drain before the second reply: the response queue is depth-1 too.
+  ASSERT_TRUE(conn.DrainResponse().ok());
+  ASSERT_TRUE(conn.Reply(0).ok());
+  ASSERT_TRUE(conn.DrainResponse().ok());
+}
+
+TEST(Listener, AcceptMatchesConnect) {
+  Listener<int, int> listener;
+  std::thread server([&] {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok());
+    auto req = (*conn)->NextRequest();
+    ASSERT_TRUE(req.ok());
+    ASSERT_TRUE((*conn)->Reply(*req * 3).ok());
+  });
+  auto conn = listener.Connect();
+  ASSERT_TRUE(conn.ok());
+  auto resp = (*conn)->Call(5);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, 15);
+  server.join();
+}
+
+TEST(Listener, CloseUnblocksAccept) {
+  Listener<int, int> listener;
+  std::thread server([&] {
+    auto conn = listener.Accept();
+    EXPECT_FALSE(conn.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  listener.Close();
+  server.join();
+}
+
+TEST(Listener, MultipleConnections) {
+  Listener<int, int> listener;
+  constexpr int kClients = 4;
+  std::thread server([&] {
+    for (int i = 0; i < kClients; ++i) {
+      auto conn = listener.Accept();
+      ASSERT_TRUE(conn.ok());
+      std::thread([c = *conn] {
+        auto req = c->NextRequest();
+        if (req.ok()) (void)c->Reply(*req + 100);
+      }).detach();
+    }
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto conn = listener.Connect();
+      ASSERT_TRUE(conn.ok());
+      auto resp = (*conn)->Call(i);
+      if (resp.ok() && *resp == i + 100) ok.fetch_add(1);
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.join();
+  EXPECT_EQ(ok.load(), kClients);
+}
+
+}  // namespace
+}  // namespace datalinks::rpc
