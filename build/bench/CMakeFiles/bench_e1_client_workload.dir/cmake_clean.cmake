@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_client_workload.dir/bench_e1_client_workload.cc.o"
+  "CMakeFiles/bench_e1_client_workload.dir/bench_e1_client_workload.cc.o.d"
+  "bench_e1_client_workload"
+  "bench_e1_client_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_client_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_optimizer_stats.dir/bench_e3_optimizer_stats.cc.o"
+  "CMakeFiles/bench_e3_optimizer_stats.dir/bench_e3_optimizer_stats.cc.o.d"
+  "bench_e3_optimizer_stats"
+  "bench_e3_optimizer_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_optimizer_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_lock_escalation.dir/bench_e4_lock_escalation.cc.o"
+  "CMakeFiles/bench_e4_lock_escalation.dir/bench_e4_lock_escalation.cc.o.d"
+  "bench_e4_lock_escalation"
+  "bench_e4_lock_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_lock_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_commit_sync.dir/bench_e5_commit_sync.cc.o"
+  "CMakeFiles/bench_e5_commit_sync.dir/bench_e5_commit_sync.cc.o.d"
+  "bench_e5_commit_sync"
+  "bench_e5_commit_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_commit_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e7_commit_retry.cc" "bench/CMakeFiles/bench_e7_commit_retry.dir/bench_e7_commit_retry.cc.o" "gcc" "bench/CMakeFiles/bench_e7_commit_retry.dir/bench_e7_commit_retry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hostdb/CMakeFiles/dlx_hostdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlfm/CMakeFiles/dlx_dlfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlff/CMakeFiles/dlx_dlff.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/dlx_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/dlx_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/dlx_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

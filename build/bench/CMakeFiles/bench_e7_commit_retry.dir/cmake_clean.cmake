@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_commit_retry.dir/bench_e7_commit_retry.cc.o"
+  "CMakeFiles/bench_e7_commit_retry.dir/bench_e7_commit_retry.cc.o.d"
+  "bench_e7_commit_retry"
+  "bench_e7_commit_retry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_commit_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

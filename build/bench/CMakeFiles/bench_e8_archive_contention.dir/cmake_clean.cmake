@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_archive_contention.dir/bench_e8_archive_contention.cc.o"
+  "CMakeFiles/bench_e8_archive_contention.dir/bench_e8_archive_contention.cc.o.d"
+  "bench_e8_archive_contention"
+  "bench_e8_archive_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_archive_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_reconcile.dir/bench_e9_reconcile.cc.o"
+  "CMakeFiles/bench_e9_reconcile.dir/bench_e9_reconcile.cc.o.d"
+  "bench_e9_reconcile"
+  "bench_e9_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

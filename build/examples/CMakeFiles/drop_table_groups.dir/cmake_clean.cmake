@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_table_groups.dir/drop_table_groups.cpp.o"
+  "CMakeFiles/drop_table_groups.dir/drop_table_groups.cpp.o.d"
+  "drop_table_groups"
+  "drop_table_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_table_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_library.dir/media_library.cpp.o"
+  "CMakeFiles/media_library.dir/media_library.cpp.o.d"
+  "media_library"
+  "media_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_archive.dir/archive_server.cc.o"
+  "CMakeFiles/dlx_archive.dir/archive_server.cc.o.d"
+  "libdlx_archive.a"
+  "libdlx_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

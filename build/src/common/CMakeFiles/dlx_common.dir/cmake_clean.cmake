@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_common.dir/clock.cc.o"
+  "CMakeFiles/dlx_common.dir/clock.cc.o.d"
+  "CMakeFiles/dlx_common.dir/logging.cc.o"
+  "CMakeFiles/dlx_common.dir/logging.cc.o.d"
+  "CMakeFiles/dlx_common.dir/status.cc.o"
+  "CMakeFiles/dlx_common.dir/status.cc.o.d"
+  "libdlx_common.a"
+  "libdlx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

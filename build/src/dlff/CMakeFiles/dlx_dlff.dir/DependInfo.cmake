@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlff/filter.cc" "src/dlff/CMakeFiles/dlx_dlff.dir/filter.cc.o" "gcc" "src/dlff/CMakeFiles/dlx_dlff.dir/filter.cc.o.d"
+  "/root/repo/src/dlff/token.cc" "src/dlff/CMakeFiles/dlx_dlff.dir/token.cc.o" "gcc" "src/dlff/CMakeFiles/dlx_dlff.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/dlx_fsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_dlff.dir/filter.cc.o"
+  "CMakeFiles/dlx_dlff.dir/filter.cc.o.d"
+  "CMakeFiles/dlx_dlff.dir/token.cc.o"
+  "CMakeFiles/dlx_dlff.dir/token.cc.o.d"
+  "libdlx_dlff.a"
+  "libdlx_dlff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_dlff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

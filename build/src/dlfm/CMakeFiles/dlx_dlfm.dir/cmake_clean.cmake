@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_dlfm.dir/metadata.cc.o"
+  "CMakeFiles/dlx_dlfm.dir/metadata.cc.o.d"
+  "CMakeFiles/dlx_dlfm.dir/server.cc.o"
+  "CMakeFiles/dlx_dlfm.dir/server.cc.o.d"
+  "libdlx_dlfm.a"
+  "libdlx_dlfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_dlfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_fsim.dir/file_server.cc.o"
+  "CMakeFiles/dlx_fsim.dir/file_server.cc.o.d"
+  "libdlx_fsim.a"
+  "libdlx_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_hostdb.dir/host_database.cc.o"
+  "CMakeFiles/dlx_hostdb.dir/host_database.cc.o.d"
+  "CMakeFiles/dlx_hostdb.dir/session.cc.o"
+  "CMakeFiles/dlx_hostdb.dir/session.cc.o.d"
+  "libdlx_hostdb.a"
+  "libdlx_hostdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_hostdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/btree.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/btree.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/btree.cc.o.d"
+  "/root/repo/src/sqldb/database.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/database.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/database.cc.o.d"
+  "/root/repo/src/sqldb/executor.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/executor.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/executor.cc.o.d"
+  "/root/repo/src/sqldb/lock_manager.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/lock_manager.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/lock_manager.cc.o.d"
+  "/root/repo/src/sqldb/sql_parser.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/sql_parser.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/sql_parser.cc.o.d"
+  "/root/repo/src/sqldb/value.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/value.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/value.cc.o.d"
+  "/root/repo/src/sqldb/wal.cc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/wal.cc.o" "gcc" "src/sqldb/CMakeFiles/dlx_sqldb.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

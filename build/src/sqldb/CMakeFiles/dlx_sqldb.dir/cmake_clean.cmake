@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_sqldb.dir/btree.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/btree.cc.o.d"
+  "CMakeFiles/dlx_sqldb.dir/database.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/database.cc.o.d"
+  "CMakeFiles/dlx_sqldb.dir/executor.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/executor.cc.o.d"
+  "CMakeFiles/dlx_sqldb.dir/lock_manager.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/lock_manager.cc.o.d"
+  "CMakeFiles/dlx_sqldb.dir/sql_parser.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/sql_parser.cc.o.d"
+  "CMakeFiles/dlx_sqldb.dir/value.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/value.cc.o.d"
+  "CMakeFiles/dlx_sqldb.dir/wal.cc.o"
+  "CMakeFiles/dlx_sqldb.dir/wal.cc.o.d"
+  "libdlx_sqldb.a"
+  "libdlx_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

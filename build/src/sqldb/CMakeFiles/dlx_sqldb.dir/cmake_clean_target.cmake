@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlx_sqldb.a"
+)

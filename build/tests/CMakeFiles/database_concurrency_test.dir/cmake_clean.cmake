@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_concurrency_test.dir/database_concurrency_test.cc.o"
+  "CMakeFiles/database_concurrency_test.dir/database_concurrency_test.cc.o.d"
+  "database_concurrency_test"
+  "database_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

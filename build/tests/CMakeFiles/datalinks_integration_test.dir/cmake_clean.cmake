@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalinks_integration_test.dir/datalinks_integration_test.cc.o"
+  "CMakeFiles/datalinks_integration_test.dir/datalinks_integration_test.cc.o.d"
+  "datalinks_integration_test"
+  "datalinks_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalinks_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

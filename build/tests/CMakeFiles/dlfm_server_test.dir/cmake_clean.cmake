@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlfm_server_test.dir/dlfm_server_test.cc.o"
+  "CMakeFiles/dlfm_server_test.dir/dlfm_server_test.cc.o.d"
+  "dlfm_server_test"
+  "dlfm_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlfm_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_dlff_test.dir/fsim_dlff_test.cc.o"
+  "CMakeFiles/fsim_dlff_test.dir/fsim_dlff_test.cc.o.d"
+  "fsim_dlff_test"
+  "fsim_dlff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_dlff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(btree_test "/root/repo/build/tests/btree_test")
+set_tests_properties(btree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lock_manager_test "/root/repo/build/tests/lock_manager_test")
+set_tests_properties(lock_manager_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wal_test "/root/repo/build/tests/wal_test")
+set_tests_properties(wal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(database_test "/root/repo/build/tests/database_test")
+set_tests_properties(database_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(database_concurrency_test "/root/repo/build/tests/database_concurrency_test")
+set_tests_properties(database_concurrency_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(database_recovery_test "/root/repo/build/tests/database_recovery_test")
+set_tests_properties(database_recovery_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(optimizer_test "/root/repo/build/tests/optimizer_test")
+set_tests_properties(optimizer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fsim_dlff_test "/root/repo/build/tests/fsim_dlff_test")
+set_tests_properties(fsim_dlff_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rpc_test "/root/repo/build/tests/rpc_test")
+set_tests_properties(rpc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dlfm_server_test "/root/repo/build/tests/dlfm_server_test")
+set_tests_properties(dlfm_server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datalinks_integration_test "/root/repo/build/tests/datalinks_integration_test")
+set_tests_properties(datalinks_integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_parser_test "/root/repo/build/tests/sql_parser_test")
+set_tests_properties(sql_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;dlx_add_test;/root/repo/tests/CMakeLists.txt;0;")
