@@ -1,0 +1,130 @@
+// E10 — engine scalability after breaking the global data latch (per-table
+// shared latching) and adding WAL group commit.
+//
+// The paper's headline E1 run (100 concurrent clients sustained, §5)
+// requires the *local database* to scale with concurrency; the seed engine
+// scaled negatively (EXPERIMENTS.md E1: 390k inserts/min at 1 client,
+// 117k at 100) because every DML serialized on one mutex and every
+// committer forced the log alone.
+//
+// Two workload shapes, swept over 1/4/10/16/64/100 clients:
+//  - disjoint: client k inserts only into table k — the common DLFM shape
+//    (File vs. Transaction vs. Group table); per-table latches let these
+//    proceed in parallel.
+//  - same: every client inserts into one table — the worst case; group
+//    commit is the only win available.
+//
+// Each Args line is {clients, log_latency_micros}.  log_latency=0 measures
+// pure engine overhead; log_latency>0 models a log device with realistic
+// write latency, where group commit amortizes the wait across every
+// committer riding the leader's batch (the classic group-commit result —
+// without it throughput is capped at 1/latency commits per second
+// regardless of client count).
+//
+// Counters: ips = committed inserts/second; gc_batch = mean commit/abort
+// records retired per durable append (> 1 proves coalescing);
+// force_waits = committers that waited behind a leader; latch_xwait_ms =
+// total time writers waited for exclusive table latches; latch_max_x =
+// high-water mark of simultaneously held exclusive latches.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sqldb/database.h"
+
+namespace datalinks::bench {
+namespace {
+
+using namespace datalinks::sqldb;
+
+constexpr int kTotalInserts = 3000;  // fixed work, divided among clients
+
+void RunScalability(benchmark::State& state, bool disjoint) {
+  const int clients = static_cast<int>(state.range(0));
+  const int64_t log_latency = state.range(1);
+  const int ops_per_client = kTotalInserts / clients;
+
+  for (auto _ : state) {
+    auto durable = std::make_shared<DurableStore>();
+    durable->set_append_latency_micros(log_latency);
+    DatabaseOptions opts;
+    opts.next_key_locking = false;  // production configuration (§4)
+    auto dbr = Database::Open(opts, durable);
+    if (!dbr.ok()) std::abort();
+    auto db = std::move(dbr).value();
+
+    const int ntables = disjoint ? clients : 1;
+    std::vector<TableId> tables;
+    for (int i = 0; i < ntables; ++i) {
+      TableSchema s;
+      s.name = "t" + std::to_string(i);
+      s.columns = {{"id", ValueType::kInt, false}, {"payload", ValueType::kString, false}};
+      tables.push_back(*db->CreateTable(s));
+      if (!db->CreateIndex(IndexDef{"ix_t" + std::to_string(i), tables.back(), {0}, false})
+               .ok()) {
+        std::abort();
+      }
+    }
+    const std::string payload(64, 'p');
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<uint64_t> committed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int w = 0; w < clients; ++w) {
+      threads.emplace_back([&, w] {
+        const TableId table = tables[disjoint ? w : 0];
+        for (int i = 0; i < ops_per_client; ++i) {
+          Transaction* txn = db->Begin();
+          const int64_t id = static_cast<int64_t>(w) * 1000000 + i;
+          if (db->Insert(txn, table, {Value(id), Value(payload)}).ok() &&
+              db->Commit(txn).ok()) {
+            committed.fetch_add(1);
+          } else {
+            (void)db->Rollback(txn);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    const DatabaseStats ds = db->stats();
+    const WalStats ws = db->wal().stats();
+    state.counters["ips"] = static_cast<double>(committed.load()) / secs;
+    state.counters["gc_batch"] = ws.mean_commits_per_batch;
+    state.counters["force_waits"] = static_cast<double>(ws.force_waits);
+    state.counters["latch_xwait_ms"] =
+        static_cast<double>(ds.latch_exclusive_waits_micros) / 1000.0;
+    state.counters["latch_max_x"] = static_cast<double>(ds.latch_max_concurrent_exclusive);
+  }
+}
+
+void BM_DisjointTables(benchmark::State& state) { RunScalability(state, /*disjoint=*/true); }
+void BM_SameTable(benchmark::State& state) { RunScalability(state, /*disjoint=*/false); }
+
+// log_latency = 0: pure engine-overhead scaling.
+// log_latency = 500us: a realistic log device; the group-commit regime.
+BENCHMARK(BM_DisjointTables)
+    ->Args({1, 0})->Args({4, 0})->Args({10, 0})->Args({16, 0})->Args({64, 0})->Args({100, 0})
+    ->Args({1, 500})->Args({4, 500})->Args({10, 500})->Args({16, 500})->Args({64, 500})
+    ->Args({100, 500})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_SameTable)
+    ->Args({1, 0})->Args({4, 0})->Args({10, 0})->Args({16, 0})->Args({64, 0})->Args({100, 0})
+    ->Args({1, 500})->Args({4, 500})->Args({10, 500})->Args({16, 500})->Args({64, 500})
+    ->Args({100, 500})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

@@ -182,6 +182,7 @@ bool MetadataRepo::StatsLookClobbered() const {
 }
 
 Status MetadataRepo::RebindAll() {
+  ++rebinds_;
   using K = BoundStatement::Kind;
   auto P = [](int i) { return Operand::Param(i); };
 

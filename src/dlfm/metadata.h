@@ -94,6 +94,12 @@ class MetadataRepo {
   /// changed).
   Status RebindAll();
 
+  /// Number of RebindAll passes (initial bind + §4 watchdog rebinds).  With
+  /// static SQL the engine's `plan_binds` stays proportional to this while
+  /// `plan_cache_hits` grows with every execution — the health signal that
+  /// no statement silently re-optimizes per call.
+  uint64_t rebind_count() const { return rebinds_; }
+
   /// True if the statistics no longer look hand-crafted (e.g. a user ran
   /// runstats on a small table) — the watchdog trigger from §4.
   bool StatsLookClobbered() const;
@@ -169,6 +175,7 @@ class MetadataRepo {
   static BackupEntry RowToBackup(const sqldb::Row& r);
 
   sqldb::Database* db_;
+  uint64_t rebinds_ = 0;
   sqldb::TableId file_ = 0, txn_ = 0, group_ = 0, archive_ = 0, backup_ = 0;
   sqldb::IndexId ux_name_flag_ = 0, ix_link_txn_ = 0, ix_unlink_txn_ = 0, ix_group_ = 0,
                  ix_recovery_ = 0, ux_txn_ = 0, ix_txn_state_ = 0, ux_group_ = 0,

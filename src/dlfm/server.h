@@ -177,6 +177,13 @@ class DlfmServer {
   sqldb::Database* local_db() { return db_.get(); }
   MetadataRepo& repo() { return repo_; }
 
+  /// Engine-health snapshots of the embedded local database: per-table
+  /// latch contention and WAL group-commit coalescing.  The batched-commit
+  /// paths (MaybeBatchCommit, delete-group utility) now retire several
+  /// agents' commits per durable log append; these counters prove it.
+  sqldb::DatabaseStats LocalDbStats() const { return db_->stats(); }
+  sqldb::WalStats LocalWalStats() const { return db_->wal().stats(); }
+
   /// The Upcall daemon's service function (wired into the DLFF).
   bool UpcallIsLinked(const std::string& path);
 

@@ -1,6 +1,7 @@
 #include "sqldb/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -45,6 +46,12 @@ bool GetStr(std::string_view* in, std::string* s) {
   return true;
 }
 
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+
 }  // namespace
 
 std::string AccessPath::ToString() const {
@@ -69,10 +76,52 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
                                                  std::shared_ptr<DurableStore> durable) {
   std::unique_ptr<Database> db(new Database(std::move(options), std::move(durable)));
   {
-    std::lock_guard<std::mutex> lk(db->data_mu_);
+    std::unique_lock<std::shared_mutex> lk(db->catalog_mu_);
     DLX_RETURN_IF_ERROR(db->RecoverLocked());
   }
   return db;
+}
+
+// ---------------------------------------------------------------------------
+// Latches
+// ---------------------------------------------------------------------------
+
+void Database::ExclusiveLatch::Release() {
+  if (db_ != nullptr) {
+    db_->exclusive_holders_.fetch_sub(1, std::memory_order_relaxed);
+    db_ = nullptr;
+  }
+  if (lk_.owns_lock()) lk_.unlock();
+}
+
+std::shared_lock<std::shared_mutex> Database::LatchShared(const TableState& t) const {
+  std::shared_lock<std::shared_mutex> lk(t.latch, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    lk.lock();
+    latch_shared_waits_micros_.fetch_add(ElapsedMicros(t0), std::memory_order_relaxed);
+  }
+  latch_shared_acquires_.fetch_add(1, std::memory_order_relaxed);
+  return lk;
+}
+
+Database::ExclusiveLatch Database::LatchExclusive(const TableState& t) const {
+  ExclusiveLatch g;
+  g.lk_ = std::unique_lock<std::shared_mutex>(t.latch, std::try_to_lock);
+  if (!g.lk_.owns_lock()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    g.lk_.lock();
+    latch_exclusive_waits_micros_.fetch_add(ElapsedMicros(t0), std::memory_order_relaxed);
+  }
+  latch_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+  g.db_ = this;
+  const uint64_t cur = exclusive_holders_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t seen = latch_max_concurrent_exclusive_.load(std::memory_order_relaxed);
+  while (cur > seen &&
+         !latch_max_concurrent_exclusive_.compare_exchange_weak(seen, cur,
+                                                                std::memory_order_relaxed)) {
+  }
+  return g;
 }
 
 // ---------------------------------------------------------------------------
@@ -143,7 +192,7 @@ Status Database::DeserializeLocked(const std::string& image) {
   tables_.clear();
   table_names_.clear();
   for (uint32_t i = 0; i < ntables; ++i) {
-    auto t = std::make_unique<TableState>();
+    auto t = std::make_shared<TableState>();
     uint64_t tid;
     uint32_t ncols;
     if (!GetU64(&in, &tid) || !GetStr(&in, &t->schema.name) || !GetU32(&in, &ncols)) {
@@ -324,6 +373,15 @@ Status Database::RecoverLocked() {
 }
 
 Status Database::CheckpointLocked() {
+  // The caller holds the catalog latch exclusively, which keeps new DML
+  // statements from starting; in-flight critical sections are drained by
+  // taking every table's shared latch.  Holding them across the force +
+  // serialize pair guarantees no append slips between the force point and
+  // the image (a record replayed on top of an image that already contains
+  // its effect would corrupt the heap on recovery).
+  std::vector<std::shared_lock<std::shared_mutex>> latches;
+  latches.reserve(tables_.size());
+  for (auto& [tid, t] : tables_) latches.emplace_back(t->latch);
   wal_->ForceAll();
   const Lsn lsn = wal_->last_lsn();
   durable_->SetCheckpoint(SerializeLocked(), lsn);
@@ -332,7 +390,7 @@ Status Database::CheckpointLocked() {
 }
 
 Status Database::Checkpoint() {
-  std::lock_guard<std::mutex> lk(data_mu_);
+  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
   return CheckpointLocked();
 }
 
@@ -346,7 +404,7 @@ void Database::MaybeAutoCheckpoint() {
   // failure mode the paper's batched commits avoid).
   const size_t pinned = wal_->BytesPinnedByActiveTxns();
   if (wal_->BytesInUse() - pinned < threshold / 2) return;
-  std::lock_guard<std::mutex> lk(data_mu_);
+  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
   (void)CheckpointLocked();
 }
 
@@ -363,11 +421,11 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
   if (schema.name.empty() || schema.columns.empty()) {
     return Status::InvalidArgument("table needs a name and at least one column");
   }
-  std::lock_guard<std::mutex> lk(data_mu_);
+  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
   if (table_names_.count(schema.name) != 0) {
     return Status::AlreadyExists("table " + schema.name);
   }
-  auto t = std::make_unique<TableState>();
+  auto t = std::make_shared<TableState>();
   t->id = next_table_id_++;
   t->schema = std::move(schema);
   const TableId id = t->id;
@@ -378,7 +436,7 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
 }
 
 Result<IndexId> Database::CreateIndex(IndexDef def) {
-  std::lock_guard<std::mutex> lk(data_mu_);
+  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
   TableState* t = FindTable(def.table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(def.table));
   for (int c : def.key_columns) {
@@ -392,61 +450,69 @@ Result<IndexId> Database::CreateIndex(IndexDef def) {
   auto ix = std::make_unique<IndexState>();
   ix->id = next_index_id_++;
   ix->def = std::move(def);
-  // Populate, checking uniqueness against existing data.
-  Status st;
-  t->heap.ForEach([&](RowId rid, const Row& row) {
-    Key k = ExtractKey(*ix, row);
-    if (ix->def.unique && ix->tree.ContainsKey(k)) {
-      st = Status::Conflict("duplicate key building unique index " + ix->def.name);
-      return false;
-    }
-    ix->tree.Insert(std::move(k), rid);
-    return true;
-  });
-  DLX_RETURN_IF_ERROR(st);
-  const IndexId id = ix->id;
-  t->indexes.push_back(std::move(ix));
+  IndexId id;
+  {
+    // Drain in-flight statements on this table before mutating its index
+    // list (DML holds the table latch, not the catalog latch).
+    ExclusiveLatch x = LatchExclusive(*t);
+    // Populate, checking uniqueness against existing data.
+    Status st;
+    t->heap.ForEach([&](RowId rid, const Row& row) {
+      Key k = ExtractKey(*ix, row);
+      if (ix->def.unique && ix->tree.ContainsKey(k)) {
+        st = Status::Conflict("duplicate key building unique index " + ix->def.name);
+        return false;
+      }
+      ix->tree.Insert(std::move(k), rid);
+      return true;
+    });
+    DLX_RETURN_IF_ERROR(st);
+    id = ix->id;
+    t->indexes.push_back(std::move(ix));
+  }
   DLX_RETURN_IF_ERROR(CheckpointLocked());
   return id;
 }
 
 Status Database::DropTable(TableId table) {
-  std::lock_guard<std::mutex> lk(data_mu_);
+  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
   TableState* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
   table_names_.erase(t->schema.name);
+  // Statements that already pinned the TableState keep a detached shared_ptr
+  // and finish against it; the table is simply no longer reachable.
   tables_.erase(table);
   return CheckpointLocked();
 }
 
 Result<TableId> Database::TableByName(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
+  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
   auto it = table_names_.find(std::string(name));
   if (it == table_names_.end()) return Status::NotFound("table " + std::string(name));
   return it->second;
 }
 
 Result<TableSchema> Database::GetSchema(TableId table) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  auto s = LatchShared(*t);
   return t->schema;
 }
 
 std::vector<IndexDef> Database::GetIndexes(TableId table) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
   std::vector<IndexDef> out;
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t != nullptr) {
+    auto s = LatchShared(*t);
     for (const auto& ix : t->indexes) out.push_back(ix->def);
   }
   return out;
 }
 
 Result<IndexId> Database::IndexByName(TableId table, std::string_view name) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  auto s = LatchShared(*t);
   for (const auto& ix : t->indexes) {
     if (ix->def.name == name) return ix->id;
   }
@@ -456,6 +522,12 @@ Result<IndexId> Database::IndexByName(TableId table, std::string_view name) cons
 Database::TableState* Database::FindTable(TableId id) const {
   auto it = tables_.find(id);
   return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Database::TablePtr Database::GetTable(TableId id) const {
+  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -469,12 +541,10 @@ Transaction* Database::Begin(Isolation isolation) {
   txn->id_ = next_txn_id_.fetch_add(1);
   txn->isolation_ = isolation;
   Transaction* raw = txn.get();
-  {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    (void)wal_->Append(LogRecord{0, raw->id_, LogRecordType::kBegin, 0, 0, {}, {}},
-                       /*exempt=*/true);
-    wal_->OnBegin(raw->id_, wal_->last_lsn());
-  }
+  Lsn begin_lsn = kInvalidLsn;
+  (void)wal_->Append(LogRecord{0, raw->id_, LogRecordType::kBegin, 0, 0, {}, {}},
+                     /*exempt=*/true, &begin_lsn);
+  wal_->OnBegin(raw->id_, begin_lsn);
   {
     std::lock_guard<std::mutex> lk(txn_mu_);
     txns_[raw->id_] = std::move(txn);
@@ -486,16 +556,25 @@ Transaction* Database::Begin(Isolation isolation) {
 Status Database::Commit(Transaction* txn) {
   if (crashed_.load()) return Status::Unavailable("database crashed");
   if (txn->finished_) return Status::InvalidArgument("transaction already finished");
-  {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kCommit, 0, 0, {}, {}},
-                       /*exempt=*/true);
-    wal_->ForceAll();
-    for (const auto& [table, rid] : txn->pending_free_) {
-      TableState* t = FindTable(table);
-      if (t != nullptr) t->heap.FreeSlot(rid);
+  Lsn commit_lsn = kInvalidLsn;
+  (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kCommit, 0, 0, {}, {}},
+                     /*exempt=*/true, &commit_lsn);
+  // Group commit: coalesce with concurrent committers behind one leader.
+  wal_->ForceTo(commit_lsn);
+  // Recycle the slots freed by this transaction's deletes.  Row locks are
+  // still held, so nobody can have re-referenced them yet.
+  TablePtr t;
+  ExclusiveLatch x;
+  for (const auto& [table, rid] : txn->pending_free_) {
+    if (t == nullptr || t->id != table) {
+      x.Release();
+      t = GetTable(table);
+      if (t == nullptr) continue;
+      x = LatchExclusive(*t);
     }
+    t->heap.FreeSlot(rid);
   }
+  x.Release();
   wal_->OnEnd(txn->id_);
   lock_manager_->ReleaseAll(txn->id_);
   FinishTxn(txn);
@@ -507,10 +586,7 @@ Status Database::Commit(Transaction* txn) {
 Status Database::Rollback(Transaction* txn) {
   if (crashed_.load()) return Status::Unavailable("database crashed");
   if (txn->finished_) return Status::InvalidArgument("transaction already finished");
-  {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    DLX_RETURN_IF_ERROR(RollbackLocked(txn));
-  }
+  DLX_RETURN_IF_ERROR(RollbackInternal(txn));
   wal_->OnEnd(txn->id_);
   lock_manager_->ReleaseAll(txn->id_);
   FinishTxn(txn);
@@ -518,12 +594,19 @@ Status Database::Rollback(Transaction* txn) {
   return Status::OK();
 }
 
-Status Database::RollbackLocked(Transaction* txn) {
+Status Database::RollbackInternal(Transaction* txn) {
   // Reverse-apply the undo chain, logging compensations as ordinary records
-  // so redo replays them (ARIES CLR-lite).
+  // so redo replays them (ARIES CLR-lite).  Each step latches only the
+  // table it touches.
+  TablePtr t;
+  ExclusiveLatch x;
   for (auto it = txn->undo_.rbegin(); it != txn->undo_.rend(); ++it) {
-    TableState* t = FindTable(it->table);
-    if (t == nullptr) continue;
+    if (t == nullptr || t->id != it->table) {
+      x.Release();
+      t = GetTable(it->table);
+      if (t == nullptr) continue;
+      x = LatchExclusive(*t);
+    }
     switch (it->type) {
       case LogRecordType::kInsert: {
         if (!t->heap.Valid(it->rid)) break;
@@ -559,6 +642,7 @@ Status Database::RollbackLocked(Transaction* txn) {
         break;
     }
   }
+  x.Release();
   txn->undo_.clear();
   (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kAbort, 0, 0, {}, {}},
                      /*exempt=*/true);
@@ -580,22 +664,23 @@ int64_t Database::LockTimeout(const Transaction* txn) const {
 // ---------------------------------------------------------------------------
 
 void Database::SetTableStats(TableId table, TableStats stats) {
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(table);
-  if (t != nullptr) t->stats = std::move(stats);
+  TablePtr t = GetTable(table);
+  if (t == nullptr) return;
+  ExclusiveLatch x = LatchExclusive(*t);
+  t->stats = std::move(stats);
 }
 
 Result<TableStats> Database::GetTableStats(TableId table) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  auto s = LatchShared(*t);
   return t->stats;
 }
 
 Status Database::RunStats(TableId table) {
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  ExclusiveLatch x = LatchExclusive(*t);
   t->stats.cardinality = static_cast<int64_t>(t->heap.live_count());
   t->stats.index_distinct.clear();
   for (const auto& ix : t->indexes) {
@@ -605,9 +690,9 @@ Status Database::RunStats(TableId table) {
 }
 
 Result<size_t> Database::LiveRowCount(TableId table) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+  auto s = LatchShared(*t);
   return t->heap.live_count();
 }
 
@@ -624,6 +709,15 @@ DatabaseStats Database::stats() const {
   s.table_scans = table_scans_.load(std::memory_order_relaxed);
   s.index_scans = index_scans_.load(std::memory_order_relaxed);
   s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  s.plan_binds = plan_binds_.load(std::memory_order_relaxed);
+  s.latch_shared_acquires = latch_shared_acquires_.load(std::memory_order_relaxed);
+  s.latch_exclusive_acquires = latch_exclusive_acquires_.load(std::memory_order_relaxed);
+  s.latch_shared_waits_micros = latch_shared_waits_micros_.load(std::memory_order_relaxed);
+  s.latch_exclusive_waits_micros =
+      latch_exclusive_waits_micros_.load(std::memory_order_relaxed);
+  s.latch_max_concurrent_exclusive =
+      latch_max_concurrent_exclusive_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -11,21 +11,28 @@
 //    row+key locks on one table (or a full lock list) converts to a table
 //    lock — the paper's "brings the system to its knees" failure mode,
 //  - deadlock detection (victim = requester) and lock timeouts,
-//  - WAL with bounded log space (kLogFull for long transactions) and
-//    crash/restart recovery, and
+//  - WAL with bounded log space (kLogFull for long transactions), group
+//    commit, and crash/restart recovery, and
 //  - a cost-based access-path optimizer driven by catalog statistics that
 //    can be hand-set (SetTableStats) or recomputed (RunStats), including
 //    the trap the paper describes: with default (empty-table) statistics
 //    the optimizer prefers a table scan even when an index exists.
 //
-// Concurrency: one thread per transaction.  A short global data latch
-// protects physical structures; lock waits never happen under the latch.
+// Concurrency: one thread per transaction.  Physical structures are
+// protected by short per-table latches (std::shared_mutex): reads take
+// shared mode, DML on a table takes exclusive mode on that table only, so
+// transactions on distinct tables — the common DLFM shape: File table vs.
+// Transaction table vs. Group table — proceed in parallel.  The catalog
+// (table map) has its own shared_mutex; DDL and checkpoints take it
+// exclusively, which acts as the global latch.  Lock waits never happen
+// under any latch.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -93,6 +100,22 @@ struct DatabaseStats {
   uint64_t table_scans = 0;
   uint64_t index_scans = 0;
   uint64_t rows_scanned = 0;
+
+  /// Executions that reused the frozen plan of a bound statement (i.e. ran
+  /// without re-invoking the optimizer).  `plan_binds` counts optimizer
+  /// invocations (ChooseAccessPath); a healthy static-SQL workload shows
+  /// plan_cache_hits >> plan_binds.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_binds = 0;
+
+  /// Latch contention counters (per-table latches).
+  uint64_t latch_shared_acquires = 0;
+  uint64_t latch_exclusive_acquires = 0;
+  uint64_t latch_shared_waits_micros = 0;
+  uint64_t latch_exclusive_waits_micros = 0;
+  /// High-water mark of simultaneously held exclusive table latches; > 1
+  /// proves writers on distinct tables actually overlap.
+  uint64_t latch_max_concurrent_exclusive = 0;
 };
 
 /// Handle for an open transaction.  Owned by the Database; valid until
@@ -205,17 +228,59 @@ class Database {
     HeapTable heap;
     std::vector<std::unique_ptr<IndexState>> indexes;
     TableStats stats;
+    /// The table's data latch: shared for reads (catalog lookups, scans),
+    /// exclusive for DML on this table.  Never held across a lock wait.
+    mutable std::shared_mutex latch;
+  };
+  using TablePtr = std::shared_ptr<TableState>;
+
+  /// RAII exclusive table latch with contention accounting (tracks the
+  /// number of concurrently held exclusive latches for the overlap
+  /// high-water mark).  Move-only; obtained via LatchExclusive().
+  class ExclusiveLatch {
+   public:
+    ExclusiveLatch() = default;
+    ExclusiveLatch(ExclusiveLatch&& o) noexcept : lk_(std::move(o.lk_)), db_(o.db_) {
+      o.db_ = nullptr;
+    }
+    ExclusiveLatch& operator=(ExclusiveLatch&& o) noexcept {
+      Release();
+      lk_ = std::move(o.lk_);
+      db_ = o.db_;
+      o.db_ = nullptr;
+      return *this;
+    }
+    ExclusiveLatch(const ExclusiveLatch&) = delete;
+    ExclusiveLatch& operator=(const ExclusiveLatch&) = delete;
+    ~ExclusiveLatch() { Release(); }
+    void Release();
+
+   private:
+    friend class Database;
+    std::unique_lock<std::shared_mutex> lk_;
+    const Database* db_ = nullptr;
   };
 
   explicit Database(DatabaseOptions options, std::shared_ptr<DurableStore> durable);
 
+  /// Latch acquisition with contention accounting.
+  std::shared_lock<std::shared_mutex> LatchShared(const TableState& t) const;
+  ExclusiveLatch LatchExclusive(const TableState& t) const;
+
+  // Catalog-exclusive helpers (catalog_mu_ held exclusively by the caller).
   Status RecoverLocked();
   std::string SerializeLocked() const;
   Status DeserializeLocked(const std::string& image);
   Status CheckpointLocked();
   void MaybeAutoCheckpoint();
 
+  /// Raw catalog lookup; caller holds catalog_mu_ (either mode).
   TableState* FindTable(TableId id) const;
+  /// Pin a table: takes catalog_mu_ shared briefly and returns a shared_ptr
+  /// that keeps the TableState alive across the statement even if a
+  /// concurrent DropTable detaches it from the catalog.
+  TablePtr GetTable(TableId id) const;
+
   int64_t LockTimeout(const Transaction* txn) const;
 
   /// Row/key lock acquisition with DB2-style escalation.
@@ -223,7 +288,7 @@ class Database {
   Status MaybeEscalate(Transaction* txn, TableState* t, bool for_write);
 
   /// Key-lock ids for one index entry; `next_key` = lock the successor
-  /// instead of the entry itself.  Must be called under the data latch.
+  /// instead of the entry itself.  Must be called under the table latch.
   LockId KeyLockId(const TableState& t, const IndexState& ix, const Key& key) const;
   LockId NextKeyLockId(const TableState& t, const IndexState& ix, const Key& key) const;
 
@@ -234,21 +299,23 @@ class Database {
                   const Row& row) const;
 
   /// Collect candidate (rid, row-snapshot) pairs for a bound statement.
-  /// Takes and releases the data latch internally.
+  /// Takes and releases the table latch (shared) internally.
   struct Candidate {
     RowId rid;
     Row row;
   };
-  Result<std::vector<Candidate>> CollectCandidates(Transaction* txn,
+  Result<std::vector<Candidate>> CollectCandidates(Transaction* txn, TableState* t,
                                                    const BoundStatement& stmt,
                                                    const std::vector<Value>& params);
 
-  /// Write one WAL record under the latch.  `exempt` bypasses the capacity
-  /// check (compensations and commit/abort records must never fail).
-  Status LogLocked(Transaction* txn, LogRecordType type, TableId table, RowId rid, Row before,
-                   Row after, bool exempt);
+  /// Write one WAL record; caller holds the table's exclusive latch so the
+  /// append order matches the apply order for that table.  `exempt`
+  /// bypasses the capacity check (compensations and commit/abort records
+  /// must never fail).
+  Status LogLatched(Transaction* txn, LogRecordType type, TableId table, RowId rid, Row before,
+                    Row after, bool exempt);
 
-  Status RollbackLocked(Transaction* txn);
+  Status RollbackInternal(Transaction* txn);
   void FinishTxn(Transaction* txn);
 
   DatabaseOptions options_;
@@ -257,8 +324,10 @@ class Database {
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<LockManager> lock_manager_;
 
-  mutable std::mutex data_mu_;  // the data latch
-  std::unordered_map<TableId, std::unique_ptr<TableState>> tables_;
+  /// Catalog latch: shared for table lookups, exclusive for DDL,
+  /// checkpoints and recovery (the global latch).
+  mutable std::shared_mutex catalog_mu_;
+  std::unordered_map<TableId, TablePtr> tables_;
   std::unordered_map<std::string, TableId> table_names_;
   TableId next_table_id_ = 1;
   IndexId next_index_id_ = 1;
@@ -273,6 +342,10 @@ class Database {
   mutable std::atomic<uint64_t> begins_{0}, commits_{0}, rollbacks_{0}, inserts_{0},
       updates_{0}, deletes_{0}, selects_{0}, unique_conflicts_{0}, table_scans_{0},
       index_scans_{0}, rows_scanned_{0};
+  mutable std::atomic<uint64_t> plan_cache_hits_{0}, plan_binds_{0};
+  mutable std::atomic<uint64_t> latch_shared_acquires_{0}, latch_exclusive_acquires_{0},
+      latch_shared_waits_micros_{0}, latch_exclusive_waits_micros_{0};
+  mutable std::atomic<uint64_t> exclusive_holders_{0}, latch_max_concurrent_exclusive_{0};
 };
 
 }  // namespace datalinks::sqldb

@@ -1,5 +1,11 @@
 // DML execution: access-path selection, candidate collection, and the
 // locking protocol (granular locks, escalation, next-key locking).
+//
+// Latch protocol (see database.h): every critical section below takes the
+// touched table's latch — shared to read (candidate collection, lock-id
+// computation, re-reads), exclusive to mutate heap/indexes — and releases
+// it before any lock-manager wait.  Statements pin the TableState via
+// GetTable() so a concurrent DropTable cannot free it mid-statement.
 #include <cmath>
 
 #include "sqldb/database.h"
@@ -24,10 +30,11 @@ constexpr double kDefaultDistinctPerCol = 10.0;
 // ---------------------------------------------------------------------------
 
 AccessPath Database::ChooseAccessPath(TableId table, const Conjunction& where) const {
-  std::lock_guard<std::mutex> lk(data_mu_);
+  plan_binds_.fetch_add(1, std::memory_order_relaxed);
   AccessPath best;
-  TableState* t = FindTable(table);
+  TablePtr t = GetTable(table);
   if (t == nullptr) return best;
+  auto latch = LatchShared(*t);
   const double card = static_cast<double>(t->stats.cardinality);
   best.kind = AccessPath::Kind::kTableScan;
   best.estimated_rows = card;
@@ -79,9 +86,9 @@ Result<BoundStatement> Database::Bind(BoundStatement::Kind kind, TableId table,
   stmt.kind = kind;
   stmt.table = table;
   {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    TableState* t = FindTable(table);
+    TablePtr t = GetTable(table);
     if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+    auto latch = LatchShared(*t);
     for (const Pred& p : where) {
       const int c = t->schema.ColumnIndex(p.column);
       if (c < 0) return Status::InvalidArgument("unknown column " + p.column);
@@ -184,8 +191,8 @@ Status Database::AcquireGranular(Transaction* txn, TableState* t, const LockId& 
   return lock_manager_->Acquire(txn->id_, id, mode, LockTimeout(txn));
 }
 
-Status Database::LogLocked(Transaction* txn, LogRecordType type, TableId table, RowId rid,
-                           Row before, Row after, bool exempt) {
+Status Database::LogLatched(Transaction* txn, LogRecordType type, TableId table, RowId rid,
+                            Row before, Row after, bool exempt) {
   return wal_->Append(
       LogRecord{0, txn->id_, type, table, rid, std::move(before), std::move(after)}, exempt);
 }
@@ -195,12 +202,14 @@ Status Database::LogLocked(Transaction* txn, LogRecordType type, TableId table, 
 // ---------------------------------------------------------------------------
 
 Result<std::vector<Database::Candidate>> Database::CollectCandidates(
-    Transaction* txn, const BoundStatement& stmt, const std::vector<Value>& params) {
+    Transaction* txn, TableState* t, const BoundStatement& stmt,
+    const std::vector<Value>& params) {
   (void)txn;
+  // Every execution that reaches here runs the plan frozen at Bind time —
+  // the optimizer is NOT re-invoked per call (static SQL).
+  plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Candidate> out;
-  std::lock_guard<std::mutex> lk(data_mu_);
-  TableState* t = FindTable(stmt.table);
-  if (t == nullptr) return Status::NotFound("table " + std::to_string(stmt.table));
+  auto latch = LatchShared(*t);
 
   if (stmt.path.kind == AccessPath::Kind::kIndexScan) {
     index_scans_.fetch_add(1, std::memory_order_relaxed);
@@ -255,15 +264,16 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
   if (crashed_.load()) return Status::Unavailable("database crashed");
   inserts_.fetch_add(1, std::memory_order_relaxed);
 
-  // Validate against the schema and compute index keys (row-only work, no
-  // latch needed yet).
-  std::vector<std::pair<IndexState*, Key>> keys;       // all indexes
+  TablePtr t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+
+  // Validate against the schema and compute index keys under the shared
+  // latch (IndexState pointers stay valid: CreateIndex only appends while
+  // holding this latch exclusively, and the TableState itself is pinned).
+  std::vector<std::pair<IndexState*, Key>> keys;  // all indexes
   std::vector<LockId> unique_key_locks;
-  TableState* t;
   {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    t = FindTable(table);
-    if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
+    auto latch = LatchShared(*t);
     if (row.size() != t->schema.columns.size()) {
       return Status::InvalidArgument("row arity mismatch for " + t->schema.name);
     }
@@ -281,7 +291,7 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
     }
   }
 
-  // Table intent lock.
+  // Table intent lock (no latch held — lock waits happen latch-free).
   if (txn->escalated_tables_.count(table) == 0) {
     DLX_RETURN_IF_ERROR(
         lock_manager_->Acquire(txn->id_, LockId::Table(table), LockMode::kIX, LockTimeout(txn)));
@@ -290,25 +300,25 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
   // Key-value locks on unique keys: serializes concurrent inserters of the
   // same key (the engine-level analogue of the DLFM's check-flag trick).
   for (const LockId& id : unique_key_locks) {
-    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), id, LockMode::kX));
   }
 
   // Next-key locks (ARIES/KVL) on every index, when enabled.
   if (options_.next_key_locking) {
     std::vector<LockId> next_locks;
     {
-      std::lock_guard<std::mutex> lk(data_mu_);
+      auto latch = LatchShared(*t);
       for (auto& [ix, key] : keys) next_locks.push_back(NextKeyLockId(*t, *ix, key));
     }
     for (const LockId& id : next_locks) {
-      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), id, LockMode::kX));
     }
   }
 
   // Escalation pressure check for the row lock we are about to take.
   const bool escalated = txn->escalated_tables_.count(table) != 0;
 
-  std::lock_guard<std::mutex> lk(data_mu_);
+  ExclusiveLatch latch = LatchExclusive(*t);
   // Re-check uniqueness now that we hold the key locks.
   for (auto& [ix, key] : keys) {
     if (ix->def.unique && ix->tree.ContainsKey(key)) {
@@ -318,7 +328,7 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
     }
   }
   const RowId rid = t->heap.Insert(row);
-  Status st = LogLocked(txn, LogRecordType::kInsert, table, rid, {}, row, /*exempt=*/false);
+  Status st = LogLatched(txn, LogRecordType::kInsert, table, rid, {}, row, /*exempt=*/false);
   if (!st.ok()) {
     t->heap.Delete(rid);
     t->heap.FreeSlot(rid);
@@ -347,7 +357,11 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
   selects_.fetch_add(1, std::memory_order_relaxed);
   const Isolation iso = txn->isolation_;
 
-  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands, CollectCandidates(txn, stmt, params));
+  TablePtr t = GetTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table");
+
+  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
+                       CollectCandidates(txn, t.get(), stmt, params));
 
   std::vector<Row> out;
   if (iso == Isolation::kUR) {
@@ -356,13 +370,6 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
       if (RowMatches(stmt, params, c.row)) out.push_back(c.row);
     }
     return out;
-  }
-
-  TableState* t;
-  {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    t = FindTable(stmt.table);
-    if (t == nullptr) return Status::NotFound("table");
   }
 
   // Table lock.
@@ -383,10 +390,10 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
 
   for (const Candidate& c : cands) {
     const LockId row_lock = LockId::Row(stmt.table, c.rid);
-    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, row_lock, LockMode::kS));
+    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), row_lock, LockMode::kS));
     bool matched = false;
     {
-      std::lock_guard<std::mutex> lk(data_mu_);
+      auto latch = LatchShared(*t);
       if (t->heap.Valid(c.rid)) {
         const Row& fresh = t->heap.Get(c.rid);
         if (RowMatches(stmt, params, fresh)) {
@@ -411,7 +418,7 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
       txn->escalated_tables_.count(stmt.table) == 0) {
     LockId boundary = LockId::EndOfIndex(stmt.table, stmt.path.index);
     {
-      std::lock_guard<std::mutex> lk(data_mu_);
+      auto latch = LatchShared(*t);
       IndexState* ix = nullptr;
       for (auto& i : t->indexes) {
         if (i->id == stmt.path.index) ix = i.get();
@@ -420,7 +427,7 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
         boundary = NextKeyLockId(*t, *ix, ExtractKey(*ix, cands.back().row));
       }
     }
-    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, boundary, LockMode::kS));
+    DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), boundary, LockMode::kS));
   }
   return out;
 }
@@ -437,30 +444,27 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
   }
   deletes_.fetch_add(1, std::memory_order_relaxed);
 
-  TableState* t;
-  {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    t = FindTable(stmt.table);
-    if (t == nullptr) return Status::NotFound("table");
-  }
+  TablePtr t = GetTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table");
   if (txn->escalated_tables_.count(stmt.table) == 0) {
     DLX_RETURN_IF_ERROR(lock_manager_->Acquire(txn->id_, LockId::Table(stmt.table),
                                                LockMode::kIX, LockTimeout(txn)));
   }
 
-  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands, CollectCandidates(txn, stmt, params));
+  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
+                       CollectCandidates(txn, t.get(), stmt, params));
 
   int64_t count = 0;
   for (const Candidate& c : cands) {
     DLX_RETURN_IF_ERROR(
-        AcquireGranular(txn, t, LockId::Row(stmt.table, c.rid), LockMode::kX));
+        AcquireGranular(txn, t.get(), LockId::Row(stmt.table, c.rid), LockMode::kX));
 
     // Compute key locks from the current row image.
     std::vector<LockId> key_locks;
     bool still_matches = false;
     Row current;
     {
-      std::lock_guard<std::mutex> lk(data_mu_);
+      auto latch = LatchShared(*t);
       if (t->heap.Valid(c.rid)) {
         current = t->heap.Get(c.rid);
         still_matches = RowMatches(stmt, params, current);
@@ -475,15 +479,15 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
     }
     if (!still_matches) continue;
     for (const LockId& id : key_locks) {
-      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), id, LockMode::kX));
     }
 
-    std::lock_guard<std::mutex> lk(data_mu_);
+    ExclusiveLatch latch = LatchExclusive(*t);
     if (!t->heap.Valid(c.rid)) continue;  // deleted while we waited for locks
     const Row fresh = t->heap.Get(c.rid);
     if (!RowMatches(stmt, params, fresh)) continue;
     DLX_RETURN_IF_ERROR(
-        LogLocked(txn, LogRecordType::kDelete, stmt.table, c.rid, fresh, {}, false));
+        LogLatched(txn, LogRecordType::kDelete, stmt.table, c.rid, fresh, {}, false));
     Row old = t->heap.Delete(c.rid);
     for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), c.rid);
     txn->undo_.push_back(
@@ -502,23 +506,20 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
   }
   updates_.fetch_add(1, std::memory_order_relaxed);
 
-  TableState* t;
-  {
-    std::lock_guard<std::mutex> lk(data_mu_);
-    t = FindTable(stmt.table);
-    if (t == nullptr) return Status::NotFound("table");
-  }
+  TablePtr t = GetTable(stmt.table);
+  if (t == nullptr) return Status::NotFound("table");
   if (txn->escalated_tables_.count(stmt.table) == 0) {
     DLX_RETURN_IF_ERROR(lock_manager_->Acquire(txn->id_, LockId::Table(stmt.table),
                                                LockMode::kIX, LockTimeout(txn)));
   }
 
-  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands, CollectCandidates(txn, stmt, params));
+  DLX_ASSIGN_OR_RETURN(std::vector<Candidate> cands,
+                       CollectCandidates(txn, t.get(), stmt, params));
 
   int64_t count = 0;
   for (const Candidate& c : cands) {
     DLX_RETURN_IF_ERROR(
-        AcquireGranular(txn, t, LockId::Row(stmt.table, c.rid), LockMode::kX));
+        AcquireGranular(txn, t.get(), LockId::Row(stmt.table, c.rid), LockMode::kX));
 
     // Compute the new row and the key locks implied by changed index keys.
     std::vector<LockId> key_locks;
@@ -526,7 +527,7 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     bool still_matches = false;
     Row new_row;
     {
-      std::lock_guard<std::mutex> lk(data_mu_);
+      auto latch = LatchShared(*t);
       if (t->heap.Valid(c.rid)) {
         const Row& current = t->heap.Get(c.rid);
         still_matches = RowMatches(stmt, params, current);
@@ -552,10 +553,10 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     }
     if (!still_matches) continue;
     for (const LockId& id : key_locks) {
-      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t, id, LockMode::kX));
+      DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), id, LockMode::kX));
     }
 
-    std::lock_guard<std::mutex> lk(data_mu_);
+    ExclusiveLatch latch = LatchExclusive(*t);
     if (!t->heap.Valid(c.rid)) continue;
     const Row fresh = t->heap.Get(c.rid);
     if (!RowMatches(stmt, params, fresh)) continue;
@@ -570,7 +571,7 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     }
     if (conflict) return Status::Conflict("unique index violation on update");
     DLX_RETURN_IF_ERROR(
-        LogLocked(txn, LogRecordType::kUpdate, stmt.table, c.rid, fresh, new_row, false));
+        LogLatched(txn, LogRecordType::kUpdate, stmt.table, c.rid, fresh, new_row, false));
     for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, fresh), c.rid);
     t->heap.Update(c.rid, new_row);
     for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, new_row), c.rid);

@@ -1,20 +1,24 @@
 #include "sqldb/wal.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace datalinks::sqldb {
 
 size_t LogRecord::ByteSize() const {
-  size_t n = 32;  // header
-  std::string tmp;
-  for (const Row* r : {&before, &after}) {
-    for (const Value& v : *r) {
-      tmp.clear();
-      v.EncodeTo(&tmp);
-      n += tmp.size();
+  if (byte_size_ == 0) {
+    size_t n = 32;  // header
+    std::string tmp;
+    for (const Row* r : {&before, &after}) {
+      for (const Value& v : *r) {
+        tmp.clear();
+        v.EncodeTo(&tmp);
+        n += tmp.size();
+      }
     }
+    byte_size_ = n;
   }
-  return n;
+  return byte_size_;
 }
 
 void DurableStore::SetCheckpoint(std::string image, Lsn checkpoint_lsn) {
@@ -34,6 +38,9 @@ Lsn DurableStore::checkpoint_lsn() const {
 }
 
 void DurableStore::AppendForced(std::vector<LogRecord> records) {
+  if (append_latency_micros_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(append_latency_micros_));
+  }
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& r : records) {
     forced_bytes_ += r.ByteSize();
@@ -73,6 +80,7 @@ WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capac
   // Resume LSN numbering past anything already durable (re-open after crash).
   next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), durable_->checkpoint_lsn()) + 1;
   checkpoint_lsn_ = durable_->checkpoint_lsn();
+  durable_upto_ = next_lsn_ - 1;  // the tail is empty; nothing volatile yet
 }
 
 Lsn WriteAheadLog::TruncationPoint() const {
@@ -86,51 +94,88 @@ Lsn WriteAheadLog::TruncationPoint() const {
   return point;
 }
 
+void WriteAheadLog::AdvanceTruncationPoint() {
+  // The truncation point is monotone (checkpoints only move forward; new
+  // transactions begin at ever-higher LSNs), so retired entries can be
+  // dropped from the accounting map as the point passes them — O(1)
+  // amortized per record over its lifetime.
+  const Lsn point = TruncationPoint();
+  auto end = record_bytes_.lower_bound(point);
+  for (auto it = record_bytes_.begin(); it != end;) {
+    in_use_bytes_ -= it->second;
+    it = record_bytes_.erase(it);
+  }
+}
+
 size_t WriteAheadLog::BytesInUse() const {
   std::lock_guard<std::mutex> lk(mu_);
   const Lsn point = TruncationPoint();
-  size_t n = 0;
-  for (auto it = record_bytes_.lower_bound(point); it != record_bytes_.end(); ++it) {
-    n += it->second;
+  size_t n = in_use_bytes_;
+  // Entries below the current point that have not been retired yet (the
+  // point may have advanced since the last mutation) are excluded lazily.
+  for (auto it = record_bytes_.begin(), end = record_bytes_.lower_bound(point); it != end;
+       ++it) {
+    n -= it->second;
   }
   return n;
 }
 
-Status WriteAheadLog::Append(LogRecord record, bool exempt) {
+Status WriteAheadLog::Append(LogRecord record, bool exempt, Lsn* assigned) {
   std::lock_guard<std::mutex> lk(mu_);
+  AdvanceTruncationPoint();
   const size_t sz = record.ByteSize();
-  // Space check against the truncation point.
-  const Lsn point = TruncationPoint();
-  size_t in_use = 0;
-  for (auto it = record_bytes_.lower_bound(point); it != record_bytes_.end(); ++it) {
-    in_use += it->second;
-  }
-  if (!exempt && in_use + sz > capacity_) {
+  if (!exempt && in_use_bytes_ + sz > capacity_) {
     ++log_full_errors_;
     return Status::LogFull("log capacity " + std::to_string(capacity_) +
                            " bytes exceeded; oldest active txn pins lsn " +
-                           std::to_string(point));
+                           std::to_string(TruncationPoint()));
   }
   record.lsn = next_lsn_++;
+  if (assigned != nullptr) *assigned = record.lsn;
   ++appends_;
   record_bytes_[record.lsn] = sz;
+  in_use_bytes_ += sz;
   tail_bytes_ += sz;
   tail_.push_back(std::move(record));
   return Status::OK();
 }
 
 void WriteAheadLog::ForceTo(Lsn lsn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  std::vector<LogRecord> forced;
-  size_t i = 0;
-  for (; i < tail_.size() && tail_[i].lsn <= lsn; ++i) {
-    tail_bytes_ -= tail_[i].ByteSize();
-    forced.push_back(std::move(tail_[i]));
-  }
-  if (i > 0) {
-    tail_.erase(tail_.begin(), tail_.begin() + i);
-    durable_->AppendForced(std::move(forced));
+  std::unique_lock<std::mutex> lk(mu_);
+  lsn = std::min(lsn, next_lsn_ - 1);
+  while (durable_upto_ < lsn) {
+    if (force_leader_active_) {
+      // Follower: a leader is flushing.  Wait until its batch lands OR the
+      // durable frontier already covers us — the next leader re-raises
+      // force_leader_active_ immediately on wake-up, so a predicate of
+      // "!force_leader_active_" alone would strand covered followers
+      // through whole extra flush cycles (collapsing batch sizes to ~2).
+      ++force_waits_;
+      force_cv_.wait(lk, [&] { return !force_leader_active_ || durable_upto_ >= lsn; });
+      continue;
+    }
+    // Leader: detach the whole tail (it includes records appended by
+    // concurrent committers after `lsn` — they ride along in this batch and
+    // their ForceTo returns without a second durable append).
+    force_leader_active_ = true;
+    std::vector<LogRecord> batch;
+    batch.swap(tail_);
+    tail_bytes_ = 0;
+    const Lsn target = batch.back().lsn;  // tail non-empty: durable_upto_ < lsn
+    size_t commits = 0;
+    for (const LogRecord& r : batch) {
+      if (r.type == LogRecordType::kCommit || r.type == LogRecordType::kAbort) ++commits;
+    }
+    const size_t nrecords = batch.size();
+    lk.unlock();
+    durable_->AppendForced(std::move(batch));  // the "I/O", outside the WAL mutex
+    lk.lock();
+    durable_upto_ = target;
     ++forces_;
+    group_commit_records_ += nrecords;
+    group_commit_commits_ += commits;
+    force_leader_active_ = false;
+    force_cv_.notify_all();
   }
 }
 
@@ -155,6 +200,7 @@ void WriteAheadLog::OnEnd(TxnId txn) {
   if (it == txn_begin_.end()) return;
   active_begin_.erase(it->second);
   txn_begin_.erase(it);
+  AdvanceTruncationPoint();
 }
 
 void WriteAheadLog::OnCheckpoint(Lsn lsn) {
@@ -163,7 +209,7 @@ void WriteAheadLog::OnCheckpoint(Lsn lsn) {
   ++checkpoints_;
   const Lsn point = TruncationPoint();
   durable_->TruncateBefore(point);
-  record_bytes_.erase(record_bytes_.begin(), record_bytes_.lower_bound(point));
+  AdvanceTruncationPoint();
 }
 
 size_t WriteAheadLog::BytesPinnedByActiveTxns() const {
@@ -187,13 +233,22 @@ WalStats WriteAheadLog::stats() const {
   s.capacity = capacity_;
   std::lock_guard<std::mutex> lk(mu_);
   const Lsn point = TruncationPoint();
-  for (auto it = record_bytes_.lower_bound(point); it != record_bytes_.end(); ++it) {
-    s.bytes_in_use += it->second;
+  s.bytes_in_use = in_use_bytes_;
+  for (auto it = record_bytes_.begin(), end = record_bytes_.lower_bound(point); it != end;
+       ++it) {
+    s.bytes_in_use -= it->second;
   }
   s.appends = appends_;
   s.forces = forces_;
   s.log_full_errors = log_full_errors_;
   s.checkpoints = checkpoints_;
+  s.force_waits = force_waits_;
+  s.group_commit_batches = forces_;
+  s.group_commit_records = group_commit_records_;
+  s.group_commit_commits = group_commit_commits_;
+  s.mean_commits_per_batch =
+      forces_ == 0 ? 0.0 : static_cast<double>(group_commit_commits_) /
+                               static_cast<double>(forces_);
   return s;
 }
 

@@ -13,8 +13,15 @@
 //    Exceeding DatabaseOptions::log_capacity_bytes yields kLogFull — the
 //    failure the paper's batched-commit lesson (§4) is about: one huge
 //    transaction pins the truncation point and fills the log.
+//
+// Group commit: concurrent ForceTo() callers coalesce behind a single
+// leader.  The leader detaches the whole tail and moves it into the
+// DurableStore in one append while followers wait on a condition variable
+// until the durable frontier covers their commit LSN.  WalStats reports
+// the coalescing (force_waits, group_commit_batches, commits per batch).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -50,7 +57,17 @@ struct LogRecord {
   Row before;  // kDelete / kUpdate
   Row after;   // kInsert / kUpdate
 
+  LogRecord() = default;
+  LogRecord(Lsn l, TxnId t, LogRecordType ty, TableId tab, RowId r, Row b, Row a)
+      : lsn(l), txn(t), type(ty), table(tab), rid(r), before(std::move(b)),
+        after(std::move(a)) {}
+
+  /// Encoded size; computed once and cached (records are immutable after
+  /// append, and the size is consulted at append, force and truncate time).
   size_t ByteSize() const;
+
+ private:
+  mutable size_t byte_size_ = 0;
 };
 
 /// The state that survives a simulated crash: the last checkpoint image and
@@ -73,40 +90,60 @@ class DurableStore {
   Lsn max_forced_lsn() const;
   size_t forced_bytes() const;
 
+  /// Simulated media latency per forced append (benchmarks model the log
+  /// disk's write latency with this; default 0 = instantaneous).
+  void set_append_latency_micros(int64_t micros) { append_latency_micros_ = micros; }
+  int64_t append_latency_micros() const { return append_latency_micros_; }
+
  private:
   mutable std::mutex mu_;
   std::string checkpoint_image_;
   Lsn checkpoint_lsn_ = kInvalidLsn;
   std::deque<LogRecord> forced_;
   size_t forced_bytes_ = 0;
+  int64_t append_latency_micros_ = 0;
 };
 
 struct WalStats {
   uint64_t appends = 0;
-  uint64_t forces = 0;
+  uint64_t forces = 0;          // durable appends (group-commit batches)
   uint64_t log_full_errors = 0;
   uint64_t checkpoints = 0;
   size_t bytes_in_use = 0;   // from truncation point to end
   size_t capacity = 0;
+
+  // Group commit.
+  uint64_t force_waits = 0;           // callers that waited behind a leader
+  uint64_t group_commit_batches = 0;  // leader flushes (== forces)
+  uint64_t group_commit_records = 0;  // log records moved by those flushes
+  uint64_t group_commit_commits = 0;  // commit/abort records moved
+  /// Mean transactions retired per durable append; > 1 means concurrent
+  /// committers actually coalesced.
+  double mean_commits_per_batch = 0;
 };
 
-/// Volatile WAL front-end.  Thread-compat: callers serialize via the
-/// Database data latch (append order must match apply order anyway).
+/// Volatile WAL front-end.  Thread-safe: Append assigns LSNs under the WAL
+/// mutex (callers hold the owning table's latch, so per-table append order
+/// matches apply order); ForceTo runs the group-commit protocol.
 class WriteAheadLog {
  public:
   WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes);
 
-  /// Append a record; assigns the LSN.  Fails with kLogFull if retained log
-  /// bytes (truncation point .. end) would exceed capacity.  `exempt`
-  /// bypasses the capacity check — rollback compensations and commit/abort
-  /// records must never fail for space (DB2 reserves log space for undo).
-  Status Append(LogRecord record, bool exempt = false);
+  /// Append a record; assigns the LSN (returned through `assigned` when
+  /// non-null).  Fails with kLogFull if retained log bytes (truncation
+  /// point .. end) would exceed capacity.  `exempt` bypasses the capacity
+  /// check — rollback compensations and commit/abort records must never
+  /// fail for space (DB2 reserves log space for undo).
+  Status Append(LogRecord record, bool exempt = false, Lsn* assigned = nullptr);
 
   /// Bytes pinned by the oldest active transaction (cannot be reclaimed by
   /// a checkpoint); used to decide whether auto-checkpointing would help.
   size_t BytesPinnedByActiveTxns() const;
 
-  /// Move everything up to and including `lsn` into the durable store.
+  /// Make everything up to and including `lsn` durable.  Concurrent callers
+  /// coalesce: one leader moves the whole tail into the DurableStore in a
+  /// single append; followers wait until the durable frontier covers their
+  /// LSN (group commit).
   void ForceTo(Lsn lsn);
   void ForceAll();
 
@@ -124,7 +161,8 @@ class WriteAheadLog {
   DurableStore* durable() { return durable_.get(); }
 
  private:
-  Lsn TruncationPoint() const;  // mu_ held
+  Lsn TruncationPoint() const;        // mu_ held
+  void AdvanceTruncationPoint();      // mu_ held; retires space O(1) amortized
 
   std::shared_ptr<DurableStore> durable_;
   const size_t capacity_;
@@ -136,14 +174,24 @@ class WriteAheadLog {
   Lsn checkpoint_lsn_ = kInvalidLsn;
   std::map<Lsn, TxnId> active_begin_;     // begin-LSN -> txn (ordered)
   std::map<TxnId, Lsn> txn_begin_;
-  // Cumulative byte sizes for forced+tail records since last truncation,
-  // keyed by lsn, to compute BytesInUse cheaply enough.
+  // Byte sizes of retained records (truncation point .. end), keyed by lsn.
+  // `in_use_bytes_` is the running sum so the hot append path is O(log n)
+  // instead of a full-map walk.
   std::map<Lsn, size_t> record_bytes_;
+  size_t in_use_bytes_ = 0;
+
+  // Group commit.
+  std::condition_variable force_cv_;
+  bool force_leader_active_ = false;
+  Lsn durable_upto_ = kInvalidLsn;  // highest lsn moved into the durable store
 
   uint64_t appends_ = 0;
   uint64_t forces_ = 0;
   uint64_t log_full_errors_ = 0;
   uint64_t checkpoints_ = 0;
+  uint64_t force_waits_ = 0;
+  uint64_t group_commit_records_ = 0;
+  uint64_t group_commit_commits_ = 0;
 };
 
 }  // namespace datalinks::sqldb

@@ -127,6 +127,28 @@ TEST_F(OptimizerTest, BoundPlanIsFrozenUntilRebind) {
   EXPECT_EQ(rebound->path.kind, AccessPath::Kind::kTableScan);
 }
 
+TEST_F(OptimizerTest, ExecutingBoundStatementsNeverReoptimizes) {
+  // Static SQL: the optimizer runs once at Bind; every Execute* reuses the
+  // frozen plan.  plan_binds counts ChooseAccessPath invocations and
+  // plan_cache_hits counts executions that ran without one.
+  auto stmt = db_->Bind(BoundStatement::Kind::kSelect, table_,
+                        {Pred::Eq("name", Operand::Param(0))});
+  ASSERT_TRUE(stmt.ok());
+  const DatabaseStats before = db_->stats();
+
+  constexpr int kExecutions = 100;
+  Transaction* t = db_->Begin();
+  for (int i = 0; i < kExecutions; ++i) {
+    ASSERT_TRUE(db_->ExecuteSelect(t, *stmt, {Value("f" + std::to_string(i))}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(t).ok());
+
+  const DatabaseStats after = db_->stats();
+  EXPECT_EQ(after.plan_binds, before.plan_binds) << "an execution re-ran the optimizer";
+  EXPECT_EQ(after.plan_cache_hits - before.plan_cache_hits,
+            static_cast<uint64_t>(kExecutions));
+}
+
 TEST_F(OptimizerTest, UniqueFullMatchEstimatesOneRow) {
   auto uix = db_->CreateIndex(IndexDef{"ix_uniq", table_, {0, 1}, true});
   ASSERT_TRUE(uix.ok());
