@@ -1,0 +1,71 @@
+// E11 — crash-point fault injection overhead.  The fail-point hooks added
+// for the crash matrix sit directly on the 2PC hot path (host commit,
+// DLFM prepare/commit/abort, Copy and Delete Group daemons).  They must be
+// cheap enough to compile into production builds: an unarmed hit is one
+// mutex-protected map lookup.  Rows: end-to-end commit throughput with no
+// injector armed vs armed-but-passing-through (worst production-shaped
+// case: the armed map is non-empty on every hit), plus the raw per-hit
+// cost of an unarmed fail point.
+#include "bench_common.h"
+
+#include "common/fault_injector.h"
+
+namespace datalinks::bench {
+namespace {
+
+void RunCommitBatch(benchmark::State& state, bool armed) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    dlfm::DlfmOptions dopts;
+    auto dlfm_fault = std::make_shared<FaultInjector>();
+    dopts.fault = dlfm_fault;
+    hostdb::HostOptions hopts;
+    auto host_fault = std::make_shared<FaultInjector>();
+    hopts.fault = host_fault;
+    auto env = MakeEnv(dopts, hopts);
+    constexpr int kOps = 200;
+    Precreate(env.get(), "f", kOps);
+    if (armed) {
+      // Armed on the hottest points but never firing (skip budget never
+      // runs out): measures lookup + spec bookkeeping, not injected faults.
+      FaultInjector::Spec spec;
+      spec.skip = 1 << 30;
+      host_fault->Arm(failpoints::kHostCommitAfterPrepare, spec);
+      dlfm_fault->Arm(failpoints::kDlfmCommitAttempt, spec);
+    }
+    auto session = env->host->OpenSession();
+    state.ResumeTiming();
+    for (int i = 0; i < kOps; ++i) {
+      if (!session->Begin().ok()) std::abort();
+      Status st = session->Insert(
+          env->table, {sqldb::Value(int64_t{i}),
+                       sqldb::Value("dlfs://srv1/f" + std::to_string(i))});
+      if (!st.ok() || !session->Commit().ok()) std::abort();
+    }
+    state.PauseTiming();
+    state.counters["commits"] = static_cast<double>(kOps);
+    session.reset();
+    env.reset();
+    state.ResumeTiming();
+  }
+}
+
+void BM_CommitsUnarmed(benchmark::State& state) { RunCommitBatch(state, false); }
+void BM_CommitsArmedPassThrough(benchmark::State& state) { RunCommitBatch(state, true); }
+
+BENCHMARK(BM_CommitsUnarmed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CommitsArmedPassThrough)->Unit(benchmark::kMillisecond);
+
+void BM_HitUnarmedPoint(benchmark::State& state) {
+  FaultInjector inj;
+  for (auto _ : state) {
+    auto hit = inj.Hit(failpoints::kHostCommitBeforePhase2);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_HitUnarmedPoint);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+#include "common/fault_injector.h"
+
+namespace datalinks {
+
+std::optional<Status> FaultInjector::Hit(const char* point, Clock* clock) {
+  Status fire;
+  bool delay = false;
+  int64_t delay_micros = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counts_[point];
+    if (crashed_.load(std::memory_order_relaxed)) {
+      // The process is dead: no thread of it performs further work.
+      return Status::Unavailable("process crashed at fail point " + crash_point_);
+    }
+    auto it = armed_.find(point);
+    if (it == armed_.end()) return std::nullopt;
+    Spec& s = it->second;
+    if (s.skip > 0) {
+      --s.skip;
+      return std::nullopt;
+    }
+    if (s.hits == 0) return std::nullopt;
+    if (s.hits > 0) --s.hits;
+    switch (s.action) {
+      case Action::kCrash:
+        crash_point_ = point;
+        crashed_.store(true, std::memory_order_release);
+        return Status::Unavailable(std::string("simulated crash at fail point ") + point);
+      case Action::kError:
+        fire = s.error;
+        break;
+      case Action::kDelay:
+        delay = true;
+        delay_micros = s.delay_micros;
+        break;
+    }
+  }
+  if (delay) {
+    if (clock != nullptr) clock->SleepForMicros(delay_micros);
+    return std::nullopt;
+  }
+  return fire;
+}
+
+void FaultInjector::Arm(const std::string& point, Spec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_[point] = std::move(spec);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_.erase(point);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_.clear();
+  counts_.clear();
+  crash_point_.clear();
+  crashed_.store(false, std::memory_order_release);
+}
+
+std::string FaultInjector::crash_point() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crash_point_;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counts_.find(point);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace datalinks

@@ -1,0 +1,105 @@
+// Deterministic named fail points for crash-recovery testing.
+//
+// The paper's central claim is that DLFM survives a failure at any instant:
+// prepare-time hardening, idempotent phase-2 redelivery, presumed-abort
+// indoubt resolution, and daemon restart processing (§3.3–§3.5, §4).  To
+// test that systematically rather than with hand-picked crashes, production
+// code is threaded with named fail points:
+//
+//   if (auto f = fault_->Hit(failpoints::kDlfmCommitBeforeHarden)) return *f;
+//
+// An unarmed point is a no-op (nullopt).  Tests arm a point with one of
+// three actions:
+//
+//   kError  — the point returns a scripted Status (deadlocks, I/O errors);
+//   kCrash  — the point returns kUnavailable and the injector enters the
+//             crashed state: every later Hit() on the SAME injector also
+//             fails, modelling a dead process whose threads do no further
+//             work.  The test then harvests durable state via
+//             SimulateCrash() and restarts the component;
+//   kDelay  — the point sleeps on the caller's clock (race-window widening).
+//
+// One injector instance models one process (host database or one DLFM), so
+// crashing a DLFM does not kill its peers.  Firing is deterministic:
+// `skip` passes over the first N hits, `hits` bounds how many times the
+// point fires (negative = every hit).
+//
+// Naming scheme: <process>.<operation>.<instant>, e.g.
+// "host.commit.after_prepare", "dlfm.prepare.before_harden",
+// "dlfm.copy.after_store".  The canonical list lives in `failpoints`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace datalinks {
+
+namespace failpoints {
+// Host commit path (HostSession::Commit).
+inline constexpr const char* kHostCommitAfterPrepare = "host.commit.after_prepare";
+inline constexpr const char* kHostCommitAfterDecisionWrite =
+    "host.commit.after_decision_write";
+inline constexpr const char* kHostCommitBeforePhase2 = "host.commit.before_phase2";
+inline constexpr const char* kHostCommitBetweenPhase2 = "host.commit.between_phase2";
+// DLFM 2PC participant (DlfmServer).
+inline constexpr const char* kDlfmPrepareBeforeHarden = "dlfm.prepare.before_harden";
+inline constexpr const char* kDlfmPrepareAfterHarden = "dlfm.prepare.after_harden";
+inline constexpr const char* kDlfmCommitAttempt = "dlfm.commit.attempt";
+inline constexpr const char* kDlfmCommitBeforeHarden = "dlfm.commit.before_harden";
+inline constexpr const char* kDlfmCommitAfterHarden = "dlfm.commit.after_harden";
+inline constexpr const char* kDlfmAbortAttempt = "dlfm.abort.attempt";
+// DLFM daemons.
+inline constexpr const char* kDlfmCopyStore = "dlfm.copy.store";
+inline constexpr const char* kDlfmCopyAfterStore = "dlfm.copy.after_store";
+inline constexpr const char* kDlfmDeleteGroupRound = "dlfm.dg.round";
+}  // namespace failpoints
+
+class FaultInjector {
+ public:
+  enum class Action : uint8_t { kError, kCrash, kDelay };
+
+  struct Spec {
+    Action action = Action::kError;
+    /// kError: the status the fail point returns each time it fires.
+    Status error = Status::IOError("injected fault");
+    /// kDelay: sleep duration on the caller's clock.
+    int64_t delay_micros = 0;
+    /// Pass over this many hits before the point starts firing.
+    int skip = 0;
+    /// Fire this many times, then fall dormant.  Negative = every hit.
+    int hits = 1;
+  };
+
+  /// Probe from production code.  nullopt = continue normally; a Status =
+  /// the scripted failure (crash points return kUnavailable).  `clock` is
+  /// only used by delay points.
+  std::optional<Status> Hit(const char* point, Clock* clock = nullptr);
+
+  void Arm(const std::string& point, Spec spec);
+  void Disarm(const std::string& point);
+  /// Disarm everything, clear the crashed state and all hit counts.
+  void Reset();
+
+  /// True once a kCrash point fired; every Hit() fails from then on.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  std::string crash_point() const;
+
+  /// Times the point was passed through (armed or not) since Reset().
+  uint64_t HitCount(const std::string& point) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Spec> armed_;
+  std::map<std::string, uint64_t> counts_;
+  std::atomic<bool> crashed_{false};
+  std::string crash_point_;
+};
+
+}  // namespace datalinks

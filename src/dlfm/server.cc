@@ -130,6 +130,7 @@ DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
                        std::shared_ptr<sqldb::DurableStore> durable)
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : SystemClock::Instance()),
+      fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
       fs_(fs),
       archive_(archive),
       db_(OpenLocalDbOrDie(ToDbOptions(options_), std::move(durable))),
@@ -175,10 +176,14 @@ void DlfmServer::Stop() {
   std::vector<std::thread> agents;
   {
     std::lock_guard<std::mutex> lk(agents_mu_);
-    agents.swap(agent_threads_);
-    // Sever live connections so child agents blocked in NextRequest exit.
-    for (auto& c : agent_conns_) c->Close();
-    agent_conns_.clear();
+    for (auto& [id, agent] : agents_) {
+      // Sever live connections so child agents blocked in NextRequest exit.
+      agent.conn->Close();
+      agents.push_back(std::move(agent.thread));
+    }
+    agents_.clear();
+    for (auto& th : finished_agents_) agents.push_back(std::move(th));
+    finished_agents_.clear();
   }
   for (auto& th : agents) {
     if (th.joinable()) th.join();
@@ -197,12 +202,44 @@ std::shared_ptr<sqldb::DurableStore> DlfmServer::SimulateCrash() {
 
 void DlfmServer::AcceptLoop() {
   while (running_.load()) {
+    ReapFinishedAgents();
     auto conn = listener_.Accept();
     if (!conn.ok()) return;  // listener closed
     std::lock_guard<std::mutex> lk(agents_mu_);
-    agent_conns_.push_back(*conn);
-    agent_threads_.emplace_back([this, c = *conn] { ServeConnection(c); });
+    const uint64_t id = next_agent_id_++;
+    Agent& agent = agents_[id];
+    agent.conn = *conn;
+    // The agent retires itself when its connection closes; agents_mu_ is
+    // still held here, so the map entry exists before RetireAgent can run.
+    agent.thread = std::thread([this, id, c = *conn] {
+      ServeConnection(c);
+      RetireAgent(id);
+    });
   }
+}
+
+void DlfmServer::RetireAgent(uint64_t id) {
+  std::lock_guard<std::mutex> lk(agents_mu_);
+  auto it = agents_.find(id);
+  if (it == agents_.end()) return;  // Stop() already took ownership
+  finished_agents_.push_back(std::move(it->second.thread));
+  agents_.erase(it);
+}
+
+void DlfmServer::ReapFinishedAgents() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(agents_mu_);
+    done.swap(finished_agents_);
+  }
+  for (auto& th : done) {
+    if (th.joinable()) th.join();
+  }
+}
+
+size_t DlfmServer::LiveAgentCount() const {
+  std::lock_guard<std::mutex> lk(agents_mu_);
+  return agents_.size() + finished_agents_.size();
 }
 
 void DlfmServer::ServeConnection(std::shared_ptr<DlfmConnection> conn) {
@@ -218,6 +255,13 @@ void DlfmServer::ServeConnection(std::shared_ptr<DlfmConnection> conn) {
 }
 
 DlfmResponse DlfmServer::Dispatch(const DlfmRequest& req) {
+  if (fault_->crashed()) {
+    // A fired crash point models the whole DLFM process being dead: no API
+    // makes progress until the test reconstructs the server from the
+    // durable store.
+    return DlfmResponse::FromStatus(
+        Status::Unavailable("dlfm crashed at " + fault_->crash_point()));
+  }
   switch (req.api) {
     case DlfmApi::kPing:
       return DlfmResponse{};
@@ -240,7 +284,7 @@ DlfmResponse DlfmServer::Dispatch(const DlfmRequest& req) {
           ApiDeleteGroup(req.txn, req.group_id, req.recovery_id));
     case DlfmApi::kEnsureArchived:
       return DlfmResponse::FromStatus(
-          ApiEnsureArchived(req.recovery_id, /*timeout=*/5 * 1000 * 1000));
+          ApiEnsureArchived(req.recovery_id, options_.ensure_archived_timeout_micros));
     case DlfmApi::kRegisterBackup:
       return DlfmResponse::FromStatus(ApiRegisterBackup(req.aux, req.recovery_id));
     case DlfmApi::kRestoreToBackup:
@@ -487,6 +531,11 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn) {
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
   if (ctx->failed) return Status::Aborted("transaction failed before prepare");
   if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
+  if (auto f = fault_->Hit(failpoints::kDlfmPrepareBeforeHarden, clock_.get())) {
+    // Nothing hardened yet: the local rollback in FailCtx models losing the
+    // uncommitted transaction state, whether this is an error or a crash.
+    return FailCtx(ctx, *f);
+  }
 
   // The transaction entry is not written until Prepare (§3.3) — except for
   // batched-commit utilities, whose in-flight entry is upgraded here.
@@ -512,7 +561,13 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn) {
     ctx->failed = true;
     return st;
   }
+  // Mark prepared before the fail point fires: the metadata IS hardened, so
+  // a host-driven abort must take the compensation path, not the ctx-erase
+  // shortcut.
   ctx->prepared = true;
+  if (auto f = fault_->Hit(failpoints::kDlfmPrepareAfterHarden, clock_.get())) {
+    return *f;
+  }
   counters_.prepares.fetch_add(1);
   return Status::OK();
 }
@@ -521,6 +576,7 @@ Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked
                                  std::vector<FileEntry>* released) {
   linked->clear();
   released->clear();
+  if (auto f = fault_->Hit(failpoints::kDlfmCommitAttempt, clock_.get())) return *f;
   Transaction* t = db_->Begin();
   auto fail = [&](Status st) {
     (void)db_->Rollback(t);
@@ -530,7 +586,17 @@ Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked
   auto txn_row = repo_.GetTxn(t, static_cast<int64_t>(txn));
   if (!txn_row.ok()) return fail(txn_row.status());
   if (!txn_row->has_value()) {
-    // Already committed (idempotent redelivery after a crash).
+    // Already committed (idempotent redelivery after a crash).  The
+    // filesystem work may not have happened before the crash, so re-derive
+    // the takeover/release lists from the surviving rows: linked entries
+    // keep their link_txn, and released versions stay in the File table
+    // until CleanupReleasedVersions runs after the releases.
+    auto linked_r = repo_.LinkedByTxn(t, static_cast<int64_t>(txn));
+    if (!linked_r.ok()) return fail(linked_r.status());
+    *linked = std::move(*linked_r);
+    auto unlinked_r = repo_.UnlinkedByTxn(t, static_cast<int64_t>(txn));
+    if (!unlinked_r.ok()) return fail(unlinked_r.status());
+    *released = std::move(*unlinked_r);
     return db_->Commit(t);
   }
   const int64_t ngroups = (*txn_row)->ngroups;
@@ -547,18 +613,13 @@ Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked
     }
   }
 
+  // Entries without point-in-time recovery are deleted by
+  // CleanupReleasedVersions AFTER the metadata commit and releases — not
+  // here, because a crash between this commit and the filesystem work would
+  // otherwise lose the release information for redelivery.
   auto unlinked_r = repo_.UnlinkedByTxn(t, static_cast<int64_t>(txn));
   if (!unlinked_r.ok()) return fail(unlinked_r.status());
   *released = std::move(*unlinked_r);
-  for (const FileEntry& e : *released) {
-    if (!e.recovery_option) {
-      // No point-in-time recovery: the unlinked entry is deleted in the
-      // second phase of commit — not earlier, because we could not undo the
-      // delete if the outcome after phase 1 were abort (§3.2).
-      auto n = repo_.DeleteFileVersion(t, e.name, e.check_flag);
-      if (!n.ok()) return fail(n.status());
-    }
-  }
 
   if (ngroups > 0) {
     auto n = repo_.UpdateTxnState(t, static_cast<int64_t>(txn), "C");
@@ -566,6 +627,9 @@ Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked
   } else {
     auto n = repo_.DeleteTxn(t, static_cast<int64_t>(txn));
     if (!n.ok()) return fail(n.status());
+  }
+  if (auto f = fault_->Hit(failpoints::kDlfmCommitBeforeHarden, clock_.get())) {
+    return fail(*f);
   }
   DLX_RETURN_IF_ERROR(db_->Commit(t));
   if (ngroups > 0) {
@@ -586,6 +650,7 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn) {
   std::vector<FileEntry> linked, released;
   int attempts = 0;
   while (true) {
+    if (!running_.load()) return Status::Unavailable("dlfm shutting down");
     Status st = CommitAttempt(txn, &linked, &released);
     if (st.ok()) break;
     if (!st.IsTransactionFatal()) return st;
@@ -595,16 +660,60 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn) {
     }
     clock_->SleepForMicros(options_.retry_backoff_micros);
   }
+  if (auto f = fault_->Hit(failpoints::kDlfmCommitAfterHarden, clock_.get())) {
+    // Metadata committed but filesystem work not done: the host keeps its
+    // decision record and redelivers; the redelivery branch of
+    // CommitAttempt re-derives the work lists.
+    return *f;
+  }
   // Filesystem work happens after the metadata commit; the operations are
   // idempotent so redelivery after a crash is safe.
   ApplyTakeovers(linked);
   ApplyReleases(released);
+  // Only now that the releases happened may the unlinked non-recovery
+  // versions be removed from the File table.
+  attempts = 0;
+  while (true) {
+    if (!running_.load()) return Status::Unavailable("dlfm shutting down");
+    Status st = CleanupReleasedVersions(txn, released);
+    if (st.ok()) break;
+    if (!st.IsTransactionFatal()) return st;
+    counters_.commit_retries.fetch_add(1);
+    if (++attempts > options_.max_phase2_retries) {
+      return Status::Busy("phase-2 cleanup retries exhausted: " + st.ToString());
+    }
+    clock_->SleepForMicros(options_.retry_backoff_micros);
+  }
   DropCtx(txn);
   counters_.commits.fetch_add(1);
   return Status::OK();
 }
 
+Status DlfmServer::CleanupReleasedVersions(GlobalTxnId txn,
+                                           const std::vector<FileEntry>& released) {
+  (void)txn;
+  bool any = false;
+  for (const FileEntry& e : released) {
+    if (!e.recovery_option) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return Status::OK();
+  Transaction* t = db_->Begin();
+  for (const FileEntry& e : released) {
+    if (e.recovery_option) continue;  // versioned entries stay for recovery
+    auto n = repo_.DeleteFileVersion(t, e.name, e.check_flag);
+    if (!n.ok()) {
+      (void)db_->Rollback(t);
+      return n.status();
+    }
+  }
+  return db_->Commit(t);
+}
+
 Status DlfmServer::AbortAttempt(GlobalTxnId txn) {
+  if (auto f = fault_->Hit(failpoints::kDlfmAbortAttempt, clock_.get())) return *f;
   Transaction* t = db_->Begin();
   auto fail = [&](Status st) {
     (void)db_->Rollback(t);
@@ -658,6 +767,7 @@ Status DlfmServer::ApiAbort(GlobalTxnId txn) {
   // from the deleted state" (§4).  Retries like commit.
   int attempts = 0;
   while (true) {
+    if (!running_.load()) return Status::Unavailable("dlfm shutting down");
     Status st = AbortAttempt(txn);
     if (st.ok()) break;
     if (!st.IsTransactionFatal()) return st;
@@ -726,16 +836,39 @@ void DlfmServer::CopyLoop() {
                      });
     size_t n = std::min(pending->size(), options_.copy_batch);
     bool failed = false;
+    bool copy_failures = false;
     for (size_t i = 0; i < n && !failed; ++i) {
       const ArchiveEntry& e = (*pending)[i];
+      Status copy_st;
       auto content = fs_->ReadRaw(e.name);
-      if (content.ok()) {
+      if (!content.ok()) {
+        copy_st = content.status();
+      } else {
         if (options_.archive_latency_micros > 0) {
           clock_->SleepForMicros(options_.archive_latency_micros);
         }
-        (void)archive_->Store(
-            archive::ArchiveKey{options_.server_name, e.name, e.recovery_id},
-            std::move(*content));
+        if (auto f = fault_->Hit(failpoints::kDlfmCopyStore, clock_.get())) {
+          copy_st = *f;
+        } else {
+          copy_st = archive_->Store(
+              archive::ArchiveKey{options_.server_name, e.name, e.recovery_id},
+              std::move(*content));
+        }
+      }
+      if (!copy_st.ok()) {
+        // The copy did not land: keep the dfm_archive entry so the next
+        // round retries it, instead of deleting it and silently losing the
+        // recovery copy.
+        counters_.archive_copy_failures.fetch_add(1);
+        copy_failures = true;
+        continue;
+      }
+      if (auto f = fault_->Hit(failpoints::kDlfmCopyAfterStore, clock_.get())) {
+        // Crash between the archive store and the metadata delete: the
+        // entry survives and the (idempotent) store repeats after restart.
+        (void)f;
+        (void)db_->Rollback(t);
+        return;
       }
       auto del = repo_.DeleteArchive(t, e.name, e.recovery_id);
       if (!del.ok()) {
@@ -744,11 +877,16 @@ void DlfmServer::CopyLoop() {
       }
       counters_.files_archived.fetch_add(1);
     }
+    if (fault_->crashed()) {
+      (void)db_->Rollback(t);
+      return;
+    }
     if (failed) {
       (void)db_->Rollback(t);
     } else {
       (void)db_->Commit(t);
     }
+    if (copy_failures) clock_->SleepForMicros(1000);  // back off before retrying
   }
 }
 
@@ -763,11 +901,14 @@ void DlfmServer::DeleteGroupLoop() {
       dg_queue_.pop_front();
       ++dg_in_progress_;
     }
-    (void)ProcessDeleteGroupTxn(txn);
+    Status st = ProcessDeleteGroupTxn(txn);
     {
       std::lock_guard<std::mutex> lk(dg_mu_);
       --dg_in_progress_;
     }
+    // A crash fail point mid-transaction kills the daemon; the 'C' txn row
+    // survives and restart processing re-queues it.
+    if (!st.ok() && fault_->crashed()) return;
   }
 }
 
@@ -783,6 +924,9 @@ Status DlfmServer::ProcessDeleteGroupTxn(GlobalTxnId txn) {
 
   for (const GroupEntry& g : *groups) {
     while (running_.load()) {
+      if (auto f = fault_->Hit(failpoints::kDlfmDeleteGroupRound, clock_.get())) {
+        return *f;
+      }
       t = db_->Begin();
       auto files = repo_.LinkedByGroup(t, g.group_id);
       if (!files.ok()) {
@@ -866,6 +1010,7 @@ Status DlfmServer::ApiEnsureArchived(int64_t cut_recovery_id, int64_t timeout_mi
   // copies get their priority boosted so the Copy daemon drains them first.
   const int64_t deadline = clock_->NowMicros() + timeout_micros;
   while (true) {
+    if (!running_.load()) return Status::Unavailable("dlfm shutting down");
     Transaction* t = db_->Begin();
     auto pending = repo_.PendingArchives(t);
     if (pending.ok()) {

@@ -35,6 +35,7 @@
 
 #include "archive/archive_server.h"
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "dlfm/api.h"
 #include "dlfm/metadata.h"
 #include "fsim/file_server.h"
@@ -91,7 +92,15 @@ struct DlfmOptions {
   /// the §3.4 contention the paper hit.
   int64_t archive_latency_micros = 0;
 
+  /// Backup-barrier wait budget (§3.4) applied to kEnsureArchived requests
+  /// arriving over RPC (the paper's host backup utility call).
+  int64_t ensure_archived_timeout_micros = 5 * 1000 * 1000;
+
   std::shared_ptr<Clock> clock;
+
+  /// Deterministic fail points (crash/error/delay) for recovery testing.
+  /// One injector models this one DLFM process; null = never fires.
+  std::shared_ptr<FaultInjector> fault;
 };
 
 struct DlfmCounters {
@@ -100,6 +109,8 @@ struct DlfmCounters {
   std::atomic<uint64_t> commit_retries{0}, abort_retries{0};
   std::atomic<uint64_t> batched_local_commits{0};
   std::atomic<uint64_t> files_archived{0}, files_retrieved{0};
+  /// Copy-daemon read/store failures; the pending entry is kept for retry.
+  std::atomic<uint64_t> archive_copy_failures{0};
   std::atomic<uint64_t> upcalls{0};
   std::atomic<uint64_t> groups_deleted{0}, gc_removed_entries{0};
   std::atomic<uint64_t> takeovers{0}, releases{0};
@@ -174,6 +185,12 @@ class DlfmServer {
   DlfmListener* listener() { return &listener_; }
   const DlfmOptions& options() const { return options_; }
   DlfmCounters& counters() { return counters_; }
+  FaultInjector& fault() { return *fault_; }
+
+  /// Live child-agent bookkeeping entries.  Regression guard: must stay
+  /// bounded by concurrently open connections, not by connections ever
+  /// served (finished agents are reaped).
+  size_t LiveAgentCount() const;
   sqldb::Database* local_db() { return db_.get(); }
   MetadataRepo& repo() { return repo_; }
 
@@ -238,6 +255,12 @@ class DlfmServer {
   void ServeConnection(std::shared_ptr<DlfmConnection> conn);
   DlfmResponse Dispatch(const DlfmRequest& req);
 
+  /// Move a finished agent's thread to the reap list (called by the agent
+  /// thread itself when its connection closes).
+  void RetireAgent(uint64_t id);
+  /// Join threads on the reap list (main daemon, before each accept).
+  void ReapFinishedAgents();
+
   Result<TxnCtx*> GetCtx(GlobalTxnId txn, bool create);
   void DropCtx(GlobalTxnId txn);
 
@@ -253,6 +276,11 @@ class DlfmServer {
                        std::vector<FileEntry>* released);
   Status AbortAttempt(GlobalTxnId txn);
 
+  /// Physically delete unlinked no-recovery versions once the files have
+  /// been released (runs after ApplyReleases so phase-2 redelivery after a
+  /// crash can still find and re-release them).
+  Status CleanupReleasedVersions(GlobalTxnId txn, const std::vector<FileEntry>& released);
+
   // Post-phase-2 filesystem work (idempotent).
   void ApplyTakeovers(const std::vector<FileEntry>& linked);
   void ApplyReleases(const std::vector<FileEntry>& released);
@@ -264,6 +292,7 @@ class DlfmServer {
 
   DlfmOptions options_;
   std::shared_ptr<Clock> clock_;
+  std::shared_ptr<FaultInjector> fault_;
   fsim::FileServer* fs_;
   archive::ArchiveServer* archive_;
 
@@ -292,9 +321,19 @@ class DlfmServer {
   std::thread accept_thread_;
   std::thread copy_thread_;
   std::thread dg_thread_;
-  std::vector<std::thread> agent_threads_;
-  std::vector<std::shared_ptr<DlfmConnection>> agent_conns_;
-  std::mutex agents_mu_;
+
+  // Child-agent bookkeeping: live agents are keyed by id; when an agent's
+  // connection closes it moves its own thread handle to finished_agents_,
+  // which the main daemon joins before the next accept (§3.5's "child agent
+  // terminates with the connection").
+  struct Agent {
+    std::thread thread;
+    std::shared_ptr<DlfmConnection> conn;
+  };
+  mutable std::mutex agents_mu_;
+  std::unordered_map<uint64_t, Agent> agents_;
+  std::vector<std::thread> finished_agents_;
+  uint64_t next_agent_id_ = 0;
 };
 
 }  // namespace datalinks::dlfm

@@ -70,6 +70,7 @@ std::vector<std::string> SplitServers(const std::string& joined) {
 HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableStore> durable)
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : SystemClock::Instance()),
+      fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
       db_(OpenOrDie(ToDbOptions(options_), std::move(durable))),
       tokens_(options_.token_secret, clock_) {
   Status st = LoadCatalog();
@@ -260,19 +261,31 @@ Status HostDatabase::ResolveIndoubts() {
   for (const Row& r : *rows) {
     const auto txn = static_cast<GlobalTxnId>(r[0].as_int());
     decided.insert(txn);
+    bool all_acked = true;
     for (const std::string& server : SplitServers(r[1].as_string())) {
       auto conn = ConnectTo(server);
-      if (!conn.ok()) continue;  // DLFM down: the polling daemon retries later
+      if (!conn.ok()) {
+        all_acked = false;  // DLFM down: the polling daemon retries later
+        continue;
+      }
       DlfmRequest req;
       req.api = DlfmApi::kCommit;
       req.txn = txn;
       auto resp = (*conn)->Call(std::move(req));
-      if (resp.ok() && resp->ToStatus().ok()) counters_.indoubts_resolved.fetch_add(1);
+      if (resp.ok() && resp->ToStatus().ok()) {
+        counters_.indoubts_resolved.fetch_add(1);
+      } else {
+        all_acked = false;
+      }
       DlfmRequest bye;
       bye.api = DlfmApi::kDisconnect;
       (void)(*conn)->Call(std::move(bye));
     }
-    DLX_RETURN_IF_ERROR(EraseDecision(txn));
+    // The decision record must outlive the delivery: erasing it while a
+    // DLFM is unreachable or nacking would leave that DLFM's prepared
+    // transaction indoubt forever (presumed abort would then roll back a
+    // committed transaction on the next pass).
+    if (all_acked) DLX_RETURN_IF_ERROR(EraseDecision(txn));
   }
 
   // Indoubt transactions at the DLFMs with no decision record: presumed
@@ -303,6 +316,17 @@ Status HostDatabase::ResolveIndoubts() {
     (void)(*conn)->Call(std::move(bye));
   }
   return Status::OK();
+}
+
+Result<std::vector<int64_t>> HostDatabase::PendingDecisions() {
+  Transaction* t = db_->Begin();
+  auto rows = db_->Select(t, sys_txn_, {});
+  Status cs = db_->Commit(t);
+  if (!rows.ok()) return rows.status();
+  DLX_RETURN_IF_ERROR(cs);
+  std::vector<int64_t> out;
+  for (const Row& r : *rows) out.push_back(r[0].as_int());
+  return out;
 }
 
 std::string HostDatabase::IssueToken(const std::string& path, int64_t ttl_micros) {

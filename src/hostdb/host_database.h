@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "dlff/token.h"
 #include "dlfm/api.h"
 #include "hostdb/url.h"
@@ -44,6 +46,10 @@ struct HostOptions {
   size_t log_capacity_bytes = 64ull << 20;
   std::string token_secret = "datalinks-token-secret";
   std::shared_ptr<Clock> clock;
+
+  /// Fail points for crash-matrix testing; defaults to an injector with
+  /// nothing armed (zero overhead beyond a map lookup per commit).
+  std::shared_ptr<FaultInjector> fault;
 };
 
 /// Per-table datalink column description.
@@ -102,6 +108,10 @@ class HostDatabase {
   /// (host restart processing / the polling daemon of §3.3).
   Status ResolveIndoubts();
 
+  /// Transaction ids with a durable decision record still present (phase 2
+  /// not yet fully delivered).  Test/monitoring hook.
+  Result<std::vector<int64_t>> PendingDecisions();
+
   /// Access token for reading a FULL-control linked file.
   std::string IssueToken(const std::string& path, int64_t ttl_micros = 60 * 1000 * 1000);
   const dlff::TokenAuthority& token_authority() const { return tokens_; }
@@ -114,6 +124,8 @@ class HostDatabase {
   sqldb::Database* db() { return db_.get(); }
   HostCounters& counters() { return counters_; }
   const HostOptions& options() const { return options_; }
+  FaultInjector& fault() { return *fault_; }
+  Clock* clock() { return clock_.get(); }
 
  private:
   friend class HostSession;
@@ -146,6 +158,7 @@ class HostDatabase {
 
   HostOptions options_;
   std::shared_ptr<Clock> clock_;
+  std::shared_ptr<FaultInjector> fault_;
   std::unique_ptr<sqldb::Database> db_;
   dlff::TokenAuthority tokens_;
   HostCounters counters_;
@@ -198,6 +211,9 @@ class HostSession {
     std::shared_ptr<dlfm::DlfmConnection> conn;
     bool begun = false;            // BeginTransaction sent for current txn
     size_t pending_async = 0;      // outstanding async phase-2 responses
+    // Transaction each outstanding async response belongs to, in send
+    // order (responses come back FIFO per connection).
+    std::deque<dlfm::GlobalTxnId> inflight;
   };
 
   Result<DlfmPeer*> PeerFor(const std::string& server);
@@ -227,6 +243,13 @@ class HostSession {
   std::map<std::string, DlfmPeer> peers_;
   std::set<std::string> touched_;  // servers with datalink work this txn
   std::vector<sqldb::TableId> drop_on_commit_;
+  // Async commit mode: decision records awaiting their drained phase-2
+  // responses.  Erased once every touched server has acked commit.
+  struct PendingDecision {
+    size_t remaining = 0;
+    bool all_ok = true;
+  };
+  std::map<dlfm::GlobalTxnId, PendingDecision> pending_decisions_;
 };
 
 }  // namespace datalinks::hostdb

@@ -16,6 +16,12 @@ using sqldb::Value;
 HostSession::HostSession(HostDatabase* host) : host_(host) {}
 
 HostSession::~HostSession() {
+  if (host_->fault().crashed()) {
+    // The host process "died" at a crash point: no abort, drain or goodbye
+    // traffic leaves a dead process.  SimulateCrash discards the open local
+    // transaction; prepared DLFM work is resolved after restart.
+    return;
+  }
   if (local_ != nullptr) (void)Rollback();
   for (auto& [server, peer] : peers_) {
     (void)DrainPeer(&peer);
@@ -66,6 +72,19 @@ Status HostSession::DrainPeer(DlfmPeer* peer) {
     auto resp = peer->conn->DrainResponse();
     if (!resp.ok()) return resp.status();
     --peer->pending_async;
+    if (peer->inflight.empty()) continue;
+    const dlfm::GlobalTxnId txn = peer->inflight.front();
+    peer->inflight.pop_front();
+    auto it = pending_decisions_.find(txn);
+    if (it == pending_decisions_.end()) continue;
+    if (!resp->ToStatus().ok()) it->second.all_ok = false;
+    if (--it->second.remaining == 0) {
+      // Every touched server's phase-2 response has arrived: the durable
+      // decision record can finally go — unless a server nacked, in which
+      // case ResolveIndoubts must redeliver from the record.
+      if (it->second.all_ok) (void)host_->EraseDecision(txn);
+      pending_decisions_.erase(it);
+    }
   }
   return Status::OK();
 }
@@ -347,6 +366,14 @@ Status HostSession::Commit() {
     return Status::Aborted("a DLFM failed to prepare");
   }
 
+  if (auto f = host_->fault().Hit(failpoints::kHostCommitAfterPrepare, host_->clock())) {
+    // Crash or error with every DLFM prepared but no decision written: the
+    // open local transaction carries no commit record, so the outcome is
+    // presumed abort (destructor rollback, or ResolveIndoubts after a
+    // simulated crash).
+    return *f;
+  }
+
   // Decision point: the commit record (with the participant list) is forced
   // together with the user data — from here the outcome is COMMIT.
   Status st = host_->WriteDecision(local_, txn_id_, touched_);
@@ -365,11 +392,24 @@ Status HostSession::Commit() {
     drop_on_commit_.clear();
     return st;
   }
+  if (auto f =
+          host_->fault().Hit(failpoints::kHostCommitAfterDecisionWrite, host_->clock())) {
+    // The decision insert is still uncommitted: a crash here loses it and
+    // the outcome stays abort; an error path rolls it back in Rollback().
+    return *f;
+  }
   DLX_RETURN_IF_ERROR(host_->db()->Commit(local_));
   local_ = nullptr;
+  if (auto f = host_->fault().Hit(failpoints::kHostCommitBeforePhase2, host_->clock())) {
+    // Decision is durable but no DLFM heard it yet: ResolveIndoubts must
+    // redeliver commit to every participant after restart.
+    return *f;
+  }
 
   // Phase 2.
   const bool sync = host_->options().synchronous_commit;
+  bool all_acked = true;
+  size_t async_sent = 0;
   for (const std::string& server : touched_) {
     DlfmPeer& peer = peers_[server];
     DlfmRequest req;
@@ -377,17 +417,37 @@ Status HostSession::Commit() {
     req.txn = txn_id_;
     if (sync) {
       auto resp = CallPeer(&peer, std::move(req));
-      (void)resp;  // idempotent redelivery via ResolveIndoubts if this failed
+      // Idempotent redelivery via ResolveIndoubts if this failed.
+      if (!resp.ok() || !resp->ToStatus().ok()) all_acked = false;
     } else {
       // §4's problematic mode: fire the commit and return to the
       // application without waiting.  The child agent may still be doing
       // commit processing when this connection's next request arrives.
-      (void)peer.conn->CallAsync(std::move(req));
-      ++peer.pending_async;
+      Status send = peer.conn->CallAsync(std::move(req));
+      if (send.ok()) {
+        ++peer.pending_async;
+        peer.inflight.push_back(txn_id_);
+        ++async_sent;
+      } else {
+        all_acked = false;
+      }
     }
     peer.begun = false;
+    if (auto f = host_->fault().Hit(failpoints::kHostCommitBetweenPhase2, host_->clock())) {
+      // Partial phase-2 delivery: the decision record stays behind for
+      // redelivery to the servers that never heard the outcome.
+      return *f;
+    }
   }
-  if (sync) (void)host_->EraseDecision(txn_id_);
+  if (sync) {
+    // Erase the decision only once every participant acked; otherwise the
+    // record must survive for ResolveIndoubts to finish the delivery.
+    if (all_acked) (void)host_->EraseDecision(txn_id_);
+  } else if (async_sent > 0) {
+    // The decision is erased when the last drained response arrives
+    // (DrainPeer); a failed send keeps it for ResolveIndoubts.
+    pending_decisions_[txn_id_] = PendingDecision{async_sent, all_acked};
+  }
 
   for (sqldb::TableId t : drop_on_commit_) {
     (void)host_->db()->DropTable(t);

@@ -9,6 +9,7 @@
 // blocking response wait reproduces exactly that coupling.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -105,13 +106,17 @@ class Connection {
 
   Result<Resp> DrainResponse() {
     std::lock_guard<std::mutex> lk(call_mu_);
-    if (pending_ == 0) return Status::InvalidArgument("no pending async response");
+    if (pending_.load(std::memory_order_relaxed) == 0) {
+      return Status::InvalidArgument("no pending async response");
+    }
     --pending_;
     return responses_.Recv();
   }
 
-  size_t pending_responses() const { return pending_; }
-  uint64_t messages_sent() const { return messages_; }
+  // Stats accessors are callable from threads that do not hold call_mu_
+  // (monitoring, reconcile reporting), hence the atomics.
+  size_t pending_responses() const { return pending_.load(std::memory_order_relaxed); }
+  uint64_t messages_sent() const { return messages_.load(std::memory_order_relaxed); }
 
   // --- server side ----------------------------------------------------------
   Result<Req> NextRequest() { return requests_.Recv(); }
@@ -126,8 +131,8 @@ class Connection {
   std::mutex call_mu_;
   BlockingQueue<Req> requests_;
   BlockingQueue<Resp> responses_;
-  size_t pending_ = 0;
-  uint64_t messages_ = 0;
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> messages_{0};
 };
 
 /// Connection acceptor — the DLFM "main daemon" listens here and spawns a

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -113,6 +114,78 @@ TEST(Random, NamesAreLowercaseAlpha) {
     EXPECT_GE(c, 'a');
     EXPECT_LE(c, 'z');
   }
+}
+
+TEST(FaultInjector, UnarmedPointsPassThrough) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.Hit("host.commit.after_prepare").has_value());
+  EXPECT_FALSE(inj.crashed());
+  EXPECT_EQ(inj.HitCount("host.commit.after_prepare"), 1u);
+}
+
+TEST(FaultInjector, ErrorFiresForConfiguredHits) {
+  FaultInjector inj;
+  FaultInjector::Spec spec;
+  spec.error = Status::IOError("boom");
+  spec.hits = 2;
+  inj.Arm("p", spec);
+  ASSERT_TRUE(inj.Hit("p").has_value());
+  EXPECT_EQ(inj.Hit("p")->code(), StatusCode::kIOError);
+  EXPECT_FALSE(inj.Hit("p").has_value());  // budget spent: dormant again
+  EXPECT_EQ(inj.HitCount("p"), 3u);
+}
+
+TEST(FaultInjector, SkipPassesEarlyHits) {
+  FaultInjector inj;
+  FaultInjector::Spec spec;
+  spec.skip = 2;
+  inj.Arm("p", spec);
+  EXPECT_FALSE(inj.Hit("p").has_value());
+  EXPECT_FALSE(inj.Hit("p").has_value());
+  EXPECT_TRUE(inj.Hit("p").has_value());  // third pass fires
+}
+
+TEST(FaultInjector, CrashLatchesEveryLaterHit) {
+  FaultInjector inj;
+  FaultInjector::Spec spec;
+  spec.action = FaultInjector::Action::kCrash;
+  inj.Arm("a", spec);
+  auto first = inj.Hit("a");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->IsUnavailable());
+  EXPECT_TRUE(inj.crashed());
+  EXPECT_EQ(inj.crash_point(), "a");
+  // A crashed process fails at EVERY fail point, armed or not.
+  auto later = inj.Hit("b");
+  ASSERT_TRUE(later.has_value());
+  EXPECT_TRUE(later->IsUnavailable());
+}
+
+TEST(FaultInjector, DelayAdvancesSuppliedClock) {
+  FaultInjector inj;
+  SimClock clock(0);
+  FaultInjector::Spec spec;
+  spec.action = FaultInjector::Action::kDelay;
+  spec.delay_micros = 250;
+  inj.Arm("slow", spec);
+  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());  // delay is not an error
+  EXPECT_EQ(clock.NowMicros(), 250);
+}
+
+TEST(FaultInjector, DisarmAndResetClear) {
+  FaultInjector inj;
+  FaultInjector::Spec spec;
+  spec.hits = -1;  // unlimited
+  inj.Arm("p", spec);
+  ASSERT_TRUE(inj.Hit("p").has_value());
+  inj.Disarm("p");
+  EXPECT_FALSE(inj.Hit("p").has_value());
+  inj.Arm("p", spec);
+  inj.Reset();
+  EXPECT_EQ(inj.HitCount("p"), 0u);  // Reset clears counters too
+  EXPECT_FALSE(inj.Hit("p").has_value());
+  EXPECT_FALSE(inj.crashed());
+  EXPECT_EQ(inj.HitCount("p"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,438 @@
+// Crash-point matrix over the 2PC pipeline (host commit path, DLFM 2PC
+// participant, Copy and Delete Group daemons).  Every case runs the same
+// multi-server link/unlink workload, crashes one process at a named fail
+// point, restarts everything from the durable stores, resolves indoubts,
+// and asserts the paper's recovery invariants:
+//
+//   I1  no indoubt ('P') transaction survives resolution at any DLFM;
+//   I2  no durable decision record survives full phase-2 delivery;
+//   I3  host DATALINK references and the DLFM File tables agree (an empty
+//       Reconcile report);
+//   I4  every linked recovery-enabled file has its archive copy once the
+//       Copy daemon drains;
+//   I5  filesystem ownership matches link state (FULL control => DLFM
+//       admin owns the file; unlinked/aborted => original owner).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "archive/archive_server.h"
+#include "common/fault_injector.h"
+#include "dlff/filter.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+#include "hostdb/host_database.h"
+
+namespace datalinks {
+namespace {
+
+using dlfm::AccessControl;
+using hostdb::ColumnSpec;
+using sqldb::Pred;
+using sqldb::Row;
+using sqldb::Value;
+
+constexpr int64_t kWait = 5 * 1000 * 1000;  // daemon-drain budget per case
+
+class CrashMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs1_ = std::make_unique<fsim::FileServer>("srv1");
+    fs2_ = std::make_unique<fsim::FileServer>("srv2");
+    archive_ = std::make_unique<archive::ArchiveServer>();
+    StartDlfm(1);
+    StartDlfm(2);
+    MakeHost(/*sync=*/true);
+  }
+
+  void TearDown() override {
+    host_.reset();
+    if (dlfm1_) dlfm1_->Stop();
+    if (dlfm2_) dlfm2_->Stop();
+  }
+
+  void StartDlfm(int idx, std::shared_ptr<sqldb::DurableStore> durable = {}) {
+    dlfm::DlfmOptions opts;
+    opts.server_name = idx == 1 ? "srv1" : "srv2";
+    opts.commit_batch_size = 4;  // several Delete Group rounds for ~10 files
+    auto inj = std::make_shared<FaultInjector>();
+    opts.fault = inj;
+    auto& slot = idx == 1 ? dlfm1_ : dlfm2_;
+    slot = std::make_unique<dlfm::DlfmServer>(opts, idx == 1 ? fs1_.get() : fs2_.get(),
+                                              archive_.get(), std::move(durable));
+    (idx == 1 ? fault1_ : fault2_) = std::move(inj);
+    ASSERT_TRUE(slot->Start().ok());
+  }
+
+  void MakeHost(bool sync, std::shared_ptr<sqldb::DurableStore> durable = {}) {
+    hostdb::HostOptions hopts;
+    hopts.dbid = 1;
+    hopts.synchronous_commit = sync;
+    fault_host_ = std::make_shared<FaultInjector>();
+    hopts.fault = fault_host_;
+    host_ = std::make_unique<hostdb::HostDatabase>(hopts, std::move(durable));
+    host_->RegisterDlfm("srv1", dlfm1_->listener());
+    host_->RegisterDlfm("srv2", dlfm2_->listener());
+  }
+
+  void CreateMediaTable() {
+    auto table = host_->CreateTable(
+        "media", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+                  ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                             AccessControl::kFull, true}});
+    ASSERT_TRUE(table.ok());
+    media_ = *table;
+  }
+
+  /// Crash-restart every process: the durable stores survive, everything
+  /// volatile (open transactions, contexts, armed fail points) is lost.
+  void RestartAll() {
+    auto hstore = host_->SimulateCrash();
+    host_.reset();
+    auto s1 = dlfm1_->SimulateCrash();
+    dlfm1_.reset();
+    auto s2 = dlfm2_->SimulateCrash();
+    dlfm2_.reset();
+    StartDlfm(1, std::move(s1));
+    StartDlfm(2, std::move(s2));
+    MakeHost(/*sync=*/true, std::move(hstore));
+    auto media = host_->db()->TableByName("media");
+    ASSERT_TRUE(media.ok());
+    media_ = *media;
+  }
+
+  void MakeFile(fsim::FileServer* fs, const std::string& name) {
+    ASSERT_TRUE(fs->CreateFile(name, "alice", 0644, "data:" + name).ok());
+  }
+
+  Row MediaRow(int64_t id, const std::string& url) {
+    return Row{Value(id), url.empty() ? Value::Null() : Value(url)};
+  }
+
+  /// Committed baseline: row 1 links pre_a on srv1 (FULL + recovery), and
+  /// its archive copy is already drained so later assertions on it are
+  /// deterministic.
+  void CommitBaseline() {
+    MakeFile(fs1_.get(), "pre_a");
+    auto s = host_->OpenSession();
+    ASSERT_TRUE(s->Begin().ok());
+    ASSERT_TRUE(s->Insert(media_, MediaRow(1, "dlfs://srv1/pre_a")).ok());
+    ASSERT_TRUE(s->Commit().ok());
+    ASSERT_TRUE(dlfm1_->WaitArchiveDrained(kWait).ok());
+  }
+
+  static bool WaitUntil(const std::function<bool()>& pred, int64_t timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  std::vector<int64_t> MediaIds() {
+    auto s = host_->OpenSession();
+    EXPECT_TRUE(s->Begin().ok());
+    auto rows = s->Select(media_, {});
+    EXPECT_TRUE(rows.ok());
+    EXPECT_TRUE(s->Commit().ok());
+    std::vector<int64_t> ids;
+    for (const Row& r : *rows) ids.push_back(r[0].as_int());
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// The recovery invariants I1–I5 (see file header).  `committed` is the
+  /// expected outcome of the crashed transaction.
+  void CheckInvariants(bool committed) {
+    // I1: indoubt resolution terminated.
+    auto in1 = dlfm1_->ListIndoubt();
+    auto in2 = dlfm2_->ListIndoubt();
+    ASSERT_TRUE(in1.ok() && in2.ok());
+    EXPECT_TRUE(in1->empty());
+    EXPECT_TRUE(in2->empty());
+    // I2: no decision record left behind.
+    auto pending = host_->PendingDecisions();
+    ASSERT_TRUE(pending.ok());
+    EXPECT_TRUE(pending->empty());
+    // I3: host references == DLFM File tables (Reconcile finds nothing).
+    auto report = host_->Reconcile(media_, /*use_temp_table=*/true);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->cleared_urls.empty()) << report->cleared_urls[0];
+    EXPECT_TRUE(report->dlfm_unlinked.empty()) << report->dlfm_unlinked[0];
+
+    // Outcome-specific row and link state.
+    if (committed) {
+      EXPECT_EQ(MediaIds(), (std::vector<int64_t>{2, 3}));
+      EXPECT_FALSE(dlfm1_->UpcallIsLinked("pre_a"));
+      EXPECT_TRUE(dlfm1_->UpcallIsLinked("w_x"));
+      EXPECT_TRUE(dlfm2_->UpcallIsLinked("w_y"));
+      EXPECT_EQ(fs1_->Stat("pre_a")->owner, "alice");              // released
+      EXPECT_EQ(fs1_->Stat("w_x")->owner, dlff::kDlfmAdminUser);   // taken over
+      EXPECT_EQ(fs2_->Stat("w_y")->owner, dlff::kDlfmAdminUser);
+    } else {
+      EXPECT_EQ(MediaIds(), (std::vector<int64_t>{1}));
+      EXPECT_TRUE(dlfm1_->UpcallIsLinked("pre_a"));
+      EXPECT_FALSE(dlfm1_->UpcallIsLinked("w_x"));
+      EXPECT_FALSE(dlfm2_->UpcallIsLinked("w_y"));
+      EXPECT_EQ(fs1_->Stat("pre_a")->owner, dlff::kDlfmAdminUser);
+      EXPECT_EQ(fs1_->Stat("w_x")->owner, "alice");
+      EXPECT_EQ(fs2_->Stat("w_y")->owner, "alice");
+    }
+
+    // I4: every linked recovery-enabled file has an archive copy.
+    CheckArchiveCopies(dlfm1_.get(), "srv1");
+    CheckArchiveCopies(dlfm2_.get(), "srv2");
+  }
+
+  void CheckArchiveCopies(dlfm::DlfmServer* server, const std::string& name) {
+    ASSERT_TRUE(server->WaitArchiveDrained(kWait).ok()) << name;
+    auto* db = server->local_db();
+    auto* t = db->Begin();
+    auto linked = server->repo().AllInState(t, "L");
+    ASSERT_TRUE(db->Commit(t).ok());
+    ASSERT_TRUE(linked.ok());
+    for (const dlfm::FileEntry& e : *linked) {
+      if (e.check_flag != 0 || !e.recovery_option) continue;
+      EXPECT_TRUE(archive_->Has(archive::ArchiveKey{name, e.name, e.recovery_id}))
+          << name << "/" << e.name;
+    }
+  }
+
+  /// One matrix case: baseline, then a transaction linking w_x (srv1) and
+  /// w_y (srv2) while unlinking pre_a, with `arm` scripting the crash.
+  void RunTwoPcCrashCase(const std::function<void()>& arm, bool committed) {
+    CreateMediaTable();
+    CommitBaseline();
+    MakeFile(fs1_.get(), "w_x");
+    MakeFile(fs2_.get(), "w_y");
+    arm();
+    {
+      auto s = host_->OpenSession();
+      ASSERT_TRUE(s->Begin().ok());
+      ASSERT_TRUE(s->Insert(media_, MediaRow(2, "dlfs://srv1/w_x")).ok());
+      ASSERT_TRUE(s->Insert(media_, MediaRow(3, "dlfs://srv2/w_y")).ok());
+      ASSERT_TRUE(s->Delete(media_, {Pred::Eq("id", 1)}).ok());
+      (void)s->Commit();  // outcome decided by the durable state, not this rc
+    }
+    RestartAll();
+    ASSERT_TRUE(host_->ResolveIndoubts().ok());
+    ASSERT_TRUE(dlfm1_->WaitGroupWorkDrained(kWait).ok());
+    ASSERT_TRUE(dlfm2_->WaitGroupWorkDrained(kWait).ok());
+    CheckInvariants(committed);
+  }
+
+  void ArmCrash(FaultInjector* inj, const char* point, int skip = 0) {
+    FaultInjector::Spec spec;
+    spec.action = FaultInjector::Action::kCrash;
+    spec.skip = skip;
+    inj->Arm(point, spec);
+  }
+
+  std::unique_ptr<fsim::FileServer> fs1_, fs2_;
+  std::unique_ptr<archive::ArchiveServer> archive_;
+  std::unique_ptr<dlfm::DlfmServer> dlfm1_, dlfm2_;
+  std::shared_ptr<FaultInjector> fault1_, fault2_, fault_host_;
+  std::unique_ptr<hostdb::HostDatabase> host_;
+  sqldb::TableId media_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Host commit-path crash points.
+// --------------------------------------------------------------------------
+
+TEST_F(CrashMatrixTest, SanityNoCrashCommits) {
+  RunTwoPcCrashCase([] {}, /*committed=*/true);
+}
+
+TEST_F(CrashMatrixTest, HostCrashAfterPrepare) {
+  // All DLFMs prepared, no decision written: presumed abort.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitAfterPrepare); },
+      /*committed=*/false);
+}
+
+TEST_F(CrashMatrixTest, HostCrashAfterDecisionWrite) {
+  // Decision inserted but not yet forced with the local commit: still abort.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitAfterDecisionWrite); },
+      /*committed=*/false);
+}
+
+TEST_F(CrashMatrixTest, HostCrashBeforePhase2) {
+  // Decision forced, no DLFM heard it: restart must finish the commit.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitBeforePhase2); },
+      /*committed=*/true);
+}
+
+TEST_F(CrashMatrixTest, HostCrashBetweenPhase2Sends) {
+  // srv1 got phase-2 commit, srv2 did not: redelivery completes both.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitBetweenPhase2); },
+      /*committed=*/true);
+}
+
+// --------------------------------------------------------------------------
+// DLFM 2PC-participant crash points (srv1 crashes).
+// --------------------------------------------------------------------------
+
+TEST_F(CrashMatrixTest, DlfmCrashBeforePrepareHarden) {
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmPrepareBeforeHarden); },
+      /*committed=*/false);
+}
+
+TEST_F(CrashMatrixTest, DlfmCrashAfterPrepareHarden) {
+  // srv1 hardened its 'P' state and died before acking: the host aborts the
+  // transaction; restart resolution must compensate srv1's hardened work.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmPrepareAfterHarden); },
+      /*committed=*/false);
+}
+
+TEST_F(CrashMatrixTest, DlfmCrashAtCommitAttempt) {
+  // Decision durable at the host; srv1 dies before any phase-2 work.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmCommitAttempt); },
+      /*committed=*/true);
+}
+
+TEST_F(CrashMatrixTest, DlfmCrashBeforeCommitHarden) {
+  // srv1 dies with the phase-2 metadata transaction built but uncommitted.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmCommitBeforeHarden); },
+      /*committed=*/true);
+}
+
+TEST_F(CrashMatrixTest, DlfmCrashAfterCommitHarden) {
+  // srv1 committed its metadata but died before the filesystem work
+  // (takeover of w_x, release of pre_a): redelivery must re-derive it.
+  RunTwoPcCrashCase(
+      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmCommitAfterHarden); },
+      /*committed=*/true);
+}
+
+TEST_F(CrashMatrixTest, DlfmCrashDuringAbort) {
+  // srv2 refuses prepare, so the host aborts everywhere; srv1 (prepared and
+  // hardened) dies inside the compensation — presumed abort finishes it.
+  RunTwoPcCrashCase(
+      [&] {
+        FaultInjector::Spec err;  // default action: return an error status
+        fault2_->Arm(failpoints::kDlfmPrepareBeforeHarden, err);
+        ArmCrash(fault1_.get(), failpoints::kDlfmAbortAttempt);
+      },
+      /*committed=*/false);
+}
+
+// --------------------------------------------------------------------------
+// Daemon crash points.
+// --------------------------------------------------------------------------
+
+TEST_F(CrashMatrixTest, CopyDaemonCrashBetweenStoreAndDelete) {
+  CreateMediaTable();
+  ArmCrash(fault1_.get(), failpoints::kDlfmCopyAfterStore);
+  MakeFile(fs1_.get(), "c_a");
+  auto s = host_->OpenSession();
+  ASSERT_TRUE(s->Begin().ok());
+  ASSERT_TRUE(s->Insert(media_, MediaRow(1, "dlfs://srv1/c_a")).ok());
+  ASSERT_TRUE(s->Commit().ok());
+  s.reset();
+
+  ASSERT_TRUE(WaitUntil([&] { return fault1_->crashed(); }));
+  // The store happened; the pending entry survived the crash (no delete).
+  EXPECT_TRUE(archive_->stats().copies >= 1);
+  {
+    auto* db = dlfm1_->local_db();
+    auto* t = db->Begin();
+    auto pend = dlfm1_->repo().PendingArchives(t);
+    ASSERT_TRUE(db->Commit(t).ok());
+    ASSERT_TRUE(pend.ok());
+    EXPECT_EQ(pend->size(), 1u);
+  }
+
+  RestartAll();
+  ASSERT_TRUE(host_->ResolveIndoubts().ok());
+  ASSERT_TRUE(dlfm1_->WaitArchiveDrained(kWait).ok());
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("c_a"));
+  CheckArchiveCopies(dlfm1_.get(), "srv1");
+  auto report = host_->Reconcile(media_, true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->cleared_urls.empty());
+  EXPECT_TRUE(report->dlfm_unlinked.empty());
+}
+
+TEST_F(CrashMatrixTest, DeleteGroupDaemonCrashMidGroup) {
+  CreateMediaTable();
+  auto bulk = host_->CreateTable(
+      "bulk", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+               ColumnSpec{"doc", sqldb::ValueType::kString, true, true,
+                          AccessControl::kNone, false}});
+  ASSERT_TRUE(bulk.ok());
+  constexpr int kFiles = 10;
+  auto s = host_->OpenSession();
+  ASSERT_TRUE(s->Begin().ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "bulk_f" + std::to_string(i);
+    MakeFile(fs1_.get(), name);
+    ASSERT_TRUE(
+        s->Insert(*bulk, Row{Value(int64_t{i}), Value("dlfs://srv1/" + name)}).ok());
+  }
+  ASSERT_TRUE(s->Commit().ok());
+
+  // Crash in the SECOND unlink round: the first batch of 4 is committed and
+  // released, the rest is in-flight when the daemon dies.
+  ArmCrash(fault1_.get(), failpoints::kDlfmDeleteGroupRound, /*skip=*/1);
+  ASSERT_TRUE(s->Begin().ok());
+  ASSERT_TRUE(s->DropTable(*bulk).ok());
+  ASSERT_TRUE(s->Commit().ok());
+  s.reset();
+  ASSERT_TRUE(WaitUntil([&] { return fault1_->crashed(); }));
+
+  RestartAll();
+  // Restart processing re-queues the committed transaction for the Delete
+  // Group daemon; no host involvement needed beyond indoubt resolution.
+  ASSERT_TRUE(host_->ResolveIndoubts().ok());
+  ASSERT_TRUE(dlfm1_->WaitGroupWorkDrained(kWait).ok());
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "bulk_f" + std::to_string(i);
+    EXPECT_FALSE(dlfm1_->UpcallIsLinked(name)) << name;
+    EXPECT_EQ(fs1_->Stat(name)->owner, "alice") << name;
+  }
+  EXPECT_TRUE(dlfm1_->ListIndoubt()->empty());
+  EXPECT_TRUE(host_->PendingDecisions()->empty());
+}
+
+// --------------------------------------------------------------------------
+// Asynchronous-commit decision cleanup (the sys_global_txn leak).
+// --------------------------------------------------------------------------
+
+TEST_F(CrashMatrixTest, AsyncCommitErasesDecisionsOnceDrained) {
+  host_.reset();
+  MakeHost(/*sync=*/false);
+  CreateMediaTable();
+  auto s = host_->OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "async_f" + std::to_string(i);
+    MakeFile(fs1_.get(), name);
+    ASSERT_TRUE(s->Begin().ok());
+    ASSERT_TRUE(s->Insert(media_, MediaRow(i, "dlfs://srv1/" + name)).ok());
+    ASSERT_TRUE(s->Commit().ok());
+  }
+  // Closing the session drains the remaining async phase-2 responses; every
+  // drained-and-acked decision must be erased from sys_global_txn.
+  s.reset();
+  auto pending = host_->PendingDecisions();
+  ASSERT_TRUE(pending.ok());
+  EXPECT_TRUE(pending->empty());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(dlfm1_->UpcallIsLinked("async_f" + std::to_string(i)));
+  }
+}
+
+}  // namespace
+}  // namespace datalinks

@@ -535,5 +535,112 @@ TEST_F(DlfmTest, RpcPathEndToEnd) {
   (void)(*conn)->Call(std::move(bye));
 }
 
+TEST_F(DlfmTest, FinishedAgentsAreReaped) {
+  // 50 sequential connect/call/disconnect cycles must not accumulate 50
+  // dead agent threads: each agent retires on connection close and the
+  // accept loop joins retirees before the next accept.
+  for (int i = 0; i < 50; ++i) {
+    auto conn = server_->listener()->Connect();
+    ASSERT_TRUE(conn.ok());
+    DlfmRequest ping;
+    ping.api = DlfmApi::kIsLinked;
+    ping.filename = "nothing";
+    ASSERT_TRUE((*conn)->Call(std::move(ping)).ok());
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)(*conn)->Call(std::move(bye));
+  }
+  // Retirement runs on the agent threads themselves and reaping happens
+  // before each accept, so keep poking connections until the bookkeeping
+  // drains (a retiree that missed the last accept waits for the next one).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->LiveAgentCount() > 2 && std::chrono::steady_clock::now() < deadline) {
+    auto conn = server_->listener()->Connect();
+    ASSERT_TRUE(conn.ok());
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)(*conn)->Call(std::move(bye));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_LE(server_->LiveAgentCount(), 2u);
+}
+
+TEST_F(DlfmTest, CopyDaemonRetriesFailedArchiveStore) {
+  // First archive store fails; the pending entry must survive the failed
+  // round and be retried, not deleted with the copy lost forever.
+  FaultInjector::Spec spec;  // default action: return an error status
+  spec.hits = 1;
+  server_->fault().Arm(failpoints::kDlfmCopyStore, spec);
+  MakeFile("retry.dat");
+  const int64_t rec = NextRec();
+  LinkAndCommit(1, "retry.dat", rec);
+  ASSERT_TRUE(server_->WaitArchiveDrained(5 * 1000 * 1000).ok());
+  EXPECT_TRUE(archive_.Has(archive::ArchiveKey{"srv1", "retry.dat", rec}));
+  EXPECT_GE(server_->counters().archive_copy_failures.load(), 1u);
+}
+
+TEST_F(DlfmTest, CommitRetryLoopStopsOnShutdown) {
+  MakeFile("stuck");
+  ASSERT_TRUE(server_->ApiBegin(1).ok());
+  ASSERT_TRUE(server_->ApiLink(1, LinkReq(1, "stuck", NextRec())).ok());
+  ASSERT_TRUE(server_->ApiPrepare(1).ok());
+  // Every commit attempt deadlocks: phase 2 must retry forever — until the
+  // server shuts down, at which point it must bail out promptly.
+  FaultInjector::Spec spec;
+  spec.error = Status::Deadlock("injected");
+  spec.hits = -1;
+  server_->fault().Arm(failpoints::kDlfmCommitAttempt, spec);
+  std::atomic<bool> done{false};
+  Status st;
+  std::thread committer([&] {
+    st = server_->ApiCommit(1);
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done.load());  // still retrying the injected deadlock
+  server_->Stop();
+  committer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(DlfmTest, EnsureArchivedTimeoutComesFromOptions) {
+  // Rebuild with a tiny barrier timeout on a simulated clock, so the test
+  // proves the timeout is honored without waiting wall-clock seconds.
+  server_->Stop();
+  DlfmOptions opts;
+  opts.server_name = "srv1";
+  opts.clock = std::make_shared<SimClock>(1);
+  opts.ensure_archived_timeout_micros = 50 * 1000;
+  server_ = std::make_unique<DlfmServer>(opts, &fs_, &archive_);
+  ASSERT_TRUE(server_->Start().ok());
+  // The archive never accepts the copy, so the barrier can never drain.
+  FaultInjector::Spec spec;
+  spec.hits = -1;
+  server_->fault().Arm(failpoints::kDlfmCopyStore, spec);
+  MakeFile("never.dat");
+  const int64_t rec = NextRec();
+  LinkAndCommit(1, "never.dat", rec);
+
+  auto conn = server_->listener()->Connect();
+  ASSERT_TRUE(conn.ok());
+  DlfmRequest barrier;
+  barrier.api = DlfmApi::kEnsureArchived;
+  barrier.recovery_id = rec + 1;  // cut above the stuck pending entry
+  auto resp = (*conn)->Call(std::move(barrier));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ToStatus().ok());
+  // The Copy daemon keeps retrying (and failing) on its own schedule.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->counters().archive_copy_failures.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server_->counters().archive_copy_failures.load(), 1u);
+  DlfmRequest bye;
+  bye.api = DlfmApi::kDisconnect;
+  (void)(*conn)->Call(std::move(bye));
+}
+
 }  // namespace
 }  // namespace datalinks::dlfm

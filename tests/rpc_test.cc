@@ -173,5 +173,37 @@ TEST(Listener, MultipleConnections) {
   EXPECT_EQ(ok.load(), kClients);
 }
 
+TEST(Connection, StatsAccessorsAreRaceFreeDuringCalls) {
+  // Monitoring threads read pending_responses()/messages_sent() without
+  // holding the caller's mutex; the counters must be safe to read while a
+  // call is in flight (TSan guards this).
+  Connection<int, int> conn;
+  std::atomic<bool> stop{false};
+  std::thread server([&] {
+    while (true) {
+      auto req = conn.NextRequest();
+      if (!req.ok()) return;
+      if (!conn.Reply(*req + 1).ok()) return;
+    }
+  });
+  uint64_t observed = 0;
+  std::thread reader([&] {
+    while (!stop.load()) {
+      observed += conn.messages_sent() + conn.pending_responses();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    auto resp = conn.Call(i);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(*resp, i + 1);
+  }
+  stop.store(true);
+  reader.join();
+  conn.Close();
+  server.join();
+  EXPECT_GE(conn.messages_sent(), 2000u);
+  EXPECT_GT(observed, 0u);
+}
+
 }  // namespace
 }  // namespace datalinks::rpc
