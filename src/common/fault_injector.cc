@@ -1,6 +1,40 @@
 #include "common/fault_injector.h"
 
+#include <algorithm>
+
 namespace datalinks {
+
+namespace failpoints {
+namespace {
+// Meyers singleton: safe to use from the inline-constant initializers in
+// the header regardless of which translation unit runs them first.
+struct RegistryState {
+  std::mutex mu;
+  std::vector<std::string> names;
+};
+RegistryState& State() {
+  static RegistryState* s = new RegistryState();
+  return *s;
+}
+}  // namespace
+
+const char* Register(const char* name) {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (std::find(s.names.begin(), s.names.end(), name) == s.names.end()) {
+    s.names.emplace_back(name);
+  }
+  return name;
+}
+
+std::vector<std::string> Registry() {
+  RegistryState& s = State();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::vector<std::string> out = s.names;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace failpoints
 
 std::optional<Status> FaultInjector::Hit(const char* point, Clock* clock) {
   Status fire;

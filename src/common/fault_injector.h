@@ -26,7 +26,9 @@
 //
 // Naming scheme: <process>.<operation>.<instant>, e.g.
 // "host.commit.after_prepare", "dlfm.prepare.before_harden",
-// "dlfm.copy.after_store".  The canonical list lives in `failpoints`.
+// "dlfm.copy.after_store".  The canonical list lives in `failpoints`; every
+// point registers itself so tests (the crash matrix, the fuzzer) can
+// enumerate the full set instead of keeping a parallel hardcoded list.
 #pragma once
 
 #include <atomic>
@@ -35,6 +37,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -42,23 +45,44 @@
 namespace datalinks {
 
 namespace failpoints {
+
+/// Register a fail-point name.  Called once per point at static-init time
+/// via the inline constant definitions below; returns `name` so a constant
+/// can be declared as `inline const char* kX = Register("...")`.  A name
+/// that was already registered is not duplicated.
+const char* Register(const char* name);
+
+/// All registered fail-point names, sorted.  New points added anywhere in
+/// the codebase show up here automatically — the crash matrix asserts that
+/// every entry is either covered or explicitly skip-listed, and the fuzzer
+/// draws its arming choices from this list.
+std::vector<std::string> Registry();
+
 // Host commit path (HostSession::Commit).
-inline constexpr const char* kHostCommitAfterPrepare = "host.commit.after_prepare";
-inline constexpr const char* kHostCommitAfterDecisionWrite =
-    "host.commit.after_decision_write";
-inline constexpr const char* kHostCommitBeforePhase2 = "host.commit.before_phase2";
-inline constexpr const char* kHostCommitBetweenPhase2 = "host.commit.between_phase2";
+inline const char* kHostCommitAfterPrepare = Register("host.commit.after_prepare");
+inline const char* kHostCommitAfterDecisionWrite =
+    Register("host.commit.after_decision_write");
+inline const char* kHostCommitBeforePhase2 = Register("host.commit.before_phase2");
+inline const char* kHostCommitBetweenPhase2 = Register("host.commit.between_phase2");
 // DLFM 2PC participant (DlfmServer).
-inline constexpr const char* kDlfmPrepareBeforeHarden = "dlfm.prepare.before_harden";
-inline constexpr const char* kDlfmPrepareAfterHarden = "dlfm.prepare.after_harden";
-inline constexpr const char* kDlfmCommitAttempt = "dlfm.commit.attempt";
-inline constexpr const char* kDlfmCommitBeforeHarden = "dlfm.commit.before_harden";
-inline constexpr const char* kDlfmCommitAfterHarden = "dlfm.commit.after_harden";
-inline constexpr const char* kDlfmAbortAttempt = "dlfm.abort.attempt";
+inline const char* kDlfmPrepareBeforeHarden = Register("dlfm.prepare.before_harden");
+inline const char* kDlfmPrepareAfterHarden = Register("dlfm.prepare.after_harden");
+inline const char* kDlfmCommitAttempt = Register("dlfm.commit.attempt");
+inline const char* kDlfmCommitBeforeHarden = Register("dlfm.commit.before_harden");
+inline const char* kDlfmCommitAfterHarden = Register("dlfm.commit.after_harden");
+inline const char* kDlfmAbortAttempt = Register("dlfm.abort.attempt");
 // DLFM daemons.
-inline constexpr const char* kDlfmCopyStore = "dlfm.copy.store";
-inline constexpr const char* kDlfmCopyAfterStore = "dlfm.copy.after_store";
-inline constexpr const char* kDlfmDeleteGroupRound = "dlfm.dg.round";
+inline const char* kDlfmCopyStore = Register("dlfm.copy.store");
+inline const char* kDlfmCopyAfterStore = Register("dlfm.copy.after_store");
+inline const char* kDlfmDeleteGroupRound = Register("dlfm.dg.round");
+// Embedded engine (sqldb).  The engine shares its process's injector — a
+// "sqldb.*" point armed on a DLFM's injector fires inside that DLFM's local
+// database; armed on the host injector it fires inside the host database.
+inline const char* kSqldbWalForce = Register("sqldb.wal.force");
+inline const char* kSqldbWalTornTail = Register("sqldb.wal.torn_tail");
+inline const char* kSqldbCheckpointWrite = Register("sqldb.checkpoint.write");
+inline const char* kSqldbCheckpointAuto = Register("sqldb.checkpoint.auto");
+inline const char* kSqldbBtreeSplit = Register("sqldb.btree.split");
 }  // namespace failpoints
 
 class FaultInjector {

@@ -112,7 +112,8 @@ std::unique_ptr<sqldb::Database> OpenLocalDbOrDie(
   return std::move(db).value();
 }
 
-sqldb::DatabaseOptions ToDbOptions(const DlfmOptions& o) {
+sqldb::DatabaseOptions ToDbOptions(const DlfmOptions& o,
+                                   std::shared_ptr<FaultInjector> fault) {
   sqldb::DatabaseOptions d;
   d.name = "dlfm_local@" + o.server_name;
   d.next_key_locking = o.next_key_locking;
@@ -120,7 +121,9 @@ sqldb::DatabaseOptions ToDbOptions(const DlfmOptions& o) {
   d.lock_escalation_threshold = o.lock_escalation_threshold;
   d.lock_list_capacity = o.lock_list_capacity;
   d.log_capacity_bytes = o.log_capacity_bytes;
+  d.checkpoint_threshold_bytes = o.checkpoint_threshold_bytes;
   d.clock = o.clock;
+  d.fault = std::move(fault);  // "sqldb.*" points fire inside this DLFM's engine
   return d;
 }
 }  // namespace
@@ -133,7 +136,7 @@ DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
       fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
       fs_(fs),
       archive_(archive),
-      db_(OpenLocalDbOrDie(ToDbOptions(options_), std::move(durable))),
+      db_(OpenLocalDbOrDie(ToDbOptions(options_, fault_), std::move(durable))),
       repo_(db_.get()),
       chown_(fs, "dlfm-chown-secret") {}
 
@@ -141,6 +144,15 @@ DlfmServer::~DlfmServer() { Stop(); }
 
 Status DlfmServer::Start() {
   DLX_RETURN_IF_ERROR(repo_.CreateSchema());
+  // Restart processing: reconcile temp tables are scratch state of the
+  // reconcile utility.  The session counter that names them is volatile, so
+  // a table surviving a crash (or an abandoned host-side session) would
+  // collide with the first post-restart reconcile.  Drop any leftovers.
+  for (const std::string& name : db_->TableNames()) {
+    if (name.rfind("recon_tmp_", 0) != 0) continue;
+    auto tid = db_->TableByName(name);
+    if (tid.ok()) (void)db_->DropTable(*tid);
+  }
   if (options_.hand_crafted_stats) {
     DLX_RETURN_IF_ERROR(repo_.ApplyHandCraftedStats());
   }
@@ -1253,6 +1265,13 @@ DlfmServer::ApiReconcileRun(int64_t session) {
   Transaction* t = db_->Begin();
   auto fail = [&](Status st) {
     (void)db_->Rollback(t);
+    // The host gives up on the whole reconcile when a run fails; drop the
+    // scratch table now instead of leaking it until the next restart.
+    {
+      std::lock_guard<std::mutex> lk(recon_mu_);
+      recon_sessions_.erase(session);
+    }
+    (void)db_->DropTable(tid);
     return st;
   };
 

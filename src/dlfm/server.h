@@ -77,6 +77,9 @@ struct DlfmOptions {
   size_t lock_escalation_threshold = 4000;
   size_t lock_list_capacity = 200000;
   size_t log_capacity_bytes = 8ull << 20;
+  /// Auto-checkpoint threshold for the local engine (0 = capacity/2); crash
+  /// tests shrink it so "sqldb.checkpoint.*" fail points become reachable.
+  size_t checkpoint_threshold_bytes = 0;
 
   /// Keep the last N host-database backups' worth of unlinked entries (§3).
   int keep_backups = 2;

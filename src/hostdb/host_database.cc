@@ -32,12 +32,15 @@ std::unique_ptr<sqldb::Database> OpenOrDie(sqldb::DatabaseOptions opts,
   return std::move(db).value();
 }
 
-sqldb::DatabaseOptions ToDbOptions(const HostOptions& o) {
+sqldb::DatabaseOptions ToDbOptions(const HostOptions& o,
+                                   std::shared_ptr<FaultInjector> fault) {
   sqldb::DatabaseOptions d;
   d.name = o.name;
   d.lock_timeout_micros = o.lock_timeout_micros;
   d.log_capacity_bytes = o.log_capacity_bytes;
+  d.checkpoint_threshold_bytes = o.checkpoint_threshold_bytes;
   d.clock = o.clock;
+  d.fault = std::move(fault);  // "sqldb.*" fail points fire inside the host engine
   return d;
 }
 
@@ -71,7 +74,7 @@ HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableSt
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : SystemClock::Instance()),
       fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
-      db_(OpenOrDie(ToDbOptions(options_), std::move(durable))),
+      db_(OpenOrDie(ToDbOptions(options_, fault_), std::move(durable))),
       tokens_(options_.token_secret, clock_) {
   Status st = LoadCatalog();
   if (!st.ok()) {

@@ -44,6 +44,10 @@ struct HostOptions {
 
   int64_t lock_timeout_micros = 500 * 1000;
   size_t log_capacity_bytes = 64ull << 20;
+  /// Auto-checkpoint threshold for the embedded engine (0 = capacity/2).
+  /// Crash tests shrink this so "sqldb.checkpoint.*" fail points are
+  /// reachable within a short workload.
+  size_t checkpoint_threshold_bytes = 0;
   std::string token_secret = "datalinks-token-secret";
   std::shared_ptr<Clock> clock;
 

@@ -65,6 +65,10 @@ void BTree::InsertIntoLeaf(Node* leaf, const Key& key, RowId rid) {
 }
 
 void BTree::SplitNode(Node* node) {
+  // "sqldb.btree.split" models a crash/error mid-split: the split is
+  // abandoned, leaving the node transiently overfull (<= kFanout + 1, which
+  // CheckInvariants permits).  The next insert into the node retries it.
+  if (fault_ != nullptr && fault_->Hit(failpoints::kSqldbBtreeSplit, clock_)) return;
   auto right = std::make_unique<Node>();
   Node* r = right.get();
   r->leaf = node->leaf;

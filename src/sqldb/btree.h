@@ -15,6 +15,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/fault_injector.h"
 #include "sqldb/schema.h"
 #include "sqldb/value.h"
 
@@ -70,6 +72,15 @@ class BTree {
   /// bounds).  Test hook; aborts on violation.
   void CheckInvariants() const;
 
+  /// Wire up the owning process's fail-point injector.  When set, SplitNode
+  /// probes "sqldb.btree.split": a firing point abandons the split, leaving
+  /// a transiently overfull (but structurally legal) node that the next
+  /// insert into it re-splits.
+  void set_fault(FaultInjector* fault, Clock* clock) {
+    fault_ = fault;
+    clock_ = clock;
+  }
+
  private:
   struct Node;
 
@@ -82,6 +93,8 @@ class BTree {
   std::unique_ptr<Node> root_holder_;
   Node* root_ = nullptr;
   size_t size_ = 0;
+  FaultInjector* fault_ = nullptr;  // not owned; may be nullptr
+  Clock* clock_ = nullptr;
 };
 
 }  // namespace datalinks::sqldb

@@ -65,8 +65,10 @@ std::string AccessPath::ToString() const {
 Database::Database(DatabaseOptions options, std::shared_ptr<DurableStore> durable)
     : options_(std::move(options)), durable_(std::move(durable)) {
   clock_ = options_.clock ? options_.clock : SystemClock::Instance();
+  fault_ = options_.fault;
   if (!durable_) durable_ = std::make_shared<DurableStore>();
-  wal_ = std::make_unique<WriteAheadLog>(durable_, options_.log_capacity_bytes);
+  wal_ = std::make_unique<WriteAheadLog>(durable_, options_.log_capacity_bytes, fault_.get(),
+                                         clock_.get());
   lock_manager_ = std::make_unique<LockManager>(clock_);
 }
 
@@ -235,6 +237,7 @@ Status Database::DeserializeLocked(const std::string& image) {
       }
       ix->id = static_cast<IndexId>(iid);
       ix->def.table = t->id;
+      ix->tree.set_fault(fault_.get(), clock_.get());
       t->indexes.push_back(std::move(ix));
     }
     uint64_t slot_count, nlive;
@@ -382,7 +385,13 @@ Status Database::CheckpointLocked() {
   std::vector<std::shared_lock<std::shared_mutex>> latches;
   latches.reserve(tables_.size());
   for (auto& [tid, t] : tables_) latches.emplace_back(t->latch);
-  wal_->ForceAll();
+  DLX_RETURN_IF_ERROR(wal_->ForceAll());
+  // "sqldb.checkpoint.write" models failing to write the image itself: the
+  // log is forced but the old image stays — recovery simply replays a
+  // longer forced suffix, which must be equivalent.
+  if (fault_ != nullptr) {
+    if (auto f = fault_->Hit(failpoints::kSqldbCheckpointWrite, clock_.get())) return *f;
+  }
   const Lsn lsn = wal_->last_lsn();
   durable_->SetCheckpoint(SerializeLocked(), lsn);
   wal_->OnCheckpoint(lsn);
@@ -404,6 +413,11 @@ void Database::MaybeAutoCheckpoint() {
   // failure mode the paper's batched commits avoid).
   const size_t pinned = wal_->BytesPinnedByActiveTxns();
   if (wal_->BytesInUse() - pinned < threshold / 2) return;
+  // "sqldb.checkpoint.auto" models the background checkpointer dying before
+  // it runs: the checkpoint is skipped and the log keeps growing.
+  if (fault_ != nullptr) {
+    if (fault_->Hit(failpoints::kSqldbCheckpointAuto, clock_.get())) return;
+  }
   std::unique_lock<std::shared_mutex> lk(catalog_mu_);
   (void)CheckpointLocked();
 }
@@ -411,6 +425,43 @@ void Database::MaybeAutoCheckpoint() {
 std::shared_ptr<DurableStore> Database::SimulateCrash() {
   crashed_.store(true);
   return durable_;
+}
+
+Status Database::CheckIntegrity() const {
+  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  for (const auto& [tid, t] : tables_) {
+    std::shared_lock<std::shared_mutex> latch(t->latch);
+    const size_t live = t->heap.live_count();
+    for (const auto& ix : t->indexes) {
+      ix->tree.CheckInvariants();
+      std::vector<BTreeEntry> entries;
+      ix->tree.ScanRange(nullptr, false, nullptr, false, &entries);
+      if (entries.size() != live) {
+        return Status::Corruption("index " + ix->def.name + " has " +
+                                  std::to_string(entries.size()) + " entries for " +
+                                  std::to_string(live) + " live rows in table " +
+                                  t->schema.name);
+      }
+      std::unordered_set<RowId> seen;
+      for (const BTreeEntry& e : entries) {
+        if (!t->heap.Valid(e.rid)) {
+          return Status::Corruption("index " + ix->def.name + " entry points at dead row " +
+                                    std::to_string(e.rid) + " in table " + t->schema.name);
+        }
+        if (!seen.insert(e.rid).second) {
+          return Status::Corruption("index " + ix->def.name + " references row " +
+                                    std::to_string(e.rid) + " twice in table " +
+                                    t->schema.name);
+        }
+        const Key k = ExtractKey(*ix, t->heap.Get(e.rid));
+        if (CompareKeys(k, e.key) != 0) {
+          return Status::Corruption("index " + ix->def.name + " key out of sync with row " +
+                                    std::to_string(e.rid) + " in table " + t->schema.name);
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -450,6 +501,7 @@ Result<IndexId> Database::CreateIndex(IndexDef def) {
   auto ix = std::make_unique<IndexState>();
   ix->id = next_index_id_++;
   ix->def = std::move(def);
+  ix->tree.set_fault(fault_.get(), clock_.get());
   IndexId id;
   {
     // Drain in-flight statements on this table before mutating its index
@@ -490,6 +542,15 @@ Result<TableId> Database::TableByName(std::string_view name) const {
   auto it = table_names_.find(std::string(name));
   if (it == table_names_.end()) return Status::NotFound("table " + std::string(name));
   return it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  std::vector<std::string> names;
+  names.reserve(table_names_.size());
+  for (const auto& [name, id] : table_names_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Result<TableSchema> Database::GetSchema(TableId table) const {
@@ -560,7 +621,21 @@ Status Database::Commit(Transaction* txn) {
   (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kCommit, 0, 0, {}, {}},
                      /*exempt=*/true, &commit_lsn);
   // Group commit: coalesce with concurrent committers behind one leader.
-  wal_->ForceTo(commit_lsn);
+  const Status forced = wal_->ForceTo(commit_lsn);
+  if (!forced.ok()) {
+    // The commit record never became durable: the transaction must not be
+    // reported committed.  Roll it back in memory (compensations + an ABORT
+    // record, all exempt) so the in-memory state matches what recovery
+    // reconstructs — the outcome map takes a transaction's LAST record, so
+    // whether or not a later force lands, this transaction resolves aborted.
+    // The handle stays alive (no FinishTxn): callers that Rollback() on the
+    // error path get a harmless no-op abort instead of a use-after-free.
+    (void)RollbackInternal(txn);
+    wal_->OnEnd(txn->id_);
+    lock_manager_->ReleaseAll(txn->id_);
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return forced;
+  }
   // Recycle the slots freed by this transaction's deletes.  Row locks are
   // still held, so nobody can have re-referenced them yet.
   TablePtr t;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "sqldb/btree.h"
@@ -86,6 +87,12 @@ struct DatabaseOptions {
   Isolation default_isolation = Isolation::kCS;
 
   std::shared_ptr<Clock> clock;  // defaults to SystemClock
+
+  /// Fail-point injector of the owning process (host database or one DLFM's
+  /// local database).  When set, the engine probes the "sqldb.*" fail
+  /// points: WAL force / torn tail, checkpoint write, auto-checkpoint,
+  /// B-tree split.  Optional; production paths treat nullptr as "no fault".
+  std::shared_ptr<FaultInjector> fault;
 };
 
 struct DatabaseStats {
@@ -162,6 +169,8 @@ class Database {
   Result<IndexId> CreateIndex(IndexDef def);
   Status DropTable(TableId table);
   Result<TableId> TableByName(std::string_view name) const;
+  /// All table names in the catalog, sorted.
+  std::vector<std::string> TableNames() const;
   Result<TableSchema> GetSchema(TableId table) const;
   std::vector<IndexDef> GetIndexes(TableId table) const;
   Result<IndexId> IndexByName(TableId table, std::string_view name) const;
@@ -207,6 +216,12 @@ class Database {
   /// Abandon all volatile state and return the durable store for re-Open.
   /// The database is unusable afterwards.  Callers must quiesce first.
   std::shared_ptr<DurableStore> SimulateCrash();
+
+  /// Physical consistency audit (for crash tests): every index's B-tree
+  /// passes its structural invariants, every index entry points at a live
+  /// heap row whose key matches, and every live heap row appears exactly
+  /// once in each of its table's indexes.  Quiesced callers only.
+  Status CheckIntegrity() const;
 
   // --- Introspection --------------------------------------------------------
   LockManager& lock_manager() { return *lock_manager_; }
@@ -320,6 +335,7 @@ class Database {
 
   DatabaseOptions options_;
   std::shared_ptr<Clock> clock_;
+  std::shared_ptr<FaultInjector> fault_;  // may be nullptr
   std::shared_ptr<DurableStore> durable_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<LockManager> lock_manager_;

@@ -1,9 +1,51 @@
 #include "sqldb/wal.h"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
 
 namespace datalinks::sqldb {
+
+namespace {
+
+// Little-endian fixed-width integers for the log frame.
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) x |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  in->remove_prefix(4);
+  *v = x;
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x |= static_cast<uint64_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  in->remove_prefix(8);
+  *v = x;
+  return true;
+}
+
+// FNV-1a 32-bit: cheap, deterministic, good enough to catch torn frames.
+uint32_t Checksum(std::string_view payload) {
+  uint32_t h = 2166136261u;
+  for (char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
 
 size_t LogRecord::ByteSize() const {
   if (byte_size_ == 0) {
@@ -19,6 +61,56 @@ size_t LogRecord::ByteSize() const {
     byte_size_ = n;
   }
   return byte_size_;
+}
+
+void LogRecord::EncodeTo(std::string* out) const {
+  std::string payload;
+  PutU64(&payload, lsn);
+  PutU64(&payload, txn);
+  payload.push_back(static_cast<char>(type));
+  PutU64(&payload, table);
+  PutU64(&payload, rid);
+  EncodeRowTo(before, &payload);
+  EncodeRowTo(after, &payload);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Checksum(payload));
+  out->append(payload);
+}
+
+std::string EncodeLogRecords(const std::vector<LogRecord>& records) {
+  std::string out;
+  for (const LogRecord& r : records) r.EncodeTo(&out);
+  return out;
+}
+
+std::vector<LogRecord> DecodeLogRecords(std::string_view bytes) {
+  std::vector<LogRecord> out;
+  while (!bytes.empty()) {
+    std::string_view rest = bytes;
+    uint32_t len = 0, sum = 0;
+    if (!GetU32(&rest, &len) || !GetU32(&rest, &sum)) break;  // torn header
+    if (rest.size() < len) break;                             // torn payload
+    std::string_view payload = rest.substr(0, len);
+    if (Checksum(payload) != sum) break;  // corrupt payload
+    LogRecord r;
+    uint64_t type_table_rid[2];
+    if (!GetU64(&payload, &r.lsn) || !GetU64(&payload, &r.txn) || payload.empty()) break;
+    r.type = static_cast<LogRecordType>(static_cast<unsigned char>(payload[0]));
+    payload.remove_prefix(1);
+    if (!GetU64(&payload, &type_table_rid[0]) || !GetU64(&payload, &type_table_rid[1])) break;
+    r.table = type_table_rid[0];
+    r.rid = type_table_rid[1];
+    Result<Row> before = DecodeRowFrom(&payload);
+    if (!before.ok()) break;
+    Result<Row> after = DecodeRowFrom(&payload);
+    if (!after.ok()) break;
+    if (!payload.empty()) break;  // trailing garbage inside the frame
+    r.before = std::move(*before);
+    r.after = std::move(*after);
+    out.push_back(std::move(r));
+    bytes = rest.substr(len);
+  }
+  return out;
 }
 
 void DurableStore::SetCheckpoint(std::string image, Lsn checkpoint_lsn) {
@@ -75,8 +167,28 @@ size_t DurableStore::forced_bytes() const {
   return forced_bytes_;
 }
 
-WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes)
-    : durable_(std::move(durable)), capacity_(capacity_bytes) {
+std::string DurableStore::EncodedLog() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const LogRecord& r : forced_) r.EncodeTo(&out);
+  return out;
+}
+
+size_t DurableStore::RestoreLogFromBytes(std::string_view bytes) {
+  std::vector<LogRecord> records = DecodeLogRecords(bytes);
+  std::lock_guard<std::mutex> lk(mu_);
+  forced_.clear();
+  forced_bytes_ = 0;
+  for (auto& r : records) {
+    forced_bytes_ += r.ByteSize();
+    forced_.push_back(std::move(r));
+  }
+  return forced_.size();
+}
+
+WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes,
+                             FaultInjector* fault, Clock* clock)
+    : durable_(std::move(durable)), capacity_(capacity_bytes), fault_(fault), clock_(clock) {
   // Resume LSN numbering past anything already durable (re-open after crash).
   next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), durable_->checkpoint_lsn()) + 1;
   checkpoint_lsn_ = durable_->checkpoint_lsn();
@@ -140,10 +252,13 @@ Status WriteAheadLog::Append(LogRecord record, bool exempt, Lsn* assigned) {
   return Status::OK();
 }
 
-void WriteAheadLog::ForceTo(Lsn lsn) {
+Status WriteAheadLog::ForceTo(Lsn lsn) {
   std::unique_lock<std::mutex> lk(mu_);
   lsn = std::min(lsn, next_lsn_ - 1);
   while (durable_upto_ < lsn) {
+    if (fault_ != nullptr && fault_->crashed()) {
+      return Status::Unavailable("process crashed; log force abandoned");
+    }
     if (force_leader_active_) {
       // Follower: a leader is flushing.  Wait until its batch lands OR the
       // durable frontier already covers us — the next leader re-raises
@@ -154,6 +269,20 @@ void WriteAheadLog::ForceTo(Lsn lsn) {
       force_cv_.wait(lk, [&] { return !force_leader_active_ || durable_upto_ >= lsn; });
       continue;
     }
+    if (tail_.empty()) {
+      // Only possible after a torn-tail error dropped volatile records: the
+      // requested LSNs no longer exist anywhere and can never become durable.
+      return Status::IOError("log records lost by an earlier failed force");
+    }
+    // Leader-elect.  "sqldb.wal.force" models the fsync itself failing:
+    // nothing was written, the whole tail stays volatile, and the caller
+    // must not treat its transaction as committed.
+    if (fault_ != nullptr) {
+      if (auto f = fault_->Hit(failpoints::kSqldbWalForce, clock_)) {
+        force_cv_.notify_all();
+        return *f;
+      }
+    }
     // Leader: detach the whole tail (it includes records appended by
     // concurrent committers after `lsn` — they ride along in this batch and
     // their ForceTo returns without a second durable append).
@@ -161,12 +290,41 @@ void WriteAheadLog::ForceTo(Lsn lsn) {
     std::vector<LogRecord> batch;
     batch.swap(tail_);
     tail_bytes_ = 0;
-    const Lsn target = batch.back().lsn;  // tail non-empty: durable_upto_ < lsn
+    const Lsn target = batch.back().lsn;  // tail non-empty: checked above
     size_t commits = 0;
     for (const LogRecord& r : batch) {
       if (r.type == LogRecordType::kCommit || r.type == LogRecordType::kAbort) ++commits;
     }
     const size_t nrecords = batch.size();
+    // "sqldb.wal.torn_tail" models a crash mid-write of this batch: the log
+    // file ends inside the final record's frame.  Round-trip the batch
+    // through the byte codec, cut halfway into the last frame, and make
+    // durable only the longest valid decoded prefix — the rest of the batch
+    // is lost, exactly as a real torn write loses it.
+    if (fault_ != nullptr) {
+      if (auto f = fault_->Hit(failpoints::kSqldbWalTornTail, clock_)) {
+        const std::string encoded = EncodeLogRecords(batch);
+        std::string last_frame;
+        batch.back().EncodeTo(&last_frame);
+        const size_t cut = encoded.size() - last_frame.size() + last_frame.size() / 2;
+        std::vector<LogRecord> prefix =
+            DecodeLogRecords(std::string_view(encoded).substr(0, cut));
+        if (!prefix.empty()) {
+          durable_upto_ = prefix.back().lsn;
+          ++forces_;
+          group_commit_records_ += prefix.size();
+          for (const LogRecord& r : prefix) {
+            if (r.type == LogRecordType::kCommit || r.type == LogRecordType::kAbort) {
+              ++group_commit_commits_;
+            }
+          }
+          durable_->AppendForced(std::move(prefix));
+        }
+        force_leader_active_ = false;
+        force_cv_.notify_all();
+        return *f;
+      }
+    }
     lk.unlock();
     durable_->AppendForced(std::move(batch));  // the "I/O", outside the WAL mutex
     lk.lock();
@@ -177,15 +335,16 @@ void WriteAheadLog::ForceTo(Lsn lsn) {
     force_leader_active_ = false;
     force_cv_.notify_all();
   }
+  return Status::OK();
 }
 
-void WriteAheadLog::ForceAll() {
+Status WriteAheadLog::ForceAll() {
   Lsn last;
   {
     std::lock_guard<std::mutex> lk(mu_);
     last = next_lsn_ - 1;
   }
-  ForceTo(last);
+  return ForceTo(last);
 }
 
 void WriteAheadLog::OnBegin(TxnId txn, Lsn begin_lsn) {

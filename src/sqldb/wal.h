@@ -27,8 +27,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "sqldb/schema.h"
@@ -66,9 +69,22 @@ struct LogRecord {
   /// append, and the size is consulted at append, force and truncate time).
   size_t ByteSize() const;
 
+  /// Byte codec used for the on-"disk" log representation: a
+  /// [u32 length][u32 checksum][payload] frame per record, so a torn write
+  /// (partial frame, corrupt payload) is detectable at decode time.
+  void EncodeTo(std::string* out) const;
+
  private:
   mutable size_t byte_size_ = 0;
 };
+
+/// Encode records back-to-back in log order.
+std::string EncodeLogRecords(const std::vector<LogRecord>& records);
+
+/// Decode the longest valid prefix of an encoded log: decoding stops at the
+/// first torn frame (short length, checksum mismatch, undecodable payload)
+/// — exactly what reading the log file after a crash mid-write yields.
+std::vector<LogRecord> DecodeLogRecords(std::string_view bytes);
 
 /// The state that survives a simulated crash: the last checkpoint image and
 /// the forced log suffix.  Shared between a live Database and the test
@@ -89,6 +105,13 @@ class DurableStore {
 
   Lsn max_forced_lsn() const;
   size_t forced_bytes() const;
+
+  /// The forced log in its encoded (framed) byte form.
+  std::string EncodedLog() const;
+  /// Replace the forced log with the longest valid record prefix decoded
+  /// from `bytes` (reading a possibly-torn log file after a crash).
+  /// Returns the number of records restored.
+  size_t RestoreLogFromBytes(std::string_view bytes);
 
   /// Simulated media latency per forced append (benchmarks model the log
   /// disk's write latency with this; default 0 = instantaneous).
@@ -127,7 +150,10 @@ struct WalStats {
 /// matches apply order); ForceTo runs the group-commit protocol.
 class WriteAheadLog {
  public:
-  WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes);
+  /// `fault`/`clock` are optional: when set, ForceTo probes the
+  /// "sqldb.wal.force" and "sqldb.wal.torn_tail" fail points (see wal.cc).
+  WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes,
+                FaultInjector* fault = nullptr, Clock* clock = nullptr);
 
   /// Append a record; assigns the LSN (returned through `assigned` when
   /// non-null).  Fails with kLogFull if retained log bytes (truncation
@@ -143,9 +169,12 @@ class WriteAheadLog {
   /// Make everything up to and including `lsn` durable.  Concurrent callers
   /// coalesce: one leader moves the whole tail into the DurableStore in a
   /// single append; followers wait until the durable frontier covers their
-  /// LSN (group commit).
-  void ForceTo(Lsn lsn);
-  void ForceAll();
+  /// LSN (group commit).  Fails when the fail points "sqldb.wal.force" or
+  /// "sqldb.wal.torn_tail" fire (or the process already crashed): the
+  /// caller's records are NOT durable and the caller must not report its
+  /// transaction committed.
+  Status ForceTo(Lsn lsn);
+  Status ForceAll();
 
   /// Transaction lifecycle hooks for space accounting.
   void OnBegin(TxnId txn, Lsn begin_lsn);
@@ -166,6 +195,8 @@ class WriteAheadLog {
 
   std::shared_ptr<DurableStore> durable_;
   const size_t capacity_;
+  FaultInjector* fault_ = nullptr;  // not owned; may be nullptr
+  Clock* clock_ = nullptr;          // not owned; used by delay fail points
 
   mutable std::mutex mu_;
   std::vector<LogRecord> tail_;           // not yet forced

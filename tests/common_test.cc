@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/random.h"
@@ -186,6 +193,141 @@ TEST(FaultInjector, DisarmAndResetClear) {
   EXPECT_FALSE(inj.Hit("p").has_value());
   EXPECT_FALSE(inj.crashed());
   EXPECT_EQ(inj.HitCount("p"), 1u);
+}
+
+// The semantics below are what the crash fuzzer leans on: arming choices
+// are drawn from the registry, a latched crash must dominate every later
+// probe (including freshly armed ones), and a rebuilt process starts from a
+// clean injector that can be re-armed.
+
+TEST(FaultInjector, RegistryEnumeratesAllPoints) {
+  const std::vector<std::string> names = failpoints::Registry();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // No duplicates even though inline-variable initializers may run the
+  // registrations in several translation units.
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  // Spot-check each layer: host 2PC, DLFM 2PC, daemons, engine.
+  EXPECT_TRUE(has("host.commit.after_prepare"));
+  EXPECT_TRUE(has("dlfm.prepare.after_harden"));
+  EXPECT_TRUE(has("dlfm.copy.after_store"));
+  EXPECT_TRUE(has("sqldb.wal.force"));
+  EXPECT_TRUE(has("sqldb.wal.torn_tail"));
+  EXPECT_TRUE(has("sqldb.checkpoint.write"));
+  EXPECT_TRUE(has("sqldb.checkpoint.auto"));
+  EXPECT_TRUE(has("sqldb.btree.split"));
+  EXPECT_GE(names.size(), 18u);
+}
+
+TEST(FaultInjector, RegisterIsIdempotent) {
+  const size_t before = failpoints::Registry().size();
+  EXPECT_STREQ(failpoints::Register("host.commit.after_prepare"),
+               "host.commit.after_prepare");
+  EXPECT_EQ(failpoints::Registry().size(), before);
+}
+
+TEST(FaultInjector, ArmAfterCrashStillFailsEveryPoint) {
+  FaultInjector inj;
+  FaultInjector::Spec crash;
+  crash.action = FaultInjector::Action::kCrash;
+  inj.Arm("a", crash);
+  ASSERT_TRUE(inj.Hit("a").has_value());
+  ASSERT_TRUE(inj.crashed());
+  // Arming a NEW point on a dead process must not resurrect it: the crash
+  // latch dominates whatever is armed afterwards.
+  FaultInjector::Spec err;
+  inj.Arm("b", err);
+  auto f = inj.Hit("b");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->IsUnavailable());  // not the armed IOError
+  EXPECT_EQ(inj.crash_point(), "a");
+}
+
+TEST(FaultInjector, ResetRearmsAfterRebuild) {
+  // The fuzzer's restart protocol: the "new process" either gets a fresh
+  // injector or Reset() of the old one; either way points must be armable
+  // and fire again.
+  FaultInjector inj;
+  FaultInjector::Spec crash;
+  crash.action = FaultInjector::Action::kCrash;
+  inj.Arm("p", crash);
+  ASSERT_TRUE(inj.Hit("p").has_value());
+  ASSERT_TRUE(inj.crashed());
+  inj.Reset();
+  EXPECT_FALSE(inj.crashed());
+  EXPECT_FALSE(inj.Hit("p").has_value());  // disarmed by Reset
+  inj.Arm("p", crash);
+  auto f = inj.Hit("p");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(inj.crashed());  // fires again after re-arm
+}
+
+TEST(FaultInjector, DelaySleepsOnceThenPassesThrough) {
+  FaultInjector inj;
+  SimClock clock(0);
+  FaultInjector::Spec spec;
+  spec.action = FaultInjector::Action::kDelay;
+  spec.delay_micros = 100;
+  spec.hits = 1;
+  inj.Arm("slow", spec);
+  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());
+  EXPECT_EQ(clock.NowMicros(), 100);
+  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());  // budget spent
+  EXPECT_EQ(clock.NowMicros(), 100);                  // no second sleep
+}
+
+TEST(FaultInjector, DelayWithoutClockDoesNotFire) {
+  FaultInjector inj;
+  FaultInjector::Spec spec;
+  spec.action = FaultInjector::Action::kDelay;
+  spec.delay_micros = 1000000;
+  inj.Arm("slow", spec);
+  // Probes that pass no clock (pure metadata paths) skip the sleep rather
+  // than blocking on a wall clock the test does not control.
+  EXPECT_FALSE(inj.Hit("slow").has_value());
+}
+
+TEST(FaultInjector, ConcurrentArmingAndProbingIsSafe) {
+  // The fuzzer arms points from the driver thread while session threads
+  // probe concurrently; this must be free of data races (TSan job) and
+  // every probe must see either "dormant" or the armed spec, never torn
+  // state.  A final crash must latch exactly one crash point.
+  FaultInjector inj;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> fired{0};
+  std::vector<std::thread> probers;
+  const std::vector<std::string> points = failpoints::Registry();
+  for (int t = 0; t < 4; ++t) {
+    probers.emplace_back([&, t] {
+      size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (inj.Hit(points[i % points.size()].c_str()).has_value()) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+  FaultInjector::Spec err;
+  err.hits = -1;
+  for (int round = 0; round < 200; ++round) {
+    const std::string& p = points[round % points.size()];
+    inj.Arm(p, err);
+    inj.Disarm(p);
+  }
+  FaultInjector::Spec crash;
+  crash.action = FaultInjector::Action::kCrash;
+  for (const std::string& p : points) inj.Arm(p, crash);
+  while (!inj.crashed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& th : probers) th.join();
+  EXPECT_TRUE(inj.crashed());
+  EXPECT_FALSE(inj.crash_point().empty());
+  EXPECT_GE(fired.load(), 1u);
 }
 
 }  // namespace

@@ -17,7 +17,10 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "archive/archive_server.h"
 #include "common/fault_injector.h"
@@ -54,10 +57,28 @@ class CrashMatrixTest : public ::testing::Test {
     if (dlfm2_) dlfm2_->Stop();
   }
 
+  /// Tear down and rebuild the whole world from scratch (fresh file
+  /// servers, archive, injectors, durable stores).  Lets one TEST_F body
+  /// run many independent matrix cases in a loop.
+  void ResetWorld() {
+    host_.reset();
+    if (dlfm1_) dlfm1_->Stop();
+    if (dlfm2_) dlfm2_->Stop();
+    dlfm1_.reset();
+    dlfm2_.reset();
+    fs1_ = std::make_unique<fsim::FileServer>("srv1");
+    fs2_ = std::make_unique<fsim::FileServer>("srv2");
+    archive_ = std::make_unique<archive::ArchiveServer>();
+    StartDlfm(1);
+    StartDlfm(2);
+    MakeHost(/*sync=*/true);
+  }
+
   void StartDlfm(int idx, std::shared_ptr<sqldb::DurableStore> durable = {}) {
     dlfm::DlfmOptions opts;
     opts.server_name = idx == 1 ? "srv1" : "srv2";
     opts.commit_batch_size = 4;  // several Delete Group rounds for ~10 files
+    opts.checkpoint_threshold_bytes = checkpoint_threshold_;
     auto inj = std::make_shared<FaultInjector>();
     opts.fault = inj;
     auto& slot = idx == 1 ? dlfm1_ : dlfm2_;
@@ -71,6 +92,7 @@ class CrashMatrixTest : public ::testing::Test {
     hostdb::HostOptions hopts;
     hopts.dbid = 1;
     hopts.synchronous_commit = sync;
+    hopts.checkpoint_threshold_bytes = checkpoint_threshold_;
     fault_host_ = std::make_shared<FaultInjector>();
     hopts.fault = fault_host_;
     host_ = std::make_unique<hostdb::HostDatabase>(hopts, std::move(durable));
@@ -226,7 +248,7 @@ class CrashMatrixTest : public ::testing::Test {
     CheckInvariants(committed);
   }
 
-  void ArmCrash(FaultInjector* inj, const char* point, int skip = 0) {
+  void ArmCrash(FaultInjector* inj, const std::string& point, int skip = 0) {
     FaultInjector::Spec spec;
     spec.action = FaultInjector::Action::kCrash;
     spec.skip = skip;
@@ -239,6 +261,9 @@ class CrashMatrixTest : public ::testing::Test {
   std::shared_ptr<FaultInjector> fault1_, fault2_, fault_host_;
   std::unique_ptr<hostdb::HostDatabase> host_;
   sqldb::TableId media_ = 0;
+  /// Auto-checkpoint threshold applied to every engine on the next
+  /// (Re)Start; 0 = engine default.  Shrunk by checkpoint-point cases.
+  size_t checkpoint_threshold_ = 0;
 };
 
 // --------------------------------------------------------------------------
@@ -249,72 +274,142 @@ TEST_F(CrashMatrixTest, SanityNoCrashCommits) {
   RunTwoPcCrashCase([] {}, /*committed=*/true);
 }
 
-TEST_F(CrashMatrixTest, HostCrashAfterPrepare) {
-  // All DLFMs prepared, no decision written: presumed abort.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitAfterPrepare); },
-      /*committed=*/false);
-}
-
-TEST_F(CrashMatrixTest, HostCrashAfterDecisionWrite) {
-  // Decision inserted but not yet forced with the local commit: still abort.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitAfterDecisionWrite); },
-      /*committed=*/false);
-}
-
-TEST_F(CrashMatrixTest, HostCrashBeforePhase2) {
-  // Decision forced, no DLFM heard it: restart must finish the commit.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitBeforePhase2); },
-      /*committed=*/true);
-}
-
-TEST_F(CrashMatrixTest, HostCrashBetweenPhase2Sends) {
-  // srv1 got phase-2 commit, srv2 did not: redelivery completes both.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault_host_.get(), failpoints::kHostCommitBetweenPhase2); },
-      /*committed=*/true);
-}
-
 // --------------------------------------------------------------------------
-// DLFM 2PC-participant crash points (srv1 crashes).
+// Registry-enumerated matrix: every registered fail point must either have
+// an expectation below (and is then crash-tested against the standard 2PC
+// workload) or an entry in the skip list naming the dedicated test that
+// covers it.  Adding a new fail point anywhere in the codebase makes this
+// test fail until the point is covered one way or the other.
 // --------------------------------------------------------------------------
 
-TEST_F(CrashMatrixTest, DlfmCrashBeforePrepareHarden) {
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmPrepareBeforeHarden); },
-      /*committed=*/false);
+TEST_F(CrashMatrixTest, RegistryEnumeratedCrashMatrix) {
+  struct MatrixCase {
+    enum Target { kHost, kDlfm1 };
+    Target target;
+    bool committed;  // expected outcome of the crashed transaction
+    size_t checkpoint_threshold = 0;  // 0 = engine default
+  };
+  constexpr size_t kTinyCheckpoint = 64;  // every commit auto-checkpoints
+
+  // Expected outcomes.  2PC points follow the presumed-abort protocol: the
+  // outcome is "committed" iff the decision record was durably forced at
+  // the host before the crash.  Engine ("sqldb.*") points crash inside
+  // whichever process's database they are armed on:
+  //  - a WAL force/torn-tail crash on the host kills the decision commit
+  //    itself, so the decision never becomes durable -> abort; on a DLFM it
+  //    kills prepare-time hardening -> prepare fails -> abort;
+  //  - checkpoint points fire AFTER the commit force (auto-checkpoint runs
+  //    at the end of Database::Commit; the image write happens after
+  //    ForceAll), so on the host the decision is already durable -> commit,
+  //    while on a DLFM the host still sees the prepare ack fail (the
+  //    latched injector kills the post-harden probe) -> presumed abort.
+  const std::map<std::string, std::vector<MatrixCase>> expectations = {
+      {"host.commit.after_prepare", {{MatrixCase::kHost, false}}},
+      {"host.commit.after_decision_write", {{MatrixCase::kHost, false}}},
+      {"host.commit.before_phase2", {{MatrixCase::kHost, true}}},
+      {"host.commit.between_phase2", {{MatrixCase::kHost, true}}},
+      {"dlfm.prepare.before_harden", {{MatrixCase::kDlfm1, false}}},
+      {"dlfm.prepare.after_harden", {{MatrixCase::kDlfm1, false}}},
+      {"dlfm.commit.attempt", {{MatrixCase::kDlfm1, true}}},
+      {"dlfm.commit.before_harden", {{MatrixCase::kDlfm1, true}}},
+      {"dlfm.commit.after_harden", {{MatrixCase::kDlfm1, true}}},
+      {"sqldb.wal.force", {{MatrixCase::kHost, false}, {MatrixCase::kDlfm1, false}}},
+      {"sqldb.wal.torn_tail", {{MatrixCase::kHost, false}, {MatrixCase::kDlfm1, false}}},
+      {"sqldb.checkpoint.write",
+       {{MatrixCase::kHost, true, kTinyCheckpoint},
+        {MatrixCase::kDlfm1, false, kTinyCheckpoint}}},
+      {"sqldb.checkpoint.auto",
+       {{MatrixCase::kHost, true, kTinyCheckpoint},
+        {MatrixCase::kDlfm1, false, kTinyCheckpoint}}},
+  };
+
+  // Points with dedicated tests (workloads the standard 2PC case cannot
+  // express).  Every entry must say where the coverage lives.
+  const std::map<std::string, std::string> skip_list = {
+      {"dlfm.abort.attempt",
+       "compound arming (peer prepare error + local crash); covered by "
+       "CrashMatrixTest.DlfmCrashDuringAbort"},
+      {"dlfm.copy.store",
+       "archive-store error path; covered by "
+       "DlfmTest.CopyDaemonRetriesFailedArchiveStore in dlfm_server_test"},
+      {"dlfm.copy.after_store",
+       "covered by CrashMatrixTest.CopyDaemonCrashBetweenStoreAndDelete"},
+      {"dlfm.dg.round",
+       "covered by CrashMatrixTest.DeleteGroupDaemonCrashMidGroup"},
+      {"sqldb.btree.split",
+       "needs a bulk-link workload to overflow an index node; covered by "
+       "CrashMatrixTest.SqldbBtreeSplitCrashDuringBulkLink"},
+  };
+
+  for (const std::string& point : failpoints::Registry()) {
+    if (skip_list.count(point) != 0) continue;
+    auto it = expectations.find(point);
+    ASSERT_NE(it, expectations.end())
+        << "fail point '" << point << "' is neither matrix-covered nor "
+        << "skip-listed: add an expectation to RegistryEnumeratedCrashMatrix "
+        << "or a skip_list entry naming its dedicated test";
+    for (const MatrixCase& c : it->second) {
+      SCOPED_TRACE(point + (c.target == MatrixCase::kHost ? " @host" : " @dlfm1"));
+      checkpoint_threshold_ = c.checkpoint_threshold;
+      ResetWorld();
+      checkpoint_threshold_ = 0;
+      if (::testing::Test::HasFatalFailure()) return;
+      FaultInjector* inj =
+          c.target == MatrixCase::kHost ? fault_host_.get() : fault1_.get();
+      RunTwoPcCrashCase([&] { ArmCrash(inj, point); }, c.committed);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
 }
 
-TEST_F(CrashMatrixTest, DlfmCrashAfterPrepareHarden) {
-  // srv1 hardened its 'P' state and died before acking: the host aborts the
-  // transaction; restart resolution must compensate srv1's hardened work.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmPrepareAfterHarden); },
-      /*committed=*/false);
-}
+TEST_F(CrashMatrixTest, SqldbBtreeSplitCrashDuringBulkLink) {
+  // Host user tables have no secondary indexes, so the split point is only
+  // reachable inside a DLFM's local database.  Link enough files on srv1 in
+  // one transaction to overflow a File-table index node (fanout 32); the
+  // armed crash abandons the split mid-operation and latches the injector,
+  // so the transaction aborts and restart recovery must leave physically
+  // consistent structures behind.
+  CreateMediaTable();
+  CommitBaseline();
+  constexpr int kFiles = 40;
+  for (int i = 0; i < kFiles; ++i) {
+    MakeFile(fs1_.get(), "bulk_" + std::to_string(i));
+  }
+  ArmCrash(fault1_.get(), failpoints::kSqldbBtreeSplit);
+  {
+    auto s = host_->OpenSession();
+    ASSERT_TRUE(s->Begin().ok());
+    for (int i = 0; i < kFiles; ++i) {
+      if (!s->Insert(media_, MediaRow(10 + i, "dlfs://srv1/bulk_" + std::to_string(i)))
+               .ok()) {
+        break;  // the latched crash makes srv1 unavailable mid-bulk
+      }
+    }
+    (void)s->Commit();
+  }
+  EXPECT_TRUE(fault1_->crashed()) << "bulk link never split an index node";
 
-TEST_F(CrashMatrixTest, DlfmCrashAtCommitAttempt) {
-  // Decision durable at the host; srv1 dies before any phase-2 work.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmCommitAttempt); },
-      /*committed=*/true);
-}
+  RestartAll();
+  ASSERT_TRUE(host_->ResolveIndoubts().ok());
+  ASSERT_TRUE(dlfm1_->WaitGroupWorkDrained(kWait).ok());
+  ASSERT_TRUE(dlfm2_->WaitGroupWorkDrained(kWait).ok());
 
-TEST_F(CrashMatrixTest, DlfmCrashBeforeCommitHarden) {
-  // srv1 dies with the phase-2 metadata transaction built but uncommitted.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmCommitBeforeHarden); },
-      /*committed=*/true);
-}
-
-TEST_F(CrashMatrixTest, DlfmCrashAfterCommitHarden) {
-  // srv1 committed its metadata but died before the filesystem work
-  // (takeover of w_x, release of pre_a): redelivery must re-derive it.
-  RunTwoPcCrashCase(
-      [&] { ArmCrash(fault1_.get(), failpoints::kDlfmCommitAfterHarden); },
-      /*committed=*/true);
+  // The bulk transaction aborted atomically; the baseline link survives.
+  EXPECT_EQ(MediaIds(), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(dlfm1_->UpcallIsLinked("pre_a"));
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string name = "bulk_" + std::to_string(i);
+    EXPECT_FALSE(dlfm1_->UpcallIsLinked(name)) << name;
+    EXPECT_EQ(fs1_->Stat(name)->owner, "alice") << name;
+  }
+  auto report = host_->Reconcile(media_, /*use_temp_table=*/true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->cleared_urls.empty());
+  EXPECT_TRUE(report->dlfm_unlinked.empty());
+  // Physical B-tree/heap consistency after recovering past an abandoned
+  // split (invariant I7).
+  EXPECT_TRUE(dlfm1_->local_db()->CheckIntegrity().ok());
+  EXPECT_TRUE(host_->db()->CheckIntegrity().ok());
 }
 
 TEST_F(CrashMatrixTest, DlfmCrashDuringAbort) {
@@ -350,7 +445,9 @@ TEST_F(CrashMatrixTest, CopyDaemonCrashBetweenStoreAndDelete) {
     auto* db = dlfm1_->local_db();
     auto* t = db->Begin();
     auto pend = dlfm1_->repo().PendingArchives(t);
-    ASSERT_TRUE(db->Commit(t).ok());
+    // Rollback, not Commit: the engine shares the crashed injector, so a
+    // commit (WAL force) on the dead process correctly fails now.
+    ASSERT_TRUE(db->Rollback(t).ok());
     ASSERT_TRUE(pend.ok());
     EXPECT_EQ(pend->size(), 1u);
   }
@@ -432,6 +529,37 @@ TEST_F(CrashMatrixTest, AsyncCommitErasesDecisionsOnceDrained) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_TRUE(dlfm1_->UpcallIsLinked("async_f" + std::to_string(i)));
   }
+}
+
+// --------------------------------------------------------------------------
+// Fuzzer-found regression (crash_fuzz seed 39): a reconcile session
+// abandoned before its run — host-side error, lost connection, or crash —
+// leaked its durable "recon_tmp_<n>" scratch table.  The session counter
+// that names the tables is volatile, so after a restart it reset and the
+// next reconcile collided with the leftover (AlreadyExists).  Restart
+// processing must sweep the scratch tables.
+// --------------------------------------------------------------------------
+
+TEST_F(CrashMatrixTest, AbandonedReconcileTempTableIsSweptOnRestart) {
+  CreateMediaTable();
+  CommitBaseline();
+  // Abandon a reconcile session mid-flight: the scratch table exists and
+  // the session never runs (the host died between begin and run).
+  auto session = dlfm1_->ApiReconcileBegin();
+  ASSERT_TRUE(session.ok());
+  const std::string scratch = "recon_tmp_" + std::to_string(*session);
+  ASSERT_TRUE(dlfm1_->local_db()->TableByName(scratch).ok());
+  RestartAll();
+  if (HasFatalFailure()) return;
+  // The leftover scratch table is gone after restart processing...
+  EXPECT_FALSE(dlfm1_->local_db()->TableByName(scratch).ok());
+  // ...and the post-restart reconcile — whose reset counter re-issues the
+  // same session id — succeeds and finds a consistent world.
+  ASSERT_TRUE(host_->ResolveIndoubts().ok());
+  auto report = host_->Reconcile(media_, /*use_temp_table=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->cleared_urls.empty());
+  EXPECT_TRUE(report->dlfm_unlinked.empty());
 }
 
 }  // namespace

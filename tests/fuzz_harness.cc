@@ -1,0 +1,915 @@
+// Implementation of the crash-recovery fuzz harness.  See fuzz_harness.h
+// for the invariant catalogue and the determinism contract.
+#include "fuzz_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "archive/archive_server.h"
+#include "common/fault_injector.h"
+#include "common/random.h"
+#include "dlff/filter.h"
+#include "dlfm/server.h"
+#include "fsim/file_server.h"
+#include "hostdb/host_database.h"
+
+namespace datalinks::fuzz {
+namespace {
+
+using hostdb::ColumnSpec;
+using sqldb::Pred;
+using sqldb::Row;
+using sqldb::Value;
+
+constexpr int64_t kWait = 10 * 1000 * 1000;  // daemon-drain budget (micros)
+
+std::string Url(int server, const std::string& file) {
+  return "dlfs://srv" + std::to_string(server) + "/" + file;
+}
+
+Row MediaRow(int64_t id, const std::string& url) {
+  return Row{Value(id), url.empty() ? Value::Null() : Value(url)};
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Seed-derived scenario plan.  Everything random is decided here, up front,
+// so the schedule is a pure function of the seed; the worker threads only
+// execute pre-generated plans.
+// ---------------------------------------------------------------------------
+
+enum class OpKind { kLink, kLinkNull, kUnlink, kRelink, kSelect };
+
+struct OpPlan {
+  OpKind kind = OpKind::kSelect;
+  int64_t id = 0;    // row id the op targets
+  int server = 1;    // kLink/kRelink: file server (1 or 2)
+  std::string file;  // kLink/kRelink: pre-created file name
+};
+
+struct TxnPlan {
+  std::vector<OpPlan> ops;
+  bool commit = true;  // false: planned client-side rollback
+};
+
+struct SessionPlan {
+  std::vector<TxnPlan> txns;
+};
+
+struct ArmPlan {
+  bool armed = false;
+  std::string point;
+  FaultInjector::Action action = FaultInjector::Action::kCrash;
+  int skip = 0;
+  int hits = 1;
+  int64_t delay_micros = 0;
+  int target = 0;  // 0 = host, 1 = dlfm1, 2 = dlfm2
+};
+
+struct ScenarioPlan {
+  size_t checkpoint_threshold = 0;  // 0 = engine default
+  bool do_backup = false;
+  int backup_sleep_ms = 0;
+  bool pre_restart_reconcile = false;
+  bool reconcile_temp_table = true;
+  ArmPlan arm;
+  std::vector<SessionPlan> sessions;
+  std::vector<std::string> files[2];  // files to pre-create per server
+};
+
+ScenarioPlan MakePlan(uint64_t seed) {
+  Random rng(seed * 0x9e3779b97f4a7c15ULL + 0xda7a11aaULL);
+  ScenarioPlan p;
+
+  // Fail point first: its identity constrains world parameters below.
+  const std::vector<std::string> points = failpoints::Registry();
+  if (!points.empty() && !rng.Bernoulli(0.15)) {
+    ArmPlan& a = p.arm;
+    a.armed = true;
+    a.point = points[rng.Uniform(points.size())];
+    const uint64_t roll = rng.Uniform(100);
+    if (roll < 70) {
+      a.action = FaultInjector::Action::kCrash;
+      a.hits = 1;  // a crash latches; more hits would be moot
+    } else if (roll < 85) {
+      a.action = FaultInjector::Action::kError;
+      a.hits = static_cast<int>(rng.UniformRange(1, 3));
+    } else {
+      a.action = FaultInjector::Action::kDelay;
+      a.delay_micros = rng.UniformRange(500, 3000);
+      a.hits = static_cast<int>(rng.UniformRange(1, 3));
+    }
+    a.skip = static_cast<int>(rng.UniformRange(0, 10));
+    // Repeatedly abandoned splits can grow one node past the invariant
+    // bound while the process is still alive; a single abandon is the
+    // interesting (and legal) case.
+    if (a.point == failpoints::kSqldbBtreeSplit) a.hits = 1;
+    if (StartsWith(a.point, "host.")) {
+      a.target = 0;
+    } else if (StartsWith(a.point, "dlfm.")) {
+      a.target = 1 + static_cast<int>(rng.Uniform(2));
+    } else {  // sqldb.* points live in every process
+      a.target = static_cast<int>(rng.Uniform(3));
+    }
+  }
+
+  if (StartsWith(p.arm.point, "sqldb.checkpoint.")) {
+    p.checkpoint_threshold = 64;  // make auto-checkpoints constant
+  } else if (rng.Bernoulli(0.5)) {
+    constexpr size_t kThresholds[] = {256, 1024, 8192};
+    p.checkpoint_threshold = kThresholds[rng.Uniform(3)];
+  }
+  p.do_backup = rng.Bernoulli(0.3);
+  p.backup_sleep_ms = static_cast<int>(rng.UniformRange(1, 25));
+  p.pre_restart_reconcile = rng.Bernoulli(0.3);
+  p.reconcile_temp_table = rng.Bernoulli(0.5);
+
+  const int nsessions = static_cast<int>(rng.UniformRange(2, 4));
+  for (int si = 0; si < nsessions; ++si) {
+    SessionPlan sp;
+    int64_t next_id = 1000 * (si + 1);  // disjoint id ranges per session
+    int file_seq = 0;
+    // Links from already planned-to-commit txns: the eligible unlink and
+    // relink victims, with their current planned URL.
+    std::vector<std::pair<int64_t, std::string>> pool;
+    const int ntxns = static_cast<int>(rng.UniformRange(3, 8));
+    for (int t = 0; t < ntxns; ++t) {
+      TxnPlan tp;
+      tp.commit = rng.Bernoulli(0.85);
+      std::set<int64_t> touched;  // at most one write per id per txn
+      std::vector<std::pair<int64_t, std::string>> new_links;
+      const int nops = static_cast<int>(rng.UniformRange(1, 4));
+      for (int o = 0; o < nops; ++o) {
+        OpPlan op;
+        const uint64_t kind = rng.Uniform(100);
+        if (kind < 40) {
+          op.kind = OpKind::kLink;
+          op.id = next_id++;
+          op.server = 1 + static_cast<int>(rng.Uniform(2));
+          op.file = "f" + std::to_string(si) + "_" + std::to_string(file_seq++);
+          p.files[op.server - 1].push_back(op.file);
+          if (tp.commit) new_links.emplace_back(op.id, Url(op.server, op.file));
+          touched.insert(op.id);
+        } else if (kind < 50) {
+          op.kind = OpKind::kLinkNull;
+          op.id = next_id++;
+          touched.insert(op.id);
+        } else if (kind < 70 && !pool.empty()) {
+          const size_t v = rng.Uniform(pool.size());
+          if (touched.count(pool[v].first) != 0) {
+            op.kind = OpKind::kSelect;
+            op.id = pool[v].first;
+          } else {
+            op.kind = OpKind::kUnlink;
+            op.id = pool[v].first;
+            touched.insert(op.id);
+            if (tp.commit) pool.erase(pool.begin() + static_cast<int64_t>(v));
+          }
+        } else if (kind < 85 && !pool.empty()) {
+          const size_t v = rng.Uniform(pool.size());
+          if (touched.count(pool[v].first) != 0) {
+            op.kind = OpKind::kSelect;
+            op.id = pool[v].first;
+          } else {
+            op.kind = OpKind::kRelink;
+            op.id = pool[v].first;
+            op.server = 1 + static_cast<int>(rng.Uniform(2));
+            op.file = "f" + std::to_string(si) + "_" + std::to_string(file_seq++);
+            p.files[op.server - 1].push_back(op.file);
+            touched.insert(op.id);
+            if (tp.commit) pool[v].second = Url(op.server, op.file);
+          }
+        } else {
+          op.kind = OpKind::kSelect;
+          op.id = pool.empty() ? 1 : pool[rng.Uniform(pool.size())].first;
+        }
+        tp.ops.push_back(std::move(op));
+      }
+      pool.insert(pool.end(), new_links.begin(), new_links.end());
+      sp.txns.push_back(std::move(tp));
+    }
+    p.sessions.push_back(std::move(sp));
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Expectation model.  Each session tracks only its own (disjoint) row ids;
+// the models are merged after the worker threads join.
+// ---------------------------------------------------------------------------
+
+struct Expect {
+  enum State { kAbsent, kPresent, kUncertain };
+  State state = kAbsent;
+  std::string url;                // kPresent: clip value ("" = SQL NULL)
+  std::set<std::string> allowed;  // kUncertain: plausible clip values
+  bool allow_absent = true;       // kUncertain: row may be gone entirely
+  int last_txn = -1;              // last session txn seq that wrote the id
+};
+
+/// The effectual ops of a txn whose Commit errored; recovery owns the
+/// outcome, but whatever it is, it must apply atomically.
+struct UncertainTxn {
+  int seq = -1;
+  std::vector<std::pair<int64_t, std::string>> inserted;               // id, url
+  std::vector<std::pair<int64_t, std::string>> deleted;                // id, prior
+  std::vector<std::tuple<int64_t, std::string, std::string>> updated;  // id, old, new
+};
+
+struct SessionModel {
+  std::map<int64_t, Expect> rows;
+  std::vector<UncertainTxn> uncertain;
+  uint64_t attempted = 0;
+  uint64_t committed = 0;
+  uint64_t uncertain_txns = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Case runner: world lifecycle, execution, and the invariant checks.
+// ---------------------------------------------------------------------------
+
+class CaseRunner {
+ public:
+  explicit CaseRunner(uint64_t seed) : plan_(MakePlan(seed)) {}
+
+  FuzzCaseResult Run() {
+    if (plan_.arm.armed) {
+      result_.armed_point = plan_.arm.point;
+      result_.armed_action =
+          plan_.arm.action == FaultInjector::Action::kCrash   ? "crash"
+          : plan_.arm.action == FaultInjector::Action::kError ? "error"
+                                                              : "delay";
+      result_.armed_target = plan_.arm.target == 0   ? "host"
+                             : plan_.arm.target == 1 ? "dlfm1"
+                                                     : "dlfm2";
+    } else {
+      result_.armed_action = "none";
+    }
+    BuildWorld();
+    if (errors_.empty()) Baseline();
+    if (errors_.empty()) {
+      Arm();
+      RunSessions();
+      CollectFired();
+      PreRestartChecks();
+      if (RestartAndResolve()) {
+        VerifyRecovered();
+        VerifyIdempotentReplay();
+      }
+    }
+    return Finish();
+  }
+
+ private:
+  bool Check(bool cond, const std::string& msg) {
+    if (!cond) errors_ += "  - " + msg + "\n";
+    return cond;
+  }
+
+  // ---- world lifecycle (mirrors the crash-matrix fixture) ----
+
+  void StartDlfm(int idx, std::shared_ptr<sqldb::DurableStore> durable) {
+    dlfm::DlfmOptions opts;
+    opts.server_name = idx == 1 ? "srv1" : "srv2";
+    opts.commit_batch_size = 4;
+    opts.checkpoint_threshold_bytes = plan_.checkpoint_threshold;
+    // Bound the backup barrier: a Backup() racing a latched crash must not
+    // stall the whole scenario.
+    opts.ensure_archived_timeout_micros = 1500 * 1000;
+    auto inj = std::make_shared<FaultInjector>();
+    opts.fault = inj;
+    auto& slot = idx == 1 ? dlfm1_ : dlfm2_;
+    slot = std::make_unique<dlfm::DlfmServer>(
+        opts, idx == 1 ? fs1_.get() : fs2_.get(), archive_.get(), std::move(durable));
+    (idx == 1 ? fault1_ : fault2_) = std::move(inj);
+    Check(slot->Start().ok(), "dlfm" + std::to_string(idx) + " failed to start");
+  }
+
+  void MakeHost(std::shared_ptr<sqldb::DurableStore> durable) {
+    hostdb::HostOptions hopts;
+    hopts.dbid = 1;
+    hopts.synchronous_commit = true;
+    hopts.checkpoint_threshold_bytes = plan_.checkpoint_threshold;
+    fault_host_ = std::make_shared<FaultInjector>();
+    hopts.fault = fault_host_;
+    host_ = std::make_unique<hostdb::HostDatabase>(hopts, std::move(durable));
+    host_->RegisterDlfm("srv1", dlfm1_->listener());
+    host_->RegisterDlfm("srv2", dlfm2_->listener());
+  }
+
+  void BuildWorld() {
+    fs1_ = std::make_unique<fsim::FileServer>("srv1");
+    fs2_ = std::make_unique<fsim::FileServer>("srv2");
+    archive_ = std::make_unique<archive::ArchiveServer>();
+    StartDlfm(1, nullptr);
+    StartDlfm(2, nullptr);
+    if (errors_.empty()) MakeHost(nullptr);
+  }
+
+  bool RestartAll() {
+    auto hstore = host_->SimulateCrash();
+    host_.reset();
+    auto s1 = dlfm1_->SimulateCrash();
+    dlfm1_.reset();
+    auto s2 = dlfm2_->SimulateCrash();
+    dlfm2_.reset();
+    StartDlfm(1, std::move(s1));
+    StartDlfm(2, std::move(s2));
+    if (!errors_.empty()) return false;
+    MakeHost(std::move(hstore));
+    auto media = host_->db()->TableByName("media");
+    if (!Check(media.ok(), "media table lost across restart")) return false;
+    media_ = *media;
+    return true;
+  }
+
+  void MakeFile(fsim::FileServer* fs, const std::string& name) {
+    Check(fs->CreateFile(name, "alice", 0644, "data:" + name).ok(),
+          "CreateFile " + name + " failed");
+  }
+
+  void Baseline() {
+    auto table = host_->CreateTable(
+        "media", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+                  ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                             dlfm::AccessControl::kFull, true}});
+    if (!Check(table.ok(), "CreateTable media failed")) return;
+    media_ = *table;
+
+    all_files_[0] = plan_.files[0];
+    all_files_[1] = plan_.files[1];
+    all_files_[0].push_back("base_a");
+    all_files_[1].push_back("base_b");
+    for (const std::string& f : all_files_[0]) MakeFile(fs1_.get(), f);
+    for (const std::string& f : all_files_[1]) MakeFile(fs2_.get(), f);
+    if (!errors_.empty()) return;
+
+    // Committed, archive-drained baseline so every scenario starts with
+    // link state for the daemons and unlink victims for the reconciler.
+    auto s = host_->OpenSession();
+    const bool ok = s->Begin().ok() &&
+                    s->Insert(media_, MediaRow(1, Url(1, "base_a"))).ok() &&
+                    s->Insert(media_, MediaRow(2, Url(2, "base_b"))).ok() &&
+                    s->Commit().ok();
+    if (!Check(ok, "baseline commit failed")) return;
+    Check(dlfm1_->WaitArchiveDrained(kWait).ok() &&
+              dlfm2_->WaitArchiveDrained(kWait).ok(),
+          "baseline archive drain failed");
+  }
+
+  void Arm() {
+    if (!plan_.arm.armed) return;
+    FaultInjector::Spec spec;
+    spec.action = plan_.arm.action;
+    spec.error = Status::IOError("fuzz injected fault");
+    spec.delay_micros = plan_.arm.delay_micros;
+    spec.skip = plan_.arm.skip;
+    spec.hits = plan_.arm.hits;
+    TargetInjector()->Arm(plan_.arm.point, spec);
+  }
+
+  FaultInjector* TargetInjector() {
+    switch (plan_.arm.target) {
+      case 1:
+        return fault1_.get();
+      case 2:
+        return fault2_.get();
+      default:
+        return fault_host_.get();
+    }
+  }
+
+  // ---- workload execution ----
+
+  void RunSessions() {
+    models_.resize(plan_.sessions.size());
+    std::vector<std::thread> threads;
+    threads.reserve(plan_.sessions.size());
+    for (size_t si = 0; si < plan_.sessions.size(); ++si) {
+      threads.emplace_back([this, si] {
+        auto s = host_->OpenSession();
+        int seq = 0;
+        for (const TxnPlan& tp : plan_.sessions[si].txns) {
+          RunTxn(s.get(), tp, &models_[si], seq++);
+        }
+      });
+    }
+    if (plan_.do_backup) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan_.backup_sleep_ms));
+      (void)host_->Backup();  // best-effort; may race the armed fault
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  void RunTxn(hostdb::HostSession* s, const TxnPlan& tp, SessionModel* m, int seq) {
+    ++m->attempted;
+    if (!s->Begin().ok()) return;
+    std::vector<std::pair<int64_t, std::string>> ins;            // id, url
+    std::vector<std::pair<int64_t, int64_t>> del;                // id, match count
+    std::vector<std::tuple<int64_t, std::string, int64_t>> upd;  // id, url, count
+    bool failed = false;
+    for (const OpPlan& op : tp.ops) {
+      switch (op.kind) {
+        case OpKind::kLink: {
+          const std::string url = Url(op.server, op.file);
+          if (s->Insert(media_, MediaRow(op.id, url)).ok()) {
+            ins.emplace_back(op.id, url);
+          } else {
+            failed = true;
+          }
+          break;
+        }
+        case OpKind::kLinkNull:
+          if (s->Insert(media_, MediaRow(op.id, "")).ok()) {
+            ins.emplace_back(op.id, std::string());
+          } else {
+            failed = true;
+          }
+          break;
+        case OpKind::kUnlink: {
+          auto n = s->Delete(media_, {Pred::Eq("id", op.id)});
+          if (n.ok()) {
+            del.emplace_back(op.id, *n);
+          } else {
+            failed = true;
+          }
+          break;
+        }
+        case OpKind::kRelink: {
+          const std::string url = Url(op.server, op.file);
+          auto n = s->Update(media_, {Pred::Eq("id", op.id)},
+                             {sqldb::Assignment{"clip", sqldb::Operand(url)}});
+          if (n.ok()) {
+            upd.emplace_back(op.id, url, *n);
+          } else {
+            failed = true;
+          }
+          break;
+        }
+        case OpKind::kSelect:
+          (void)s->Select(media_, {Pred::Eq("id", op.id)});  // reads tolerated
+          break;
+      }
+      if (failed) break;
+    }
+    if (failed || !tp.commit) {
+      (void)s->Rollback();
+      // The transaction never reached Commit: definitively aborted.  Fresh
+      // inserts can never materialize; deletes/updates roll back, so the
+      // prior expectations stand.
+      for (const auto& [id, url] : ins) {
+        Expect& e = m->rows[id];
+        e = Expect{};
+        e.state = Expect::kAbsent;
+        e.last_txn = seq;
+      }
+      return;
+    }
+    const Status c = s->Commit();
+    if (c.ok()) {
+      ++m->committed;
+      for (const auto& [id, url] : ins) {
+        Expect& e = m->rows[id];
+        e = Expect{};
+        e.state = Expect::kPresent;
+        e.url = url;
+        e.last_txn = seq;
+      }
+      for (const auto& [id, count] : del) {
+        Expect& e = m->rows[id];
+        if (count >= 1 || e.state == Expect::kUncertain) {
+          e = Expect{};
+          e.state = Expect::kAbsent;
+        }
+        // count == 0 on a definitely-present row: leave the expectation in
+        // place — the final row check will flag the lost row.
+        e.last_txn = seq;
+      }
+      for (const auto& [id, url, count] : upd) {
+        Expect& e = m->rows[id];
+        if (count >= 1) {
+          e = Expect{};
+          e.state = Expect::kPresent;
+          e.url = url;
+        } else if (e.state == Expect::kUncertain) {
+          // The uncertain insert can't have committed: the row was not
+          // visible to this (committed) update.
+          e = Expect{};
+          e.state = Expect::kAbsent;
+        }
+        e.last_txn = seq;
+      }
+      return;
+    }
+    // Commit errored: recovery owns the outcome.
+    ++m->uncertain_txns;
+    UncertainTxn ut;
+    ut.seq = seq;
+    for (const auto& [id, url] : ins) {
+      Expect& e = m->rows[id];
+      e = Expect{};
+      e.state = Expect::kUncertain;
+      e.allowed = {url};
+      e.allow_absent = true;
+      e.last_txn = seq;
+      ut.inserted.emplace_back(id, url);
+    }
+    for (const auto& [id, count] : del) {
+      Expect& e = m->rows[id];
+      if (e.state == Expect::kPresent) {
+        const std::string prior = e.url;
+        if (count >= 1) ut.deleted.emplace_back(id, prior);
+        e = Expect{};
+        e.state = Expect::kUncertain;
+        e.allowed = {prior};
+        e.allow_absent = true;
+      } else if (e.state == Expect::kUncertain) {
+        if (count == 0) {
+          // The earlier uncertain insert did not commit (its row was not
+          // visible), so whatever this txn did, the id stays absent.
+          e = Expect{};
+          e.state = Expect::kAbsent;
+        } else {
+          e.allow_absent = true;
+        }
+      }
+      e.last_txn = seq;
+    }
+    for (const auto& [id, url, count] : upd) {
+      Expect& e = m->rows[id];
+      if (e.state == Expect::kPresent) {
+        const std::string prior = e.url;
+        const bool effectual = count >= 1;
+        if (effectual) ut.updated.emplace_back(id, prior, url);
+        e = Expect{};
+        e.state = Expect::kUncertain;
+        e.allowed = {prior, url};
+        e.allow_absent = !effectual;
+      } else if (e.state == Expect::kUncertain) {
+        e.allowed.insert(url);
+        if (count >= 1) e.allow_absent = false;  // the insert did commit
+      }
+      e.last_txn = seq;
+    }
+    if (!ut.inserted.empty() || !ut.deleted.empty() || !ut.updated.empty()) {
+      m->uncertain.push_back(std::move(ut));
+    }
+  }
+
+  void CollectFired() {
+    result_.crashed = fault_host_->crashed() || fault1_->crashed() || fault2_->crashed();
+    if (!plan_.arm.armed) return;
+    FaultInjector* inj = TargetInjector();
+    if (plan_.arm.action == FaultInjector::Action::kCrash) {
+      result_.fired = inj->crashed();
+    } else {
+      result_.fired =
+          inj->HitCount(plan_.arm.point) > static_cast<uint64_t>(plan_.arm.skip);
+    }
+  }
+
+  // With every process alive and phase 2 fully delivered, the world must
+  // already be consistent — run the reconciler as an extra invariant probe
+  // before tearing everything down.
+  void PreRestartChecks() {
+    if (!plan_.pre_restart_reconcile || result_.crashed) return;
+    auto pending = host_->PendingDecisions();
+    if (!pending.ok() || !pending->empty()) return;  // phase 2 still owed
+    auto rep = host_->Reconcile(media_, plan_.reconcile_temp_table);
+    if (!rep.ok()) return;  // lock timeouts vs daemons are tolerated
+    Check(rep->cleared_urls.empty(),
+          "pre-restart reconcile cleared a live url: " +
+              (rep->cleared_urls.empty() ? "" : rep->cleared_urls[0]));
+    Check(rep->dlfm_unlinked.empty(),
+          "pre-restart reconcile unlinked a live file: " +
+              (rep->dlfm_unlinked.empty() ? "" : rep->dlfm_unlinked[0]));
+  }
+
+  bool RestartAndResolve() {
+    if (!RestartAll()) return false;
+    if (!Check(host_->ResolveIndoubts().ok(), "ResolveIndoubts failed")) return false;
+    const bool drained = dlfm1_->WaitGroupWorkDrained(kWait).ok() &&
+                         dlfm2_->WaitGroupWorkDrained(kWait).ok() &&
+                         dlfm1_->WaitArchiveDrained(kWait).ok() &&
+                         dlfm2_->WaitArchiveDrained(kWait).ok();
+    return Check(drained, "post-recovery daemon drain failed");
+  }
+
+  // ---- verification ----
+
+  std::optional<std::map<int64_t, std::string>> SelectAll() {
+    auto s = host_->OpenSession();
+    if (!Check(s->Begin().ok(), "post-recovery Begin failed")) return std::nullopt;
+    auto rows = s->Select(media_, {});
+    if (!Check(rows.ok(), "post-recovery Select failed: " + rows.status().ToString())) {
+      (void)s->Rollback();
+      return std::nullopt;
+    }
+    if (!Check(s->Commit().ok(), "post-recovery read Commit failed")) {
+      return std::nullopt;
+    }
+    std::map<int64_t, std::string> out;
+    for (const Row& r : *rows) {
+      const int64_t id = r[0].as_int();
+      Check(out.count(id) == 0, "duplicate row id " + std::to_string(id));
+      out[id] = r[1].is_null() ? "" : r[1].as_string();
+    }
+    return out;
+  }
+
+  std::optional<std::vector<std::string>> LinkedNames(dlfm::DlfmServer* d,
+                                                      const std::string& who) {
+    auto* db = d->local_db();
+    auto* t = db->Begin();
+    auto linked = d->repo().AllInState(t, "L");
+    const bool committed = db->Commit(t).ok();
+    if (!Check(linked.ok() && committed, "File-table scan failed at " + who)) {
+      return std::nullopt;
+    }
+    std::vector<std::string> names;
+    names.reserve(linked->size());
+    for (const dlfm::FileEntry& e : *linked) names.push_back(e.name);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  /// Merge the per-session models plus the baseline into one id->Expect
+  /// map; ids of planned-but-never-executed inserts default to absent.
+  std::map<int64_t, Expect> MergedModel() {
+    std::map<int64_t, Expect> global;
+    Expect base;
+    base.state = Expect::kPresent;
+    base.url = Url(1, "base_a");
+    global[1] = base;
+    base.url = Url(2, "base_b");
+    global[2] = base;
+    for (const SessionModel& m : models_) {
+      for (const auto& [id, e] : m.rows) global[id] = e;
+    }
+    for (const SessionPlan& sp : plan_.sessions) {
+      for (const TxnPlan& tp : sp.txns) {
+        for (const OpPlan& op : tp.ops) {
+          if (op.kind != OpKind::kLink && op.kind != OpKind::kLinkNull) continue;
+          if (global.count(op.id) == 0) global[op.id] = Expect{};
+        }
+      }
+    }
+    return global;
+  }
+
+  void CheckRowExpectations(const std::map<int64_t, Expect>& model,
+                            const std::map<int64_t, std::string>& actual) {
+    for (const auto& [id, e] : model) {
+      const auto it = actual.find(id);
+      const std::string tag = "row " + std::to_string(id);
+      switch (e.state) {
+        case Expect::kAbsent:
+          Check(it == actual.end(), tag + " should be absent (aborted/deleted)");
+          break;
+        case Expect::kPresent:
+          if (Check(it != actual.end(), tag + " lost (committed but missing)")) {
+            Check(it->second == e.url,
+                  tag + " clip mismatch: got '" + it->second + "' want '" + e.url + "'");
+          }
+          break;
+        case Expect::kUncertain:
+          if (it == actual.end()) {
+            Check(e.allow_absent, tag + " vanished but absence was ruled out");
+          } else {
+            Check(e.allowed.count(it->second) != 0,
+                  tag + " clip '" + it->second + "' matches no plausible outcome");
+          }
+          break;
+      }
+    }
+    for (const auto& [id, url] : actual) {
+      Check(model.count(id) != 0, "phantom row " + std::to_string(id));
+    }
+  }
+
+  /// Atomicity of a txn whose Commit errored: derive the commit verdict
+  /// from the first decisive effect, then require every other effect to
+  /// agree.  Effects overwritten by a later txn of the same session are
+  /// not decisive and are skipped.
+  void CheckUncertainAtomicity(const SessionModel& m,
+                               const std::map<int64_t, std::string>& actual) {
+    for (const UncertainTxn& ut : m.uncertain) {
+      const auto live = [&](int64_t id) {
+        const auto it = m.rows.find(id);
+        return it != m.rows.end() && it->second.last_txn == ut.seq;
+      };
+      std::optional<bool> committed;
+      for (const auto& [id, url] : ut.inserted) {
+        if (live(id)) {
+          committed = actual.count(id) != 0;
+          break;
+        }
+      }
+      if (!committed) {
+        for (const auto& [id, prior] : ut.deleted) {
+          if (live(id)) {
+            committed = actual.count(id) == 0;
+            break;
+          }
+        }
+      }
+      if (!committed) {
+        for (const auto& [id, old_url, new_url] : ut.updated) {
+          if (!live(id)) continue;
+          const auto it = actual.find(id);
+          if (it != actual.end()) committed = it->second == new_url;
+          break;
+        }
+      }
+      if (!committed) continue;  // fully overwritten by later txns
+      const std::string tag =
+          "uncertain txn seq " + std::to_string(ut.seq) +
+          (*committed ? " (resolved committed)" : " (resolved aborted)");
+      for (const auto& [id, url] : ut.inserted) {
+        if (!live(id)) continue;
+        const auto it = actual.find(id);
+        if (*committed) {
+          if (Check(it != actual.end(), tag + ": insert " + std::to_string(id) +
+                                            " missing — partial commit")) {
+            Check(it->second == url, tag + ": insert " + std::to_string(id) +
+                                         " has wrong clip '" + it->second + "'");
+          }
+        } else {
+          Check(it == actual.end(), tag + ": insert " + std::to_string(id) +
+                                        " present — partial abort");
+        }
+      }
+      for (const auto& [id, prior] : ut.deleted) {
+        if (!live(id)) continue;
+        const auto it = actual.find(id);
+        if (*committed) {
+          Check(it == actual.end(), tag + ": delete " + std::to_string(id) +
+                                        " row survived — partial commit");
+        } else if (Check(it != actual.end(), tag + ": delete " + std::to_string(id) +
+                                                 " row gone — partial abort")) {
+          Check(it->second == prior,
+                tag + ": row " + std::to_string(id) + " clip changed under abort");
+        }
+      }
+      for (const auto& [id, old_url, new_url] : ut.updated) {
+        if (!live(id)) continue;
+        const auto it = actual.find(id);
+        if (Check(it != actual.end(),
+                  tag + ": updated row " + std::to_string(id) + " vanished")) {
+          const std::string& want = *committed ? new_url : old_url;
+          Check(it->second == want, tag + ": row " + std::to_string(id) +
+                                        " clip '" + it->second + "' want '" + want + "'");
+        }
+      }
+    }
+  }
+
+  void CheckOwnership(const std::map<int64_t, std::string>& actual) {
+    std::set<std::string> linked[2];
+    for (const auto& [id, url] : actual) {
+      if (url.empty() || !StartsWith(url, "dlfs://")) continue;
+      const size_t slash = url.find('/', 7);
+      if (slash == std::string::npos) continue;
+      const std::string srv = url.substr(7, slash - 7);
+      linked[srv == "srv1" ? 0 : 1].insert(url.substr(slash + 1));
+    }
+    for (int i = 0; i < 2; ++i) {
+      dlfm::DlfmServer* d = i == 0 ? dlfm1_.get() : dlfm2_.get();
+      fsim::FileServer* fs = i == 0 ? fs1_.get() : fs2_.get();
+      const std::string srv = i == 0 ? "srv1" : "srv2";
+      for (const std::string& file : all_files_[i]) {
+        const bool want = linked[i].count(file) != 0;
+        Check(d->UpcallIsLinked(file) == want,
+              "I5 " + srv + "/" + file + " link state should be " +
+                  (want ? "linked" : "unlinked"));
+        auto st = fs->Stat(file);
+        if (!Check(st.ok(), "I5 stat failed for " + srv + "/" + file)) continue;
+        const std::string owner = want ? std::string(dlff::kDlfmAdminUser) : "alice";
+        Check(st->owner == owner, "I5 " + srv + "/" + file + " owner '" + st->owner +
+                                      "' want '" + owner + "'");
+      }
+    }
+  }
+
+  void CheckArchiveCopies(dlfm::DlfmServer* server, const std::string& name) {
+    auto* db = server->local_db();
+    auto* t = db->Begin();
+    auto entries = server->repo().AllInState(t, "L");
+    (void)db->Commit(t);
+    if (!Check(entries.ok(), "I4 File-table scan failed at " + name)) return;
+    for (const dlfm::FileEntry& e : *entries) {
+      if (e.check_flag != 0 || !e.recovery_option) continue;
+      Check(archive_->Has(archive::ArchiveKey{name, e.name, e.recovery_id}),
+            "I4 missing archive copy " + name + "/" + e.name);
+    }
+  }
+
+  void CheckIntegrityAll(const char* when) {
+    Check(host_->db()->CheckIntegrity().ok(),
+          std::string("I7 host CheckIntegrity failed ") + when);
+    Check(dlfm1_->local_db()->CheckIntegrity().ok(),
+          std::string("I7 dlfm1 CheckIntegrity failed ") + when);
+    Check(dlfm2_->local_db()->CheckIntegrity().ok(),
+          std::string("I7 dlfm2 CheckIntegrity failed ") + when);
+  }
+
+  void VerifyRecovered() {
+    // I1: indoubt resolution terminated at every DLFM.
+    auto in1 = dlfm1_->ListIndoubt();
+    auto in2 = dlfm2_->ListIndoubt();
+    Check(in1.ok() && in1->empty(), "I1 dlfm1 still has indoubt transactions");
+    Check(in2.ok() && in2->empty(), "I1 dlfm2 still has indoubt transactions");
+    // I2: no decision record left behind.
+    auto pending = host_->PendingDecisions();
+    Check(pending.ok() && pending->empty(), "I2 durable decision records remain");
+    // I3: host references == DLFM File tables.
+    auto rep = host_->Reconcile(media_, plan_.reconcile_temp_table);
+    if (Check(rep.ok(), "I3 reconcile failed: " + rep.status().ToString())) {
+      Check(rep->cleared_urls.empty(),
+            "I3 dangling host reference: " +
+                (rep->cleared_urls.empty() ? "" : rep->cleared_urls[0]));
+      Check(rep->dlfm_unlinked.empty(),
+            "I3 orphan DLFM link: " +
+                (rep->dlfm_unlinked.empty() ? "" : rep->dlfm_unlinked[0]));
+    }
+
+    auto actual = SelectAll();
+    if (!actual) return;
+    const std::map<int64_t, Expect> model = MergedModel();
+    CheckRowExpectations(model, *actual);
+    for (const SessionModel& m : models_) CheckUncertainAtomicity(m, *actual);
+    CheckOwnership(*actual);
+    // I4: every linked recovery-enabled file has its archive copy.
+    CheckArchiveCopies(dlfm1_.get(), "srv1");
+    CheckArchiveCopies(dlfm2_.get(), "srv2");
+    // I7: engine-level physical consistency.
+    CheckIntegrityAll("after recovery");
+  }
+
+  /// I6: crash-restart a second time with no intervening work; WAL replay
+  /// must be idempotent, i.e. the observable state must not change.
+  void VerifyIdempotentReplay() {
+    auto rows_a = SelectAll();
+    auto l1a = LinkedNames(dlfm1_.get(), "srv1");
+    auto l2a = LinkedNames(dlfm2_.get(), "srv2");
+    if (!rows_a || !l1a || !l2a) return;
+    if (!RestartAll()) return;
+    auto rows_b = SelectAll();
+    auto l1b = LinkedNames(dlfm1_.get(), "srv1");
+    auto l2b = LinkedNames(dlfm2_.get(), "srv2");
+    if (!rows_b || !l1b || !l2b) return;
+    Check(*rows_a == *rows_b, "I6 media rows changed across a pure replay");
+    Check(*l1a == *l1b, "I6 dlfm1 linked set changed across a pure replay");
+    Check(*l2a == *l2b, "I6 dlfm2 linked set changed across a pure replay");
+    Check(host_->ResolveIndoubts().ok(), "I6 ResolveIndoubts failed after replay");
+    Check(dlfm1_->WaitGroupWorkDrained(kWait).ok() &&
+              dlfm2_->WaitGroupWorkDrained(kWait).ok(),
+          "I6 drain failed after replay");
+    CheckIntegrityAll("after second replay");
+  }
+
+  FuzzCaseResult Finish() {
+    for (const SessionModel& m : models_) {
+      result_.txns_attempted += m.attempted;
+      result_.txns_committed += m.committed;
+      result_.txns_uncertain += m.uncertain_txns;
+    }
+    result_.ok = errors_.empty();
+    result_.detail = errors_;
+    host_.reset();
+    if (dlfm1_) dlfm1_->Stop();
+    if (dlfm2_) dlfm2_->Stop();
+    return result_;
+  }
+
+  ScenarioPlan plan_;
+  FuzzCaseResult result_;
+  std::string errors_;
+
+  std::unique_ptr<fsim::FileServer> fs1_, fs2_;
+  std::unique_ptr<archive::ArchiveServer> archive_;
+  std::unique_ptr<dlfm::DlfmServer> dlfm1_, dlfm2_;
+  std::shared_ptr<FaultInjector> fault1_, fault2_, fault_host_;
+  std::unique_ptr<hostdb::HostDatabase> host_;
+  sqldb::TableId media_ = 0;
+  std::vector<std::string> all_files_[2];
+  std::vector<SessionModel> models_;
+};
+
+}  // namespace
+
+FuzzCaseResult RunCrashFuzzCase(uint64_t seed) { return CaseRunner(seed).Run(); }
+
+}  // namespace datalinks::fuzz

@@ -1,0 +1,58 @@
+// Reusable crash-recovery fuzz harness (DESIGN.md §5).
+//
+// RunCrashFuzzCase(seed) builds a complete two-DLFM world (file servers,
+// archive, host database), derives a randomized multi-session workload and
+// one armed fail point from the seed, runs the sessions concurrently,
+// crash-restarts every process from its durable store, and checks the
+// recovery invariants I1–I7:
+//
+//   I1  no indoubt ('P') transaction survives resolution at any DLFM;
+//   I2  no durable decision record survives full phase-2 delivery;
+//   I3  host DATALINK references and the DLFM File tables agree (an empty
+//       Reconcile report);
+//   I4  every linked recovery-enabled file has its archive copy once the
+//       Copy daemon drains;
+//   I5  filesystem ownership matches link state (FULL control => DLFM admin
+//       owns the file; unlinked/aborted => original owner);
+//   I6  recovery is idempotent: a second crash-restart with no intervening
+//       work yields an identical state;
+//   I7  engine-level consistency: Database::CheckIntegrity() passes on the
+//       host and both DLFM local databases, every definitely-committed
+//       transaction's effects are present, every definitely-aborted
+//       transaction's effects are absent, and uncertain transactions (the
+//       Commit call returned an error) applied atomically.
+//
+// The op schedule, session count, fail-point choice, action, and skip
+// count are all pure functions of the seed: the same seed always derives
+// the same scenario.  Thread interleaving is not replayed — the verdict is
+// invariant-based, so any interleaving of the same schedule must pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace datalinks::fuzz {
+
+/// Outcome of one fuzz scenario, with enough detail for aggregate
+/// coverage stats (EXPERIMENTS.md E12) and a one-line seed repro.
+struct FuzzCaseResult {
+  bool ok = true;
+  /// Human-readable list of violated invariants; empty when ok.
+  std::string detail;
+
+  // Coverage bookkeeping.
+  std::string armed_point;   // "" when the scenario armed no fault
+  std::string armed_action;  // "none" | "error" | "delay" | "crash"
+  std::string armed_target;  // "host" | "dlfm1" | "dlfm2" | ""
+  bool fired = false;        // the armed point was actually reached
+  bool crashed = false;      // some process latched into the crashed state
+  uint64_t txns_attempted = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_uncertain = 0;  // Commit errored: outcome owned by recovery
+};
+
+/// Runs one end-to-end randomized crash-recovery scenario.  Deterministic
+/// schedule per seed; bounded (every daemon wait has a budget).
+FuzzCaseResult RunCrashFuzzCase(uint64_t seed);
+
+}  // namespace datalinks::fuzz

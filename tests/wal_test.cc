@@ -153,6 +153,171 @@ TEST(Wal, BatchedCommitsAvoidLogFull) {
   EXPECT_TRUE(attempt(10).ok());
 }
 
+// --------------------------------------------------------------------------
+// Byte codec and torn-tail semantics.
+// --------------------------------------------------------------------------
+
+std::vector<LogRecord> SampleRecords() {
+  std::vector<LogRecord> recs;
+  Lsn lsn = 1;
+  auto push = [&](LogRecord r) {
+    r.lsn = lsn++;
+    recs.push_back(std::move(r));
+  };
+  push(Rec(1, LogRecordType::kBegin));
+  push(Rec(1, LogRecordType::kInsert, {Value(int64_t{7}), Value("alpha"), Value(true)}));
+  LogRecord upd = Rec(1, LogRecordType::kUpdate, {Value(int64_t{7}), Value("beta")});
+  upd.before = Row{Value(int64_t{7}), Value("alpha")};
+  push(std::move(upd));
+  push(Rec(1, LogRecordType::kCommit));
+  return recs;
+}
+
+void ExpectSameRecord(const LogRecord& a, const LogRecord& b) {
+  EXPECT_EQ(a.lsn, b.lsn);
+  EXPECT_EQ(a.txn, b.txn);
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.table, b.table);
+  EXPECT_EQ(a.rid, b.rid);
+  ASSERT_EQ(a.before.size(), b.before.size());
+  for (size_t i = 0; i < a.before.size(); ++i) {
+    EXPECT_EQ(a.before[i].Compare(b.before[i]), 0);
+  }
+  ASSERT_EQ(a.after.size(), b.after.size());
+  for (size_t i = 0; i < a.after.size(); ++i) {
+    EXPECT_EQ(a.after[i].Compare(b.after[i]), 0);
+  }
+}
+
+TEST(WalCodec, EncodeDecodeRoundTrip) {
+  const std::vector<LogRecord> recs = SampleRecords();
+  const std::string bytes = EncodeLogRecords(recs);
+  const std::vector<LogRecord> decoded = DecodeLogRecords(bytes);
+  ASSERT_EQ(decoded.size(), recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) ExpectSameRecord(recs[i], decoded[i]);
+}
+
+TEST(WalCodec, TruncationAtEveryByteOffsetYieldsLongestValidPrefix) {
+  // The satellite contract: cutting the encoded log at ANY byte offset
+  // (including every offset inside the final record's frame) decodes
+  // exactly the records whose frames are fully contained — no error, no
+  // partial record, no lost complete record.
+  const std::vector<LogRecord> recs = SampleRecords();
+  std::vector<size_t> frame_ends;  // cumulative encoded size after each record
+  std::string all;
+  for (const LogRecord& r : recs) {
+    r.EncodeTo(&all);
+    frame_ends.push_back(all.size());
+  }
+  for (size_t cut = 0; cut <= all.size(); ++cut) {
+    size_t expected = 0;
+    while (expected < frame_ends.size() && frame_ends[expected] <= cut) ++expected;
+    const std::vector<LogRecord> decoded =
+        DecodeLogRecords(std::string_view(all).substr(0, cut));
+    ASSERT_EQ(decoded.size(), expected) << "cut at byte " << cut;
+    for (size_t i = 0; i < decoded.size(); ++i) ExpectSameRecord(recs[i], decoded[i]);
+  }
+}
+
+TEST(WalCodec, ChecksumCatchesPayloadCorruption) {
+  const std::vector<LogRecord> recs = SampleRecords();
+  std::string first;
+  recs[0].EncodeTo(&first);
+  std::string all = EncodeLogRecords(recs);
+  // Flip one byte inside the SECOND record's payload (skip its 8-byte
+  // frame header too so the length still parses).
+  all[first.size() + 8 + 3] = static_cast<char>(all[first.size() + 8 + 3] ^ 0x40);
+  const std::vector<LogRecord> decoded = DecodeLogRecords(all);
+  ASSERT_EQ(decoded.size(), 1u);  // decoding stops at the corrupt frame
+  ExpectSameRecord(recs[0], decoded[0]);
+}
+
+TEST(DurableStore, RestoreLogFromTornBytesKeepsValidPrefix) {
+  auto durable = std::make_shared<DurableStore>();
+  WriteAheadLog wal(durable, 1 << 20);
+  for (const LogRecord& r : SampleRecords()) {
+    LogRecord copy = r;
+    copy.lsn = kInvalidLsn;  // Append reassigns
+    ASSERT_TRUE(wal.Append(std::move(copy), /*exempt=*/true).ok());
+  }
+  ASSERT_TRUE(wal.ForceAll().ok());
+  const std::string bytes = durable->EncodedLog();
+
+  // Tear the file 3 bytes into the final record's frame.
+  std::string last;
+  durable->ForcedSince(3).front().EncodeTo(&last);
+  ASSERT_EQ(durable->ForcedSince(3).size(), 1u);
+  const size_t torn = bytes.size() - last.size() + 3;
+  EXPECT_EQ(durable->RestoreLogFromBytes(std::string_view(bytes).substr(0, torn)), 3u);
+  EXPECT_EQ(durable->max_forced_lsn(), 3u);
+
+  // Re-open resumes numbering after the surviving prefix.
+  WriteAheadLog wal2(durable, 1 << 20);
+  ASSERT_TRUE(wal2.Append(Rec(2, LogRecordType::kBegin)).ok());
+  EXPECT_EQ(wal2.last_lsn(), 4u);
+}
+
+// --------------------------------------------------------------------------
+// Engine fail points in the force path.
+// --------------------------------------------------------------------------
+
+TEST(WalFailPoints, ForceErrorLeavesTailVolatileAndRetryable) {
+  auto fault = std::make_shared<FaultInjector>();
+  auto durable = std::make_shared<DurableStore>();
+  WriteAheadLog wal(durable, 1 << 20, fault.get());
+  ASSERT_TRUE(wal.Append(Rec(1, LogRecordType::kBegin)).ok());
+  ASSERT_TRUE(wal.Append(Rec(1, LogRecordType::kCommit)).ok());
+
+  FaultInjector::Spec err;  // default: one IOError
+  fault->Arm(failpoints::kSqldbWalForce, err);
+  EXPECT_EQ(wal.ForceAll().code(), StatusCode::kIOError);
+  EXPECT_EQ(durable->max_forced_lsn(), kInvalidLsn);  // nothing written
+
+  // The failed fsync lost nothing volatile: a retry succeeds completely.
+  EXPECT_TRUE(wal.ForceAll().ok());
+  EXPECT_EQ(durable->max_forced_lsn(), 2u);
+}
+
+TEST(WalFailPoints, TornTailKeepsPrefixAndLosesSuffixForGood) {
+  auto fault = std::make_shared<FaultInjector>();
+  auto durable = std::make_shared<DurableStore>();
+  WriteAheadLog wal(durable, 1 << 20, fault.get());
+  for (const LogRecord& r : SampleRecords()) {
+    LogRecord copy = r;
+    copy.lsn = kInvalidLsn;
+    ASSERT_TRUE(wal.Append(std::move(copy), /*exempt=*/true).ok());
+  }
+
+  FaultInjector::Spec err;
+  fault->Arm(failpoints::kSqldbWalTornTail, err);
+  EXPECT_EQ(wal.ForceAll().code(), StatusCode::kIOError);
+  // The batch was cut mid final record: records 1..3 became durable, the
+  // final record is gone for good.
+  EXPECT_EQ(durable->max_forced_lsn(), 3u);
+  EXPECT_EQ(wal.ForceTo(4).code(), StatusCode::kIOError);  // lost records stay lost
+  EXPECT_EQ(durable->max_forced_lsn(), 3u);
+
+  // New appends force normally past the tear.
+  ASSERT_TRUE(wal.Append(Rec(2, LogRecordType::kBegin)).ok());
+  EXPECT_TRUE(wal.ForceAll().ok());
+  EXPECT_EQ(durable->max_forced_lsn(), 5u);
+}
+
+TEST(WalFailPoints, CrashedInjectorFailsForces) {
+  auto fault = std::make_shared<FaultInjector>();
+  auto durable = std::make_shared<DurableStore>();
+  WriteAheadLog wal(durable, 1 << 20, fault.get());
+  ASSERT_TRUE(wal.Append(Rec(1, LogRecordType::kCommit), /*exempt=*/true).ok());
+  FaultInjector::Spec crash;
+  crash.action = FaultInjector::Action::kCrash;
+  fault->Arm(failpoints::kSqldbWalForce, crash);
+  EXPECT_TRUE(wal.ForceAll().IsUnavailable());
+  EXPECT_TRUE(fault->crashed());
+  // Every later force on the dead process fails too.
+  EXPECT_TRUE(wal.ForceAll().IsUnavailable());
+  EXPECT_EQ(durable->max_forced_lsn(), kInvalidLsn);
+}
+
 TEST(DurableStore, CheckpointImageRoundTrip) {
   DurableStore store;
   store.SetCheckpoint("image-bytes", 17);
