@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -130,3 +131,32 @@ WorkloadResult RunClients(Env* env, int clients, int ops_per_client, OpFn op) {
 }
 
 }  // namespace datalinks::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that always produces a
+/// machine-readable result file: unless the caller already passed
+/// --benchmark_out, the binary writes google-benchmark's JSON report to
+/// BENCH_<name>.json in $DLX_BENCH_OUT_DIR (or the working directory).
+/// Console output is unchanged.
+#define DLX_BENCH_MAIN(name)                                                  \
+  int main(int argc, char** argv) {                                           \
+    std::vector<char*> args(argv, argv + argc);                               \
+    bool has_out = false;                                                     \
+    for (int i = 1; i < argc; ++i) {                                          \
+      if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true; \
+    }                                                                         \
+    std::string out_flag, fmt_flag = "--benchmark_out_format=json";           \
+    if (!has_out) {                                                           \
+      const char* dir = std::getenv("DLX_BENCH_OUT_DIR");                     \
+      out_flag = std::string("--benchmark_out=") +                            \
+                 (dir != nullptr ? std::string(dir) + "/" : std::string()) +  \
+                 "BENCH_" #name ".json";                                      \
+      args.push_back(const_cast<char*>(out_flag.c_str()));                    \
+      args.push_back(const_cast<char*>(fmt_flag.c_str()));                    \
+    }                                                                         \
+    int nargs = static_cast<int>(args.size());                                \
+    benchmark::Initialize(&nargs, args.data());                               \
+    if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                                      \
+    benchmark::Shutdown();                                                    \
+    return 0;                                                                 \
+  }

@@ -29,11 +29,14 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
+#include "common/metrics.h"
 #include "sqldb/database.h"
 
 namespace datalinks::bench {
@@ -53,6 +56,7 @@ void RunScalability(benchmark::State& state, bool disjoint) {
     durable->set_append_latency_micros(log_latency);
     DatabaseOptions opts;
     opts.next_key_locking = false;  // production configuration (§4)
+    opts.metrics = std::make_shared<metrics::Registry>();
     auto dbr = Database::Open(opts, durable);
     if (!dbr.ok()) std::abort();
     auto db = std::move(dbr).value();
@@ -102,6 +106,26 @@ void RunScalability(benchmark::State& state, bool disjoint) {
     state.counters["latch_xwait_ms"] =
         static_cast<double>(ds.latch_exclusive_waits_micros) / 1000.0;
     state.counters["latch_max_x"] = static_cast<double>(ds.latch_max_concurrent_exclusive);
+    if (metrics::kEnabled) {
+      // E13: the same numbers through the metrics registry, proving the
+      // histograms agree with the hand-rolled stats structs.
+      auto& reg = *opts.metrics;
+      state.counters["wal_force_p95_us"] =
+          static_cast<double>(reg.GetHistogram("sqldb.wal.force_latency_us")->p95());
+      state.counters["latch_xwait_p95_us"] =
+          static_cast<double>(reg.GetHistogram("sqldb.latch.exclusive_wait_us")->p95());
+      // Snapshot of the final configuration's registry for the artifact
+      // upload (overwritten per configuration; the last one wins, which is
+      // the 100-client/500us run — the most interesting).
+      const char* dir = std::getenv("DLX_BENCH_OUT_DIR");
+      const std::string path =
+          (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_e10_metrics.json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        const std::string json = reg.DumpJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      }
+    }
   }
 }
 
@@ -127,4 +151,4 @@ BENCHMARK(BM_SameTable)
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e10_scalability);

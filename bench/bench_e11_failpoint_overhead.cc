@@ -68,4 +68,4 @@ BENCHMARK(BM_HitUnarmedPoint);
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e11_failpoint_overhead);

@@ -127,4 +127,4 @@ BENCHMARK(BM_MixedSoak100Clients)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e1_client_workload);

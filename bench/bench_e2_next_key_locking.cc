@@ -64,4 +64,4 @@ BENCHMARK(BM_NextKeyLockingOff)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e2_next_key_locking);

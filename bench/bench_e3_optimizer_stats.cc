@@ -88,4 +88,4 @@ BENCHMARK(BM_StatsWatchdog)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e3_optimizer_stats);

@@ -83,4 +83,4 @@ BENCHMARK(BM_EscalationAvoided)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e4_lock_escalation);

@@ -143,4 +143,4 @@ BENCHMARK(BM_SynchronousCommit)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e5_commit_sync);

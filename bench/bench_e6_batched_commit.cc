@@ -107,4 +107,4 @@ BENCHMARK(BM_DeleteGroupBatched)
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e6_batched_commit);

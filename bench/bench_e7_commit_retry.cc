@@ -89,4 +89,4 @@ BENCHMARK(BM_CommitStormNextKeyOff)->Unit(benchmark::kMillisecond)->Iterations(1
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e7_commit_retry);

@@ -74,4 +74,4 @@ BENCHMARK(BM_ArchiveStormNextKeyOff)->Unit(benchmark::kMillisecond)->Iterations(
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e8_archive_contention);

@@ -64,4 +64,4 @@ BENCHMARK(BM_ReconcileTempTable)
 }  // namespace
 }  // namespace datalinks::bench
 
-BENCHMARK_MAIN();
+DLX_BENCH_MAIN(e9_reconcile);

@@ -43,6 +43,7 @@ std::optional<Status> FaultInjector::Hit(const char* point, Clock* clock) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++counts_[point];
+    if (metrics_) CachedCounter(&hit_counters_, "failpoint.hit.", point)->Add();
     if (crashed_.load(std::memory_order_relaxed)) {
       // The process is dead: no thread of it performs further work.
       return Status::Unavailable("process crashed at fail point " + crash_point_);
@@ -56,6 +57,8 @@ std::optional<Status> FaultInjector::Hit(const char* point, Clock* clock) {
     }
     if (s.hits == 0) return std::nullopt;
     if (s.hits > 0) --s.hits;
+    ++fired_[point];
+    if (metrics_) CachedCounter(&fired_counters_, "failpoint.fired.", point)->Add();
     switch (s.action) {
       case Action::kCrash:
         crash_point_ = point;
@@ -91,6 +94,7 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lk(mu_);
   armed_.clear();
   counts_.clear();
+  fired_.clear();
   crash_point_.clear();
   crashed_.store(false, std::memory_order_release);
 }
@@ -104,6 +108,29 @@ uint64_t FaultInjector::HitCount(const std::string& point) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = counts_.find(point);
   return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::FiredCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = fired_.find(point);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+void FaultInjector::BindMetrics(std::shared_ptr<metrics::Registry> registry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  metrics_ = std::move(registry);
+  hit_counters_.clear();
+  fired_counters_.clear();
+}
+
+metrics::Counter* FaultInjector::CachedCounter(
+    std::map<std::string, metrics::Counter*>* cache, const char* prefix,
+    const std::string& point) {
+  auto it = cache->find(point);
+  if (it != cache->end()) return it->second;
+  metrics::Counter* c = metrics_->GetCounter(prefix + point);
+  (*cache)[point] = c;
+  return c;
 }
 
 }  // namespace datalinks

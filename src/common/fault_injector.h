@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace datalinks {
@@ -117,11 +118,29 @@ class FaultInjector {
 
   /// Times the point was passed through (armed or not) since Reset().
   uint64_t HitCount(const std::string& point) const;
+  /// Times the point actually triggered its armed action since Reset().
+  uint64_t FiredCount(const std::string& point) const;
+
+  /// Mirror per-point hit/fired counts into `registry` as
+  /// `failpoint.hit.<point>` / `failpoint.fired.<point>` counters, so the
+  /// metrics snapshot shows fuzz/fault coverage.  Counts recorded before
+  /// binding are not replayed; Reset() clears local counts but registry
+  /// counters are monotonic.
+  void BindMetrics(std::shared_ptr<metrics::Registry> registry);
 
  private:
+  // Registry counter for `prefix + point`, cached under mu_.
+  metrics::Counter* CachedCounter(
+      std::map<std::string, metrics::Counter*>* cache, const char* prefix,
+      const std::string& point);
+
   mutable std::mutex mu_;
   std::map<std::string, Spec> armed_;
   std::map<std::string, uint64_t> counts_;
+  std::map<std::string, uint64_t> fired_;
+  std::shared_ptr<metrics::Registry> metrics_;
+  std::map<std::string, metrics::Counter*> hit_counters_;
+  std::map<std::string, metrics::Counter*> fired_counters_;
   std::atomic<bool> crashed_{false};
   std::string crash_point_;
 };

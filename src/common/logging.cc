@@ -1,15 +1,46 @@
 #include "common/logging.h"
 
+#include <chrono>
+#include <functional>
+#include <thread>
+
 namespace datalinks {
 
 std::atomic<int> Logger::level_{static_cast<int>(LogLevel::kOff)};
 
+namespace {
+// Sink + its guard live together so SetSink and Log serialize on the same
+// mutex (the old function-local mutex in Log left SetSink unguarded).
+struct SinkState {
+  std::mutex mu;
+  std::FILE* sink = stderr;
+};
+SinkState& State() {
+  static SinkState s;
+  return s;
+}
+}  // namespace
+
+void Logger::SetSink(std::FILE* sink) {
+  SinkState& st = State();
+  std::lock_guard<std::mutex> guard(st.mu);
+  st.sink = sink != nullptr ? sink : stderr;
+}
+
 void Logger::Log(LogLevel level, const std::string& component, const std::string& msg) {
-  static std::mutex mu;
   static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
-  std::lock_guard<std::mutex> guard(mu);
-  std::fprintf(stderr, "[%s] %s: %s\n", kNames[static_cast<int>(level)], component.c_str(),
+  const int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  const size_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  SinkState& st = State();
+  std::lock_guard<std::mutex> guard(st.mu);
+  std::fprintf(st.sink, "[%9lld.%06lld] [%s] (tid %04zx) %s: %s\n",
+               static_cast<long long>(now_us / 1000000),
+               static_cast<long long>(now_us % 1000000),
+               kNames[static_cast<int>(level)], tid & 0xffff, component.c_str(),
                msg.c_str());
+  if (level >= LogLevel::kWarn) std::fflush(st.sink);
 }
 
 }  // namespace datalinks

@@ -1,5 +1,12 @@
 // Minimal leveled logger.  Off by default so tests/benches stay quiet;
 // enable with Logger::SetLevel for debugging.
+//
+// Every line carries a severity tag, a monotonic timestamp (micros), the
+// emitting thread, and a component tag:
+//   [   12.345678] [DEBUG] (tid 140203...) trace: span dlfm.prepare ...
+// The sink (default stderr) is settable and every sink access — including
+// swaps — is serialized under one mutex, so concurrent loggers never
+// interleave partial lines or race a sink swap.
 #pragma once
 
 #include <atomic>
@@ -16,6 +23,10 @@ class Logger {
  public:
   static void SetLevel(LogLevel level) { level_.store(static_cast<int>(level)); }
   static bool Enabled(LogLevel level) { return static_cast<int>(level) >= level_.load(); }
+
+  /// Redirect output; nullptr restores stderr.  The FILE* must outlive all
+  /// logging (the logger never closes it).
+  static void SetSink(std::FILE* sink);
 
   static void Log(LogLevel level, const std::string& component, const std::string& msg);
 

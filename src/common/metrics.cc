@@ -1,0 +1,200 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace datalinks::metrics {
+
+namespace {
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const std::vector<int64_t>& Histogram::LatencyBounds() {
+  // ~1us .. 10s, half-decade-ish steps: fine resolution where commit
+  // latencies actually land, bounded memory (22 buckets + overflow).
+  static const std::vector<int64_t> kBounds = {
+      1,      2,      5,       10,      20,      50,      100,     200,
+      500,    1000,   2000,    5000,    10000,   20000,   50000,   100000,
+      200000, 500000, 1000000, 2000000, 5000000, 10000000};
+  return kBounds;
+}
+
+const std::vector<int64_t>& Histogram::CountBounds() {
+  static const std::vector<int64_t> kBounds = {1,   2,   4,    8,    16,  32,
+                                               64,  128, 256,  512,  1024,
+                                               2048, 4096, 16384, 65536};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = LatencyBounds();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(int64_t v) {
+  if (!kEnabled) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());  // overflow OK
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based.
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(total));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      if (i == bounds_.size()) return static_cast<double>(bounds_.back());
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+      const double hi = static_cast<double>(bounds_[i]);
+      const double frac =
+          (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return static_cast<double>(bounds_.back());
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+namespace {
+void AppendDouble(std::ostringstream& os, double v) {
+  // Fixed 1-decimal micros keeps the JSON stable and readable.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  os << buf;
+}
+}  // namespace
+
+std::string Registry::DumpJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"p50\":";
+    AppendDouble(os, h->p50());
+    os << ",\"p95\":";
+    AppendDouble(os, h->p95());
+    os << ",\"p99\":";
+    AppendDouble(os, h->p99());
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+const std::shared_ptr<Registry>& Registry::Default() {
+  static const std::shared_ptr<Registry> kDefault = std::make_shared<Registry>();
+  return kDefault;
+}
+
+ScopedTimer::ScopedTimer(Histogram* h) {
+  if (kEnabled && h != nullptr) {
+    h_ = h;
+    t0_micros_ = SteadyNowMicros();
+  }
+}
+
+int64_t ScopedTimer::Stop() {
+  if (h_ == nullptr) return 0;
+  const int64_t elapsed = SteadyNowMicros() - t0_micros_;
+  h_->Record(elapsed);
+  h_ = nullptr;
+  return elapsed;
+}
+
+int64_t NowMicrosForMetrics() { return kEnabled ? SteadyNowMicros() : 0; }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace datalinks::metrics

@@ -1,0 +1,149 @@
+// Process-wide, lock-cheap metrics: named counters, gauges, and fixed-bucket
+// latency histograms with percentile accessors.
+//
+// One `Registry` models one simulated process (host database or DLFM server),
+// mirroring the FaultInjector convention.  Components receive a registry via
+// their options struct; passing none gives each component a private registry
+// so tests stay isolated.  `Registry::Default()` is the process-global
+// fallback for code with no options plumbing (benches, ad-hoc tools).
+//
+// Hot-path cost: instruments are looked up once (mutex-protected map) and the
+// returned pointers are stable for the registry's lifetime, so steady-state
+// updates are a single relaxed atomic RMW.  Snapshot reads are relaxed loads;
+// a snapshot taken concurrently with updates is approximate (per-instrument
+// values are each individually consistent).  TSan-clean by construction.
+//
+// Building with -DDLX_DISABLE_METRICS=ON compiles all updates out
+// (`metrics::kEnabled == false`); EXPERIMENTS.md E13 measures the delta.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace datalinks::metrics {
+
+#ifdef DLX_DISABLE_METRICS
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (kEnabled) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, pending entries); may go down.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (kEnabled) v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (kEnabled) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram.  Bucket `i` counts samples `v <= bounds[i]`; one
+/// extra overflow bucket counts everything above the last bound.  Bounds are
+/// immutable after construction, so recording is one relaxed fetch_add per
+/// sample and percentile queries need no locking.
+class Histogram {
+ public:
+  /// Default bounds suit latencies in microseconds: ~1us .. 10s, roughly
+  /// exponential.  Use CountBounds() for batch-size style distributions.
+  static const std::vector<int64_t>& LatencyBounds();
+  static const std::vector<int64_t>& CountBounds();
+
+  explicit Histogram(std::vector<int64_t> bounds = LatencyBounds());
+
+  void Record(int64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Percentile in [0,100] by linear interpolation within the owning bucket.
+  /// Empty histogram -> 0.  Samples in the overflow bucket report the last
+  /// bound (percentiles saturate; widen the bounds if that matters).
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50.0); }
+  double p95() const { return Percentile(95.0); }
+  double p99() const { return Percentile(99.0); }
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;  // size bounds()+1; last = overflow
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Named instrument registry.  Get* returns a pointer stable for the
+/// registry's lifetime; the same name always yields the same instrument.
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is honored only on first creation; empty means LatencyBounds().
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds = {});
+
+  /// Snapshot as JSON:
+  ///   {"counters":{name:n,...},"gauges":{name:n,...},
+  ///    "histograms":{name:{"count":n,"sum":n,"p50":x,"p95":x,"p99":x},...}}
+  std::string DumpJson() const;
+
+  /// Process-global registry for code without options plumbing.
+  static const std::shared_ptr<Registry>& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records elapsed wall micros into a histogram on destruction (or Stop()).
+/// With metrics compiled out the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h);
+  ~ScopedTimer() { Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now (idempotent) and returns the elapsed micros (0 if disabled).
+  int64_t Stop();
+
+ private:
+  Histogram* h_ = nullptr;
+  int64_t t0_micros_ = 0;
+};
+
+/// Steady-clock micros, 0 when metrics are compiled out.  Pair with
+/// ElapsedMicros for instrumentation sites that branch on an instrument.
+int64_t NowMicrosForMetrics();
+
+/// Minimal JSON string escaping (shared with trace.cc / stats surfaces).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace datalinks::metrics

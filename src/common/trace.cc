@@ -1,0 +1,91 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace datalinks::trace {
+
+TraceId NextTraceId() {
+  static std::atomic<TraceId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void TraceRing::Record(TraceId trace, uint64_t txn, const std::string& name,
+                       const std::string& component, int64_t ts_micros) {
+  if (!metrics::kEnabled) return;  // tracing shares the metrics kill switch
+  DLX_DEBUG("trace", "span " << name << " trace=" << trace << " txn=" << txn
+                             << " at=" << component << " ts=" << ts_micros);
+  SpanEvent ev{trace, txn, name, component, ts_micros};
+  std::lock_guard<std::mutex> lk(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[next_] = std::move(ev);  // overwrite oldest
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanEvent> TraceRing::ForTrace(TraceId trace) const {
+  std::vector<SpanEvent> out;
+  for (auto& ev : Snapshot()) {
+    if (ev.trace == trace) out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::string TraceRing::DumpJson() const {
+  const std::vector<SpanEvent> spans = Snapshot();
+  std::ostringstream os;
+  os << "{\"capacity\":" << capacity_ << ",\"dropped\":" << dropped()
+     << ",\"spans\":[";
+  bool first = true;
+  for (const auto& ev : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"trace\":" << ev.trace << ",\"txn\":" << ev.txn << ",\"name\":\""
+       << metrics::JsonEscape(ev.name) << "\",\"component\":\""
+       << metrics::JsonEscape(ev.component) << "\",\"ts_micros\":" << ev.ts_micros
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_ - ring_.size();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+const std::shared_ptr<TraceRing>& TraceRing::Default() {
+  static const std::shared_ptr<TraceRing> kDefault =
+      std::make_shared<TraceRing>();
+  return kDefault;
+}
+
+}  // namespace datalinks::trace

@@ -1,0 +1,73 @@
+// Per-transaction tracing.  The host session mints a trace id at Begin and
+// stamps it on every rpc request (DlfmRequest::meta); each component records
+// timestamped span events (host.begin, dlfm.prepare, dlfm.harden,
+// host.commit.ack, dlfm.archive.copy, ...) into a bounded ring.
+//
+// The ring is deliberately tiny and lossy: a fixed-capacity buffer that drops
+// the oldest event on overflow, so tracing can stay on in production paths.
+// `TraceRing::Default()` is shared process-wide — in this simulated world the
+// host and all DLFMs live in one process, so one default ring sees a
+// transaction end to end; tests that need isolation pass their own ring via
+// the component options.
+//
+// Span events are also routed through the logger at debug level (component
+// "trace"), so `Logger::SetLevel(kDebug)` tails spans live.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace datalinks::trace {
+
+using TraceId = uint64_t;
+
+/// Process-wide monotonic trace-id mint; never returns 0 (0 = "no trace").
+TraceId NextTraceId();
+
+struct SpanEvent {
+  TraceId trace = 0;
+  uint64_t txn = 0;        // global transaction id, 0 if not applicable
+  std::string name;        // e.g. "dlfm.prepare"
+  std::string component;   // e.g. "hostdb", "srv1"
+  int64_t ts_micros = 0;   // caller-supplied clock (usually Clock::NowMicros)
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  void Record(TraceId trace, uint64_t txn, const std::string& name,
+              const std::string& component, int64_t ts_micros);
+
+  /// Buffered events, oldest first.
+  std::vector<SpanEvent> Snapshot() const;
+  /// Events for one trace id, oldest first.
+  std::vector<SpanEvent> ForTrace(TraceId trace) const;
+
+  /// {"capacity":n,"dropped":n,"spans":[{"trace":..,"txn":..,"name":..,
+  ///   "component":..,"ts_micros":..},...]}
+  std::string DumpJson() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Events evicted to make room (total recorded - buffered).
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Process-global ring shared by components constructed without one.
+  static const std::shared_ptr<TraceRing>& Default();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;  // grows to capacity_, then circular
+  size_t next_ = 0;              // write cursor once full
+  uint64_t total_ = 0;           // events ever recorded
+};
+
+}  // namespace datalinks::trace

@@ -54,12 +54,14 @@ enum class DlfmApi : uint8_t {
   kReconcileRun,      // set-difference against the File table; fix + report
   kIsLinked,          // upcall path (also used by tests)
   kListIndoubt,       // prepared-but-unresolved transactions
+  kStats,             // metrics snapshot (DumpJson in response.message)
   kDisconnect,
 };
 
 struct DlfmRequest {
   DlfmApi api = DlfmApi::kPing;
   GlobalTxnId txn = 0;
+  rpc::Metadata meta;  // trace id etc.; stamped by the host session
 
   std::string filename;
   int64_t recovery_id = 0;

@@ -113,8 +113,10 @@ std::unique_ptr<sqldb::Database> OpenLocalDbOrDie(
 }
 
 sqldb::DatabaseOptions ToDbOptions(const DlfmOptions& o,
-                                   std::shared_ptr<FaultInjector> fault) {
+                                   std::shared_ptr<FaultInjector> fault,
+                                   std::shared_ptr<metrics::Registry> metrics) {
   sqldb::DatabaseOptions d;
+  d.metrics = std::move(metrics);  // engine histograms land in this DLFM's registry
   d.name = "dlfm_local@" + o.server_name;
   d.next_key_locking = o.next_key_locking;
   d.lock_timeout_micros = o.lock_timeout_micros;
@@ -134,11 +136,23 @@ DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : SystemClock::Instance()),
       fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
+      metrics_(options_.metrics ? options_.metrics
+                                : std::make_shared<metrics::Registry>()),
+      trace_(options_.trace ? options_.trace : trace::TraceRing::Default()),
       fs_(fs),
       archive_(archive),
-      db_(OpenLocalDbOrDie(ToDbOptions(options_, fault_), std::move(durable))),
+      db_(OpenLocalDbOrDie(ToDbOptions(options_, fault_, metrics_), std::move(durable))),
       repo_(db_.get()),
-      chown_(fs, "dlfm-chown-secret") {}
+      chown_(fs, "dlfm-chown-secret") {
+  fault_->BindMetrics(metrics_);
+  prepare_latency_us_ = metrics_->GetHistogram("dlfm.prepare.latency_us");
+  phase2_commit_us_ = metrics_->GetHistogram("dlfm.commit.phase2_us");
+  dg_queue_depth_ = metrics_->GetGauge("dlfm.dg.queue_depth");
+  copy_pending_ = metrics_->GetGauge("dlfm.copy.pending");
+  commit_retries_c_ = metrics_->GetCounter("dlfm.commit.retries");
+  abort_retries_c_ = metrics_->GetCounter("dlfm.abort.retries");
+  copy_failures_c_ = metrics_->GetCounter("dlfm.archive.copy_failures");
+}
 
 DlfmServer::~DlfmServer() { Stop(); }
 
@@ -170,6 +184,7 @@ Status DlfmServer::Start() {
   if (committed.ok()) {
     std::lock_guard<std::mutex> lk(dg_mu_);
     for (const TxnEntry& e : *committed) dg_queue_.push_back(e.txn_id);
+    dg_queue_depth_->Set(static_cast<int64_t>(dg_queue_.size()));
     dg_cv_.notify_all();
   }
   return Status::OK();
@@ -274,21 +289,26 @@ DlfmResponse DlfmServer::Dispatch(const DlfmRequest& req) {
     return DlfmResponse::FromStatus(
         Status::Unavailable("dlfm crashed at " + fault_->crash_point()));
   }
+  // The trace id rides the request metadata; remember it so daemon work
+  // items (which carry only the GlobalTxnId) can tag their spans later.
+  if (req.meta.trace_id != 0 && req.txn != 0) {
+    RememberTrace(req.txn, req.meta.trace_id);
+  }
   switch (req.api) {
     case DlfmApi::kPing:
       return DlfmResponse{};
     case DlfmApi::kBeginTxn:
-      return DlfmResponse::FromStatus(ApiBegin(req.txn));
+      return DlfmResponse::FromStatus(ApiBegin(req.txn, req.meta.trace_id));
     case DlfmApi::kLinkFile:
       return DlfmResponse::FromStatus(ApiLink(req.txn, req));
     case DlfmApi::kUnlinkFile:
       return DlfmResponse::FromStatus(ApiUnlink(req.txn, req));
     case DlfmApi::kPrepare:
-      return DlfmResponse::FromStatus(ApiPrepare(req.txn));
+      return DlfmResponse::FromStatus(ApiPrepare(req.txn, req.meta.trace_id));
     case DlfmApi::kCommit:
-      return DlfmResponse::FromStatus(ApiCommit(req.txn));
+      return DlfmResponse::FromStatus(ApiCommit(req.txn, req.meta.trace_id));
     case DlfmApi::kAbort:
-      return DlfmResponse::FromStatus(ApiAbort(req.txn));
+      return DlfmResponse::FromStatus(ApiAbort(req.txn, req.meta.trace_id));
     case DlfmApi::kCreateGroup:
       return DlfmResponse::FromStatus(ApiCreateGroup(req.txn, req.group_id, req.aux));
     case DlfmApi::kDeleteGroup:
@@ -328,6 +348,11 @@ DlfmResponse DlfmServer::Dispatch(const DlfmRequest& req) {
       if (!ids.ok()) return DlfmResponse::FromStatus(ids.status());
       DlfmResponse r;
       for (GlobalTxnId id : *ids) r.ids.push_back(static_cast<int64_t>(id));
+      return r;
+    }
+    case DlfmApi::kStats: {
+      DlfmResponse r;
+      r.message = StatsJson();
       return r;
     }
     case DlfmApi::kDisconnect:
@@ -389,10 +414,41 @@ Status DlfmServer::MaybeBatchCommit(GlobalTxnId txn, TxnCtx* ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Tracing plumbing
+// ---------------------------------------------------------------------------
+
+void DlfmServer::Span(uint64_t trace_id, GlobalTxnId txn, const char* name) {
+  if (trace_id == 0) return;
+  trace_->Record(trace_id, txn, name, options_.server_name, clock_->NowMicros());
+}
+
+void DlfmServer::RememberTrace(GlobalTxnId txn, uint64_t trace_id) {
+  constexpr size_t kMaxTracked = 4096;
+  std::lock_guard<std::mutex> lk(txn_trace_mu_);
+  auto [it, inserted] = txn_traces_.try_emplace(txn, trace_id);
+  if (!inserted) {
+    it->second = trace_id;
+    return;
+  }
+  txn_trace_order_.push_back(txn);
+  while (txn_trace_order_.size() > kMaxTracked) {
+    txn_traces_.erase(txn_trace_order_.front());
+    txn_trace_order_.pop_front();
+  }
+}
+
+uint64_t DlfmServer::TraceForTxn(GlobalTxnId txn) const {
+  std::lock_guard<std::mutex> lk(txn_trace_mu_);
+  auto it = txn_traces_.find(txn);
+  return it == txn_traces_.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
 // 2PC API
 // ---------------------------------------------------------------------------
 
-Status DlfmServer::ApiBegin(GlobalTxnId txn) {
+Status DlfmServer::ApiBegin(GlobalTxnId txn, uint64_t trace_id) {
+  if (trace_id != 0) RememberTrace(txn, trace_id);
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/true));
   if (ctx->local == nullptr && !ctx->failed && !ctx->prepared) {
     ctx->local = db_->Begin();
@@ -539,7 +595,10 @@ Status DlfmServer::ApiDeleteGroup(GlobalTxnId txn, int64_t group_id, int64_t del
   return Status::OK();
 }
 
-Status DlfmServer::ApiPrepare(GlobalTxnId txn) {
+Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
+  if (trace_id == 0) trace_id = TraceForTxn(txn);
+  Span(trace_id, txn, "dlfm.prepare");
+  metrics::ScopedTimer prepare_timer(prepare_latency_us_);
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
   if (ctx->failed) return Status::Aborted("transaction failed before prepare");
   if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
@@ -577,6 +636,7 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn) {
   // a host-driven abort must take the compensation path, not the ctx-erase
   // shortcut.
   ctx->prepared = true;
+  Span(trace_id, txn, "dlfm.harden");
   if (auto f = fault_->Hit(failpoints::kDlfmPrepareAfterHarden, clock_.get())) {
     return *f;
   }
@@ -647,15 +707,18 @@ Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked
   if (ngroups > 0) {
     std::lock_guard<std::mutex> lk(dg_mu_);
     dg_queue_.push_back(txn);
+    dg_queue_depth_->Set(static_cast<int64_t>(dg_queue_.size()));
     dg_cv_.notify_all();
   }
   return Status::OK();
 }
 
-Status DlfmServer::ApiCommit(GlobalTxnId txn) {
+Status DlfmServer::ApiCommit(GlobalTxnId txn, uint64_t trace_id) {
   // Phase 2.  Unlike SQL commit, this acquires NEW locks in the local
   // database (Fig. 4), so deadlock/timeout is possible; since the outcome
   // of a transaction cannot change in phase 2, we retry until it succeeds.
+  if (trace_id == 0) trace_id = TraceForTxn(txn);
+  metrics::ScopedTimer phase2_timer(phase2_commit_us_);
   if (options_.phase2_start_delay_micros > 0) {
     clock_->SleepForMicros(options_.phase2_start_delay_micros);
   }
@@ -667,6 +730,7 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn) {
     if (st.ok()) break;
     if (!st.IsTransactionFatal()) return st;
     counters_.commit_retries.fetch_add(1);
+    commit_retries_c_->Add();
     if (++attempts > options_.max_phase2_retries) {
       return Status::Busy("phase-2 commit retries exhausted: " + st.ToString());
     }
@@ -691,6 +755,7 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn) {
     if (st.ok()) break;
     if (!st.IsTransactionFatal()) return st;
     counters_.commit_retries.fetch_add(1);
+    commit_retries_c_->Add();
     if (++attempts > options_.max_phase2_retries) {
       return Status::Busy("phase-2 cleanup retries exhausted: " + st.ToString());
     }
@@ -698,6 +763,7 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn) {
   }
   DropCtx(txn);
   counters_.commits.fetch_add(1);
+  Span(trace_id, txn, "dlfm.commit");
   return Status::OK();
 }
 
@@ -755,7 +821,8 @@ Status DlfmServer::AbortAttempt(GlobalTxnId txn) {
   return db_->Commit(t);
 }
 
-Status DlfmServer::ApiAbort(GlobalTxnId txn) {
+Status DlfmServer::ApiAbort(GlobalTxnId txn, uint64_t trace_id) {
+  if (trace_id == 0) trace_id = TraceForTxn(txn);
   {
     std::lock_guard<std::mutex> lk(ctx_mu_);
     auto it = ctxs_.find(txn);
@@ -784,6 +851,7 @@ Status DlfmServer::ApiAbort(GlobalTxnId txn) {
     if (st.ok()) break;
     if (!st.IsTransactionFatal()) return st;
     counters_.abort_retries.fetch_add(1);
+    abort_retries_c_->Add();
     if (++attempts > options_.max_phase2_retries) {
       return Status::Busy("phase-2 abort retries exhausted: " + st.ToString());
     }
@@ -791,6 +859,7 @@ Status DlfmServer::ApiAbort(GlobalTxnId txn) {
   }
   DropCtx(txn);
   counters_.aborts.fetch_add(1);
+  Span(trace_id, txn, "dlfm.abort");
   return Status::OK();
 }
 
@@ -836,6 +905,7 @@ void DlfmServer::CopyLoop() {
       clock_->SleepForMicros(1000);
       continue;
     }
+    copy_pending_->Set(static_cast<int64_t>(pending->size()));
     if (pending->empty()) {
       (void)db_->Commit(t);
       clock_->SleepForMicros(1000);
@@ -872,6 +942,7 @@ void DlfmServer::CopyLoop() {
         // round retries it, instead of deleting it and silently losing the
         // recovery copy.
         counters_.archive_copy_failures.fetch_add(1);
+        copy_failures_c_->Add();
         copy_failures = true;
         continue;
       }
@@ -888,6 +959,8 @@ void DlfmServer::CopyLoop() {
         break;
       }
       counters_.files_archived.fetch_add(1);
+      Span(TraceForTxn(static_cast<GlobalTxnId>(e.txn_id)),
+           static_cast<uint64_t>(e.txn_id), "dlfm.archive.copy");
     }
     if (fault_->crashed()) {
       (void)db_->Rollback(t);
@@ -912,7 +985,9 @@ void DlfmServer::DeleteGroupLoop() {
       txn = dg_queue_.front();
       dg_queue_.pop_front();
       ++dg_in_progress_;
+      dg_queue_depth_->Set(static_cast<int64_t>(dg_queue_.size()));
     }
+    Span(TraceForTxn(txn), txn, "dlfm.dg.process");
     Status st = ProcessDeleteGroupTxn(txn);
     {
       std::lock_guard<std::mutex> lk(dg_mu_);

@@ -36,6 +36,8 @@
 #include "archive/archive_server.h"
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dlfm/api.h"
 #include "dlfm/metadata.h"
 #include "fsim/file_server.h"
@@ -104,6 +106,15 @@ struct DlfmOptions {
   /// Deterministic fail points (crash/error/delay) for recovery testing.
   /// One injector models this one DLFM process; null = never fires.
   std::shared_ptr<FaultInjector> fault;
+
+  /// Metrics registry for this DLFM process (shared with its embedded
+  /// engine and its fail-point injector).  null = private registry,
+  /// reachable via metrics() / the kStats RPC.
+  std::shared_ptr<metrics::Registry> metrics;
+
+  /// Span-event sink.  null = the process-global TraceRing::Default(), so
+  /// a host and its DLFMs land one transaction's spans in one ring.
+  std::shared_ptr<trace::TraceRing> trace;
 };
 
 struct DlfmCounters {
@@ -189,6 +200,12 @@ class DlfmServer {
   const DlfmOptions& options() const { return options_; }
   DlfmCounters& counters() { return counters_; }
   FaultInjector& fault() { return *fault_; }
+  metrics::Registry& metrics() const { return *metrics_; }
+  trace::TraceRing& trace_ring() const { return *trace_; }
+
+  /// Metrics snapshot (the kStats RPC payload): the process registry —
+  /// engine histograms, 2PC latencies, daemon gauges, fail-point counters.
+  std::string StatsJson() const { return metrics_->DumpJson(); }
 
   /// Live child-agent bookkeeping entries.  Regression guard: must stay
   /// bounded by concurrently open connections, not by connections ever
@@ -224,12 +241,14 @@ class DlfmServer {
 
   // --- API entry points (called by child agents; public for direct-embed
   // use and unit tests) ------------------------------------------------------
-  Status ApiBegin(GlobalTxnId txn);
+  /// `trace_id` (0 = untraced / fall back to the id remembered from an
+  /// earlier call for this txn) tags the span events the call records.
+  Status ApiBegin(GlobalTxnId txn, uint64_t trace_id = 0);
   Status ApiLink(GlobalTxnId txn, const DlfmRequest& req);
   Status ApiUnlink(GlobalTxnId txn, const DlfmRequest& req);
-  Status ApiPrepare(GlobalTxnId txn);
-  Status ApiCommit(GlobalTxnId txn);
-  Status ApiAbort(GlobalTxnId txn);
+  Status ApiPrepare(GlobalTxnId txn, uint64_t trace_id = 0);
+  Status ApiCommit(GlobalTxnId txn, uint64_t trace_id = 0);
+  Status ApiAbort(GlobalTxnId txn, uint64_t trace_id = 0);
   Status ApiCreateGroup(GlobalTxnId txn, int64_t group_id, int64_t dbid);
   Status ApiDeleteGroup(GlobalTxnId txn, int64_t group_id, int64_t del_rec_id);
   Status ApiEnsureArchived(int64_t cut_recovery_id, int64_t timeout_micros);
@@ -279,6 +298,15 @@ class DlfmServer {
                        std::vector<FileEntry>* released);
   Status AbortAttempt(GlobalTxnId txn);
 
+  /// Record a span event for this DLFM (no-op when trace_id == 0).
+  void Span(uint64_t trace_id, GlobalTxnId txn, const char* name);
+  /// txn -> trace-id association, so daemons (Copy / Delete Group) that see
+  /// only the GlobalTxnId in their work items can tag their spans.  Bounded
+  /// FIFO: old associations are evicted, yielding untraced (trace 0) daemon
+  /// spans rather than unbounded growth.
+  void RememberTrace(GlobalTxnId txn, uint64_t trace_id);
+  uint64_t TraceForTxn(GlobalTxnId txn) const;
+
   /// Physically delete unlinked no-recovery versions once the files have
   /// been released (runs after ApplyReleases so phase-2 redelivery after a
   /// crash can still find and re-release them).
@@ -296,6 +324,15 @@ class DlfmServer {
   DlfmOptions options_;
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<FaultInjector> fault_;
+  std::shared_ptr<metrics::Registry> metrics_;  // never nullptr after ctor
+  std::shared_ptr<trace::TraceRing> trace_;     // never nullptr after ctor
+  metrics::Histogram* prepare_latency_us_ = nullptr;  // owned by metrics_
+  metrics::Histogram* phase2_commit_us_ = nullptr;
+  metrics::Gauge* dg_queue_depth_ = nullptr;
+  metrics::Gauge* copy_pending_ = nullptr;
+  metrics::Counter* commit_retries_c_ = nullptr;
+  metrics::Counter* abort_retries_c_ = nullptr;
+  metrics::Counter* copy_failures_c_ = nullptr;
   fsim::FileServer* fs_;
   archive::ArchiveServer* archive_;
 
@@ -308,6 +345,11 @@ class DlfmServer {
 
   std::mutex ctx_mu_;
   std::unordered_map<GlobalTxnId, std::unique_ptr<TxnCtx>> ctxs_;
+
+  // Bounded txn -> trace-id map (see RememberTrace).
+  mutable std::mutex txn_trace_mu_;
+  std::unordered_map<GlobalTxnId, uint64_t> txn_traces_;
+  std::deque<GlobalTxnId> txn_trace_order_;
 
   // Delete-group work queue.
   std::mutex dg_mu_;

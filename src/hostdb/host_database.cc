@@ -33,8 +33,10 @@ std::unique_ptr<sqldb::Database> OpenOrDie(sqldb::DatabaseOptions opts,
 }
 
 sqldb::DatabaseOptions ToDbOptions(const HostOptions& o,
-                                   std::shared_ptr<FaultInjector> fault) {
+                                   std::shared_ptr<FaultInjector> fault,
+                                   std::shared_ptr<metrics::Registry> metrics) {
   sqldb::DatabaseOptions d;
+  d.metrics = std::move(metrics);  // engine histograms land in the host registry
   d.name = o.name;
   d.lock_timeout_micros = o.lock_timeout_micros;
   d.log_capacity_bytes = o.log_capacity_bytes;
@@ -74,8 +76,16 @@ HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableSt
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : SystemClock::Instance()),
       fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
-      db_(OpenOrDie(ToDbOptions(options_, fault_), std::move(durable))),
+      metrics_(options_.metrics ? options_.metrics
+                                : std::make_shared<metrics::Registry>()),
+      trace_(options_.trace ? options_.trace : trace::TraceRing::Default()),
+      db_(OpenOrDie(ToDbOptions(options_, fault_, metrics_), std::move(durable))),
       tokens_(options_.token_secret, clock_) {
+  fault_->BindMetrics(metrics_);
+  commit_latency_us_ = metrics_->GetHistogram("host.commit.latency_us");
+  phase1_rtt_us_ = metrics_->GetHistogram("host.2pc.phase1_rtt_us");
+  phase2_rtt_us_ = metrics_->GetHistogram("host.2pc.phase2_rtt_us");
+  prepare_failures_c_ = metrics_->GetCounter("host.2pc.prepare_failures");
   Status st = LoadCatalog();
   if (!st.ok()) {
     DLX_ERROR("hostdb", "catalog load failed: " << st.ToString());

@@ -25,6 +25,8 @@
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dlff/token.h"
 #include "dlfm/api.h"
 #include "hostdb/url.h"
@@ -54,6 +56,14 @@ struct HostOptions {
   /// Fail points for crash-matrix testing; defaults to an injector with
   /// nothing armed (zero overhead beyond a map lookup per commit).
   std::shared_ptr<FaultInjector> fault;
+
+  /// Metrics registry for the host process (shared with its embedded
+  /// engine and fail-point injector).  null = private registry.
+  std::shared_ptr<metrics::Registry> metrics;
+
+  /// Span-event sink.  null = the process-global TraceRing::Default(), so
+  /// the host and its DLFMs land one transaction's spans in one ring.
+  std::shared_ptr<trace::TraceRing> trace;
 };
 
 /// Per-table datalink column description.
@@ -130,6 +140,12 @@ class HostDatabase {
   const HostOptions& options() const { return options_; }
   FaultInjector& fault() { return *fault_; }
   Clock* clock() { return clock_.get(); }
+  metrics::Registry& metrics() const { return *metrics_; }
+  trace::TraceRing& trace_ring() const { return *trace_; }
+
+  /// Metrics snapshot of the host process: engine histograms, commit
+  /// latency, per-DLFM 2PC round-trip times, fail-point counters.
+  std::string StatsJson() const { return metrics_->DumpJson(); }
 
  private:
   friend class HostSession;
@@ -163,6 +179,12 @@ class HostDatabase {
   HostOptions options_;
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<FaultInjector> fault_;
+  std::shared_ptr<metrics::Registry> metrics_;  // never nullptr after ctor
+  std::shared_ptr<trace::TraceRing> trace_;     // never nullptr after ctor
+  metrics::Histogram* commit_latency_us_ = nullptr;  // owned by metrics_
+  metrics::Histogram* phase1_rtt_us_ = nullptr;
+  metrics::Histogram* phase2_rtt_us_ = nullptr;
+  metrics::Counter* prepare_failures_c_ = nullptr;
   std::unique_ptr<sqldb::Database> db_;
   dlff::TokenAuthority tokens_;
   HostCounters counters_;
@@ -209,6 +231,9 @@ class HostSession {
 
   bool in_transaction() const { return local_ != nullptr; }
   dlfm::GlobalTxnId txn_id() const { return txn_id_; }
+  /// Trace id minted at Begin and stamped on every DLFM request this
+  /// transaction sends (0 outside a transaction).
+  uint64_t trace_id() const { return trace_id_; }
 
  private:
   struct DlfmPeer {
@@ -239,9 +264,13 @@ class HostSession {
   Status PerformActions(const std::vector<LinkAction>& actions);
   void CompensateActions(const std::vector<LinkAction>& actions, size_t done);
 
+  /// Record a span event for the host component (no-op when untraced).
+  void Span(const char* name);
+
   HostDatabase* host_;
   sqldb::Transaction* local_ = nullptr;
   dlfm::GlobalTxnId txn_id_ = 0;
+  uint64_t trace_id_ = 0;
   bool rollback_only_ = false;
   bool utility_ = false;
   std::map<std::string, DlfmPeer> peers_;

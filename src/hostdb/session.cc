@@ -31,14 +31,22 @@ HostSession::~HostSession() {
   }
 }
 
+void HostSession::Span(const char* name) {
+  if (trace_id_ == 0) return;
+  host_->trace_ring().Record(trace_id_, txn_id_, name, host_->options().name,
+                             host_->clock()->NowMicros());
+}
+
 Status HostSession::Begin() {
   if (local_ != nullptr) return Status::InvalidArgument("transaction already open");
   // Read Stability so the datalink engine's pre-reads of rows it is about
   // to delete/update stay stable until the statement completes.
   local_ = host_->db()->Begin(sqldb::Isolation::kRS);
   txn_id_ = local_->id();
+  trace_id_ = trace::NextTraceId();
   rollback_only_ = false;
   touched_.clear();
+  Span("host.begin");
   return Status::OK();
 }
 
@@ -91,6 +99,7 @@ Status HostSession::DrainPeer(DlfmPeer* peer) {
 
 Result<DlfmResponse> HostSession::CallPeer(DlfmPeer* peer, DlfmRequest req) {
   DLX_RETURN_IF_ERROR(DrainPeer(peer));
+  req.meta.trace_id = trace_id_;  // every request carries the txn's trace
   return peer->conn->Call(std::move(req));
 }
 
@@ -325,6 +334,8 @@ Status HostSession::Commit() {
     return st;
   }
 
+  metrics::ScopedTimer commit_timer(host_->commit_latency_us_);
+
   if (touched_.empty()) {
     Status st = host_->db()->Commit(local_);
     local_ = nullptr;
@@ -339,7 +350,13 @@ Status HostSession::Commit() {
     DlfmRequest req;
     req.api = DlfmApi::kPrepare;
     req.txn = txn_id_;
+    const int64_t t0 = metrics::NowMicrosForMetrics();
     auto resp = CallPeer(&peer, std::move(req));
+    if (metrics::kEnabled) {
+      const int64_t rtt = metrics::NowMicrosForMetrics() - t0;
+      host_->phase1_rtt_us_->Record(rtt);
+      host_->metrics().GetHistogram("host.2pc.phase1_rtt_us." + server)->Record(rtt);
+    }
     host_->counters().prepares_sent.fetch_add(1);
     if (!resp.ok() || !resp->ToStatus().ok()) {
       prepare_failed = true;
@@ -347,6 +364,7 @@ Status HostSession::Commit() {
     }
   }
   if (prepare_failed) {
+    host_->prepare_failures_c_->Add();
     // "if one of the DLFMs fails to prepare ... the host database sends
     // Abort request to all the remaining DLFMs, even though they may have
     // prepared successfully."
@@ -400,6 +418,7 @@ Status HostSession::Commit() {
   }
   DLX_RETURN_IF_ERROR(host_->db()->Commit(local_));
   local_ = nullptr;
+  Span("host.decision");  // the COMMIT outcome is now durable
   if (auto f = host_->fault().Hit(failpoints::kHostCommitBeforePhase2, host_->clock())) {
     // Decision is durable but no DLFM heard it yet: ResolveIndoubts must
     // redeliver commit to every participant after restart.
@@ -416,13 +435,24 @@ Status HostSession::Commit() {
     req.api = DlfmApi::kCommit;
     req.txn = txn_id_;
     if (sync) {
+      const int64_t t0 = metrics::NowMicrosForMetrics();
       auto resp = CallPeer(&peer, std::move(req));
+      if (metrics::kEnabled) {
+        const int64_t rtt = metrics::NowMicrosForMetrics() - t0;
+        host_->phase2_rtt_us_->Record(rtt);
+        host_->metrics().GetHistogram("host.2pc.phase2_rtt_us." + server)->Record(rtt);
+      }
       // Idempotent redelivery via ResolveIndoubts if this failed.
-      if (!resp.ok() || !resp->ToStatus().ok()) all_acked = false;
+      if (!resp.ok() || !resp->ToStatus().ok()) {
+        all_acked = false;
+      } else {
+        Span("host.commit.ack");  // this server completed phase 2
+      }
     } else {
       // §4's problematic mode: fire the commit and return to the
       // application without waiting.  The child agent may still be doing
       // commit processing when this connection's next request arrives.
+      req.meta.trace_id = trace_id_;
       Status send = peer.conn->CallAsync(std::move(req));
       if (send.ok()) {
         ++peer.pending_async;
@@ -476,6 +506,7 @@ Status HostSession::Rollback() {
   drop_on_commit_.clear();
   rollback_only_ = false;
   host_->counters().rollbacks.fetch_add(1);
+  Span("host.abort");
   return Status::OK();
 }
 

@@ -16,10 +16,19 @@
 #include <mutex>
 #include <optional>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 
 namespace datalinks::rpc {
+
+/// Request metadata carried alongside every application payload — the wire
+/// header of this in-process RPC.  `trace_id` is minted by the host session
+/// at Begin and propagated to every DLFM (and from there into daemon work
+/// items); 0 means "not traced".
+struct Metadata {
+  uint64_t trace_id = 0;
+};
 
 /// Bounded blocking MPMC queue.  Close() wakes all waiters with kUnavailable.
 template <typename T>
@@ -85,13 +94,20 @@ class Connection {
  public:
   Connection() : requests_(1), responses_(1) {}
 
+  /// Record synchronous round-trip latency into `h` (owned by a registry;
+  /// nullptr disables).  Set once at connect time, before concurrent calls.
+  void set_rtt_histogram(metrics::Histogram* h) { rtt_us_ = h; }
+
   // --- client side ---------------------------------------------------------
   /// Send a request and block for its response (synchronous call).
   Result<Resp> Call(Req req) {
     std::lock_guard<std::mutex> lk(call_mu_);  // one call at a time per connection
+    const int64_t t0 = rtt_us_ != nullptr ? metrics::NowMicrosForMetrics() : 0;
     DLX_RETURN_IF_ERROR(requests_.Send(std::move(req)));
     ++messages_;
-    return responses_.Recv();
+    Result<Resp> resp = responses_.Recv();
+    if (rtt_us_ != nullptr) rtt_us_->Record(metrics::NowMicrosForMetrics() - t0);
+    return resp;
   }
 
   /// Fire a request without waiting for the response (the *asynchronous*
@@ -133,6 +149,7 @@ class Connection {
   BlockingQueue<Resp> responses_;
   std::atomic<size_t> pending_{0};
   std::atomic<uint64_t> messages_{0};
+  metrics::Histogram* rtt_us_ = nullptr;  // owned by the registry
 };
 
 /// Connection acceptor — the DLFM "main daemon" listens here and spawns a

@@ -66,10 +66,13 @@ Database::Database(DatabaseOptions options, std::shared_ptr<DurableStore> durabl
     : options_(std::move(options)), durable_(std::move(durable)) {
   clock_ = options_.clock ? options_.clock : SystemClock::Instance();
   fault_ = options_.fault;
+  metrics_ = options_.metrics ? options_.metrics : std::make_shared<metrics::Registry>();
+  latch_shared_wait_us_ = metrics_->GetHistogram("sqldb.latch.shared_wait_us");
+  latch_exclusive_wait_us_ = metrics_->GetHistogram("sqldb.latch.exclusive_wait_us");
   if (!durable_) durable_ = std::make_shared<DurableStore>();
   wal_ = std::make_unique<WriteAheadLog>(durable_, options_.log_capacity_bytes, fault_.get(),
-                                         clock_.get());
-  lock_manager_ = std::make_unique<LockManager>(clock_);
+                                         clock_.get(), metrics_.get());
+  lock_manager_ = std::make_unique<LockManager>(clock_, metrics_.get());
 }
 
 Database::~Database() = default;
@@ -101,7 +104,9 @@ std::shared_lock<std::shared_mutex> Database::LatchShared(const TableState& t) c
   if (!lk.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
     lk.lock();
-    latch_shared_waits_micros_.fetch_add(ElapsedMicros(t0), std::memory_order_relaxed);
+    const uint64_t waited = ElapsedMicros(t0);
+    latch_shared_waits_micros_.fetch_add(waited, std::memory_order_relaxed);
+    latch_shared_wait_us_->Record(static_cast<int64_t>(waited));
   }
   latch_shared_acquires_.fetch_add(1, std::memory_order_relaxed);
   return lk;
@@ -113,7 +118,9 @@ Database::ExclusiveLatch Database::LatchExclusive(const TableState& t) const {
   if (!g.lk_.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
     g.lk_.lock();
-    latch_exclusive_waits_micros_.fetch_add(ElapsedMicros(t0), std::memory_order_relaxed);
+    const uint64_t waited = ElapsedMicros(t0);
+    latch_exclusive_waits_micros_.fetch_add(waited, std::memory_order_relaxed);
+    latch_exclusive_wait_us_->Record(static_cast<int64_t>(waited));
   }
   latch_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
   g.db_ = this;

@@ -93,6 +93,12 @@ struct DatabaseOptions {
   /// points: WAL force / torn tail, checkpoint write, auto-checkpoint,
   /// B-tree split.  Optional; production paths treat nullptr as "no fault".
   std::shared_ptr<FaultInjector> fault;
+
+  /// Metrics registry of the owning process.  The engine records
+  /// sqldb.wal.* (force latency, batch records), sqldb.lock.wait_us, and
+  /// sqldb.latch.{shared,exclusive}_wait_us into it.  nullptr = the engine
+  /// creates a private registry (reachable via Database::metrics()).
+  std::shared_ptr<metrics::Registry> metrics;
 };
 
 struct DatabaseStats {
@@ -226,6 +232,7 @@ class Database {
   // --- Introspection --------------------------------------------------------
   LockManager& lock_manager() { return *lock_manager_; }
   const WriteAheadLog& wal() const { return *wal_; }
+  metrics::Registry& metrics() const { return *metrics_; }
   DatabaseStats stats() const;
   const DatabaseOptions& options() const { return options_; }
   /// Number of live rows (latched read; for tests).
@@ -336,6 +343,9 @@ class Database {
   DatabaseOptions options_;
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<FaultInjector> fault_;  // may be nullptr
+  std::shared_ptr<metrics::Registry> metrics_;  // never nullptr after ctor
+  metrics::Histogram* latch_shared_wait_us_ = nullptr;
+  metrics::Histogram* latch_exclusive_wait_us_ = nullptr;
   std::shared_ptr<DurableStore> durable_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<LockManager> lock_manager_;

@@ -198,6 +198,13 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
   }
 
   waits_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t wait_t0 =
+      wait_us_ != nullptr ? metrics::NowMicrosForMetrics() : 0;
+  auto record_wait = [&]() {
+    if (wait_us_ != nullptr) {
+      wait_us_->Record(metrics::NowMicrosForMetrics() - wait_t0);
+    }
+  };
 
   auto remove_my_request = [&]() {
     if (converting) {
@@ -236,11 +243,15 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
       }
       break;
     }
-    if (granted) return Status::OK();
+    if (granted) {
+      record_wait();
+      return Status::OK();
+    }
 
     if (WouldDeadlock(txn)) {
       deadlocks_.fetch_add(1, std::memory_order_relaxed);
       remove_my_request();
+      record_wait();
       return Status::Deadlock("lock " + id.ToString());
     }
 
@@ -249,6 +260,7 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
       if (SteadyClock::now() >= deadline) {
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         remove_my_request();
+        record_wait();
         return Status::LockTimeout("lock " + id.ToString());
       }
       wake = std::min(wake, deadline);

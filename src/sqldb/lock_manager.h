@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sqldb/schema.h"
 
@@ -90,7 +91,13 @@ struct LockStats {
 
 class LockManager {
  public:
-  explicit LockManager(std::shared_ptr<Clock> clock) : clock_(std::move(clock)) {}
+  /// `registry` (optional) receives the sqldb.lock.wait_us histogram —
+  /// time spent blocked in Acquire, recorded at grant/deadlock/timeout.
+  explicit LockManager(std::shared_ptr<Clock> clock,
+                       metrics::Registry* registry = nullptr)
+      : clock_(std::move(clock)),
+        wait_us_(registry != nullptr ? registry->GetHistogram("sqldb.lock.wait_us")
+                                     : nullptr) {}
 
   /// Acquire `id` in `mode` for `txn`.  Blocks up to `timeout_micros`
   /// (negative = wait forever).  Returns:
@@ -140,6 +147,7 @@ class LockManager {
   void CollectWaitsFor(TxnId waiter, std::unordered_set<TxnId>* out) const;
 
   std::shared_ptr<Clock> clock_;
+  metrics::Histogram* wait_us_ = nullptr;  // owned by the registry
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

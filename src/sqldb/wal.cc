@@ -187,8 +187,14 @@ size_t DurableStore::RestoreLogFromBytes(std::string_view bytes) {
 }
 
 WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes,
-                             FaultInjector* fault, Clock* clock)
+                             FaultInjector* fault, Clock* clock,
+                             metrics::Registry* registry)
     : durable_(std::move(durable)), capacity_(capacity_bytes), fault_(fault), clock_(clock) {
+  if (registry != nullptr) {
+    force_latency_us_ = registry->GetHistogram("sqldb.wal.force_latency_us");
+    batch_records_ = registry->GetHistogram("sqldb.wal.batch_records",
+                                            metrics::Histogram::CountBounds());
+  }
   // Resume LSN numbering past anything already durable (re-open after crash).
   next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), durable_->checkpoint_lsn()) + 1;
   checkpoint_lsn_ = durable_->checkpoint_lsn();
@@ -326,7 +332,18 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
       }
     }
     lk.unlock();
+    // Sample the force histograms 1-in-8: two clock reads plus records on
+    // every force are measurable against a fast in-memory log (E13), and
+    // the distributions don't need every data point.  force_seq_ is only
+    // touched by the active leader, which is exclusive by construction.
+    const bool sample =
+        force_latency_us_ != nullptr && (force_seq_++ & 7) == 0;
+    const int64_t t0 = sample ? metrics::NowMicrosForMetrics() : 0;
     durable_->AppendForced(std::move(batch));  // the "I/O", outside the WAL mutex
+    if (sample) {
+      force_latency_us_->Record(metrics::NowMicrosForMetrics() - t0);
+      batch_records_->Record(static_cast<int64_t>(nrecords));
+    }
     lk.lock();
     durable_upto_ = target;
     ++forces_;

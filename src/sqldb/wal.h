@@ -32,6 +32,7 @@
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "sqldb/schema.h"
@@ -152,8 +153,11 @@ class WriteAheadLog {
  public:
   /// `fault`/`clock` are optional: when set, ForceTo probes the
   /// "sqldb.wal.force" and "sqldb.wal.torn_tail" fail points (see wal.cc).
+  /// `registry` (optional) receives the sqldb.wal.force_latency_us and
+  /// sqldb.wal.batch_records histograms.
   WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes,
-                FaultInjector* fault = nullptr, Clock* clock = nullptr);
+                FaultInjector* fault = nullptr, Clock* clock = nullptr,
+                metrics::Registry* registry = nullptr);
 
   /// Append a record; assigns the LSN (returned through `assigned` when
   /// non-null).  Fails with kLogFull if retained log bytes (truncation
@@ -197,6 +201,9 @@ class WriteAheadLog {
   const size_t capacity_;
   FaultInjector* fault_ = nullptr;  // not owned; may be nullptr
   Clock* clock_ = nullptr;          // not owned; used by delay fail points
+  metrics::Histogram* force_latency_us_ = nullptr;  // owned by the registry
+  metrics::Histogram* batch_records_ = nullptr;
+  uint64_t force_seq_ = 0;  // leader-only; 1-in-8 latency sampling
 
   mutable std::mutex mu_;
   std::vector<LogRecord> tail_;           // not yet forced

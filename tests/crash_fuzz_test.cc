@@ -10,7 +10,11 @@
 //   CRASH_FUZZ_ITERS      number of scenarios (default 10; nightly CI
 //                         raises this for a long soak)
 //   CRASH_FUZZ_FAIL_FILE  append failing seeds, one per line, so CI can
-//                         upload them as an artifact
+//                         upload them as an artifact.  Each seed line is
+//                         followed by "# metrics ..." / "# trace ..."
+//                         comment lines carrying the failing scenario's
+//                         metrics + span-ring snapshots as JSON (skip
+//                         lines starting with '#' when re-reading seeds)
 //
 // A failure prints a one-line repro:
 //   CRASH_FUZZ_SEED=<n> CRASH_FUZZ_ITERS=1 ./tests/crash_fuzz_test
@@ -76,6 +80,12 @@ TEST(CrashFuzz, RandomizedCrashRecovery) {
       if (const char* f = std::getenv("CRASH_FUZZ_FAIL_FILE"); f != nullptr && *f) {
         if (std::FILE* fp = std::fopen(f, "a")) {
           std::fprintf(fp, "%llu\n", static_cast<unsigned long long>(seed));
+          if (!r.metrics_json.empty()) {
+            std::fprintf(fp, "# metrics %s\n", r.metrics_json.c_str());
+          }
+          if (!r.trace_json.empty()) {
+            std::fprintf(fp, "# trace %s\n", r.trace_json.c_str());
+          }
           std::fclose(fp);
         }
       }

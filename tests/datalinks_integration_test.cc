@@ -452,5 +452,94 @@ TEST_F(DataLinksTest, ConcurrentLinkRaceOnSameFileOneWinner) {
   EXPECT_EQ(winners.load(), 1);
 }
 
+// One linked-file commit through two DLFMs yields a single trace id whose
+// spans cover the whole pipeline: host begin -> prepare (both DLFMs) ->
+// harden -> durable decision -> commit acks -> asynchronous archive copy.
+// The fixture uses default options, so every component records into the
+// process-global TraceRing; filtering by the session's trace id isolates
+// this transaction from everything else the binary has run.
+TEST_F(DataLinksTest, TraceIdPropagatesAcrossTwoDlfmCommit) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  MakeFile(fs1_.get(), "a");
+  MakeFile(fs2_.get(), "b");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  const uint64_t trace_id = session->trace_id();
+  ASSERT_NE(trace_id, 0u);
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "a", "dlfs://srv1/a")).ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(2, "b", "dlfs://srv2/b")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  // The clip column has recovery=true; wait for the Copy daemons so the
+  // asynchronous archive-copy spans are recorded too.
+  ASSERT_TRUE(dlfm1_->WaitArchiveDrained(5 * 1000 * 1000).ok());
+  ASSERT_TRUE(dlfm2_->WaitArchiveDrained(5 * 1000 * 1000).ok());
+
+  const auto spans = host_->trace_ring().ForTrace(trace_id);
+  auto count = [&spans](const char* name, const char* component) {
+    int n = 0;
+    for (const auto& ev : spans) {
+      if (ev.name == name && (component == nullptr || ev.component == component)) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("host.begin", "hostdb"), 1);
+  EXPECT_EQ(count("dlfm.prepare", "srv1"), 1);
+  EXPECT_EQ(count("dlfm.prepare", "srv2"), 1);
+  EXPECT_EQ(count("dlfm.harden", "srv1"), 1);
+  EXPECT_EQ(count("dlfm.harden", "srv2"), 1);
+  EXPECT_EQ(count("host.decision", "hostdb"), 1);
+  EXPECT_EQ(count("host.commit.ack", nullptr), 2);
+  EXPECT_EQ(count("dlfm.commit", "srv1"), 1);
+  EXPECT_EQ(count("dlfm.commit", "srv2"), 1);
+  EXPECT_EQ(count("dlfm.archive.copy", "srv1"), 1);
+  EXPECT_EQ(count("dlfm.archive.copy", "srv2"), 1);
+
+  // Pipeline ordering: begin precedes everything; both prepares and hardens
+  // precede the durable decision; the decision precedes the commit acks.
+  auto first_ts = [&spans](const char* name) {
+    for (const auto& ev : spans) {
+      if (ev.name == name) return ev.ts_micros;
+    }
+    return int64_t{-1};
+  };
+  auto last_ts = [&spans](const char* name) {
+    int64_t ts = -1;
+    for (const auto& ev : spans) {
+      if (ev.name == name) ts = ev.ts_micros;
+    }
+    return ts;
+  };
+  EXPECT_EQ(spans.front().name, "host.begin");
+  EXPECT_LE(first_ts("host.begin"), first_ts("dlfm.prepare"));
+  EXPECT_LE(last_ts("dlfm.harden"), first_ts("host.decision"));
+  EXPECT_LE(first_ts("host.decision"), first_ts("host.commit.ack"));
+}
+
+// The kStats RPC returns the DLFM's metrics registry as JSON; the host
+// exposes the same snapshot surface via StatsJson().
+TEST_F(DataLinksTest, StatsRpcReturnsMetricsSnapshot) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  MakeFile(fs1_.get(), "f");
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(session->Insert(media_, MediaRow(1, "f", "dlfs://srv1/f")).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  auto conn = dlfm1_->listener()->Connect();
+  ASSERT_TRUE(conn.ok());
+  dlfm::DlfmRequest req;
+  req.api = dlfm::DlfmApi::kStats;
+  auto resp = (*conn)->Call(std::move(req));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->ToStatus().ok());
+  EXPECT_EQ(resp->message.rfind("{\"counters\":", 0), 0u) << resp->message;
+  EXPECT_NE(resp->message.find("dlfm.prepare.latency_us"), std::string::npos);
+
+  const std::string host_stats = host_->StatsJson();
+  EXPECT_EQ(host_stats.rfind("{\"counters\":", 0), 0u);
+  EXPECT_NE(host_stats.find("host.commit.latency_us"), std::string::npos);
+  EXPECT_NE(host_stats.find("host.2pc.phase1_rtt_us.srv1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace datalinks

@@ -16,7 +16,9 @@
 
 #include "archive/archive_server.h"
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "dlff/filter.h"
 #include "dlfm/server.h"
 #include "fsim/file_server.h"
@@ -290,6 +292,11 @@ class CaseRunner {
     opts.ensure_archived_timeout_micros = 1500 * 1000;
     auto inj = std::make_shared<FaultInjector>();
     opts.fault = inj;
+    // Same registry / ring across crash-restarts so a failing case's
+    // diagnostic snapshot covers the whole scenario, not just the last
+    // incarnation.
+    opts.metrics = idx == 1 ? reg1_ : reg2_;
+    opts.trace = ring_;
     auto& slot = idx == 1 ? dlfm1_ : dlfm2_;
     slot = std::make_unique<dlfm::DlfmServer>(
         opts, idx == 1 ? fs1_.get() : fs2_.get(), archive_.get(), std::move(durable));
@@ -304,6 +311,8 @@ class CaseRunner {
     hopts.checkpoint_threshold_bytes = plan_.checkpoint_threshold;
     fault_host_ = std::make_shared<FaultInjector>();
     hopts.fault = fault_host_;
+    hopts.metrics = reg_host_;
+    hopts.trace = ring_;
     host_ = std::make_unique<hostdb::HostDatabase>(hopts, std::move(durable));
     host_->RegisterDlfm("srv1", dlfm1_->listener());
     host_->RegisterDlfm("srv2", dlfm2_->listener());
@@ -888,6 +897,14 @@ class CaseRunner {
     }
     result_.ok = errors_.empty();
     result_.detail = errors_;
+    if (!result_.ok) {
+      // Diagnostic snapshots ride along with the failing seed so CI can
+      // archive them without re-running the scenario.
+      result_.metrics_json = "{\"host\":" + reg_host_->DumpJson() +
+                             ",\"dlfm1\":" + reg1_->DumpJson() +
+                             ",\"dlfm2\":" + reg2_->DumpJson() + "}";
+      result_.trace_json = ring_->DumpJson();
+    }
     host_.reset();
     if (dlfm1_) dlfm1_->Stop();
     if (dlfm2_) dlfm2_->Stop();
@@ -897,6 +914,13 @@ class CaseRunner {
   ScenarioPlan plan_;
   FuzzCaseResult result_;
   std::string errors_;
+
+  // Per-case observability surfaces: private (not the process-global
+  // defaults) so concurrent/sequential cases never mix their spans.
+  std::shared_ptr<metrics::Registry> reg_host_ = std::make_shared<metrics::Registry>();
+  std::shared_ptr<metrics::Registry> reg1_ = std::make_shared<metrics::Registry>();
+  std::shared_ptr<metrics::Registry> reg2_ = std::make_shared<metrics::Registry>();
+  std::shared_ptr<trace::TraceRing> ring_ = std::make_shared<trace::TraceRing>();
 
   std::unique_ptr<fsim::FileServer> fs1_, fs2_;
   std::unique_ptr<archive::ArchiveServer> archive_;

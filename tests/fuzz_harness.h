@@ -39,6 +39,11 @@ struct FuzzCaseResult {
   bool ok = true;
   /// Human-readable list of violated invariants; empty when ok.
   std::string detail;
+  /// Diagnostic snapshots, captured only on failure: the metrics
+  /// registries of all three processes ({"host":…,"dlfm1":…,"dlfm2":…})
+  /// and the scenario's span ring, both as JSON.  Empty when ok.
+  std::string metrics_json;
+  std::string trace_json;
 
   // Coverage bookkeeping.
   std::string armed_point;   // "" when the scenario armed no fault

@@ -1,0 +1,166 @@
+// Unit tests for the metrics registry: histogram percentile math (empty,
+// interpolated, overflow saturation), counter/gauge semantics under
+// concurrency (exercised under TSan in CI), registry identity, and the
+// JSON snapshot format.
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace datalinks::metrics {
+namespace {
+
+TEST(Histogram, EmptyReportsZero) {
+  Histogram h({10, 20, 40});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, InterpolatesWithinBucket) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h({10, 20, 40});
+  for (int i = 0; i < 10; ++i) h.Record(5);  // all land in (0, 10]
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 50);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  // rank 5 of 10 in a bucket spanning (0, 10] -> halfway.
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 9.9);
+}
+
+TEST(Histogram, PercentilesAcrossBuckets) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h({10, 20, 40});
+  for (int i = 0; i < 50; ++i) h.Record(5);   // bucket 0
+  for (int i = 0; i < 45; ++i) h.Record(15);  // bucket 1
+  for (int i = 0; i < 5; ++i) h.Record(35);   // bucket 2
+  EXPECT_DOUBLE_EQ(h.p50(), 10.0);  // rank 50 is the last sample of bucket 0
+  EXPECT_DOUBLE_EQ(h.p95(), 20.0);  // rank 95 is the last sample of bucket 1
+  // rank 99 sits 4/5 into bucket 2, which spans (20, 40].
+  EXPECT_DOUBLE_EQ(h.p99(), 36.0);
+}
+
+TEST(Histogram, OverflowSaturatesAtLastBound) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h({10, 20, 40});
+  for (int i = 0; i < 4; ++i) h.Record(100000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 400000);
+  EXPECT_DOUBLE_EQ(h.p50(), 40.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 40.0);
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets.back(), 4u);
+}
+
+TEST(Histogram, BoundaryValuesLandInclusive) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h({10, 20});
+  h.Record(10);  // v <= bounds[0] -> bucket 0
+  h.Record(11);  // bucket 1
+  const std::vector<uint64_t> buckets = h.BucketCounts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+}
+
+TEST(Histogram, DefaultBoundsAreLatency) {
+  Histogram h;
+  EXPECT_EQ(h.bounds(), Histogram::LatencyBounds());
+}
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  constexpr int kThreads = 8, kPerThread = 20000;
+  Counter c;
+  Gauge g;
+  Histogram h({100});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        g.Add(1);
+        h.Record(i % 200);  // half in-bucket, half overflow
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g.value(), static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  Registry reg;
+  Counter* a = reg.GetCounter("x");
+  EXPECT_EQ(a, reg.GetCounter("x"));
+  EXPECT_NE(a, reg.GetCounter("y"));
+  Histogram* h = reg.GetHistogram("lat", {1, 2, 3});
+  EXPECT_EQ(h, reg.GetHistogram("lat"));  // bounds honored on first create only
+  ASSERT_EQ(h->bounds().size(), 3u);
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+}
+
+TEST(Registry, ConcurrentLookupsAreSafe) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.GetCounter("c" + std::to_string(i % 10))->Add();
+        reg.GetHistogram("h" + std::to_string(i % 10))->Record(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(reg.GetCounter("c" + std::to_string(i))->value(), 400u);
+  }
+}
+
+TEST(Registry, DumpJsonFormat) {
+  if (!kEnabled) GTEST_SKIP() << "metrics compiled out";
+  Registry reg;
+  reg.GetCounter("a")->Add(2);
+  reg.GetGauge("g")->Set(-3);
+  reg.GetHistogram("h", {10});
+  EXPECT_EQ(reg.DumpJson(),
+            "{\"counters\":{\"a\":2},\"gauges\":{\"g\":-3},"
+            "\"histograms\":{\"h\":{\"count\":0,\"sum\":0,"
+            "\"p50\":0.0,\"p95\":0.0,\"p99\":0.0}}}");
+}
+
+TEST(Registry, DefaultIsProcessGlobal) {
+  EXPECT_EQ(Registry::Default().get(), Registry::Default().get());
+  ASSERT_NE(Registry::Default(), nullptr);
+}
+
+TEST(ScopedTimer, RecordsOnceOnStopAndDestruction) {
+  Histogram h({1000000});
+  {
+    ScopedTimer t(&h);
+    const int64_t elapsed = t.Stop();
+    EXPECT_GE(elapsed, 0);
+    t.Stop();  // idempotent
+  }
+  // When compiled out nothing records; otherwise exactly one sample.
+  EXPECT_EQ(h.count(), kEnabled ? 1u : 0u);
+  ScopedTimer null_timer(nullptr);  // must not crash
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace datalinks::metrics

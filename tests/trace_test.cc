@@ -1,0 +1,125 @@
+// Unit tests for per-transaction tracing: trace-id minting, the bounded
+// drop-oldest span ring, per-trace filtering, and the JSON dump.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace datalinks::trace {
+namespace {
+
+TEST(TraceIdTest, MintedIdsAreUniqueAndNonZero) {
+  const TraceId a = NextTraceId();
+  const TraceId b = NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_LT(a, b);
+}
+
+TEST(TraceIdTest, ConcurrentMintingNeverCollides) {
+  constexpr int kThreads = 4, kPerThread = 1000;
+  std::vector<std::vector<TraceId>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t] {
+      minted[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) minted[t].push_back(NextTraceId());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<TraceId> all;
+  for (const auto& v : minted) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceRingTest, BuffersOldestFirst) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(8);
+  ring.Record(1, 100, "host.begin", "hostdb", 10);
+  ring.Record(1, 100, "dlfm.prepare", "srv1", 20);
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "host.begin");
+  EXPECT_EQ(spans[0].component, "hostdb");
+  EXPECT_EQ(spans[0].ts_micros, 10);
+  EXPECT_EQ(spans[1].name, "dlfm.prepare");
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, DropsOldestOnOverflow) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(4);
+  for (int i = 1; i <= 6; ++i) {
+    ring.Record(static_cast<TraceId>(i), 0, "e" + std::to_string(i), "c", i);
+  }
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "e3");  // e1, e2 evicted
+  EXPECT_EQ(spans.back().name, "e6");
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(TraceRingTest, ForTraceFiltersById) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(16);
+  ring.Record(7, 1, "host.begin", "hostdb", 1);
+  ring.Record(8, 2, "host.begin", "hostdb", 2);
+  ring.Record(7, 1, "dlfm.commit", "srv1", 3);
+  const std::vector<SpanEvent> spans = ring.ForTrace(7);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "host.begin");
+  EXPECT_EQ(spans[1].name, "dlfm.commit");
+  EXPECT_TRUE(ring.ForTrace(999).empty());
+}
+
+TEST(TraceRingTest, ClearEmptiesTheRing) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(4);
+  ring.Record(1, 0, "e", "c", 1);
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  ring.Record(2, 0, "f", "c", 2);  // reusable after Clear
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+TEST(TraceRingTest, DumpJsonShape) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(4);
+  EXPECT_EQ(ring.DumpJson(), "{\"capacity\":4,\"dropped\":0,\"spans\":[]}");
+  ring.Record(3, 9, "dlfm.prepare", "srv\"1", 42);
+  const std::string json = ring.DumpJson();
+  EXPECT_NE(json.find("\"trace\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"txn\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dlfm.prepare\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"srv\\\"1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts_micros\":42"), std::string::npos);
+}
+
+TEST(TraceRingTest, ConcurrentRecordersStayBounded) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < 500; ++i) {
+        ring.Record(static_cast<TraceId>(t + 1), i, "e", "c", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.Snapshot().size(), 64u);
+  EXPECT_EQ(ring.dropped(), 4u * 500u - 64u);
+}
+
+TEST(TraceRingTest, DefaultIsProcessGlobal) {
+  EXPECT_EQ(TraceRing::Default().get(), TraceRing::Default().get());
+  ASSERT_NE(TraceRing::Default(), nullptr);
+}
+
+}  // namespace
+}  // namespace datalinks::trace
