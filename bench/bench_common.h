@@ -41,12 +41,14 @@ struct Env {
 };
 
 inline std::unique_ptr<Env> MakeEnv(dlfm::DlfmOptions dopts = {},
-                                    hostdb::HostOptions hopts = {}) {
+                                    hostdb::HostOptions hopts = {},
+                                    std::shared_ptr<sqldb::DurableStore> durable = {}) {
   auto env = std::make_unique<Env>();
   dopts.server_name = "srv1";
   env->fs = std::make_unique<fsim::FileServer>("srv1");
   env->archive = std::make_unique<archive::ArchiveServer>();
-  env->dlfm = std::make_unique<dlfm::DlfmServer>(dopts, env->fs.get(), env->archive.get());
+  env->dlfm = std::make_unique<dlfm::DlfmServer>(dopts, env->fs.get(), env->archive.get(),
+                                                 std::move(durable));
   if (!env->dlfm->Start().ok()) std::abort();
   env->filter = std::make_unique<dlff::FileSystemFilter>(
       env->fs.get(), dlff::TokenAuthority(hopts.token_secret));

@@ -1,0 +1,104 @@
+// E14 — 2PC hot path: group harden at prepare, measured end to end.
+//
+// §3.4: at PREPARE the DLFM "hardens" the transaction — forces its local
+// commit record to the log — so a host COMMIT decision can never be
+// undone by a DLFM crash.  With one force per prepare, a log device with
+// non-trivial write latency caps prepare throughput at 1/latency, exactly
+// the pre-group-commit regime E10 measured for local committers.  This
+// bench drives concurrent host transactions that each link one file (so
+// every host commit runs the full 2PC round trip into the DLFM) and
+// shows the prepare-side leader/follower coalescing: one durable force
+// covers every harden whose commit LSN it subsumes.
+//
+// Args: {clients, dlfm_log_latency_micros}.
+//
+// Counters:
+//   cps                = committed host transactions/second
+//   harden_batches     = durable group-harden forces (leader runs)
+//   harden_txns        = prepares that rode those forces
+//   harden_batch_mean  = txns/batches (> 1 proves coalescing)
+//   host_commit_p99_us = end-to-end host commit latency p99 (metrics)
+//
+// Artifacts: BENCH_e14_host_metrics.json / BENCH_e14_dlfm_metrics.json —
+// full registry snapshots of the last configuration (100 clients), the
+// inputs for the CI perf guard (tools/check_perf.py).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "common/metrics.h"
+
+namespace datalinks::bench {
+namespace {
+
+constexpr int kTotalLinks = 600;  // fixed work, divided among clients
+
+void DumpRegistry(const metrics::Registry& reg, const std::string& file) {
+  const char* dir = std::getenv("DLX_BENCH_OUT_DIR");
+  const std::string path = (dir != nullptr ? std::string(dir) + "/" : std::string()) + file;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string json = reg.DumpJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+}
+
+void RunGroupHarden(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int64_t log_latency = state.range(1);
+  const int ops_per_client = kTotalLinks / clients;
+
+  for (auto _ : state) {
+    auto durable = std::make_shared<sqldb::DurableStore>();
+    durable->set_append_latency_micros(log_latency);
+    auto env = MakeEnv({}, {}, durable);
+    Precreate(env.get(), "file", clients * ops_per_client);
+
+    auto& dreg = env->dlfm->metrics();
+    const uint64_t batches0 = dreg.GetCounter("dlfm.prepare.group_harden_batches")->value();
+    const uint64_t txns0 = dreg.GetCounter("dlfm.prepare.group_harden_txns")->value();
+
+    const WorkloadResult r =
+        RunClients(env.get(), clients, ops_per_client, [&](int w, int i, hostdb::HostSession* s) {
+          const int64_t id = static_cast<int64_t>(w) * 1000000 + i;
+          const std::string url =
+              "dlfs://srv1/file" + std::to_string(w * ops_per_client + i);
+          return s->Insert(env->table, {sqldb::Value(id), sqldb::Value(url)}).ok();
+        });
+
+    const double batches =
+        static_cast<double>(dreg.GetCounter("dlfm.prepare.group_harden_batches")->value() -
+                            batches0);
+    const double txns = static_cast<double>(
+        dreg.GetCounter("dlfm.prepare.group_harden_txns")->value() - txns0);
+    state.counters["cps"] = static_cast<double>(r.committed) / r.elapsed_seconds;
+    state.counters["rolled_back"] = static_cast<double>(r.rolled_back);
+    state.counters["harden_batches"] = batches;
+    state.counters["harden_txns"] = txns;
+    state.counters["harden_batch_mean"] = batches > 0 ? txns / batches : 0.0;
+    state.counters["host_commit_p99_us"] =
+        env->host->metrics().GetHistogram("host.commit.latency_us")->p99();
+
+    // Snapshots for the artifact upload + perf guard; last configuration
+    // wins (100 clients — the contended regime the guard cares about).
+    DumpRegistry(env->host->metrics(), "BENCH_e14_host_metrics.json");
+    DumpRegistry(dreg, "BENCH_e14_dlfm_metrics.json");
+  }
+}
+
+void BM_GroupHarden(benchmark::State& state) { RunGroupHarden(state); }
+
+// 300us models the same class of log device as E10's 500us but leaves the
+// host side (which shares one process here) headroom on a small CI box.
+BENCHMARK(BM_GroupHarden)
+    ->Args({1, 300})->Args({16, 300})->Args({64, 300})->Args({100, 300})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+DLX_BENCH_MAIN(e14_group_harden);

@@ -17,6 +17,23 @@ Status ArchiveServer::Store(const ArchiveKey& key, std::string content) {
   return Status::OK();
 }
 
+Status ArchiveServer::StoreBatch(std::vector<std::pair<ArchiveKey, std::string>> entries) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [key, content] : entries) {
+    ++stores_;
+    auto it = copies_.find(key);
+    if (it != copies_.end()) {
+      bytes_ -= it->second.size();
+      bytes_ += content.size();
+      it->second = std::move(content);
+      continue;
+    }
+    bytes_ += content.size();
+    copies_.emplace(std::move(key), std::move(content));
+  }
+  return Status::OK();
+}
+
 Result<std::string> ArchiveServer::Retrieve(const ArchiveKey& key) const {
   std::lock_guard<std::mutex> lk(mu_);
   ++retrieves_;

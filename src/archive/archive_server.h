@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -40,6 +41,12 @@ class ArchiveServer {
   /// Store a copy; idempotent for the same key (re-archival after a Copy
   /// daemon crash must not fail).
   Status Store(const ArchiveKey& key, std::string content);
+
+  /// Store several copies in one round trip (the Copy daemon ships its
+  /// whole per-wakeup batch at once instead of paying the archive latency
+  /// per file).  Same idempotence as Store; all-or-nothing is not needed
+  /// because re-storing a landed copy is a no-op.
+  Status StoreBatch(std::vector<std::pair<ArchiveKey, std::string>> entries);
 
   Result<std::string> Retrieve(const ArchiveKey& key) const;
 

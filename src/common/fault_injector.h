@@ -73,6 +73,7 @@ inline const char* kDlfmCommitBeforeHarden = Register("dlfm.commit.before_harden
 inline const char* kDlfmCommitAfterHarden = Register("dlfm.commit.after_harden");
 inline const char* kDlfmAbortAttempt = Register("dlfm.abort.attempt");
 // DLFM daemons.
+inline const char* kDlfmHardenGroup = Register("dlfm.harden.group");
 inline const char* kDlfmCopyStore = Register("dlfm.copy.store");
 inline const char* kDlfmCopyAfterStore = Register("dlfm.copy.after_store");
 inline const char* kDlfmDeleteGroupRound = Register("dlfm.dg.round");
@@ -80,6 +81,7 @@ inline const char* kDlfmDeleteGroupRound = Register("dlfm.dg.round");
 // "sqldb.*" point armed on a DLFM's injector fires inside that DLFM's local
 // database; armed on the host injector it fires inside the host database.
 inline const char* kSqldbWalForce = Register("sqldb.wal.force");
+inline const char* kSqldbWalShardForce = Register("sqldb.wal.shard_force");
 inline const char* kSqldbWalTornTail = Register("sqldb.wal.torn_tail");
 inline const char* kSqldbCheckpointWrite = Register("sqldb.checkpoint.write");
 inline const char* kSqldbCheckpointAuto = Register("sqldb.checkpoint.auto");

@@ -152,6 +152,8 @@ DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
   commit_retries_c_ = metrics_->GetCounter("dlfm.commit.retries");
   abort_retries_c_ = metrics_->GetCounter("dlfm.abort.retries");
   copy_failures_c_ = metrics_->GetCounter("dlfm.archive.copy_failures");
+  group_harden_batches_ = metrics_->GetCounter("dlfm.prepare.group_harden_batches");
+  group_harden_txns_ = metrics_->GetCounter("dlfm.prepare.group_harden_txns");
 }
 
 DlfmServer::~DlfmServer() { Stop(); }
@@ -625,8 +627,18 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
   }
   // Standard SQL has no 2PC with the application: harden everything now by
   // committing the local database transaction (§4 "changes to metadata are
-  // hardened during the prepare phase").
-  st = db_->Commit(ctx->local);
+  // hardened during the prepare phase").  The durable force is the hot
+  // serialization point when many agents prepare at once, so it goes
+  // through the group-harden coordinator: the commit record is appended
+  // here, but one leader forces the WAL for the whole batch of concurrent
+  // prepares.
+  auto commit_lsn = db_->PrepareCommit(ctx->local);
+  if (!commit_lsn.ok()) {
+    ctx->local = nullptr;
+    ctx->failed = true;
+    return commit_lsn.status();
+  }
+  st = db_->FinishCommit(ctx->local, GroupHarden(*commit_lsn));
   ctx->local = nullptr;
   if (!st.ok()) {
     ctx->failed = true;
@@ -642,6 +654,58 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
   }
   counters_.prepares.fetch_add(1);
   return Status::OK();
+}
+
+Status DlfmServer::GroupHarden(sqldb::Lsn lsn) {
+  std::unique_lock<std::mutex> lk(harden_mu_);
+  if (harden_covers_ >= lsn) return Status::OK();  // an earlier batch covered us
+  harden_waiting_.push_back(lsn);
+  auto unregister = [&] {
+    auto it = std::find(harden_waiting_.begin(), harden_waiting_.end(), lsn);
+    if (it != harden_waiting_.end()) harden_waiting_.erase(it);
+  };
+  while (true) {
+    if (!harden_leader_active_) {
+      // Leader: take everyone registered so far into one durable force.
+      harden_leader_active_ = true;
+      const sqldb::Lsn target =
+          *std::max_element(harden_waiting_.begin(), harden_waiting_.end());
+      const size_t batch = harden_waiting_.size();
+      harden_waiting_.clear();
+      lk.unlock();
+      Status st;
+      if (auto f = fault_->Hit(failpoints::kDlfmHardenGroup, clock_.get())) {
+        st = *f;  // leader dies before the force: nobody in the batch hardened
+      } else {
+        st = db_->ForceWalTo(target);
+      }
+      lk.lock();
+      harden_leader_active_ = false;
+      last_batch_target_ = target;
+      last_batch_status_ = st;
+      ++harden_epoch_;
+      if (st.ok()) harden_covers_ = std::max(harden_covers_, target);
+      group_harden_batches_->Add();
+      group_harden_txns_->Add(static_cast<int64_t>(batch));
+      harden_cv_.notify_all();
+      return st;  // target >= our lsn by construction
+    }
+    // Follower: wait for the in-flight batch, then adopt its outcome if it
+    // covers our LSN (the WAL force is prefix-durable, so success at target
+    // T hardens every commit record with lsn <= T).
+    const uint64_t epoch = harden_epoch_;
+    harden_cv_.wait(lk, [&] { return harden_epoch_ != epoch || !harden_leader_active_; });
+    if (harden_covers_ >= lsn) {
+      unregister();  // no-op if a leader already drained our entry
+      return Status::OK();
+    }
+    if (harden_epoch_ != epoch && !last_batch_status_.ok() && last_batch_target_ >= lsn) {
+      unregister();
+      return last_batch_status_;
+    }
+    // The finished batch was drained before we registered and did not reach
+    // our LSN: loop — become the next leader or ride the next batch.
+  }
 }
 
 Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked,
@@ -916,29 +980,27 @@ void DlfmServer::CopyLoop() {
                      [](const ArchiveEntry& a, const ArchiveEntry& b) {
                        return a.priority > b.priority;
                      });
-    size_t n = std::min(pending->size(), options_.copy_batch);
+    const size_t n = std::min(pending->size(), options_.copy_batch);
     bool failed = false;
     bool copy_failures = false;
-    for (size_t i = 0; i < n && !failed; ++i) {
+    // Collect the wakeup's batch first: read each file and probe the
+    // per-entry store fail point; an entry that cannot be read or stored is
+    // skipped (its dfm_archive row survives for retry) without sinking the
+    // rest of the batch.
+    std::vector<std::pair<archive::ArchiveKey, std::string>> batch;
+    std::vector<const ArchiveEntry*> shipped;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
       const ArchiveEntry& e = (*pending)[i];
       Status copy_st;
       auto content = fs_->ReadRaw(e.name);
       if (!content.ok()) {
         copy_st = content.status();
-      } else {
-        if (options_.archive_latency_micros > 0) {
-          clock_->SleepForMicros(options_.archive_latency_micros);
-        }
-        if (auto f = fault_->Hit(failpoints::kDlfmCopyStore, clock_.get())) {
-          copy_st = *f;
-        } else {
-          copy_st = archive_->Store(
-              archive::ArchiveKey{options_.server_name, e.name, e.recovery_id},
-              std::move(*content));
-        }
+      } else if (auto f = fault_->Hit(failpoints::kDlfmCopyStore, clock_.get())) {
+        copy_st = *f;
       }
       if (!copy_st.ok()) {
-        // The copy did not land: keep the dfm_archive entry so the next
+        // The copy will not land: keep the dfm_archive entry so the next
         // round retries it, instead of deleting it and silently losing the
         // recovery copy.
         counters_.archive_copy_failures.fetch_add(1);
@@ -946,21 +1008,42 @@ void DlfmServer::CopyLoop() {
         copy_failures = true;
         continue;
       }
+      batch.emplace_back(
+          archive::ArchiveKey{options_.server_name, e.name, e.recovery_id},
+          std::move(*content));
+      shipped.push_back(&e);
+    }
+    if (!batch.empty()) {
+      // One archive round trip (and one simulated latency hit) for the
+      // whole batch instead of per file — the §3.4 lock-hold window the
+      // in-transaction store created now amortizes across copy_batch files.
+      if (options_.archive_latency_micros > 0) {
+        clock_->SleepForMicros(options_.archive_latency_micros);
+      }
+      Status store_st = archive_->StoreBatch(std::move(batch));
+      if (!store_st.ok()) {
+        counters_.archive_copy_failures.fetch_add(shipped.size());
+        copy_failures_c_->Add(static_cast<int64_t>(shipped.size()));
+        copy_failures = true;
+        shipped.clear();
+      }
       if (auto f = fault_->Hit(failpoints::kDlfmCopyAfterStore, clock_.get())) {
-        // Crash between the archive store and the metadata delete: the
-        // entry survives and the (idempotent) store repeats after restart.
+        // Crash between the archive stores and the metadata deletes: the
+        // entries survive and the (idempotent) stores repeat after restart.
         (void)f;
         (void)db_->Rollback(t);
         return;
       }
-      auto del = repo_.DeleteArchive(t, e.name, e.recovery_id);
-      if (!del.ok()) {
-        failed = true;  // deadlock with a child agent (§3.4); retry next round
-        break;
+      for (const ArchiveEntry* e : shipped) {
+        auto del = repo_.DeleteArchive(t, e->name, e->recovery_id);
+        if (!del.ok()) {
+          failed = true;  // deadlock with a child agent (§3.4); retry next round
+          break;
+        }
+        counters_.files_archived.fetch_add(1);
+        Span(TraceForTxn(static_cast<GlobalTxnId>(e->txn_id)),
+             static_cast<uint64_t>(e->txn_id), "dlfm.archive.copy");
       }
-      counters_.files_archived.fetch_add(1);
-      Span(TraceForTxn(static_cast<GlobalTxnId>(e.txn_id)),
-           static_cast<uint64_t>(e.txn_id), "dlfm.archive.copy");
     }
     if (fault_->crashed()) {
       (void)db_->Rollback(t);

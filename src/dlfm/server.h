@@ -290,6 +290,12 @@ class DlfmServer {
   /// transaction-table entry, commits, opens a fresh local transaction.
   Status MaybeBatchCommit(GlobalTxnId txn, TxnCtx* ctx);
 
+  /// Make the local WAL durable up to `lsn`, coalescing with concurrent
+  /// ApiPrepare hardens: one leader forces the max LSN of everyone waiting
+  /// in a single WAL force; followers adopt the covering batch's outcome.
+  /// Probes the "dlfm.harden.group" fail point on the leader path.
+  Status GroupHarden(sqldb::Lsn lsn);
+
   /// Mark ctx failed and roll back its local transaction (severe local
   /// error: the paper says host then rolls back the full transaction).
   Status FailCtx(TxnCtx* ctx, Status st);
@@ -333,6 +339,8 @@ class DlfmServer {
   metrics::Counter* commit_retries_c_ = nullptr;
   metrics::Counter* abort_retries_c_ = nullptr;
   metrics::Counter* copy_failures_c_ = nullptr;
+  metrics::Counter* group_harden_batches_ = nullptr;
+  metrics::Counter* group_harden_txns_ = nullptr;
   fsim::FileServer* fs_;
   archive::ArchiveServer* archive_;
 
@@ -350,6 +358,17 @@ class DlfmServer {
   mutable std::mutex txn_trace_mu_;
   std::unordered_map<GlobalTxnId, uint64_t> txn_traces_;
   std::deque<GlobalTxnId> txn_trace_order_;
+
+  // Group-harden coordinator (see GroupHarden).  A batch's outcome covers
+  // every LSN <= its target: the WAL force is prefix-durable.
+  std::mutex harden_mu_;
+  std::condition_variable harden_cv_;
+  bool harden_leader_active_ = false;
+  std::vector<sqldb::Lsn> harden_waiting_;  // registered, not yet batched
+  sqldb::Lsn harden_covers_ = sqldb::kInvalidLsn;  // hardened frontier
+  uint64_t harden_epoch_ = 0;                      // bumped per finished batch
+  sqldb::Lsn last_batch_target_ = sqldb::kInvalidLsn;
+  Status last_batch_status_;
 
   // Delete-group work queue.
   std::mutex dg_mu_;

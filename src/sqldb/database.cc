@@ -93,7 +93,8 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
 
 void Database::ExclusiveLatch::Release() {
   if (db_ != nullptr) {
-    db_->exclusive_holders_.fetch_sub(1, std::memory_order_relaxed);
+    auto& holders = row_ ? db_->row_exclusive_holders_ : db_->exclusive_holders_;
+    holders.fetch_sub(1, std::memory_order_relaxed);
     db_ = nullptr;
   }
   if (lk_.owns_lock()) lk_.unlock();
@@ -129,6 +130,27 @@ Database::ExclusiveLatch Database::LatchExclusive(const TableState& t) const {
   while (cur > seen &&
          !latch_max_concurrent_exclusive_.compare_exchange_weak(seen, cur,
                                                                 std::memory_order_relaxed)) {
+  }
+  return g;
+}
+
+std::shared_lock<std::shared_mutex> Database::RowLatchShared(const TableState& t,
+                                                             RowId rid) const {
+  std::shared_lock<std::shared_mutex> lk(t.StripeFor(rid));
+  row_latch_shared_acquires_.fetch_add(1, std::memory_order_relaxed);
+  return lk;
+}
+
+Database::ExclusiveLatch Database::RowLatchExclusive(const TableState& t, RowId rid) const {
+  ExclusiveLatch g;
+  g.lk_ = std::unique_lock<std::shared_mutex>(t.StripeFor(rid));
+  row_latch_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+  g.db_ = this;
+  g.row_ = true;
+  const uint64_t cur = row_exclusive_holders_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t seen = latch_max_concurrent_row_exclusive_.load(std::memory_order_relaxed);
+  while (cur > seen && !latch_max_concurrent_row_exclusive_.compare_exchange_weak(
+                           seen, cur, std::memory_order_relaxed)) {
   }
   return g;
 }
@@ -385,11 +407,13 @@ Status Database::RecoverLocked() {
 Status Database::CheckpointLocked() {
   // The caller holds the catalog latch exclusively, which keeps new DML
   // statements from starting; in-flight critical sections are drained by
-  // taking every table's shared latch.  Holding them across the force +
-  // serialize pair guarantees no append slips between the force point and
-  // the image (a record replayed on top of an image that already contains
-  // its effect would corrupt the heap on recovery).
-  std::vector<std::shared_lock<std::shared_mutex>> latches;
+  // taking every table's latch EXCLUSIVELY (DML runs under the shared
+  // table latch + row stripes, so shared mode would no longer quiesce it).
+  // Holding them across the force + serialize pair guarantees no append
+  // slips between the force point and the image (a record replayed on top
+  // of an image that already contains its effect would corrupt the heap on
+  // recovery).
+  std::vector<std::unique_lock<std::shared_mutex>> latches;
   latches.reserve(tables_.size());
   for (auto& [tid, t] : tables_) latches.emplace_back(t->latch);
   DLX_RETURN_IF_ERROR(wal_->ForceAll());
@@ -437,7 +461,11 @@ std::shared_ptr<DurableStore> Database::SimulateCrash() {
 Status Database::CheckIntegrity() const {
   std::shared_lock<std::shared_mutex> lk(catalog_mu_);
   for (const auto& [tid, t] : tables_) {
-    std::shared_lock<std::shared_mutex> latch(t->latch);
+    // Exclusive: quiesces shared-latch DML so heap and trees are mutually
+    // consistent for the audit (the doc contract says quiesced callers
+    // only, but the stronger mode makes a stray concurrent writer a
+    // harmless wait instead of a false corruption report).
+    std::unique_lock<std::shared_mutex> latch(t->latch);
     const size_t live = t->heap.live_count();
     for (const auto& ix : t->indexes) {
       ix->tree.CheckInvariants();
@@ -622,13 +650,23 @@ Transaction* Database::Begin(Isolation isolation) {
 }
 
 Status Database::Commit(Transaction* txn) {
+  DLX_ASSIGN_OR_RETURN(const Lsn commit_lsn, PrepareCommit(txn));
+  // Group commit: coalesce with concurrent committers behind one leader.
+  return FinishCommit(txn, wal_->ForceTo(commit_lsn));
+}
+
+Result<Lsn> Database::PrepareCommit(Transaction* txn) {
   if (crashed_.load()) return Status::Unavailable("database crashed");
   if (txn->finished_) return Status::InvalidArgument("transaction already finished");
   Lsn commit_lsn = kInvalidLsn;
   (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kCommit, 0, 0, {}, {}},
                      /*exempt=*/true, &commit_lsn);
-  // Group commit: coalesce with concurrent committers behind one leader.
-  const Status forced = wal_->ForceTo(commit_lsn);
+  return commit_lsn;
+}
+
+Status Database::ForceWalTo(Lsn lsn) { return wal_->ForceTo(lsn); }
+
+Status Database::FinishCommit(Transaction* txn, Status forced) {
   if (!forced.ok()) {
     // The commit record never became durable: the transaction must not be
     // reported committed.  Roll it back in memory (compensations + an ABORT
@@ -800,6 +838,11 @@ DatabaseStats Database::stats() const {
       latch_exclusive_waits_micros_.load(std::memory_order_relaxed);
   s.latch_max_concurrent_exclusive =
       latch_max_concurrent_exclusive_.load(std::memory_order_relaxed);
+  s.latch_row_shared_acquires = row_latch_shared_acquires_.load(std::memory_order_relaxed);
+  s.latch_row_exclusive_acquires =
+      row_latch_exclusive_acquires_.load(std::memory_order_relaxed);
+  s.latch_max_concurrent_row_exclusive =
+      latch_max_concurrent_row_exclusive_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -18,16 +18,20 @@
 //    the trap the paper describes: with default (empty-table) statistics
 //    the optimizer prefers a table scan even when an index exists.
 //
-// Concurrency: one thread per transaction.  Physical structures are
-// protected by short per-table latches (std::shared_mutex): reads take
-// shared mode, DML on a table takes exclusive mode on that table only, so
-// transactions on distinct tables — the common DLFM shape: File table vs.
-// Transaction table vs. Group table — proceed in parallel.  The catalog
-// (table map) has its own shared_mutex; DDL and checkpoints take it
-// exclusively, which acts as the global latch.  Lock waits never happen
-// under any latch.
+// Concurrency: one thread per transaction, three latch tiers (DESIGN.md):
+//  - catalog latch (shared_mutex): shared for table lookups, exclusive for
+//    DDL/checkpoint/recovery — the global latch;
+//  - per-table latch (shared_mutex): DML and scans take it SHARED; only
+//    structural operations (DDL, checkpoint serialization, rollback,
+//    recovery, runstats) take it exclusive, so same-table writers no
+//    longer lock-step;
+//  - striped row latches inside each TableState: a writer mutating a row
+//    holds that row's stripe exclusively, readers snapshot rows under the
+//    stripe in shared mode.  Per-index tree latches order B-tree
+//    mutations.  Lock waits never happen under any latch.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -121,14 +125,24 @@ struct DatabaseStats {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_binds = 0;
 
-  /// Latch contention counters (per-table latches).
+  /// Latch contention counters (per-table latches, structural tier).
   uint64_t latch_shared_acquires = 0;
   uint64_t latch_exclusive_acquires = 0;
   uint64_t latch_shared_waits_micros = 0;
   uint64_t latch_exclusive_waits_micros = 0;
-  /// High-water mark of simultaneously held exclusive table latches; > 1
-  /// proves writers on distinct tables actually overlap.
+  /// High-water mark of simultaneously held exclusive TABLE latches.
+  /// Counts only the structural tier (DDL, checkpoint, rollback) — row
+  /// latch holds are tracked separately below so the two tiers are never
+  /// double-counted against each other.
   uint64_t latch_max_concurrent_exclusive = 0;
+
+  /// Row-latch tier (striped latches inside each table).
+  uint64_t latch_row_shared_acquires = 0;
+  uint64_t latch_row_exclusive_acquires = 0;
+  /// High-water mark of simultaneously held exclusive ROW latches; > 1
+  /// proves writers — same table or not — actually overlap inside their
+  /// row critical sections.
+  uint64_t latch_max_concurrent_row_exclusive = 0;
 };
 
 /// Handle for an open transaction.  Owned by the Database; valid until
@@ -187,6 +201,18 @@ class Database {
   Status Commit(Transaction* txn);
   Status Rollback(Transaction* txn);
 
+  /// Staged commit for callers that batch the durable force across
+  /// transactions (the DLFM's group harden):  PrepareCommit appends the
+  /// commit record and returns its LSN *without* forcing; the caller makes
+  /// the log durable up to (at least) that LSN — ForceWalTo, possibly once
+  /// for many transactions — then completes with FinishCommit, passing the
+  /// force's outcome.  On a failed force FinishCommit rolls the transaction
+  /// back and returns the failure.  Commit() is exactly
+  /// PrepareCommit + ForceWalTo + FinishCommit.
+  Result<Lsn> PrepareCommit(Transaction* txn);
+  Status ForceWalTo(Lsn lsn);
+  Status FinishCommit(Transaction* txn, Status force_result);
+
   // --- DML ----------------------------------------------------------------
   Status Insert(Transaction* txn, TableId table, Row row);
 
@@ -243,32 +269,52 @@ class Database {
     IndexDef def;
     IndexId id = 0;
     BTree tree;
+    /// Orders B-tree mutations among writers holding the table latch in
+    /// SHARED mode; tree readers (scans, uniqueness probes) take it shared.
+    /// Held only across a single tree operation — never across a lock wait
+    /// or a row-latch acquisition.
+    mutable std::shared_mutex tree_latch;
   };
   struct TableState {
+    static constexpr size_t kRowStripes = 64;
+
     TableId id = 0;
     TableSchema schema;
     HeapTable heap;
     std::vector<std::unique_ptr<IndexState>> indexes;
     TableStats stats;
-    /// The table's data latch: shared for reads (catalog lookups, scans),
-    /// exclusive for DML on this table.  Never held across a lock wait.
+    /// The table's structural latch: DML and scans take it shared; DDL,
+    /// checkpoint serialization, rollback, recovery and runstats take it
+    /// exclusive.  Never held across a lock wait.
     mutable std::shared_mutex latch;
+    /// Striped row-content latches (tier below the table latch): a writer
+    /// mutating a row's heap content holds the row's stripe exclusively;
+    /// readers copy the row under the stripe in shared mode.
+    mutable std::array<std::shared_mutex, kRowStripes> row_stripes;
+
+    std::shared_mutex& StripeFor(RowId rid) const {
+      return row_stripes[rid % kRowStripes];
+    }
   };
   using TablePtr = std::shared_ptr<TableState>;
 
-  /// RAII exclusive table latch with contention accounting (tracks the
-  /// number of concurrently held exclusive latches for the overlap
-  /// high-water mark).  Move-only; obtained via LatchExclusive().
+  /// RAII exclusive latch with contention accounting (tracks the number of
+  /// concurrently held exclusive latches for the per-tier overlap
+  /// high-water marks).  Move-only; obtained via LatchExclusive() (table
+  /// tier) or RowLatchExclusive() (row tier — `row_` selects the counter
+  /// set so the two tiers never double-count each other).
   class ExclusiveLatch {
    public:
     ExclusiveLatch() = default;
-    ExclusiveLatch(ExclusiveLatch&& o) noexcept : lk_(std::move(o.lk_)), db_(o.db_) {
+    ExclusiveLatch(ExclusiveLatch&& o) noexcept
+        : lk_(std::move(o.lk_)), db_(o.db_), row_(o.row_) {
       o.db_ = nullptr;
     }
     ExclusiveLatch& operator=(ExclusiveLatch&& o) noexcept {
       Release();
       lk_ = std::move(o.lk_);
       db_ = o.db_;
+      row_ = o.row_;
       o.db_ = nullptr;
       return *this;
     }
@@ -281,6 +327,7 @@ class Database {
     friend class Database;
     std::unique_lock<std::shared_mutex> lk_;
     const Database* db_ = nullptr;
+    bool row_ = false;
   };
 
   explicit Database(DatabaseOptions options, std::shared_ptr<DurableStore> durable);
@@ -288,6 +335,8 @@ class Database {
   /// Latch acquisition with contention accounting.
   std::shared_lock<std::shared_mutex> LatchShared(const TableState& t) const;
   ExclusiveLatch LatchExclusive(const TableState& t) const;
+  std::shared_lock<std::shared_mutex> RowLatchShared(const TableState& t, RowId rid) const;
+  ExclusiveLatch RowLatchExclusive(const TableState& t, RowId rid) const;
 
   // Catalog-exclusive helpers (catalog_mu_ held exclusively by the caller).
   Status RecoverLocked();
@@ -330,10 +379,11 @@ class Database {
                                                    const BoundStatement& stmt,
                                                    const std::vector<Value>& params);
 
-  /// Write one WAL record; caller holds the table's exclusive latch so the
-  /// append order matches the apply order for that table.  `exempt`
-  /// bypasses the capacity check (compensations and commit/abort records
-  /// must never fail).
+  /// Write one WAL record; the caller holds whatever latch orders the
+  /// mutation (the row's stripe for DML, the table latch exclusively for
+  /// structural paths) across both the apply and this append, so per-row
+  /// append order matches apply order.  `exempt` bypasses the capacity
+  /// check (compensations and commit/abort records must never fail).
   Status LogLatched(Transaction* txn, LogRecordType type, TableId table, RowId rid, Row before,
                     Row after, bool exempt);
 
@@ -372,6 +422,10 @@ class Database {
   mutable std::atomic<uint64_t> latch_shared_acquires_{0}, latch_exclusive_acquires_{0},
       latch_shared_waits_micros_{0}, latch_exclusive_waits_micros_{0};
   mutable std::atomic<uint64_t> exclusive_holders_{0}, latch_max_concurrent_exclusive_{0};
+  mutable std::atomic<uint64_t> row_latch_shared_acquires_{0},
+      row_latch_exclusive_acquires_{0};
+  mutable std::atomic<uint64_t> row_exclusive_holders_{0},
+      latch_max_concurrent_row_exclusive_{0};
 };
 
 }  // namespace datalinks::sqldb

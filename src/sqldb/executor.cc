@@ -1,11 +1,15 @@
 // DML execution: access-path selection, candidate collection, and the
 // locking protocol (granular locks, escalation, next-key locking).
 //
-// Latch protocol (see database.h): every critical section below takes the
-// touched table's latch — shared to read (candidate collection, lock-id
-// computation, re-reads), exclusive to mutate heap/indexes — and releases
-// it before any lock-manager wait.  Statements pin the TableState via
-// GetTable() so a concurrent DropTable cannot free it mid-statement.
+// Latch protocol (see database.h): every critical section below holds the
+// touched table's latch SHARED (it only guards table structure — schema,
+// index list, existence); row content is protected by the striped row
+// latches and index trees by their per-index tree latch.  Writers on
+// disjoint rows of the same table therefore proceed concurrently; only
+// DDL / checkpoint / recovery take the table latch exclusively.  All
+// latches are released before any lock-manager wait.  Statements pin the
+// TableState via GetTable() so a concurrent DropTable cannot free it
+// mid-statement.
 #include <cmath>
 
 #include "sqldb/database.h"
@@ -152,6 +156,9 @@ LockId Database::KeyLockId(const TableState& t, const IndexState& ix, const Key&
 
 LockId Database::NextKeyLockId(const TableState& t, const IndexState& ix,
                                const Key& key) const {
+  // Callers hold the table latch shared; the tree read needs its own latch
+  // against concurrent tree-exclusive writers.
+  std::shared_lock<std::shared_mutex> tl(ix.tree_latch);
   auto succ = ix.tree.Successor(key, kInvalidRowId);
   if (!succ.has_value()) return LockId::EndOfIndex(t.id, ix.id);
   return KeyLockId(t, ix, succ->key);
@@ -236,8 +243,12 @@ Result<std::vector<Database::Candidate>> Database::CollectCandidates(
       if (!found) return Status::Corruption("bound plan predicate shape mismatch");
     }
     std::vector<BTreeEntry> entries;
-    ix->tree.ScanPrefix(prefix, &entries);
+    {
+      std::shared_lock<std::shared_mutex> tl(ix->tree_latch);
+      ix->tree.ScanPrefix(prefix, &entries);
+    }
     for (const BTreeEntry& e : entries) {
+      auto rl = RowLatchShared(*t, e.rid);
       if (t->heap.Valid(e.rid)) {
         rows_scanned_.fetch_add(1, std::memory_order_relaxed);
         out.push_back(Candidate{e.rid, t->heap.Get(e.rid)});
@@ -245,13 +256,20 @@ Result<std::vector<Database::Candidate>> Database::CollectCandidates(
     }
   } else {
     // Table scan touches (and will lock) every live row — the concurrency
-    // havoc of a mis-chosen plan comes from exactly this.
+    // havoc of a mis-chosen plan comes from exactly this.  The scan walks
+    // slot numbers and takes each slot's row latch: slot addresses are
+    // stable (chunked heap spine), so concurrent inserts growing the table
+    // are harmless — rows installed after slot_count() was read are simply
+    // not part of this scan.
     table_scans_.fetch_add(1, std::memory_order_relaxed);
-    t->heap.ForEach([&](RowId rid, const Row& row) {
-      rows_scanned_.fetch_add(1, std::memory_order_relaxed);
-      out.push_back(Candidate{rid, row});
-      return true;
-    });
+    const RowId n = t->heap.slot_count();
+    for (RowId rid = 0; rid < n; ++rid) {
+      auto rl = RowLatchShared(*t, rid);
+      if (t->heap.Valid(rid)) {
+        rows_scanned_.fetch_add(1, std::memory_order_relaxed);
+        out.push_back(Candidate{rid, t->heap.Get(rid)});
+      }
+    }
   }
   return out;
 }
@@ -315,32 +333,49 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
     }
   }
 
-  // Escalation pressure check for the row lock we are about to take.
   const bool escalated = txn->escalated_tables_.count(table) != 0;
 
-  ExclusiveLatch latch = LatchExclusive(*t);
-  // Re-check uniqueness now that we hold the key locks.
+  // Reserve the slot and lock its rid BEFORE the row becomes reachable
+  // (InstallAt / tree publication below).  The slot is invisible to scans
+  // until installed, so the immediate-grant acquire succeeds except for the
+  // rare recycled-slot race where the deleting transaction has freed the
+  // slot at commit but not yet released its row lock — same (ignored)
+  // window as before this path went latch-shared.  Taking the lock first
+  // is what keeps readers from S-locking the rid between index publication
+  // and our X grab and reading the uncommitted row.
+  const RowId rid = t->heap.AllocSlot();
+  if (!escalated) {
+    (void)lock_manager_->Acquire(txn->id_, LockId::Row(table, rid), LockMode::kX, 0);
+  }
+
+  auto latch = LatchShared(*t);
+  // Re-check uniqueness now that we hold the key locks (same-key inserters
+  // are serialized by those locks; tree-shared suffices for the read).
   for (auto& [ix, key] : keys) {
-    if (ix->def.unique && ix->tree.ContainsKey(key)) {
+    if (!ix->def.unique) continue;
+    std::shared_lock<std::shared_mutex> tl(ix->tree_latch);
+    if (ix->tree.ContainsKey(key)) {
       unique_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      t->heap.FreeSlot(rid);
       return Status::Conflict("duplicate key in unique index " + ix->def.name + ": " +
                               KeyToString(key));
     }
   }
-  const RowId rid = t->heap.Insert(row);
-  Status st = LogLatched(txn, LogRecordType::kInsert, table, rid, {}, row, /*exempt=*/false);
+  Status st;
+  {
+    auto rl = RowLatchExclusive(*t, rid);
+    st = LogLatched(txn, LogRecordType::kInsert, table, rid, {}, row, /*exempt=*/false);
+    if (st.ok()) t->heap.InstallAt(rid, std::move(row));
+  }
   if (!st.ok()) {
-    t->heap.Delete(rid);
     t->heap.FreeSlot(rid);
     return st;
   }
-  for (auto& [ix, key] : keys) ix->tree.Insert(key, rid);
-  txn->undo_.push_back(Transaction::UndoRecord{LogRecordType::kInsert, table, rid, {}});
-  if (!escalated) {
-    // Fresh rid: the grant is immediate (nobody else can reference it yet),
-    // so acquiring under the latch cannot block.
-    (void)lock_manager_->Acquire(txn->id_, LockId::Row(table, rid), LockMode::kX, 0);
+  for (auto& [ix, key] : keys) {
+    std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+    ix->tree.Insert(key, rid);
   }
+  txn->undo_.push_back(Transaction::UndoRecord{LogRecordType::kInsert, table, rid, {}});
   return Status::OK();
 }
 
@@ -394,6 +429,7 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
     bool matched = false;
     {
       auto latch = LatchShared(*t);
+      auto rl = RowLatchShared(*t, c.rid);
       if (t->heap.Valid(c.rid)) {
         const Row& fresh = t->heap.Get(c.rid);
         if (RowMatches(stmt, params, fresh)) {
@@ -465,15 +501,18 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
     Row current;
     {
       auto latch = LatchShared(*t);
-      if (t->heap.Valid(c.rid)) {
-        current = t->heap.Get(c.rid);
-        still_matches = RowMatches(stmt, params, current);
-        if (still_matches) {
-          for (auto& ix : t->indexes) {
-            const Key k = ExtractKey(*ix, current);
-            if (ix->def.unique) key_locks.push_back(KeyLockId(*t, *ix, k));
-            if (options_.next_key_locking) key_locks.push_back(NextKeyLockId(*t, *ix, k));
-          }
+      {
+        auto rl = RowLatchShared(*t, c.rid);
+        if (t->heap.Valid(c.rid)) {
+          current = t->heap.Get(c.rid);
+          still_matches = RowMatches(stmt, params, current);
+        }
+      }
+      if (still_matches) {
+        for (auto& ix : t->indexes) {
+          const Key k = ExtractKey(*ix, current);
+          if (ix->def.unique) key_locks.push_back(KeyLockId(*t, *ix, k));
+          if (options_.next_key_locking) key_locks.push_back(NextKeyLockId(*t, *ix, k));
         }
       }
     }
@@ -482,18 +521,31 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
       DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), id, LockMode::kX));
     }
 
-    ExclusiveLatch latch = LatchExclusive(*t);
-    if (!t->heap.Valid(c.rid)) continue;  // deleted while we waited for locks
-    const Row fresh = t->heap.Get(c.rid);
-    if (!RowMatches(stmt, params, fresh)) continue;
-    DLX_RETURN_IF_ERROR(
-        LogLatched(txn, LogRecordType::kDelete, stmt.table, c.rid, fresh, {}, false));
-    Row old = t->heap.Delete(c.rid);
-    for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), c.rid);
-    txn->undo_.push_back(
-        Transaction::UndoRecord{LogRecordType::kDelete, stmt.table, c.rid, std::move(old)});
-    txn->pending_free_.emplace_back(stmt.table, c.rid);
-    ++count;
+    auto latch = LatchShared(*t);
+    Row old;
+    bool deleted = false;
+    {
+      auto rl = RowLatchExclusive(*t, c.rid);
+      if (!t->heap.Valid(c.rid)) continue;  // deleted while we waited for locks
+      const Row fresh = t->heap.Get(c.rid);
+      if (!RowMatches(stmt, params, fresh)) continue;
+      DLX_RETURN_IF_ERROR(
+          LogLatched(txn, LogRecordType::kDelete, stmt.table, c.rid, fresh, {}, false));
+      old = t->heap.Delete(c.rid);
+      deleted = true;
+    }
+    // Index entries go AFTER the heap delete: a scan finding a stale entry
+    // sees an invalid slot and skips it (the permitted non-blocking miss).
+    if (deleted) {
+      for (auto& ix : t->indexes) {
+        std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+        ix->tree.Erase(ExtractKey(*ix, old), c.rid);
+      }
+      txn->undo_.push_back(
+          Transaction::UndoRecord{LogRecordType::kDelete, stmt.table, c.rid, std::move(old)});
+      txn->pending_free_.emplace_back(stmt.table, c.rid);
+      ++count;
+    }
   }
   return count;
 }
@@ -525,29 +577,43 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     std::vector<LockId> key_locks;
     std::vector<std::pair<IndexState*, std::pair<Key, Key>>> key_changes;  // old -> new
     bool still_matches = false;
+    Row current;
     Row new_row;
     {
       auto latch = LatchShared(*t);
-      if (t->heap.Valid(c.rid)) {
-        const Row& current = t->heap.Get(c.rid);
-        still_matches = RowMatches(stmt, params, current);
-        if (still_matches) {
-          new_row = current;
-          for (size_t i = 0; i < stmt.sets.size(); ++i) {
-            new_row[stmt.set_cols[i]] = stmt.sets[i].operand.Resolve(params);
+      {
+        auto rl = RowLatchShared(*t, c.rid);
+        if (t->heap.Valid(c.rid)) {
+          current = t->heap.Get(c.rid);
+          still_matches = RowMatches(stmt, params, current);
+        }
+      }
+      if (still_matches) {
+        new_row = current;
+        for (size_t i = 0; i < stmt.sets.size(); ++i) {
+          new_row[stmt.set_cols[i]] = stmt.sets[i].operand.Resolve(params);
+        }
+        for (auto& ix : t->indexes) {
+          Key old_key = ExtractKey(*ix, current);
+          Key new_key = ExtractKey(*ix, new_row);
+          if (CompareKeys(old_key, new_key) == 0) continue;
+          if (ix->def.unique) {
+            // X-lock BOTH keys: the new key serializes against concurrent
+            // inserters of the same value, and the old key keeps a
+            // same-old-key inserter blocked until this transaction
+            // resolves — if we roll back, undo re-inserts old_key into the
+            // tree before ReleaseAll, so the inserter's post-lock
+            // uniqueness re-check sees it (delete already locks its key
+            // for the same reason).
+            key_locks.push_back(KeyLockId(*t, *ix, old_key));
+            key_locks.push_back(KeyLockId(*t, *ix, new_key));
           }
-          for (auto& ix : t->indexes) {
-            Key old_key = ExtractKey(*ix, current);
-            Key new_key = ExtractKey(*ix, new_row);
-            if (CompareKeys(old_key, new_key) == 0) continue;
-            if (ix->def.unique) key_locks.push_back(KeyLockId(*t, *ix, new_key));
-            if (options_.next_key_locking) {
-              key_locks.push_back(NextKeyLockId(*t, *ix, old_key));
-              key_locks.push_back(NextKeyLockId(*t, *ix, new_key));
-            }
-            key_changes.emplace_back(ix.get(),
-                                     std::make_pair(std::move(old_key), std::move(new_key)));
+          if (options_.next_key_locking) {
+            key_locks.push_back(NextKeyLockId(*t, *ix, old_key));
+            key_locks.push_back(NextKeyLockId(*t, *ix, new_key));
           }
+          key_changes.emplace_back(ix.get(),
+                                   std::make_pair(std::move(old_key), std::move(new_key)));
         }
       }
     }
@@ -556,14 +622,23 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
       DLX_RETURN_IF_ERROR(AcquireGranular(txn, t.get(), id, LockMode::kX));
     }
 
-    ExclusiveLatch latch = LatchExclusive(*t);
-    if (!t->heap.Valid(c.rid)) continue;
-    const Row fresh = t->heap.Get(c.rid);
+    auto latch = LatchShared(*t);
+    Row fresh;
+    {
+      auto rl = RowLatchShared(*t, c.rid);
+      if (!t->heap.Valid(c.rid)) continue;
+      fresh = t->heap.Get(c.rid);
+    }
+    // We hold the row X lock: nobody else can have changed the row since
+    // the snapshot above, so `fresh` is stable across the latch re-takes
+    // below.
     if (!RowMatches(stmt, params, fresh)) continue;
-    // Unique checks on changed keys.
+    // Unique checks on changed keys (serialized by the new-key X locks).
     bool conflict = false;
     for (auto& [ix, change] : key_changes) {
-      if (ix->def.unique && ix->tree.ContainsKey(change.second)) {
+      if (!ix->def.unique) continue;
+      std::shared_lock<std::shared_mutex> tl(ix->tree_latch);
+      if (ix->tree.ContainsKey(change.second)) {
         unique_conflicts_.fetch_add(1, std::memory_order_relaxed);
         conflict = true;
         break;
@@ -572,9 +647,21 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     if (conflict) return Status::Conflict("unique index violation on update");
     DLX_RETURN_IF_ERROR(
         LogLatched(txn, LogRecordType::kUpdate, stmt.table, c.rid, fresh, new_row, false));
-    for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, fresh), c.rid);
-    t->heap.Update(c.rid, new_row);
-    for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, new_row), c.rid);
+    // Erase old index entries, swap the row under its latch, insert new
+    // entries.  An index scan in the window sees either a stale entry with
+    // the old (still consistent) row or a miss — both already permitted.
+    for (auto& ix : t->indexes) {
+      std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+      ix->tree.Erase(ExtractKey(*ix, fresh), c.rid);
+    }
+    {
+      auto rl = RowLatchExclusive(*t, c.rid);
+      t->heap.Update(c.rid, new_row);
+    }
+    for (auto& ix : t->indexes) {
+      std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+      ix->tree.Insert(ExtractKey(*ix, new_row), c.rid);
+    }
     txn->undo_.push_back(
         Transaction::UndoRecord{LogRecordType::kUpdate, stmt.table, c.rid, fresh});
     ++count;

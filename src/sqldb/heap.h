@@ -1,9 +1,23 @@
 // Slotted in-memory heap table.  Row ids are slot numbers; freed slots are
 // recycled only after the deleting transaction commits (the Database defers
 // the free) so a held row lock can never refer to a recycled slot.
+//
+// Storage is a chunked spine — an array of atomically published chunk
+// pointers, chunk k holding kChunk0 << k slots — so a slot's address never
+// changes once allocated.  That stability is what lets DML run under a
+// SHARED table latch: readers walk rids and dereference slots while another
+// writer grows the table, with no reallocation ever moving a live Slot.
+// Synchronization contract:
+//  - AllocSlot / FreeSlot / slot bookkeeping: internal alloc mutex.
+//  - Slot CONTENT (row bytes + valid flag): the caller synchronizes — the
+//    Database's striped row latches for hot DML/scans, or an exclusive
+//    table latch for quiesced paths (DDL, recovery, checkpoint, rollback).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cassert>
+#include <mutex>
 #include <vector>
 
 #include "sqldb/schema.h"
@@ -13,79 +27,114 @@ namespace datalinks::sqldb {
 
 class HeapTable {
  public:
-  /// Insert into a fresh or recycled slot; returns the row id.
-  RowId Insert(Row row) {
-    RowId rid;
+  HeapTable() = default;
+  ~HeapTable() {
+    for (auto& c : spine_) delete[] c.load(std::memory_order_relaxed);
+  }
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+
+  /// Reserve a fresh or recycled slot; the slot stays invalid (invisible to
+  /// scans) until InstallAt.  Hot inserters take the owning row latch
+  /// between the two calls; quiesced callers can use Insert() directly.
+  RowId AllocSlot() {
+    std::lock_guard<std::mutex> lk(alloc_mu_);
     if (!free_.empty()) {
-      rid = free_.back();
+      RowId rid = free_.back();
       free_.pop_back();
-    } else {
-      rid = slots_.size();
-      slots_.emplace_back();
+      return rid;
     }
-    Slot& s = slots_[rid];
+    const RowId rid = slots_used_.load(std::memory_order_relaxed);
+    EnsureChunkFor(rid);
+    slots_used_.store(rid + 1, std::memory_order_release);
+    return rid;
+  }
+
+  /// Publish row content into a reserved (or previously freed) slot.
+  void InstallAt(RowId rid, Row row) {
+    Slot& s = SlotRef(rid);
     assert(!s.valid);
-    s.valid = true;
     s.row = std::move(row);
-    ++live_;
+    s.valid = true;
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Insert into a fresh or recycled slot; returns the row id.  Quiesced
+  /// callers only (no row-latch coordination on the content write).
+  RowId Insert(Row row) {
+    const RowId rid = AllocSlot();
+    InstallAt(rid, std::move(row));
     return rid;
   }
 
   /// Insert at a specific slot (recovery replay).  Grows the slot array.
   void InsertAt(RowId rid, Row row) {
-    if (rid >= slots_.size()) slots_.resize(rid + 1);
-    Slot& s = slots_[rid];
-    assert(!s.valid);
-    s.valid = true;
-    s.row = std::move(row);
-    ++live_;
+    {
+      std::lock_guard<std::mutex> lk(alloc_mu_);
+      for (RowId r = slots_used_.load(std::memory_order_relaxed); r <= rid; ++r) {
+        EnsureChunkFor(r);
+      }
+      if (rid >= slots_used_.load(std::memory_order_relaxed)) {
+        slots_used_.store(rid + 1, std::memory_order_release);
+      }
+    }
+    InstallAt(rid, std::move(row));
   }
 
   /// Remove the row; the slot is NOT recycled until FreeSlot().
   Row Delete(RowId rid) {
-    Slot& s = slots_[rid];
+    Slot& s = SlotRef(rid);
     assert(s.valid);
     s.valid = false;
-    --live_;
+    live_.fetch_sub(1, std::memory_order_relaxed);
     return std::move(s.row);
   }
 
   /// Make a deleted slot reusable (called at commit of the deleter).
   void FreeSlot(RowId rid) {
-    assert(!slots_[rid].valid);
+    assert(!SlotRef(rid).valid);
+    std::lock_guard<std::mutex> lk(alloc_mu_);
     free_.push_back(rid);
   }
 
-  bool Valid(RowId rid) const { return rid < slots_.size() && slots_[rid].valid; }
+  bool Valid(RowId rid) const {
+    return rid < slots_used_.load(std::memory_order_acquire) && SlotRef(rid).valid;
+  }
 
   const Row& Get(RowId rid) const {
     assert(Valid(rid));
-    return slots_[rid].row;
+    return SlotRef(rid).row;
   }
 
   void Update(RowId rid, Row row) {
     assert(Valid(rid));
-    slots_[rid].row = std::move(row);
+    SlotRef(rid).row = std::move(row);
   }
 
-  size_t live_count() const { return live_; }
-  size_t slot_count() const { return slots_.size(); }
+  size_t live_count() const { return live_.load(std::memory_order_relaxed); }
+  size_t slot_count() const { return slots_used_.load(std::memory_order_acquire); }
 
-  /// Iterate all live rows in slot order; `fn(rid, row)` returns false to stop.
+  /// Iterate all live rows in slot order; `fn(rid, row)` returns false to
+  /// stop.  Quiesced callers only; concurrent scans walk rids themselves
+  /// and take the row latch per slot.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (RowId rid = 0; rid < slots_.size(); ++rid) {
-      if (slots_[rid].valid) {
-        if (!fn(rid, slots_[rid].row)) return;
+    const RowId n = slot_count();
+    for (RowId rid = 0; rid < n; ++rid) {
+      const Slot& s = SlotRef(rid);
+      if (s.valid) {
+        if (!fn(rid, s.row)) return;
       }
     }
   }
 
   /// Rebuild the free list from slot validity (end of recovery).
   void RebuildFreeList() {
+    std::lock_guard<std::mutex> lk(alloc_mu_);
     free_.clear();
-    for (RowId rid = 0; rid < slots_.size(); ++rid) {
-      if (!slots_[rid].valid) free_.push_back(rid);
+    const RowId n = slots_used_.load(std::memory_order_relaxed);
+    for (RowId rid = 0; rid < n; ++rid) {
+      if (!SlotRef(rid).valid) free_.push_back(rid);
     }
   }
 
@@ -94,9 +143,43 @@ class HeapTable {
     bool valid = false;
     Row row;
   };
-  std::vector<Slot> slots_;
+
+  // Chunk k covers rids [kChunk0*(2^k - 1), kChunk0*(2^(k+1) - 1)) and holds
+  // kChunk0 << k slots; 40 chunks is effectively unbounded.
+  static constexpr size_t kChunk0Bits = 9;  // 512 slots in chunk 0
+  static constexpr size_t kChunk0 = size_t{1} << kChunk0Bits;
+  static constexpr size_t kSpineSize = 40;
+
+  static size_t ChunkIndex(RowId rid) {
+    const uint64_t id = (rid >> kChunk0Bits) + 1;
+    return 63 - static_cast<size_t>(__builtin_clzll(id));
+  }
+  static size_t ChunkOffset(RowId rid, size_t chunk) {
+    return rid - ((kChunk0 << chunk) - kChunk0);
+  }
+
+  Slot& SlotRef(RowId rid) const {
+    const size_t ci = ChunkIndex(rid);
+    Slot* chunk = spine_[ci].load(std::memory_order_acquire);
+    assert(chunk != nullptr);
+    return chunk[ChunkOffset(rid, ci)];
+  }
+
+  // alloc_mu_ held.
+  void EnsureChunkFor(RowId rid) {
+    const size_t ci = ChunkIndex(rid);
+    assert(ci < kSpineSize);
+    if (spine_[ci].load(std::memory_order_relaxed) == nullptr) {
+      spine_[ci].store(new Slot[kChunk0 << ci], std::memory_order_release);
+    }
+  }
+
+  mutable std::array<std::atomic<Slot*>, kSpineSize> spine_{};
+  std::atomic<RowId> slots_used_{0};
+  std::atomic<size_t> live_{0};
+
+  std::mutex alloc_mu_;
   std::vector<RowId> free_;
-  size_t live_ = 0;
 };
 
 }  // namespace datalinks::sqldb

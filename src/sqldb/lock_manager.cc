@@ -55,7 +55,7 @@ std::string LockId::ToString() const {
   return "?";
 }
 
-bool LockManager::CanGrant(const Queue& q, TxnId txn, LockMode mode) const {
+bool LockManager::CanGrant(const Queue& q, TxnId txn, LockMode mode) {
   for (const Request& r : q.requests) {
     if (r.txn == txn) continue;
     if (r.granted) {
@@ -68,7 +68,7 @@ bool LockManager::CanGrant(const Queue& q, TxnId txn, LockMode mode) const {
   return true;
 }
 
-bool LockManager::CanGrantConversion(const Queue& q, TxnId txn, LockMode to) const {
+bool LockManager::CanGrantConversion(const Queue& q, TxnId txn, LockMode to) {
   for (const Request& r : q.requests) {
     if (r.txn == txn || !r.granted) continue;
     if (!LockModesCompatible(r.mode, to)) return false;
@@ -76,7 +76,7 @@ bool LockManager::CanGrantConversion(const Queue& q, TxnId txn, LockMode to) con
   return true;
 }
 
-void LockManager::GrantWaiters(const LockId& id, Queue* q) {
+void LockManager::GrantWaiters(const LockId& id, Queue* q, Bucket* b) {
   bool granted_any = false;
   // Conversions first (they hold the resource already and have priority).
   for (Request& r : q->requests) {
@@ -101,61 +101,71 @@ void LockManager::GrantWaiters(const LockId& id, Queue* q) {
     }
     if (!ok) break;
     r.granted = true;
-    held_[r.txn].push_back(id);
+    {
+      std::lock_guard<std::mutex> hl(held_mu_);
+      held_[r.txn].push_back(id);
+    }
     granted_any = true;
   }
-  if (granted_any) cv_.notify_all();
+  if (granted_any) b->cv.notify_all();
 }
 
-void LockManager::CollectWaitsFor(TxnId waiter, std::unordered_set<TxnId>* out) const {
-  // Find the (single) queue where `waiter` is blocked and report who blocks it.
-  for (const auto& [id, q] : queues_) {
-    for (const Request& r : q.requests) {
-      if (r.txn != waiter) continue;
-      if (!r.granted) {
-        // Blocked new request: waits for incompatible granted holders and for
-        // every request ahead of it in the queue (FIFO).
-        for (const Request& o : q.requests) {
-          if (&o == &r) break;  // requests behind us do not block us
-          if (o.txn == waiter) continue;
-          if (o.granted) {
-            if (!LockModesCompatible(o.mode, r.mode) || o.convert_to != LockMode::kNone) {
-              out->insert(o.txn);
+// A transaction waits in at most one queue at a time, so summing per-queue
+// waiter->blocker edges reconstructs exactly the graph the old single-mutex
+// walk built.
+bool LockManager::WouldDeadlock(TxnId requester) const {
+  // One detection at a time; if another waiter is mid-snapshot, skip this
+  // round rather than convoy on detect_mu_ — the caller retries at its next
+  // (backed-off) tick, and an undetected cycle is still broken by the lock
+  // timeout.  Under heavy contention this is what keeps N waiters from
+  // serializing N full-graph snapshots per tick.
+  std::unique_lock<std::mutex> dl(detect_mu_, std::try_to_lock);
+  if (!dl.owns_lock()) return false;
+  // Snapshot the waits-for graph one bucket at a time.  The snapshot is not
+  // a consistent cut — see the header comment for why that is acceptable.
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> edges;
+  for (const Bucket& b : buckets_) {
+    std::lock_guard<std::mutex> lk(b.mu);
+    for (const auto& [id, q] : b.queues) {
+      for (const Request& r : q.requests) {
+        if (!r.granted) {
+          // Blocked new request: waits for incompatible granted holders and
+          // for every request ahead of it in the queue (FIFO).
+          for (const Request& o : q.requests) {
+            if (&o == &r) break;  // requests behind us do not block us
+            if (o.txn == r.txn) continue;
+            if (o.granted) {
+              if (!LockModesCompatible(o.mode, r.mode) ||
+                  o.convert_to != LockMode::kNone) {
+                edges[r.txn].insert(o.txn);
+              }
+            } else {
+              edges[r.txn].insert(o.txn);  // waiter ahead of us
             }
-          } else {
-            out->insert(o.txn);  // waiter ahead of us
+          }
+        } else if (r.convert_to != LockMode::kNone) {
+          for (const Request& o : q.requests) {
+            if (o.txn == r.txn || !o.granted) continue;
+            if (!LockModesCompatible(o.mode, r.convert_to)) edges[r.txn].insert(o.txn);
           }
         }
-        return;
-      }
-      if (r.convert_to != LockMode::kNone) {
-        for (const Request& o : q.requests) {
-          if (o.txn == waiter || !o.granted) continue;
-          if (!LockModesCompatible(o.mode, r.convert_to)) out->insert(o.txn);
-        }
-        return;
       }
     }
   }
-}
-
-bool LockManager::WouldDeadlock(TxnId requester) const {
-  // DFS through the waits-for graph starting from whoever blocks `requester`.
+  // DFS from whoever blocks `requester`.
   std::unordered_set<TxnId> visited;
   std::vector<TxnId> stack;
-  {
-    std::unordered_set<TxnId> first;
-    CollectWaitsFor(requester, &first);
-    for (TxnId t : first) stack.push_back(t);
-  }
+  auto first = edges.find(requester);
+  if (first == edges.end()) return false;
+  stack.assign(first->second.begin(), first->second.end());
   while (!stack.empty()) {
     TxnId t = stack.back();
     stack.pop_back();
     if (t == requester) return true;
     if (!visited.insert(t).second) continue;
-    std::unordered_set<TxnId> next;
-    CollectWaitsFor(t, &next);
-    for (TxnId n : next) stack.push_back(n);
+    auto next = edges.find(t);
+    if (next == edges.end()) continue;
+    for (TxnId n : next->second) stack.push_back(n);
   }
   return false;
 }
@@ -165,8 +175,11 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
   using SteadyClock = std::chrono::steady_clock;
   acquires_.fetch_add(1, std::memory_order_relaxed);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  Queue& q = queues_[id];
+  Bucket& b = BucketFor(id);
+  std::unique_lock<std::mutex> lk(b.mu);
+  // Safe to hold across waits: queues is node-based and this queue cannot be
+  // erased while our request sits in it.
+  Queue& q = b.queues[id];
 
   // Re-request of a resource we already hold?
   Request* mine = nullptr;
@@ -191,6 +204,7 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
   } else {
     if (CanGrant(q, txn, mode)) {
       q.requests.push_back(Request{txn, mode, LockMode::kNone, true});
+      std::lock_guard<std::mutex> hl(held_mu_);
       held_[txn].push_back(id);
       return Status::OK();
     }
@@ -204,6 +218,15 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
     if (wait_us_ != nullptr) {
       wait_us_->Record(metrics::NowMicrosForMetrics() - wait_t0);
     }
+  };
+
+  auto check_granted = [&]() {
+    for (const Request& r : q.requests) {
+      if (r.txn != txn) continue;
+      if (converting) return r.granted && r.convert_to == LockMode::kNone;
+      return r.granted;
+    }
+    return false;
   };
 
   auto remove_my_request = [&]() {
@@ -222,40 +245,51 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
         }
       }
     }
-    GrantWaiters(id, &q);
-    if (q.requests.empty()) queues_.erase(id);
+    GrantWaiters(id, &q, &b);
+    if (q.requests.empty()) b.queues.erase(id);
   };
 
   const bool has_deadline = timeout_micros >= 0;
   const auto deadline = SteadyClock::now() + std::chrono::microseconds(
                                                  has_deadline ? timeout_micros : 0);
+  // Cross-bucket detection is expensive (it locks every bucket), so it runs
+  // on a per-waiter backoff: first check one interval after blocking — the
+  // common short wait is granted by then and never pays for a snapshot —
+  // then doubling up to the cap.  Cycles are detected within a few ticks,
+  // well inside any realistic lock timeout.
   constexpr auto kDetectInterval = std::chrono::milliseconds(3);
+  constexpr auto kDetectIntervalMax = std::chrono::milliseconds(48);
+  auto detect_backoff = kDetectInterval;
+  auto next_detect = SteadyClock::now() + detect_backoff;
 
   while (true) {
-    // Granted?
-    bool granted = false;
-    for (const Request& r : q.requests) {
-      if (r.txn != txn) continue;
-      if (converting) {
-        granted = r.granted && r.convert_to == LockMode::kNone;
-      } else {
-        granted = r.granted;
-      }
-      break;
-    }
-    if (granted) {
+    if (check_granted()) {
       record_wait();
       return Status::OK();
     }
 
-    if (WouldDeadlock(txn)) {
-      deadlocks_.fetch_add(1, std::memory_order_relaxed);
-      remove_my_request();
-      record_wait();
-      return Status::Deadlock("lock " + id.ToString());
+    if (SteadyClock::now() >= next_detect) {
+      // Detection walks every bucket, so our own bucket mutex must not be
+      // held.  A grant can land while we are detecting: re-check before
+      // acting on the verdict.
+      lk.unlock();
+      const bool dead = WouldDeadlock(txn);
+      lk.lock();
+      if (check_granted()) {
+        record_wait();
+        return Status::OK();
+      }
+      if (dead) {
+        deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        remove_my_request();
+        record_wait();
+        return Status::Deadlock("lock " + id.ToString());
+      }
+      detect_backoff = std::min(detect_backoff * 2, kDetectIntervalMax);
+      next_detect = SteadyClock::now() + detect_backoff;
     }
 
-    auto wake = SteadyClock::now() + kDetectInterval;
+    auto wake = next_detect;
     if (has_deadline) {
       if (SteadyClock::now() >= deadline) {
         timeouts_.fetch_add(1, std::memory_order_relaxed);
@@ -265,14 +299,15 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
       }
       wake = std::min(wake, deadline);
     }
-    cv_.wait_until(lk, wake);
+    b.cv.wait_until(lk, wake);
   }
 }
 
-void LockManager::Release(TxnId txn, const LockId& id) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto qit = queues_.find(id);
-  if (qit == queues_.end()) return;
+void LockManager::ReleaseInBucket(TxnId txn, const LockId& id) {
+  Bucket& b = BucketFor(id);
+  std::lock_guard<std::mutex> lk(b.mu);
+  auto qit = b.queues.find(id);
+  if (qit == b.queues.end()) return;
   Queue& q = qit->second;
   for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
     if (it->txn == txn && it->granted) {
@@ -280,70 +315,58 @@ void LockManager::Release(TxnId txn, const LockId& id) {
       break;
     }
   }
-  auto hit = held_.find(txn);
-  if (hit != held_.end()) {
-    auto& v = hit->second;
-    auto vit = std::find(v.begin(), v.end(), id);
-    if (vit != v.end()) v.erase(vit);
-    if (v.empty()) held_.erase(hit);
+  GrantWaiters(id, &q, &b);
+  if (q.requests.empty()) b.queues.erase(qit);
+}
+
+void LockManager::Release(TxnId txn, const LockId& id) {
+  {
+    std::lock_guard<std::mutex> hl(held_mu_);
+    auto hit = held_.find(txn);
+    if (hit != held_.end()) {
+      auto& v = hit->second;
+      auto vit = std::find(v.begin(), v.end(), id);
+      if (vit != v.end()) v.erase(vit);
+      if (v.empty()) held_.erase(hit);
+    }
   }
-  GrantWaiters(id, &q);
-  if (q.requests.empty()) queues_.erase(qit);
+  ReleaseInBucket(txn, id);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto hit = held_.find(txn);
-  if (hit == held_.end()) return;
-  std::vector<LockId> ids = std::move(hit->second);
-  held_.erase(hit);
-  for (const LockId& id : ids) {
-    auto qit = queues_.find(id);
-    if (qit == queues_.end()) continue;
-    Queue& q = qit->second;
-    for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
-      if (it->txn == txn && it->granted) {
-        q.requests.erase(it);
-        break;
-      }
-    }
-    GrantWaiters(id, &q);
-    if (q.requests.empty()) queues_.erase(qit);
+  std::vector<LockId> ids;
+  {
+    std::lock_guard<std::mutex> hl(held_mu_);
+    auto hit = held_.find(txn);
+    if (hit == held_.end()) return;
+    ids = std::move(hit->second);
+    held_.erase(hit);
   }
+  for (const LockId& id : ids) ReleaseInBucket(txn, id);
 }
 
 size_t LockManager::ReleaseRowAndKeyLocks(TxnId txn, TableId table) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto hit = held_.find(txn);
-  if (hit == held_.end()) return 0;
-  size_t released = 0;
-  auto& v = hit->second;
-  for (size_t i = 0; i < v.size();) {
-    const LockId& id = v[i];
-    if (id.table == table && id.kind != LockId::Kind::kTable) {
-      auto qit = queues_.find(id);
-      if (qit != queues_.end()) {
-        Queue& q = qit->second;
-        for (auto it = q.requests.begin(); it != q.requests.end(); ++it) {
-          if (it->txn == txn && it->granted) {
-            q.requests.erase(it);
-            break;
-          }
-        }
-        GrantWaiters(id, &q);
-        if (q.requests.empty()) queues_.erase(qit);
+  std::vector<LockId> drop;
+  {
+    std::lock_guard<std::mutex> hl(held_mu_);
+    auto hit = held_.find(txn);
+    if (hit == held_.end()) return 0;
+    auto& v = hit->second;
+    for (size_t i = 0; i < v.size();) {
+      if (v[i].table == table && v[i].kind != LockId::Kind::kTable) {
+        drop.push_back(std::move(v[i]));
+        v.erase(v.begin() + i);
+      } else {
+        ++i;
       }
-      v.erase(v.begin() + i);
-      ++released;
-    } else {
-      ++i;
     }
   }
-  return released;
+  for (const LockId& id : drop) ReleaseInBucket(txn, id);
+  return drop.size();
 }
 
 size_t LockManager::CountRowAndKeyLocks(TxnId txn, TableId table) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> hl(held_mu_);
   auto hit = held_.find(txn);
   if (hit == held_.end()) return 0;
   size_t n = 0;
@@ -354,16 +377,17 @@ size_t LockManager::CountRowAndKeyLocks(TxnId txn, TableId table) const {
 }
 
 size_t LockManager::TotalHeldLocks() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> hl(held_mu_);
   size_t n = 0;
   for (const auto& [txn, v] : held_) n += v.size();
   return n;
 }
 
 LockMode LockManager::HeldMode(TxnId txn, const LockId& id) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto qit = queues_.find(id);
-  if (qit == queues_.end()) return LockMode::kNone;
+  Bucket& b = BucketFor(id);
+  std::lock_guard<std::mutex> lk(b.mu);
+  auto qit = b.queues.find(id);
+  if (qit == b.queues.end()) return LockMode::kNone;
   for (const Request& r : qit->second.requests) {
     if (r.txn == txn && r.granted) return r.mode;
   }

@@ -9,10 +9,23 @@
 //  - bookkeeping that lets the engine implement DB2-style lock escalation
 //    (count of row/key locks per transaction per table, bulk release).
 //
+// Striping: lock queues live in kBuckets hash buckets, each with its own
+// mutex and condition variable, so acquires/releases on unrelated resources
+// do not serialize on one manager-wide mutex.  Per-transaction held-lock
+// bookkeeping sits under a separate leaf mutex (held_mu_); the lock order
+// is bucket.mu -> held_mu_, never the reverse — bulk-release paths snapshot
+// the id list under held_mu_, drop it, then visit buckets.  Deadlock
+// detection serializes on detect_mu_ and snapshots the waits-for graph one
+// bucket at a time; the snapshot is therefore approximate under concurrent
+// mutation, which is safe: a spurious Deadlock is an allowed outcome of any
+// lock acquire, and a missed cycle is retried at the next 3ms detection
+// tick.
+//
 // All counters are exposed for the benchmark harness; the paper's lessons
 // are quantified in deadlocks, timeouts and escalations.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -138,22 +151,37 @@ class LockManager {
   struct Queue {
     std::list<Request> requests;  // granted first (by construction), FIFO waiters
   };
+  struct Bucket {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockId, Queue, LockIdHash> queues;
+  };
+  static constexpr size_t kBuckets = 16;
 
-  // All private helpers assume mu_ is held.
-  bool CanGrant(const Queue& q, TxnId txn, LockMode mode) const;
-  bool CanGrantConversion(const Queue& q, TxnId txn, LockMode to) const;
-  void GrantWaiters(const LockId& id, Queue* q);
+  Bucket& BucketFor(const LockId& id) const {
+    return buckets_[LockIdHash()(id) % kBuckets];
+  }
+
+  // Queue-local helpers; the owning bucket's mu must be held.
+  static bool CanGrant(const Queue& q, TxnId txn, LockMode mode);
+  static bool CanGrantConversion(const Queue& q, TxnId txn, LockMode to);
+  void GrantWaiters(const LockId& id, Queue* q, Bucket* b);
+  /// Remove txn's granted request from id's queue and wake what it unblocks.
+  void ReleaseInBucket(TxnId txn, const LockId& id);
   bool WouldDeadlock(TxnId requester) const;
-  void CollectWaitsFor(TxnId waiter, std::unordered_set<TxnId>* out) const;
 
   std::shared_ptr<Clock> clock_;
   metrics::Histogram* wait_us_ = nullptr;  // owned by the registry
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<LockId, Queue, LockIdHash> queues_;
+  mutable std::array<Bucket, kBuckets> buckets_;
+
   // Granted locks per txn (for ReleaseAll / escalation bookkeeping).
+  // Leaf lock: acquired inside a bucket mu, never the other way around.
+  mutable std::mutex held_mu_;
   std::unordered_map<TxnId, std::vector<LockId>> held_;
+
+  // Serializes deadlock detection (the graph snapshot walks every bucket).
+  mutable std::mutex detect_mu_;
 
   std::atomic<uint64_t> acquires_{0};
   std::atomic<uint64_t> waits_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <thread>
 
 namespace datalinks::sqldb {
@@ -198,7 +199,15 @@ WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capac
   // Resume LSN numbering past anything already durable (re-open after crash).
   next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), durable_->checkpoint_lsn()) + 1;
   checkpoint_lsn_ = durable_->checkpoint_lsn();
-  durable_upto_ = next_lsn_ - 1;  // the tail is empty; nothing volatile yet
+  durable_upto_ = next_lsn_ - 1;  // all tails are empty; nothing volatile yet
+}
+
+size_t WriteAheadLog::ShardFor(const LogRecord& r) const {
+  // Spread by table, with the transaction id folded in so table-less
+  // records (begin/commit/abort have table == 0) don't all pile onto one
+  // shard.  Any assignment is correct — the force leader merges by LSN.
+  const uint64_t h = r.table ^ (r.txn * 0x9e3779b97f4a7c15ULL);
+  return static_cast<size_t>(h % kShards);
 }
 
 Lsn WriteAheadLog::TruncationPoint() const {
@@ -226,7 +235,7 @@ void WriteAheadLog::AdvanceTruncationPoint() {
 }
 
 size_t WriteAheadLog::BytesInUse() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(space_mu_);
   const Lsn point = TruncationPoint();
   size_t n = in_use_bytes_;
   // Entries below the current point that have not been retired yet (the
@@ -239,28 +248,35 @@ size_t WriteAheadLog::BytesInUse() const {
 }
 
 Status WriteAheadLog::Append(LogRecord record, bool exempt, Lsn* assigned) {
-  std::lock_guard<std::mutex> lk(mu_);
-  AdvanceTruncationPoint();
+  Shard& sh = shards_[ShardFor(record)];
+  std::lock_guard<std::mutex> sh_lk(sh.mu);
   const size_t sz = record.ByteSize();
-  if (!exempt && in_use_bytes_ + sz > capacity_) {
-    ++log_full_errors_;
-    return Status::LogFull("log capacity " + std::to_string(capacity_) +
-                           " bytes exceeded; oldest active txn pins lsn " +
-                           std::to_string(TruncationPoint()));
+  {
+    // Capacity check and LSN assignment are atomic under space_mu_; the
+    // assignment also happens under sh.mu so the force leader (holding
+    // every shard mutex) can never observe an assigned-but-unqueued LSN.
+    std::lock_guard<std::mutex> sp_lk(space_mu_);
+    AdvanceTruncationPoint();
+    if (!exempt && in_use_bytes_ + sz > capacity_) {
+      log_full_errors_.fetch_add(1, std::memory_order_relaxed);
+      return Status::LogFull("log capacity " + std::to_string(capacity_) +
+                             " bytes exceeded; oldest active txn pins lsn " +
+                             std::to_string(TruncationPoint()));
+    }
+    record.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+    record_bytes_[record.lsn] = sz;
+    in_use_bytes_ += sz;
   }
-  record.lsn = next_lsn_++;
   if (assigned != nullptr) *assigned = record.lsn;
-  ++appends_;
-  record_bytes_[record.lsn] = sz;
-  in_use_bytes_ += sz;
-  tail_bytes_ += sz;
-  tail_.push_back(std::move(record));
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  sh.bytes += sz;
+  sh.tail.push_back(std::move(record));
   return Status::OK();
 }
 
 Status WriteAheadLog::ForceTo(Lsn lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  lsn = std::min(lsn, next_lsn_ - 1);
+  std::unique_lock<std::mutex> lk(force_mu_);
+  lsn = std::min(lsn, next_lsn_.load(std::memory_order_relaxed) - 1);
   while (durable_upto_ < lsn) {
     if (fault_ != nullptr && fault_->crashed()) {
       return Status::Unavailable("process crashed; log force abandoned");
@@ -271,17 +287,12 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
       // force_leader_active_ immediately on wake-up, so a predicate of
       // "!force_leader_active_" alone would strand covered followers
       // through whole extra flush cycles (collapsing batch sizes to ~2).
-      ++force_waits_;
+      force_waits_.fetch_add(1, std::memory_order_relaxed);
       force_cv_.wait(lk, [&] { return !force_leader_active_ || durable_upto_ >= lsn; });
       continue;
     }
-    if (tail_.empty()) {
-      // Only possible after a torn-tail error dropped volatile records: the
-      // requested LSNs no longer exist anywhere and can never become durable.
-      return Status::IOError("log records lost by an earlier failed force");
-    }
     // Leader-elect.  "sqldb.wal.force" models the fsync itself failing:
-    // nothing was written, the whole tail stays volatile, and the caller
+    // nothing was written, every shard tail stays volatile, and the caller
     // must not treat its transaction as committed.
     if (fault_ != nullptr) {
       if (auto f = fault_->Hit(failpoints::kSqldbWalForce, clock_)) {
@@ -289,14 +300,61 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
         return *f;
       }
     }
-    // Leader: detach the whole tail (it includes records appended by
-    // concurrent committers after `lsn` — they ride along in this batch and
-    // their ForceTo returns without a second durable append).
     force_leader_active_ = true;
+    lk.unlock();
+
+    // Collect: lock EVERY shard (fixed order) before detaching anything.
+    // With all shard mutexes held no append can be mid-LSN-assignment, so
+    // the set of assigned LSNs is prefix-closed: everything not yet durable
+    // is sitting in some shard tail right now.  Locking shards one at a
+    // time instead would let a low-LSN record slip into an already-released
+    // shard while we collect a higher LSN from a later one — a durable-log
+    // gap.
+    for (Shard& sh : shards_) sh.mu.lock();
+    // "sqldb.wal.shard_force" models one shard's collect failing (e.g. a
+    // partial gather-write): probed once per non-empty shard BEFORE any
+    // tail is detached, so a failure leaves the whole volatile log intact
+    // and a later force can retry.
+    Status shard_fault = Status::OK();
+    if (fault_ != nullptr) {
+      for (Shard& sh : shards_) {
+        if (sh.tail.empty()) continue;
+        if (auto f = fault_->Hit(failpoints::kSqldbWalShardForce, clock_)) {
+          shard_fault = *f;
+          break;
+        }
+      }
+    }
+    if (!shard_fault.ok()) {
+      for (size_t i = kShards; i-- > 0;) shards_[i].mu.unlock();
+      lk.lock();
+      force_leader_active_ = false;
+      force_cv_.notify_all();
+      return shard_fault;
+    }
     std::vector<LogRecord> batch;
-    batch.swap(tail_);
-    tail_bytes_ = 0;
-    const Lsn target = batch.back().lsn;  // tail non-empty: checked above
+    for (Shard& sh : shards_) {
+      if (sh.tail.empty()) continue;
+      std::move(sh.tail.begin(), sh.tail.end(), std::back_inserter(batch));
+      sh.tail.clear();
+      sh.bytes = 0;
+    }
+    for (size_t i = kShards; i-- > 0;) shards_[i].mu.unlock();
+
+    if (batch.empty()) {
+      // Only possible after a torn-tail error dropped volatile records: the
+      // requested LSNs no longer exist anywhere and can never become durable.
+      lk.lock();
+      force_leader_active_ = false;
+      force_cv_.notify_all();
+      return Status::IOError("log records lost by an earlier failed force");
+    }
+    // Merge the shard tails into one LSN-ordered batch.  Each tail is
+    // already sorted, so this is a k-way merge; std::sort on the nearly
+    // sorted concatenation is fine at these batch sizes.
+    std::sort(batch.begin(), batch.end(),
+              [](const LogRecord& a, const LogRecord& b) { return a.lsn < b.lsn; });
+    const Lsn target = batch.back().lsn;
     size_t commits = 0;
     for (const LogRecord& r : batch) {
       if (r.type == LogRecordType::kCommit || r.type == LogRecordType::kAbort) ++commits;
@@ -315,40 +373,46 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
         const size_t cut = encoded.size() - last_frame.size() + last_frame.size() / 2;
         std::vector<LogRecord> prefix =
             DecodeLogRecords(std::string_view(encoded).substr(0, cut));
+        Lsn prefix_end = kInvalidLsn;
         if (!prefix.empty()) {
-          durable_upto_ = prefix.back().lsn;
-          ++forces_;
-          group_commit_records_ += prefix.size();
+          prefix_end = prefix.back().lsn;
+          forces_.fetch_add(1, std::memory_order_relaxed);
+          group_commit_records_.fetch_add(prefix.size(), std::memory_order_relaxed);
           for (const LogRecord& r : prefix) {
             if (r.type == LogRecordType::kCommit || r.type == LogRecordType::kAbort) {
-              ++group_commit_commits_;
+              group_commit_commits_.fetch_add(1, std::memory_order_relaxed);
             }
           }
           durable_->AppendForced(std::move(prefix));
         }
+        lk.lock();
+        if (prefix_end != kInvalidLsn) durable_upto_ = prefix_end;
         force_leader_active_ = false;
         force_cv_.notify_all();
         return *f;
       }
     }
-    lk.unlock();
-    // Sample the force histograms 1-in-8: two clock reads plus records on
-    // every force are measurable against a fast in-memory log (E13), and
-    // the distributions don't need every data point.  force_seq_ is only
-    // touched by the active leader, which is exclusive by construction.
+    // Adaptive latency sampling: every force while the histogram is cold
+    // (so low-throughput runs still report a usable p99), then 1-in-8 —
+    // two clock reads per force are measurable against a fast in-memory
+    // log (E13) and a warm distribution doesn't need every data point.
+    // force_seq_ is only touched by the active leader, which is exclusive
+    // by construction.
+    ++force_seq_;
     const bool sample =
-        force_latency_us_ != nullptr && (force_seq_++ & 7) == 0;
+        force_latency_us_ != nullptr &&
+        (force_latency_us_->count() < 64 || (force_seq_ & 7) == 0);
     const int64_t t0 = sample ? metrics::NowMicrosForMetrics() : 0;
-    durable_->AppendForced(std::move(batch));  // the "I/O", outside the WAL mutex
+    durable_->AppendForced(std::move(batch));  // the "I/O", outside all WAL locks
     if (sample) {
       force_latency_us_->Record(metrics::NowMicrosForMetrics() - t0);
       batch_records_->Record(static_cast<int64_t>(nrecords));
     }
+    forces_.fetch_add(1, std::memory_order_relaxed);
+    group_commit_records_.fetch_add(nrecords, std::memory_order_relaxed);
+    group_commit_commits_.fetch_add(commits, std::memory_order_relaxed);
     lk.lock();
     durable_upto_ = target;
-    ++forces_;
-    group_commit_records_ += nrecords;
-    group_commit_commits_ += commits;
     force_leader_active_ = false;
     force_cv_.notify_all();
   }
@@ -356,22 +420,17 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
 }
 
 Status WriteAheadLog::ForceAll() {
-  Lsn last;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    last = next_lsn_ - 1;
-  }
-  return ForceTo(last);
+  return ForceTo(next_lsn_.load(std::memory_order_relaxed) - 1);
 }
 
 void WriteAheadLog::OnBegin(TxnId txn, Lsn begin_lsn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(space_mu_);
   active_begin_[begin_lsn] = txn;
   txn_begin_[txn] = begin_lsn;
 }
 
 void WriteAheadLog::OnEnd(TxnId txn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(space_mu_);
   auto it = txn_begin_.find(txn);
   if (it == txn_begin_.end()) return;
   active_begin_.erase(it->second);
@@ -380,16 +439,16 @@ void WriteAheadLog::OnEnd(TxnId txn) {
 }
 
 void WriteAheadLog::OnCheckpoint(Lsn lsn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(space_mu_);
   checkpoint_lsn_ = lsn;
-  ++checkpoints_;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
   const Lsn point = TruncationPoint();
   durable_->TruncateBefore(point);
   AdvanceTruncationPoint();
 }
 
 size_t WriteAheadLog::BytesPinnedByActiveTxns() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(space_mu_);
   if (active_begin_.empty()) return 0;
   const Lsn oldest = active_begin_.begin()->first;
   size_t n = 0;
@@ -400,31 +459,32 @@ size_t WriteAheadLog::BytesPinnedByActiveTxns() const {
 }
 
 Lsn WriteAheadLog::last_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return next_lsn_ - 1;
+  return next_lsn_.load(std::memory_order_relaxed) - 1;
 }
 
 WalStats WriteAheadLog::stats() const {
   WalStats s;
   s.capacity = capacity_;
-  std::lock_guard<std::mutex> lk(mu_);
-  const Lsn point = TruncationPoint();
-  s.bytes_in_use = in_use_bytes_;
-  for (auto it = record_bytes_.begin(), end = record_bytes_.lower_bound(point); it != end;
-       ++it) {
-    s.bytes_in_use -= it->second;
+  {
+    std::lock_guard<std::mutex> lk(space_mu_);
+    const Lsn point = TruncationPoint();
+    s.bytes_in_use = in_use_bytes_;
+    for (auto it = record_bytes_.begin(), end = record_bytes_.lower_bound(point);
+         it != end; ++it) {
+      s.bytes_in_use -= it->second;
+    }
   }
-  s.appends = appends_;
-  s.forces = forces_;
-  s.log_full_errors = log_full_errors_;
-  s.checkpoints = checkpoints_;
-  s.force_waits = force_waits_;
-  s.group_commit_batches = forces_;
-  s.group_commit_records = group_commit_records_;
-  s.group_commit_commits = group_commit_commits_;
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.forces = forces_.load(std::memory_order_relaxed);
+  s.log_full_errors = log_full_errors_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.force_waits = force_waits_.load(std::memory_order_relaxed);
+  s.group_commit_batches = s.forces;
+  s.group_commit_records = group_commit_records_.load(std::memory_order_relaxed);
+  s.group_commit_commits = group_commit_commits_.load(std::memory_order_relaxed);
   s.mean_commits_per_batch =
-      forces_ == 0 ? 0.0 : static_cast<double>(group_commit_commits_) /
-                               static_cast<double>(forces_);
+      s.forces == 0 ? 0.0 : static_cast<double>(s.group_commit_commits) /
+                                static_cast<double>(s.forces);
   return s;
 }
 

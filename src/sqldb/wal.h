@@ -14,13 +14,25 @@
 //    failure the paper's batched-commit lesson (§4) is about: one huge
 //    transaction pins the truncation point and fills the log.
 //
+// Sharded tail: appends hash to one of kShards independent tail shards,
+// each with its own mutex, so concurrent writers on disjoint tables (or
+// disjoint transactions) do not serialize on a single log latch.  The LSN
+// space stays global — a single atomic counter, incremented while the
+// appender holds its shard mutex.  That invariant is what makes the merge
+// correct: the group-commit leader locks ALL shard mutexes, so no append
+// can be mid-assignment, and every assigned LSN is either durable already
+// or present in some shard tail.  The leader drains all shards, merges the
+// batch in LSN order, and performs one durable append.
+//
 // Group commit: concurrent ForceTo() callers coalesce behind a single
-// leader.  The leader detaches the whole tail and moves it into the
+// leader.  The leader merges the shard tails and moves them into the
 // DurableStore in one append while followers wait on a condition variable
 // until the durable frontier covers their commit LSN.  WalStats reports
 // the coalescing (force_waits, group_commit_batches, commits per batch).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -146,15 +158,16 @@ struct WalStats {
   double mean_commits_per_batch = 0;
 };
 
-/// Volatile WAL front-end.  Thread-safe: Append assigns LSNs under the WAL
-/// mutex (callers hold the owning table's latch, so per-table append order
-/// matches apply order); ForceTo runs the group-commit protocol.
+/// Volatile WAL front-end.  Thread-safe: Append assigns the global LSN
+/// while holding one shard mutex (callers hold the owning row latch, so
+/// per-row append order matches apply order); ForceTo runs the
+/// group-commit protocol over the merged shard tails.
 class WriteAheadLog {
  public:
   /// `fault`/`clock` are optional: when set, ForceTo probes the
-  /// "sqldb.wal.force" and "sqldb.wal.torn_tail" fail points (see wal.cc).
-  /// `registry` (optional) receives the sqldb.wal.force_latency_us and
-  /// sqldb.wal.batch_records histograms.
+  /// "sqldb.wal.force", "sqldb.wal.shard_force" and "sqldb.wal.torn_tail"
+  /// fail points (see wal.cc).  `registry` (optional) receives the
+  /// sqldb.wal.force_latency_us and sqldb.wal.batch_records histograms.
   WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capacity_bytes,
                 FaultInjector* fault = nullptr, Clock* clock = nullptr,
                 metrics::Registry* registry = nullptr);
@@ -171,10 +184,11 @@ class WriteAheadLog {
   size_t BytesPinnedByActiveTxns() const;
 
   /// Make everything up to and including `lsn` durable.  Concurrent callers
-  /// coalesce: one leader moves the whole tail into the DurableStore in a
-  /// single append; followers wait until the durable frontier covers their
-  /// LSN (group commit).  Fails when the fail points "sqldb.wal.force" or
-  /// "sqldb.wal.torn_tail" fire (or the process already crashed): the
+  /// coalesce: one leader merges every shard tail into one LSN-ordered
+  /// batch and moves it into the DurableStore in a single append; followers
+  /// wait until the durable frontier covers their LSN (group commit).
+  /// Fails when the fail points "sqldb.wal.force", "sqldb.wal.shard_force"
+  /// or "sqldb.wal.torn_tail" fire (or the process already crashed): the
   /// caller's records are NOT durable and the caller must not report its
   /// transaction committed.
   Status ForceTo(Lsn lsn);
@@ -194,8 +208,18 @@ class WriteAheadLog {
   DurableStore* durable() { return durable_.get(); }
 
  private:
-  Lsn TruncationPoint() const;        // mu_ held
-  void AdvanceTruncationPoint();      // mu_ held; retires space O(1) amortized
+  /// Append shards.  More shards than cores is fine — the point is that
+  /// two writers rarely hash to the same tail mutex.
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    std::mutex mu;
+    std::vector<LogRecord> tail;  // not yet forced; LSN-sorted within shard
+    size_t bytes = 0;
+  };
+
+  size_t ShardFor(const LogRecord& r) const;
+  Lsn TruncationPoint() const;        // space_mu_ held
+  void AdvanceTruncationPoint();      // space_mu_ held; retires space O(1) amortized
 
   std::shared_ptr<DurableStore> durable_;
   const size_t capacity_;
@@ -203,12 +227,17 @@ class WriteAheadLog {
   Clock* clock_ = nullptr;          // not owned; used by delay fail points
   metrics::Histogram* force_latency_us_ = nullptr;  // owned by the registry
   metrics::Histogram* batch_records_ = nullptr;
-  uint64_t force_seq_ = 0;  // leader-only; 1-in-8 latency sampling
+  uint64_t force_seq_ = 0;  // leader-only; adaptive latency sampling
 
-  mutable std::mutex mu_;
-  std::vector<LogRecord> tail_;           // not yet forced
-  size_t tail_bytes_ = 0;
-  Lsn next_lsn_ = 1;
+  /// Global LSN counter.  fetch_add happens while holding a shard mutex —
+  /// see the header comment for why the force leader relies on that.
+  std::atomic<Lsn> next_lsn_{1};
+
+  mutable std::array<Shard, kShards> shards_;
+
+  // Log-space accounting (truncation point, per-record sizes, active txns).
+  // Leaf lock: taken inside a shard mutex by Append, never the reverse.
+  mutable std::mutex space_mu_;
   Lsn checkpoint_lsn_ = kInvalidLsn;
   std::map<Lsn, TxnId> active_begin_;     // begin-LSN -> txn (ordered)
   std::map<TxnId, Lsn> txn_begin_;
@@ -218,18 +247,21 @@ class WriteAheadLog {
   std::map<Lsn, size_t> record_bytes_;
   size_t in_use_bytes_ = 0;
 
-  // Group commit.
+  // Group commit.  force_mu_ guards only the leader flag and the durable
+  // frontier; the leader never holds it while collecting shard tails or
+  // appending to the durable store.
+  mutable std::mutex force_mu_;
   std::condition_variable force_cv_;
   bool force_leader_active_ = false;
   Lsn durable_upto_ = kInvalidLsn;  // highest lsn moved into the durable store
 
-  uint64_t appends_ = 0;
-  uint64_t forces_ = 0;
-  uint64_t log_full_errors_ = 0;
-  uint64_t checkpoints_ = 0;
-  uint64_t force_waits_ = 0;
-  uint64_t group_commit_records_ = 0;
-  uint64_t group_commit_commits_ = 0;
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> forces_{0};
+  std::atomic<uint64_t> log_full_errors_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> force_waits_{0};
+  std::atomic<uint64_t> group_commit_records_{0};
+  std::atomic<uint64_t> group_commit_commits_{0};
 };
 
 }  // namespace datalinks::sqldb

@@ -236,10 +236,24 @@ class CrashMatrixTest : public ::testing::Test {
     {
       auto s = host_->OpenSession();
       ASSERT_TRUE(s->Begin().ok());
-      ASSERT_TRUE(s->Insert(media_, MediaRow(2, "dlfs://srv1/w_x")).ok());
-      ASSERT_TRUE(s->Insert(media_, MediaRow(3, "dlfs://srv2/w_y")).ok());
-      ASSERT_TRUE(s->Delete(media_, {Pred::Eq("id", 1)}).ok());
-      (void)s->Commit();  // outcome decided by the durable state, not this rc
+      Status st = s->Insert(media_, MediaRow(2, "dlfs://srv1/w_x"));
+      if (st.ok()) st = s->Insert(media_, MediaRow(3, "dlfs://srv2/w_y"));
+      if (st.ok()) {
+        auto n = s->Delete(media_, {Pred::Eq("id", 1)});
+        st = n.ok() ? Status::OK() : n.status();
+      }
+      if (st.ok()) {
+        (void)s->Commit();  // outcome decided by the durable state, not this rc
+      } else {
+        // Threshold-driven points (the auto-checkpoint ones) can fire inside
+        // a statement's DLFM round trip — whichever local commit crosses the
+        // log threshold first, which shifts with daemon activity — instead
+        // of in commit processing.  The transaction then cannot commit; that
+        // is only a legal schedule for cases expecting an abort.
+        ASSERT_FALSE(committed)
+            << "statement failed but the case expects commit: " << st.ToString();
+        (void)s->Rollback();
+      }
     }
     RestartAll();
     ASSERT_TRUE(host_->ResolveIndoubts().ok());
@@ -314,7 +328,15 @@ TEST_F(CrashMatrixTest, RegistryEnumeratedCrashMatrix) {
       {"dlfm.commit.before_harden", {{MatrixCase::kDlfm1, true}}},
       {"dlfm.commit.after_harden", {{MatrixCase::kDlfm1, true}}},
       {"sqldb.wal.force", {{MatrixCase::kHost, false}, {MatrixCase::kDlfm1, false}}},
+      // Fires per-shard after the force leader collected the shard tails but
+      // before the durable append: nothing was written, same outcome as a
+      // force crash.
+      {"sqldb.wal.shard_force",
+       {{MatrixCase::kHost, false}, {MatrixCase::kDlfm1, false}}},
       {"sqldb.wal.torn_tail", {{MatrixCase::kHost, false}, {MatrixCase::kDlfm1, false}}},
+      // Group-harden leader crashes before forcing the batch: the prepare
+      // never hardens, the host sees the ack fail -> presumed abort.
+      {"dlfm.harden.group", {{MatrixCase::kDlfm1, false}}},
       {"sqldb.checkpoint.write",
        {{MatrixCase::kHost, true, kTinyCheckpoint},
         {MatrixCase::kDlfm1, false, kTinyCheckpoint}}},

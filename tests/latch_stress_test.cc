@@ -1,8 +1,10 @@
-// Stress coverage for the per-table latching + WAL group commit:
+// Stress coverage for the three-tier latching + WAL group commit:
 //  - writers on distinct tables overlap (the whole point of breaking the
-//    global data latch), proven via the exclusive-latch high-water mark,
+//    global data latch), proven via the row-exclusive high-water mark,
+//  - writers on disjoint rows of the SAME table overlap (row stripes;
+//    the table latch is only shared for DML),
 //  - no torn reads under concurrent scan + multi-column update on one
-//    table (row snapshots are taken under the shared latch),
+//    table (row snapshots are taken under the row latch),
 //  - concurrent committers coalesce behind a group-commit leader.
 //
 // Designed to run cleanly under -fsanitize=thread (see .github/workflows).
@@ -44,13 +46,14 @@ TEST(LatchStress, WritersOnDistinctTablesOverlap) {
   std::vector<TableId> tables;
   for (int i = 0; i < kTables; ++i) tables.push_back(MakeTable(db.get(), "t" + std::to_string(i)));
 
-  // The high-water mark of simultaneously held exclusive latches can only
-  // exceed 1 if two writers were inside their (distinct-table) critical
-  // sections at once — impossible under the old global data latch.  The
-  // counter is cumulative, so hammer in rounds until the overlap shows up
-  // (on a single-core host it relies on preemption mid-critical-section).
+  // The high-water mark of simultaneously held row-exclusive latches can
+  // only exceed 1 if two writers were inside their (distinct-table) install
+  // critical sections at once — impossible under the old global data latch.
+  // The counter is cumulative, so hammer in rounds until the overlap shows
+  // up (on a single-core host it relies on preemption mid-critical-section).
   int64_t next_id = 0;
-  for (int round = 0; round < 10 && db->stats().latch_max_concurrent_exclusive < 2; ++round) {
+  for (int round = 0;
+       round < 10 && db->stats().latch_max_concurrent_row_exclusive < 2; ++round) {
     std::vector<std::thread> threads;
     for (int w = 0; w < kTables; ++w) {
       const int64_t base = next_id + w * 10000;
@@ -69,10 +72,68 @@ TEST(LatchStress, WritersOnDistinctTablesOverlap) {
   }
 
   const DatabaseStats s = db->stats();
-  EXPECT_GE(s.latch_max_concurrent_exclusive, 2u)
-      << "no two writers ever held exclusive latches simultaneously";
-  EXPECT_GT(s.latch_exclusive_acquires, 0u);
+  EXPECT_GE(s.latch_max_concurrent_row_exclusive, 2u)
+      << "no two writers ever held row latches simultaneously";
+  EXPECT_GT(s.latch_exclusive_acquires, 0u);  // DDL (CreateIndex) tier
+  EXPECT_GT(s.latch_row_exclusive_acquires, 0u);
   EXPECT_GT(s.latch_shared_acquires, 0u);
+}
+
+TEST(LatchStress, WritersOnDisjointRowsOfSameTableOverlap) {
+  DatabaseOptions opts;
+  opts.next_key_locking = false;
+  auto db = OpenDb(opts);
+  TableId t = MakeTable(db.get(), "hot");
+
+  constexpr int kWriters = 8;
+  constexpr int kRowsPerWriter = 16;
+  {
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < kWriters * kRowsPerWriter; ++i) {
+      ASSERT_TRUE(
+          db->Insert(txn, t, {Value(int64_t{i}), Value("v0"), Value("v0")}).ok());
+    }
+    ASSERT_TRUE(db->Commit(txn).ok());
+  }
+  ASSERT_TRUE(db->RunStats(t).ok());
+
+  // Same table, disjoint row ranges: under the old per-table exclusive
+  // latch these writers serialized; with row stripes their exclusive
+  // sections overlap, which the ROW-tier high-water mark proves.  The
+  // table-tier mark stays untouched by DML (it now counts only the
+  // structural tier: DDL, checkpoint, rollback).
+  const uint64_t table_xwater_before = db->stats().latch_max_concurrent_exclusive;
+  for (int round = 0;
+       round < 10 && db->stats().latch_max_concurrent_row_exclusive < 2; ++round) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        Random rng(7 + w);
+        for (int i = 0; i < 400; ++i) {
+          const int64_t id =
+              w * kRowsPerWriter + static_cast<int64_t>(rng.Uniform(kRowsPerWriter));
+          const std::string v = "v" + std::to_string(rng.Uniform(1 << 30));
+          Transaction* txn = db->Begin();
+          auto n = db->Update(txn, t, {Pred::Eq("id", id)},
+                              {{"a", Operand(v)}, {"b", Operand(v)}});
+          if (n.ok()) {
+            ASSERT_TRUE(db->Commit(txn).ok());
+          } else {
+            (void)db->Rollback(txn);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  const DatabaseStats s = db->stats();
+  EXPECT_GE(s.latch_max_concurrent_row_exclusive, 2u)
+      << "no two same-table writers ever held row latches simultaneously";
+  EXPECT_GT(s.latch_row_shared_acquires, 0u);
+  EXPECT_EQ(s.latch_max_concurrent_exclusive, table_xwater_before)
+      << "DML moved the table-tier exclusive high-water mark";
+  EXPECT_EQ(*db->LiveRowCount(t), static_cast<size_t>(kWriters * kRowsPerWriter));
 }
 
 TEST(LatchStress, NoTornReadsUnderConcurrentScanAndUpdate) {

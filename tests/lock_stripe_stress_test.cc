@@ -1,0 +1,153 @@
+// Stress coverage for the striped lock manager: lock queues now live in
+// hash buckets with their own mutexes, the per-transaction held-lock map
+// under a separate leaf mutex, and deadlock detection snapshots the
+// waits-for graph bucket by bucket.  These tests hammer the cross-bucket
+// paths that the striping made interesting:
+//  - disjoint-resource acquire/release storms (no lost grants, clean
+//    bookkeeping),
+//  - contended FIFO handoff on one hot resource spanning many txns,
+//  - deadlock cycles whose two resources hash to different buckets,
+//  - bulk release (ReleaseAll / ReleaseRowAndKeyLocks) racing acquirers.
+//
+// Designed to run cleanly under -fsanitize=thread (see .github/workflows).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "sqldb/lock_manager.h"
+
+namespace datalinks::sqldb {
+namespace {
+
+constexpr int64_t kShort = 100 * 1000;  // 100ms
+
+TEST(LockStripeStress, DisjointAcquireReleaseStorm) {
+  LockManager lm(SystemClock::Instance());
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      const TxnId txn = static_cast<TxnId>(w + 1);
+      for (int i = 0; i < kIters; ++i) {
+        // Rows spread across tables and rids -> across buckets.
+        const LockId a = LockId::Row(static_cast<TableId>(w), i);
+        const LockId b = LockId::Row(static_cast<TableId>(w + 100), i * 7);
+        ASSERT_TRUE(lm.Acquire(txn, a, LockMode::kX, kShort).ok());
+        ASSERT_TRUE(lm.Acquire(txn, b, LockMode::kS, kShort).ok());
+        EXPECT_EQ(lm.HeldMode(txn, a), LockMode::kX);
+        lm.ReleaseAll(txn);
+        EXPECT_EQ(lm.HeldMode(txn, a), LockMode::kNone);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(lm.TotalHeldLocks(), 0u);
+  const LockStats s = lm.stats();
+  EXPECT_EQ(s.acquires, static_cast<uint64_t>(kThreads) * kIters * 2);
+  EXPECT_EQ(s.deadlocks, 0u);
+  EXPECT_EQ(s.timeouts, 0u);
+}
+
+TEST(LockStripeStress, HotResourceFifoHandoff) {
+  LockManager lm(SystemClock::Instance());
+  const LockId hot = LockId::Row(1, 7);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> inside{0};
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        const TxnId txn = static_cast<TxnId>(1 + w + kThreads * i);
+        // Long timeout: every request must eventually be granted (X queue
+        // drains FIFO; there is no deadlock to break).
+        ASSERT_TRUE(lm.Acquire(txn, hot, LockMode::kX, 10 * 1000 * 1000).ok());
+        EXPECT_EQ(inside.fetch_add(1), 0) << "two X holders inside at once";
+        granted.fetch_add(1);
+        inside.fetch_sub(1);
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(granted.load(), kThreads * kIters);
+  EXPECT_EQ(lm.TotalHeldLocks(), 0u);
+  // No waits assertion: on a single-core host the scheduler can hand the
+  // lock off so cleanly that nobody ever blocks — mutual exclusion and the
+  // grant count are the invariants that matter.
+}
+
+TEST(LockStripeStress, CrossBucketDeadlockDetected) {
+  // A classic 2-cycle whose resources live in different buckets: the
+  // detector must stitch edges from more than one bucket snapshot.
+  LockManager lm(SystemClock::Instance());
+  for (int round = 0; round < 20; ++round) {
+    const LockId ra = LockId::Row(1, static_cast<RowId>(round));
+    const LockId rb = LockId::Row(2, static_cast<RowId>(round * 31 + 5));
+    const TxnId t1 = static_cast<TxnId>(1000 + 2 * round);
+    const TxnId t2 = static_cast<TxnId>(1001 + 2 * round);
+    ASSERT_TRUE(lm.Acquire(t1, ra, LockMode::kX, kShort).ok());
+    ASSERT_TRUE(lm.Acquire(t2, rb, LockMode::kX, kShort).ok());
+    std::atomic<int> errors{0};
+    std::thread th1([&] {
+      Status st = lm.Acquire(t1, rb, LockMode::kX, kShort);
+      if (!st.ok()) {
+        EXPECT_TRUE(st.IsDeadlock() || st.IsLockTimeout()) << st.ToString();
+        errors.fetch_add(1);
+      }
+    });
+    std::thread th2([&] {
+      Status st = lm.Acquire(t2, ra, LockMode::kX, kShort);
+      if (!st.ok()) {
+        EXPECT_TRUE(st.IsDeadlock() || st.IsLockTimeout()) << st.ToString();
+        errors.fetch_add(1);
+      }
+    });
+    th1.join();
+    th2.join();
+    EXPECT_GE(errors.load(), 1) << "cycle resolved without any error";
+    lm.ReleaseAll(t1);
+    lm.ReleaseAll(t2);
+  }
+  EXPECT_GT(lm.stats().deadlocks + lm.stats().timeouts, 0u);
+  EXPECT_EQ(lm.TotalHeldLocks(), 0u);
+}
+
+TEST(LockStripeStress, BulkReleaseRacesAcquirers) {
+  LockManager lm(SystemClock::Instance());
+  constexpr int kThreads = 6;
+  constexpr int kIters = 300;
+  constexpr int kRows = 32;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Random rng(123 + w);
+      for (int i = 0; i < kIters; ++i) {
+        const TxnId txn = static_cast<TxnId>(1 + w + kThreads * i);
+        const TableId table = static_cast<TableId>(rng.Uniform(3));
+        size_t got = 0;
+        for (int r = 0; r < 6; ++r) {
+          const LockId id = LockId::Row(table, static_cast<RowId>(rng.Uniform(kRows)));
+          Status st = lm.Acquire(txn, id, LockMode::kS, kShort);
+          if (st.ok()) ++got;
+        }
+        // Escalation-style bulk drop of the row locks, then everything.
+        const size_t dropped = lm.ReleaseRowAndKeyLocks(txn, table);
+        EXPECT_LE(dropped, got);
+        EXPECT_EQ(lm.CountRowAndKeyLocks(txn, table), 0u);
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(lm.TotalHeldLocks(), 0u);
+}
+
+}  // namespace
+}  // namespace datalinks::sqldb

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI perf-regression guard.
+
+Compares the machine-readable bench artifacts (google-benchmark JSON and
+metrics-registry snapshots) against a checked-in baseline with generous
+tolerance bands, and exits non-zero on regression.
+
+The bands are deliberately wide: CI runners are slow, shared, and noisy,
+so the guard is calibrated to catch order-of-magnitude regressions (a
+re-serialized hot path, a lock-wait convoy, a broken group-commit/harden
+coalescer) rather than percent-level drift.  Every bound in
+bench/perf_baseline.json documents the measured value it was derived
+from; tighten them only with evidence from several CI runs.
+
+Usage: check_perf.py --baseline bench/perf_baseline.json --results DIR
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load(results_dir, name):
+    path = os.path.join(results_dir, name)
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_bounds(label, value, spec):
+    """spec may carry 'min' and/or 'max'. Returns an error string or None."""
+    if "min" in spec and value < spec["min"]:
+        return f"{label}: {value:.3g} < min {spec['min']:.3g}"
+    if "max" in spec and value > spec["max"]:
+        return f"{label}: {value:.3g} > max {spec['max']:.3g}"
+    return None
+
+
+def run(baseline, results_dir):
+    failures = []
+    passes = []
+
+    for spec in baseline.get("google_benchmark", []):
+        label = f"{spec['file']}:{spec['benchmark']}:{spec['counter']}"
+        try:
+            doc = load(results_dir, spec["file"])
+        except OSError as e:
+            failures.append(f"{label}: missing artifact ({e})")
+            continue
+        rows = [b for b in doc["benchmarks"] if b["name"] == spec["benchmark"]]
+        if not rows:
+            failures.append(f"{label}: benchmark not present in artifact")
+            continue
+        value = rows[-1][spec["counter"]]
+        err = check_bounds(label, value, spec)
+        (failures if err else passes).append(err or f"{label}: {value:.3g} ok")
+
+    for spec in baseline.get("metrics_snapshots", []):
+        kind = "histogram" if "histogram" in spec else "counter"
+        name = spec.get("histogram") or spec["counter"]
+        stat = spec.get("stat", "")
+        label = f"{spec['file']}:{name}" + (f".{stat}" if stat else "")
+        try:
+            doc = load(results_dir, spec["file"])
+        except OSError as e:
+            failures.append(f"{label}: missing artifact ({e})")
+            continue
+        try:
+            if kind == "histogram":
+                value = doc["histograms"][name][stat]
+            else:
+                value = doc["counters"][name]
+        except KeyError:
+            failures.append(f"{label}: not present in snapshot")
+            continue
+        err = check_bounds(label, value, spec)
+        (failures if err else passes).append(err or f"{label}: {value:.3g} ok")
+
+    for line in passes:
+        print(f"  PASS {line}")
+    for line in failures:
+        print(f"  FAIL {line}", file=sys.stderr)
+    print(f"perf guard: {len(passes)} passed, {len(failures)} failed")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--results", required=True)
+    args = ap.parse_args()
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    sys.exit(run(baseline, args.results))
+
+
+if __name__ == "__main__":
+    main()
