@@ -1,0 +1,148 @@
+// E15 — paged storage under memory pressure: buffer-pool hit ratio,
+// eviction behaviour, and cold-vs-warm scan cost.
+//
+// The engine stores heap rows and index nodes on fixed-size pages behind a
+// clock-eviction buffer pool (DESIGN.md §9).  This bench loads a table
+// several times larger than the pool, then measures three regimes:
+//   1. cold sequential scan — every heap page faults in and evicts another
+//      (the pool degrades to streaming I/O, as it should);
+//   2. a re-scan — still bigger than the pool, so eviction keeps running;
+//   3. a hot-set point-read phase whose working set FITS the pool — after
+//      one warming pass the hit ratio must be >90% (the acceptance bar;
+//      clock eviction that thrashes the hot set shows up here).
+//
+// Args: {rows, pool_pages}.
+//
+// Counters:
+//   hot_hit_ratio   = pool hits/(hits+misses) during the hot phase
+//   evictions       = total frames evicted over the run (must be > 0)
+//   pool_flushes    = dirty writebacks (checkpoint + eviction)
+//   cold_scan_ms    = first full-table scan (faulting)
+//   warm_scan_ms    = second full-table scan (still > pool, eviction-bound)
+//   hot_reads_ps    = point reads/second in the hot phase
+//
+// Artifacts: BENCH_e15_buffer_pool.json (google-benchmark) and
+// BENCH_e15_metrics.json (registry snapshot with the sqldb.pool.*
+// counters) — inputs for tools/check_perf.py.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "sqldb/database.h"
+
+namespace datalinks::bench {
+namespace {
+
+using namespace datalinks::sqldb;
+
+void DumpRegistry(const metrics::Registry& reg, const std::string& file) {
+  const char* dir = std::getenv("DLX_BENCH_OUT_DIR");
+  const std::string path = (dir != nullptr ? std::string(dir) + "/" : std::string()) + file;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string json = reg.DumpJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+}
+
+double ScanMillis(Database* db, TableId t, int expect_rows) {
+  const auto start = std::chrono::steady_clock::now();
+  Transaction* txn = db->Begin();
+  auto rows = db->Select(txn, t, {});
+  if (!rows.ok() || rows->size() != static_cast<size_t>(expect_rows)) std::abort();
+  if (!db->Commit(txn).ok()) std::abort();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void BM_BufferPool(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const size_t pool_pages = static_cast<size_t>(state.range(1));
+
+  for (auto _ : state) {
+    DatabaseOptions o;
+    o.page_size_bytes = 1024;
+    o.buffer_pool_pages = pool_pages;
+    o.lock_timeout_micros = 5 * 1000 * 1000;
+    o.metrics = std::make_shared<metrics::Registry>();
+    auto db = std::move(Database::Open(o)).value();
+
+    TableSchema schema;
+    schema.name = "media";
+    schema.columns = {{"id", ValueType::kInt, false}, {"url", ValueType::kString, false}};
+    TableId t = *db->CreateTable(schema);
+    if (!db->CreateIndex(IndexDef{"ux_id", t, {0}, true}).ok()) std::abort();
+    const IndexId ix = *db->IndexByName(t, "ux_id");
+
+    // Load: ~9 rows per 1 KiB page, so `rows` rows span rows/9 heap pages —
+    // several times `pool_pages` for the default args.
+    const std::string pad(100, 'x');
+    for (int i = 0; i < rows; i += 20) {
+      Transaction* txn = db->Begin();
+      for (int j = i; j < i + 20 && j < rows; ++j) {
+        if (!db->Insert(txn, t, {Value(int64_t{j}), Value(pad + std::to_string(j))}).ok()) {
+          std::abort();
+        }
+      }
+      if (!db->Commit(txn).ok()) std::abort();
+    }
+    TableStats stats;
+    stats.cardinality = rows;
+    stats.index_distinct[ix] = rows;
+    db->SetTableStats(t, stats);
+
+    const double cold_ms = ScanMillis(db.get(), t, rows);
+    const double warm_ms = ScanMillis(db.get(), t, rows);
+
+    // Hot phase: random point reads over a hot set sized to fit the pool
+    // (~1/8 of the table), after one warming pass.
+    const int hot_rows = rows / 8;
+    constexpr int kHotReads = 5000;
+    Random rng(42);
+    Transaction* warm = db->Begin();
+    for (int i = 0; i < hot_rows; ++i) {
+      if (!db->Select(warm, t, {Pred::Eq("id", int64_t{i})}).ok()) std::abort();
+    }
+    if (!db->Commit(warm).ok()) std::abort();
+
+    const BufferPool::Stats before = db->buffer_pool_stats();
+    const auto hot_start = std::chrono::steady_clock::now();
+    Transaction* hot = db->Begin();
+    for (int i = 0; i < kHotReads; ++i) {
+      const int64_t id = static_cast<int64_t>(rng.Uniform(hot_rows));
+      auto r = db->Select(hot, t, {Pred::Eq("id", id)});
+      if (!r.ok() || r->size() != 1) std::abort();
+    }
+    if (!db->Commit(hot).ok()) std::abort();
+    const double hot_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - hot_start).count();
+    const BufferPool::Stats after = db->buffer_pool_stats();
+
+    const double hits = static_cast<double>(after.hits - before.hits);
+    const double misses = static_cast<double>(after.misses - before.misses);
+    state.counters["hot_hit_ratio"] = hits / std::max(1.0, hits + misses);
+    state.counters["evictions"] = static_cast<double>(after.evictions);
+    state.counters["pool_flushes"] = static_cast<double>(after.flushes);
+    state.counters["cold_scan_ms"] = cold_ms;
+    state.counters["warm_scan_ms"] = warm_ms;
+    state.counters["hot_reads_ps"] = kHotReads / hot_secs;
+
+    DumpRegistry(*o.metrics, "BENCH_e15_metrics.json");
+  }
+}
+
+BENCHMARK(BM_BufferPool)
+    ->Args({2000, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datalinks::bench
+
+DLX_BENCH_MAIN(e15_buffer_pool);

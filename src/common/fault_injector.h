@@ -86,6 +86,8 @@ inline const char* kSqldbWalTornTail = Register("sqldb.wal.torn_tail");
 inline const char* kSqldbCheckpointWrite = Register("sqldb.checkpoint.write");
 inline const char* kSqldbCheckpointAuto = Register("sqldb.checkpoint.auto");
 inline const char* kSqldbBtreeSplit = Register("sqldb.btree.split");
+inline const char* kSqldbPageFlush = Register("sqldb.page.flush");
+inline const char* kSqldbPagePartialWrite = Register("sqldb.page.partial_write");
 }  // namespace failpoints
 
 class FaultInjector {

@@ -3,339 +3,712 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace datalinks::sqldb {
 
-// Node layout:
-//  - Leaf: parallel vectors keys/rids hold the entries in order; `next`/`prev`
-//    form the leaf chain.
-//  - Internal: keys/rids hold separator (key, rid) pairs; children has one
-//    more element than keys.  Entry e routes to children[i] where i is the
-//    first separator with e < sep[i] (or the last child).  A separator equals
-//    the minimum entry of the subtree to its right at the time of the split;
-//    it may become stale after deletions, which only loosens routing, never
-//    breaks it.
-struct BTree::Node {
-  bool leaf = true;
-  Node* parent = nullptr;
-  std::vector<Key> keys;
-  std::vector<RowId> rids;
-  std::vector<std::unique_ptr<Node>> children;
-  Node* next = nullptr;
-  Node* prev = nullptr;
-};
+// Node page layout (after the common 24-byte page header):
+//   [u64 next][u64 prev][u64 leftmost_child]            (node header, 24B)
+//   slot directory: [u16 off][u16 len] per entry, in KEY ORDER (grows up)
+//   entry payloads (grow down from the end of the page)
+//
+// A LEAF entry payload is enc(key) ‖ rid(be64).  An INTERNAL entry payload
+// is enc(key) ‖ rid(be64) ‖ child(be64): the comparable separator blob plus
+// the page id of the child covering entries >= that separator.  Child 0
+// (entries below every separator) is `leftmost_child` in the node header.
+// A separator equals the minimum entry of the right subtree at split time;
+// it may go stale after deletions, which only loosens routing, never
+// breaks it.
+namespace {
 
-BTree::BTree() {
-  root_holder_ = std::make_unique<Node>();
-  root_ = root_holder_.get();
+constexpr size_t kOffNext = kPageHeaderSize;
+constexpr size_t kOffPrev = kPageHeaderSize + 8;
+constexpr size_t kOffLeftChild = kPageHeaderSize + 16;
+constexpr size_t kNodeHdr = kPageHeaderSize + 24;
+constexpr size_t kIdxSlot = 4;  // u16 off + u16 len
+
+// Common page-header field offsets (layout documented in page.h).
+constexpr size_t kOffNSlots = 8;
+constexpr size_t kOffLower = 12;
+constexpr size_t kOffUpper = 16;
+constexpr size_t kOffFrag = 20;
+
+uint16_t GetU16(const std::string& s, size_t off) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(s[off])) |
+         static_cast<uint16_t>(static_cast<uint8_t>(s[off + 1])) << 8;
 }
 
-BTree::~BTree() = default;
-
-int BTree::CompareEntry(const Key& a, RowId arid, const Key& b, RowId brid) {
-  const int c = CompareKeys(a, b);
-  if (c != 0) return c;
-  return arid < brid ? -1 : (arid > brid ? 1 : 0);
+void PutU16(std::string* s, size_t off, uint16_t v) {
+  (*s)[off] = static_cast<char>(v & 0xff);
+  (*s)[off + 1] = static_cast<char>(v >> 8);
 }
 
-BTree::Node* BTree::FindLeaf(const Key& key, RowId rid) const {
-  Node* n = root_;
-  while (!n->leaf) {
-    size_t i = 0;
-    while (i < n->keys.size() && CompareEntry(key, rid, n->keys[i], n->rids[i]) >= 0) ++i;
-    n = n->children[i].get();
+uint32_t GetU32(const std::string& s, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(s[off + i])) << (8 * i);
   }
-  return n;
+  return v;
+}
+
+void PutU32(std::string* s, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*s)[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint64_t GetU64(const std::string& s, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(s[off + i])) << (8 * i);
+  }
+  return v;
+}
+
+void PutU64(std::string* s, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*s)[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint64_t GetBe64(std::string_view s, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | static_cast<uint8_t>(s[off + i]);
+  return v;
+}
+
+void AppendBe64(std::string* out, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool IsLeafNode(const std::string& pg) {
+  return page::GetType(pg) == kPageTypeIndexLeaf;
+}
+
+int NCount(const std::string& pg) { return page::SlotCount(pg); }
+
+PageId NodeNext(const std::string& pg) { return GetU64(pg, kOffNext); }
+PageId NodePrev(const std::string& pg) { return GetU64(pg, kOffPrev); }
+PageId LeftmostChild(const std::string& pg) { return GetU64(pg, kOffLeftChild); }
+void SetNodeNext(std::string* pg, PageId v) { PutU64(pg, kOffNext, v); }
+void SetNodePrev(std::string* pg, PageId v) { PutU64(pg, kOffPrev, v); }
+void SetLeftmostChild(std::string* pg, PageId v) { PutU64(pg, kOffLeftChild, v); }
+
+void InitNode(std::string* pg, size_t page_size, bool leaf) {
+  page::Init(pg, page_size, leaf ? kPageTypeIndexLeaf : kPageTypeIndexInternal);
+  PutU32(pg, kOffLower, static_cast<uint32_t>(kNodeHdr));
+  SetNodeNext(pg, kInvalidPageId);
+  SetNodePrev(pg, kInvalidPageId);
+  SetLeftmostChild(pg, kInvalidPageId);
+}
+
+std::string_view EntryAt(const std::string& pg, int i) {
+  const size_t slot = kNodeHdr + static_cast<size_t>(i) * kIdxSlot;
+  const uint16_t off = GetU16(pg, slot);
+  const uint16_t len = GetU16(pg, slot + 2);
+  return std::string_view(pg).substr(off, len);
+}
+
+/// The comparable prefix of entry i: the whole payload for a leaf, the
+/// payload minus the trailing child id for an internal node.
+std::string_view EntryCmp(const std::string& pg, int i) {
+  std::string_view e = EntryAt(pg, i);
+  return IsLeafNode(pg) ? e : e.substr(0, e.size() - 8);
+}
+
+/// Child page covering keys >= separator i (internal nodes only).
+PageId ChildOfSep(const std::string& pg, int i) {
+  std::string_view e = EntryAt(pg, i);
+  return GetBe64(e, e.size() - 8);
+}
+
+/// Child at routing index i in [0, count]: leftmost for 0, else sep i-1's.
+PageId RouteChild(const std::string& pg, int i) {
+  return i == 0 ? LeftmostChild(pg) : ChildOfSep(pg, i - 1);
+}
+
+/// First routing index whose separator is > search (upper bound), i.e. the
+/// same child the pointer-based tree picked with "advance while >= sep".
+int RouteIndex(const std::string& pg, std::string_view search) {
+  int lo = 0, hi = NCount(pg);
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (EntryCmp(pg, mid).compare(search) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First entry index whose comparable bytes are >= search (lower bound).
+int LowerBoundPos(const std::string& pg, std::string_view search) {
+  int lo = 0, hi = NCount(pg);
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (EntryCmp(pg, mid).compare(search) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t NodeFreeContig(const std::string& pg) {
+  return GetU32(pg, kOffUpper) - GetU32(pg, kOffLower);
+}
+
+bool NodeCanFit(const std::string& pg, size_t payload_len) {
+  return NodeFreeContig(pg) + GetU32(pg, kOffFrag) >= payload_len + kIdxSlot;
+}
+
+void NodeCompact(std::string* pg) {
+  const int n = NCount(*pg);
+  std::vector<std::string> payloads;
+  payloads.reserve(n);
+  for (int i = 0; i < n; ++i) payloads.emplace_back(EntryAt(*pg, i));
+  size_t upper = pg->size();
+  for (int i = 0; i < n; ++i) {
+    upper -= payloads[i].size();
+    std::memcpy(pg->data() + upper, payloads[i].data(), payloads[i].size());
+    const size_t slot = kNodeHdr + static_cast<size_t>(i) * kIdxSlot;
+    PutU16(pg, slot, static_cast<uint16_t>(upper));
+    PutU16(pg, slot + 2, static_cast<uint16_t>(payloads[i].size()));
+  }
+  PutU32(pg, kOffUpper, static_cast<uint32_t>(upper));
+  PutU32(pg, kOffFrag, 0);
+}
+
+void NodeInsert(std::string* pg, int pos, std::string_view payload) {
+  assert(NodeCanFit(*pg, payload.size()));
+  if (NodeFreeContig(*pg) < payload.size() + kIdxSlot) NodeCompact(pg);
+  const int n = NCount(*pg);
+  const uint32_t lower = GetU32(*pg, kOffLower);
+  uint32_t upper = GetU32(*pg, kOffUpper);
+  upper -= static_cast<uint32_t>(payload.size());
+  std::memcpy(pg->data() + upper, payload.data(), payload.size());
+  const size_t slot = kNodeHdr + static_cast<size_t>(pos) * kIdxSlot;
+  char* base = pg->data();
+  std::memmove(base + slot + kIdxSlot, base + slot,
+               (static_cast<size_t>(n) - pos) * kIdxSlot);
+  PutU16(pg, slot, static_cast<uint16_t>(upper));
+  PutU16(pg, slot + 2, static_cast<uint16_t>(payload.size()));
+  PutU16(pg, kOffNSlots, static_cast<uint16_t>(n + 1));
+  PutU32(pg, kOffLower, lower + static_cast<uint32_t>(kIdxSlot));
+  PutU32(pg, kOffUpper, upper);
+}
+
+void NodeRemove(std::string* pg, int pos) {
+  const int n = NCount(*pg);
+  assert(pos >= 0 && pos < n);
+  const size_t slot = kNodeHdr + static_cast<size_t>(pos) * kIdxSlot;
+  const uint16_t len = GetU16(*pg, slot + 2);
+  char* base = pg->data();
+  std::memmove(base + slot, base + slot + kIdxSlot,
+               (static_cast<size_t>(n) - pos - 1) * kIdxSlot);
+  PutU16(pg, kOffNSlots, static_cast<uint16_t>(n - 1));
+  PutU32(pg, kOffLower,
+         GetU32(*pg, kOffLower) - static_cast<uint32_t>(kIdxSlot));
+  PutU32(pg, kOffFrag, GetU32(*pg, kOffFrag) + len);
+}
+
+std::string LeafBlob(const Key& key, RowId rid) {
+  std::string b = EncodeOrderedKey(key);
+  AppendBe64(&b, rid);
+  return b;
+}
+
+BTreeEntry DecodeLeafEntry(std::string_view blob) {
+  size_t pos = 0;
+  Result<Key> key = DecodeOrderedKey(blob, &pos);
+  assert(key.ok() && pos == blob.size() - 8);
+  BTreeEntry e;
+  e.key = std::move(*key);
+  e.rid = GetBe64(blob, blob.size() - 8);
+  return e;
+}
+
+[[noreturn]] void Violation(const char* what, PageId pid) {
+  std::fprintf(stderr, "BTree invariant violated: %s (page %llu)\n", what,
+               static_cast<unsigned long long>(pid & ~kTempPageBit));
+  std::abort();
+}
+
+}  // namespace
+
+BTree::BTree()
+    : owned_store_(std::make_shared<DurableStore>()),
+      owned_pager_(std::make_unique<Pager>(owned_store_, 4096)),
+      owned_pool_(std::make_unique<BufferPool>(owned_pager_.get(), 64)) {
+  pool_ = owned_pool_.get();
+  InitRoot();
+}
+
+BTree::BTree(BufferPool* pool) : pool_(pool) { InitRoot(); }
+
+BTree::~BTree() {
+  // Collect every node page, then release them: with a shared pool the temp
+  // pages must be discarded so their frames do not outlive the tree.
+  std::vector<PageId> all;
+  std::vector<PageId> stack{root_page_};
+  while (!stack.empty()) {
+    const PageId pid = stack.back();
+    stack.pop_back();
+    all.push_back(pid);
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    if (pg.size() < kNodeHdr || IsLeafNode(pg)) continue;
+    if (LeftmostChild(pg) != kInvalidPageId) stack.push_back(LeftmostChild(pg));
+    for (int i = 0; i < NCount(pg); ++i) stack.push_back(ChildOfSep(pg, i));
+  }
+  for (PageId pid : all) FreeNodePage(pid);
+}
+
+void BTree::InitRoot() {
+  root_page_ = pool_->pager()->AllocTemp();
+  auto ref = pool_->Pin(root_page_);
+  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  ref.MarkDirtyProvisional();
+  InitNode(&ref.bytes(), pool_->pager()->page_size(), /*leaf=*/true);
+}
+
+void BTree::FreeNodePage(PageId pid) {
+  pool_->Discard(pid);
+  pool_->pager()->FreeTemp(pid);
+}
+
+size_t BTree::max_key_bytes() const {
+  return MaxOrderedKeyBytes(pool_->pager()->page_size());
+}
+
+std::vector<BTree::PathStep> BTree::Descend(std::string_view search) const {
+  std::vector<PathStep> path;
+  PageId pid = root_page_;
+  int cidx = 0;
+  for (;;) {
+    path.push_back({pid, cidx});
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    if (IsLeafNode(pg)) return path;
+    cidx = RouteIndex(pg, search);
+    pid = RouteChild(pg, cidx);
+  }
+}
+
+PageId BTree::LeftmostLeaf() const {
+  PageId pid = root_page_;
+  for (;;) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    if (IsLeafNode(pg)) return pid;
+    pid = LeftmostChild(pg);
+  }
 }
 
 void BTree::Insert(const Key& key, RowId rid) {
-  Node* leaf = FindLeaf(key, rid);
-  InsertIntoLeaf(leaf, key, rid);
-  ++size_;
-  if (leaf->keys.size() > kFanout) SplitNode(leaf);
+  const std::string blob = LeafBlob(key, rid);
+  assert(blob.size() - 8 <= max_key_bytes());
+  for (;;) {
+    std::vector<PathStep> path = Descend(blob);
+    auto ref = pool_->Pin(path.back().pid);
+    std::string& pg = ref.bytes();
+    if (!NodeCanFit(pg, blob.size())) {
+      // Physical pressure: split FIRST (pages are not elastic), then
+      // re-descend — the entry may belong in the new right sibling.
+      TrySplit(path, path.size() - 1, /*probe=*/false);
+      continue;
+    }
+    {
+      std::unique_lock<std::shared_mutex> cl(ref.latch());
+      const int pos = LowerBoundPos(pg, blob);
+      assert(pos == NCount(pg) || EntryCmp(pg, pos) != std::string_view(blob));
+      ref.MarkDirtyProvisional();
+      NodeInsert(&pg, pos, blob);
+    }
+    ++size_;
+    if (NCount(pg) > kFanout) TrySplit(path, path.size() - 1, /*probe=*/true);
+    return;
+  }
 }
 
-void BTree::InsertIntoLeaf(Node* leaf, const Key& key, RowId rid) {
-  size_t i = 0;
-  while (i < leaf->keys.size() && CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) < 0) ++i;
-  assert(i == leaf->keys.size() ||
-         CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) != 0);
-  leaf->keys.insert(leaf->keys.begin() + i, key);
-  leaf->rids.insert(leaf->rids.begin() + i, rid);
-}
+void BTree::TrySplit(const std::vector<PathStep>& path, size_t i, bool probe) {
+  const PageId npid = path[i].pid;
+  auto ref = pool_->Pin(npid);
+  std::string& pg = ref.bytes();
+  const int n = NCount(pg);
+  if (n < 2) return;  // a single-entry node cannot be halved
 
-void BTree::SplitNode(Node* node) {
   // "sqldb.btree.split" models a crash/error mid-split: the split is
   // abandoned, leaving the node transiently overfull (<= kFanout + 1, which
   // CheckInvariants permits).  The next insert into the node retries it.
-  if (fault_ != nullptr && fault_->Hit(failpoints::kSqldbBtreeSplit, clock_)) return;
-  auto right = std::make_unique<Node>();
-  Node* r = right.get();
-  r->leaf = node->leaf;
-
-  Key sep_key;
-  RowId sep_rid = kInvalidRowId;
-
-  if (node->leaf) {
-    const size_t h = node->keys.size() / 2;
-    r->keys.assign(node->keys.begin() + h, node->keys.end());
-    r->rids.assign(node->rids.begin() + h, node->rids.end());
-    node->keys.resize(h);
-    node->rids.resize(h);
-    sep_key = r->keys.front();
-    sep_rid = r->rids.front();
-    // Leaf chain.
-    r->next = node->next;
-    r->prev = node;
-    if (node->next) node->next->prev = r;
-    node->next = r;
-  } else {
-    const size_t mid = node->keys.size() / 2;
-    sep_key = node->keys[mid];
-    sep_rid = node->rids[mid];
-    r->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
-    r->rids.assign(node->rids.begin() + mid + 1, node->rids.end());
-    for (size_t i = mid + 1; i < node->children.size(); ++i) {
-      node->children[i]->parent = r;
-      r->children.push_back(std::move(node->children[i]));
-    }
-    node->keys.resize(mid);
-    node->rids.resize(mid);
-    node->children.resize(mid + 1);
-  }
-
-  Node* parent = node->parent;
-  if (parent == nullptr) {
-    // Grow a new root.
-    auto new_root = std::make_unique<Node>();
-    new_root->leaf = false;
-    new_root->keys.push_back(std::move(sep_key));
-    new_root->rids.push_back(sep_rid);
-    node->parent = new_root.get();
-    r->parent = new_root.get();
-    new_root->children.push_back(std::move(root_holder_));
-    new_root->children.push_back(std::move(right));
-    root_holder_ = std::move(new_root);
-    root_ = root_holder_.get();
+  // Splits forced by physical page pressure (probe=false) must proceed or
+  // the insert could never complete.
+  if (probe && fault_ != nullptr &&
+      fault_->Hit(failpoints::kSqldbBtreeSplit, clock_)) {
     return;
   }
 
-  // Insert separator + right child into parent just after `node`.
-  size_t pos = 0;
-  while (parent->children[pos].get() != node) ++pos;
-  r->parent = parent;
-  parent->keys.insert(parent->keys.begin() + pos, std::move(sep_key));
-  parent->rids.insert(parent->rids.begin() + pos, sep_rid);
-  parent->children.insert(parent->children.begin() + pos + 1, std::move(right));
-  if (parent->children.size() > kFanout) SplitNode(parent);
+  const bool leaf = IsLeafNode(pg);
+  const int mid = n / 2;
+  // Separator blob that routes to the new right sibling.  For a leaf the
+  // middle entry is COPIED up (it stays in the right leaf); for an internal
+  // node it MOVES up (its child becomes the right node's leftmost).
+  const std::string sep(EntryCmp(pg, mid));
+
+  if (i > 0) {
+    auto pref = pool_->Pin(path[i - 1].pid);
+    if (!NodeCanFit(pref.bytes(), sep.size() + 8)) {
+      // No room for the separator: split the parent first and let the
+      // caller re-descend; this node stays overfull for now (legal).
+      TrySplit(path, i - 1, /*probe=*/false);
+      return;
+    }
+  }
+
+  const PageId rpid = pool_->pager()->AllocTemp();
+  auto rref = pool_->Pin(rpid);
+
+  const int first_right = leaf ? mid : mid + 1;
+  std::vector<std::string> moved;
+  moved.reserve(static_cast<size_t>(n - first_right));
+  for (int j = first_right; j < n; ++j) moved.emplace_back(EntryAt(pg, j));
+  const PageId right_leftmost = leaf ? kInvalidPageId : ChildOfSep(pg, mid);
+  const PageId old_next = leaf ? NodeNext(pg) : kInvalidPageId;
+
+  {
+    std::unique_lock<std::shared_mutex> cl(rref.latch());
+    std::string& rp = rref.bytes();
+    rref.MarkDirtyProvisional();
+    InitNode(&rp, pool_->pager()->page_size(), leaf);
+    for (size_t j = 0; j < moved.size(); ++j) {
+      NodeInsert(&rp, static_cast<int>(j), moved[j]);
+    }
+    if (leaf) {
+      SetNodeNext(&rp, old_next);
+      SetNodePrev(&rp, npid);
+    } else {
+      SetLeftmostChild(&rp, right_leftmost);
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    ref.MarkDirtyProvisional();
+    for (int j = n - 1; j >= mid; --j) NodeRemove(&pg, j);
+    if (leaf) SetNodeNext(&pg, rpid);
+  }
+  if (leaf && old_next != kInvalidPageId) {
+    auto nref = pool_->Pin(old_next);
+    std::unique_lock<std::shared_mutex> cl(nref.latch());
+    nref.MarkDirtyProvisional();
+    SetNodePrev(&nref.bytes(), rpid);
+  }
+
+  std::string sep_entry = sep;
+  AppendBe64(&sep_entry, rpid);
+
+  if (i == 0) {
+    // Root split: grow the tree by one level.
+    const PageId nr = pool_->pager()->AllocTemp();
+    auto nref = pool_->Pin(nr);
+    std::unique_lock<std::shared_mutex> cl(nref.latch());
+    std::string& np = nref.bytes();
+    nref.MarkDirtyProvisional();
+    InitNode(&np, pool_->pager()->page_size(), /*leaf=*/false);
+    SetLeftmostChild(&np, npid);
+    NodeInsert(&np, 0, sep_entry);
+    root_page_ = nr;
+    return;
+  }
+
+  auto pref = pool_->Pin(path[i - 1].pid);
+  {
+    std::unique_lock<std::shared_mutex> cl(pref.latch());
+    pref.MarkDirtyProvisional();
+    // This node is the parent's child at routing index child_idx; the new
+    // sibling becomes child_idx + 1, which is exactly what inserting the
+    // separator at slot child_idx yields.
+    NodeInsert(&pref.bytes(), path[i].child_idx, sep_entry);
+  }
+  if (NCount(pref.bytes()) > kFanout) TrySplit(path, i - 1, probe);
 }
 
 bool BTree::Erase(const Key& key, RowId rid) {
-  Node* leaf = FindLeaf(key, rid);
-  size_t i = 0;
-  while (i < leaf->keys.size() && CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) < 0) ++i;
-  if (i == leaf->keys.size() || CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) != 0) {
+  const std::string blob = LeafBlob(key, rid);
+  std::vector<PathStep> path = Descend(blob);
+  auto ref = pool_->Pin(path.back().pid);
+  std::string& pg = ref.bytes();
+  const int pos = LowerBoundPos(pg, blob);
+  if (pos >= NCount(pg) || EntryAt(pg, pos) != std::string_view(blob)) {
     return false;
   }
-  leaf->keys.erase(leaf->keys.begin() + i);
-  leaf->rids.erase(leaf->rids.begin() + i);
+  {
+    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    ref.MarkDirtyProvisional();
+    NodeRemove(&pg, pos);
+  }
   --size_;
-
-  // Remove nodes that became empty so sustained insert/delete churn (the
-  // File table workload) does not leave a trail of hollow leaves.
-  Node* n = leaf;
-  while (n != root_ && n->keys.empty() && (n->leaf || n->children.empty())) {
-    Node* parent = n->parent;
-    size_t pos = 0;
-    while (parent->children[pos].get() != n) ++pos;
-    if (n->leaf) {
-      if (n->prev) n->prev->next = n->next;
-      if (n->next) n->next->prev = n->prev;
-    }
-    // Drop the child and one adjacent separator.
-    if (pos > 0) {
-      parent->keys.erase(parent->keys.begin() + pos - 1);
-      parent->rids.erase(parent->rids.begin() + pos - 1);
-    } else if (!parent->keys.empty()) {
-      parent->keys.erase(parent->keys.begin());
-      parent->rids.erase(parent->rids.begin());
-    }
-    parent->children.erase(parent->children.begin() + pos);
-    n = parent;
+  if (NCount(pg) == 0 && path.size() > 1) {
+    ref.Release();
+    RemoveNode(path, path.size() - 1);
   }
-  // Collapse a root that has a single child.
-  while (!root_->leaf && root_->children.size() == 1) {
-    std::unique_ptr<Node> child = std::move(root_->children[0]);
-    child->parent = nullptr;
-    root_holder_ = std::move(child);
-    root_ = root_holder_.get();
-  }
-  // An internal root that lost all children degenerates back to an empty leaf.
-  if (!root_->leaf && root_->children.empty()) {
-    root_->leaf = true;
-    root_->keys.clear();
-    root_->rids.clear();
-  }
+  CollapseRoot();
   return true;
+}
+
+void BTree::RemoveNode(const std::vector<PathStep>& path, size_t i) {
+  assert(i > 0);
+  const PageId dead = path[i].pid;
+  const int ci = path[i].child_idx;
+
+  // Unlink a leaf from the chain before freeing it.
+  PageId dprev = kInvalidPageId;
+  PageId dnext = kInvalidPageId;
+  {
+    auto dref = pool_->Pin(dead);
+    if (IsLeafNode(dref.bytes())) {
+      dprev = NodePrev(dref.bytes());
+      dnext = NodeNext(dref.bytes());
+    }
+  }
+  if (dprev != kInvalidPageId) {
+    auto p = pool_->Pin(dprev);
+    std::unique_lock<std::shared_mutex> cl(p.latch());
+    p.MarkDirtyProvisional();
+    SetNodeNext(&p.bytes(), dnext);
+  }
+  if (dnext != kInvalidPageId) {
+    auto p = pool_->Pin(dnext);
+    std::unique_lock<std::shared_mutex> cl(p.latch());
+    p.MarkDirtyProvisional();
+    SetNodePrev(&p.bytes(), dprev);
+  }
+
+  // Drop the child and ONE adjacent separator from the parent: separator
+  // ci-1 when the child is not leftmost, else separator 0 (whose child
+  // becomes the new leftmost).
+  auto pref = pool_->Pin(path[i - 1].pid);
+  std::string& pp = pref.bytes();
+  bool childless = false;
+  {
+    std::unique_lock<std::shared_mutex> cl(pref.latch());
+    pref.MarkDirtyProvisional();
+    if (ci == 0) {
+      if (NCount(pp) > 0) {
+        SetLeftmostChild(&pp, ChildOfSep(pp, 0));
+        NodeRemove(&pp, 0);
+      } else {
+        SetLeftmostChild(&pp, kInvalidPageId);
+        childless = true;
+      }
+    } else {
+      NodeRemove(&pp, ci - 1);
+    }
+  }
+  FreeNodePage(dead);
+
+  if (!childless) return;
+  if (i - 1 == 0) {
+    // The root lost its last child: the tree is empty again.
+    std::unique_lock<std::shared_mutex> cl(pref.latch());
+    pref.MarkDirtyProvisional();
+    InitNode(&pp, pool_->pager()->page_size(), /*leaf=*/true);
+    return;
+  }
+  pref.Release();
+  RemoveNode(path, i - 1);
+}
+
+void BTree::CollapseRoot() {
+  for (;;) {
+    PageId child = kInvalidPageId;
+    {
+      auto ref = pool_->Pin(root_page_);
+      const std::string& pg = ref.bytes();
+      if (IsLeafNode(pg) || NCount(pg) > 0) return;
+      child = LeftmostChild(pg);
+    }
+    if (child == kInvalidPageId) return;
+    FreeNodePage(root_page_);
+    root_page_ = child;
+  }
 }
 
 bool BTree::ContainsKey(const Key& key) const {
-  auto e = LowerBound(key);
-  return e.has_value() && CompareKeys(e->key, key) == 0;
+  const std::string search = EncodeOrderedKey(key);
+  std::vector<PathStep> path = Descend(search);
+  PageId pid = path.back().pid;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    const int pos = LowerBoundPos(pg, search);
+    if (pos < NCount(pg)) {
+      std::string_view e = EntryCmp(pg, pos);
+      // enc() is self-terminating, so a byte-prefix match IS key equality.
+      return e.size() >= search.size() &&
+             std::memcmp(e.data(), search.data(), search.size()) == 0;
+    }
+    pid = NodeNext(pg);
+  }
+  return false;
 }
 
 std::optional<BTreeEntry> BTree::LowerBound(const Key& key) const {
-  Node* leaf = FindLeaf(key, /*rid=*/0);
-  size_t i = 0;
-  while (true) {
-    while (i < leaf->keys.size()) {
-      if (CompareKeys(leaf->keys[i], key) >= 0) {
-        return BTreeEntry{leaf->keys[i], leaf->rids[i]};
-      }
-      ++i;
-    }
-    if (leaf->next == nullptr) return std::nullopt;
-    leaf = leaf->next;
-    i = 0;
+  // enc(key) with no rid suffix sorts below every entry carrying that key,
+  // so a byte lower-bound lands on the smallest (key', rid) with key' >= key.
+  const std::string search = EncodeOrderedKey(key);
+  std::vector<PathStep> path = Descend(search);
+  PageId pid = path.back().pid;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    const int pos = LowerBoundPos(pg, search);
+    if (pos < NCount(pg)) return DecodeLeafEntry(EntryAt(pg, pos));
+    pid = NodeNext(pg);
   }
+  return std::nullopt;
 }
 
 std::optional<BTreeEntry> BTree::Successor(const Key& key, RowId rid) const {
-  Node* leaf = FindLeaf(key, rid);
-  size_t i = 0;
-  while (true) {
-    while (i < leaf->keys.size()) {
-      if (CompareEntry(leaf->keys[i], leaf->rids[i], key, rid) > 0) {
-        return BTreeEntry{leaf->keys[i], leaf->rids[i]};
-      }
-      ++i;
-    }
-    if (leaf->next == nullptr) return std::nullopt;
-    leaf = leaf->next;
-    i = 0;
+  const std::string blob = LeafBlob(key, rid);
+  std::vector<PathStep> path = Descend(blob);
+  PageId pid = path.back().pid;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    int pos = LowerBoundPos(pg, blob);
+    if (pos < NCount(pg) && EntryAt(pg, pos) == std::string_view(blob)) ++pos;
+    if (pos < NCount(pg)) return DecodeLeafEntry(EntryAt(pg, pos));
+    pid = NodeNext(pg);
   }
+  return std::nullopt;
 }
-
-namespace {
-bool KeyHasPrefix(const Key& key, const Key& prefix) {
-  if (key.size() < prefix.size()) return false;
-  for (size_t i = 0; i < prefix.size(); ++i) {
-    if (key[i].Compare(prefix[i]) != 0) return false;
-  }
-  return true;
-}
-}  // namespace
 
 void BTree::ScanPrefix(const Key& prefix, std::vector<BTreeEntry>* out) const {
-  Node* leaf = FindLeaf(prefix, /*rid=*/0);
-  size_t i = 0;
-  bool started = false;
-  while (leaf) {
-    for (; i < leaf->keys.size(); ++i) {
-      const int c = CompareKeys(leaf->keys[i], prefix);
-      if (c < 0) continue;
-      if (KeyHasPrefix(leaf->keys[i], prefix)) {
-        out->push_back(BTreeEntry{leaf->keys[i], leaf->rids[i]});
-        started = true;
-      } else if (started || c > 0) {
-        return;  // past the prefix range
+  // enc(prefix) minus its key terminator is a byte-prefix of enc(k) exactly
+  // when `prefix` is a component-prefix of k.
+  std::string body = EncodeOrderedKey(prefix);
+  body.pop_back();
+  std::vector<PathStep> path = Descend(body);
+  PageId pid = path.back().pid;
+  int pos = -1;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    if (pos < 0) pos = LowerBoundPos(pg, body);
+    for (; pos < NCount(pg); ++pos) {
+      std::string_view e = EntryCmp(pg, pos);
+      if (e.size() < body.size() ||
+          std::memcmp(e.data(), body.data(), body.size()) != 0) {
+        return;
       }
+      out->push_back(DecodeLeafEntry(EntryAt(pg, pos)));
     }
-    leaf = leaf->next;
-    i = 0;
+    pid = NodeNext(pg);
+    pos = 0;
   }
 }
 
-void BTree::ScanRange(const Key* lo, bool lo_inclusive, const Key* hi, bool hi_inclusive,
-                      std::vector<BTreeEntry>* out) const {
-  Node* leaf;
-  size_t i = 0;
-  if (lo) {
-    leaf = FindLeaf(*lo, /*rid=*/0);
+void BTree::ScanRange(const Key* lo, bool lo_inclusive, const Key* hi,
+                      bool hi_inclusive, std::vector<BTreeEntry>* out) const {
+  const std::string enc_lo =
+      lo != nullptr ? EncodeOrderedKey(*lo) : std::string();
+  const std::string enc_hi =
+      hi != nullptr ? EncodeOrderedKey(*hi) : std::string();
+  PageId pid;
+  int pos = -1;
+  if (lo != nullptr) {
+    std::vector<PathStep> path = Descend(enc_lo);
+    pid = path.back().pid;
   } else {
-    leaf = root_;
-    while (!leaf->leaf) leaf = leaf->children[0].get();
+    pid = LeftmostLeaf();
+    pos = 0;
   }
-  while (leaf) {
-    for (; i < leaf->keys.size(); ++i) {
-      if (lo) {
-        const int c = CompareKeys(leaf->keys[i], *lo);
-        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    if (pos < 0) pos = LowerBoundPos(pg, enc_lo);
+    for (; pos < NCount(pg); ++pos) {
+      std::string_view e = EntryCmp(pg, pos);
+      std::string_view ekey = e.substr(0, e.size() - 8);
+      if (lo != nullptr && !lo_inclusive && ekey == std::string_view(enc_lo)) {
+        continue;
       }
-      if (hi) {
-        const int c = CompareKeys(leaf->keys[i], *hi);
+      if (hi != nullptr) {
+        const int c = ekey.compare(std::string_view(enc_hi));
         if (c > 0 || (c == 0 && !hi_inclusive)) return;
       }
-      out->push_back(BTreeEntry{leaf->keys[i], leaf->rids[i]});
+      out->push_back(DecodeLeafEntry(EntryAt(pg, pos)));
     }
-    leaf = leaf->next;
-    i = 0;
+    pid = NodeNext(pg);
+    pos = 0;
   }
 }
 
 int64_t BTree::CountDistinctKeys() const {
-  Node* leaf = root_;
-  while (!leaf->leaf) leaf = leaf->children[0].get();
   int64_t count = 0;
-  const Key* prev = nullptr;
-  while (leaf) {
-    for (size_t i = 0; i < leaf->keys.size(); ++i) {
-      if (prev == nullptr || CompareKeys(*prev, leaf->keys[i]) != 0) ++count;
-      prev = &leaf->keys[i];
+  std::string prev;
+  bool has_prev = false;
+  PageId pid = LeftmostLeaf();
+  while (pid != kInvalidPageId) {
+    auto ref = pool_->Pin(pid);
+    const std::string& pg = ref.bytes();
+    for (int i = 0; i < NCount(pg); ++i) {
+      std::string_view e = EntryAt(pg, i);
+      std::string_view ekey = e.substr(0, e.size() - 8);
+      if (!has_prev || ekey != std::string_view(prev)) {
+        ++count;
+        prev.assign(ekey);
+        has_prev = true;
+      }
     }
-    // `prev` may dangle across leaves if we kept the pointer; copy instead.
-    leaf = leaf->next;
+    pid = NodeNext(pg);
   }
   return count;
 }
 
 void BTree::CheckInvariants() const {
-  // Walk the whole tree checking ordering, parent pointers and fanout.
-  struct Frame {
-    const Node* node;
+  // Iterative DFS carrying the depth: leaves must share one depth, every
+  // node must be sorted and within the fanout bound, and the leaf entry
+  // total must equal size().
+  struct Item {
+    PageId pid;
     int depth;
   };
-  std::vector<Frame> stack{{root_, 0}};
+  std::vector<Item> stack{{root_page_, 0}};
   int leaf_depth = -1;
-  size_t counted = 0;
+  size_t total = 0;
   while (!stack.empty()) {
-    auto [n, depth] = stack.back();
+    const Item it = stack.back();
     stack.pop_back();
-    if (n->keys.size() > kFanout + 1) {
-      std::fprintf(stderr, "btree: node overflow\n");
-      std::abort();
-    }
-    for (size_t i = 1; i < n->keys.size(); ++i) {
-      if (CompareEntry(n->keys[i - 1], n->rids[i - 1], n->keys[i], n->rids[i]) >= 0) {
-        std::fprintf(stderr, "btree: unsorted node\n");
-        std::abort();
+    auto ref = pool_->Pin(it.pid);
+    const std::string& pg = ref.bytes();
+    if (pg.size() < kNodeHdr) Violation("uninitialised node page", it.pid);
+    const int n = NCount(pg);
+    if (n > kFanout + 1) Violation("node overflow", it.pid);
+    for (int j = 1; j < n; ++j) {
+      if (EntryCmp(pg, j - 1).compare(EntryCmp(pg, j)) >= 0) {
+        Violation("entries out of order", it.pid);
       }
     }
-    if (n->leaf) {
-      if (leaf_depth == -1) leaf_depth = depth;
-      if (leaf_depth != depth) {
-        std::fprintf(stderr, "btree: unbalanced leaves\n");
-        std::abort();
-      }
-      counted += n->keys.size();
-    } else {
-      if (n->children.size() != n->keys.size() + 1) {
-        std::fprintf(stderr, "btree: children/keys mismatch\n");
-        std::abort();
-      }
-      for (const auto& c : n->children) {
-        if (c->parent != n) {
-          std::fprintf(stderr, "btree: bad parent pointer\n");
-          std::abort();
-        }
-        stack.push_back({c.get(), depth + 1});
-      }
+    if (IsLeafNode(pg)) {
+      if (leaf_depth < 0) leaf_depth = it.depth;
+      if (it.depth != leaf_depth) Violation("unbalanced leaf depth", it.pid);
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (LeftmostChild(pg) == kInvalidPageId) {
+      Violation("internal node without children", it.pid);
+    }
+    stack.push_back({LeftmostChild(pg), it.depth + 1});
+    for (int j = 0; j < n; ++j) {
+      stack.push_back({ChildOfSep(pg, j), it.depth + 1});
     }
   }
-  if (counted != size_) {
-    std::fprintf(stderr, "btree: size mismatch (%zu vs %zu)\n", counted, size_);
-    std::abort();
-  }
+  if (total != size_) Violation("size mismatch", root_page_);
 }
 
 }  // namespace datalinks::sqldb

@@ -1,9 +1,21 @@
-// In-memory B+tree mapping composite keys to row ids.
+// B+tree mapping composite keys to row ids, with nodes stored on pages in
+// a buffer pool (temp page space: index pages are volatile and rebuilt
+// from the heap at recovery, so they carry no WAL traffic).
 //
 // Entries are (user key, rid) pairs; the rid acts as a uniquifier so
 // non-unique indexes store duplicate user keys at distinct tree entries.
 // Uniqueness of user keys is enforced one level up (Database) because the
 // engine needs to report kConflict with transactional context.
+//
+// Keys live in nodes as ORDER-PRESERVING encoded bytes (page.h codec):
+// an entry blob is enc(key) ‖ rid(be64), and entry order is plain
+// lexicographic byte order — node search is memcmp, never a decode.
+//
+// Concurrency: the owning index's tree_latch serializes tree WRITERS and
+// excludes readers, exactly as before.  Node mutations additionally hold
+// the frame content latch exclusively so the buffer pool's flusher (which
+// copies bytes under a shared latch) never sees a half-applied node;
+// readers hold pins (blocking eviction) and rely on the tree_latch alone.
 //
 // The tree exposes exactly what next-key locking (ARIES/KVL) needs:
 // lower-bound positioning and successor lookup.
@@ -13,10 +25,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "sqldb/buffer_pool.h"
+#include "sqldb/page.h"
+#include "sqldb/pager.h"
 #include "sqldb/schema.h"
 #include "sqldb/value.h"
 
@@ -31,13 +47,18 @@ class BTree {
  public:
   static constexpr int kFanout = 32;  // max entries per node
 
+  /// Private-pool constructor (unit tests, ad-hoc trees): owns a small
+  /// buffer pool over an in-memory pager.
   BTree();
+  /// Shared-pool constructor: nodes live as temp pages in `pool`.
+  explicit BTree(BufferPool* pool);
   ~BTree();
 
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
 
-  /// Insert (key, rid).  Duplicate (key, rid) pairs are a programming error.
+  /// Insert (key, rid).  Duplicate (key, rid) pairs are a programming
+  /// error, as is a key exceeding max_key_bytes() (callers validate).
   void Insert(const Key& key, RowId rid);
 
   /// Remove (key, rid).  Returns false if the pair is absent.
@@ -48,6 +69,10 @@ class BTree {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Bound on the ORDER-PRESERVING encoded key length this tree accepts
+  /// (DB2-style bounded index key, derived from the page size).
+  size_t max_key_bytes() const;
 
   /// The smallest entry with user key >= `key` (any rid), or nullopt.
   std::optional<BTreeEntry> LowerBound(const Key& key) const;
@@ -68,33 +93,50 @@ class BTree {
   /// Number of distinct user keys (walks the leaves; used by RunStats).
   int64_t CountDistinctKeys() const;
 
-  /// Verify structural invariants (sorted leaves, balanced height, fanout
+  /// Verify structural invariants (sorted nodes, balanced height, fanout
   /// bounds).  Test hook; aborts on violation.
   void CheckInvariants() const;
 
-  /// Wire up the owning process's fail-point injector.  When set, SplitNode
-  /// probes "sqldb.btree.split": a firing point abandons the split, leaving
-  /// a transiently overfull (but structurally legal) node that the next
-  /// insert into it re-splits.
+  /// Wire up the owning process's fail-point injector.  When set, a
+  /// count-triggered split probes "sqldb.btree.split": a firing point
+  /// abandons the split, leaving a transiently overfull (but structurally
+  /// legal) node that the next insert into it re-splits.  Splits forced by
+  /// physical page pressure are never abandoned.
   void set_fault(FaultInjector* fault, Clock* clock) {
     fault_ = fault;
     clock_ = clock;
   }
 
  private:
-  struct Node;
+  struct PathStep {
+    PageId pid = kInvalidPageId;
+    int child_idx = 0;  // routing slot taken in the PARENT to reach pid
+  };
 
-  static int CompareEntry(const Key& a, RowId arid, const Key& b, RowId brid);
+  void InitRoot();
+  /// Root-to-leaf routing for the search bytes; returns the page-id path.
+  std::vector<PathStep> Descend(std::string_view search) const;
+  PageId LeftmostLeaf() const;
+  /// Splits path[i]; parents first when they lack room for the separator
+  /// (in which case the node itself is NOT split — callers re-descend).
+  /// `probe` abandons the split if the fail point fires.
+  void TrySplit(const std::vector<PathStep>& path, size_t i, bool probe);
+  /// Removes the (now childless/empty) node path[i] from its parent chain.
+  void RemoveNode(const std::vector<PathStep>& path, size_t i);
+  void CollapseRoot();
+  void FreeNodePage(PageId pid);
 
-  Node* FindLeaf(const Key& key, RowId rid) const;
-  void InsertIntoLeaf(Node* leaf, const Key& key, RowId rid);
-  void SplitNode(Node* node);
-
-  std::unique_ptr<Node> root_holder_;
-  Node* root_ = nullptr;
+  BufferPool* pool_ = nullptr;
+  PageId root_page_ = kInvalidPageId;
   size_t size_ = 0;
   FaultInjector* fault_ = nullptr;  // not owned; may be nullptr
   Clock* clock_ = nullptr;
+
+  // Private-pool mode only (declaration order = construction order: the
+  // pool must outlive nothing and die before the pager).
+  std::shared_ptr<DurableStore> owned_store_;
+  std::unique_ptr<Pager> owned_pager_;
+  std::unique_ptr<BufferPool> owned_pool_;
 };
 
 }  // namespace datalinks::sqldb

@@ -10,7 +10,11 @@ namespace datalinks::sqldb {
 namespace {
 
 constexpr uint32_t kImageMagic = 0xD1F0CA7A;
-constexpr uint32_t kImageVersion = 1;
+// v2: the image is catalog-only — schemas, stats, index definitions and
+// each heap's page list + rid high-water mark.  Row bytes live on data
+// pages; recovery redoes pages from the log (ARIES pageLSN filtering)
+// instead of reloading rows from the image.
+constexpr uint32_t kImageVersion = 2;
 
 void PutU32(std::string* out, uint32_t v) {
   for (int i = 3; i >= 0; --i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
@@ -70,8 +74,16 @@ Database::Database(DatabaseOptions options, std::shared_ptr<DurableStore> durabl
   latch_shared_wait_us_ = metrics_->GetHistogram("sqldb.latch.shared_wait_us");
   latch_exclusive_wait_us_ = metrics_->GetHistogram("sqldb.latch.exclusive_wait_us");
   if (!durable_) durable_ = std::make_shared<DurableStore>();
+  options_.page_size_bytes = std::max<size_t>(options_.page_size_bytes, 1024);
+  pager_ = std::make_unique<Pager>(durable_, options_.page_size_bytes, fault_.get(),
+                                   clock_.get());
+  pool_ = std::make_unique<BufferPool>(pager_.get(), options_.buffer_pool_pages,
+                                       metrics_.get(), "sqldb.pool");
   wal_ = std::make_unique<WriteAheadLog>(durable_, options_.log_capacity_bytes, fault_.get(),
                                          clock_.get(), metrics_.get());
+  // Writeback obeys the WAL-ahead rule from here on (recovery redo stamps
+  // page LSNs, so even recovery-time eviction forces correctly).
+  pool_->set_wal(wal_.get());
   lock_manager_ = std::make_unique<LockManager>(clock_, metrics_.get());
 }
 
@@ -168,6 +180,10 @@ std::string Database::SerializeLocked() const {
   PutU64(&out, next_txn_id_.load());
   PutU32(&out, static_cast<uint32_t>(tables_.size()));
   for (const auto& [tid, t] : tables_) {
+    // Shared table latch: excludes RunStats/SetTableStats (exclusive
+    // holders) while staying compatible with in-flight DML — the fuzzy
+    // checkpoint serializes the catalog, not row contents.
+    std::shared_lock<std::shared_mutex> s(t->latch);
     PutU64(&out, tid);
     PutStr(&out, t->schema.name);
     PutU32(&out, static_cast<uint32_t>(t->schema.columns.size()));
@@ -192,19 +208,23 @@ std::string Database::SerializeLocked() const {
       PutU32(&out, static_cast<uint32_t>(ix->def.key_columns.size()));
       for (int c : ix->def.key_columns) PutU32(&out, static_cast<uint32_t>(c));
     }
-    // Heap contents.
+    // Heap extent: rid high-water mark + page list.  A page enters the
+    // list BEFORE the first WAL record targeting it is appended, so every
+    // record at or below the anchor LSN names a page recorded here.
+    const std::vector<PageId> pages = t->heap.PageList();
     PutU64(&out, t->heap.slot_count());
-    PutU64(&out, t->heap.live_count());
-    t->heap.ForEach([&](RowId rid, const Row& row) {
-      PutU64(&out, rid);
-      EncodeRowTo(row, &out);
-      return true;
-    });
+    PutU32(&out, static_cast<uint32_t>(pages.size()));
+    for (PageId p : pages) PutU64(&out, p);
   }
   return out;
 }
 
 Status Database::DeserializeLocked(const std::string& image) {
+  // Every enum and flag byte is validated before the cast: the image is
+  // external input (a disk artifact), and a stray byte interpreted as a
+  // ValueType would poison typed comparisons far from here.  Structural
+  // corruption with a valid store CRC is a codec/logic fault, so it fails
+  // the Open loudly instead of being silently treated as "no checkpoint".
   std::string_view in(image);
   uint32_t magic, version;
   if (!GetU32(&in, &magic) || magic != kImageMagic || !GetU32(&in, &version) ||
@@ -223,18 +243,29 @@ Status Database::DeserializeLocked(const std::string& image) {
   tables_.clear();
   table_names_.clear();
   for (uint32_t i = 0; i < ntables; ++i) {
-    auto t = std::make_shared<TableState>();
+    auto t = std::make_shared<TableState>(pool_.get(), pager_.get());
     uint64_t tid;
     uint32_t ncols;
     if (!GetU64(&in, &tid) || !GetStr(&in, &t->schema.name) || !GetU32(&in, &ncols)) {
       return Status::Corruption("bad table header");
     }
     t->id = static_cast<TableId>(tid);
+    if (t->schema.name.empty() || ncols == 0) {
+      return Status::Corruption("bad table header");
+    }
     for (uint32_t c = 0; c < ncols; ++c) {
       ColumnDef col;
       if (!GetStr(&in, &col.name) || in.size() < 2) return Status::Corruption("bad column");
-      col.type = static_cast<ValueType>(in[0]);
-      col.nullable = in[1] != 0;
+      const unsigned char type_byte = static_cast<unsigned char>(in[0]);
+      const unsigned char null_byte = static_cast<unsigned char>(in[1]);
+      if (type_byte > static_cast<unsigned char>(ValueType::kDouble)) {
+        return Status::Corruption("bad column type byte " + std::to_string(type_byte));
+      }
+      if (null_byte > 1) {
+        return Status::Corruption("bad column nullable byte " + std::to_string(null_byte));
+      }
+      col.type = static_cast<ValueType>(type_byte);
+      col.nullable = null_byte != 0;
       in.remove_prefix(2);
       t->schema.columns.push_back(std::move(col));
     }
@@ -250,18 +281,26 @@ Status Database::DeserializeLocked(const std::string& image) {
     uint32_t nidx;
     if (!GetU32(&in, &nidx)) return Status::Corruption("bad index count");
     for (uint32_t x = 0; x < nidx; ++x) {
-      auto ix = std::make_unique<IndexState>();
+      auto ix = std::make_unique<IndexState>(pool_.get());
       uint64_t iid;
       uint32_t nkeys;
       if (!GetU64(&in, &iid) || !GetStr(&in, &ix->def.name) || in.empty()) {
         return Status::Corruption("bad index header");
       }
-      ix->def.unique = in[0] != 0;
+      const unsigned char unique_byte = static_cast<unsigned char>(in[0]);
+      if (unique_byte > 1) {
+        return Status::Corruption("bad index unique byte " + std::to_string(unique_byte));
+      }
+      ix->def.unique = unique_byte != 0;
       in.remove_prefix(1);
       if (!GetU32(&in, &nkeys)) return Status::Corruption("bad index keys");
       for (uint32_t k = 0; k < nkeys; ++k) {
         uint32_t c;
         if (!GetU32(&in, &c)) return Status::Corruption("bad index key col");
+        if (c >= ncols) {
+          return Status::Corruption("index key column " + std::to_string(c) +
+                                    " out of range for " + std::to_string(ncols) + " columns");
+        }
         ix->def.key_columns.push_back(static_cast<int>(c));
       }
       ix->id = static_cast<IndexId>(iid);
@@ -269,44 +308,55 @@ Status Database::DeserializeLocked(const std::string& image) {
       ix->tree.set_fault(fault_.get(), clock_.get());
       t->indexes.push_back(std::move(ix));
     }
-    uint64_t slot_count, nlive;
-    if (!GetU64(&in, &slot_count) || !GetU64(&in, &nlive)) {
+    // Heap extent: rid high-water mark + page list.  Rows are NOT here —
+    // the caller (recovery) redoes the pages, then RebuildFromPages scans
+    // them to reconstruct the rid map.  Index trees are rebuilt from the
+    // heap afterwards, also by the caller.
+    uint64_t hwm;
+    uint32_t npages;
+    if (!GetU64(&in, &hwm) || !GetU32(&in, &npages)) {
       return Status::Corruption("bad heap header");
     }
-    for (uint64_t r = 0; r < nlive; ++r) {
-      uint64_t rid;
-      if (!GetU64(&in, &rid)) return Status::Corruption("bad rid");
-      DLX_ASSIGN_OR_RETURN(Row row, DecodeRowFrom(&in));
-      t->heap.InsertAt(rid, std::move(row));
+    std::vector<PageId> pages;
+    pages.reserve(npages);
+    for (uint32_t p = 0; p < npages; ++p) {
+      uint64_t pid;
+      if (!GetU64(&in, &pid)) return Status::Corruption("bad heap page id");
+      if (pid == kInvalidPageId || IsTempPage(pid)) {
+        return Status::Corruption("bad heap page id " + std::to_string(pid));
+      }
+      pages.push_back(pid);
     }
-    // Populate the indexes from the heap.
-    for (auto& ix : t->indexes) {
-      t->heap.ForEach([&](RowId rid, const Row& row) {
-        ix->tree.Insert(ExtractKey(*ix, row), rid);
-        return true;
-      });
+    t->heap.SetPageList(std::move(pages), static_cast<RowId>(hwm));
+    if (table_names_.count(t->schema.name) != 0 || tables_.count(t->id) != 0) {
+      return Status::Corruption("duplicate table in checkpoint image");
     }
-    t->heap.RebuildFreeList();
     table_names_[t->schema.name] = t->id;
     tables_[t->id] = std::move(t);
   }
+  if (!in.empty()) return Status::Corruption("trailing bytes in checkpoint image");
   return Status::OK();
 }
 
 Status Database::RecoverLocked() {
-  const std::string image = durable_->checkpoint_image();
-  if (!image.empty()) {
-    DLX_RETURN_IF_ERROR(DeserializeLocked(image));
+  // A torn/corrupt checkpoint image fails its CRC inside the store, which
+  // then falls back to the previous anchor — or reports no checkpoint at
+  // all, in which case recovery redoes the full retained log (the log is
+  // only ever truncated after an anchor lands safely).  An image whose CRC
+  // verifies but whose bytes do not parse is a codec fault: fail the Open
+  // loudly rather than silently dropping the catalog (and with it every
+  // data page at the RebuildAllocation below).
+  const DurableStore::CheckpointAnchor anchor = durable_->GetCheckpoint();
+  if (anchor.valid && !anchor.image.empty()) {
+    DLX_RETURN_IF_ERROR(DeserializeLocked(anchor.image));
   }
   // All retained records: the truncation point never advances past the
-  // begin-LSN of an active transaction, so records of in-flight (loser)
-  // transactions are retained even when they predate the checkpoint.
+  // begin-LSN of an active transaction (nor past the anchor's redo floor),
+  // so records of in-flight (loser) transactions are retained even when
+  // they predate the checkpoint.
   const std::vector<LogRecord> records = durable_->ForcedSince(0);
-  const Lsn checkpoint_lsn = durable_->checkpoint_lsn();
 
-  // Redo pass (only records newer than the checkpoint image; older ones are
-  // already reflected in the image).  Outcomes are tracked across ALL
-  // retained records.
+  // Outcomes are tracked across ALL retained records.
   enum class Outcome : char { kActive, kCommitted, kAborted };
   std::unordered_map<TxnId, Outcome> outcome;
   TxnId max_txn = 0;
@@ -330,62 +380,88 @@ Status Database::RecoverLocked() {
         break;
     }
   }
+
+  // Redo pass — physical, page-targeted: each DML record names the page
+  // the row landed on, and the heap re-applies it only when that page's
+  // on-disk LSN is older than the record (ARIES pageLSN filtering).  No
+  // checkpoint-LSN cutoff: pages the fuzzy checkpointer flushed are
+  // skipped by their own LSN, pages it missed are re-done from the redo
+  // floor up.  Pages allocated after the image was cut are adopted into
+  // the table's page list on first touch.
   for (const LogRecord& r : records) {
-    if (r.lsn <= checkpoint_lsn) continue;
-    TableState* t = nullptr;
+    if (r.page == kInvalidPageId) continue;
+    TableState* t = FindTable(r.table);
+    if (t == nullptr) continue;
     switch (r.type) {
       case LogRecordType::kInsert:
-        t = FindTable(r.table);
-        if (t != nullptr) {
-          t->heap.InsertAt(r.rid, r.after);
-          for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.after), r.rid);
-        }
+        t->heap.RedoInsert(r.rid, r.after, r.page, r.lsn);
         break;
       case LogRecordType::kDelete:
-        t = FindTable(r.table);
-        if (t != nullptr && t->heap.Valid(r.rid)) {
-          Row old = t->heap.Delete(r.rid);
-          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), r.rid);
-        }
+        t->heap.RedoRemove(r.rid, r.page, r.lsn);
         break;
       case LogRecordType::kUpdate:
-        t = FindTable(r.table);
-        if (t != nullptr && t->heap.Valid(r.rid)) {
-          const Row old = t->heap.Get(r.rid);
-          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), r.rid);
-          t->heap.Update(r.rid, r.after);
-          for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.after), r.rid);
-        }
+        t->heap.RedoUpdate(r.rid, r.after, r.page, r.from_page, r.lsn);
         break;
       default:
         break;
     }
   }
 
+  // Rebuild each heap's rid map / free list / live count from the redone
+  // pages, then the index trees from the heaps (index nodes are volatile
+  // temp pages — they carry no WAL traffic and are reconstructed here).
+  for (auto& [tid, t] : tables_) {
+    t->heap.RebuildFromPages();
+    for (auto& ix : t->indexes) {
+      t->heap.ForEach([&](RowId rid, const Row& row) {
+        ix->tree.Insert(ExtractKey(*ix, row), rid);
+        return true;
+      });
+    }
+  }
+
   // Undo pass: roll back transactions with no COMMIT/ABORT record.
+  // Logical (rid-level), state-checked, and COMPENSATION-LOGGED (ARIES
+  // CLR-lite, exempt appends): each undo gets a fresh LSN stamped into the
+  // page it touches, so page versions advance strictly past the images the
+  // fuzzy checkpointer may already have flushed — an unstamped undo could
+  // tie the on-disk version of the pre-undo page and resurrect the loser
+  // row after the next crash.  A closing ABORT per loser resolves it for
+  // any later recovery (its CLRs then replay by pageLSN like ordinary
+  // records).
   for (auto it = records.rbegin(); it != records.rend(); ++it) {
     const LogRecord& r = *it;
     auto oit = outcome.find(r.txn);
     if (oit == outcome.end() || oit->second != Outcome::kActive) continue;
     TableState* t = FindTable(r.table);
+    if (t == nullptr) continue;
     switch (r.type) {
       case LogRecordType::kInsert:
-        if (t != nullptr && t->heap.Valid(r.rid)) {
-          Row old = t->heap.Delete(r.rid);
-          for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), r.rid);
+        if (t->heap.Valid(r.rid)) {
+          const Row old = t->heap.Get(r.rid);
+          Result<Row> removed = t->heap.Delete(
+              r.rid,
+              MakeDmlLog(r.txn, LogRecordType::kDelete, r.table, r.rid, old, {}, true));
+          if (removed.ok()) {
+            for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, *removed), r.rid);
+          }
         }
         break;
       case LogRecordType::kDelete:
-        if (t != nullptr && !t->heap.Valid(r.rid)) {
-          t->heap.InsertAt(r.rid, r.before);
+        if (!t->heap.Valid(r.rid)) {
+          (void)t->heap.InsertAt(
+              r.rid, r.before,
+              MakeDmlLog(r.txn, LogRecordType::kInsert, r.table, r.rid, {}, r.before, true));
           for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.before), r.rid);
         }
         break;
       case LogRecordType::kUpdate:
-        if (t != nullptr && t->heap.Valid(r.rid)) {
+        if (t->heap.Valid(r.rid)) {
           const Row cur = t->heap.Get(r.rid);
           for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, cur), r.rid);
-          t->heap.Update(r.rid, r.before);
+          (void)t->heap.Update(
+              r.rid, r.before,
+              MakeDmlLog(r.txn, LogRecordType::kUpdate, r.table, r.rid, cur, r.before, true));
           for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, r.before), r.rid);
         }
         break;
@@ -393,39 +469,60 @@ Status Database::RecoverLocked() {
         break;
     }
   }
+  for (const auto& [txn_id, oc] : outcome) {
+    if (oc == Outcome::kActive) {
+      (void)wal_->Append(LogRecord{0, txn_id, LogRecordType::kAbort, 0, 0, {}, {}},
+                         /*exempt=*/true);
+    }
+  }
 
-  for (auto& [tid, t] : tables_) t->heap.RebuildFreeList();
+  // Reconcile the pager's allocation map with the surviving catalog:
+  // pages no table references (dropped tables, extents of transactions
+  // whose pages never made an image) are dropped and the on-disk free
+  // list rebuilt.
+  std::vector<PageId> used;
+  for (auto& [tid, t] : tables_) {
+    for (PageId p : t->heap.PageList()) used.push_back(p);
+  }
+  pager_->RebuildAllocation(used);
+
   next_txn_id_.store(std::max(next_txn_id_.load(), max_txn + 1));
 
   // Compact so repeated crash/recover cycles start from a clean image.
-  if (!records.empty() || !image.empty()) {
+  if (!records.empty() || anchor.valid) {
     DLX_RETURN_IF_ERROR(CheckpointLocked());
   }
   return Status::OK();
 }
 
 Status Database::CheckpointLocked() {
-  // The caller holds the catalog latch exclusively, which keeps new DML
-  // statements from starting; in-flight critical sections are drained by
-  // taking every table's latch EXCLUSIVELY (DML runs under the shared
-  // table latch + row stripes, so shared mode would no longer quiesce it).
-  // Holding them across the force + serialize pair guarantees no append
-  // slips between the force point and the image (a record replayed on top
-  // of an image that already contains its effect would corrupt the heap on
-  // recovery).
-  std::vector<std::unique_lock<std::shared_mutex>> latches;
-  latches.reserve(tables_.size());
-  for (auto& [tid, t] : tables_) latches.emplace_back(t->latch);
+  // FUZZY checkpoint: no table latches — in-flight DML keeps running under
+  // shared table latches while dirty pages stream out.  Soundness rests on
+  // three orderings the storage layer guarantees:
+  //  - a mutation enters the pool's dirty table BEFORE its WAL append
+  //    (MarkDirtyProvisional), so MinDirtyRecLsn() below can only be too
+  //    low (conservative), never too high — no record escapes the floor;
+  //  - a page joins its table's page list before the first record naming
+  //    it is appended, so the image's page lists cover every record at or
+  //    below the anchor LSN;
+  //  - redo is pageLSN-filtered, so records whose effects the flushed
+  //    pages already carry are skipped and the rest replay exactly.
   DLX_RETURN_IF_ERROR(wal_->ForceAll());
+  DLX_RETURN_IF_ERROR(pool_->FlushAll());
   // "sqldb.checkpoint.write" models failing to write the image itself: the
-  // log is forced but the old image stays — recovery simply replays a
+  // log is forced but the old anchor stays — recovery simply replays a
   // longer forced suffix, which must be equivalent.
   if (fault_ != nullptr) {
     if (auto f = fault_->Hit(failpoints::kSqldbCheckpointWrite, clock_.get())) return *f;
   }
   const Lsn lsn = wal_->last_lsn();
-  durable_->SetCheckpoint(SerializeLocked(), lsn);
-  wal_->OnCheckpoint(lsn);
+  // Redo floor: the oldest record a restart still needs.  Pages dirtied
+  // during/after FlushAll keep their rec_lsn; with nothing dirty the floor
+  // is lsn + 1 (the whole prefix is reflected on disk).
+  Lsn floor = pool_->MinDirtyRecLsn();
+  if (floor == kInvalidLsn || floor > lsn + 1) floor = lsn + 1;
+  durable_->SetCheckpoint(SerializeLocked(), lsn, floor);
+  wal_->OnCheckpoint(lsn, floor);
   return Status::OK();
 }
 
@@ -511,7 +608,7 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
   if (table_names_.count(schema.name) != 0) {
     return Status::AlreadyExists("table " + schema.name);
   }
-  auto t = std::make_shared<TableState>();
+  auto t = std::make_shared<TableState>(pool_.get(), pager_.get());
   t->id = next_table_id_++;
   t->schema = std::move(schema);
   const TableId id = t->id;
@@ -533,7 +630,7 @@ Result<IndexId> Database::CreateIndex(IndexDef def) {
   for (const auto& ix : t->indexes) {
     if (ix->def.name == def.name) return Status::AlreadyExists("index " + def.name);
   }
-  auto ix = std::make_unique<IndexState>();
+  auto ix = std::make_unique<IndexState>(pool_.get());
   ix->id = next_index_id_++;
   ix->def = std::move(def);
   ix->tree.set_fault(fault_.get(), clock_.get());
@@ -542,10 +639,16 @@ Result<IndexId> Database::CreateIndex(IndexDef def) {
     // Drain in-flight statements on this table before mutating its index
     // list (DML holds the table latch, not the catalog latch).
     ExclusiveLatch x = LatchExclusive(*t);
-    // Populate, checking uniqueness against existing data.
+    // Populate, checking uniqueness and the bounded-key admission rule
+    // (an encoded key must fit the tree's per-node budget, DB2-style)
+    // against existing data.
     Status st;
     t->heap.ForEach([&](RowId rid, const Row& row) {
       Key k = ExtractKey(*ix, row);
+      if (EncodeOrderedKey(k).size() > ix->tree.max_key_bytes()) {
+        st = Status::InvalidArgument("existing row key too long for index " + ix->def.name);
+        return false;
+      }
       if (ix->def.unique && ix->tree.ContainsKey(k)) {
         st = Status::Conflict("duplicate key building unique index " + ix->def.name);
         return false;
@@ -730,32 +833,33 @@ Status Database::RollbackInternal(Transaction* txn) {
     switch (it->type) {
       case LogRecordType::kInsert: {
         if (!t->heap.Valid(it->rid)) break;
-        Row old = t->heap.Delete(it->rid);
-        for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, old), it->rid);
-        (void)wal_->Append(
-            LogRecord{0, txn->id_, LogRecordType::kDelete, it->table, it->rid, old, {}},
-            /*exempt=*/true);
+        const Row old = t->heap.Get(it->rid);
+        Result<Row> removed = t->heap.Delete(
+            it->rid,
+            MakeDmlLog(txn->id_, LogRecordType::kDelete, it->table, it->rid, old, {}, true));
+        if (!removed.ok()) break;
+        for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, *removed), it->rid);
         t->heap.FreeSlot(it->rid);
         break;
       }
       case LogRecordType::kDelete: {
         if (t->heap.Valid(it->rid)) break;
-        t->heap.InsertAt(it->rid, it->before);
+        (void)t->heap.InsertAt(
+            it->rid, it->before,
+            MakeDmlLog(txn->id_, LogRecordType::kInsert, it->table, it->rid, {}, it->before,
+                       true));
         for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, it->before), it->rid);
-        (void)wal_->Append(
-            LogRecord{0, txn->id_, LogRecordType::kInsert, it->table, it->rid, {}, it->before},
-            /*exempt=*/true);
         break;
       }
       case LogRecordType::kUpdate: {
         if (!t->heap.Valid(it->rid)) break;
         const Row cur = t->heap.Get(it->rid);
         for (auto& ix : t->indexes) ix->tree.Erase(ExtractKey(*ix, cur), it->rid);
-        t->heap.Update(it->rid, it->before);
+        (void)t->heap.Update(
+            it->rid, it->before,
+            MakeDmlLog(txn->id_, LogRecordType::kUpdate, it->table, it->rid, cur, it->before,
+                       true));
         for (auto& ix : t->indexes) ix->tree.Insert(ExtractKey(*ix, it->before), it->rid);
-        (void)wal_->Append(
-            LogRecord{0, txn->id_, LogRecordType::kUpdate, it->table, it->rid, cur, it->before},
-            /*exempt=*/true);
         break;
       }
       default:
@@ -767,6 +871,19 @@ Status Database::RollbackInternal(Transaction* txn) {
   (void)wal_->Append(LogRecord{0, txn->id_, LogRecordType::kAbort, 0, 0, {}, {}},
                      /*exempt=*/true);
   return Status::OK();
+}
+
+HeapTable::LogFn Database::MakeDmlLog(TxnId txn, LogRecordType type, TableId table, RowId rid,
+                                      Row before, Row after, bool exempt) {
+  return [this, txn, type, table, rid, before = std::move(before), after = std::move(after),
+          exempt](PageId page, PageId from_page) -> Result<Lsn> {
+    LogRecord rec{0, txn, type, table, rid, before, after};
+    rec.page = page;
+    rec.from_page = from_page;
+    Lsn lsn = kInvalidLsn;
+    DLX_RETURN_IF_ERROR(wal_->Append(std::move(rec), exempt, &lsn));
+    return lsn;
+  };
 }
 
 void Database::FinishTxn(Transaction* txn) {

@@ -88,6 +88,14 @@ struct DatabaseOptions {
   /// Auto-checkpoint when the retained log exceeds this (0 = capacity/2).
   size_t checkpoint_threshold_bytes = 0;
 
+  /// Fixed page size for heap/index storage (clamped to >= 1 KiB).  Rows
+  /// and encoded index keys must fit a page (DB2-style admission checks).
+  size_t page_size_bytes = 8192;
+
+  /// Buffer pool capacity in pages.  Small pools degrade gracefully: hot
+  /// pins beyond capacity use temporary overflow frames.
+  size_t buffer_pool_pages = 1024;
+
   Isolation default_isolation = Isolation::kCS;
 
   std::shared_ptr<Clock> clock;  // defaults to SystemClock
@@ -258,6 +266,11 @@ class Database {
   // --- Introspection --------------------------------------------------------
   LockManager& lock_manager() { return *lock_manager_; }
   const WriteAheadLog& wal() const { return *wal_; }
+  /// Buffer-pool counters (hits/misses/evictions/flushes; for tests and
+  /// benchmarks).
+  BufferPool::Stats buffer_pool_stats() const { return pool_->stats(); }
+  /// Pager counters (data page reads/writes, torn writes injected).
+  Pager::Stats pager_stats() const { return pager_->stats(); }
   metrics::Registry& metrics() const { return *metrics_; }
   DatabaseStats stats() const;
   const DatabaseOptions& options() const { return options_; }
@@ -266,6 +279,9 @@ class Database {
 
  private:
   struct IndexState {
+    /// Index nodes live as temp pages in the database's shared buffer pool.
+    explicit IndexState(BufferPool* pool) : tree(pool) {}
+
     IndexDef def;
     IndexId id = 0;
     BTree tree;
@@ -277,6 +293,8 @@ class Database {
   };
   struct TableState {
     static constexpr size_t kRowStripes = 64;
+
+    TableState(BufferPool* pool, Pager* pager) : heap(pool, pager) {}
 
     TableId id = 0;
     TableSchema schema;
@@ -379,13 +397,16 @@ class Database {
                                                    const BoundStatement& stmt,
                                                    const std::vector<Value>& params);
 
-  /// Write one WAL record; the caller holds whatever latch orders the
-  /// mutation (the row's stripe for DML, the table latch exclusively for
-  /// structural paths) across both the apply and this append, so per-row
-  /// append order matches apply order.  `exempt` bypasses the capacity
-  /// check (compensations and commit/abort records must never fail).
-  Status LogLatched(Transaction* txn, LogRecordType type, TableId table, RowId rid, Row before,
-                    Row after, bool exempt);
+  /// Build the write-ahead callback a HeapTable mutator invokes while
+  /// holding the target frame latch exclusively: it appends one WAL record
+  /// carrying the page ids the heap passes in and returns the assigned
+  /// LSN (stamped into the page header for ARIES pageLSN redo filtering).
+  /// The caller additionally holds whatever latch orders the mutation (the
+  /// row's stripe for DML, the table latch exclusively for structural
+  /// paths), so per-row append order matches apply order.  `exempt`
+  /// bypasses the capacity check (compensations must never fail).
+  HeapTable::LogFn MakeDmlLog(TxnId txn, LogRecordType type, TableId table, RowId rid,
+                              Row before, Row after, bool exempt);
 
   Status RollbackInternal(Transaction* txn);
   void FinishTxn(Transaction* txn);
@@ -396,7 +417,13 @@ class Database {
   std::shared_ptr<metrics::Registry> metrics_;  // never nullptr after ctor
   metrics::Histogram* latch_shared_wait_us_ = nullptr;
   metrics::Histogram* latch_exclusive_wait_us_ = nullptr;
+  // Storage stack, in dependency (= construction) order; declaration order
+  // also gives the right teardown: tables_ (declared below) drop their
+  // cached frames before pool_ dies, the pool before the pager, the pager
+  // before the store.
   std::shared_ptr<DurableStore> durable_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::unique_ptr<LockManager> lock_manager_;
 

@@ -198,12 +198,6 @@ Status Database::AcquireGranular(Transaction* txn, TableState* t, const LockId& 
   return lock_manager_->Acquire(txn->id_, id, mode, LockTimeout(txn));
 }
 
-Status Database::LogLatched(Transaction* txn, LogRecordType type, TableId table, RowId rid,
-                            Row before, Row after, bool exempt) {
-  return wal_->Append(
-      LogRecord{0, txn->id_, type, table, rid, std::move(before), std::move(after)}, exempt);
-}
-
 // ---------------------------------------------------------------------------
 // Candidate collection
 // ---------------------------------------------------------------------------
@@ -249,25 +243,27 @@ Result<std::vector<Database::Candidate>> Database::CollectCandidates(
     }
     for (const BTreeEntry& e : entries) {
       auto rl = RowLatchShared(*t, e.rid);
-      if (t->heap.Valid(e.rid)) {
+      Row r;
+      if (t->heap.GetIf(e.rid, &r)) {
         rows_scanned_.fetch_add(1, std::memory_order_relaxed);
-        out.push_back(Candidate{e.rid, t->heap.Get(e.rid)});
+        out.push_back(Candidate{e.rid, std::move(r)});
       }
     }
   } else {
     // Table scan touches (and will lock) every live row — the concurrency
     // havoc of a mis-chosen plan comes from exactly this.  The scan walks
-    // slot numbers and takes each slot's row latch: slot addresses are
-    // stable (chunked heap spine), so concurrent inserts growing the table
-    // are harmless — rows installed after slot_count() was read are simply
-    // not part of this scan.
+    // rids and takes each rid's row latch: rids are stable logical handles
+    // (the heap's rid map survives page relocation), so concurrent inserts
+    // growing the table are harmless — rows installed after slot_count()
+    // was read are simply not part of this scan.
     table_scans_.fetch_add(1, std::memory_order_relaxed);
     const RowId n = t->heap.slot_count();
     for (RowId rid = 0; rid < n; ++rid) {
       auto rl = RowLatchShared(*t, rid);
-      if (t->heap.Valid(rid)) {
+      Row r;
+      if (t->heap.GetIf(rid, &r)) {
         rows_scanned_.fetch_add(1, std::memory_order_relaxed);
-        out.push_back(Candidate{rid, t->heap.Get(rid)});
+        out.push_back(Candidate{rid, std::move(r)});
       }
     }
   }
@@ -303,8 +299,14 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
         return Status::InvalidArgument("type mismatch in column " + c.name);
       }
     }
+    // Paged-storage admission checks (DB2-style): the encoded row must fit
+    // one heap page, every encoded index key the tree's per-node budget.
+    DLX_RETURN_IF_ERROR(t->heap.CheckRowFits(row));
     for (auto& ix : t->indexes) {
       keys.emplace_back(ix.get(), ExtractKey(*ix, row));
+      if (EncodeOrderedKey(keys.back().second).size() > ix->tree.max_key_bytes()) {
+        return Status::InvalidArgument("key too long for index " + ix->def.name);
+      }
       if (ix->def.unique) unique_key_locks.push_back(KeyLockId(*t, *ix, keys.back().second));
     }
   }
@@ -364,8 +366,11 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
   Status st;
   {
     auto rl = RowLatchExclusive(*t, rid);
-    st = LogLatched(txn, LogRecordType::kInsert, table, rid, {}, row, /*exempt=*/false);
-    if (st.ok()) t->heap.InstallAt(rid, std::move(row));
+    // The heap appends the WAL record from inside the frame critical
+    // section (it knows the page the row lands on); on log failure nothing
+    // is applied.
+    st = t->heap.InstallAt(
+        rid, row, MakeDmlLog(txn->id_, LogRecordType::kInsert, table, rid, {}, row, false));
   }
   if (!st.ok()) {
     t->heap.FreeSlot(rid);
@@ -430,10 +435,10 @@ Result<std::vector<Row>> Database::ExecuteSelect(Transaction* txn, const BoundSt
     {
       auto latch = LatchShared(*t);
       auto rl = RowLatchShared(*t, c.rid);
-      if (t->heap.Valid(c.rid)) {
-        const Row& fresh = t->heap.Get(c.rid);
+      Row fresh;
+      if (t->heap.GetIf(c.rid, &fresh)) {
         if (RowMatches(stmt, params, fresh)) {
-          out.push_back(fresh);
+          out.push_back(std::move(fresh));
           matched = true;
         }
       }
@@ -503,8 +508,7 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
       auto latch = LatchShared(*t);
       {
         auto rl = RowLatchShared(*t, c.rid);
-        if (t->heap.Valid(c.rid)) {
-          current = t->heap.Get(c.rid);
+        if (t->heap.GetIf(c.rid, &current)) {
           still_matches = RowMatches(stmt, params, current);
         }
       }
@@ -526,12 +530,16 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
     bool deleted = false;
     {
       auto rl = RowLatchExclusive(*t, c.rid);
-      if (!t->heap.Valid(c.rid)) continue;  // deleted while we waited for locks
-      const Row fresh = t->heap.Get(c.rid);
+      Row fresh;
+      if (!t->heap.GetIf(c.rid, &fresh)) continue;  // deleted while we waited for locks
       if (!RowMatches(stmt, params, fresh)) continue;
-      DLX_RETURN_IF_ERROR(
-          LogLatched(txn, LogRecordType::kDelete, stmt.table, c.rid, fresh, {}, false));
-      old = t->heap.Delete(c.rid);
+      // The heap logs the delete (with its page id) from inside the frame
+      // critical section, then removes the slot.
+      Result<Row> removed = t->heap.Delete(
+          c.rid, MakeDmlLog(txn->id_, LogRecordType::kDelete, stmt.table, c.rid, fresh, {},
+                            false));
+      DLX_RETURN_IF_ERROR(removed.status());
+      old = std::move(*removed);
       deleted = true;
     }
     // Index entries go AFTER the heap delete: a scan finding a stale entry
@@ -583,8 +591,7 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
       auto latch = LatchShared(*t);
       {
         auto rl = RowLatchShared(*t, c.rid);
-        if (t->heap.Valid(c.rid)) {
-          current = t->heap.Get(c.rid);
+        if (t->heap.GetIf(c.rid, &current)) {
           still_matches = RowMatches(stmt, params, current);
         }
       }
@@ -626,8 +633,7 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     Row fresh;
     {
       auto rl = RowLatchShared(*t, c.rid);
-      if (!t->heap.Valid(c.rid)) continue;
-      fresh = t->heap.Get(c.rid);
+      if (!t->heap.GetIf(c.rid, &fresh)) continue;
     }
     // We hold the row X lock: nobody else can have changed the row since
     // the snapshot above, so `fresh` is stable across the latch re-takes
@@ -645,18 +651,39 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
       }
     }
     if (conflict) return Status::Conflict("unique index violation on update");
-    DLX_RETURN_IF_ERROR(
-        LogLatched(txn, LogRecordType::kUpdate, stmt.table, c.rid, fresh, new_row, false));
-    // Erase old index entries, swap the row under its latch, insert new
-    // entries.  An index scan in the window sees either a stale entry with
-    // the old (still consistent) row or a miss — both already permitted.
+    // Paged-storage admission checks for the NEW image (the update may
+    // grow the row or an index key past the page/node budget).
+    DLX_RETURN_IF_ERROR(t->heap.CheckRowFits(new_row));
+    for (auto& [ix, change] : key_changes) {
+      if (EncodeOrderedKey(change.second).size() > ix->tree.max_key_bytes()) {
+        return Status::InvalidArgument("key too long for index " + ix->def.name);
+      }
+    }
+    // Erase old index entries, swap the row under its latch (the heap logs
+    // the update — with the page ids it lands on — from inside the frame
+    // critical section), insert new entries.  An index scan in the window
+    // sees either a stale entry with the old (still consistent) row or a
+    // miss — both already permitted.
     for (auto& ix : t->indexes) {
       std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
       ix->tree.Erase(ExtractKey(*ix, fresh), c.rid);
     }
+    Status st;
     {
       auto rl = RowLatchExclusive(*t, c.rid);
-      t->heap.Update(c.rid, new_row);
+      st = t->heap.Update(
+          c.rid, new_row,
+          MakeDmlLog(txn->id_, LogRecordType::kUpdate, stmt.table, c.rid, fresh, new_row,
+                     false));
+    }
+    if (!st.ok()) {
+      // The log append failed (capacity): nothing was applied; restore the
+      // index entries erased above and surface the error.
+      for (auto& ix : t->indexes) {
+        std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+        ix->tree.Insert(ExtractKey(*ix, fresh), c.rid);
+      }
+      return st;
     }
     for (auto& ix : t->indexes) {
       std::unique_lock<std::shared_mutex> tl(ix->tree_latch);

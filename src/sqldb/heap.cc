@@ -1,0 +1,375 @@
+#include "sqldb/heap.h"
+
+#include <algorithm>
+
+namespace datalinks::sqldb {
+
+namespace {
+
+// A page whose estimated free space crosses this fraction of capacity is
+// re-opened for inserts (deletes carve reusable holes).
+constexpr size_t kOpenNum = 1, kOpenDen = 2;
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  EncodeRowTo(row, &out);
+  return out;
+}
+
+}  // namespace
+
+RowId HeapTable::AllocSlot() {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  if (!free_rids_.empty()) {
+    RowId rid = free_rids_.back();
+    free_rids_.pop_back();
+    return rid;
+  }
+  return hwm_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void HeapTable::FreeSlot(RowId rid) {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  free_rids_.push_back(rid);
+}
+
+Status HeapTable::CheckRowFits(const Row& row) const {
+  const size_t capacity = heap_page::Capacity(pager_->page_size());
+  const size_t need = EncodeRow(row).size();
+  if (need > capacity) {
+    return Status::InvalidArgument(
+        "row of " + std::to_string(need) + " encoded bytes exceeds the " +
+        std::to_string(capacity) + "-byte page payload capacity");
+  }
+  return Status::OK();
+}
+
+PageId HeapTable::ChoosePage(size_t need) {
+  const size_t charge = need + heap_page::kSlotSize;
+  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  auto take = [&](PageId pid) -> bool {
+    auto it = free_est_.find(pid);
+    if (it == free_est_.end() || it->second < charge) return false;
+    it->second -= charge;  // provisional; SetEstimate reconciles post-apply
+    return true;
+  };
+  if (append_page_ != kInvalidPageId && take(append_page_)) return append_page_;
+  while (!reuse_pool_.empty()) {
+    PageId pid = reuse_pool_.back();
+    if (take(pid)) return pid;
+    reuse_pool_.pop_back();
+  }
+  const PageId pid = pager_->AllocData();
+  pages_.push_back(pid);
+  free_est_[pid] = heap_page::Capacity(pager_->page_size()) +
+                   heap_page::kSlotSize - charge;
+  append_page_ = pid;
+  return pid;
+}
+
+void HeapTable::SetEstimate(PageId pid, size_t free_bytes) {
+  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  const size_t open_at =
+      heap_page::Capacity(pager_->page_size()) * kOpenNum / kOpenDen;
+  auto it = free_est_.find(pid);
+  const size_t old = it == free_est_.end() ? 0 : it->second;
+  free_est_[pid] = free_bytes;
+  if (old < open_at && free_bytes >= open_at && pid != append_page_) {
+    reuse_pool_.push_back(pid);
+  }
+}
+
+void HeapTable::AdoptPage(PageId pid) {
+  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  if (std::find(pages_.begin(), pages_.end(), pid) == pages_.end()) {
+    pages_.push_back(pid);
+  }
+}
+
+Status HeapTable::InstallAt(RowId rid, const Row& row, const LogFn& log) {
+  const std::string payload = EncodeRow(row);
+  DLX_RETURN_IF_ERROR(CheckRowFits(row));
+  for (;;) {
+    const PageId pid = ChoosePage(payload.size());
+    auto ref = pool_->Pin(pid);
+    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    if (ref.bytes().size() < kPageHeaderSize) {
+      page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap);
+    }
+    if (!heap_page::CanFit(ref.bytes(), payload.size())) {
+      // Estimate was stale (or the provisional charge overcommitted);
+      // reconcile and try another page.
+      SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
+      continue;
+    }
+    ref.MarkDirtyProvisional();
+    Result<Lsn> lsn = log(pid, kInvalidPageId);
+    if (!lsn.ok()) {
+      SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
+      return lsn.status();
+    }
+    heap_page::InsertRow(&ref.bytes(), rid, payload);
+    page::SetLsn(&ref.bytes(), *lsn);
+    ref.NoteAppliedLsn(*lsn);
+    SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
+    {
+      std::unique_lock<std::shared_mutex> ml(map_mu_);
+      assert(loc_.count(rid) == 0);
+      loc_[rid] = pid;
+    }
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+Status HeapTable::InsertAt(RowId rid, const Row& row, const LogFn& log) {
+  RowId cur = hwm_.load(std::memory_order_relaxed);
+  while (rid >= cur &&
+         !hwm_.compare_exchange_weak(cur, rid + 1, std::memory_order_acq_rel)) {
+  }
+  return InstallAt(rid, row, log);
+}
+
+Result<Row> HeapTable::Delete(RowId rid, const LogFn& log) {
+  PageId pid;
+  {
+    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    auto it = loc_.find(rid);
+    if (it == loc_.end()) return Status::NotFound("rid holds no row");
+    pid = it->second;
+  }
+  auto ref = pool_->Pin(pid);
+  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  const int slot = heap_page::FindSlot(ref.bytes(), rid);
+  if (slot < 0) return Status::NotFound("rid holds no row");
+  std::string_view bytes = heap_page::SlotPayload(ref.bytes(), slot);
+  Result<Row> before = DecodeRowFrom(&bytes);
+  assert(before.ok());
+  ref.MarkDirtyProvisional();
+  Result<Lsn> lsn = log(pid, kInvalidPageId);
+  if (!lsn.ok()) return lsn.status();
+  heap_page::RemoveSlot(&ref.bytes(), slot);
+  page::SetLsn(&ref.bytes(), *lsn);
+  ref.NoteAppliedLsn(*lsn);
+  SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
+  {
+    std::unique_lock<std::shared_mutex> ml(map_mu_);
+    loc_.erase(rid);
+  }
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  return before;
+}
+
+Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
+  const std::string payload = EncodeRow(row);
+  DLX_RETURN_IF_ERROR(CheckRowFits(row));
+  PageId pid;
+  {
+    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    auto it = loc_.find(rid);
+    if (it == loc_.end()) return Status::NotFound("rid holds no row");
+    pid = it->second;
+  }
+  // In-place attempt: the old image's bytes come back as free space.
+  {
+    auto ref = pool_->Pin(pid);
+    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    const int slot = heap_page::FindSlot(ref.bytes(), rid);
+    if (slot < 0) return Status::NotFound("rid holds no row");
+    const size_t old_len = heap_page::SlotPayload(ref.bytes(), slot).size();
+    if (heap_page::FreeBytes(ref.bytes()) + old_len >= payload.size()) {
+      ref.MarkDirtyProvisional();
+      Result<Lsn> lsn = log(pid, pid);
+      if (!lsn.ok()) return lsn.status();
+      heap_page::RemoveSlot(&ref.bytes(), slot);
+      heap_page::InsertRow(&ref.bytes(), rid, payload);
+      page::SetLsn(&ref.bytes(), *lsn);
+      ref.NoteAppliedLsn(*lsn);
+      SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
+      return Status::OK();
+    }
+  }
+  // Relocate.  Latch the two frames in ascending page-id order (the global
+  // two-page lock order) so concurrent relocations cannot deadlock.
+  for (;;) {
+    const PageId npid = ChoosePage(payload.size());
+    if (npid == pid) continue;  // full source page re-offered; skip it
+    auto lo = pool_->Pin(std::min(pid, npid));
+    auto hi = pool_->Pin(std::max(pid, npid));
+    std::unique_lock<std::shared_mutex> cl_lo(lo.latch());
+    std::unique_lock<std::shared_mutex> cl_hi(hi.latch());
+    auto& src = pid < npid ? lo : hi;
+    auto& dst = pid < npid ? hi : lo;
+    if (dst.bytes().size() < kPageHeaderSize) {
+      page::Init(&dst.bytes(), pager_->page_size(), kPageTypeHeap);
+    }
+    const int slot = heap_page::FindSlot(src.bytes(), rid);
+    if (slot < 0) return Status::NotFound("rid holds no row");
+    if (!heap_page::CanFit(dst.bytes(), payload.size())) {
+      SetEstimate(npid, heap_page::FreeBytes(dst.bytes()));
+      continue;
+    }
+    src.MarkDirtyProvisional();
+    dst.MarkDirtyProvisional();
+    Result<Lsn> lsn = log(npid, pid);
+    if (!lsn.ok()) {
+      SetEstimate(npid, heap_page::FreeBytes(dst.bytes()));
+      return lsn.status();
+    }
+    heap_page::RemoveSlot(&src.bytes(), slot);
+    heap_page::InsertRow(&dst.bytes(), rid, payload);
+    page::SetLsn(&src.bytes(), *lsn);
+    page::SetLsn(&dst.bytes(), *lsn);
+    src.NoteAppliedLsn(*lsn);
+    dst.NoteAppliedLsn(*lsn);
+    SetEstimate(pid, heap_page::FreeBytes(src.bytes()));
+    SetEstimate(npid, heap_page::FreeBytes(dst.bytes()));
+    {
+      std::unique_lock<std::shared_mutex> ml(map_mu_);
+      loc_[rid] = npid;
+    }
+    return Status::OK();
+  }
+}
+
+bool HeapTable::Valid(RowId rid) const {
+  std::shared_lock<std::shared_mutex> ml(map_mu_);
+  return loc_.count(rid) != 0;
+}
+
+bool HeapTable::GetIf(RowId rid, Row* out) const {
+  PageId pid;
+  {
+    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    auto it = loc_.find(rid);
+    if (it == loc_.end()) return false;
+    pid = it->second;
+  }
+  auto ref = pool_->Pin(pid);
+  std::shared_lock<std::shared_mutex> cl(ref.latch());
+  if (ref.bytes().size() < kPageHeaderSize) return false;
+  const int slot = heap_page::FindSlot(ref.bytes(), rid);
+  // Callers hold the rid's row latch, so the row cannot relocate between
+  // the map lookup and the page read; a miss means genuinely deleted.
+  if (slot < 0) return false;
+  std::string_view bytes = heap_page::SlotPayload(ref.bytes(), slot);
+  Result<Row> row = DecodeRowFrom(&bytes);
+  assert(row.ok());
+  *out = std::move(*row);
+  return true;
+}
+
+Row HeapTable::Get(RowId rid) const {
+  Row out;
+  const bool found = GetIf(rid, &out);
+  assert(found);
+  (void)found;
+  return out;
+}
+
+std::vector<PageId> HeapTable::PageList() const {
+  std::shared_lock<std::shared_mutex> ml(map_mu_);
+  return pages_;
+}
+
+void HeapTable::SetPageList(std::vector<PageId> pages, RowId hwm) {
+  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  pages_ = std::move(pages);
+  hwm_.store(hwm, std::memory_order_release);
+}
+
+void HeapTable::RedoInsert(RowId rid, const Row& row, PageId page, Lsn lsn) {
+  AdoptPage(page);
+  auto ref = pool_->Pin(page);
+  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  if (ref.bytes().size() < kPageHeaderSize) {
+    page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap);
+  }
+  if (page::GetLsn(ref.bytes()) >= lsn) return;  // already reflected
+  const int slot = heap_page::FindSlot(ref.bytes(), rid);
+  if (slot >= 0) heap_page::RemoveSlot(&ref.bytes(), slot);
+  ref.MarkDirtyProvisional(lsn);
+  heap_page::InsertRow(&ref.bytes(), rid, EncodeRow(row));
+  page::SetLsn(&ref.bytes(), lsn);
+  ref.NoteAppliedLsn(lsn);
+}
+
+void HeapTable::RedoRemove(RowId rid, PageId page, Lsn lsn) {
+  AdoptPage(page);
+  auto ref = pool_->Pin(page);
+  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  if (ref.bytes().size() < kPageHeaderSize) {
+    page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap);
+  }
+  if (page::GetLsn(ref.bytes()) >= lsn) return;
+  const int slot = heap_page::FindSlot(ref.bytes(), rid);
+  ref.MarkDirtyProvisional(lsn);
+  if (slot >= 0) heap_page::RemoveSlot(&ref.bytes(), slot);
+  page::SetLsn(&ref.bytes(), lsn);
+  ref.NoteAppliedLsn(lsn);
+}
+
+void HeapTable::RedoUpdate(RowId rid, const Row& row, PageId page,
+                           PageId from_page, Lsn lsn) {
+  if (from_page != kInvalidPageId && from_page != page) {
+    RedoRemove(rid, from_page, lsn);
+  }
+  // Same-page updates collapse to remove+insert under ONE pageLSN check —
+  // stamping the remove first would make the insert skip itself.
+  RedoInsert(rid, row, page, lsn);
+}
+
+void HeapTable::RebuildFromPages() {
+  std::vector<PageId> pages;
+  {
+    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    pages = pages_;
+  }
+  std::unordered_map<RowId, PageId> loc;
+  std::unordered_map<PageId, size_t> est;
+  RowId hwm = hwm_.load(std::memory_order_relaxed);
+  size_t live = 0;
+  for (PageId pid : pages) {
+    auto ref = pool_->Pin(pid);
+    std::shared_lock<std::shared_mutex> cl(ref.latch());
+    if (ref.bytes().size() < kPageHeaderSize) {
+      est[pid] = heap_page::Capacity(pager_->page_size()) + heap_page::kSlotSize;
+      continue;
+    }
+    const uint16_t n = page::SlotCount(ref.bytes());
+    for (int i = 0; i < n; ++i) {
+      const RowId rid = heap_page::SlotRid(ref.bytes(), i);
+      assert(loc.count(rid) == 0);
+      loc[rid] = pid;
+      hwm = std::max(hwm, rid + 1);
+      ++live;
+    }
+    est[pid] = heap_page::FreeBytes(ref.bytes());
+  }
+  const size_t open_at =
+      heap_page::Capacity(pager_->page_size()) * kOpenNum / kOpenDen;
+  {
+    std::unique_lock<std::shared_mutex> ml(map_mu_);
+    loc_ = std::move(loc);
+    free_est_ = std::move(est);
+    append_page_ = kInvalidPageId;
+    reuse_pool_.clear();
+    for (const auto& [pid, free] : free_est_) {
+      if (free >= open_at) reuse_pool_.push_back(pid);
+    }
+  }
+  hwm_.store(hwm, std::memory_order_release);
+  live_.store(live, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  free_rids_.clear();
+  std::shared_lock<std::shared_mutex> ml(map_mu_);
+  for (RowId rid = 0; rid < hwm; ++rid) {
+    if (loc_.count(rid) == 0) free_rids_.push_back(rid);
+  }
+}
+
+void HeapTable::DiscardFrames() {
+  for (PageId pid : PageList()) pool_->Discard(pid);
+}
+
+}  // namespace datalinks::sqldb

@@ -1,25 +1,36 @@
-// Slotted in-memory heap table.  Row ids are slot numbers; freed slots are
-// recycled only after the deleting transaction commits (the Database defers
-// the free) so a held row lock can never refer to a recycled slot.
+// Heap table over slotted pages in the buffer pool.  Row ids are stable
+// logical handles (a volatile rid -> page map locates the row); freed rids
+// are recycled only after the deleting transaction commits (the Database
+// defers the free) so a held row lock can never refer to a recycled slot.
 //
-// Storage is a chunked spine — an array of atomically published chunk
-// pointers, chunk k holding kChunk0 << k slots — so a slot's address never
-// changes once allocated.  That stability is what lets DML run under a
-// SHARED table latch: readers walk rids and dereference slots while another
-// writer grows the table, with no reallocation ever moving a live Slot.
-// Synchronization contract:
-//  - AllocSlot / FreeSlot / slot bookkeeping: internal alloc mutex.
-//  - Slot CONTENT (row bytes + valid flag): the caller synchronizes — the
-//    Database's striped row latches for hot DML/scans, or an exclusive
-//    table latch for quiesced paths (DDL, recovery, checkpoint, rollback).
+// Write-ahead contract: every mutator takes a LogFn and invokes it while
+// holding the target frame's content latch EXCLUSIVELY, after marking the
+// frame provisionally dirty.  The callback appends the WAL record (now
+// knowing which page the row lands on) and returns the assigned LSN, which
+// is stamped into the page header — so per-page LSN order equals apply
+// order and ARIES pageLSN redo filtering is sound.  A callback may also be
+// a no-op returning a fixed LSN (recovery undo: the final checkpoint
+// flushes everything, no log needed).
+//
+// Synchronization:
+//  - rid map / page list / free-space estimates: internal shared_mutex.
+//  - Page CONTENT: the frame latch (this class takes it); callers still
+//    serialize logically-conflicting DML on the same rid via the
+//    Database's striped row latches, exactly as before.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cassert>
+#include <functional>
 #include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+#include "common/status.h"
+#include "sqldb/buffer_pool.h"
+#include "sqldb/page.h"
 #include "sqldb/schema.h"
 #include "sqldb/value.h"
 
@@ -27,159 +38,111 @@ namespace datalinks::sqldb {
 
 class HeapTable {
  public:
-  HeapTable() = default;
-  ~HeapTable() {
-    for (auto& c : spine_) delete[] c.load(std::memory_order_relaxed);
-  }
+  /// Appends the WAL record for a mutation landing on `page` (moving from
+  /// `from_page` when relocating); returns the assigned LSN.
+  using LogFn = std::function<Result<Lsn>(PageId page, PageId from_page)>;
+
+  HeapTable(BufferPool* pool, Pager* pager) : pool_(pool), pager_(pager) {}
+  ~HeapTable() { DiscardFrames(); }
   HeapTable(const HeapTable&) = delete;
   HeapTable& operator=(const HeapTable&) = delete;
 
-  /// Reserve a fresh or recycled slot; the slot stays invalid (invisible to
-  /// scans) until InstallAt.  Hot inserters take the owning row latch
-  /// between the two calls; quiesced callers can use Insert() directly.
-  RowId AllocSlot() {
-    std::lock_guard<std::mutex> lk(alloc_mu_);
-    if (!free_.empty()) {
-      RowId rid = free_.back();
-      free_.pop_back();
-      return rid;
-    }
-    const RowId rid = slots_used_.load(std::memory_order_relaxed);
-    EnsureChunkFor(rid);
-    slots_used_.store(rid + 1, std::memory_order_release);
-    return rid;
-  }
+  /// Reserve a fresh or recycled rid; invisible to scans until InstallAt.
+  RowId AllocSlot();
 
-  /// Publish row content into a reserved (or previously freed) slot.
-  void InstallAt(RowId rid, Row row) {
-    Slot& s = SlotRef(rid);
-    assert(!s.valid);
-    s.row = std::move(row);
-    s.valid = true;
-    live_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Install a row at a reserved rid (hot insert path).  Chooses a page,
+  /// logs via `log`, applies.  On log failure nothing is applied and the
+  /// caller still owns (and must FreeSlot) the rid.
+  Status InstallAt(RowId rid, const Row& row, const LogFn& log);
 
-  /// Insert into a fresh or recycled slot; returns the row id.  Quiesced
-  /// callers only (no row-latch coordination on the content write).
-  RowId Insert(Row row) {
-    const RowId rid = AllocSlot();
-    InstallAt(rid, std::move(row));
-    return rid;
-  }
+  /// Re-install a row at a specific rid (rollback / recovery undo); grows
+  /// the rid high-water mark if needed.
+  Status InsertAt(RowId rid, const Row& row, const LogFn& log);
 
-  /// Insert at a specific slot (recovery replay).  Grows the slot array.
-  void InsertAt(RowId rid, Row row) {
-    {
-      std::lock_guard<std::mutex> lk(alloc_mu_);
-      for (RowId r = slots_used_.load(std::memory_order_relaxed); r <= rid; ++r) {
-        EnsureChunkFor(r);
-      }
-      if (rid >= slots_used_.load(std::memory_order_relaxed)) {
-        slots_used_.store(rid + 1, std::memory_order_release);
-      }
-    }
-    InstallAt(rid, std::move(row));
-  }
+  /// Remove the row, returning its before-image.  The rid stays reserved
+  /// until FreeSlot.
+  Result<Row> Delete(RowId rid, const LogFn& log);
 
-  /// Remove the row; the slot is NOT recycled until FreeSlot().
-  Row Delete(RowId rid) {
-    Slot& s = SlotRef(rid);
-    assert(s.valid);
-    s.valid = false;
-    live_.fetch_sub(1, std::memory_order_relaxed);
-    return std::move(s.row);
-  }
+  /// Replace the row in place, or relocate it when the new image no longer
+  /// fits its page.
+  Status Update(RowId rid, const Row& row, const LogFn& log);
 
-  /// Make a deleted slot reusable (called at commit of the deleter).
-  void FreeSlot(RowId rid) {
-    assert(!SlotRef(rid).valid);
-    std::lock_guard<std::mutex> lk(alloc_mu_);
-    free_.push_back(rid);
-  }
+  /// Recycle a rid whose row was removed (or never installed).
+  void FreeSlot(RowId rid);
 
-  bool Valid(RowId rid) const {
-    return rid < slots_used_.load(std::memory_order_acquire) && SlotRef(rid).valid;
-  }
-
-  const Row& Get(RowId rid) const {
-    assert(Valid(rid));
-    return SlotRef(rid).row;
-  }
-
-  void Update(RowId rid, Row row) {
-    assert(Valid(rid));
-    SlotRef(rid).row = std::move(row);
-  }
+  bool Valid(RowId rid) const;
+  /// Single-pin point read; returns false when the rid holds no row.
+  bool GetIf(RowId rid, Row* out) const;
+  /// Point read of a row that must exist.
+  Row Get(RowId rid) const;
 
   size_t live_count() const { return live_.load(std::memory_order_relaxed); }
-  size_t slot_count() const { return slots_used_.load(std::memory_order_acquire); }
+  /// Rid high-water mark — scans iterate [0, slot_count).
+  size_t slot_count() const { return hwm_.load(std::memory_order_acquire); }
 
-  /// Iterate all live rows in slot order; `fn(rid, row)` returns false to
-  /// stop.  Quiesced callers only; concurrent scans walk rids themselves
-  /// and take the row latch per slot.
+  /// Encoded-row admission check (a row must fit one page, DB2-style).
+  Status CheckRowFits(const Row& row) const;
+
+  /// Iterate every live row; `fn(rid, row)` returns false to stop.
+  /// Quiesced callers only (DDL, checkpoint, integrity checks): no
+  /// concurrent mutators.  Page order, not rid order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    const RowId n = slot_count();
-    for (RowId rid = 0; rid < n; ++rid) {
-      const Slot& s = SlotRef(rid);
-      if (s.valid) {
-        if (!fn(rid, s.row)) return;
+    for (PageId pid : PageList()) {
+      auto ref = pool_->Pin(pid);
+      std::shared_lock<std::shared_mutex> cl(ref.latch());
+      if (ref.bytes().size() < kPageHeaderSize) continue;
+      const uint16_t n = page::SlotCount(ref.bytes());
+      for (int i = 0; i < n; ++i) {
+        std::string_view payload = heap_page::SlotPayload(ref.bytes(), i);
+        Result<Row> row = DecodeRowFrom(&payload);
+        assert(row.ok());
+        if (!fn(heap_page::SlotRid(ref.bytes(), i), *row)) return;
       }
     }
   }
 
-  /// Rebuild the free list from slot validity (end of recovery).
-  void RebuildFreeList() {
-    std::lock_guard<std::mutex> lk(alloc_mu_);
-    free_.clear();
-    const RowId n = slots_used_.load(std::memory_order_relaxed);
-    for (RowId rid = 0; rid < n; ++rid) {
-      if (!SlotRef(rid).valid) free_.push_back(rid);
-    }
-  }
+  // ---- Paged-storage plumbing (Database checkpoint / recovery) ----
+
+  std::vector<PageId> PageList() const;
+  /// Install the page list from a checkpoint image (recovery, pre-redo).
+  void SetPageList(std::vector<PageId> pages, RowId hwm);
+  /// Redo ops: pin `page` directly (the rid map is not built yet), skip
+  /// when the page's LSN already covers `lsn`, else apply and stamp.
+  /// Pages unknown to the list (allocated after the image) are adopted.
+  void RedoInsert(RowId rid, const Row& row, PageId page, Lsn lsn);
+  void RedoRemove(RowId rid, PageId page, Lsn lsn);
+  void RedoUpdate(RowId rid, const Row& row, PageId page, PageId from_page,
+                  Lsn lsn);
+  /// After redo: scan the pages and rebuild the rid map, free-rid list,
+  /// live count, high-water mark and free-space estimates.
+  void RebuildFromPages();
+  /// Drop every cached frame without writeback (DropTable, destruction).
+  void DiscardFrames();
 
  private:
-  struct Slot {
-    bool valid = false;
-    Row row;
-  };
+  /// Picks (or allocates) a page with >= `need` payload bytes by estimate,
+  /// provisionally charging the estimate (map_mu_ taken inside).
+  PageId ChoosePage(size_t need);
+  void SetEstimate(PageId pid, size_t free_bytes);
+  void AdoptPage(PageId pid);
 
-  // Chunk k covers rids [kChunk0*(2^k - 1), kChunk0*(2^(k+1) - 1)) and holds
-  // kChunk0 << k slots; 40 chunks is effectively unbounded.
-  static constexpr size_t kChunk0Bits = 9;  // 512 slots in chunk 0
-  static constexpr size_t kChunk0 = size_t{1} << kChunk0Bits;
-  static constexpr size_t kSpineSize = 40;
+  BufferPool* pool_;
+  Pager* pager_;
 
-  static size_t ChunkIndex(RowId rid) {
-    const uint64_t id = (rid >> kChunk0Bits) + 1;
-    return 63 - static_cast<size_t>(__builtin_clzll(id));
-  }
-  static size_t ChunkOffset(RowId rid, size_t chunk) {
-    return rid - ((kChunk0 << chunk) - kChunk0);
-  }
+  mutable std::shared_mutex map_mu_;
+  std::unordered_map<RowId, PageId> loc_;
+  std::vector<PageId> pages_;
+  std::unordered_map<PageId, size_t> free_est_;
+  /// Current insert target (O(1) hot path) and pages re-opened by deletes.
+  PageId append_page_ = kInvalidPageId;
+  std::vector<PageId> reuse_pool_;
 
-  Slot& SlotRef(RowId rid) const {
-    const size_t ci = ChunkIndex(rid);
-    Slot* chunk = spine_[ci].load(std::memory_order_acquire);
-    assert(chunk != nullptr);
-    return chunk[ChunkOffset(rid, ci)];
-  }
-
-  // alloc_mu_ held.
-  void EnsureChunkFor(RowId rid) {
-    const size_t ci = ChunkIndex(rid);
-    assert(ci < kSpineSize);
-    if (spine_[ci].load(std::memory_order_relaxed) == nullptr) {
-      spine_[ci].store(new Slot[kChunk0 << ci], std::memory_order_release);
-    }
-  }
-
-  mutable std::array<std::atomic<Slot*>, kSpineSize> spine_{};
-  std::atomic<RowId> slots_used_{0};
+  std::atomic<RowId> hwm_{0};
   std::atomic<size_t> live_{0};
 
-  std::mutex alloc_mu_;
-  std::vector<RowId> free_;
+  mutable std::mutex alloc_mu_;
+  std::vector<RowId> free_rids_;
 };
 
 }  // namespace datalinks::sqldb

@@ -1,0 +1,137 @@
+// Fixed-size page primitives shared by the pager, buffer pool, heap and
+// B+tree: page ids, the CRC used for on-disk page/image integrity, an
+// order-preserving key codec (so index nodes compare entries with memcmp),
+// and the slotted heap-page layout.
+//
+// Page spaces.  Bit 63 of a PageId selects the space:
+//  - DATA pages (bit clear) persist in the DurableStore behind dual
+//    ping-pong slots with a CRC + version header; a torn write destroys at
+//    most the in-flight slot, never the previous good version.
+//  - TEMP pages (bit set) back B+tree nodes.  They live only in the pager's
+//    memory and vanish at restart; indexes are rebuilt from the heap during
+//    recovery, exactly as the pre-paged engine did.
+//
+// Page layout.  Every page starts with a fixed header:
+//   [u64 page_lsn][u16 nslots][u8 type][u8 flags][u32 lower][u32 upper]
+//   [u32 frag]
+// `page_lsn` is the LSN of the newest log record applied to the page; ARIES
+// redo skips records with lsn <= page_lsn.  `lower` is the end of the slot
+// directory (grows up), `upper` the start of the payload area (grows down),
+// `frag` the bytes freed inside the payload area that compaction can
+// reclaim.  Heap slot entries are [u64 rid][u16 off][u16 len].
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sqldb/schema.h"
+#include "sqldb/value.h"
+
+namespace datalinks::sqldb {
+
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = 0;
+inline constexpr PageId kTempPageBit = 1ULL << 63;
+
+inline bool IsTempPage(PageId id) { return (id & kTempPageBit) != 0; }
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `data`.  Used for durable
+/// page slots and the checkpoint-image anchor.
+uint32_t Crc32(std::string_view data);
+
+// ---------------------------------------------------------------------------
+// Order-preserving key codec.
+//
+// Encodes a Key (vector<Value>) into bytes whose unsigned lexicographic
+// order equals CompareKeys().  Each component is self-delimiting:
+//   tag byte  = static_cast<uint8_t>(type) + 1   (1..5; 0 is reserved)
+//   kInt      = int64 with the sign bit flipped, big-endian
+//   kString   = bytes with 0x00 escaped as {0x00,0xFF}, ended by {0x00,0x01}
+//   kBool     = one byte 0/1
+//   kDouble   = sign-magnitude bit flip (negatives wholly inverted), BE
+// The whole key ends with a 0x00 terminator so that a key that is a strict
+// prefix of another sorts lower no matter what bytes (e.g. a rid suffix)
+// follow the terminator.  Note: -0.0 and +0.0 encode differently while
+// Value::Compare treats them equal; the engine never relies on that edge.
+// ---------------------------------------------------------------------------
+
+void EncodeOrderedKey(const Key& key, std::string* out);
+std::string EncodeOrderedKey(const Key& key);
+
+/// Decodes one ordered key starting at *pos in `in`, advancing *pos past the
+/// terminator.  Returns Corruption on malformed input.
+Result<Key> DecodeOrderedKey(std::string_view in, size_t* pos);
+
+/// Max encoded-key bytes an index accepts for a given page size: an index
+/// node must fit a healthy fanout of worst-case entries (DB2-style bounded
+/// key length).
+size_t MaxOrderedKeyBytes(size_t page_size);
+
+// ---------------------------------------------------------------------------
+// Page header accessors.  `page` must be exactly the pool's page size; a
+// freshly allocated (empty) buffer is initialised with Init().
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kPageHeaderSize = 24;
+inline constexpr uint8_t kPageTypeHeap = 1;
+inline constexpr uint8_t kPageTypeIndexLeaf = 2;
+inline constexpr uint8_t kPageTypeIndexInternal = 3;
+
+namespace page {
+
+void Init(std::string* page, size_t page_size, uint8_t type);
+Lsn GetLsn(const std::string& page);
+void SetLsn(std::string* page, Lsn lsn);  // monotonic: keeps max
+uint8_t GetType(const std::string& page);
+uint16_t SlotCount(const std::string& page);
+
+}  // namespace page
+
+// ---------------------------------------------------------------------------
+// Slotted heap page.  Rows are opaque byte strings (EncodeRowTo) addressed
+// by rid; the slot directory is unordered (lookup is a linear scan, pages
+// hold tens of rows).
+// ---------------------------------------------------------------------------
+
+namespace heap_page {
+
+inline constexpr size_t kSlotSize = 12;  // u64 rid + u16 off + u16 len
+
+/// Payload capacity of one empty heap page.
+size_t Capacity(size_t page_size);
+
+/// Usable free bytes (contiguous gap + reclaimable fragmentation).
+size_t FreeBytes(const std::string& page);
+
+/// True if a row of `len` payload bytes fits (possibly after compaction).
+bool CanFit(const std::string& page, size_t len);
+
+/// Slot index for rid, or -1.
+int FindSlot(const std::string& page, RowId rid);
+
+RowId SlotRid(const std::string& page, int slot);
+std::string_view SlotPayload(const std::string& page, int slot);
+
+/// Inserts rid->payload.  Caller must have checked CanFit; compacts when the
+/// contiguous gap alone is too small.  Asserts rid is not already present.
+void InsertRow(std::string* page, RowId rid, std::string_view payload);
+
+/// Removes the slot at index `slot`.
+void RemoveSlot(std::string* page, int slot);
+
+/// Invokes fn(rid, payload) for every live slot.
+void ForEachRow(const std::string& page,
+                const std::function<void(RowId, std::string_view)>& fn);
+
+}  // namespace heap_page
+
+}  // namespace datalinks::sqldb

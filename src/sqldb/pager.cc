@@ -1,0 +1,193 @@
+#include "sqldb/pager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace datalinks::sqldb {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t GetU32(const std::string& s, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(s[off + i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const std::string& s, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(s[off + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Pager::Pager(std::shared_ptr<DurableStore> store, size_t page_size,
+             FaultInjector* fault, Clock* clock)
+    : store_(std::move(store)), page_size_(page_size), fault_(fault),
+      clock_(clock) {
+  // Resume data-id allocation past anything already on "disk".
+  for (PageId id : store_->DataPageIds()) {
+    next_data_ = std::max(next_data_, id + 1);
+  }
+}
+
+PageId Pager::AllocData() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!free_data_.empty()) {
+    PageId id = free_data_.back();
+    free_data_.pop_back();
+    return id;
+  }
+  return next_data_++;
+}
+
+PageId Pager::AllocTemp() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!free_temp_.empty()) {
+    PageId id = free_temp_.back();
+    free_temp_.pop_back();
+    return id;
+  }
+  return next_temp_++;
+}
+
+void Pager::FreeTemp(PageId id) {
+  assert(IsTempPage(id));
+  std::lock_guard<std::mutex> lk(mu_);
+  temp_pages_.erase(id);
+  free_temp_.push_back(id);
+}
+
+bool Pager::ParseSlot(const std::string& raw, Lsn* version,
+                      std::string* payload) {
+  if (raw.size() < 12) return false;
+  const uint32_t crc = GetU32(raw, 0);
+  if (Crc32(std::string_view(raw).substr(4)) != crc) return false;
+  *version = GetU64(raw, 4);
+  payload->assign(raw, 12, raw.size() - 12);
+  return true;
+}
+
+std::string Pager::MakeSlot(const std::string& payload, Lsn version) {
+  std::string body;
+  body.reserve(8 + payload.size());
+  PutU64(&body, version);
+  body.append(payload);
+  std::string out;
+  out.reserve(4 + body.size());
+  PutU32(&out, Crc32(body));
+  out.append(body);
+  return out;
+}
+
+void Pager::Read(PageId id, std::string* out) {
+  out->clear();
+  if (IsTempPage(id)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = temp_pages_.find(id);
+    if (it != temp_pages_.end()) *out = it->second;
+    return;
+  }
+  Lsn best_version = 0;
+  bool found = false;
+  for (int which = 0; which < 2; ++which) {
+    const std::string raw = store_->ReadPageSlot(id, which);
+    if (raw.empty()) continue;
+    Lsn version = 0;
+    std::string payload;
+    if (!ParseSlot(raw, &version, &payload)) continue;
+    if (!found || version > best_version) {
+      best_version = version;
+      *out = std::move(payload);
+      found = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.data_reads;
+  }
+}
+
+Status Pager::Write(PageId id, const std::string& bytes, Lsn version) {
+  if (IsTempPage(id)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    temp_pages_[id] = bytes;
+    return Status::OK();
+  }
+  if (fault_ != nullptr) {
+    // Models the device rejecting the write outright: nothing reaches disk.
+    if (auto f = fault_->Hit(failpoints::kSqldbPageFlush, clock_)) return *f;
+  }
+  // Pick the slot holding the OLDER version (or an invalid one) as the
+  // write target, so the newest good copy is never overwritten in place.
+  int target = 0;
+  Lsn versions[2] = {0, 0};
+  bool valid[2] = {false, false};
+  for (int which = 0; which < 2; ++which) {
+    std::string payload;
+    valid[which] =
+        ParseSlot(store_->ReadPageSlot(id, which), &versions[which], &payload);
+  }
+  if (valid[0] && (!valid[1] || versions[1] < versions[0])) target = 1;
+  // The slot version is purely a recency discriminator (the ARIES pageLSN
+  // lives inside the payload header): bump it past both existing slots so
+  // Read always prefers this write even if the caller's LSN ties the copy
+  // already on disk.
+  Lsn effective = version;
+  for (int which = 0; which < 2; ++which) {
+    if (valid[which] && versions[which] >= effective) effective = versions[which] + 1;
+  }
+  const std::string slot = MakeSlot(bytes, effective);
+  if (fault_ != nullptr) {
+    if (auto f = fault_->Hit(failpoints::kSqldbPagePartialWrite, clock_)) {
+      // A torn write: a prefix of the new slot lands, the tail does not.
+      // The CRC covers the full slot, so the torn copy reads as invalid and
+      // the surviving older slot stays the page's durable truth.
+      store_->WritePageSlot(id, target, slot.substr(0, slot.size() / 2));
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.torn_writes;
+      return *f;
+    }
+  }
+  store_->WritePageSlot(id, target, slot);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.data_writes;
+  return Status::OK();
+}
+
+void Pager::RebuildAllocation(const std::vector<PageId>& used) {
+  std::unordered_set<PageId> keep(used.begin(), used.end());
+  std::vector<PageId> drop;
+  for (PageId id : store_->DataPageIds()) {
+    if (keep.count(id) == 0) drop.push_back(id);
+  }
+  for (PageId id : drop) store_->DropDataPage(id);
+  std::lock_guard<std::mutex> lk(mu_);
+  free_data_.clear();
+  PageId max_used = 0;
+  for (PageId id : keep) max_used = std::max(max_used, id);
+  next_data_ = std::max<PageId>(max_used + 1, 1);
+  for (PageId id = 1; id < next_data_; ++id) {
+    if (keep.count(id) == 0) free_data_.push_back(id);
+  }
+}
+
+Pager::Stats Pager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace datalinks::sqldb

@@ -1,0 +1,92 @@
+// Disk-space manager over the DurableStore's page file.
+//
+// DATA pages (heap) persist via dual ping-pong slots per logical page:
+// each physical slot is [u32 crc][u64 version][payload].  A write targets
+// the slot holding the OLDER version, so a torn write (the
+// "sqldb.page.partial_write" fail point, or a crash mid-write) destroys at
+// most the in-flight copy; Read() returns the newest slot whose CRC
+// verifies.  The version is the page's LSN at flush time — also what the
+// buffer pool's WAL-ahead rule forces the log to before calling Write().
+//
+// TEMP pages (B+tree nodes, bit 63 set) are volatile: they live in a map
+// here, are excluded from fail points and CRC, and vanish at restart —
+// indexes are rebuilt from the heap during recovery.
+//
+// Free-page management: Free() recycles ids immediately (temp) while data
+// ids freed by DDL are reclaimed only at RebuildAllocation() after a
+// restart — deferred reclamation, so a crash between "table dropped" and
+// "checkpoint" can never leave a recycled page claimed by two owners.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "sqldb/page.h"
+#include "sqldb/wal.h"
+
+namespace datalinks::sqldb {
+
+class Pager {
+ public:
+  struct Stats {
+    uint64_t data_reads = 0;
+    uint64_t data_writes = 0;
+    uint64_t torn_writes = 0;  // partial_write fail point fired
+  };
+
+  Pager(std::shared_ptr<DurableStore> store, size_t page_size,
+        FaultInjector* fault = nullptr, Clock* clock = nullptr);
+
+  size_t page_size() const { return page_size_; }
+
+  PageId AllocData();
+  PageId AllocTemp();
+  void FreeTemp(PageId id);
+
+  /// Loads the newest CRC-valid version of `id` into *out.  A page that was
+  /// never durably written (fresh allocation, or its only write was torn)
+  /// yields an empty string — the caller initialises the page layout.
+  void Read(PageId id, std::string* out);
+
+  /// Durably writes a data page (or stores a temp page).  For data pages:
+  /// probes "sqldb.page.flush" (fails before anything is written) and
+  /// "sqldb.page.partial_write" (writes a torn prefix of the target slot,
+  /// then fails — the previous good version survives).  `version` must be
+  /// the page's LSN; the WAL must already be durable through it.
+  Status Write(PageId id, const std::string& bytes, Lsn version);
+
+  /// Post-recovery: `used` is every data page referenced by the catalog.
+  /// Unreferenced data pages (dropped tables, allocations that never made a
+  /// checkpoint) are dropped from the store and their ids recycled.
+  void RebuildAllocation(const std::vector<PageId>& used);
+
+  Stats stats() const;
+
+ private:
+  /// Parses one physical slot; returns false if absent or CRC-invalid.
+  static bool ParseSlot(const std::string& raw, Lsn* version,
+                        std::string* payload);
+  static std::string MakeSlot(const std::string& payload, Lsn version);
+
+  std::shared_ptr<DurableStore> store_;
+  const size_t page_size_;
+  FaultInjector* fault_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  PageId next_data_ = 1;
+  std::vector<PageId> free_data_;
+  PageId next_temp_ = kTempPageBit | 1;
+  std::vector<PageId> free_temp_;
+  std::unordered_map<PageId, std::string> temp_pages_;
+  Stats stats_;
+};
+
+}  // namespace datalinks::sqldb

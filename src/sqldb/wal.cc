@@ -50,7 +50,7 @@ uint32_t Checksum(std::string_view payload) {
 
 size_t LogRecord::ByteSize() const {
   if (byte_size_ == 0) {
-    size_t n = 32;  // header
+    size_t n = 48;  // header (lsn, txn, type, table, rid, page, from_page)
     std::string tmp;
     for (const Row* r : {&before, &after}) {
       for (const Value& v : *r) {
@@ -71,6 +71,8 @@ void LogRecord::EncodeTo(std::string* out) const {
   payload.push_back(static_cast<char>(type));
   PutU64(&payload, table);
   PutU64(&payload, rid);
+  PutU64(&payload, page);
+  PutU64(&payload, from_page);
   EncodeRowTo(before, &payload);
   EncodeRowTo(after, &payload);
   PutU32(out, static_cast<uint32_t>(payload.size()));
@@ -101,6 +103,7 @@ std::vector<LogRecord> DecodeLogRecords(std::string_view bytes) {
     if (!GetU64(&payload, &type_table_rid[0]) || !GetU64(&payload, &type_table_rid[1])) break;
     r.table = type_table_rid[0];
     r.rid = type_table_rid[1];
+    if (!GetU64(&payload, &r.page) || !GetU64(&payload, &r.from_page)) break;
     Result<Row> before = DecodeRowFrom(&payload);
     if (!before.ok()) break;
     Result<Row> after = DecodeRowFrom(&payload);
@@ -114,20 +117,82 @@ std::vector<LogRecord> DecodeLogRecords(std::string_view bytes) {
   return out;
 }
 
-void DurableStore::SetCheckpoint(std::string image, Lsn checkpoint_lsn) {
+void DurableStore::SetCheckpoint(std::string image, Lsn checkpoint_lsn,
+                                 Lsn redo_floor) {
   std::lock_guard<std::mutex> lk(mu_);
-  checkpoint_image_ = std::move(image);
-  checkpoint_lsn_ = checkpoint_lsn;
+  // Write the INACTIVE slot, then flip: the previous anchor stays intact on
+  // "disk" until the new one is fully written, so tearing this write leaves
+  // a valid fallback.
+  AnchorSlot& slot = anchors_[1 - active_anchor_];
+  slot.image = std::move(image);
+  slot.lsn = checkpoint_lsn;
+  slot.redo_floor = redo_floor == kInvalidLsn ? checkpoint_lsn + 1 : redo_floor;
+  slot.crc = Crc32(slot.image);
+  slot.present = true;
+  active_anchor_ = 1 - active_anchor_;
+}
+
+DurableStore::CheckpointAnchor DurableStore::GetCheckpointLocked() const {
+  CheckpointAnchor out;
+  for (int which : {active_anchor_, 1 - active_anchor_}) {
+    const AnchorSlot& slot = anchors_[which];
+    if (!slot.present || Crc32(slot.image) != slot.crc) continue;
+    out.image = slot.image;
+    out.lsn = slot.lsn;
+    out.redo_floor = slot.redo_floor;
+    out.valid = true;
+    return out;
+  }
+  return out;
+}
+
+DurableStore::CheckpointAnchor DurableStore::GetCheckpoint() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return GetCheckpointLocked();
 }
 
 std::string DurableStore::checkpoint_image() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return checkpoint_image_;
+  return GetCheckpointLocked().image;
 }
 
 Lsn DurableStore::checkpoint_lsn() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return checkpoint_lsn_;
+  return GetCheckpointLocked().lsn;
+}
+
+void DurableStore::CorruptActiveCheckpoint(size_t prefix) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AnchorSlot& slot = anchors_[active_anchor_];
+  if (!slot.present) return;
+  if (prefix < slot.image.size()) slot.image.resize(prefix);
+  // Flip a byte too, so prefix == size still yields a CRC mismatch.
+  if (!slot.image.empty()) slot.image.back() = static_cast<char>(slot.image.back() ^ 0x5a);
+  else slot.crc ^= 0xdeadbeef;
+}
+
+void DurableStore::WritePageSlot(PageId id, int which, std::string bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  data_pages_[id][which] = std::move(bytes);
+}
+
+std::string DurableStore::ReadPageSlot(PageId id, int which) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = data_pages_.find(id);
+  return it == data_pages_.end() ? std::string() : it->second[which];
+}
+
+void DurableStore::DropDataPage(PageId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  data_pages_.erase(id);
+}
+
+std::vector<PageId> DurableStore::DataPageIds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PageId> out;
+  out.reserve(data_pages_.size());
+  for (const auto& [id, slots] : data_pages_) out.push_back(id);
+  return out;
 }
 
 void DurableStore::AppendForced(std::vector<LogRecord> records) {
@@ -197,8 +262,9 @@ WriteAheadLog::WriteAheadLog(std::shared_ptr<DurableStore> durable, size_t capac
                                             metrics::Histogram::CountBounds());
   }
   // Resume LSN numbering past anything already durable (re-open after crash).
-  next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), durable_->checkpoint_lsn()) + 1;
-  checkpoint_lsn_ = durable_->checkpoint_lsn();
+  const DurableStore::CheckpointAnchor anchor = durable_->GetCheckpoint();
+  next_lsn_ = std::max<Lsn>(durable_->max_forced_lsn(), anchor.lsn) + 1;
+  if (anchor.valid) redo_floor_ = anchor.redo_floor;
   durable_upto_ = next_lsn_ - 1;  // all tails are empty; nothing volatile yet
 }
 
@@ -211,12 +277,12 @@ size_t WriteAheadLog::ShardFor(const LogRecord& r) const {
 }
 
 Lsn WriteAheadLog::TruncationPoint() const {
-  // Records with lsn <= checkpoint_lsn_ are reflected in the checkpoint
-  // image, so the first record that must be retained is checkpoint_lsn_+1 —
-  // unless an active transaction began earlier (its records are needed for
-  // undo).  Keeping the record AT the checkpoint lsn would make the next
-  // recovery re-undo an already-resolved loser.
-  Lsn point = checkpoint_lsn_ == kInvalidLsn ? 1 : checkpoint_lsn_ + 1;
+  // With fuzzy checkpoints, the anchor's redo floor is the oldest record a
+  // restart must still redo (min recLSN over pages that were dirty when the
+  // image was cut); everything below it is reflected in flushed pages + the
+  // image.  An active transaction that began earlier still pins its records
+  // for undo.
+  Lsn point = redo_floor_ == kInvalidLsn ? 1 : redo_floor_;
   if (!active_begin_.empty()) point = std::min(point, active_begin_.begin()->first);
   return point;
 }
@@ -438,9 +504,9 @@ void WriteAheadLog::OnEnd(TxnId txn) {
   AdvanceTruncationPoint();
 }
 
-void WriteAheadLog::OnCheckpoint(Lsn lsn) {
+void WriteAheadLog::OnCheckpoint(Lsn lsn, Lsn redo_floor) {
   std::lock_guard<std::mutex> lk(space_mu_);
-  checkpoint_lsn_ = lsn;
+  redo_floor_ = redo_floor == kInvalidLsn ? lsn + 1 : redo_floor;
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   const Lsn point = TruncationPoint();
   durable_->TruncateBefore(point);

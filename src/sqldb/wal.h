@@ -47,13 +47,11 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "sqldb/page.h"
 #include "sqldb/schema.h"
 #include "sqldb/value.h"
 
 namespace datalinks::sqldb {
-
-using Lsn = uint64_t;
-inline constexpr Lsn kInvalidLsn = 0;
 
 enum class LogRecordType : uint8_t {
   kBegin = 1,
@@ -70,6 +68,13 @@ struct LogRecord {
   LogRecordType type = LogRecordType::kBegin;
   TableId table = 0;
   RowId rid = 0;
+  /// Heap page the record's after-state lives on (kInsert / kUpdate target,
+  /// kDelete source).  ARIES redo filters on the page's LSN: a record is
+  /// re-applied only when `lsn > page_lsn(page)`.
+  PageId page = kInvalidPageId;
+  /// For kUpdate only: the page the row occupied before (== `page` for an
+  /// in-place update); redo removes from here, re-inserts into `page`.
+  PageId from_page = kInvalidPageId;
   Row before;  // kDelete / kUpdate
   Row after;   // kInsert / kUpdate
 
@@ -104,10 +109,43 @@ std::vector<LogRecord> DecodeLogRecords(std::string_view bytes);
 /// harness; Database::SimulateCrash() hands it back for re-opening.
 class DurableStore {
  public:
+  /// A validated checkpoint anchor.  `valid` is false when neither slot
+  /// holds a CRC-clean image (no checkpoint yet, or both anchors torn).
+  struct CheckpointAnchor {
+    std::string image;
+    Lsn lsn = kInvalidLsn;
+    Lsn redo_floor = kInvalidLsn;  // oldest LSN recovery must redo from
+    bool valid = false;
+  };
+
   /// Checkpoint image bytes (opaque to the store; Database serializes).
-  void SetCheckpoint(std::string image, Lsn checkpoint_lsn);
+  /// Dual-slot ping-pong with a CRC per slot: the write targets the slot NOT
+  /// currently active, then flips, so a torn checkpoint write can only
+  /// destroy the in-flight anchor — restart falls back to the previous one
+  /// (whose redo floor the log was truncated to, keeping redo sound).
+  /// `redo_floor` defaults to lsn + 1 (no dirty pages older than the image).
+  void SetCheckpoint(std::string image, Lsn checkpoint_lsn,
+                     Lsn redo_floor = kInvalidLsn);
+
+  /// CRC-validates the active anchor, falling back to the other slot; a
+  /// mismatch on both is reported as `valid == false` (treat as missing).
+  CheckpointAnchor GetCheckpoint() const;
+
+  /// Legacy single-anchor views (the valid anchor's image / lsn).
   std::string checkpoint_image() const;
   Lsn checkpoint_lsn() const;
+
+  /// Test hook: truncate the ACTIVE anchor's image to `prefix` bytes without
+  /// fixing its CRC — simulates a write torn mid-checkpoint.
+  void CorruptActiveCheckpoint(size_t prefix);
+
+  // Durable data pages.  Each logical page has two physical slots written
+  // alternately by the Pager (ping-pong; see pager.h).  Bytes are opaque
+  // here — the Pager owns the [crc][version][payload] slot format.
+  void WritePageSlot(PageId id, int which, std::string bytes);
+  std::string ReadPageSlot(PageId id, int which) const;
+  void DropDataPage(PageId id);
+  std::vector<PageId> DataPageIds() const;
 
   void AppendForced(std::vector<LogRecord> records);
   /// All forced records with lsn > `after`, in order.
@@ -132,9 +170,21 @@ class DurableStore {
   int64_t append_latency_micros() const { return append_latency_micros_; }
 
  private:
+  struct AnchorSlot {
+    std::string image;
+    Lsn lsn = kInvalidLsn;
+    Lsn redo_floor = kInvalidLsn;
+    uint32_t crc = 0;
+    bool present = false;
+  };
+
+  /// Validated view of `anchors_`; mu_ held.
+  CheckpointAnchor GetCheckpointLocked() const;
+
   mutable std::mutex mu_;
-  std::string checkpoint_image_;
-  Lsn checkpoint_lsn_ = kInvalidLsn;
+  AnchorSlot anchors_[2];
+  int active_anchor_ = 0;
+  std::map<PageId, std::array<std::string, 2>> data_pages_;
   std::deque<LogRecord> forced_;
   size_t forced_bytes_ = 0;
   int64_t append_latency_micros_ = 0;
@@ -199,7 +249,10 @@ class WriteAheadLog {
   void OnEnd(TxnId txn);
 
   /// Record that a checkpoint at `lsn` completed; truncates retired space.
-  void OnCheckpoint(Lsn lsn);
+  /// `redo_floor` (default lsn + 1) is the oldest LSN a restart must still
+  /// redo — with fuzzy checkpoints, the min recLSN over still-dirty pages.
+  /// The log is retained from min(redo_floor, oldest active begin).
+  void OnCheckpoint(Lsn lsn, Lsn redo_floor = kInvalidLsn);
 
   Lsn last_lsn() const;
   size_t BytesInUse() const;
@@ -238,7 +291,7 @@ class WriteAheadLog {
   // Log-space accounting (truncation point, per-record sizes, active txns).
   // Leaf lock: taken inside a shard mutex by Append, never the reverse.
   mutable std::mutex space_mu_;
-  Lsn checkpoint_lsn_ = kInvalidLsn;
+  Lsn redo_floor_ = kInvalidLsn;  // from the last OnCheckpoint
   std::map<Lsn, TxnId> active_begin_;     // begin-LSN -> txn (ordered)
   std::map<TxnId, Lsn> txn_begin_;
   // Byte sizes of retained records (truncation point .. end), keyed by lsn.

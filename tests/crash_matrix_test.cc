@@ -343,6 +343,18 @@ TEST_F(CrashMatrixTest, RegistryEnumeratedCrashMatrix) {
       {"sqldb.checkpoint.auto",
        {{MatrixCase::kHost, true, kTinyCheckpoint},
         {MatrixCase::kDlfm1, false, kTinyCheckpoint}}},
+      // Page-flush points fire inside the checkpoint's dirty-page writeback,
+      // which (like the image write) runs after the commit's ForceAll: the
+      // host decision is already durable -> commit, while a DLFM dies before
+      // acking prepare -> presumed abort.  The partial-write variant leaves a
+      // torn slot behind; the CRC'd ping-pong layout must fall back to the
+      // surviving copy, so the recovered outcome is identical.
+      {"sqldb.page.flush",
+       {{MatrixCase::kHost, true, kTinyCheckpoint},
+        {MatrixCase::kDlfm1, false, kTinyCheckpoint}}},
+      {"sqldb.page.partial_write",
+       {{MatrixCase::kHost, true, kTinyCheckpoint},
+        {MatrixCase::kDlfm1, false, kTinyCheckpoint}}},
   };
 
   // Points with dedicated tests (workloads the standard 2PC case cannot

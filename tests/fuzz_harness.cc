@@ -127,8 +127,10 @@ ScenarioPlan MakePlan(uint64_t seed) {
     }
   }
 
-  if (StartsWith(p.arm.point, "sqldb.checkpoint.")) {
-    p.checkpoint_threshold = 64;  // make auto-checkpoints constant
+  if (StartsWith(p.arm.point, "sqldb.checkpoint.") ||
+      StartsWith(p.arm.point, "sqldb.page.")) {
+    p.checkpoint_threshold = 64;  // make auto-checkpoints (and their
+                                  // dirty-page writebacks) constant
   } else if (rng.Bernoulli(0.5)) {
     constexpr size_t kThresholds[] = {256, 1024, 8192};
     p.checkpoint_threshold = kThresholds[rng.Uniform(3)];

@@ -28,6 +28,12 @@ def load(results_dir, name):
 
 def check_bounds(label, value, spec):
     """spec may carry 'min' and/or 'max'. Returns an error string or None."""
+    if "min" not in spec and "max" not in spec:
+        # A bound-less spec guards nothing: treat the baseline itself as
+        # broken rather than silently passing forever.
+        return f"{label}: baseline entry has neither 'min' nor 'max'"
+    if not isinstance(value, (int, float)):
+        return f"{label}: artifact value {value!r} is not numeric"
     if "min" in spec and value < spec["min"]:
         return f"{label}: {value:.3g} < min {spec['min']:.3g}"
     if "max" in spec and value > spec["max"]:
@@ -43,12 +49,17 @@ def run(baseline, results_dir):
         label = f"{spec['file']}:{spec['benchmark']}:{spec['counter']}"
         try:
             doc = load(results_dir, spec["file"])
-        except OSError as e:
-            failures.append(f"{label}: missing artifact ({e})")
+        except (OSError, ValueError) as e:
+            failures.append(f"{label}: missing/unreadable artifact ({e})")
             continue
-        rows = [b for b in doc["benchmarks"] if b["name"] == spec["benchmark"]]
+        rows = [b for b in doc.get("benchmarks", []) if b["name"] == spec["benchmark"]]
         if not rows:
             failures.append(f"{label}: benchmark not present in artifact")
+            continue
+        if spec["counter"] not in rows[-1]:
+            # The bench stopped exporting this counter: the guard would
+            # otherwise never check it again.  Loud failure, not a skip.
+            failures.append(f"{label}: counter not present in benchmark row")
             continue
         value = rows[-1][spec["counter"]]
         err = check_bounds(label, value, spec)
@@ -61,8 +72,8 @@ def run(baseline, results_dir):
         label = f"{spec['file']}:{name}" + (f".{stat}" if stat else "")
         try:
             doc = load(results_dir, spec["file"])
-        except OSError as e:
-            failures.append(f"{label}: missing artifact ({e})")
+        except (OSError, ValueError) as e:
+            failures.append(f"{label}: missing/unreadable artifact ({e})")
             continue
         try:
             if kind == "histogram":
