@@ -20,6 +20,7 @@ std::string_view StatusCodeToString(StatusCode code) {
     case StatusCode::kConflict: return "Conflict";
     case StatusCode::kPermissionDenied: return "PermissionDenied";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
   }
   return "Unknown";
 }

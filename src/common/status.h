@@ -35,6 +35,8 @@ enum class StatusCode : uint8_t {
   kConflict,      // unique-key or constraint violation
   kPermissionDenied,
   kUnavailable,   // peer (DLFM / host db) not reachable
+  kFailedPrecondition,  // caller broke a protocol invariant (e.g. Call with
+                        // an undrained async response outstanding)
 };
 
 /// Human-readable name of a StatusCode ("Deadlock", "LockTimeout", ...).
@@ -78,6 +80,9 @@ class Status {
   static Status Unavailable(std::string m = "") {
     return {StatusCode::kUnavailable, std::move(m)};
   }
+  static Status FailedPrecondition(std::string m = "") {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +98,7 @@ class Status {
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+  bool IsFailedPrecondition() const { return code_ == StatusCode::kFailedPrecondition; }
 
   /// True for the failure classes that abort the current transaction as a
   /// side effect (the paper: "if a severe error such as deadlock occurs in

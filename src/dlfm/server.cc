@@ -173,8 +173,17 @@ Status DlfmServer::Start() {
     DLX_RETURN_IF_ERROR(repo_.ApplyHandCraftedStats());
   }
   chown_.Start();
+  if (options_.listen_port >= 0) {
+    auto sl = DlfmSocketListener::Listen(options_.listen_port);
+    if (!sl.ok()) return sl.status();
+    socket_listener_ = std::move(*sl);
+  }
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(&listener_); });
+  if (socket_listener_ != nullptr) {
+    socket_accept_thread_ =
+        std::thread([this] { AcceptLoop(socket_listener_.get()); });
+  }
   copy_thread_ = std::thread([this] { CopyLoop(); });
   dg_thread_ = std::thread([this] { DeleteGroupLoop(); });
 
@@ -195,11 +204,13 @@ Status DlfmServer::Start() {
 void DlfmServer::Stop() {
   if (!running_.exchange(false)) return;
   listener_.Close();
+  if (socket_listener_ != nullptr) socket_listener_->Close();
   {
     std::lock_guard<std::mutex> lk(dg_mu_);
     dg_cv_.notify_all();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (socket_accept_thread_.joinable()) socket_accept_thread_.join();
   if (copy_thread_.joinable()) copy_thread_.join();
   if (dg_thread_.joinable()) dg_thread_.join();
   std::vector<std::thread> agents;
@@ -229,10 +240,10 @@ std::shared_ptr<sqldb::DurableStore> DlfmServer::SimulateCrash() {
 // Connection handling
 // ---------------------------------------------------------------------------
 
-void DlfmServer::AcceptLoop() {
+void DlfmServer::AcceptLoop(DlfmListener* listener) {
   while (running_.load()) {
     ReapFinishedAgents();
-    auto conn = listener_.Accept();
+    auto conn = listener->Accept();
     if (!conn.ok()) return;  // listener closed
     std::lock_guard<std::mutex> lk(agents_mu_);
     const uint64_t id = next_agent_id_++;

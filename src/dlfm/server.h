@@ -40,6 +40,7 @@
 #include "common/trace.h"
 #include "dlfm/api.h"
 #include "dlfm/metadata.h"
+#include "dlfm/wire_codec.h"
 #include "fsim/file_server.h"
 #include "rpc/channel.h"
 #include "sqldb/database.h"
@@ -100,6 +101,12 @@ struct DlfmOptions {
   /// Backup-barrier wait budget (§3.4) applied to kEnsureArchived requests
   /// arriving over RPC (the paper's host backup utility call).
   int64_t ensure_archived_timeout_micros = 5 * 1000 * 1000;
+
+  /// TCP transport (DESIGN.md §10): -1 = in-process transport only (the E5
+  /// deadlock-repro configuration), 0 = listen on an ephemeral loopback
+  /// port, > 0 = listen on that port.  The in-process listener stays up
+  /// either way; the socket listener is additive.
+  int listen_port = -1;
 
   std::shared_ptr<Clock> clock;
 
@@ -173,7 +180,7 @@ class ChownDaemon {
 
   fsim::FileServer* fs_;
   const std::string secret_;
-  rpc::Connection<ChownRequest, ChownResponse> conn_;
+  rpc::InProcessConnection<ChownRequest, ChownResponse> conn_;
   std::thread thread_;
   std::atomic<bool> running_{false};
 };
@@ -197,6 +204,12 @@ class DlfmServer {
   std::shared_ptr<sqldb::DurableStore> SimulateCrash();
 
   DlfmListener* listener() { return &listener_; }
+  /// Socket transport endpoint; nullptr unless options.listen_port >= 0.
+  DlfmListener* socket_listener() { return socket_listener_.get(); }
+  /// Bound TCP port, or -1 when the socket transport is disabled.
+  int socket_port() const {
+    return socket_listener_ != nullptr ? socket_listener_->port() : -1;
+  }
   const DlfmOptions& options() const { return options_; }
   DlfmCounters& counters() { return counters_; }
   FaultInjector& fault() { return *fault_; }
@@ -273,7 +286,7 @@ class DlfmServer {
     bool txn_row_written = false;  // 'F' row exists (batched-commit utility)
   };
 
-  void AcceptLoop();
+  void AcceptLoop(DlfmListener* listener);
   void ServeConnection(std::shared_ptr<DlfmConnection> conn);
   DlfmResponse Dispatch(const DlfmRequest& req);
 
@@ -349,7 +362,8 @@ class DlfmServer {
   DlfmCounters counters_;
 
   ChownDaemon chown_;
-  DlfmListener listener_;
+  rpc::InProcessListener<DlfmRequest, DlfmResponse> listener_;
+  std::unique_ptr<DlfmSocketListener> socket_listener_;  // null unless enabled
 
   std::mutex ctx_mu_;
   std::unordered_map<GlobalTxnId, std::unique_ptr<TxnCtx>> ctxs_;
@@ -383,6 +397,7 @@ class DlfmServer {
 
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
+  std::thread socket_accept_thread_;  // joinable only when socket enabled
   std::thread copy_thread_;
   std::thread dg_thread_;
 

@@ -1,0 +1,139 @@
+// Byte codec for DlfmRequest / DlfmResponse over the socket transport
+// (DESIGN.md §10).  Every field is serialized — the in-process and socket
+// transports must be indistinguishable to the host database and the DLFM —
+// and decoding is bounds-checked end to end: a truncated or trailing-garbage
+// payload fails with Corruption instead of smuggling a half-parsed request
+// into the server.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dlfm/api.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+
+namespace datalinks::dlfm {
+
+struct DlfmCodec {
+  static void EncodeRequest(const DlfmRequest& r, std::string* out) {
+    rpc::wire::AppendU8(out, static_cast<uint8_t>(r.api));
+    rpc::wire::AppendU64(out, r.txn);
+    rpc::wire::AppendU64(out, r.meta.trace_id);
+    rpc::wire::AppendString(out, r.filename);
+    rpc::wire::AppendI64(out, r.recovery_id);
+    rpc::wire::AppendI64(out, r.group_id);
+    rpc::wire::AppendU8(out, r.in_backout ? 1 : 0);
+    rpc::wire::AppendI64(out, static_cast<int64_t>(r.access));
+    rpc::wire::AppendU8(out, r.recovery_option ? 1 : 0);
+    rpc::wire::AppendU8(out, r.utility ? 1 : 0);
+    rpc::wire::AppendI64(out, r.aux);
+    rpc::wire::AppendU32(out, static_cast<uint32_t>(r.batch.size()));
+    for (const auto& [name, rid] : r.batch) {
+      rpc::wire::AppendString(out, name);
+      rpc::wire::AppendI64(out, rid);
+    }
+  }
+
+  static Result<DlfmRequest> DecodeRequest(std::string_view in) {
+    rpc::wire::Reader rd(in);
+    DlfmRequest r;
+    DLX_ASSIGN_OR_RETURN(uint8_t api, rd.ReadU8());
+    if (api > static_cast<uint8_t>(DlfmApi::kDisconnect)) {
+      return Status::Corruption("dlfm request: unknown api code");
+    }
+    r.api = static_cast<DlfmApi>(api);
+    DLX_ASSIGN_OR_RETURN(r.txn, rd.ReadU64());
+    DLX_ASSIGN_OR_RETURN(r.meta.trace_id, rd.ReadU64());
+    DLX_ASSIGN_OR_RETURN(r.filename, rd.ReadString());
+    DLX_ASSIGN_OR_RETURN(r.recovery_id, rd.ReadI64());
+    DLX_ASSIGN_OR_RETURN(r.group_id, rd.ReadI64());
+    DLX_ASSIGN_OR_RETURN(uint8_t in_backout, rd.ReadU8());
+    r.in_backout = in_backout != 0;
+    DLX_ASSIGN_OR_RETURN(int64_t access, rd.ReadI64());
+    if (access < 0 || access > static_cast<int64_t>(AccessControl::kFull)) {
+      return Status::Corruption("dlfm request: bad access mode");
+    }
+    r.access = static_cast<AccessControl>(access);
+    DLX_ASSIGN_OR_RETURN(uint8_t recovery_option, rd.ReadU8());
+    r.recovery_option = recovery_option != 0;
+    DLX_ASSIGN_OR_RETURN(uint8_t utility, rd.ReadU8());
+    r.utility = utility != 0;
+    DLX_ASSIGN_OR_RETURN(r.aux, rd.ReadI64());
+    DLX_ASSIGN_OR_RETURN(uint32_t nbatch, rd.ReadU32());
+    // Each batch row costs >= 12 bytes on the wire; a count the remaining
+    // bytes cannot hold is corruption, not a reason to allocate.
+    if (nbatch > rd.remaining() / 12) {
+      return Status::Corruption("dlfm request: batch count exceeds payload");
+    }
+    r.batch.reserve(nbatch);
+    for (uint32_t i = 0; i < nbatch; ++i) {
+      DLX_ASSIGN_OR_RETURN(std::string name, rd.ReadString());
+      DLX_ASSIGN_OR_RETURN(int64_t rid, rd.ReadI64());
+      r.batch.emplace_back(std::move(name), rid);
+    }
+    if (!rd.AtEnd()) return Status::Corruption("dlfm request: trailing bytes");
+    return r;
+  }
+
+  static void EncodeResponse(const DlfmResponse& r, std::string* out) {
+    rpc::wire::AppendU8(out, static_cast<uint8_t>(r.code));
+    rpc::wire::AppendString(out, r.message);
+    rpc::wire::AppendI64(out, r.value);
+    rpc::wire::AppendU32(out, static_cast<uint32_t>(r.ids.size()));
+    for (int64_t id : r.ids) rpc::wire::AppendI64(out, id);
+    rpc::wire::AppendU32(out, static_cast<uint32_t>(r.names.size()));
+    for (const auto& n : r.names) rpc::wire::AppendString(out, n);
+    rpc::wire::AppendU32(out, static_cast<uint32_t>(r.names2.size()));
+    for (const auto& n : r.names2) rpc::wire::AppendString(out, n);
+  }
+
+  static Result<DlfmResponse> DecodeResponse(std::string_view in) {
+    rpc::wire::Reader rd(in);
+    DlfmResponse r;
+    DLX_ASSIGN_OR_RETURN(uint8_t code, rd.ReadU8());
+    if (code > static_cast<uint8_t>(StatusCode::kFailedPrecondition)) {
+      return Status::Corruption("dlfm response: unknown status code");
+    }
+    r.code = static_cast<StatusCode>(code);
+    DLX_ASSIGN_OR_RETURN(r.message, rd.ReadString());
+    DLX_ASSIGN_OR_RETURN(r.value, rd.ReadI64());
+    DLX_ASSIGN_OR_RETURN(uint32_t nids, rd.ReadU32());
+    if (nids > rd.remaining() / 8) {
+      return Status::Corruption("dlfm response: ids count exceeds payload");
+    }
+    r.ids.reserve(nids);
+    for (uint32_t i = 0; i < nids; ++i) {
+      DLX_ASSIGN_OR_RETURN(int64_t id, rd.ReadI64());
+      r.ids.push_back(id);
+    }
+    DLX_ASSIGN_OR_RETURN(uint32_t nnames, rd.ReadU32());
+    if (nnames > rd.remaining() / 4) {
+      return Status::Corruption("dlfm response: names count exceeds payload");
+    }
+    r.names.reserve(nnames);
+    for (uint32_t i = 0; i < nnames; ++i) {
+      DLX_ASSIGN_OR_RETURN(std::string n, rd.ReadString());
+      r.names.push_back(std::move(n));
+    }
+    DLX_ASSIGN_OR_RETURN(uint32_t nnames2, rd.ReadU32());
+    if (nnames2 > rd.remaining() / 4) {
+      return Status::Corruption("dlfm response: names2 count exceeds payload");
+    }
+    r.names2.reserve(nnames2);
+    for (uint32_t i = 0; i < nnames2; ++i) {
+      DLX_ASSIGN_OR_RETURN(std::string n, rd.ReadString());
+      r.names2.push_back(std::move(n));
+    }
+    if (!rd.AtEnd()) return Status::Corruption("dlfm response: trailing bytes");
+    return r;
+  }
+};
+
+/// The scale-out listener: DLFM requests over loopback TCP.
+using DlfmSocketListener =
+    rpc::SocketListener<DlfmRequest, DlfmResponse, DlfmCodec>;
+
+}  // namespace datalinks::dlfm

@@ -80,7 +80,8 @@ HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableSt
                                 : std::make_shared<metrics::Registry>()),
       trace_(options_.trace ? options_.trace : trace::TraceRing::Default()),
       db_(OpenOrDie(ToDbOptions(options_, fault_, metrics_), std::move(durable))),
-      tokens_(options_.token_secret, clock_) {
+      tokens_(options_.token_secret, clock_),
+      ring_(options_.placement_vnodes) {
   fault_->BindMetrics(metrics_);
   commit_latency_us_ = metrics_->GetHistogram("host.commit.latency_us");
   phase1_rtt_us_ = metrics_->GetHistogram("host.2pc.phase1_rtt_us");
@@ -182,7 +183,15 @@ int64_t HostDatabase::NextRecoveryId() {
 void HostDatabase::RegisterDlfm(const std::string& server_name,
                                 dlfm::DlfmListener* listener) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (dlfms_.find(server_name) == dlfms_.end()) ring_.Add(server_name);
   dlfms_[server_name] = listener;
+}
+
+std::string HostDatabase::ResolveServer(const std::string& server) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (dlfms_.find(server) != dlfms_.end()) return server;
+  if (!options_.shard_placement || ring_.empty()) return server;
+  return ring_.Lookup(server);
 }
 
 Result<std::shared_ptr<dlfm::DlfmConnection>> HostDatabase::ConnectTo(
@@ -191,6 +200,9 @@ Result<std::shared_ptr<dlfm::DlfmConnection>> HostDatabase::ConnectTo(
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = dlfms_.find(server);
+    if (it == dlfms_.end() && options_.shard_placement && !ring_.empty()) {
+      it = dlfms_.find(ring_.Lookup(server));
+    }
     if (it == dlfms_.end()) return Status::Unavailable("no DLFM for server " + server);
     listener = it->second;
   }
@@ -478,14 +490,23 @@ Result<ReconcileReport> HostDatabase::Reconcile(sqldb::TableId table, bool use_t
   }
   DLX_RETURN_IF_ERROR(cs);
 
+  // Group by the CANONICAL shard, not the raw URL prefix: with shard
+  // placement several prefixes land on one DLFM, and its ReconcileRun
+  // diffs against the shard's whole File table — a partial row list would
+  // make the other prefixes' files look dlfm-only and unlink them.  The
+  // original URL strings are kept per (shard, path) so dangling references
+  // can still be matched against host rows verbatim.
   std::map<std::string, std::vector<std::pair<std::string, int64_t>>> per_server;
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>> originals;
   for (const Row& r : *rows) {
     for (const DatalinkColumn& col : meta->datalink_cols) {
       const Value& v = r[col.col_idx];
       if (v.is_null()) continue;
       auto url = ParseDatalinkUrl(v.as_string());
       if (!url.ok()) continue;
-      per_server[url->server].emplace_back(url->path, NextRecoveryId());
+      const std::string shard = ResolveServer(url->server);
+      per_server[shard].emplace_back(url->path, NextRecoveryId());
+      originals[{shard, url->path}].push_back(v.as_string());
     }
   }
 
@@ -519,24 +540,31 @@ Result<ReconcileReport> HostDatabase::Reconcile(sqldb::TableId table, bool use_t
     if (!resp.ok()) return resp.status();
     DLX_RETURN_IF_ERROR(resp->ToStatus());
 
-    // Fix the host side: null out dangling references.
+    // Fix the host side: null out dangling references, matching each row by
+    // the URL it actually stores (which may name a placement prefix rather
+    // than the shard).
     for (const std::string& name : resp->names) {
-      const std::string url = DatalinkUrl{server, name}.ToString();
-      Transaction* fix = db_->Begin();
-      bool ok = true;
-      for (const DatalinkColumn& col : meta->datalink_cols) {
-        auto schema = db_->GetSchema(table);
-        if (!schema.ok()) continue;
-        const std::string& col_name = schema->columns[col.col_idx].name;
-        auto n = db_->Update(fix, table, {Pred::Eq(col_name, url)},
-                             {{col_name, sqldb::Operand(Value::Null())}});
-        if (!n.ok()) ok = false;
-      }
-      if (ok) {
-        (void)db_->Commit(fix);
-        report.cleared_urls.push_back(url);
-      } else {
-        (void)db_->Rollback(fix);
+      auto orig = originals.find({server, name});
+      const std::vector<std::string> urls =
+          orig != originals.end() ? orig->second
+                                  : std::vector<std::string>{DatalinkUrl{server, name}.ToString()};
+      for (const std::string& url : urls) {
+        Transaction* fix = db_->Begin();
+        bool ok = true;
+        for (const DatalinkColumn& col : meta->datalink_cols) {
+          auto schema = db_->GetSchema(table);
+          if (!schema.ok()) continue;
+          const std::string& col_name = schema->columns[col.col_idx].name;
+          auto n = db_->Update(fix, table, {Pred::Eq(col_name, url)},
+                               {{col_name, sqldb::Operand(Value::Null())}});
+          if (!n.ok()) ok = false;
+        }
+        if (ok) {
+          (void)db_->Commit(fix);
+          report.cleared_urls.push_back(url);
+        } else {
+          (void)db_->Rollback(fix);
+        }
       }
     }
     for (const std::string& name : resp->names2) {

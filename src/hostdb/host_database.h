@@ -29,6 +29,7 @@
 #include "common/trace.h"
 #include "dlff/token.h"
 #include "dlfm/api.h"
+#include "hostdb/placement.h"
 #include "hostdb/url.h"
 #include "sqldb/database.h"
 
@@ -43,6 +44,22 @@ struct HostOptions {
   /// deadlock the paper describes.  Kept as an option so the failure can be
   /// reproduced (bench E5).
   bool synchronous_commit = true;
+
+  /// Scale-out placement (DESIGN.md §10): when true, a DATALINK URL whose
+  /// server name has no registered DLFM is routed onto one of the
+  /// registered shards by consistent hash, so one logical namespace of
+  /// file-server prefixes spreads across an N-DLFM fleet.  Off by default:
+  /// the paper's one-DLFM-per-server model treats an unknown server as
+  /// unavailable.
+  bool shard_placement = false;
+  /// Virtual nodes per shard on the placement ring.
+  int placement_vnodes = 64;
+
+  /// Phase-1 gather budget per prepare fan-out (parallel 2PC).  A peer that
+  /// does not answer within the budget counts as a prepare failure and the
+  /// transaction aborts (presumed abort keeps this safe: the tardy DLFM
+  /// learns the outcome from ResolveIndoubts).
+  int64_t prepare_timeout_micros = 5 * 1000 * 1000;
 
   int64_t lock_timeout_micros = 500 * 1000;
   size_t log_capacity_bytes = 64ull << 20;
@@ -98,8 +115,15 @@ class HostDatabase {
                         std::shared_ptr<sqldb::DurableStore> durable = {});
   ~HostDatabase();
 
-  /// Make a DLFM reachable under its server name.
+  /// Make a DLFM reachable under its server name.  With shard_placement the
+  /// name also becomes a shard on the consistent-hash ring.
   void RegisterDlfm(const std::string& server_name, dlfm::DlfmListener* listener);
+
+  /// Canonical shard for a file-server name: an exactly registered name wins;
+  /// otherwise, with shard_placement on, the ring decides.  The canonical
+  /// name is what lands in touched-server sets and durable decision records,
+  /// so indoubt resolution reconnects to the right shard after restart.
+  std::string ResolveServer(const std::string& server) const;
 
   /// DDL: create a table; datalink columns get a file group id each.
   Result<sqldb::TableId> CreateTable(const std::string& name,
@@ -138,6 +162,9 @@ class HostDatabase {
   sqldb::Database* db() { return db_.get(); }
   HostCounters& counters() { return counters_; }
   const HostOptions& options() const { return options_; }
+  /// Tests only: tune timeouts (e.g. prepare_timeout_micros) after
+  /// construction, before sessions are opened.
+  HostOptions& mutable_options() { return options_; }
   FaultInjector& fault() { return *fault_; }
   Clock* clock() { return clock_.get(); }
   metrics::Registry& metrics() const { return *metrics_; }
@@ -195,6 +222,7 @@ class HostDatabase {
 
   mutable std::mutex mu_;
   std::map<std::string, dlfm::DlfmListener*> dlfms_;
+  ConsistentHashRing ring_;  // registered shard names (guarded by mu_)
   std::map<sqldb::TableId, TableMeta> tables_;
   std::map<int64_t, BackupImage> backups_;  // in-memory backup media
   std::atomic<uint64_t> recovery_seq_{1};

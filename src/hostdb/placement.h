@@ -1,0 +1,69 @@
+// Consistent-hash placement of file-server names onto registered DLFM
+// shards (DESIGN.md §10).
+//
+// The paper's deployment pairs one DLFM with one file server, and the host
+// routes each DATALINK URL to the DLFM registered under the URL's server
+// name.  Scale-out keeps that exact-name fast path and adds a hash ring
+// behind it: when a URL names a server with no registered DLFM, the ring
+// maps it onto one of the N registered shards, so a workload over many
+// file-server prefixes spreads across the fleet and a given prefix always
+// lands on the same shard (placement must be stable — the shard holds that
+// prefix's File-table rows).
+//
+// Virtual nodes smooth the distribution: each shard is hashed onto the
+// ring `vnodes` times; a key is owned by the first vnode clockwise from
+// its hash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace datalinks::hostdb {
+
+/// FNV-1a with a 64-bit avalanche finalizer.  Bare FNV-1a keeps keys that
+/// differ only in their last byte within ~prime of each other — far closer
+/// than the average gap between ring vnodes — so sequential names like
+/// "vol0".."vol9" would all fall into one vnode's arc.  The fmix64-style
+/// finalizer spreads that final-byte delta across all 64 bits.
+inline uint64_t PlacementHash(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes = 64) : vnodes_(vnodes) {}
+
+  void Add(const std::string& shard) {
+    for (int i = 0; i < vnodes_; ++i) {
+      ring_[PlacementHash(shard + "#" + std::to_string(i))] = shard;
+    }
+  }
+
+  bool empty() const { return ring_.empty(); }
+
+  /// Owning shard of `key`; empty string when the ring is empty.
+  std::string Lookup(std::string_view key) const {
+    if (ring_.empty()) return {};
+    auto it = ring_.lower_bound(PlacementHash(key));
+    if (it == ring_.end()) it = ring_.begin();  // wrap around
+    return it->second;
+  }
+
+ private:
+  const int vnodes_;
+  std::map<uint64_t, std::string> ring_;
+};
+
+}  // namespace datalinks::hostdb

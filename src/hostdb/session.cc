@@ -1,5 +1,9 @@
 // HostSession: one application connection.  Runs the datalink engine on
 // DML statements and coordinates two-phase commit across touched DLFMs.
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
 #include "hostdb/host_database.h"
 
 namespace datalinks::hostdb {
@@ -51,12 +55,16 @@ Status HostSession::Begin() {
 }
 
 Result<HostSession::DlfmPeer*> HostSession::PeerFor(const std::string& server) {
-  auto it = peers_.find(server);
+  // Canonicalize to the owning shard (exact registered name, or the
+  // consistent-hash placement) so touched-server sets and durable decision
+  // records name a DLFM that exists after restart.
+  const std::string shard = host_->ResolveServer(server);
+  auto it = peers_.find(shard);
   if (it == peers_.end()) {
-    DLX_ASSIGN_OR_RETURN(auto conn, host_->ConnectTo(server));
+    DLX_ASSIGN_OR_RETURN(auto conn, host_->ConnectTo(shard));
     DlfmPeer peer;
     peer.conn = std::move(conn);
-    it = peers_.emplace(server, std::move(peer)).first;
+    it = peers_.emplace(shard, std::move(peer)).first;
   }
   DlfmPeer* peer = &it->second;
   if (!peer->begun) {
@@ -67,7 +75,7 @@ Result<HostSession::DlfmPeer*> HostSession::PeerFor(const std::string& server) {
     DLX_ASSIGN_OR_RETURN(DlfmResponse resp, CallPeer(peer, std::move(req)));
     DLX_RETURN_IF_ERROR(resp.ToStatus());
     peer->begun = true;
-    touched_.insert(server);
+    touched_.insert(shard);
   }
   return peer;
 }
@@ -343,25 +351,76 @@ Status HostSession::Commit() {
     return st;
   }
 
-  // Phase 1: prepare every DLFM this transaction touched (§3.3).
+  // Phase 1: prepare every DLFM this transaction touched (§3.3), in
+  // parallel when there is more than one participant — the commit path's
+  // latency is then the slowest shard's prepare, not the sum.
   bool prepare_failed = false;
-  for (const std::string& server : touched_) {
-    DlfmPeer& peer = peers_[server];
-    DlfmRequest req;
-    req.api = DlfmApi::kPrepare;
-    req.txn = txn_id_;
-    const int64_t t0 = metrics::NowMicrosForMetrics();
-    auto resp = CallPeer(&peer, std::move(req));
-    if (metrics::kEnabled) {
-      const int64_t rtt = metrics::NowMicrosForMetrics() - t0;
-      host_->phase1_rtt_us_->Record(rtt);
-      host_->metrics().GetHistogram("host.2pc.phase1_rtt_us." + server)->Record(rtt);
+  {
+    const std::vector<std::string> servers(touched_.begin(), touched_.end());
+    // Leftover async responses from earlier transactions are consumed
+    // up front: DrainPeer mutates shared session state
+    // (pending_decisions_), so it cannot run from the prepare threads.
+    for (const std::string& server : servers) {
+      if (!DrainPeer(&peers_[server]).ok()) prepare_failed = true;
     }
-    host_->counters().prepares_sent.fetch_add(1);
-    if (!resp.ok() || !resp->ToStatus().ok()) {
-      prepare_failed = true;
-      break;
+    const size_t n = servers.size();
+    std::vector<Status> prep(n, Status::OK());
+    std::vector<int64_t> rtt(n, 0);
+    auto do_prepare = [&](size_t i) {
+      DlfmRequest req;
+      req.api = DlfmApi::kPrepare;
+      req.txn = txn_id_;
+      req.meta.trace_id = trace_id_;
+      const int64_t t0 = metrics::NowMicrosForMetrics();
+      auto resp = peers_[servers[i]].conn->Call(std::move(req));
+      rtt[i] = metrics::NowMicrosForMetrics() - t0;
+      prep[i] = resp.ok() ? resp->ToStatus() : resp.status();
+    };
+    bool deadline_expired = false;
+    bool prepares_sent = false;
+    if (!prepare_failed && n == 1) {
+      prepares_sent = true;
+      do_prepare(0);
+    } else if (!prepare_failed) {
+      prepares_sent = true;
+      // One worker per peer; each owns its connection for the duration
+      // (peers_ itself is not mutated while the fan-out runs).  The gather
+      // waits up to prepare_timeout_micros: a tardy shard fails the
+      // transaction even if its prepare eventually succeeds — presumed
+      // abort lets it learn the outcome from ResolveIndoubts.  The workers
+      // are joined regardless; the deadline decides the outcome, not
+      // thread lifetime.
+      std::mutex gather_mu;
+      std::condition_variable gather_cv;
+      size_t completed = 0;
+      std::vector<std::thread> workers;
+      workers.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        workers.emplace_back([&, i] {
+          do_prepare(i);
+          std::lock_guard<std::mutex> lk(gather_mu);
+          ++completed;
+          gather_cv.notify_all();
+        });
+      }
+      {
+        std::unique_lock<std::mutex> lk(gather_mu);
+        deadline_expired = !gather_cv.wait_for(
+            lk, std::chrono::microseconds(host_->options().prepare_timeout_micros),
+            [&] { return completed == n; });
+      }
+      for (auto& w : workers) w.join();
     }
+    for (size_t i = 0; prepares_sent && i < n; ++i) {
+      if (metrics::kEnabled) {
+        host_->phase1_rtt_us_->Record(rtt[i]);
+        host_->metrics().GetHistogram("host.2pc.phase1_rtt_us." + servers[i])->Record(rtt[i]);
+        host_->metrics().GetCounter("host.2pc.prepares." + servers[i])->Add();
+      }
+      host_->counters().prepares_sent.fetch_add(1);
+      if (!prep[i].ok()) prepare_failed = true;
+    }
+    if (deadline_expired) prepare_failed = true;
   }
   if (prepare_failed) {
     host_->prepare_failures_c_->Add();
@@ -425,51 +484,66 @@ Status HostSession::Commit() {
     return *f;
   }
 
-  // Phase 2.
+  // Phase 2, pipelined: fire the outcome at every participant before
+  // waiting for any ack, so delivery overlaps across shards.  In
+  // synchronous mode the acks are then drained in send order — the commit
+  // API stays synchronous with respect to the application (§4) but the
+  // participants process phase 2 concurrently.  In asynchronous mode (the
+  // E5 deadlock configuration) nothing is drained here, exactly as before.
   const bool sync = host_->options().synchronous_commit;
   bool all_acked = true;
   size_t async_sent = 0;
+  struct FiredCommit {
+    DlfmPeer* peer;
+    const std::string* server;
+    int64_t t0;
+  };
+  std::vector<FiredCommit> fired;
+  if (sync) fired.reserve(touched_.size());
   for (const std::string& server : touched_) {
     DlfmPeer& peer = peers_[server];
     DlfmRequest req;
     req.api = DlfmApi::kCommit;
     req.txn = txn_id_;
-    if (sync) {
-      const int64_t t0 = metrics::NowMicrosForMetrics();
-      auto resp = CallPeer(&peer, std::move(req));
-      if (metrics::kEnabled) {
-        const int64_t rtt = metrics::NowMicrosForMetrics() - t0;
-        host_->phase2_rtt_us_->Record(rtt);
-        host_->metrics().GetHistogram("host.2pc.phase2_rtt_us." + server)->Record(rtt);
+    req.meta.trace_id = trace_id_;
+    const int64_t t0 = metrics::NowMicrosForMetrics();
+    Status send = peer.conn->CallAsync(std::move(req));
+    if (send.ok()) {
+      ++peer.pending_async;
+      peer.inflight.push_back(txn_id_);
+      if (sync) {
+        fired.push_back(FiredCommit{&peer, &server, t0});
+      } else {
+        ++async_sent;
       }
-      // Idempotent redelivery via ResolveIndoubts if this failed.
+    } else {
+      all_acked = false;
+    }
+    peer.begun = false;
+    if (auto f = host_->fault().Hit(failpoints::kHostCommitBetweenPhase2, host_->clock())) {
+      // Partial phase-2 delivery: the decision record stays behind for
+      // redelivery to the servers that never heard the outcome.  Responses
+      // already in flight are consumed by a later DrainPeer.
+      return *f;
+    }
+  }
+  if (sync) {
+    for (const FiredCommit& f : fired) {
+      // Idempotent redelivery via ResolveIndoubts if a drain fails.
+      auto resp = f.peer->conn->DrainResponse();
+      --f.peer->pending_async;
+      if (!f.peer->inflight.empty()) f.peer->inflight.pop_front();
+      if (metrics::kEnabled) {
+        const int64_t rtt = metrics::NowMicrosForMetrics() - f.t0;
+        host_->phase2_rtt_us_->Record(rtt);
+        host_->metrics().GetHistogram("host.2pc.phase2_rtt_us." + *f.server)->Record(rtt);
+      }
       if (!resp.ok() || !resp->ToStatus().ok()) {
         all_acked = false;
       } else {
         Span("host.commit.ack");  // this server completed phase 2
       }
-    } else {
-      // §4's problematic mode: fire the commit and return to the
-      // application without waiting.  The child agent may still be doing
-      // commit processing when this connection's next request arrives.
-      req.meta.trace_id = trace_id_;
-      Status send = peer.conn->CallAsync(std::move(req));
-      if (send.ok()) {
-        ++peer.pending_async;
-        peer.inflight.push_back(txn_id_);
-        ++async_sent;
-      } else {
-        all_acked = false;
-      }
     }
-    peer.begun = false;
-    if (auto f = host_->fault().Hit(failpoints::kHostCommitBetweenPhase2, host_->clock())) {
-      // Partial phase-2 delivery: the decision record stays behind for
-      // redelivery to the servers that never heard the outcome.
-      return *f;
-    }
-  }
-  if (sync) {
     // Erase the decision only once every participant acked; otherwise the
     // record must survive for ResolveIndoubts to finish the delivery.
     if (all_acked) (void)host_->EraseDecision(txn_id_);

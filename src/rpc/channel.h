@@ -1,12 +1,24 @@
-// In-process "RPC" between host database agents and DLFM child agents.
+// RPC between host database agents and DLFM child agents.
 //
-// The paper's deployment is one DB2 agent talking to one DLFM child agent
-// over a connection, with *blocking* send/receive.  That blocking is
-// semantically load-bearing: §4's distributed-deadlock scenario arises
-// because a DB2 agent's next request blocks while the child agent is still
-// doing (asynchronous) commit processing for the previous transaction and
-// has not issued its message receive.  A bounded queue of depth 1 plus a
-// blocking response wait reproduces exactly that coupling.
+// Two transports implement one abstract interface:
+//
+//  - InProcessConnection / InProcessListener (this header): the paper's
+//    deployment is one DB2 agent talking to one DLFM child agent over a
+//    connection with *blocking* send/receive.  That blocking is semantically
+//    load-bearing: §4's distributed-deadlock scenario arises because a DB2
+//    agent's next request blocks while the child agent is still doing
+//    (asynchronous) commit processing for the previous transaction and has
+//    not issued its message receive.  A bounded queue of depth 1 plus a
+//    blocking response wait reproduces exactly that coupling, so this mode
+//    stays the test configuration for the E5 deadlock.
+//  - SocketClientConnection / SocketServerConnection / SocketListener
+//    (socket.h): length-prefixed frames over loopback TCP with stream
+//    multiplexing, the scale-out transport (DESIGN.md §10).
+//
+// The client-side calling convention (one outstanding request per
+// connection, async responses drained in FIFO order) is enforced HERE in
+// the base class over two transport primitives, so both transports share
+// byte-identical protocol semantics.
 #pragma once
 
 #include <atomic>
@@ -23,9 +35,9 @@
 namespace datalinks::rpc {
 
 /// Request metadata carried alongside every application payload — the wire
-/// header of this in-process RPC.  `trace_id` is minted by the host session
-/// at Begin and propagated to every DLFM (and from there into daemon work
-/// items); 0 means "not traced".
+/// header of this RPC.  `trace_id` is minted by the host session at Begin
+/// and propagated to every DLFM (and from there into daemon work items);
+/// 0 means "not traced".
 struct Metadata {
   uint64_t trace_id = 0;
 };
@@ -88,11 +100,16 @@ class BlockingQueue {
 };
 
 /// One duplex connection: requests flow client->server, responses back.
-/// Depth-1 queues model the paper's one-outstanding-request agent pairs.
+/// Abstract over the transport; the client-side protocol lives here so the
+/// calling convention cannot drift between transports:
+///  - Call() with an undrained CallAsync() outstanding is a protocol error
+///    (kFailedPrecondition) — a misordered caller would otherwise silently
+///    pair the async response with the synchronous request;
+///  - DrainResponse() with nothing pending is kInvalidArgument.
 template <typename Req, typename Resp>
 class Connection {
  public:
-  Connection() : requests_(1), responses_(1) {}
+  virtual ~Connection() = default;
 
   /// Record synchronous round-trip latency into `h` (owned by a registry;
   /// nullptr disables).  Set once at connect time, before concurrent calls.
@@ -102,10 +119,14 @@ class Connection {
   /// Send a request and block for its response (synchronous call).
   Result<Resp> Call(Req req) {
     std::lock_guard<std::mutex> lk(call_mu_);  // one call at a time per connection
+    if (pending_.load(std::memory_order_relaxed) > 0) {
+      return Status::FailedPrecondition(
+          "synchronous Call with an undrained async response outstanding");
+    }
     const int64_t t0 = rtt_us_ != nullptr ? metrics::NowMicrosForMetrics() : 0;
-    DLX_RETURN_IF_ERROR(requests_.Send(std::move(req)));
+    DLX_RETURN_IF_ERROR(SendRequest(std::move(req)));
     ++messages_;
-    Result<Resp> resp = responses_.Recv();
+    Result<Resp> resp = RecvResponse();
     if (rtt_us_ != nullptr) rtt_us_->Record(metrics::NowMicrosForMetrics() - t0);
     return resp;
   }
@@ -117,7 +138,9 @@ class Connection {
     std::lock_guard<std::mutex> lk(call_mu_);
     ++pending_;
     ++messages_;
-    return requests_.Send(std::move(req));
+    Status st = SendRequest(std::move(req));
+    if (!st.ok()) --pending_;
+    return st;
   }
 
   Result<Resp> DrainResponse() {
@@ -126,7 +149,7 @@ class Connection {
       return Status::InvalidArgument("no pending async response");
     }
     --pending_;
-    return responses_.Recv();
+    return RecvResponse();
   }
 
   // Stats accessors are callable from threads that do not hold call_mu_
@@ -134,47 +157,91 @@ class Connection {
   size_t pending_responses() const { return pending_.load(std::memory_order_relaxed); }
   uint64_t messages_sent() const { return messages_.load(std::memory_order_relaxed); }
 
-  // --- server side ----------------------------------------------------------
-  Result<Req> NextRequest() { return requests_.Recv(); }
-  Status Reply(Resp resp) { return responses_.Send(std::move(resp)); }
+  // --- server side ---------------------------------------------------------
+  virtual Result<Req> NextRequest() = 0;
+  virtual Status Reply(Resp resp) = 0;
 
-  void Close() {
-    requests_.Close();
-    responses_.Close();
-  }
+  virtual void Close() = 0;
+
+ protected:
+  // Transport primitives the client-side protocol is built on.
+  virtual Status SendRequest(Req req) = 0;
+  virtual Result<Resp> RecvResponse() = 0;
 
  private:
   std::mutex call_mu_;
-  BlockingQueue<Req> requests_;
-  BlockingQueue<Resp> responses_;
   std::atomic<size_t> pending_{0};
   std::atomic<uint64_t> messages_{0};
   metrics::Histogram* rtt_us_ = nullptr;  // owned by the registry
 };
 
 /// Connection acceptor — the DLFM "main daemon" listens here and spawns a
-/// child agent per accepted connection.
+/// child agent per accepted connection.  Connect() is the client-side dial;
+/// both ends speak the abstract Connection interface.
 template <typename Req, typename Resp>
 class Listener {
  public:
   using Conn = Connection<Req, Resp>;
 
-  Listener() : pending_(64) {}
+  virtual ~Listener() = default;
 
-  /// Client side: create a connection and hand one end to the listener.
-  Result<std::shared_ptr<Conn>> Connect() {
-    auto conn = std::make_shared<Conn>();
-    DLX_RETURN_IF_ERROR(pending_.Send(conn));
-    return conn;
-  }
+  /// Client side: open a connection to this listener.
+  virtual Result<std::shared_ptr<Conn>> Connect() = 0;
 
   /// Server side: block until a client connects.
-  Result<std::shared_ptr<Conn>> Accept() { return pending_.Recv(); }
+  virtual Result<std::shared_ptr<Conn>> Accept() = 0;
 
-  void Close() { pending_.Close(); }
+  virtual void Close() = 0;
+};
+
+/// In-process transport: depth-1 queues model the paper's
+/// one-outstanding-request agent pairs; client and server share the object.
+template <typename Req, typename Resp>
+class InProcessConnection : public Connection<Req, Resp> {
+ public:
+  InProcessConnection() : requests_(1), responses_(1) {}
+
+  Result<Req> NextRequest() override { return requests_.Recv(); }
+  Status Reply(Resp resp) override { return responses_.Send(std::move(resp)); }
+
+  void Close() override {
+    requests_.Close();
+    responses_.Close();
+  }
+
+ protected:
+  Status SendRequest(Req req) override { return requests_.Send(std::move(req)); }
+  Result<Resp> RecvResponse() override { return responses_.Recv(); }
 
  private:
-  BlockingQueue<std::shared_ptr<Conn>> pending_;
+  BlockingQueue<Req> requests_;
+  BlockingQueue<Resp> responses_;
+};
+
+/// In-process rendezvous: Connect() hands one end of a fresh depth-1
+/// connection to the accept queue.
+template <typename Req, typename Resp>
+class InProcessListener : public Listener<Req, Resp> {
+ public:
+  using Conn = Connection<Req, Resp>;
+
+  InProcessListener() : pending_(64) {}
+
+  Result<std::shared_ptr<Conn>> Connect() override {
+    auto conn = std::make_shared<InProcessConnection<Req, Resp>>();
+    DLX_RETURN_IF_ERROR(pending_.Send(conn));
+    return std::shared_ptr<Conn>(conn);
+  }
+
+  Result<std::shared_ptr<Conn>> Accept() override {
+    DLX_ASSIGN_OR_RETURN(auto conn, pending_.Recv());
+    return std::shared_ptr<Conn>(std::move(conn));
+  }
+
+  void Close() override { pending_.Close(); }
+
+ private:
+  BlockingQueue<std::shared_ptr<InProcessConnection<Req, Resp>>> pending_;
 };
 
 }  // namespace datalinks::rpc

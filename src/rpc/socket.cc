@@ -1,0 +1,449 @@
+// Raw (untyped) half of the socket transport: framing, the client channel
+// with its demultiplexing reader, and the server acceptor with one reader
+// thread per TCP connection.  See socket.h for the wire format and the
+// stream-multiplexing model.
+#include "rpc/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "rpc/wire.h"
+
+namespace datalinks::rpc {
+
+namespace {
+
+constexpr size_t kFrameHeaderLen = 4;  // the u32 length prefix itself
+constexpr size_t kFramePreambleLen = 9;  // u64 stream + u8 kind
+
+/// recv() exactly `n` bytes; false on EOF, error, or shutdown.
+bool ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+struct Frame {
+  uint64_t stream = 0;
+  uint8_t kind = kFrameData;
+  std::string payload;
+};
+
+/// Reads one frame.  Distinguishes a clean close (kUnavailable) from a
+/// malformed length or preamble (kCorruption) so the caller can log/test
+/// the difference; either way the connection is done.
+Result<Frame> ReadFrame(int fd) {
+  char hdr[kFrameHeaderLen];
+  if (!ReadFull(fd, hdr, sizeof(hdr))) return Status::Unavailable("connection closed");
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i])) << (8 * i);
+  }
+  if (len < kFramePreambleLen) {
+    return Status::Corruption("socket frame shorter than its preamble");
+  }
+  if (len > kMaxFrameLen) {
+    return Status::Corruption("socket frame length " + std::to_string(len) +
+                              " exceeds the " + std::to_string(kMaxFrameLen) +
+                              "-byte ceiling");
+  }
+  std::string body(len, '\0');
+  if (!ReadFull(fd, body.data(), body.size())) {
+    return Status::Corruption("socket frame truncated mid-body");
+  }
+  wire::Reader r(body);
+  Frame f;
+  DLX_ASSIGN_OR_RETURN(f.stream, r.ReadU64());
+  DLX_ASSIGN_OR_RETURN(f.kind, r.ReadU8());
+  f.payload.assign(body, kFramePreambleLen, body.size() - kFramePreambleLen);
+  return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared write half of one TCP connection.
+// ---------------------------------------------------------------------------
+
+class SocketWriteHalf {
+ public:
+  explicit SocketWriteHalf(int fd) : fd_(fd) {}
+
+  Status WriteFrame(uint64_t stream, uint8_t kind, std::string_view payload) {
+    if (payload.size() > kMaxFrameLen - kFramePreambleLen) {
+      return Status::InvalidArgument("rpc payload exceeds the frame ceiling");
+    }
+    std::string buf;
+    buf.reserve(kFrameHeaderLen + kFramePreambleLen + payload.size());
+    wire::AppendU32(&buf, static_cast<uint32_t>(kFramePreambleLen + payload.size()));
+    wire::AppendU64(&buf, stream);
+    wire::AppendU8(&buf, kind);
+    buf.append(payload.data(), payload.size());
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_.load(std::memory_order_relaxed)) {
+      return Status::Unavailable("socket connection closed");
+    }
+    size_t sent = 0;
+    while (sent < buf.size()) {
+      const ssize_t n = ::send(fd_, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        closed_.store(true, std::memory_order_relaxed);
+        return Status::Unavailable(std::string("socket send: ") + std::strerror(errno));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// Wakes a peer blocked in recv(); idempotent.  The fd itself is closed
+  /// by whoever owns the connection object (after joining its reader).
+  void Shutdown() {
+    closed_.store(true, std::memory_order_relaxed);
+    (void)::shutdown(fd_, SHUT_RDWR);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  const int fd_;
+  std::mutex mu_;
+  std::atomic<bool> closed_{false};
+};
+
+// ---------------------------------------------------------------------------
+// Client channel.
+// ---------------------------------------------------------------------------
+
+class SocketChannelImpl {
+ public:
+  explicit SocketChannelImpl(int fd) : write_(std::make_shared<SocketWriteHalf>(fd)) {}
+
+  ~SocketChannelImpl() {
+    Close();
+    if (reader_.joinable()) reader_.join();
+    (void)::close(write_->fd());
+  }
+
+  void StartReader() {
+    reader_ = std::thread([this] { ReaderLoop(); });
+  }
+
+  Result<uint64_t> OpenStream() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return Status::Unavailable("socket channel closed");
+    const uint64_t id = next_stream_++;
+    streams_[id] = std::make_shared<BlockingQueue<std::string>>(64);
+    return id;
+  }
+
+  Status Send(uint64_t stream, std::string_view payload) {
+    return write_->WriteFrame(stream, kFrameData, payload);
+  }
+
+  Result<std::string> Recv(uint64_t stream) {
+    std::shared_ptr<BlockingQueue<std::string>> q;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = streams_.find(stream);
+      if (it == streams_.end()) return Status::Unavailable("stream closed");
+      q = it->second;
+    }
+    return q->Recv();
+  }
+
+  void CloseStream(uint64_t stream) {
+    (void)write_->WriteFrame(stream, kFrameClose, "");
+    std::shared_ptr<BlockingQueue<std::string>> q;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = streams_.find(stream);
+      if (it == streams_.end()) return;
+      q = std::move(it->second);
+      streams_.erase(it);
+    }
+    q->Close();
+  }
+
+  void Close() {
+    write_->Shutdown();
+    CloseAllStreams();
+  }
+
+ private:
+  void ReaderLoop() {
+    for (;;) {
+      auto frame = ReadFrame(write_->fd());
+      if (!frame.ok()) break;  // closed or corrupt: sever everything below
+      std::shared_ptr<BlockingQueue<std::string>> q;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = streams_.find(frame->stream);
+        if (it != streams_.end()) q = it->second;
+      }
+      if (q == nullptr) continue;  // response for a stream closed client-side
+      if (frame->kind == kFrameClose) {
+        q->Close();
+        std::lock_guard<std::mutex> lk(mu_);
+        streams_.erase(frame->stream);
+      } else {
+        (void)q->Send(std::move(frame->payload));
+      }
+    }
+    CloseAllStreams();
+  }
+
+  void CloseAllStreams() {
+    std::map<uint64_t, std::shared_ptr<BlockingQueue<std::string>>> streams;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+      streams.swap(streams_);
+    }
+    for (auto& [id, q] : streams) q->Close();
+  }
+
+  std::shared_ptr<SocketWriteHalf> write_;
+  std::thread reader_;
+  std::mutex mu_;
+  bool closed_ = false;
+  uint64_t next_stream_ = 1;
+  std::map<uint64_t, std::shared_ptr<BlockingQueue<std::string>>> streams_;
+};
+
+SocketStream::SocketStream(std::shared_ptr<SocketChannelImpl> channel, uint64_t id)
+    : channel_(std::move(channel)), id_(id) {}
+
+SocketStream::~SocketStream() { Close(); }
+
+Status SocketStream::Send(std::string payload) { return channel_->Send(id_, payload); }
+
+Result<std::string> SocketStream::Recv() { return channel_->Recv(id_); }
+
+void SocketStream::Close() {
+  std::call_once(closed_, [this] { channel_->CloseStream(id_); });
+}
+
+SocketChannel::SocketChannel(std::shared_ptr<SocketChannelImpl> impl)
+    : impl_(std::move(impl)) {}
+
+SocketChannel::~SocketChannel() = default;
+
+Result<std::shared_ptr<SocketChannel>> SocketChannel::Dial(const std::string& host,
+                                                           int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Unavailable(host + ":" + std::to_string(port) + " connect: " +
+                               std::strerror(err));
+  }
+  SetNoDelay(fd);
+  auto impl = std::make_shared<SocketChannelImpl>(fd);
+  impl->StartReader();
+  return std::shared_ptr<SocketChannel>(new SocketChannel(std::move(impl)));
+}
+
+Result<std::shared_ptr<SocketStream>> SocketChannel::OpenStream() {
+  DLX_ASSIGN_OR_RETURN(uint64_t id, impl_->OpenStream());
+  return std::make_shared<SocketStream>(impl_, id);
+}
+
+void SocketChannel::Close() { impl_->Close(); }
+
+// ---------------------------------------------------------------------------
+// Server acceptor.
+// ---------------------------------------------------------------------------
+
+SocketServerStream::SocketServerStream(std::shared_ptr<SocketWriteHalf> write,
+                                       uint64_t stream_id)
+    : write_(std::move(write)), stream_id_(stream_id) {}
+
+Result<std::string> SocketServerStream::NextPayload() { return inbound_.Recv(); }
+
+Status SocketServerStream::Reply(std::string payload) {
+  return write_->WriteFrame(stream_id_, kFrameData, payload);
+}
+
+void SocketServerStream::Close() {
+  (void)write_->WriteFrame(stream_id_, kFrameClose, "");
+  inbound_.Close();
+}
+
+Status SocketServerStream::Push(std::string payload) {
+  return inbound_.Send(std::move(payload));
+}
+
+void SocketServerStream::CloseQueue() { inbound_.Close(); }
+
+class SocketAcceptorImpl {
+ public:
+  SocketAcceptorImpl(int listen_fd, int port) : listen_fd_(listen_fd), port_(port) {}
+
+  ~SocketAcceptorImpl() {
+    Close();
+    (void)::close(listen_fd_);
+  }
+
+  void StartAcceptThread() {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  int port() const { return port_; }
+
+  Result<std::shared_ptr<SocketServerStream>> AcceptStream() { return accepted_.Recv(); }
+
+  void Close() {
+    if (closed_.exchange(true)) return;
+    accepted_.Close();
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<ServerConn> conns;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      conns.swap(conns_);
+    }
+    for (ServerConn& c : conns) {
+      c.write->Shutdown();
+      if (c.reader.joinable()) c.reader.join();
+      (void)::close(c.write->fd());
+    }
+  }
+
+ private:
+  struct ServerConn {
+    std::shared_ptr<SocketWriteHalf> write;
+    std::thread reader;
+  };
+
+  void AcceptLoop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down
+      }
+      if (closed_.load()) {
+        (void)::close(fd);
+        return;
+      }
+      SetNoDelay(fd);
+      auto write = std::make_shared<SocketWriteHalf>(fd);
+      std::lock_guard<std::mutex> lk(mu_);
+      conns_.push_back(ServerConn{write, std::thread([this, write] {
+                                    ConnReaderLoop(write);
+                                  })});
+    }
+  }
+
+  /// Demultiplexes one TCP connection's frames into per-stream queues; a
+  /// frame on an unknown stream id implicitly opens the stream and surfaces
+  /// it through AcceptStream().
+  void ConnReaderLoop(const std::shared_ptr<SocketWriteHalf>& write) {
+    std::map<uint64_t, std::shared_ptr<SocketServerStream>> streams;
+    for (;;) {
+      auto frame = ReadFrame(write->fd());
+      if (!frame.ok()) break;  // peer gone, or corrupt frame: sever the conn
+      auto it = streams.find(frame->stream);
+      if (frame->kind == kFrameClose) {
+        if (it != streams.end()) {
+          it->second->CloseQueue();
+          streams.erase(it);
+        }
+        continue;
+      }
+      if (it == streams.end()) {
+        auto stream = std::make_shared<SocketServerStream>(write, frame->stream);
+        it = streams.emplace(frame->stream, std::move(stream)).first;
+        if (!accepted_.Send(it->second).ok()) return;  // acceptor closed
+      }
+      (void)it->second->Push(std::move(frame->payload));
+    }
+    write->Shutdown();
+    for (auto& [id, stream] : streams) stream->CloseQueue();
+  }
+
+  const int listen_fd_;
+  const int port_;
+  std::atomic<bool> closed_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<ServerConn> conns_;
+  BlockingQueue<std::shared_ptr<SocketServerStream>> accepted_{256};
+};
+
+SocketAcceptor::SocketAcceptor(std::shared_ptr<SocketAcceptorImpl> impl)
+    : impl_(std::move(impl)) {}
+
+SocketAcceptor::~SocketAcceptor() = default;
+
+Result<std::unique_ptr<SocketAcceptor>> SocketAcceptor::Listen(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("bind: ") + std::strerror(err));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("getsockname: ") + std::strerror(err));
+  }
+  auto impl = std::make_shared<SocketAcceptorImpl>(fd, ntohs(bound.sin_port));
+  impl->StartAcceptThread();
+  return std::unique_ptr<SocketAcceptor>(new SocketAcceptor(std::move(impl)));
+}
+
+int SocketAcceptor::port() const { return impl_->port(); }
+
+Result<std::shared_ptr<SocketServerStream>> SocketAcceptor::AcceptStream() {
+  return impl_->AcceptStream();
+}
+
+void SocketAcceptor::Close() { impl_->Close(); }
+
+}  // namespace datalinks::rpc

@@ -1,0 +1,242 @@
+// TCP socket transport behind the abstract rpc::Connection / rpc::Listener
+// interface (DESIGN.md §10).
+//
+// Wire format: length-prefixed frames over loopback TCP,
+//   [u32 len][u64 stream_id][u8 kind][payload...]
+// where `len` covers everything after itself (so 9 + payload bytes), `kind`
+// is kFrameData or kFrameClose, and the payload is the Codec-serialized
+// request or response.  A frame with len < 9 or len > kMaxFrameLen fails
+// with Corruption and severs the connection — garbage input can never hang
+// a reader mid-frame.
+//
+// Multiplexing: one TCP connection per (client process, listener) carries
+// many *streams*; each stream is one Connection<Req,Resp> conversation (the
+// paper's agent pair), so a host holds N outstanding conversations per DLFM
+// shard over a single socket.  SocketListener::Connect() lazily dials the
+// shared channel and opens a fresh stream; the server side surfaces each
+// new stream as an accepted connection, which the DLFM serves with a child
+// agent exactly like an in-process connection.
+//
+// The raw (untyped) layer — SocketChannel / SocketStream / SocketAcceptor /
+// SocketServerStream — moves opaque payload strings and lives in socket.cc;
+// the templates below bind it to a Codec:
+//
+//   struct MyCodec {
+//     static void EncodeRequest(const Req&, std::string*);
+//     static Result<Req> DecodeRequest(std::string_view);
+//     static void EncodeResponse(const Resp&, std::string*);
+//     static Result<Resp> DecodeResponse(std::string_view);
+//   };
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rpc/channel.h"
+
+namespace datalinks::rpc {
+
+inline constexpr uint8_t kFrameData = 0;
+inline constexpr uint8_t kFrameClose = 1;
+/// Ceiling on [stream_id][kind][payload]; a frame announcing more is corrupt.
+inline constexpr uint32_t kMaxFrameLen = (16u << 20) + 9;
+
+class SocketChannelImpl;
+class SocketAcceptorImpl;
+class SocketWriteHalf;
+
+/// Client-side stream handle: one conversation over the shared channel.
+class SocketStream {
+ public:
+  SocketStream(std::shared_ptr<SocketChannelImpl> channel, uint64_t id);
+  ~SocketStream();
+
+  Status Send(std::string payload);
+  Result<std::string> Recv();
+  /// Idempotent; sends a close frame so the server retires the child agent.
+  void Close();
+
+ private:
+  std::shared_ptr<SocketChannelImpl> channel_;
+  const uint64_t id_;
+  std::once_flag closed_;
+};
+
+/// Client side of one multiplexed TCP connection.
+class SocketChannel {
+ public:
+  static Result<std::shared_ptr<SocketChannel>> Dial(const std::string& host, int port);
+  ~SocketChannel();
+
+  Result<std::shared_ptr<SocketStream>> OpenStream();
+  void Close();
+
+ private:
+  explicit SocketChannel(std::shared_ptr<SocketChannelImpl> impl);
+  std::shared_ptr<SocketChannelImpl> impl_;
+};
+
+/// Server-side stream: the peer of one SocketStream.  Holds the TCP
+/// connection's write half (shared with its sibling streams) plus a private
+/// inbound queue the connection's reader thread demultiplexes into.
+class SocketServerStream {
+ public:
+  SocketServerStream(std::shared_ptr<SocketWriteHalf> write, uint64_t stream_id);
+
+  Result<std::string> NextPayload();
+  Status Reply(std::string payload);
+  /// Wakes NextPayload with kUnavailable and notifies the client end.
+  void Close();
+
+  uint64_t stream_id() const { return stream_id_; }
+
+  // Internal: the acceptor's reader thread feeds inbound payloads here.
+  Status Push(std::string payload);
+  void CloseQueue();
+
+ private:
+  std::shared_ptr<SocketWriteHalf> write_;
+  const uint64_t stream_id_;
+  BlockingQueue<std::string> inbound_{1024};
+};
+
+/// Server side: bind/listen plus one acceptor thread; per-TCP-connection
+/// reader threads demultiplex frames into server streams and surface each
+/// new stream via AcceptStream().
+class SocketAcceptor {
+ public:
+  /// `port` 0 binds an ephemeral port (see port()).
+  static Result<std::unique_ptr<SocketAcceptor>> Listen(int port);
+  ~SocketAcceptor();
+
+  int port() const;
+  Result<std::shared_ptr<SocketServerStream>> AcceptStream();
+  void Close();
+
+ private:
+  explicit SocketAcceptor(std::shared_ptr<SocketAcceptorImpl> impl);
+  std::shared_ptr<SocketAcceptorImpl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed adapters.
+// ---------------------------------------------------------------------------
+
+template <typename Req, typename Resp, typename Codec>
+class SocketClientConnection : public Connection<Req, Resp> {
+ public:
+  explicit SocketClientConnection(std::shared_ptr<SocketStream> stream)
+      : stream_(std::move(stream)) {}
+  ~SocketClientConnection() override { stream_->Close(); }
+
+  Result<Req> NextRequest() override {
+    return Status::InvalidArgument("client end of a socket connection");
+  }
+  Status Reply(Resp) override {
+    return Status::InvalidArgument("client end of a socket connection");
+  }
+  void Close() override { stream_->Close(); }
+
+ protected:
+  Status SendRequest(Req req) override {
+    std::string buf;
+    Codec::EncodeRequest(req, &buf);
+    return stream_->Send(std::move(buf));
+  }
+  Result<Resp> RecvResponse() override {
+    DLX_ASSIGN_OR_RETURN(std::string bytes, stream_->Recv());
+    return Codec::DecodeResponse(bytes);
+  }
+
+ private:
+  std::shared_ptr<SocketStream> stream_;
+};
+
+template <typename Req, typename Resp, typename Codec>
+class SocketServerConnection : public Connection<Req, Resp> {
+ public:
+  explicit SocketServerConnection(std::shared_ptr<SocketServerStream> stream)
+      : stream_(std::move(stream)) {}
+
+  Result<Req> NextRequest() override {
+    DLX_ASSIGN_OR_RETURN(std::string bytes, stream_->NextPayload());
+    return Codec::DecodeRequest(bytes);
+  }
+  Status Reply(Resp resp) override {
+    std::string buf;
+    Codec::EncodeResponse(resp, &buf);
+    return stream_->Reply(std::move(buf));
+  }
+  void Close() override { stream_->Close(); }
+
+ protected:
+  Status SendRequest(Req) override {
+    return Status::InvalidArgument("server end of a socket connection");
+  }
+  Result<Resp> RecvResponse() override {
+    return Status::InvalidArgument("server end of a socket connection");
+  }
+
+ private:
+  std::shared_ptr<SocketServerStream> stream_;
+};
+
+template <typename Req, typename Resp, typename Codec>
+class SocketListener : public Listener<Req, Resp> {
+ public:
+  using Conn = Connection<Req, Resp>;
+
+  static Result<std::unique_ptr<SocketListener>> Listen(int port) {
+    DLX_ASSIGN_OR_RETURN(auto acceptor, SocketAcceptor::Listen(port));
+    return std::unique_ptr<SocketListener>(new SocketListener(std::move(acceptor)));
+  }
+
+  int port() const { return acceptor_->port(); }
+
+  /// Client dial: one shared channel per listener (= per shard from the
+  /// host's point of view), one fresh stream per Connect().
+  Result<std::shared_ptr<Conn>> Connect() override {
+    std::shared_ptr<SocketChannel> channel;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (channel_ == nullptr) {
+        DLX_ASSIGN_OR_RETURN(channel_, SocketChannel::Dial("127.0.0.1", port()));
+      }
+      channel = channel_;
+    }
+    DLX_ASSIGN_OR_RETURN(auto stream, channel->OpenStream());
+    return std::shared_ptr<Conn>(
+        std::make_shared<SocketClientConnection<Req, Resp, Codec>>(std::move(stream)));
+  }
+
+  Result<std::shared_ptr<Conn>> Accept() override {
+    DLX_ASSIGN_OR_RETURN(auto stream, acceptor_->AcceptStream());
+    return std::shared_ptr<Conn>(
+        std::make_shared<SocketServerConnection<Req, Resp, Codec>>(std::move(stream)));
+  }
+
+  void Close() override {
+    std::shared_ptr<SocketChannel> channel;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      channel = std::move(channel_);
+    }
+    if (channel != nullptr) channel->Close();
+    acceptor_->Close();
+  }
+
+ private:
+  explicit SocketListener(std::unique_ptr<SocketAcceptor> acceptor)
+      : acceptor_(std::move(acceptor)) {}
+
+  std::unique_ptr<SocketAcceptor> acceptor_;
+  std::mutex mu_;
+  std::shared_ptr<SocketChannel> channel_;  // lazy client dial
+};
+
+}  // namespace datalinks::rpc

@@ -1,0 +1,88 @@
+// Bounds-checked little-endian byte codec for the socket transport's frames
+// and the DLFM request/response payloads.  Writers append to a std::string;
+// the reader returns Corruption (never reads past the end, never hangs) on
+// truncated or oversized input, so a garbage frame fails cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datalinks::rpc::wire {
+
+inline void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+/// u32 length prefix + bytes.
+inline void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Sequential reader over an immutable byte span.  Every accessor checks
+/// bounds and returns Corruption on underflow.
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_(in) {}
+
+  size_t remaining() const { return in_.size() - pos_; }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Truncated("u8");
+    return static_cast<uint8_t>(in_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(in_[pos_++])) << (8 * i);
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(in_[pos_++])) << (8 * i);
+    return v;
+  }
+
+  Result<int64_t> ReadI64() {
+    DLX_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<std::string> ReadString() {
+    DLX_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (remaining() < len) return Truncated("string body");
+    std::string s(in_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("wire: truncated ") + what);
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace datalinks::rpc::wire

@@ -109,10 +109,14 @@ size_t BufferPool::EvictLocked(std::unique_lock<std::mutex>& lk) {
   }
   if (dirty_candidate == SIZE_MAX) return SIZE_MAX;
   // Write the dirty victim back.  FlushFrame drops mu_ for the I/O; on
-  // success it also removes the frame from the table for us.
+  // success it also removes the frame from the table for us.  Pass the
+  // victim's identity: the frame may be Discarded, checkpoint-cleaned, or
+  // claimed by a concurrent evictor once mu_ drops, and FlushFrame only
+  // succeeds if it still holds this exact page.
   const size_t fi = dirty_candidate;
+  const PageId victim = frames_[fi].id;
   lk.unlock();
-  Status st = FlushFrame(fi, /*for_evict=*/true);
+  Status st = FlushFrame(fi, /*for_evict=*/true, victim);
   lk.lock();
   if (!st.ok()) return SIZE_MAX;
   stats_.evictions++;
@@ -189,17 +193,30 @@ BufferPool::PageRef BufferPool::Pin(PageId id) {
   }
 }
 
-Status BufferPool::FlushFrame(size_t fi, bool for_evict) {
+Status BufferPool::FlushFrame(size_t fi, bool for_evict, PageId expect) {
   std::unique_lock<std::mutex> lk(mu_);
   Frame& f = frames_[fi];
-  if (f.id == kInvalidPageId || !f.dirty) return Status::OK();
-  if (f.io) {
-    // Another flusher owns this frame; for checkpoint purposes its write is
-    // already happening.  Eviction callers simply give up on this victim.
-    return for_evict ? Status::Unavailable("frame io in progress")
-                     : Status::OK();
+  if (for_evict) {
+    // Success here means "frame fi is free and unmapped, reuse it".  The
+    // caller chose the victim before re-locking mu_, so anything may have
+    // happened to the frame since: verify it still holds the victim page,
+    // unpinned and not mid-IO, before touching it.
+    if (f.id != expect || f.id == kInvalidPageId) {
+      return Status::Unavailable("frame recycled before evict");
+    }
+    if (f.io) return Status::Unavailable("frame io in progress");
+    if (f.pins > 0) return Status::Unavailable("frame pinned");
+    if (!f.dirty) {
+      // A checkpoint cleaned the victim during the window: evict directly.
+      table_.erase(f.id);
+      f.id = kInvalidPageId;
+      f.bytes.clear();
+      return Status::OK();
+    }
+  } else {
+    if (f.id == kInvalidPageId || !f.dirty) return Status::OK();
+    if (f.io) return Status::OK();  // another flusher's write is happening
   }
-  if (for_evict && f.pins > 0) return Status::Unavailable("frame pinned");
   const PageId id = f.id;
   f.io = true;
   lk.unlock();

@@ -151,7 +151,12 @@ class BufferPool {
 
   /// Flush machinery shared by FlushPage/FlushAll/eviction.  mu_ NOT held.
   /// `for_evict` additionally removes the frame from the table on success.
-  Status FlushFrame(size_t fi, bool for_evict);
+  /// `expect` (eviction only): the page the caller chose as victim.  The
+  /// frame is re-verified under mu_ — the window between the evictor
+  /// dropping mu_ and this call re-acquiring it can see the frame
+  /// Discarded, cleaned by a checkpoint, or claimed by another evictor,
+  /// and reusing it then would map two pages onto one frame.
+  Status FlushFrame(size_t fi, bool for_evict, PageId expect = kInvalidPageId);
 
   void Unpin(size_t fi);
 

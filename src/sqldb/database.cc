@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 
 #include "common/logging.h"
 
@@ -250,6 +251,7 @@ Status Database::DeserializeLocked(const std::string& image) {
       return Status::Corruption("bad table header");
     }
     t->id = static_cast<TableId>(tid);
+    t->heap.set_owner(tid);
     if (t->schema.name.empty() || ncols == 0) {
       return Status::Corruption("bad table header");
     }
@@ -404,6 +406,39 @@ Status Database::RecoverLocked() {
         break;
       default:
         break;
+    }
+  }
+
+  // Orphan adoption — the redo universe is the DURABLE STORE's page set,
+  // not the checkpoint image's page lists.  A page flushed after the
+  // covering checkpoint whose allocating records were then truncated out
+  // of the log (truncation implies the flush: TruncationPoint never passes
+  // an unflushed record) is listed by neither the image nor the log, yet
+  // holds committed rows.  Its header names its owning table: re-attach it
+  // before the rebuild below.  Pages owned by no surviving table (dropped
+  // tables) are discarded from the pool; RebuildAllocation reclaims them.
+  {
+    std::set<PageId> listed;
+    for (auto& [tid, t] : tables_) {
+      for (PageId p : t->heap.PageList()) listed.insert(p);
+    }
+    for (PageId pid : durable_->DataPageIds()) {
+      if (listed.count(pid) != 0) continue;
+      auto ref = pool_->Pin(pid);
+      bool adopted = false;
+      {
+        std::shared_lock<std::shared_mutex> cl(ref.latch());
+        const std::string& bytes = ref.bytes();
+        if (bytes.size() >= kPageHeaderSize &&
+            page::GetType(bytes) == kPageTypeHeap) {
+          TableState* t = FindTable(static_cast<TableId>(page::GetOwner(bytes)));
+          if (t != nullptr) {
+            t->heap.AdoptOrphan(pid);
+            adopted = true;
+          }
+        }
+      }
+      if (!adopted) pool_->Discard(pid);
     }
   }
 
@@ -610,6 +645,7 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
   }
   auto t = std::make_shared<TableState>(pool_.get(), pager_.get());
   t->id = next_table_id_++;
+  t->heap.set_owner(t->id);
   t->schema = std::move(schema);
   const TableId id = t->id;
   table_names_[t->schema.name] = id;

@@ -94,7 +94,7 @@ Status HeapTable::InstallAt(RowId rid, const Row& row, const LogFn& log) {
     auto ref = pool_->Pin(pid);
     std::unique_lock<std::shared_mutex> cl(ref.latch());
     if (ref.bytes().size() < kPageHeaderSize) {
-      page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap);
+      page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
     }
     if (!heap_page::CanFit(ref.bytes(), payload.size())) {
       // Estimate was stale (or the provisional charge overcommitted);
@@ -201,7 +201,7 @@ Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
     auto& src = pid < npid ? lo : hi;
     auto& dst = pid < npid ? hi : lo;
     if (dst.bytes().size() < kPageHeaderSize) {
-      page::Init(&dst.bytes(), pager_->page_size(), kPageTypeHeap);
+      page::Init(&dst.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
     }
     const int slot = heap_page::FindSlot(src.bytes(), rid);
     if (slot < 0) return Status::NotFound("rid holds no row");
@@ -283,7 +283,7 @@ void HeapTable::RedoInsert(RowId rid, const Row& row, PageId page, Lsn lsn) {
   auto ref = pool_->Pin(page);
   std::unique_lock<std::shared_mutex> cl(ref.latch());
   if (ref.bytes().size() < kPageHeaderSize) {
-    page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap);
+    page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
   }
   if (page::GetLsn(ref.bytes()) >= lsn) return;  // already reflected
   const int slot = heap_page::FindSlot(ref.bytes(), rid);
@@ -299,7 +299,7 @@ void HeapTable::RedoRemove(RowId rid, PageId page, Lsn lsn) {
   auto ref = pool_->Pin(page);
   std::unique_lock<std::shared_mutex> cl(ref.latch());
   if (ref.bytes().size() < kPageHeaderSize) {
-    page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap);
+    page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
   }
   if (page::GetLsn(ref.bytes()) >= lsn) return;
   const int slot = heap_page::FindSlot(ref.bytes(), rid);

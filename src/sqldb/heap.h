@@ -43,6 +43,10 @@ class HeapTable {
   using LogFn = std::function<Result<Lsn>(PageId page, PageId from_page)>;
 
   HeapTable(BufferPool* pool, Pager* pager) : pool_(pool), pager_(pager) {}
+
+  /// Owning table id stamped into every page this heap initialises (page
+  /// header `owner` field).  Set right after construction, before any DML.
+  void set_owner(uint64_t owner) { owner_ = owner; }
   ~HeapTable() { DiscardFrames(); }
   HeapTable(const HeapTable&) = delete;
   HeapTable& operator=(const HeapTable&) = delete;
@@ -117,6 +121,10 @@ class HeapTable {
   /// After redo: scan the pages and rebuild the rid map, free-rid list,
   /// live count, high-water mark and free-space estimates.
   void RebuildFromPages();
+  /// Recovery adoption: attach a durable page the checkpoint image did not
+  /// list (its page-list update was truncated out of the log) so the next
+  /// RebuildFromPages sees its rows.  Idempotent.
+  void AdoptOrphan(PageId pid) { AdoptPage(pid); }
   /// Drop every cached frame without writeback (DropTable, destruction).
   void DiscardFrames();
 
@@ -129,6 +137,7 @@ class HeapTable {
 
   BufferPool* pool_;
   Pager* pager_;
+  uint64_t owner_ = 0;
 
   mutable std::shared_mutex map_mu_;
   std::unordered_map<RowId, PageId> loc_;

@@ -74,6 +74,7 @@ constexpr size_t kOffType = 10;
 constexpr size_t kOffLower = 12;
 constexpr size_t kOffUpper = 16;
 constexpr size_t kOffFrag = 20;
+constexpr size_t kOffOwner = 24;
 
 }  // namespace
 
@@ -201,11 +202,12 @@ size_t MaxOrderedKeyBytes(size_t page_size) {
 
 namespace page {
 
-void Init(std::string* page, size_t page_size, uint8_t type) {
+void Init(std::string* page, size_t page_size, uint8_t type, uint64_t owner) {
   page->assign(page_size, '\0');
   (*page)[kOffType] = static_cast<char>(type);
   PutU32At(page, kOffLower, static_cast<uint32_t>(kPageHeaderSize));
   PutU32At(page, kOffUpper, static_cast<uint32_t>(page_size));
+  PutU64At(page, kOffOwner, owner);
 }
 
 Lsn GetLsn(const std::string& page) { return GetU64At(page, kOffLsn); }
@@ -221,6 +223,8 @@ uint8_t GetType(const std::string& page) {
 uint16_t SlotCount(const std::string& page) {
   return GetU16At(page, kOffNSlots);
 }
+
+uint64_t GetOwner(const std::string& page) { return GetU64At(page, kOffOwner); }
 
 }  // namespace page
 

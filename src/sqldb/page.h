@@ -81,18 +81,27 @@ size_t MaxOrderedKeyBytes(size_t page_size);
 // freshly allocated (empty) buffer is initialised with Init().
 // ---------------------------------------------------------------------------
 
-inline constexpr size_t kPageHeaderSize = 24;
+// Header: [u64 page_lsn][u16 nslots][u8 type][u8 flags][u32 lower]
+//         [u32 upper][u32 frag][u64 owner]
+// `owner` is the table id the page belongs to, stamped at Init.  Recovery
+// uses it to re-attach pages the durable store knows about but no
+// checkpoint image lists (flushed after the covering checkpoint, then the
+// log truncated past their page-list update): a heap page whose owner is a
+// live table is adopted back into that table's page list.
+inline constexpr size_t kPageHeaderSize = 32;
 inline constexpr uint8_t kPageTypeHeap = 1;
 inline constexpr uint8_t kPageTypeIndexLeaf = 2;
 inline constexpr uint8_t kPageTypeIndexInternal = 3;
 
 namespace page {
 
-void Init(std::string* page, size_t page_size, uint8_t type);
+void Init(std::string* page, size_t page_size, uint8_t type, uint64_t owner = 0);
 Lsn GetLsn(const std::string& page);
 void SetLsn(std::string* page, Lsn lsn);  // monotonic: keeps max
 uint8_t GetType(const std::string& page);
 uint16_t SlotCount(const std::string& page);
+/// Owning table id (0 = unowned; index pages are rebuilt, not adopted).
+uint64_t GetOwner(const std::string& page);
 
 }  // namespace page
 

@@ -168,6 +168,65 @@ TEST(BufferPool, FlushFailureLeavesPageDirtyForRetry) {
   EXPECT_EQ(rig.ReadMarker(1, 6), "sticky");
 }
 
+// Regression: the window between an evictor choosing a dirty victim and
+// FlushFrame re-acquiring the pool mutex could see the victim frame
+// Discarded (and free-listed), cleaned by a concurrent FlushAll, or claimed
+// by another evictor.  The evictor then reused the frame anyway, mapping
+// two page ids onto one frame — two B-trees ended up writing into each
+// other's node bytes (caught by TSan under the E16 multi-shard bench).
+// Stress the exact triangle — eviction pressure + Discard + checkpoint —
+// and require every page read to carry its own stamp.
+TEST(BufferPoolConcurrency, EvictDiscardCheckpointRaceNeverAliasesFrames) {
+  PoolRig rig(4);  // minimum pool: every pin beyond 4 pages evicts
+  constexpr int kWorkers = 4;
+  constexpr int kPagesPerWorker = 8;
+  constexpr int kIters = 600;
+  auto stamp = [](PageId id) {
+    std::string s = std::to_string(id);
+    s.resize(8, '#');
+    return s;
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> aliased{0};
+  std::thread checkpointer([&] {
+    while (!stop.load()) (void)rig.pool.FlushAll();
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      // Disjoint page-id universe per worker: each page is only ever
+      // stamped with its own id, so any foreign stamp is frame aliasing,
+      // not a logical write-write conflict.
+      for (int i = 0; i < kIters; ++i) {
+        const PageId id = 1 + static_cast<PageId>(w) * kPagesPerWorker +
+                          static_cast<PageId>(i % kPagesPerWorker);
+        const int op = i % 8;
+        if (op == 6) {
+          rig.pool.Discard(id);
+        } else if ((op & 1) != 0) {
+          rig.DirtyPage(id, stamp(id));
+        } else {
+          BufferPool::PageRef ref = rig.pool.Pin(id);
+          std::shared_lock<std::shared_mutex> latch(ref.latch());
+          const std::string& pg = ref.bytes();
+          // Empty = never flushed before a Discard dropped it; anything
+          // else must be this page's own stamp.
+          if (pg.size() >= kPageHeaderSize + 8 &&
+              pg.compare(kPageHeaderSize, 8, stamp(id)) != 0) {
+            aliased.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true);
+  checkpointer.join();
+  EXPECT_EQ(aliased.load(), 0) << "a frame served two live pages";
+}
+
 // --------------------------------------------------------------------------
 // Pager ping-pong slots.
 // --------------------------------------------------------------------------

@@ -596,5 +596,176 @@ TEST_F(CrashMatrixTest, AbandonedReconcileTempTableIsSweptOnRestart) {
   EXPECT_TRUE(report->dlfm_unlinked.empty());
 }
 
+// --------------------------------------------------------------------------
+// Orphan-page adoption: recovery's redo universe is the durable store's
+// page set, not the checkpoint image's page lists.  Pages allocated and
+// flushed after an anchor — whose page-list updates the next checkpoint
+// truncated out of the log — must be re-attached to their owning table when
+// recovery falls back to that older anchor.
+// --------------------------------------------------------------------------
+
+TEST(OrphanPageRecovery, PagesFlushedAfterAnchorSurviveAnchorFallback) {
+  sqldb::DatabaseOptions o;
+  o.page_size_bytes = 1024;  // small pages: the filler rows allocate fresh ones
+  o.lock_timeout_micros = 500 * 1000;
+  auto db = std::move(sqldb::Database::Open(o)).value();
+  sqldb::TableSchema schema;
+  schema.name = "files";
+  schema.columns = {{"name", sqldb::ValueType::kString, false},
+                    {"state", sqldb::ValueType::kString, false}};
+  sqldb::TableId t = *db->CreateTable(schema);
+
+  auto insert = [&](int lo, int hi) {
+    sqldb::Transaction* txn = db->Begin();
+    for (int i = lo; i < hi; ++i) {
+      ASSERT_TRUE(db->Insert(txn, t,
+                             {Value("f" + std::to_string(1000 + i)),
+                              Value(std::string(100, 'x'))})
+                      .ok());
+    }
+    ASSERT_TRUE(db->Commit(txn).ok());
+  };
+
+  insert(0, 5);
+  ASSERT_TRUE(db->Checkpoint().ok());  // anchor A lists only the first pages
+
+  // These rows spill onto newly allocated pages anchor A never heard of.
+  insert(5, 60);
+  // Anchor B: flushes the new pages, lists them, truncates the log — the
+  // records that created them are gone from the redo log.
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  auto durable = db->SimulateCrash();
+  ASSERT_FALSE(durable->DataPageIds().empty());
+  // Media corruption of the active anchor: recovery CRC-rejects B and falls
+  // back to anchor A, whose page lists miss every post-A allocation.  The
+  // orphan pages still sit in the durable store with their owner stamped.
+  durable->CorruptActiveCheckpoint(0);
+
+  auto reopened = sqldb::Database::Open(o, durable);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto db2 = std::move(reopened).value();
+  sqldb::Transaction* r = db2->Begin();
+  auto rows = db2->Select(r, *db2->TableByName("files"), {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(db2->Commit(r).ok());
+  EXPECT_EQ(rows->size(), 60u) << "orphaned heap pages were not adopted";
+  EXPECT_TRUE(db2->CheckIntegrity().ok());
+}
+
+// --------------------------------------------------------------------------
+// Sharded topology over the socket transport: the 2PC crash invariants hold
+// when the host reaches its DLFMs through TCP and places file-server
+// prefixes by consistent hash (ISSUE 8 acceptance: matrix invariants in at
+// least one sharded configuration).
+// --------------------------------------------------------------------------
+
+TEST(ShardedCrashMatrix, HostCrashBeforePhase2OverSocketsStillCommits) {
+  constexpr int kShards = 3;
+  constexpr int kPrefixes = 6;
+  auto archive = std::make_unique<archive::ArchiveServer>();
+  std::vector<std::unique_ptr<fsim::FileServer>> fs;
+  std::vector<std::unique_ptr<dlfm::DlfmServer>> dlfms;
+  for (int i = 0; i < kShards; ++i) {
+    const std::string name = "srv" + std::to_string(i);
+    fs.push_back(std::make_unique<fsim::FileServer>(name));
+    dlfm::DlfmOptions dopts;
+    dopts.server_name = name;
+    dopts.listen_port = 0;
+    auto d = std::make_unique<dlfm::DlfmServer>(dopts, fs.back().get(),
+                                                archive.get(), nullptr);
+    ASSERT_TRUE(d->Start().ok());
+    dlfms.push_back(std::move(d));
+  }
+
+  auto fault_host = std::make_shared<FaultInjector>();
+  auto make_host = [&](std::shared_ptr<sqldb::DurableStore> durable) {
+    hostdb::HostOptions hopts;
+    hopts.dbid = 1;
+    hopts.shard_placement = true;
+    hopts.fault = fault_host;
+    auto host = std::make_unique<hostdb::HostDatabase>(hopts, std::move(durable));
+    for (int i = 0; i < kShards; ++i) {
+      host->RegisterDlfm("srv" + std::to_string(i), dlfms[i]->socket_listener());
+    }
+    return host;
+  };
+  auto host = make_host(nullptr);
+  auto table = host->CreateTable(
+      "media", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+                ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                           AccessControl::kFull, false}});
+  ASSERT_TRUE(table.ok());
+
+  auto shard_of = [&](const std::string& prefix) {
+    const std::string shard = host->ResolveServer(prefix);
+    for (int i = 0; i < kShards; ++i) {
+      if (shard == "srv" + std::to_string(i)) return i;
+    }
+    ADD_FAILURE() << prefix << " -> " << shard;
+    return 0;
+  };
+  for (int p = 0; p < kPrefixes; ++p) {
+    const std::string prefix = "vol" + std::to_string(p);
+    ASSERT_TRUE(fs[shard_of(prefix)]
+                    ->CreateFile("f" + std::to_string(p), "alice", 0644, "data")
+                    .ok());
+  }
+
+  // Crash with the commit decision durable but no shard told: presumed
+  // abort does NOT apply — ResolveIndoubts must redeliver commit to every
+  // participant named in the decision record.
+  {
+    FaultInjector::Spec crash;
+    crash.action = FaultInjector::Action::kCrash;
+    fault_host->Arm(failpoints::kHostCommitBeforePhase2, crash);
+    auto s = host->OpenSession();
+    ASSERT_TRUE(s->Begin().ok());
+    for (int p = 0; p < kPrefixes; ++p) {
+      ASSERT_TRUE(s->Insert(*table,
+                            Row{Value(int64_t{p}),
+                                Value("dlfs://vol" + std::to_string(p) + "/f" +
+                                      std::to_string(p))})
+                      .ok());
+    }
+    Status st = s->Commit();
+    EXPECT_FALSE(st.ok());  // the "process" died mid-commit
+  }
+  auto store = host->SimulateCrash();
+  host.reset();
+  fault_host->Reset();
+
+  // Host restart over the same socket listeners; the DLFMs never died.
+  host = make_host(std::move(store));
+  auto media = host->db()->TableByName("media");
+  ASSERT_TRUE(media.ok());
+  ASSERT_TRUE(host->ResolveIndoubts().ok());
+
+  // I1: no indoubt transaction survives anywhere.
+  for (auto& d : dlfms) {
+    auto in = d->ListIndoubt();
+    ASSERT_TRUE(in.ok());
+    EXPECT_TRUE(in->empty());
+  }
+  // I2: the fully delivered decision record is erased.
+  auto pending = host->PendingDecisions();
+  ASSERT_TRUE(pending.ok());
+  EXPECT_TRUE(pending->empty());
+  // Outcome: committed — every placement-routed link exists on its shard.
+  for (int p = 0; p < kPrefixes; ++p) {
+    EXPECT_TRUE(dlfms[shard_of("vol" + std::to_string(p))]->UpcallIsLinked(
+        "f" + std::to_string(p)))
+        << "vol" << p;
+  }
+  // I3: host references and File tables agree.
+  auto report = host->Reconcile(*media, /*use_temp_table=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->cleared_urls.empty());
+  EXPECT_TRUE(report->dlfm_unlinked.empty());
+
+  host.reset();
+  for (auto& d : dlfms) d->Stop();
+}
+
 }  // namespace
 }  // namespace datalinks

@@ -1,0 +1,282 @@
+// Sharded multi-DLFM scale-out over the socket transport (DESIGN.md §10):
+// consistent-hash placement of file-server prefixes across N DLFMs, parallel
+// phase-1 fan-out with per-shard metrics, prepare-timeout presumed abort,
+// and the kStats RPC over a real socket connection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive_server.h"
+#include "dlfm/server.h"
+#include "dlfm/wire_codec.h"
+#include "fsim/file_server.h"
+#include "hostdb/host_database.h"
+
+namespace datalinks {
+namespace {
+
+using dlfm::AccessControl;
+using hostdb::ColumnSpec;
+using sqldb::Row;
+using sqldb::Value;
+
+constexpr int kShards = 4;
+
+class MultiDlfmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = std::make_unique<archive::ArchiveServer>();
+    for (int i = 0; i < kShards; ++i) {
+      const std::string name = "srv" + std::to_string(i);
+      fs_.push_back(std::make_unique<fsim::FileServer>(name));
+      dlfm::DlfmOptions opts;
+      opts.server_name = name;
+      opts.listen_port = 0;  // real TCP on an ephemeral loopback port
+      auto d = std::make_unique<dlfm::DlfmServer>(opts, fs_.back().get(),
+                                                  archive_.get(), nullptr);
+      ASSERT_TRUE(d->Start().ok());
+      ASSERT_GT(d->socket_port(), 0);
+      dlfms_.push_back(std::move(d));
+    }
+
+    hostdb::HostOptions hopts;
+    hopts.dbid = 1;
+    hopts.shard_placement = true;
+    host_ = std::make_unique<hostdb::HostDatabase>(hopts);
+    for (int i = 0; i < kShards; ++i) {
+      host_->RegisterDlfm("srv" + std::to_string(i), dlfms_[i]->socket_listener());
+    }
+
+    auto table = host_->CreateTable(
+        "media", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+                  ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                             AccessControl::kFull, false}});
+    ASSERT_TRUE(table.ok());
+    media_ = *table;
+  }
+
+  void TearDown() override {
+    host_.reset();  // sessions and connections close before the DLFMs stop
+    for (auto& d : dlfms_) d->Stop();
+  }
+
+  /// Index of the shard a file-server prefix is placed on.
+  int ShardFor(const std::string& prefix) {
+    const std::string shard = host_->ResolveServer(prefix);
+    for (int i = 0; i < kShards; ++i) {
+      if (shard == "srv" + std::to_string(i)) return i;
+    }
+    ADD_FAILURE() << prefix << " resolved to unregistered " << shard;
+    return 0;
+  }
+
+  /// Create `path` on the file server the placement ring assigns `prefix`.
+  void MakeFileOnShard(const std::string& prefix, const std::string& path) {
+    ASSERT_TRUE(
+        fs_[ShardFor(prefix)]->CreateFile(path, "alice", 0644, "data").ok());
+  }
+
+  std::unique_ptr<archive::ArchiveServer> archive_;
+  std::vector<std::unique_ptr<fsim::FileServer>> fs_;
+  std::vector<std::unique_ptr<dlfm::DlfmServer>> dlfms_;
+  std::unique_ptr<hostdb::HostDatabase> host_;
+  sqldb::TableId media_ = 0;
+};
+
+TEST_F(MultiDlfmTest, PlacementRoutesPrefixesAcrossShardsAndCommits) {
+  // Ten logical file-server prefixes hash onto the four registered DLFMs;
+  // one transaction links a file under every prefix and 2PC spans all the
+  // shards that placement touched.
+  constexpr int kPrefixes = 10;
+  std::set<int> used;
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  for (int p = 0; p < kPrefixes; ++p) {
+    const std::string prefix = "vol" + std::to_string(p);
+    const std::string path = "clips/f" + std::to_string(p);
+    // Placement is deterministic: resolving twice gives the same shard.
+    ASSERT_EQ(host_->ResolveServer(prefix), host_->ResolveServer(prefix));
+    used.insert(ShardFor(prefix));
+    MakeFileOnShard(prefix, path);
+    ASSERT_TRUE(session
+                    ->Insert(media_, Row{Value(int64_t{p}),
+                                         Value("dlfs://" + prefix + "/" + path)})
+                    .ok());
+  }
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_GE(used.size(), 2u) << "hash ring parked every prefix on one shard";
+
+  for (int p = 0; p < kPrefixes; ++p) {
+    const std::string prefix = "vol" + std::to_string(p);
+    const std::string path = "clips/f" + std::to_string(p);
+    EXPECT_TRUE(dlfms_[ShardFor(prefix)]->UpcallIsLinked(path)) << prefix;
+  }
+}
+
+TEST_F(MultiDlfmTest, RegisteredNameBypassesTheRing) {
+  // An exact registered server name wins over placement, so existing
+  // dlfs://srvK URLs keep addressing the DLFM they always did.
+  for (int i = 0; i < kShards; ++i) {
+    EXPECT_EQ(host_->ResolveServer("srv" + std::to_string(i)),
+              "srv" + std::to_string(i));
+  }
+}
+
+TEST_F(MultiDlfmTest, ParallelCommitRecordsPerShardMetrics) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  // One transaction across every shard: the parallel phase-1 fan-out and
+  // pipelined phase-2 must label RTTs and prepare counts per shard.
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  for (int i = 0; i < kShards; ++i) {
+    const std::string server = "srv" + std::to_string(i);
+    const std::string path = "direct" + std::to_string(i);
+    ASSERT_TRUE(fs_[i]->CreateFile(path, "alice", 0644, "data").ok());
+    ASSERT_TRUE(session
+                    ->Insert(media_, Row{Value(int64_t{i}),
+                                         Value("dlfs://" + server + "/" + path)})
+                    .ok());
+  }
+  ASSERT_TRUE(session->Commit().ok());
+
+  const std::string stats = host_->StatsJson();
+  for (int i = 0; i < kShards; ++i) {
+    const std::string server = "srv" + std::to_string(i);
+    EXPECT_NE(stats.find("host.2pc.phase1_rtt_us." + server), std::string::npos)
+        << server;
+    EXPECT_NE(stats.find("host.2pc.phase2_rtt_us." + server), std::string::npos)
+        << server;
+    EXPECT_NE(stats.find("host.2pc.prepares." + server), std::string::npos)
+        << server;
+  }
+}
+
+TEST_F(MultiDlfmTest, TardyShardFailsPrepareWithinTheDeadline) {
+  // One shard's prepare stalls past the host's phase-1 deadline: the
+  // transaction aborts (presumed abort; the tardy shard learns the outcome
+  // from the abort delivery), and the session stays usable.
+  host_->mutable_options().prepare_timeout_micros = 50 * 1000;
+  dlfms_[0]->fault().Arm(failpoints::kDlfmPrepareBeforeHarden,
+                         {FaultInjector::Action::kDelay, Status::OK(),
+                          /*delay_micros=*/400 * 1000, 0, 1});
+
+  ASSERT_TRUE(fs_[0]->CreateFile("slow", "alice", 0644, "data").ok());
+  ASSERT_TRUE(fs_[1]->CreateFile("fast", "alice", 0644, "data").ok());
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(
+      session->Insert(media_, Row{Value(int64_t{1}), Value("dlfs://srv0/slow")}).ok());
+  ASSERT_TRUE(
+      session->Insert(media_, Row{Value(int64_t{2}), Value("dlfs://srv1/fast")}).ok());
+  Status st = session->Commit();
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+
+  EXPECT_FALSE(dlfms_[0]->UpcallIsLinked("slow"));
+  EXPECT_FALSE(dlfms_[1]->UpcallIsLinked("fast"));
+  EXPECT_TRUE(dlfms_[0]->ListIndoubt()->empty());
+  EXPECT_TRUE(dlfms_[1]->ListIndoubt()->empty());
+
+  // The next transaction on the same session succeeds normally.
+  dlfms_[0]->fault().Reset();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(
+      session->Insert(media_, Row{Value(int64_t{3}), Value("dlfs://srv0/slow")}).ok());
+  ASSERT_TRUE(
+      session->Insert(media_, Row{Value(int64_t{4}), Value("dlfs://srv1/fast")}).ok());
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_TRUE(dlfms_[0]->UpcallIsLinked("slow"));
+  EXPECT_TRUE(dlfms_[1]->UpcallIsLinked("fast"));
+}
+
+TEST_F(MultiDlfmTest, StatsRpcOverSocketTransport) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  ASSERT_TRUE(fs_[2]->CreateFile("s", "alice", 0644, "data").ok());
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  ASSERT_TRUE(
+      session->Insert(media_, Row{Value(int64_t{1}), Value("dlfs://srv2/s")}).ok());
+  ASSERT_TRUE(session->Commit().ok());
+
+  auto conn = dlfms_[2]->socket_listener()->Connect();
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  dlfm::DlfmRequest req;
+  req.api = dlfm::DlfmApi::kStats;
+  auto resp = (*conn)->Call(std::move(req));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_TRUE(resp->ToStatus().ok());
+  EXPECT_EQ(resp->message.rfind("{\"counters\":", 0), 0u) << resp->message;
+  EXPECT_NE(resp->message.find("dlfm.prepare.latency_us"), std::string::npos);
+}
+
+TEST_F(MultiDlfmTest, ConcurrentDisjointShardCommits) {
+  // The E16 workload in miniature: sessions whose transactions touch
+  // disjoint shards commit concurrently over the socket transport.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  for (int w = 0; w < kThreads; ++w) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_TRUE(fs_[w]->CreateFile("c" + std::to_string(i), "alice", 0644, "data").ok());
+    }
+  }
+  std::atomic<int> committed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      auto session = host_->OpenSession();
+      const std::string server = "srv" + std::to_string(w);
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!session->Begin().ok()) continue;
+        Status st = session->Insert(
+            media_, Row{Value(int64_t{w * 1000 + i}),
+                        Value("dlfs://" + server + "/c" + std::to_string(i))});
+        if (st.ok() && session->Commit().ok()) {
+          committed.fetch_add(1);
+        } else if (session->in_transaction()) {
+          (void)session->Rollback();
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(committed.load(), kThreads * kPerThread);
+  for (int w = 0; w < kThreads; ++w) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(dlfms_[w]->UpcallIsLinked("c" + std::to_string(i)));
+    }
+  }
+}
+
+// Without shard_placement an unknown server prefix stays an error — the
+// seed's behavior is opt-out by default.
+TEST(PlacementOptOut, UnknownServerIsUnavailable) {
+  fsim::FileServer fs("srv1");
+  archive::ArchiveServer archive;
+  dlfm::DlfmOptions opts;
+  opts.server_name = "srv1";
+  auto d = std::make_unique<dlfm::DlfmServer>(opts, &fs, &archive, nullptr);
+  ASSERT_TRUE(d->Start().ok());
+  hostdb::HostOptions hopts;
+  hopts.dbid = 1;
+  auto host = std::make_unique<hostdb::HostDatabase>(hopts);
+  host->RegisterDlfm("srv1", d->listener());
+  auto table = host->CreateTable(
+      "m", {ColumnSpec{"id", sqldb::ValueType::kInt, false, false, {}, false},
+            ColumnSpec{"clip", sqldb::ValueType::kString, true, true,
+                       AccessControl::kNone, false}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(host->ResolveServer("vol7"), "vol7");  // no ring lookup
+  auto session = host->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  Status st = session->Insert(*table, Row{Value(int64_t{1}), Value("dlfs://vol7/x")});
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  session.reset();
+  host.reset();
+  d->Stop();
+}
+
+}  // namespace
+}  // namespace datalinks

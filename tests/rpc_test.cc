@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "rpc/channel.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
 
 namespace datalinks::rpc {
 namespace {
@@ -51,7 +53,7 @@ TEST(BlockingQueue, CloseWakesWaiters) {
 }
 
 TEST(Connection, SynchronousCall) {
-  Connection<int, int> conn;
+  InProcessConnection<int, int> conn;
   std::thread server([&] {
     auto req = conn.NextRequest();
     ASSERT_TRUE(req.ok());
@@ -65,7 +67,7 @@ TEST(Connection, SynchronousCall) {
 }
 
 TEST(Connection, AsyncCallAndDrain) {
-  Connection<int, int> conn;
+  InProcessConnection<int, int> conn;
   std::thread server([&] {
     for (int i = 0; i < 2; ++i) {
       auto req = conn.NextRequest();
@@ -86,15 +88,42 @@ TEST(Connection, AsyncCallAndDrain) {
 }
 
 TEST(Connection, DrainWithoutPendingIsError) {
-  Connection<int, int> conn;
+  InProcessConnection<int, int> conn;
   EXPECT_FALSE(conn.DrainResponse().ok());
+}
+
+TEST(Connection, CallWithUndrainedAsyncIsFailedPrecondition) {
+  // Interleaving a synchronous Call with an undrained CallAsync would pair
+  // the async response with the synchronous request; the protocol layer
+  // must reject it instead of silently cross-wiring the conversation.
+  InProcessConnection<int, int> conn;
+  std::thread server([&] {
+    for (int i = 0; i < 2; ++i) {
+      auto req = conn.NextRequest();
+      if (!req.ok()) return;
+      ASSERT_TRUE(conn.Reply(*req + 1).ok());
+    }
+  });
+  ASSERT_TRUE(conn.CallAsync(1).ok());
+  auto bad = conn.Call(2);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsFailedPrecondition());
+  // The rejected Call consumed nothing: the async response is still there,
+  // and the connection is fully usable afterwards.
+  auto r1 = conn.DrainResponse();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 2);
+  auto r2 = conn.Call(10);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 11);
+  server.join();
 }
 
 TEST(Connection, AsyncSenderBlocksWhileServerBusy) {
   // The §4 scenario shape: the server is "busy" (has not posted a receive),
   // so after one queued request the next Call blocks until the server gets
   // around to serving.
-  Connection<int, int> conn;
+  InProcessConnection<int, int> conn;
   ASSERT_TRUE(conn.CallAsync(1).ok());  // sits in the depth-1 request queue
   std::atomic<bool> second_done{false};
   std::thread client([&] {
@@ -117,25 +146,8 @@ TEST(Connection, AsyncSenderBlocksWhileServerBusy) {
   ASSERT_TRUE(conn.DrainResponse().ok());
 }
 
-TEST(Listener, AcceptMatchesConnect) {
-  Listener<int, int> listener;
-  std::thread server([&] {
-    auto conn = listener.Accept();
-    ASSERT_TRUE(conn.ok());
-    auto req = (*conn)->NextRequest();
-    ASSERT_TRUE(req.ok());
-    ASSERT_TRUE((*conn)->Reply(*req * 3).ok());
-  });
-  auto conn = listener.Connect();
-  ASSERT_TRUE(conn.ok());
-  auto resp = (*conn)->Call(5);
-  ASSERT_TRUE(resp.ok());
-  EXPECT_EQ(*resp, 15);
-  server.join();
-}
-
 TEST(Listener, CloseUnblocksAccept) {
-  Listener<int, int> listener;
+  InProcessListener<int, int> listener;
   std::thread server([&] {
     auto conn = listener.Accept();
     EXPECT_FALSE(conn.ok());
@@ -145,39 +157,11 @@ TEST(Listener, CloseUnblocksAccept) {
   server.join();
 }
 
-TEST(Listener, MultipleConnections) {
-  Listener<int, int> listener;
-  constexpr int kClients = 4;
-  std::thread server([&] {
-    for (int i = 0; i < kClients; ++i) {
-      auto conn = listener.Accept();
-      ASSERT_TRUE(conn.ok());
-      std::thread([c = *conn] {
-        auto req = c->NextRequest();
-        if (req.ok()) (void)c->Reply(*req + 100);
-      }).detach();
-    }
-  });
-  std::vector<std::thread> clients;
-  std::atomic<int> ok{0};
-  for (int i = 0; i < kClients; ++i) {
-    clients.emplace_back([&, i] {
-      auto conn = listener.Connect();
-      ASSERT_TRUE(conn.ok());
-      auto resp = (*conn)->Call(i);
-      if (resp.ok() && *resp == i + 100) ok.fetch_add(1);
-    });
-  }
-  for (auto& c : clients) c.join();
-  server.join();
-  EXPECT_EQ(ok.load(), kClients);
-}
-
 TEST(Connection, StatsAccessorsAreRaceFreeDuringCalls) {
   // Monitoring threads read pending_responses()/messages_sent() without
   // holding the caller's mutex; the counters must be safe to read while a
   // call is in flight (TSan guards this).
-  Connection<int, int> conn;
+  InProcessConnection<int, int> conn;
   std::atomic<bool> stop{false};
   std::thread server([&] {
     while (true) {
@@ -203,6 +187,94 @@ TEST(Connection, StatsAccessorsAreRaceFreeDuringCalls) {
   server.join();
   EXPECT_GE(conn.messages_sent(), 2000u);
   EXPECT_GT(observed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transport parity: the same protocol-level test body must pass over the
+// in-process transport and the socket transport — the host database and the
+// DLFM see only the abstract Connection/Listener interface, so the two must
+// be behaviorally indistinguishable.
+// ---------------------------------------------------------------------------
+
+struct IntCodec {
+  static void EncodeRequest(const int& v, std::string* out) { wire::AppendI64(out, v); }
+  static Result<int> DecodeRequest(std::string_view in) {
+    wire::Reader rd(in);
+    DLX_ASSIGN_OR_RETURN(int64_t v, rd.ReadI64());
+    return static_cast<int>(v);
+  }
+  static void EncodeResponse(const int& v, std::string* out) { wire::AppendI64(out, v); }
+  static Result<int> DecodeResponse(std::string_view in) { return DecodeRequest(in); }
+};
+
+using IntSocketListener = SocketListener<int, int, IntCodec>;
+
+/// Serve `conns` connections (each handling requests until close) on a
+/// detached-thread-per-connection basis, echoing req+100.
+void ServeEchoPlus100(Listener<int, int>& listener, int conns,
+                      std::vector<std::thread>& agents) {
+  for (int i = 0; i < conns; ++i) {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    agents.emplace_back([c = *conn] {
+      while (true) {
+        auto req = c->NextRequest();
+        if (!req.ok()) return;
+        if (!c->Reply(*req + 100).ok()) return;
+      }
+    });
+  }
+}
+
+void RunTransportParity(Listener<int, int>& listener) {
+  constexpr int kClients = 4;
+  std::vector<std::thread> agents;
+  std::thread server([&] { ServeEchoPlus100(listener, kClients, agents); });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto conn = listener.Connect();
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      // Synchronous calls.
+      for (int k = 0; k < 50; ++k) {
+        auto resp = (*conn)->Call(i * 1000 + k);
+        ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+        ASSERT_EQ(*resp, i * 1000 + k + 100);
+      }
+      // Async fire + drain (the §4 commit shape).
+      ASSERT_TRUE((*conn)->CallAsync(7).ok());
+      EXPECT_TRUE((*conn)->Call(8).status().IsFailedPrecondition());
+      auto d = (*conn)->DrainResponse();
+      ASSERT_TRUE(d.ok());
+      ASSERT_EQ(*d, 107);
+      // Back to synchronous after draining.
+      auto resp = (*conn)->Call(1);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_EQ(*resp, 101);
+      (*conn)->Close();
+      ok.fetch_add(1);
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.join();
+  for (auto& a : agents) a.join();
+  EXPECT_EQ(ok.load(), kClients);
+}
+
+TEST(TransportParity, InProcess) {
+  InProcessListener<int, int> listener;
+  RunTransportParity(listener);
+  listener.Close();
+}
+
+TEST(TransportParity, Socket) {
+  auto listener = IntSocketListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT((*listener)->port(), 0);
+  RunTransportParity(**listener);
+  (*listener)->Close();
 }
 
 }  // namespace

@@ -1,0 +1,329 @@
+// Socket transport (DESIGN.md §10): frame codec round-trips, corrupt-input
+// severing (truncated or oversized frames fail with Corruption — never a
+// hang), accept/close races, and the DLFM request/response codec.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dlfm/wire_codec.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+
+namespace datalinks::rpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// wire::Reader bounds checking.
+// ---------------------------------------------------------------------------
+
+TEST(Wire, RoundTrip) {
+  std::string buf;
+  wire::AppendU8(&buf, 7);
+  wire::AppendU32(&buf, 0xDEADBEEF);
+  wire::AppendU64(&buf, 0x0123456789ABCDEFull);
+  wire::AppendI64(&buf, -42);
+  wire::AppendString(&buf, "hello");
+  wire::AppendString(&buf, "");
+
+  wire::Reader rd(buf);
+  EXPECT_EQ(*rd.ReadU8(), 7);
+  EXPECT_EQ(*rd.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(*rd.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*rd.ReadI64(), -42);
+  EXPECT_EQ(*rd.ReadString(), "hello");
+  EXPECT_EQ(*rd.ReadString(), "");
+  EXPECT_TRUE(rd.AtEnd());
+}
+
+bool IsCorruption(const Status& st) { return st.code() == StatusCode::kCorruption; }
+
+TEST(Wire, TruncatedReadsAreCorruption) {
+  EXPECT_TRUE(IsCorruption(wire::Reader("").ReadU8().status()));
+  EXPECT_TRUE(IsCorruption(wire::Reader("abc").ReadU32().status()));
+  EXPECT_TRUE(IsCorruption(wire::Reader("abcdefg").ReadU64().status()));
+  // String length announces more bytes than the payload holds.
+  std::string s;
+  wire::AppendU32(&s, 100);
+  s += "short";
+  EXPECT_TRUE(IsCorruption(wire::Reader(s).ReadString().status()));
+  // Length prefix itself truncated.
+  EXPECT_TRUE(IsCorruption(wire::Reader("ab").ReadString().status()));
+}
+
+TEST(Wire, EveryPrefixOfValidBufferFailsCleanly) {
+  std::string buf;
+  wire::AppendU64(&buf, 1);
+  wire::AppendString(&buf, "abcdef");
+  wire::AppendI64(&buf, -1);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    // The prefix must outlive the Reader (it holds a view, not a copy).
+    const std::string prefix = buf.substr(0, len);
+    wire::Reader rd(prefix);
+    // Reading the full schema from a truncated buffer must error, not hang
+    // or read out of bounds.
+    auto a = rd.ReadU64();
+    if (!a.ok()) continue;
+    auto b = rd.ReadString();
+    if (!b.ok()) continue;
+    EXPECT_FALSE(rd.ReadI64().ok()) << "prefix " << len << " parsed fully";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raw socket layer.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransport, StreamRoundTrip) {
+  auto acceptor = SocketAcceptor::Listen(0);
+  ASSERT_TRUE(acceptor.ok()) << acceptor.status().ToString();
+  std::thread server([&] {
+    auto stream = (*acceptor)->AcceptStream();
+    ASSERT_TRUE(stream.ok());
+    auto payload = (*stream)->NextPayload();
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(*payload, "ping");
+    ASSERT_TRUE((*stream)->Reply("pong").ok());
+  });
+  auto channel = SocketChannel::Dial("127.0.0.1", (*acceptor)->port());
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+  auto stream = (*channel)->OpenStream();
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->Send("ping").ok());
+  auto resp = (*stream)->Recv();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "pong");
+  server.join();
+  (*channel)->Close();
+  (*acceptor)->Close();
+}
+
+TEST(SocketTransport, OversizedPayloadIsRejectedBeforeSend) {
+  auto acceptor = SocketAcceptor::Listen(0);
+  ASSERT_TRUE(acceptor.ok());
+  auto channel = SocketChannel::Dial("127.0.0.1", (*acceptor)->port());
+  ASSERT_TRUE(channel.ok());
+  auto stream = (*channel)->OpenStream();
+  ASSERT_TRUE(stream.ok());
+  std::string huge(kMaxFrameLen, 'x');  // payload alone exceeds the frame cap
+  EXPECT_EQ((*stream)->Send(std::move(huge)).code(), StatusCode::kInvalidArgument);
+  (*channel)->Close();
+  (*acceptor)->Close();
+}
+
+/// Dial the acceptor with a raw TCP socket so arbitrary (garbage) bytes can
+/// be written under the frame layer.
+int RawDial(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+void ExpectServerSevers(int fd) {
+  // The server responds to a corrupt frame by shutting the connection down;
+  // the client observes EOF rather than a hang.
+  char buf[16];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+}
+
+TEST(SocketTransport, UndersizedFrameLenSeversConnection) {
+  auto acceptor = SocketAcceptor::Listen(0);
+  ASSERT_TRUE(acceptor.ok());
+  int fd = RawDial((*acceptor)->port());
+  std::string frame;
+  wire::AppendU32(&frame, 5);  // < 9: cannot even hold stream id + kind
+  frame += "xxxxx";
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  ExpectServerSevers(fd);
+
+  // The acceptor survives: a well-formed connection still works.
+  auto channel = SocketChannel::Dial("127.0.0.1", (*acceptor)->port());
+  ASSERT_TRUE(channel.ok());
+  auto stream = (*channel)->OpenStream();
+  ASSERT_TRUE(stream.ok());
+  std::thread server([&] {
+    auto s = (*acceptor)->AcceptStream();
+    ASSERT_TRUE(s.ok());
+    auto p = (*s)->NextPayload();
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE((*s)->Reply(*p).ok());
+  });
+  ASSERT_TRUE((*stream)->Send("still alive").ok());
+  auto resp = (*stream)->Recv();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "still alive");
+  server.join();
+  (*channel)->Close();
+  (*acceptor)->Close();
+}
+
+TEST(SocketTransport, OversizedFrameLenSeversConnection) {
+  auto acceptor = SocketAcceptor::Listen(0);
+  ASSERT_TRUE(acceptor.ok());
+  int fd = RawDial((*acceptor)->port());
+  std::string frame;
+  wire::AppendU32(&frame, kMaxFrameLen + 1);  // announces an absurd frame
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  // The server must sever without trying to read (or allocate) the claimed
+  // body — the four length bytes are all it ever sees.
+  ExpectServerSevers(fd);
+  (*acceptor)->Close();
+}
+
+TEST(SocketTransport, ChannelCloseWakesPendingRecv) {
+  auto acceptor = SocketAcceptor::Listen(0);
+  ASSERT_TRUE(acceptor.ok());
+  auto channel = SocketChannel::Dial("127.0.0.1", (*acceptor)->port());
+  ASSERT_TRUE(channel.ok());
+  auto stream = (*channel)->OpenStream();
+  ASSERT_TRUE(stream.ok());
+  std::thread waiter([&] {
+    auto r = (*stream)->Recv();  // no server reply is coming
+    EXPECT_FALSE(r.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (*channel)->Close();
+  waiter.join();
+  (*acceptor)->Close();
+}
+
+TEST(SocketTransport, AcceptCloseRace) {
+  // Streams connect while the acceptor shuts down; every combination must
+  // resolve to success or a clean error (TSan guards the internals).
+  for (int round = 0; round < 8; ++round) {
+    auto acceptor = SocketAcceptor::Listen(0);
+    ASSERT_TRUE(acceptor.ok());
+    auto channel = SocketChannel::Dial("127.0.0.1", (*acceptor)->port());
+    ASSERT_TRUE(channel.ok());
+
+    std::thread srv([&] {
+      while (true) {
+        auto s = (*acceptor)->AcceptStream();
+        if (!s.ok()) return;  // closed
+        (void)(*s)->Reply("hi");
+      }
+    });
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.emplace_back([&] {
+        auto s = (*channel)->OpenStream();
+        if (!s.ok()) return;
+        if (!(*s)->Send("x").ok()) return;
+        (void)(*s)->Recv();
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
+    (*acceptor)->Close();
+    (*channel)->Close();
+    for (auto& c : clients) c.join();
+    srv.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DLFM codec.
+// ---------------------------------------------------------------------------
+
+dlfm::DlfmRequest FullRequest() {
+  dlfm::DlfmRequest r;
+  r.api = dlfm::DlfmApi::kReconcileAddBatch;
+  r.txn = 77;
+  r.meta.trace_id = 0xABCDEF;
+  r.filename = "clips/jordan.mpg";
+  r.recovery_id = dlfm::RecoveryId::Make(3, 99);
+  r.group_id = 12;
+  r.in_backout = true;
+  r.access = dlfm::AccessControl::kFull;
+  r.recovery_option = true;
+  r.utility = true;
+  r.aux = -5;
+  r.batch = {{"a", 1}, {"b", -2}, {"", 3}};
+  return r;
+}
+
+TEST(DlfmCodec, RequestRoundTrip) {
+  std::string buf;
+  dlfm::DlfmCodec::EncodeRequest(FullRequest(), &buf);
+  auto got = dlfm::DlfmCodec::DecodeRequest(buf);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const dlfm::DlfmRequest want = FullRequest();
+  EXPECT_EQ(got->api, want.api);
+  EXPECT_EQ(got->txn, want.txn);
+  EXPECT_EQ(got->meta.trace_id, want.meta.trace_id);
+  EXPECT_EQ(got->filename, want.filename);
+  EXPECT_EQ(got->recovery_id, want.recovery_id);
+  EXPECT_EQ(got->group_id, want.group_id);
+  EXPECT_EQ(got->in_backout, want.in_backout);
+  EXPECT_EQ(got->access, want.access);
+  EXPECT_EQ(got->recovery_option, want.recovery_option);
+  EXPECT_EQ(got->utility, want.utility);
+  EXPECT_EQ(got->aux, want.aux);
+  EXPECT_EQ(got->batch, want.batch);
+}
+
+TEST(DlfmCodec, ResponseRoundTrip) {
+  dlfm::DlfmResponse r;
+  r.code = StatusCode::kLockTimeout;
+  r.message = "lock wait exceeded";
+  r.value = 1234;
+  r.ids = {1, -2, 3};
+  r.names = {"x", "y"};
+  r.names2 = {"z"};
+  std::string buf;
+  dlfm::DlfmCodec::EncodeResponse(r, &buf);
+  auto got = dlfm::DlfmCodec::DecodeResponse(buf);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->code, r.code);
+  EXPECT_EQ(got->message, r.message);
+  EXPECT_EQ(got->value, r.value);
+  EXPECT_EQ(got->ids, r.ids);
+  EXPECT_EQ(got->names, r.names);
+  EXPECT_EQ(got->names2, r.names2);
+  EXPECT_TRUE(got->ToStatus().IsLockTimeout());
+}
+
+TEST(DlfmCodec, EveryTruncationIsCorruption) {
+  std::string buf;
+  dlfm::DlfmCodec::EncodeRequest(FullRequest(), &buf);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    auto got = dlfm::DlfmCodec::DecodeRequest(std::string_view(buf).substr(0, len));
+    ASSERT_FALSE(got.ok()) << "prefix " << len << " decoded";
+    EXPECT_TRUE(IsCorruption(got.status()));
+  }
+  // Trailing garbage is corruption too — a frame carries exactly one message.
+  auto got = dlfm::DlfmCodec::DecodeRequest(buf + "!");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(IsCorruption(got.status()));
+}
+
+TEST(DlfmCodec, AbsurdBatchCountIsCorruptionNotAllocation) {
+  std::string buf;
+  dlfm::DlfmRequest r;
+  dlfm::DlfmCodec::EncodeRequest(r, &buf);
+  // Overwrite the trailing batch count (last 4 bytes) with a huge value.
+  buf.resize(buf.size() - 4);
+  wire::AppendU32(&buf, 0xFFFFFFFF);
+  auto got = dlfm::DlfmCodec::DecodeRequest(buf);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(IsCorruption(got.status()));
+}
+
+}  // namespace
+}  // namespace datalinks::rpc
