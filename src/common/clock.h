@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 namespace datalinks {
@@ -40,16 +42,50 @@ class SystemClock : public Clock {
 };
 
 /// Manually advanced clock for deterministic tests.  Thread-safe.
+///
+/// SleepForMicros BLOCKS the caller until another thread Advance()s the
+/// clock past the sleeper's deadline — a sleeper must never move time
+/// forward for everyone else, or a fast spinner could skip a slower
+/// thread's pending timeout.  Tests own the timeline: they Advance() it
+/// explicitly, and sleepers wake in deadline order as time sweeps past
+/// them.  (Simulation runs use sim::VirtualClock instead, where the
+/// SCHEDULER advances time when every task is idle.)
 class SimClock : public Clock {
  public:
   explicit SimClock(int64_t start_micros = 0) : now_(start_micros) {}
 
   int64_t NowMicros() const override { return now_.load(std::memory_order_acquire); }
-  void SleepForMicros(int64_t micros) override { Advance(micros); }
-  void Advance(int64_t micros) { now_.fetch_add(micros, std::memory_order_acq_rel); }
+
+  void SleepForMicros(int64_t micros) override {
+    if (micros <= 0) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    const int64_t deadline = now_.load(std::memory_order_acquire) + micros;
+    ++waiters_;
+    cv_.wait(lk, [&] { return now_.load(std::memory_order_acquire) >= deadline; });
+    --waiters_;
+  }
+
+  void Advance(int64_t micros) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      now_.fetch_add(micros, std::memory_order_acq_rel);
+    }
+    cv_.notify_all();
+  }
+
+  /// Number of threads currently blocked in SleepForMicros.  Lets a test
+  /// wait for a sleeper to park (condition poll) before advancing, instead
+  /// of guessing with a wall-clock sleep.
+  size_t waiters() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return waiters_;
+  }
 
  private:
   std::atomic<int64_t> now_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t waiters_ = 0;
 };
 
 }  // namespace datalinks

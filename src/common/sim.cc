@@ -1,0 +1,362 @@
+#include "common/sim.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace datalinks::sim {
+
+namespace {
+// The simulation discovery hook: set for the duration of a sim task's
+// body, null on every real thread.  g_task is the SimExecutor::Task* of
+// the current task (opaque here; cast inside member functions).
+thread_local SimExecutor* g_exec = nullptr;
+thread_local void* g_task = nullptr;
+}  // namespace
+
+SimExecutor* CurrentSimExecutor() noexcept { return g_exec; }
+
+// ---------------------------------------------------------------------------
+// TaskHandle
+// ---------------------------------------------------------------------------
+
+TaskHandle& TaskHandle::operator=(TaskHandle&& o) noexcept {
+  if (this != &o) {
+    if (joinable()) join();
+    thread_ = std::move(o.thread_);
+    exec_ = o.exec_;
+    task_id_ = o.task_id_;
+    sim_joinable_ = o.sim_joinable_;
+    o.exec_ = nullptr;
+    o.sim_joinable_ = false;
+  }
+  return *this;
+}
+
+void TaskHandle::join() {
+  if (thread_.joinable()) {
+    thread_.join();
+    return;
+  }
+  if (sim_joinable_) {
+    sim_joinable_ = false;
+    exec_->JoinTask(task_id_);
+  }
+}
+
+RealExecutor* RealExecutor::Instance() {
+  static RealExecutor instance;
+  return &instance;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+// ---------------------------------------------------------------------------
+
+int64_t VirtualClock::NowMicros() const { return exec_->NowVirtualMicros(); }
+
+void VirtualClock::SleepForMicros(int64_t micros) {
+  if (micros <= 0) return;
+  if (g_exec == exec_) {
+    exec_->SleepCurrent(micros);
+  } else {
+    // Setup/teardown code outside Run(): nothing else is scheduled, so a
+    // sleep is just a clock advance (the pre-fix SimClock behaviour).
+    exec_->AdvanceVirtual(micros);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimExecutor
+// ---------------------------------------------------------------------------
+
+SimExecutor::SimExecutor(uint64_t seed)
+    : rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL), vclock_(this) {}
+
+SimExecutor::~SimExecutor() {
+  for (auto& t : tasks_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+}
+
+uint64_t SimExecutor::SpawnLocked(std::string name, std::function<void()> fn,
+                                  std::unique_lock<std::mutex>& lk) {
+  (void)lk;
+  auto task = std::make_unique<Task>();
+  Task* t = task.get();
+  t->id = tasks_.size();
+  t->name = std::move(name);
+  t->owner = this;
+  t->fn = std::move(fn);
+  t->state = State::kRunnable;
+  tasks_.push_back(std::move(task));
+  // The thread parks immediately in TaskMain until the scheduler grants
+  // it the run permit; creating it is not a scheduling point.
+  t->thread = std::thread([this, t] { TaskMain(t); });
+  return t->id;
+}
+
+TaskHandle SimExecutor::Spawn(std::string name, std::function<void()> fn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint64_t id = SpawnLocked(std::move(name), std::move(fn), lk);
+  return TaskHandle(this, id);
+}
+
+void SimExecutor::TaskMain(Task* t) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    t->wake.wait(lk, [&] { return t->run_granted; });
+    t->run_granted = false;
+  }
+  g_exec = this;
+  g_task = t;
+  t->fn();
+  t->fn = nullptr;
+  g_exec = nullptr;
+  g_task = nullptr;
+  std::unique_lock<std::mutex> lk(mu_);
+  t->state = State::kDone;
+  for (auto& o : tasks_) {
+    if (o->state == State::kBlocked && o->kind == BlockKind::kJoin &&
+        o->join_target == t->id) {
+      o->state = State::kRunnable;
+      o->kind = BlockKind::kNone;
+    }
+  }
+  done_cv_.notify_all();  // non-sim joiners poll per-task completion
+  ScheduleNextLocked(lk);
+}
+
+void SimExecutor::ScheduleNextLocked(std::unique_lock<std::mutex>& lk) {
+  (void)lk;
+  for (;;) {
+    std::vector<Task*> runnable;
+    size_t done = 0;
+    for (auto& t : tasks_) {
+      if (t->state == State::kRunnable) {
+        runnable.push_back(t.get());
+      } else if (t->state == State::kDone) {
+        ++done;
+      }
+    }
+    if (!runnable.empty()) {
+      size_t idx = 0;
+      if (replay_active_) {
+        if (replay_pos_ < replay_.size() &&
+            replay_[replay_pos_] < runnable.size()) {
+          idx = replay_[replay_pos_++];
+        } else {
+          // The recorded schedule stopped matching this binary's behaviour
+          // (stale artifact): fall back to the seed's PRNG so the run
+          // still terminates, and surface the divergence to the caller.
+          diverged_.store(true, std::memory_order_release);
+          replay_active_ = false;
+          idx = runnable.size() == 1 ? 0 : rng_.Uniform(runnable.size());
+        }
+      } else {
+        idx = runnable.size() == 1 ? 0 : rng_.Uniform(runnable.size());
+      }
+      decisions_.push_back(static_cast<uint32_t>(idx));
+      Task* next = runnable[idx];
+      next->state = State::kRunning;
+      next->run_granted = true;
+      next->wake.notify_one();
+      return;
+    }
+    if (done == tasks_.size()) {
+      if (replay_active_ && replay_pos_ < replay_.size()) {
+        diverged_.store(true, std::memory_order_release);  // leftover decisions
+      }
+      all_done_ = true;
+      done_cv_.notify_all();
+      return;
+    }
+    // Nobody is runnable: time advances when idle.  Jump the virtual
+    // clock to the nearest deadline and wake everything due.
+    int64_t min_deadline = -1;
+    for (auto& t : tasks_) {
+      if (t->state == State::kBlocked && t->deadline >= 0 &&
+          (min_deadline < 0 || t->deadline < min_deadline)) {
+        min_deadline = t->deadline;
+      }
+    }
+    if (min_deadline < 0) DeadlockAbortLocked();
+    if (min_deadline > now_.load(std::memory_order_acquire)) {
+      now_.store(min_deadline, std::memory_order_release);
+    }
+    for (auto& t : tasks_) {
+      if (t->state == State::kBlocked && t->deadline >= 0 &&
+          t->deadline <= now_.load(std::memory_order_acquire)) {
+        t->state = State::kRunnable;
+        t->kind = BlockKind::kNone;
+        t->notified = false;  // deadline wake, not a notify
+      }
+    }
+  }
+}
+
+void SimExecutor::DeadlockAbortLocked() {
+  std::fprintf(stderr,
+               "SimExecutor: simulation deadlock — every task is blocked and "
+               "no deadline is pending (virtual now=%lld)\n",
+               static_cast<long long>(now_.load()));
+  for (const auto& t : tasks_) {
+    const char* state = t->state == State::kDone      ? "done"
+                        : t->state == State::kBlocked ? "blocked"
+                        : t->state == State::kRunning ? "running"
+                                                      : "runnable";
+    const char* kind = t->kind == BlockKind::kSleep  ? "sleep"
+                       : t->kind == BlockKind::kCond ? "cond"
+                       : t->kind == BlockKind::kJoin ? "join"
+                                                     : "-";
+    std::fprintf(stderr,
+                 "  task %llu '%s': %s/%s deadline=%lld key=%p join=%llu\n",
+                 static_cast<unsigned long long>(t->id), t->name.c_str(), state,
+                 kind, static_cast<long long>(t->deadline), t->key,
+                 static_cast<unsigned long long>(t->join_target));
+  }
+  std::abort();
+}
+
+void SimExecutor::BlockCurrent(BlockKind kind, int64_t deadline,
+                               const void* key, uint64_t join_target) {
+  Task* t = static_cast<Task*>(g_task);
+  std::unique_lock<std::mutex> lk(mu_);
+  t->state = State::kBlocked;
+  t->kind = kind;
+  t->deadline = deadline;
+  t->key = key;
+  t->join_target = join_target;
+  t->notified = false;
+  ScheduleNextLocked(lk);
+  t->wake.wait(lk, [&] { return t->run_granted; });
+  t->run_granted = false;
+  t->kind = BlockKind::kNone;
+  t->deadline = -1;
+  t->key = nullptr;
+}
+
+void SimExecutor::Yield() {
+  Task* t = static_cast<Task*>(g_task);
+  std::unique_lock<std::mutex> lk(mu_);
+  t->state = State::kRunnable;
+  ScheduleNextLocked(lk);
+  t->wake.wait(lk, [&] { return t->run_granted; });
+  t->run_granted = false;
+}
+
+void SimExecutor::SleepCurrent(int64_t micros) {
+  if (micros <= 0) {
+    Yield();
+    return;
+  }
+  BlockCurrent(BlockKind::kSleep,
+               now_.load(std::memory_order_acquire) + micros, nullptr, 0);
+}
+
+bool SimExecutor::WaitOnKey(const void* key, int64_t deadline_micros) {
+  Task* t = static_cast<Task*>(g_task);
+  BlockCurrent(BlockKind::kCond, deadline_micros, key, 0);
+  return t->notified;
+}
+
+void SimExecutor::NotifyKey(const void* key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto& t : tasks_) {
+    if (t->state == State::kBlocked && t->kind == BlockKind::kCond &&
+        t->key == key) {
+      t->state = State::kRunnable;
+      t->kind = BlockKind::kNone;
+      t->deadline = -1;
+      t->key = nullptr;
+      t->notified = true;
+    }
+  }
+}
+
+void SimExecutor::JoinTask(uint64_t id) {
+  if (g_exec == this) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (tasks_[id]->state == State::kDone) return;
+    }
+    // No race: we hold the run permit between the check and the park, so
+    // the target cannot finish in between.
+    BlockCurrent(BlockKind::kJoin, -1, nullptr, id);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return tasks_[id]->state == State::kDone; });
+}
+
+void SimExecutor::AdvanceVirtual(int64_t micros) {
+  now_.fetch_add(micros, std::memory_order_acq_rel);
+}
+
+void SimExecutor::SetReplay(std::vector<uint32_t> decisions) {
+  replay_ = std::move(decisions);
+  replay_pos_ = 0;
+  replay_active_ = true;
+}
+
+void SimExecutor::Run(std::function<void()> root) {
+  std::unique_lock<std::mutex> lk(mu_);
+  started_ = true;
+  SpawnLocked("root", std::move(root), lk);
+  ScheduleNextLocked(lk);
+  done_cv_.wait(lk, [&] { return all_done_; });
+  lk.unlock();
+  for (auto& t : tasks_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking primitives
+// ---------------------------------------------------------------------------
+
+void Mutex::lock() {
+  SimExecutor* e = g_exec;
+  if (e == nullptr) {
+    mu_.lock();
+    return;
+  }
+  // Park on the mutex address; the holder's unlock() notifies it.  The
+  // retry loop (rather than a handoff) keeps real and sim semantics
+  // identical: whoever is scheduled first after the wake wins the lock.
+  while (!mu_.try_lock()) e->WaitOnKey(this, -1);
+}
+
+void Mutex::unlock() {
+  mu_.unlock();
+  if (SimExecutor* e = g_exec) e->NotifyKey(this);
+}
+
+void SharedMutex::lock() {
+  SimExecutor* e = g_exec;
+  if (e == nullptr) {
+    mu_.lock();
+    return;
+  }
+  while (!mu_.try_lock()) e->WaitOnKey(this, -1);
+}
+
+void SharedMutex::unlock() {
+  mu_.unlock();
+  if (SimExecutor* e = g_exec) e->NotifyKey(this);
+}
+
+void SharedMutex::lock_shared() {
+  SimExecutor* e = g_exec;
+  if (e == nullptr) {
+    mu_.lock_shared();
+    return;
+  }
+  while (!mu_.try_lock_shared()) e->WaitOnKey(this, -1);
+}
+
+void SharedMutex::unlock_shared() {
+  mu_.unlock_shared();
+  if (SimExecutor* e = g_exec) e->NotifyKey(this);
+}
+
+}  // namespace datalinks::sim

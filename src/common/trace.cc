@@ -8,9 +8,19 @@
 
 namespace datalinks::trace {
 
-TraceId NextTraceId() {
+namespace {
+std::atomic<TraceId>& TraceIdCounter() {
   static std::atomic<TraceId> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
+  return next;
+}
+}  // namespace
+
+TraceId NextTraceId() {
+  return TraceIdCounter().fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResetNextTraceIdForTest(TraceId next) {
+  TraceIdCounter().store(next == 0 ? 1 : next, std::memory_order_relaxed);
 }
 
 TraceRing::TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {

@@ -28,6 +28,11 @@ using TraceId = uint64_t;
 /// Process-wide monotonic trace-id mint; never returns 0 (0 = "no trace").
 TraceId NextTraceId();
 
+/// Rewinds the trace-id mint.  ONLY for deterministic-simulation tests:
+/// byte-identical trace dumps across runs need the ids to restart at the
+/// same point for every scenario.  Never call concurrently with traffic.
+void ResetNextTraceIdForTest(TraceId next = 1);
+
 struct SpanEvent {
   TraceId trace = 0;
   uint64_t txn = 0;        // global transaction id, 0 if not applicable

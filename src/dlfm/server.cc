@@ -16,14 +16,15 @@ using sqldb::Value;
 // ChownDaemon
 // ---------------------------------------------------------------------------
 
-ChownDaemon::ChownDaemon(fsim::FileServer* fs, std::string secret)
-    : fs_(fs), secret_(std::move(secret)) {}
+ChownDaemon::ChownDaemon(fsim::FileServer* fs, std::string secret,
+                         sim::Executor* executor)
+    : fs_(fs), secret_(std::move(secret)), executor_(sim::OrReal(executor)) {}
 
 ChownDaemon::~ChownDaemon() { Stop(); }
 
 void ChownDaemon::Start() {
   if (running_.exchange(true)) return;
-  thread_ = std::thread([this] { Run(); });
+  thread_ = executor_->Spawn("dlfm.chown", [this] { Run(); });
 }
 
 void ChownDaemon::Stop() {
@@ -143,7 +144,8 @@ DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
       archive_(archive),
       db_(OpenLocalDbOrDie(ToDbOptions(options_, fault_, metrics_), std::move(durable))),
       repo_(db_.get()),
-      chown_(fs, "dlfm-chown-secret") {
+      chown_(fs, "dlfm-chown-secret", options_.executor),
+      executor_(sim::OrReal(options_.executor)) {
   fault_->BindMetrics(metrics_);
   prepare_latency_us_ = metrics_->GetHistogram("dlfm.prepare.latency_us");
   phase2_commit_us_ = metrics_->GetHistogram("dlfm.commit.phase2_us");
@@ -179,13 +181,13 @@ Status DlfmServer::Start() {
     socket_listener_ = std::move(*sl);
   }
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(&listener_); });
+  accept_thread_ = executor_->Spawn("dlfm.accept", [this] { AcceptLoop(&listener_); });
   if (socket_listener_ != nullptr) {
-    socket_accept_thread_ =
-        std::thread([this] { AcceptLoop(socket_listener_.get()); });
+    socket_accept_thread_ = executor_->Spawn(
+        "dlfm.socket_accept", [this] { AcceptLoop(socket_listener_.get()); });
   }
-  copy_thread_ = std::thread([this] { CopyLoop(); });
-  dg_thread_ = std::thread([this] { DeleteGroupLoop(); });
+  copy_thread_ = executor_->Spawn("dlfm.copy", [this] { CopyLoop(); });
+  dg_thread_ = executor_->Spawn("dlfm.dg", [this] { DeleteGroupLoop(); });
 
   // Restart processing: resume group cleanup for committed transactions
   // whose Delete Group daemon work was interrupted (§3.5).
@@ -193,7 +195,7 @@ Status DlfmServer::Start() {
   auto committed = repo_.TxnsInState(t, "C");
   (void)db_->Commit(t);
   if (committed.ok()) {
-    std::lock_guard<std::mutex> lk(dg_mu_);
+    std::lock_guard<sim::Mutex> lk(dg_mu_);
     for (const TxnEntry& e : *committed) dg_queue_.push_back(e.txn_id);
     dg_queue_depth_->Set(static_cast<int64_t>(dg_queue_.size()));
     dg_cv_.notify_all();
@@ -206,14 +208,14 @@ void DlfmServer::Stop() {
   listener_.Close();
   if (socket_listener_ != nullptr) socket_listener_->Close();
   {
-    std::lock_guard<std::mutex> lk(dg_mu_);
+    std::lock_guard<sim::Mutex> lk(dg_mu_);
     dg_cv_.notify_all();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (socket_accept_thread_.joinable()) socket_accept_thread_.join();
   if (copy_thread_.joinable()) copy_thread_.join();
   if (dg_thread_.joinable()) dg_thread_.join();
-  std::vector<std::thread> agents;
+  std::vector<sim::TaskHandle> agents;
   {
     std::lock_guard<std::mutex> lk(agents_mu_);
     for (auto& [id, agent] : agents_) {
@@ -251,7 +253,7 @@ void DlfmServer::AcceptLoop(DlfmListener* listener) {
     agent.conn = *conn;
     // The agent retires itself when its connection closes; agents_mu_ is
     // still held here, so the map entry exists before RetireAgent can run.
-    agent.thread = std::thread([this, id, c = *conn] {
+    agent.thread = executor_->Spawn("dlfm.agent", [this, id, c = *conn] {
       ServeConnection(c);
       RetireAgent(id);
     });
@@ -267,7 +269,7 @@ void DlfmServer::RetireAgent(uint64_t id) {
 }
 
 void DlfmServer::ReapFinishedAgents() {
-  std::vector<std::thread> done;
+  std::vector<sim::TaskHandle> done;
   {
     std::lock_guard<std::mutex> lk(agents_mu_);
     done.swap(finished_agents_);
@@ -668,7 +670,7 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
 }
 
 Status DlfmServer::GroupHarden(sqldb::Lsn lsn) {
-  std::unique_lock<std::mutex> lk(harden_mu_);
+  std::unique_lock<sim::Mutex> lk(harden_mu_);
   if (harden_covers_ >= lsn) return Status::OK();  // an earlier batch covered us
   harden_waiting_.push_back(lsn);
   auto unregister = [&] {
@@ -780,7 +782,7 @@ Status DlfmServer::CommitAttempt(GlobalTxnId txn, std::vector<FileEntry>* linked
   }
   DLX_RETURN_IF_ERROR(db_->Commit(t));
   if (ngroups > 0) {
-    std::lock_guard<std::mutex> lk(dg_mu_);
+    std::lock_guard<sim::Mutex> lk(dg_mu_);
     dg_queue_.push_back(txn);
     dg_queue_depth_->Set(static_cast<int64_t>(dg_queue_.size()));
     dg_cv_.notify_all();
@@ -1073,7 +1075,7 @@ void DlfmServer::DeleteGroupLoop() {
   while (true) {
     GlobalTxnId txn = 0;
     {
-      std::unique_lock<std::mutex> lk(dg_mu_);
+      std::unique_lock<sim::Mutex> lk(dg_mu_);
       dg_cv_.wait(lk, [&] { return !running_.load() || !dg_queue_.empty(); });
       if (!running_.load()) return;
       txn = dg_queue_.front();
@@ -1084,7 +1086,7 @@ void DlfmServer::DeleteGroupLoop() {
     Span(TraceForTxn(txn), txn, "dlfm.dg.process");
     Status st = ProcessDeleteGroupTxn(txn);
     {
-      std::lock_guard<std::mutex> lk(dg_mu_);
+      std::lock_guard<sim::Mutex> lk(dg_mu_);
       --dg_in_progress_;
     }
     // A crash fail point mid-transaction kills the daemon; the 'C' txn row
@@ -1367,7 +1369,7 @@ Status DlfmServer::WaitGroupWorkDrained(int64_t timeout_micros) {
   while (clock_->NowMicros() < deadline) {
     bool idle;
     {
-      std::lock_guard<std::mutex> lk(dg_mu_);
+      std::lock_guard<sim::Mutex> lk(dg_mu_);
       idle = dg_queue_.empty() && dg_in_progress_ == 0;
     }
     if (idle) return Status::OK();

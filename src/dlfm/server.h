@@ -37,6 +37,7 @@
 #include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "common/sim.h"
 #include "common/trace.h"
 #include "dlfm/api.h"
 #include "dlfm/metadata.h"
@@ -110,6 +111,12 @@ struct DlfmOptions {
 
   std::shared_ptr<Clock> clock;
 
+  /// Task spawner for every thread this server would otherwise create
+  /// (daemons, child agents, the Chown daemon).  null = real std::threads.
+  /// Simulation runs inject a SimExecutor so the whole server is scheduled
+  /// deterministically (DESIGN.md §11).
+  sim::Executor* executor = nullptr;
+
   /// Deterministic fail points (crash/error/delay) for recovery testing.
   /// One injector models this one DLFM process; null = never fires.
   std::shared_ptr<FaultInjector> fault;
@@ -163,7 +170,8 @@ struct ChownResponse {
 
 class ChownDaemon {
  public:
-  ChownDaemon(fsim::FileServer* fs, std::string secret);
+  ChownDaemon(fsim::FileServer* fs, std::string secret,
+              sim::Executor* executor = nullptr);
   ~ChownDaemon();
 
   void Start();
@@ -180,8 +188,9 @@ class ChownDaemon {
 
   fsim::FileServer* fs_;
   const std::string secret_;
+  sim::Executor* executor_;  // never null (OrReal in ctor)
   rpc::InProcessConnection<ChownRequest, ChownResponse> conn_;
-  std::thread thread_;
+  sim::TaskHandle thread_;
   std::atomic<bool> running_{false};
 };
 
@@ -375,8 +384,10 @@ class DlfmServer {
 
   // Group-harden coordinator (see GroupHarden).  A batch's outcome covers
   // every LSN <= its target: the WAL force is prefix-durable.
-  std::mutex harden_mu_;
-  std::condition_variable harden_cv_;
+  // sim:: types: followers condition-wait here while the leader is off in
+  // a WAL force — a simulation yield point.
+  sim::Mutex harden_mu_;
+  sim::CondVar harden_cv_;
   bool harden_leader_active_ = false;
   std::vector<sqldb::Lsn> harden_waiting_;  // registered, not yet batched
   sqldb::Lsn harden_covers_ = sqldb::kInvalidLsn;  // hardened frontier
@@ -384,9 +395,10 @@ class DlfmServer {
   sqldb::Lsn last_batch_target_ = sqldb::kInvalidLsn;
   Status last_batch_status_;
 
-  // Delete-group work queue.
-  std::mutex dg_mu_;
-  std::condition_variable dg_cv_;
+  // Delete-group work queue.  sim:: types: the daemon condition-waits for
+  // work (a yield point under simulation).
+  sim::Mutex dg_mu_;
+  sim::CondVar dg_cv_;
   std::deque<GlobalTxnId> dg_queue_;
   size_t dg_in_progress_ = 0;
 
@@ -396,22 +408,23 @@ class DlfmServer {
   int64_t next_recon_session_ = 1;
 
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::thread socket_accept_thread_;  // joinable only when socket enabled
-  std::thread copy_thread_;
-  std::thread dg_thread_;
+  sim::Executor* executor_;  // never null (OrReal in ctor)
+  sim::TaskHandle accept_thread_;
+  sim::TaskHandle socket_accept_thread_;  // joinable only when socket enabled
+  sim::TaskHandle copy_thread_;
+  sim::TaskHandle dg_thread_;
 
   // Child-agent bookkeeping: live agents are keyed by id; when an agent's
-  // connection closes it moves its own thread handle to finished_agents_,
+  // connection closes it moves its own task handle to finished_agents_,
   // which the main daemon joins before the next accept (§3.5's "child agent
   // terminates with the connection").
   struct Agent {
-    std::thread thread;
+    sim::TaskHandle thread;
     std::shared_ptr<DlfmConnection> conn;
   };
   mutable std::mutex agents_mu_;
   std::unordered_map<uint64_t, Agent> agents_;
-  std::vector<std::thread> finished_agents_;
+  std::vector<sim::TaskHandle> finished_agents_;
   uint64_t next_agent_id_ = 0;
 };
 

@@ -75,6 +75,7 @@ std::vector<std::string> SplitServers(const std::string& joined) {
 HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableStore> durable)
     : options_(std::move(options)),
       clock_(options_.clock ? options_.clock : SystemClock::Instance()),
+      executor_(sim::OrReal(options_.executor)),
       fault_(options_.fault ? options_.fault : std::make_shared<FaultInjector>()),
       metrics_(options_.metrics ? options_.metrics
                                 : std::make_shared<metrics::Registry>()),

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sim.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -69,6 +70,11 @@ struct HostOptions {
   size_t checkpoint_threshold_bytes = 0;
   std::string token_secret = "datalinks-token-secret";
   std::shared_ptr<Clock> clock;
+
+  /// Task spawner for the parallel phase-1 prepare fan-out workers.
+  /// null = real std::threads; simulation runs inject a SimExecutor
+  /// (DESIGN.md §11).
+  sim::Executor* executor = nullptr;
 
   /// Fail points for crash-matrix testing; defaults to an injector with
   /// nothing armed (zero overhead beyond a map lookup per commit).
@@ -167,6 +173,7 @@ class HostDatabase {
   HostOptions& mutable_options() { return options_; }
   FaultInjector& fault() { return *fault_; }
   Clock* clock() { return clock_.get(); }
+  sim::Executor* executor() { return executor_; }
   metrics::Registry& metrics() const { return *metrics_; }
   trace::TraceRing& trace_ring() const { return *trace_; }
 
@@ -205,6 +212,7 @@ class HostDatabase {
 
   HostOptions options_;
   std::shared_ptr<Clock> clock_;
+  sim::Executor* executor_;  // never null (OrReal in ctor)
   std::shared_ptr<FaultInjector> fault_;
   std::shared_ptr<metrics::Registry> metrics_;  // never nullptr after ctor
   std::shared_ptr<trace::TraceRing> trace_;     // never nullptr after ctor

@@ -390,21 +390,21 @@ Status HostSession::Commit() {
       // abort lets it learn the outcome from ResolveIndoubts.  The workers
       // are joined regardless; the deadline decides the outcome, not
       // thread lifetime.
-      std::mutex gather_mu;
-      std::condition_variable gather_cv;
+      sim::Mutex gather_mu;
+      sim::CondVar gather_cv;
       size_t completed = 0;
-      std::vector<std::thread> workers;
+      std::vector<sim::TaskHandle> workers;
       workers.reserve(n);
       for (size_t i = 0; i < n; ++i) {
-        workers.emplace_back([&, i] {
+        workers.push_back(host_->executor()->Spawn("host.prepare", [&, i] {
           do_prepare(i);
-          std::lock_guard<std::mutex> lk(gather_mu);
+          std::lock_guard<sim::Mutex> lk(gather_mu);
           ++completed;
           gather_cv.notify_all();
-        });
+        }));
       }
       {
-        std::unique_lock<std::mutex> lk(gather_mu);
+        std::unique_lock<sim::Mutex> lk(gather_mu);
         deadline_expired = !gather_cv.wait_for(
             lk, std::chrono::microseconds(host_->options().prepare_timeout_micros),
             [&] { return completed == n; });

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -30,6 +29,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/sim.h"
 #include "common/status.h"
 
 namespace datalinks::rpc {
@@ -43,14 +43,18 @@ struct Metadata {
 };
 
 /// Bounded blocking MPMC queue.  Close() wakes all waiters with kUnavailable.
+/// sim:: primitives: the blocking Send/Recv are yield points under the
+/// deterministic simulation (DESIGN.md §11).
 template <typename T>
 class BlockingQueue {
  public:
   explicit BlockingQueue(size_t capacity = 1) : capacity_(capacity) {}
 
   Status Send(T item) {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<sim::Mutex> lk(mu_);
+    ++send_waiters_;
     not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    --send_waiters_;
     if (closed_) return Status::Unavailable("queue closed");
     q_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -58,8 +62,10 @@ class BlockingQueue {
   }
 
   Result<T> Recv() {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<sim::Mutex> lk(mu_);
+    ++recv_waiters_;
     not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    --recv_waiters_;
     if (q_.empty()) return Status::Unavailable("queue closed");
     T item = std::move(q_.front());
     q_.pop_front();
@@ -69,7 +75,7 @@ class BlockingQueue {
 
   /// Non-blocking receive; kNotFound when empty.
   Result<T> TryRecv() {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::Mutex> lk(mu_);
     if (q_.empty()) {
       return closed_ ? Status::Unavailable("queue closed") : Status::NotFound("empty");
     }
@@ -80,22 +86,35 @@ class BlockingQueue {
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::Mutex> lk(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::Mutex> lk(mu_);
     return closed_;
+  }
+
+  // Waiter counts, for tests that must order "the peer is parked at this
+  // queue" before acting — condition polls on these replace bare sleeps
+  // ("no unconditional sleeps" rule, DESIGN.md §11).
+  size_t send_waiters() const {
+    std::lock_guard<sim::Mutex> lk(mu_);
+    return send_waiters_;
+  }
+  size_t recv_waiters() const {
+    std::lock_guard<sim::Mutex> lk(mu_);
+    return recv_waiters_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_, not_full_;
+  mutable sim::Mutex mu_;
+  sim::CondVar not_empty_, not_full_;
   std::deque<T> q_;
+  size_t send_waiters_ = 0, recv_waiters_ = 0;
   bool closed_ = false;
 };
 
@@ -118,7 +137,7 @@ class Connection {
   // --- client side ---------------------------------------------------------
   /// Send a request and block for its response (synchronous call).
   Result<Resp> Call(Req req) {
-    std::lock_guard<std::mutex> lk(call_mu_);  // one call at a time per connection
+    std::lock_guard<sim::Mutex> lk(call_mu_);  // one call at a time per connection
     if (pending_.load(std::memory_order_relaxed) > 0) {
       return Status::FailedPrecondition(
           "synchronous Call with an undrained async response outstanding");
@@ -135,7 +154,7 @@ class Connection {
   /// commit mode of §4 — the one that deadlocks).  The response must later
   /// be drained with DrainResponse() before the next Call().
   Status CallAsync(Req req) {
-    std::lock_guard<std::mutex> lk(call_mu_);
+    std::lock_guard<sim::Mutex> lk(call_mu_);
     ++pending_;
     ++messages_;
     Status st = SendRequest(std::move(req));
@@ -144,7 +163,7 @@ class Connection {
   }
 
   Result<Resp> DrainResponse() {
-    std::lock_guard<std::mutex> lk(call_mu_);
+    std::lock_guard<sim::Mutex> lk(call_mu_);
     if (pending_.load(std::memory_order_relaxed) == 0) {
       return Status::InvalidArgument("no pending async response");
     }
@@ -169,7 +188,9 @@ class Connection {
   virtual Result<Resp> RecvResponse() = 0;
 
  private:
-  std::mutex call_mu_;
+  // sim::Mutex: held across the blocking transport round-trip, which is a
+  // yield point under simulation.
+  sim::Mutex call_mu_;
   std::atomic<size_t> pending_{0};
   std::atomic<uint64_t> messages_{0};
   metrics::Histogram* rtt_us_ = nullptr;  // owned by the registry
@@ -203,6 +224,10 @@ class InProcessConnection : public Connection<Req, Resp> {
 
   Result<Req> NextRequest() override { return requests_.Recv(); }
   Status Reply(Resp resp) override { return responses_.Send(std::move(resp)); }
+
+  /// Callers currently blocked sending a request (the depth-1 queue is
+  /// full and the server has not posted its receive) — test observability.
+  size_t blocked_request_senders() const { return requests_.send_waiters(); }
 
   void Close() override {
     requests_.Close();
@@ -239,6 +264,9 @@ class InProcessListener : public Listener<Req, Resp> {
   }
 
   void Close() override { pending_.Close(); }
+
+  /// Threads currently parked in Accept() — test observability.
+  size_t blocked_accepts() const { return pending_.recv_waiters(); }
 
  private:
   BlockingQueue<std::shared_ptr<InProcessConnection<Req, Resp>>> pending_;

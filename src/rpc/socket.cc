@@ -174,6 +174,12 @@ class SocketChannelImpl {
     return q->Recv();
   }
 
+  size_t RecvWaiters(uint64_t stream) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = streams_.find(stream);
+    return it == streams_.end() ? 0 : it->second->recv_waiters();
+  }
+
   void CloseStream(uint64_t stream) {
     (void)write_->WriteFrame(stream, kFrameClose, "");
     std::shared_ptr<BlockingQueue<std::string>> q;
@@ -241,6 +247,8 @@ SocketStream::~SocketStream() { Close(); }
 Status SocketStream::Send(std::string payload) { return channel_->Send(id_, payload); }
 
 Result<std::string> SocketStream::Recv() { return channel_->Recv(id_); }
+
+size_t SocketStream::recv_waiters() const { return channel_->RecvWaiters(id_); }
 
 void SocketStream::Close() {
   std::call_once(closed_, [this] { channel_->CloseStream(id_); });

@@ -58,6 +58,9 @@ class SocketStream {
 
   Status Send(std::string payload);
   Result<std::string> Recv();
+  /// Threads currently parked in Recv() on this stream — test observability
+  /// (condition polls on this replace bare sleeps; DESIGN.md §11).
+  size_t recv_waiters() const;
   /// Idempotent; sends a close frame so the server retires the child agent.
   void Close();
 

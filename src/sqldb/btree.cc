@@ -271,7 +271,7 @@ BTree::~BTree() {
 void BTree::InitRoot() {
   root_page_ = pool_->pager()->AllocTemp();
   auto ref = pool_->Pin(root_page_);
-  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  std::unique_lock<sim::SharedMutex> cl(ref.latch());
   ref.MarkDirtyProvisional();
   InitNode(&ref.bytes(), pool_->pager()->page_size(), /*leaf=*/true);
 }
@@ -323,7 +323,7 @@ void BTree::Insert(const Key& key, RowId rid) {
       continue;
     }
     {
-      std::unique_lock<std::shared_mutex> cl(ref.latch());
+      std::unique_lock<sim::SharedMutex> cl(ref.latch());
       const int pos = LowerBoundPos(pg, blob);
       assert(pos == NCount(pg) || EntryCmp(pg, pos) != std::string_view(blob));
       ref.MarkDirtyProvisional();
@@ -380,7 +380,7 @@ void BTree::TrySplit(const std::vector<PathStep>& path, size_t i, bool probe) {
   const PageId old_next = leaf ? NodeNext(pg) : kInvalidPageId;
 
   {
-    std::unique_lock<std::shared_mutex> cl(rref.latch());
+    std::unique_lock<sim::SharedMutex> cl(rref.latch());
     std::string& rp = rref.bytes();
     rref.MarkDirtyProvisional();
     InitNode(&rp, pool_->pager()->page_size(), leaf);
@@ -395,14 +395,14 @@ void BTree::TrySplit(const std::vector<PathStep>& path, size_t i, bool probe) {
     }
   }
   {
-    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    std::unique_lock<sim::SharedMutex> cl(ref.latch());
     ref.MarkDirtyProvisional();
     for (int j = n - 1; j >= mid; --j) NodeRemove(&pg, j);
     if (leaf) SetNodeNext(&pg, rpid);
   }
   if (leaf && old_next != kInvalidPageId) {
     auto nref = pool_->Pin(old_next);
-    std::unique_lock<std::shared_mutex> cl(nref.latch());
+    std::unique_lock<sim::SharedMutex> cl(nref.latch());
     nref.MarkDirtyProvisional();
     SetNodePrev(&nref.bytes(), rpid);
   }
@@ -414,7 +414,7 @@ void BTree::TrySplit(const std::vector<PathStep>& path, size_t i, bool probe) {
     // Root split: grow the tree by one level.
     const PageId nr = pool_->pager()->AllocTemp();
     auto nref = pool_->Pin(nr);
-    std::unique_lock<std::shared_mutex> cl(nref.latch());
+    std::unique_lock<sim::SharedMutex> cl(nref.latch());
     std::string& np = nref.bytes();
     nref.MarkDirtyProvisional();
     InitNode(&np, pool_->pager()->page_size(), /*leaf=*/false);
@@ -426,7 +426,7 @@ void BTree::TrySplit(const std::vector<PathStep>& path, size_t i, bool probe) {
 
   auto pref = pool_->Pin(path[i - 1].pid);
   {
-    std::unique_lock<std::shared_mutex> cl(pref.latch());
+    std::unique_lock<sim::SharedMutex> cl(pref.latch());
     pref.MarkDirtyProvisional();
     // This node is the parent's child at routing index child_idx; the new
     // sibling becomes child_idx + 1, which is exactly what inserting the
@@ -446,7 +446,7 @@ bool BTree::Erase(const Key& key, RowId rid) {
     return false;
   }
   {
-    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    std::unique_lock<sim::SharedMutex> cl(ref.latch());
     ref.MarkDirtyProvisional();
     NodeRemove(&pg, pos);
   }
@@ -476,13 +476,13 @@ void BTree::RemoveNode(const std::vector<PathStep>& path, size_t i) {
   }
   if (dprev != kInvalidPageId) {
     auto p = pool_->Pin(dprev);
-    std::unique_lock<std::shared_mutex> cl(p.latch());
+    std::unique_lock<sim::SharedMutex> cl(p.latch());
     p.MarkDirtyProvisional();
     SetNodeNext(&p.bytes(), dnext);
   }
   if (dnext != kInvalidPageId) {
     auto p = pool_->Pin(dnext);
-    std::unique_lock<std::shared_mutex> cl(p.latch());
+    std::unique_lock<sim::SharedMutex> cl(p.latch());
     p.MarkDirtyProvisional();
     SetNodePrev(&p.bytes(), dprev);
   }
@@ -494,7 +494,7 @@ void BTree::RemoveNode(const std::vector<PathStep>& path, size_t i) {
   std::string& pp = pref.bytes();
   bool childless = false;
   {
-    std::unique_lock<std::shared_mutex> cl(pref.latch());
+    std::unique_lock<sim::SharedMutex> cl(pref.latch());
     pref.MarkDirtyProvisional();
     if (ci == 0) {
       if (NCount(pp) > 0) {
@@ -513,7 +513,7 @@ void BTree::RemoveNode(const std::vector<PathStep>& path, size_t i) {
   if (!childless) return;
   if (i - 1 == 0) {
     // The root lost its last child: the tree is empty again.
-    std::unique_lock<std::shared_mutex> cl(pref.latch());
+    std::unique_lock<sim::SharedMutex> cl(pref.latch());
     pref.MarkDirtyProvisional();
     InitNode(&pp, pool_->pager()->page_size(), /*leaf=*/true);
     return;

@@ -39,14 +39,14 @@ std::string& BufferPool::PageRef::bytes() {
   return pool_->frames_[frame_].bytes;
 }
 
-std::shared_mutex& BufferPool::PageRef::latch() {
+sim::SharedMutex& BufferPool::PageRef::latch() {
   return pool_->frames_[frame_].content;
 }
 
 void BufferPool::PageRef::MarkDirtyProvisional(Lsn rec_lsn_hint) {
   BufferPool* p = pool_;
   Frame& f = p->frames_[frame_];
-  std::lock_guard<std::mutex> lk(p->mu_);
+  std::lock_guard<sim::Mutex> lk(p->mu_);
   // rec_lsn lower-bounds the LSN the pending append will be assigned: LSNs
   // are monotone, so last_lsn + 1 is conservative.  If the append then
   // fails the page is spuriously dirty — harmless.
@@ -65,7 +65,7 @@ void BufferPool::PageRef::MarkDirtyProvisional(Lsn rec_lsn_hint) {
 void BufferPool::PageRef::NoteAppliedLsn(Lsn lsn) {
   BufferPool* p = pool_;
   Frame& f = p->frames_[frame_];
-  std::lock_guard<std::mutex> lk(p->mu_);
+  std::lock_guard<sim::Mutex> lk(p->mu_);
   f.page_lsn = std::max(f.page_lsn, lsn);
 }
 
@@ -76,14 +76,14 @@ void BufferPool::PageRef::Release() {
 }
 
 void BufferPool::Unpin(size_t fi) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::Mutex> lk(mu_);
   Frame& f = frames_[fi];
   assert(f.pins > 0);
   --f.pins;
   f.ref = true;
 }
 
-size_t BufferPool::EvictLocked(std::unique_lock<std::mutex>& lk) {
+size_t BufferPool::EvictLocked(std::unique_lock<sim::Mutex>& lk) {
   // Clock sweep with an inline dirty-writeback attempt.  Two full passes:
   // the first clears ref bits, the second takes any unpinned frame.
   const size_t n = frames_.size();
@@ -125,7 +125,7 @@ size_t BufferPool::EvictLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 BufferPool::PageRef BufferPool::Pin(PageId id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<sim::Mutex> lk(mu_);
   while (true) {
     auto it = table_.find(id);
     if (it != table_.end()) {
@@ -194,7 +194,7 @@ BufferPool::PageRef BufferPool::Pin(PageId id) {
 }
 
 Status BufferPool::FlushFrame(size_t fi, bool for_evict, PageId expect) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<sim::Mutex> lk(mu_);
   Frame& f = frames_[fi];
   if (for_evict) {
     // Success here means "frame fi is free and unmapped, reuse it".  The
@@ -229,9 +229,9 @@ Status BufferPool::FlushFrame(size_t fi, bool for_evict, PageId expect) {
   uint64_t epoch;
   Lsn copy_lsn;
   {
-    std::shared_lock<std::shared_mutex> cl(f.content);
+    std::shared_lock<sim::SharedMutex> cl(f.content);
     copy = f.bytes;
-    std::lock_guard<std::mutex> slk(mu_);
+    std::lock_guard<sim::Mutex> slk(mu_);
     epoch = f.dirty_epoch;
     copy_lsn = copy.size() >= kPageHeaderSize ? page::GetLsn(copy) : kInvalidLsn;
   }
@@ -268,7 +268,7 @@ Status BufferPool::FlushFrame(size_t fi, bool for_evict, PageId expect) {
 }
 
 void BufferPool::Discard(PageId id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<sim::Mutex> lk(mu_);
   auto it = table_.find(id);
   if (it == table_.end()) return;
   size_t fi = it->second;
@@ -292,7 +292,7 @@ void BufferPool::Discard(PageId id) {
 Status BufferPool::FlushPage(PageId id) {
   size_t fi;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::Mutex> lk(mu_);
     auto it = table_.find(id);
     if (it == table_.end()) return Status::OK();
     fi = it->second;
@@ -303,7 +303,7 @@ Status BufferPool::FlushPage(PageId id) {
 Status BufferPool::FlushAll() {
   std::vector<size_t> dirty;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::Mutex> lk(mu_);
     for (size_t i = 0; i < frames_.size(); ++i) {
       const Frame& f = frames_[i];
       if (f.id != kInvalidPageId && f.dirty && !IsTempPage(f.id)) {
@@ -323,7 +323,7 @@ Status BufferPool::FlushAll() {
 }
 
 Lsn BufferPool::MinDirtyRecLsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::Mutex> lk(mu_);
   Lsn min_lsn = kInvalidLsn;
   for (const Frame& f : frames_) {
     if (f.id == kInvalidPageId || !f.dirty || IsTempPage(f.id)) continue;
@@ -334,7 +334,7 @@ Lsn BufferPool::MinDirtyRecLsn() const {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::Mutex> lk(mu_);
   Stats s = stats_;
   s.cached_pages = table_.size();
   for (const Frame& f : frames_) {

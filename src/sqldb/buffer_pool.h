@@ -25,17 +25,16 @@
 // holders, which the executor keeps O(statements)).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sim.h"
 #include "common/status.h"
 #include "sqldb/page.h"
 #include "sqldb/pager.h"
@@ -87,7 +86,7 @@ class BufferPool {
     /// was never written — the caller runs page::Init under an exclusive
     /// latch before use.
     std::string& bytes();
-    std::shared_mutex& latch();
+    sim::SharedMutex& latch();
 
     /// Enter the frame into the dirty table BEFORE the WAL append of the
     /// mutation (see header comment).  Caller holds latch() exclusively.
@@ -141,13 +140,16 @@ class BufferPool {
     Lsn rec_lsn = kInvalidLsn;   // oldest LSN that dirtied this copy
     Lsn page_lsn = kInvalidLsn;  // newest LSN applied (mirror of header)
     uint64_t dirty_epoch = 0;    // bumped per MarkDirty; guards flush races
-    std::shared_mutex content;
+    // sim::SharedMutex: the flusher holds it shared across the WAL force
+    // (a simulation yield point), so contenders must park in the
+    // scheduler rather than the kernel.
+    sim::SharedMutex content;
   };
 
   /// Picks an evictable frame (mu_ held): clean unpinned victim preferred;
   /// a dirty one is flushed (mu_ released during I/O).  Returns the frame
   /// index with its slot cleared, or SIZE_MAX when nothing can be evicted.
-  size_t EvictLocked(std::unique_lock<std::mutex>& lk);
+  size_t EvictLocked(std::unique_lock<sim::Mutex>& lk);
 
   /// Flush machinery shared by FlushPage/FlushAll/eviction.  mu_ NOT held.
   /// `for_evict` additionally removes the frame from the table on success.
@@ -164,8 +166,10 @@ class BufferPool {
   WriteAheadLog* wal_ = nullptr;
   const size_t capacity_;
 
-  mutable std::mutex mu_;
-  std::condition_variable io_cv_;
+  // sim:: types: Pin() waits out in-flight I/O and eviction forces the
+  // WAL — both simulation yield points.
+  mutable sim::Mutex mu_;
+  sim::CondVar io_cv_;
   std::deque<Frame> frames_;  // deque: grows (overflow) without moving
   std::unordered_map<PageId, size_t> table_;
   std::vector<size_t> free_frames_;

@@ -94,7 +94,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
                                                  std::shared_ptr<DurableStore> durable) {
   std::unique_ptr<Database> db(new Database(std::move(options), std::move(durable)));
   {
-    std::unique_lock<std::shared_mutex> lk(db->catalog_mu_);
+    std::unique_lock<sim::SharedMutex> lk(db->catalog_mu_);
     DLX_RETURN_IF_ERROR(db->RecoverLocked());
   }
   return db;
@@ -113,8 +113,8 @@ void Database::ExclusiveLatch::Release() {
   if (lk_.owns_lock()) lk_.unlock();
 }
 
-std::shared_lock<std::shared_mutex> Database::LatchShared(const TableState& t) const {
-  std::shared_lock<std::shared_mutex> lk(t.latch, std::try_to_lock);
+std::shared_lock<sim::SharedMutex> Database::LatchShared(const TableState& t) const {
+  std::shared_lock<sim::SharedMutex> lk(t.latch, std::try_to_lock);
   if (!lk.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
     lk.lock();
@@ -128,7 +128,7 @@ std::shared_lock<std::shared_mutex> Database::LatchShared(const TableState& t) c
 
 Database::ExclusiveLatch Database::LatchExclusive(const TableState& t) const {
   ExclusiveLatch g;
-  g.lk_ = std::unique_lock<std::shared_mutex>(t.latch, std::try_to_lock);
+  g.lk_ = std::unique_lock<sim::SharedMutex>(t.latch, std::try_to_lock);
   if (!g.lk_.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
     g.lk_.lock();
@@ -147,16 +147,16 @@ Database::ExclusiveLatch Database::LatchExclusive(const TableState& t) const {
   return g;
 }
 
-std::shared_lock<std::shared_mutex> Database::RowLatchShared(const TableState& t,
+std::shared_lock<sim::SharedMutex> Database::RowLatchShared(const TableState& t,
                                                              RowId rid) const {
-  std::shared_lock<std::shared_mutex> lk(t.StripeFor(rid));
+  std::shared_lock<sim::SharedMutex> lk(t.StripeFor(rid));
   row_latch_shared_acquires_.fetch_add(1, std::memory_order_relaxed);
   return lk;
 }
 
 Database::ExclusiveLatch Database::RowLatchExclusive(const TableState& t, RowId rid) const {
   ExclusiveLatch g;
-  g.lk_ = std::unique_lock<std::shared_mutex>(t.StripeFor(rid));
+  g.lk_ = std::unique_lock<sim::SharedMutex>(t.StripeFor(rid));
   row_latch_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
   g.db_ = this;
   g.row_ = true;
@@ -184,7 +184,7 @@ std::string Database::SerializeLocked() const {
     // Shared table latch: excludes RunStats/SetTableStats (exclusive
     // holders) while staying compatible with in-flight DML — the fuzzy
     // checkpoint serializes the catalog, not row contents.
-    std::shared_lock<std::shared_mutex> s(t->latch);
+    std::shared_lock<sim::SharedMutex> s(t->latch);
     PutU64(&out, tid);
     PutStr(&out, t->schema.name);
     PutU32(&out, static_cast<uint32_t>(t->schema.columns.size()));
@@ -427,7 +427,7 @@ Status Database::RecoverLocked() {
       auto ref = pool_->Pin(pid);
       bool adopted = false;
       {
-        std::shared_lock<std::shared_mutex> cl(ref.latch());
+        std::shared_lock<sim::SharedMutex> cl(ref.latch());
         const std::string& bytes = ref.bytes();
         if (bytes.size() >= kPageHeaderSize &&
             page::GetType(bytes) == kPageTypeHeap) {
@@ -562,7 +562,7 @@ Status Database::CheckpointLocked() {
 }
 
 Status Database::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
+  std::unique_lock<sim::SharedMutex> lk(catalog_mu_);
   return CheckpointLocked();
 }
 
@@ -581,7 +581,7 @@ void Database::MaybeAutoCheckpoint() {
   if (fault_ != nullptr) {
     if (fault_->Hit(failpoints::kSqldbCheckpointAuto, clock_.get())) return;
   }
-  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
+  std::unique_lock<sim::SharedMutex> lk(catalog_mu_);
   (void)CheckpointLocked();
 }
 
@@ -591,13 +591,13 @@ std::shared_ptr<DurableStore> Database::SimulateCrash() {
 }
 
 Status Database::CheckIntegrity() const {
-  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  std::shared_lock<sim::SharedMutex> lk(catalog_mu_);
   for (const auto& [tid, t] : tables_) {
     // Exclusive: quiesces shared-latch DML so heap and trees are mutually
     // consistent for the audit (the doc contract says quiesced callers
     // only, but the stronger mode makes a stray concurrent writer a
     // harmless wait instead of a false corruption report).
-    std::unique_lock<std::shared_mutex> latch(t->latch);
+    std::unique_lock<sim::SharedMutex> latch(t->latch);
     const size_t live = t->heap.live_count();
     for (const auto& ix : t->indexes) {
       ix->tree.CheckInvariants();
@@ -639,7 +639,7 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
   if (schema.name.empty() || schema.columns.empty()) {
     return Status::InvalidArgument("table needs a name and at least one column");
   }
-  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
+  std::unique_lock<sim::SharedMutex> lk(catalog_mu_);
   if (table_names_.count(schema.name) != 0) {
     return Status::AlreadyExists("table " + schema.name);
   }
@@ -655,7 +655,7 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
 }
 
 Result<IndexId> Database::CreateIndex(IndexDef def) {
-  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
+  std::unique_lock<sim::SharedMutex> lk(catalog_mu_);
   TableState* t = FindTable(def.table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(def.table));
   for (int c : def.key_columns) {
@@ -701,7 +701,7 @@ Result<IndexId> Database::CreateIndex(IndexDef def) {
 }
 
 Status Database::DropTable(TableId table) {
-  std::unique_lock<std::shared_mutex> lk(catalog_mu_);
+  std::unique_lock<sim::SharedMutex> lk(catalog_mu_);
   TableState* t = FindTable(table);
   if (t == nullptr) return Status::NotFound("table " + std::to_string(table));
   table_names_.erase(t->schema.name);
@@ -712,14 +712,14 @@ Status Database::DropTable(TableId table) {
 }
 
 Result<TableId> Database::TableByName(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  std::shared_lock<sim::SharedMutex> lk(catalog_mu_);
   auto it = table_names_.find(std::string(name));
   if (it == table_names_.end()) return Status::NotFound("table " + std::string(name));
   return it->second;
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  std::shared_lock<sim::SharedMutex> lk(catalog_mu_);
   std::vector<std::string> names;
   names.reserve(table_names_.size());
   for (const auto& [name, id] : table_names_) names.push_back(name);
@@ -760,7 +760,7 @@ Database::TableState* Database::FindTable(TableId id) const {
 }
 
 Database::TablePtr Database::GetTable(TableId id) const {
-  std::shared_lock<std::shared_mutex> lk(catalog_mu_);
+  std::shared_lock<sim::SharedMutex> lk(catalog_mu_);
   auto it = tables_.find(id);
   return it == tables_.end() ? nullptr : it->second;
 }

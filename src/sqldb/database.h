@@ -45,6 +45,7 @@
 #include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/result.h"
+#include "common/sim.h"
 #include "common/status.h"
 #include "sqldb/btree.h"
 #include "sqldb/heap.h"
@@ -289,7 +290,7 @@ class Database {
     /// SHARED mode; tree readers (scans, uniqueness probes) take it shared.
     /// Held only across a single tree operation — never across a lock wait
     /// or a row-latch acquisition.
-    mutable std::shared_mutex tree_latch;
+    mutable sim::SharedMutex tree_latch;
   };
   struct TableState {
     static constexpr size_t kRowStripes = 64;
@@ -304,13 +305,13 @@ class Database {
     /// The table's structural latch: DML and scans take it shared; DDL,
     /// checkpoint serialization, rollback, recovery and runstats take it
     /// exclusive.  Never held across a lock wait.
-    mutable std::shared_mutex latch;
+    mutable sim::SharedMutex latch;
     /// Striped row-content latches (tier below the table latch): a writer
     /// mutating a row's heap content holds the row's stripe exclusively;
     /// readers copy the row under the stripe in shared mode.
-    mutable std::array<std::shared_mutex, kRowStripes> row_stripes;
+    mutable std::array<sim::SharedMutex, kRowStripes> row_stripes;
 
-    std::shared_mutex& StripeFor(RowId rid) const {
+    sim::SharedMutex& StripeFor(RowId rid) const {
       return row_stripes[rid % kRowStripes];
     }
   };
@@ -343,7 +344,7 @@ class Database {
 
    private:
     friend class Database;
-    std::unique_lock<std::shared_mutex> lk_;
+    std::unique_lock<sim::SharedMutex> lk_;
     const Database* db_ = nullptr;
     bool row_ = false;
   };
@@ -351,9 +352,9 @@ class Database {
   explicit Database(DatabaseOptions options, std::shared_ptr<DurableStore> durable);
 
   /// Latch acquisition with contention accounting.
-  std::shared_lock<std::shared_mutex> LatchShared(const TableState& t) const;
+  std::shared_lock<sim::SharedMutex> LatchShared(const TableState& t) const;
   ExclusiveLatch LatchExclusive(const TableState& t) const;
-  std::shared_lock<std::shared_mutex> RowLatchShared(const TableState& t, RowId rid) const;
+  std::shared_lock<sim::SharedMutex> RowLatchShared(const TableState& t, RowId rid) const;
   ExclusiveLatch RowLatchExclusive(const TableState& t, RowId rid) const;
 
   // Catalog-exclusive helpers (catalog_mu_ held exclusively by the caller).
@@ -429,7 +430,7 @@ class Database {
 
   /// Catalog latch: shared for table lookups, exclusive for DDL,
   /// checkpoints and recovery (the global latch).
-  mutable std::shared_mutex catalog_mu_;
+  mutable sim::SharedMutex catalog_mu_;
   std::unordered_map<TableId, TablePtr> tables_;
   std::unordered_map<std::string, TableId> table_names_;
   TableId next_table_id_ = 1;

@@ -158,7 +158,7 @@ LockId Database::NextKeyLockId(const TableState& t, const IndexState& ix,
                                const Key& key) const {
   // Callers hold the table latch shared; the tree read needs its own latch
   // against concurrent tree-exclusive writers.
-  std::shared_lock<std::shared_mutex> tl(ix.tree_latch);
+  std::shared_lock<sim::SharedMutex> tl(ix.tree_latch);
   auto succ = ix.tree.Successor(key, kInvalidRowId);
   if (!succ.has_value()) return LockId::EndOfIndex(t.id, ix.id);
   return KeyLockId(t, ix, succ->key);
@@ -238,7 +238,7 @@ Result<std::vector<Database::Candidate>> Database::CollectCandidates(
     }
     std::vector<BTreeEntry> entries;
     {
-      std::shared_lock<std::shared_mutex> tl(ix->tree_latch);
+      std::shared_lock<sim::SharedMutex> tl(ix->tree_latch);
       ix->tree.ScanPrefix(prefix, &entries);
     }
     for (const BTreeEntry& e : entries) {
@@ -355,7 +355,7 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
   // are serialized by those locks; tree-shared suffices for the read).
   for (auto& [ix, key] : keys) {
     if (!ix->def.unique) continue;
-    std::shared_lock<std::shared_mutex> tl(ix->tree_latch);
+    std::shared_lock<sim::SharedMutex> tl(ix->tree_latch);
     if (ix->tree.ContainsKey(key)) {
       unique_conflicts_.fetch_add(1, std::memory_order_relaxed);
       t->heap.FreeSlot(rid);
@@ -377,7 +377,7 @@ Status Database::Insert(Transaction* txn, TableId table, Row row) {
     return st;
   }
   for (auto& [ix, key] : keys) {
-    std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+    std::unique_lock<sim::SharedMutex> tl(ix->tree_latch);
     ix->tree.Insert(key, rid);
   }
   txn->undo_.push_back(Transaction::UndoRecord{LogRecordType::kInsert, table, rid, {}});
@@ -546,7 +546,7 @@ Result<int64_t> Database::ExecuteDelete(Transaction* txn, const BoundStatement& 
     // sees an invalid slot and skips it (the permitted non-blocking miss).
     if (deleted) {
       for (auto& ix : t->indexes) {
-        std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+        std::unique_lock<sim::SharedMutex> tl(ix->tree_latch);
         ix->tree.Erase(ExtractKey(*ix, old), c.rid);
       }
       txn->undo_.push_back(
@@ -643,7 +643,7 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     bool conflict = false;
     for (auto& [ix, change] : key_changes) {
       if (!ix->def.unique) continue;
-      std::shared_lock<std::shared_mutex> tl(ix->tree_latch);
+      std::shared_lock<sim::SharedMutex> tl(ix->tree_latch);
       if (ix->tree.ContainsKey(change.second)) {
         unique_conflicts_.fetch_add(1, std::memory_order_relaxed);
         conflict = true;
@@ -665,7 +665,7 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
     // sees either a stale entry with the old (still consistent) row or a
     // miss — both already permitted.
     for (auto& ix : t->indexes) {
-      std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+      std::unique_lock<sim::SharedMutex> tl(ix->tree_latch);
       ix->tree.Erase(ExtractKey(*ix, fresh), c.rid);
     }
     Status st;
@@ -680,13 +680,13 @@ Result<int64_t> Database::ExecuteUpdate(Transaction* txn, const BoundStatement& 
       // The log append failed (capacity): nothing was applied; restore the
       // index entries erased above and surface the error.
       for (auto& ix : t->indexes) {
-        std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+        std::unique_lock<sim::SharedMutex> tl(ix->tree_latch);
         ix->tree.Insert(ExtractKey(*ix, fresh), c.rid);
       }
       return st;
     }
     for (auto& ix : t->indexes) {
-      std::unique_lock<std::shared_mutex> tl(ix->tree_latch);
+      std::unique_lock<sim::SharedMutex> tl(ix->tree_latch);
       ix->tree.Insert(ExtractKey(*ix, new_row), c.rid);
     }
     txn->undo_.push_back(

@@ -46,7 +46,7 @@ Status HeapTable::CheckRowFits(const Row& row) const {
 
 PageId HeapTable::ChoosePage(size_t need) {
   const size_t charge = need + heap_page::kSlotSize;
-  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  std::unique_lock<sim::SharedMutex> ml(map_mu_);
   auto take = [&](PageId pid) -> bool {
     auto it = free_est_.find(pid);
     if (it == free_est_.end() || it->second < charge) return false;
@@ -68,7 +68,7 @@ PageId HeapTable::ChoosePage(size_t need) {
 }
 
 void HeapTable::SetEstimate(PageId pid, size_t free_bytes) {
-  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  std::unique_lock<sim::SharedMutex> ml(map_mu_);
   const size_t open_at =
       heap_page::Capacity(pager_->page_size()) * kOpenNum / kOpenDen;
   auto it = free_est_.find(pid);
@@ -80,7 +80,7 @@ void HeapTable::SetEstimate(PageId pid, size_t free_bytes) {
 }
 
 void HeapTable::AdoptPage(PageId pid) {
-  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  std::unique_lock<sim::SharedMutex> ml(map_mu_);
   if (std::find(pages_.begin(), pages_.end(), pid) == pages_.end()) {
     pages_.push_back(pid);
   }
@@ -92,7 +92,7 @@ Status HeapTable::InstallAt(RowId rid, const Row& row, const LogFn& log) {
   for (;;) {
     const PageId pid = ChoosePage(payload.size());
     auto ref = pool_->Pin(pid);
-    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    std::unique_lock<sim::SharedMutex> cl(ref.latch());
     if (ref.bytes().size() < kPageHeaderSize) {
       page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
     }
@@ -113,7 +113,7 @@ Status HeapTable::InstallAt(RowId rid, const Row& row, const LogFn& log) {
     ref.NoteAppliedLsn(*lsn);
     SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
     {
-      std::unique_lock<std::shared_mutex> ml(map_mu_);
+      std::unique_lock<sim::SharedMutex> ml(map_mu_);
       assert(loc_.count(rid) == 0);
       loc_[rid] = pid;
     }
@@ -133,13 +133,13 @@ Status HeapTable::InsertAt(RowId rid, const Row& row, const LogFn& log) {
 Result<Row> HeapTable::Delete(RowId rid, const LogFn& log) {
   PageId pid;
   {
-    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    std::shared_lock<sim::SharedMutex> ml(map_mu_);
     auto it = loc_.find(rid);
     if (it == loc_.end()) return Status::NotFound("rid holds no row");
     pid = it->second;
   }
   auto ref = pool_->Pin(pid);
-  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  std::unique_lock<sim::SharedMutex> cl(ref.latch());
   const int slot = heap_page::FindSlot(ref.bytes(), rid);
   if (slot < 0) return Status::NotFound("rid holds no row");
   std::string_view bytes = heap_page::SlotPayload(ref.bytes(), slot);
@@ -153,7 +153,7 @@ Result<Row> HeapTable::Delete(RowId rid, const LogFn& log) {
   ref.NoteAppliedLsn(*lsn);
   SetEstimate(pid, heap_page::FreeBytes(ref.bytes()));
   {
-    std::unique_lock<std::shared_mutex> ml(map_mu_);
+    std::unique_lock<sim::SharedMutex> ml(map_mu_);
     loc_.erase(rid);
   }
   live_.fetch_sub(1, std::memory_order_relaxed);
@@ -165,7 +165,7 @@ Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
   DLX_RETURN_IF_ERROR(CheckRowFits(row));
   PageId pid;
   {
-    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    std::shared_lock<sim::SharedMutex> ml(map_mu_);
     auto it = loc_.find(rid);
     if (it == loc_.end()) return Status::NotFound("rid holds no row");
     pid = it->second;
@@ -173,7 +173,7 @@ Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
   // In-place attempt: the old image's bytes come back as free space.
   {
     auto ref = pool_->Pin(pid);
-    std::unique_lock<std::shared_mutex> cl(ref.latch());
+    std::unique_lock<sim::SharedMutex> cl(ref.latch());
     const int slot = heap_page::FindSlot(ref.bytes(), rid);
     if (slot < 0) return Status::NotFound("rid holds no row");
     const size_t old_len = heap_page::SlotPayload(ref.bytes(), slot).size();
@@ -196,8 +196,8 @@ Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
     if (npid == pid) continue;  // full source page re-offered; skip it
     auto lo = pool_->Pin(std::min(pid, npid));
     auto hi = pool_->Pin(std::max(pid, npid));
-    std::unique_lock<std::shared_mutex> cl_lo(lo.latch());
-    std::unique_lock<std::shared_mutex> cl_hi(hi.latch());
+    std::unique_lock<sim::SharedMutex> cl_lo(lo.latch());
+    std::unique_lock<sim::SharedMutex> cl_hi(hi.latch());
     auto& src = pid < npid ? lo : hi;
     auto& dst = pid < npid ? hi : lo;
     if (dst.bytes().size() < kPageHeaderSize) {
@@ -225,7 +225,7 @@ Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
     SetEstimate(pid, heap_page::FreeBytes(src.bytes()));
     SetEstimate(npid, heap_page::FreeBytes(dst.bytes()));
     {
-      std::unique_lock<std::shared_mutex> ml(map_mu_);
+      std::unique_lock<sim::SharedMutex> ml(map_mu_);
       loc_[rid] = npid;
     }
     return Status::OK();
@@ -233,20 +233,20 @@ Status HeapTable::Update(RowId rid, const Row& row, const LogFn& log) {
 }
 
 bool HeapTable::Valid(RowId rid) const {
-  std::shared_lock<std::shared_mutex> ml(map_mu_);
+  std::shared_lock<sim::SharedMutex> ml(map_mu_);
   return loc_.count(rid) != 0;
 }
 
 bool HeapTable::GetIf(RowId rid, Row* out) const {
   PageId pid;
   {
-    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    std::shared_lock<sim::SharedMutex> ml(map_mu_);
     auto it = loc_.find(rid);
     if (it == loc_.end()) return false;
     pid = it->second;
   }
   auto ref = pool_->Pin(pid);
-  std::shared_lock<std::shared_mutex> cl(ref.latch());
+  std::shared_lock<sim::SharedMutex> cl(ref.latch());
   if (ref.bytes().size() < kPageHeaderSize) return false;
   const int slot = heap_page::FindSlot(ref.bytes(), rid);
   // Callers hold the rid's row latch, so the row cannot relocate between
@@ -268,12 +268,12 @@ Row HeapTable::Get(RowId rid) const {
 }
 
 std::vector<PageId> HeapTable::PageList() const {
-  std::shared_lock<std::shared_mutex> ml(map_mu_);
+  std::shared_lock<sim::SharedMutex> ml(map_mu_);
   return pages_;
 }
 
 void HeapTable::SetPageList(std::vector<PageId> pages, RowId hwm) {
-  std::unique_lock<std::shared_mutex> ml(map_mu_);
+  std::unique_lock<sim::SharedMutex> ml(map_mu_);
   pages_ = std::move(pages);
   hwm_.store(hwm, std::memory_order_release);
 }
@@ -281,7 +281,7 @@ void HeapTable::SetPageList(std::vector<PageId> pages, RowId hwm) {
 void HeapTable::RedoInsert(RowId rid, const Row& row, PageId page, Lsn lsn) {
   AdoptPage(page);
   auto ref = pool_->Pin(page);
-  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  std::unique_lock<sim::SharedMutex> cl(ref.latch());
   if (ref.bytes().size() < kPageHeaderSize) {
     page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
   }
@@ -297,7 +297,7 @@ void HeapTable::RedoInsert(RowId rid, const Row& row, PageId page, Lsn lsn) {
 void HeapTable::RedoRemove(RowId rid, PageId page, Lsn lsn) {
   AdoptPage(page);
   auto ref = pool_->Pin(page);
-  std::unique_lock<std::shared_mutex> cl(ref.latch());
+  std::unique_lock<sim::SharedMutex> cl(ref.latch());
   if (ref.bytes().size() < kPageHeaderSize) {
     page::Init(&ref.bytes(), pager_->page_size(), kPageTypeHeap, owner_);
   }
@@ -322,7 +322,7 @@ void HeapTable::RedoUpdate(RowId rid, const Row& row, PageId page,
 void HeapTable::RebuildFromPages() {
   std::vector<PageId> pages;
   {
-    std::shared_lock<std::shared_mutex> ml(map_mu_);
+    std::shared_lock<sim::SharedMutex> ml(map_mu_);
     pages = pages_;
   }
   std::unordered_map<RowId, PageId> loc;
@@ -331,7 +331,7 @@ void HeapTable::RebuildFromPages() {
   size_t live = 0;
   for (PageId pid : pages) {
     auto ref = pool_->Pin(pid);
-    std::shared_lock<std::shared_mutex> cl(ref.latch());
+    std::shared_lock<sim::SharedMutex> cl(ref.latch());
     if (ref.bytes().size() < kPageHeaderSize) {
       est[pid] = heap_page::Capacity(pager_->page_size()) + heap_page::kSlotSize;
       continue;
@@ -349,7 +349,7 @@ void HeapTable::RebuildFromPages() {
   const size_t open_at =
       heap_page::Capacity(pager_->page_size()) * kOpenNum / kOpenDen;
   {
-    std::unique_lock<std::shared_mutex> ml(map_mu_);
+    std::unique_lock<sim::SharedMutex> ml(map_mu_);
     loc_ = std::move(loc);
     free_est_ = std::move(est);
     append_page_ = kInvalidPageId;
@@ -362,7 +362,7 @@ void HeapTable::RebuildFromPages() {
   live_.store(live, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(alloc_mu_);
   free_rids_.clear();
-  std::shared_lock<std::shared_mutex> ml(map_mu_);
+  std::shared_lock<sim::SharedMutex> ml(map_mu_);
   for (RowId rid = 0; rid < hwm; ++rid) {
     if (loc_.count(rid) == 0) free_rids_.push_back(rid);
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sim.h"
 #include "common/status.h"
 #include "sqldb/buffer_pool.h"
 #include "sqldb/page.h"
@@ -94,7 +95,7 @@ class HeapTable {
   void ForEach(Fn&& fn) const {
     for (PageId pid : PageList()) {
       auto ref = pool_->Pin(pid);
-      std::shared_lock<std::shared_mutex> cl(ref.latch());
+      std::shared_lock<sim::SharedMutex> cl(ref.latch());
       if (ref.bytes().size() < kPageHeaderSize) continue;
       const uint16_t n = page::SlotCount(ref.bytes());
       for (int i = 0; i < n; ++i) {
@@ -139,7 +140,7 @@ class HeapTable {
   Pager* pager_;
   uint64_t owner_ = 0;
 
-  mutable std::shared_mutex map_mu_;
+  mutable sim::SharedMutex map_mu_;
   std::unordered_map<RowId, PageId> loc_;
   std::vector<PageId> pages_;
   std::unordered_map<PageId, size_t> free_est_;

@@ -125,7 +125,7 @@ bool LockManager::WouldDeadlock(TxnId requester) const {
   // a consistent cut — see the header comment for why that is acceptable.
   std::unordered_map<TxnId, std::unordered_set<TxnId>> edges;
   for (const Bucket& b : buckets_) {
-    std::lock_guard<std::mutex> lk(b.mu);
+    std::lock_guard<sim::Mutex> lk(b.mu);
     for (const auto& [id, q] : b.queues) {
       for (const Request& r : q.requests) {
         if (!r.granted) {
@@ -172,11 +172,10 @@ bool LockManager::WouldDeadlock(TxnId requester) const {
 
 Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
                             int64_t timeout_micros) {
-  using SteadyClock = std::chrono::steady_clock;
   acquires_.fetch_add(1, std::memory_order_relaxed);
 
   Bucket& b = BucketFor(id);
-  std::unique_lock<std::mutex> lk(b.mu);
+  std::unique_lock<sim::Mutex> lk(b.mu);
   // Safe to hold across waits: queues is node-based and this queue cannot be
   // erased while our request sits in it.
   Queue& q = b.queues[id];
@@ -249,18 +248,21 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
     if (q.requests.empty()) b.queues.erase(id);
   };
 
+  // All wait deadlines run on the injected clock_ (not the raw steady
+  // clock): under the deterministic simulation the clock is virtual, so
+  // lock timeouts and detection backoff expire in simulated time.
   const bool has_deadline = timeout_micros >= 0;
-  const auto deadline = SteadyClock::now() + std::chrono::microseconds(
-                                                 has_deadline ? timeout_micros : 0);
+  const int64_t deadline =
+      clock_->NowMicros() + (has_deadline ? timeout_micros : 0);
   // Cross-bucket detection is expensive (it locks every bucket), so it runs
   // on a per-waiter backoff: first check one interval after blocking — the
   // common short wait is granted by then and never pays for a snapshot —
   // then doubling up to the cap.  Cycles are detected within a few ticks,
   // well inside any realistic lock timeout.
-  constexpr auto kDetectInterval = std::chrono::milliseconds(3);
-  constexpr auto kDetectIntervalMax = std::chrono::milliseconds(48);
-  auto detect_backoff = kDetectInterval;
-  auto next_detect = SteadyClock::now() + detect_backoff;
+  constexpr int64_t kDetectIntervalMicros = 3000;
+  constexpr int64_t kDetectIntervalMaxMicros = 48000;
+  int64_t detect_backoff = kDetectIntervalMicros;
+  int64_t next_detect = clock_->NowMicros() + detect_backoff;
 
   while (true) {
     if (check_granted()) {
@@ -268,7 +270,7 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
       return Status::OK();
     }
 
-    if (SteadyClock::now() >= next_detect) {
+    if (clock_->NowMicros() >= next_detect) {
       // Detection walks every bucket, so our own bucket mutex must not be
       // held.  A grant can land while we are detecting: re-check before
       // acting on the verdict.
@@ -285,13 +287,13 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
         record_wait();
         return Status::Deadlock("lock " + id.ToString());
       }
-      detect_backoff = std::min(detect_backoff * 2, kDetectIntervalMax);
-      next_detect = SteadyClock::now() + detect_backoff;
+      detect_backoff = std::min(detect_backoff * 2, kDetectIntervalMaxMicros);
+      next_detect = clock_->NowMicros() + detect_backoff;
     }
 
-    auto wake = next_detect;
+    int64_t wake = next_detect;
     if (has_deadline) {
-      if (SteadyClock::now() >= deadline) {
+      if (clock_->NowMicros() >= deadline) {
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         remove_my_request();
         record_wait();
@@ -299,13 +301,14 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
       }
       wake = std::min(wake, deadline);
     }
-    b.cv.wait_until(lk, wake);
+    const int64_t wait_micros = std::max<int64_t>(wake - clock_->NowMicros(), 1);
+    (void)b.cv.wait_for(lk, std::chrono::microseconds(wait_micros));
   }
 }
 
 void LockManager::ReleaseInBucket(TxnId txn, const LockId& id) {
   Bucket& b = BucketFor(id);
-  std::lock_guard<std::mutex> lk(b.mu);
+  std::lock_guard<sim::Mutex> lk(b.mu);
   auto qit = b.queues.find(id);
   if (qit == b.queues.end()) return;
   Queue& q = qit->second;
@@ -385,7 +388,7 @@ size_t LockManager::TotalHeldLocks() const {
 
 LockMode LockManager::HeldMode(TxnId txn, const LockId& id) const {
   Bucket& b = BucketFor(id);
-  std::lock_guard<std::mutex> lk(b.mu);
+  std::lock_guard<sim::Mutex> lk(b.mu);
   auto qit = b.queues.find(id);
   if (qit == b.queues.end()) return LockMode::kNone;
   for (const Request& r : qit->second.requests) {

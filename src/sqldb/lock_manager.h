@@ -27,7 +27,6 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -38,6 +37,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/sim.h"
 #include "common/status.h"
 #include "sqldb/schema.h"
 
@@ -151,9 +151,11 @@ class LockManager {
   struct Queue {
     std::list<Request> requests;  // granted first (by construction), FIFO waiters
   };
+  // sim:: types: lock waits (and the timed deadlock-detection backoff)
+  // park the task in the simulation scheduler on the injected clock.
   struct Bucket {
-    mutable std::mutex mu;
-    std::condition_variable cv;
+    mutable sim::Mutex mu;
+    sim::CondVar cv;
     std::unordered_map<LockId, Queue, LockIdHash> queues;
   };
   static constexpr size_t kBuckets = 16;

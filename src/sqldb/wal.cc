@@ -196,9 +196,8 @@ std::vector<PageId> DurableStore::DataPageIds() const {
 }
 
 void DurableStore::AppendForced(std::vector<LogRecord> records) {
-  if (append_latency_micros_ > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(append_latency_micros_));
-  }
+  // Media latency is simulated by the WAL force leader (on its injected
+  // clock, so virtual time compresses it), not here.
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& r : records) {
     forced_bytes_ += r.ByteSize();
@@ -315,7 +314,7 @@ size_t WriteAheadLog::BytesInUse() const {
 
 Status WriteAheadLog::Append(LogRecord record, bool exempt, Lsn* assigned) {
   Shard& sh = shards_[ShardFor(record)];
-  std::lock_guard<std::mutex> sh_lk(sh.mu);
+  std::lock_guard<sim::Mutex> sh_lk(sh.mu);
   const size_t sz = record.ByteSize();
   {
     // Capacity check and LSN assignment are atomic under space_mu_; the
@@ -340,8 +339,18 @@ Status WriteAheadLog::Append(LogRecord record, bool exempt, Lsn* assigned) {
   return Status::OK();
 }
 
+void WriteAheadLog::SimulateMediaLatency() {
+  const int64_t latency = durable_->append_latency_micros();
+  if (latency <= 0) return;
+  if (clock_ != nullptr) {
+    clock_->SleepForMicros(latency);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
+}
+
 Status WriteAheadLog::ForceTo(Lsn lsn) {
-  std::unique_lock<std::mutex> lk(force_mu_);
+  std::unique_lock<sim::Mutex> lk(force_mu_);
   lsn = std::min(lsn, next_lsn_.load(std::memory_order_relaxed) - 1);
   while (durable_upto_ < lsn) {
     if (fault_ != nullptr && fault_->crashed()) {
@@ -449,6 +458,7 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
               group_commit_commits_.fetch_add(1, std::memory_order_relaxed);
             }
           }
+          SimulateMediaLatency();
           durable_->AppendForced(std::move(prefix));
         }
         lk.lock();
@@ -469,6 +479,7 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
         force_latency_us_ != nullptr &&
         (force_latency_us_->count() < 64 || (force_seq_ & 7) == 0);
     const int64_t t0 = sample ? metrics::NowMicrosForMetrics() : 0;
+    SimulateMediaLatency();
     durable_->AppendForced(std::move(batch));  // the "I/O", outside all WAL locks
     if (sample) {
       force_latency_us_->Record(metrics::NowMicrosForMetrics() - t0);

@@ -33,7 +33,6 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -46,6 +45,7 @@
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/sim.h"
 #include "common/status.h"
 #include "sqldb/page.h"
 #include "sqldb/schema.h"
@@ -262,13 +262,21 @@ class WriteAheadLog {
 
  private:
   /// Append shards.  More shards than cores is fine — the point is that
-  /// two writers rarely hash to the same tail mutex.
+  /// two writers rarely hash to the same tail mutex.  sim::Mutex: the
+  /// force leader holds every shard mutex while probing fail points (a
+  /// kDelay action yields), so contending appenders must park in the
+  /// simulation scheduler, not the kernel.
   static constexpr size_t kShards = 8;
   struct Shard {
-    std::mutex mu;
+    sim::Mutex mu;
     std::vector<LogRecord> tail;  // not yet forced; LSN-sorted within shard
     size_t bytes = 0;
   };
+
+  /// Models the log device's write latency ahead of a durable append —
+  /// on the injected clock when one is present, so simulated runs
+  /// compress it to virtual time.
+  void SimulateMediaLatency();
 
   size_t ShardFor(const LogRecord& r) const;
   Lsn TruncationPoint() const;        // space_mu_ held
@@ -302,9 +310,10 @@ class WriteAheadLog {
 
   // Group commit.  force_mu_ guards only the leader flag and the durable
   // frontier; the leader never holds it while collecting shard tails or
-  // appending to the durable store.
-  mutable std::mutex force_mu_;
-  std::condition_variable force_cv_;
+  // appending to the durable store.  sim:: types: the follower wait and
+  // the fail-point probe under force_mu_ are simulation yield points.
+  mutable sim::Mutex force_mu_;
+  sim::CondVar force_cv_;
   bool force_leader_active_ = false;
   Lsn durable_upto_ = kInvalidLsn;  // highest lsn moved into the durable store
 

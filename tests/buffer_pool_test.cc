@@ -49,7 +49,7 @@ struct PoolRig {
   /// force from the page header).
   Lsn DirtyPage(PageId id, const std::string& marker) {
     BufferPool::PageRef ref = pool.Pin(id);
-    std::unique_lock<std::shared_mutex> latch(ref.latch());
+    std::unique_lock<sim::SharedMutex> latch(ref.latch());
     ref.MarkDirtyProvisional();
     LogRecord rec{0, /*txn=*/1, LogRecordType::kInsert, /*table=*/1,
                   /*rid=*/static_cast<RowId>(id), {}, {}};
@@ -134,7 +134,7 @@ TEST(BufferPool, OverflowFramesWhenEveryFrameIsPinned) {
   BufferPool::PageRef c = rig.pool.Pin(5);  // beyond capacity: overflow frame
   EXPECT_TRUE(a && b && d && e && c);
   {
-    std::unique_lock<std::shared_mutex> l(c.latch());
+    std::unique_lock<sim::SharedMutex> l(c.latch());
     c.bytes() = "overflow";
   }
   EXPECT_GE(rig.pool.stats().overflow_frames, 1u);
@@ -209,7 +209,7 @@ TEST(BufferPoolConcurrency, EvictDiscardCheckpointRaceNeverAliasesFrames) {
           rig.DirtyPage(id, stamp(id));
         } else {
           BufferPool::PageRef ref = rig.pool.Pin(id);
-          std::shared_lock<std::shared_mutex> latch(ref.latch());
+          std::shared_lock<sim::SharedMutex> latch(ref.latch());
           const std::string& pg = ref.bytes();
           // Empty = never flushed before a Discard dropped it; anything
           // else must be this page's own stamp.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,8 +81,38 @@ TEST(SimClock, AdvancesManually) {
   EXPECT_EQ(clock.NowMicros(), 100);
   clock.Advance(50);
   EXPECT_EQ(clock.NowMicros(), 150);
-  clock.SleepForMicros(10);
-  EXPECT_EQ(clock.NowMicros(), 160);
+  clock.SleepForMicros(0);  // non-positive sleeps return immediately
+  clock.SleepForMicros(-5);
+  EXPECT_EQ(clock.NowMicros(), 150);
+}
+
+TEST(SimClock, SleepersWakeInDeadlineOrder) {
+  // SleepForMicros must BLOCK until the clock is advanced past the
+  // deadline — a sleeper never advances time for everyone else.  Two
+  // sleepers with different deadlines wake in deadline order as the
+  // clock is advanced in steps.
+  SimClock clock(0);
+  std::atomic<int> wake_seq{0};
+  std::atomic<int> order_short{-1}, order_long{-1};
+  std::thread short_sleeper([&] {
+    clock.SleepForMicros(100);
+    order_short = wake_seq.fetch_add(1);
+  });
+  std::thread long_sleeper([&] {
+    clock.SleepForMicros(200);
+    order_long = wake_seq.fetch_add(1);
+  });
+  // Wait for both to park before advancing, so both deadlines are
+  // computed from now == 0.
+  while (clock.waiters() < 2) std::this_thread::yield();
+  EXPECT_EQ(wake_seq.load(), 0);  // nobody woke while the clock stood still
+  clock.Advance(100);  // reaches the short deadline only
+  short_sleeper.join();
+  EXPECT_EQ(order_short.load(), 0);
+  EXPECT_EQ(wake_seq.load(), 1);  // the 200us sleeper is still parked
+  clock.Advance(100);  // now 200: releases the second sleeper
+  long_sleeper.join();
+  EXPECT_EQ(order_long.load(), 1);
 }
 
 TEST(SystemClock, MonotonicNonDecreasing) {
@@ -175,7 +206,13 @@ TEST(FaultInjector, DelayAdvancesSuppliedClock) {
   spec.action = FaultInjector::Action::kDelay;
   spec.delay_micros = 250;
   inj.Arm("slow", spec);
-  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());  // delay is not an error
+  // The delay blocks on the sim clock; drive it from here.
+  std::optional<Status> hit;
+  std::thread prober([&] { hit = inj.Hit("slow", &clock); });
+  while (clock.waiters() == 0) std::this_thread::yield();
+  clock.Advance(250);
+  prober.join();
+  EXPECT_FALSE(hit.has_value());  // delay is not an error
   EXPECT_EQ(clock.NowMicros(), 250);
 }
 
@@ -272,10 +309,15 @@ TEST(FaultInjector, DelaySleepsOnceThenPassesThrough) {
   spec.delay_micros = 100;
   spec.hits = 1;
   inj.Arm("slow", spec);
-  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());
+  std::optional<Status> hit;
+  std::thread prober([&] { hit = inj.Hit("slow", &clock); });
+  while (clock.waiters() == 0) std::this_thread::yield();
+  clock.Advance(100);
+  prober.join();
+  EXPECT_FALSE(hit.has_value());
   EXPECT_EQ(clock.NowMicros(), 100);
-  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());  // budget spent
-  EXPECT_EQ(clock.NowMicros(), 100);                  // no second sleep
+  EXPECT_FALSE(inj.Hit("slow", &clock).has_value());  // budget spent: no sleep
+  EXPECT_EQ(clock.NowMicros(), 100);                  // would hang if it slept
 }
 
 TEST(FaultInjector, DelayWithoutClockDoesNotFire) {

@@ -16,15 +16,37 @@
 //                         metrics + span-ring snapshots as JSON (skip
 //                         lines starting with '#' when re-reading seeds)
 //
+// Simulation-mode knobs (DESIGN.md §11):
+//   CRASH_FUZZ_SIM_ITERS        scenarios for the randomized sim arm
+//                               (default 10)
+//   CRASH_FUZZ_SCHEDULE_DIR     where a failing sim case writes its
+//                               seed+schedule replay artifact
+//                               (schedule-<seed>.txt; default ".")
+//   CRASH_FUZZ_REPLAY_SCHEDULE  path to a schedule artifact: replay it and
+//                               assert the recorded verdict reproduces
+//   CRASH_FUZZ_RECORD_SCHEDULE  path: run CRASH_FUZZ_SEED once under sim
+//                               and write its artifact there (maintenance
+//                               mode, used to refresh checked-in artifacts)
+//   CRASH_FUZZ_SOAK_SCENARIOS   SimSoak scenario count (default 1000)
+//   CRASH_FUZZ_SOAK_BUDGET_MS   SimSoak wall-clock budget (default 10000)
+//   CRASH_FUZZ_E17=<n>          run n soak scenarios on real threads AND
+//                               under sim, print the time-compression
+//                               table (EXPERIMENTS.md E17; skipped when
+//                               unset)
+//
 // A failure prints a one-line repro:
 //   CRASH_FUZZ_SEED=<n> CRASH_FUZZ_ITERS=1 ./tests/crash_fuzz_test
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "fuzz_harness.h"
 
@@ -40,6 +62,26 @@ uint64_t EnvU64(const char* name, uint64_t def) {
   char* end = nullptr;
   const uint64_t parsed = std::strtoull(v, &end, 10);
   return end == v ? def : parsed;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Persists the failing sim case's replay artifact; returns its path ("" if
+/// the write failed).
+std::string DumpScheduleArtifact(uint64_t seed, const FuzzCaseResult& r) {
+  const char* dir = std::getenv("CRASH_FUZZ_SCHEDULE_DIR");
+  const std::string path = std::string(dir != nullptr && *dir ? dir : ".") +
+                           "/schedule-" + std::to_string(seed) + ".txt";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << EncodeScheduleArtifact(seed, r);
+  return out ? path : std::string();
 }
 
 // Same seed => same derived scenario and the same verdict.  (Thread
@@ -107,6 +149,226 @@ TEST(CrashFuzz, RandomizedCrashRecovery) {
     std::printf("  %-50s armed %dx fired %dx\n", key.c_str(), counts.first,
                 counts.second);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-simulation arm (DESIGN.md §11).  The same scenarios run
+// under the seeded SimExecutor: one uint64 decides the complete thread
+// interleaving, timeouts expire on virtual time, and same-seed runs must
+// produce byte-identical trace-ring dumps.
+// ---------------------------------------------------------------------------
+
+// The CI determinism check: 20 seeds, each run twice; the trace dump and
+// the recorded schedule must match byte-for-byte.
+TEST(CrashFuzzSim, SameSeedIsByteIdentical) {
+  const uint64_t base = EnvU64("CRASH_FUZZ_SEED", kDefaultBaseSeed);
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t seed = base + i;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzCaseResult a = RunCrashFuzzCaseSim(seed);
+    const FuzzCaseResult b = RunCrashFuzzCaseSim(seed);
+    ASSERT_TRUE(a.ok) << a.detail << "repro: CRASH_FUZZ_SEED=" << seed
+                      << " ./tests/crash_fuzz_test"
+                         " --gtest_filter=CrashFuzzSim.SameSeedIsByteIdentical";
+    ASSERT_TRUE(b.ok) << b.detail;
+    EXPECT_FALSE(a.trace_json.empty());
+    EXPECT_EQ(a.trace_json, b.trace_json) << "seed " << seed
+                                          << ": trace dumps diverged";
+    EXPECT_EQ(a.schedule, b.schedule) << "seed " << seed
+                                      << ": decision logs diverged";
+  }
+}
+
+// Replaying a recorded schedule (not the PRNG) must reproduce the original
+// run exactly — trace, schedule, and verdict.
+TEST(CrashFuzzSim, RecordedScheduleReplaysByteForByte) {
+  const uint64_t seed = EnvU64("CRASH_FUZZ_SEED", kDefaultBaseSeed) + 3;
+  const FuzzCaseResult rec = RunCrashFuzzCaseSim(seed);
+  ASSERT_TRUE(rec.ok) << rec.detail;
+  ASSERT_FALSE(rec.schedule.empty());
+  const FuzzCaseResult rep = ReplayCrashFuzzCaseSim(seed, rec.schedule);
+  EXPECT_FALSE(rep.replay_diverged);
+  EXPECT_EQ(rec.ok, rep.ok);
+  EXPECT_EQ(rec.trace_json, rep.trace_json);
+  EXPECT_EQ(rec.schedule, rep.schedule);
+}
+
+TEST(CrashFuzzSim, ScheduleArtifactRoundTrips) {
+  FuzzCaseResult r;
+  r.ok = false;
+  r.schedule = {0, 3, 1, 0xffffffffu, 7};
+  const std::string text = EncodeScheduleArtifact(42, r);
+  uint64_t seed = 0;
+  std::vector<uint32_t> schedule;
+  std::string verdict;
+  ASSERT_TRUE(DecodeScheduleArtifact(text, &seed, &schedule, &verdict));
+  EXPECT_EQ(seed, 42u);
+  EXPECT_EQ(schedule, r.schedule);
+  EXPECT_EQ(verdict, "fail");
+  EXPECT_FALSE(DecodeScheduleArtifact("not an artifact", &seed, &schedule));
+  EXPECT_FALSE(DecodeScheduleArtifact("dlx-fuzz-schedule v1\nseed x\n", &seed,
+                                      &schedule));
+}
+
+// Regression: the checked-in recorded schedule must still replay to the
+// verdict it recorded.  Guards both the artifact codec and the stability
+// of the replay contract across engine changes (a diverged replay falls
+// back to the PRNG and is flagged, not silently reinterpreted).
+TEST(CrashFuzzSim, CheckedInScheduleReplaysToRecordedVerdict) {
+  const std::string text =
+      ReadFileOrEmpty(std::string(DLX_TEST_DATA_DIR) + "/fuzz_schedule_v1.txt");
+  ASSERT_FALSE(text.empty()) << "missing tests/data/fuzz_schedule_v1.txt";
+  uint64_t seed = 0;
+  std::vector<uint32_t> schedule;
+  std::string verdict;
+  ASSERT_TRUE(DecodeScheduleArtifact(text, &seed, &schedule, &verdict));
+  const FuzzCaseResult r = ReplayCrashFuzzCaseSim(seed, schedule);
+  EXPECT_EQ(r.ok ? "pass" : "fail", verdict)
+      << "seed " << seed << " replayed to the opposite verdict:\n"
+      << r.detail;
+}
+
+// Operator mode: CRASH_FUZZ_REPLAY_SCHEDULE=<artifact> reruns a failure
+// captured by the nightly fuzz arm under its exact recorded interleaving.
+TEST(CrashFuzzSim, ReplayScheduleFromEnv) {
+  const char* path = std::getenv("CRASH_FUZZ_REPLAY_SCHEDULE");
+  if (path == nullptr || *path == '\0') {
+    GTEST_SKIP() << "set CRASH_FUZZ_REPLAY_SCHEDULE=<artifact> to use";
+  }
+  const std::string text = ReadFileOrEmpty(path);
+  ASSERT_FALSE(text.empty()) << "cannot read " << path;
+  uint64_t seed = 0;
+  std::vector<uint32_t> schedule;
+  std::string verdict;
+  ASSERT_TRUE(DecodeScheduleArtifact(text, &seed, &schedule, &verdict))
+      << path << " is not a schedule artifact";
+  const FuzzCaseResult r = ReplayCrashFuzzCaseSim(seed, schedule);
+  EXPECT_FALSE(r.replay_diverged)
+      << "schedule no longer matches this binary's scheduling points";
+  EXPECT_EQ(r.ok ? "pass" : "fail", verdict)
+      << "seed " << seed << " did not reproduce:\n"
+      << r.detail;
+}
+
+// Maintenance mode: refresh a checked-in artifact.
+TEST(CrashFuzzSim, RecordScheduleFromEnv) {
+  const char* path = std::getenv("CRASH_FUZZ_RECORD_SCHEDULE");
+  if (path == nullptr || *path == '\0') {
+    GTEST_SKIP() << "set CRASH_FUZZ_RECORD_SCHEDULE=<path> to use";
+  }
+  const uint64_t seed = EnvU64("CRASH_FUZZ_SEED", kDefaultBaseSeed);
+  const FuzzCaseResult r = RunCrashFuzzCaseSim(seed);
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << EncodeScheduleArtifact(seed, r);
+  ASSERT_TRUE(out.good());
+  std::printf("recorded seed %llu (%zu decisions, verdict %s) to %s\n",
+              static_cast<unsigned long long>(seed), r.schedule.size(),
+              r.ok ? "pass" : "fail", path);
+}
+
+// The randomized sim arm: like RandomizedCrashRecovery but under the sim
+// scheduler, so a failure is persisted as a seed+schedule artifact that
+// replays the exact interleaving (the nightly workflow uploads it).
+TEST(CrashFuzzSim, RandomizedSimCrashRecovery) {
+  const uint64_t base = EnvU64("CRASH_FUZZ_SEED", kDefaultBaseSeed);
+  const uint64_t iters = EnvU64("CRASH_FUZZ_SIM_ITERS", 10);
+  for (uint64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = base + i;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzCaseResult r = RunCrashFuzzCaseSim(seed);
+    if (!r.ok) {
+      const std::string artifact = DumpScheduleArtifact(seed, r);
+      if (const char* f = std::getenv("CRASH_FUZZ_FAIL_FILE"); f != nullptr && *f) {
+        if (std::FILE* fp = std::fopen(f, "a")) {
+          std::fprintf(fp, "%llu\n", static_cast<unsigned long long>(seed));
+          std::fprintf(fp, "# schedule %s\n",
+                       artifact.empty() ? "<write failed>" : artifact.c_str());
+          if (!r.trace_json.empty()) {
+            std::fprintf(fp, "# trace %s\n", r.trace_json.c_str());
+          }
+          std::fclose(fp);
+        }
+      }
+      FAIL() << "sim crash-fuzz invariant violation:\n"
+             << r.detail << "schedule artifact: "
+             << (artifact.empty() ? "<write failed>" : artifact)
+             << "\nrepro: CRASH_FUZZ_REPLAY_SCHEDULE=" << artifact
+             << " ./tests/crash_fuzz_test"
+                " --gtest_filter=CrashFuzzSim.ReplayScheduleFromEnv";
+    }
+  }
+}
+
+// SimSoak: virtual time turns second-scale recovery timeouts (backup
+// barrier, archive retry backoff, 2PC prepare deadline) into microseconds,
+// so a thousand full crash-restart scenarios — each asserting I1–I7 —
+// fit in seconds of wall clock (EXPERIMENTS.md E17).
+TEST(CrashFuzzSim, SimSoak) {
+  const uint64_t scenarios = EnvU64("CRASH_FUZZ_SOAK_SCENARIOS", 1000);
+  const uint64_t budget_ms = EnvU64("CRASH_FUZZ_SOAK_BUDGET_MS", 10000);
+  const uint64_t base = EnvU64("CRASH_FUZZ_SEED", kDefaultBaseSeed);
+  uint64_t crashes = 0, backups = 0, txns = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < scenarios; ++i) {
+    const uint64_t seed = base + i;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FuzzCaseResult r = RunCrashSoakCaseSim(seed);
+    txns += r.txns_attempted;
+    if (r.crashed) ++crashes;
+    if (r.did_backup) ++backups;
+    if (!r.ok) {
+      const std::string artifact = DumpScheduleArtifact(seed, r);
+      FAIL() << "soak invariant violation:\n"
+             << r.detail << "schedule artifact: "
+             << (artifact.empty() ? "<write failed>" : artifact);
+    }
+  }
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  std::printf("sim-soak: %llu scenarios, %llu txns, %llu crash latches, "
+              "%llu backup barriers in %lld ms\n",
+              static_cast<unsigned long long>(scenarios),
+              static_cast<unsigned long long>(txns),
+              static_cast<unsigned long long>(crashes),
+              static_cast<unsigned long long>(backups),
+              static_cast<long long>(wall_ms));
+  EXPECT_GT(crashes, 0u) << "soak never exercised a crash latch";
+  EXPECT_GT(backups, 0u) << "soak never exercised the backup barrier";
+  EXPECT_LE(wall_ms, static_cast<int64_t>(budget_ms))
+      << "virtual time is not compressing the timeouts";
+}
+
+// E17 measurement mode: identical soak scenarios on real threads vs under
+// the sim executor; prints the wall-clock-per-scenario table EXPERIMENTS.md
+// E17 quotes.  Gated behind CRASH_FUZZ_E17=<scenarios> because the real-
+// thread arm pays genuine wall-clock timeouts.
+TEST(CrashFuzzSim, TimeCompressionReport) {
+  const uint64_t n = EnvU64("CRASH_FUZZ_E17", 0);
+  if (n == 0) GTEST_SKIP() << "set CRASH_FUZZ_E17=<scenarios> to measure";
+  const uint64_t base = EnvU64("CRASH_FUZZ_SEED", kDefaultBaseSeed);
+  auto run = [&](bool sim) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < n; ++i) {
+      const FuzzCaseResult r =
+          sim ? RunCrashSoakCaseSim(base + i) : RunCrashSoakCase(base + i);
+      EXPECT_TRUE(r.ok) << "seed " << base + i << (sim ? " (sim)" : " (real)")
+                        << "\n" << r.detail;
+    }
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const auto real_ms = run(false);
+  const auto sim_ms = run(true);
+  std::printf("E17 time-compression: %llu soak scenarios  real-threads %lld ms"
+              "  sim %lld ms  (%.1fx; per-1000 extrapolation: real %.0f s,"
+              " sim %.1f s)\n",
+              static_cast<unsigned long long>(n), static_cast<long long>(real_ms),
+              static_cast<long long>(sim_ms),
+              sim_ms > 0 ? static_cast<double>(real_ms) / sim_ms : 0.0,
+              real_ms * 1000.0 / n / 1000.0, sim_ms * 1000.0 / n / 1000.0);
 }
 
 }  // namespace

@@ -50,6 +50,8 @@ TEST(Concurrency, WriterBlocksWriterUntilCommit) {
   ASSERT_TRUE(db->Update(t2, t, {Pred::Eq("name", "a")}, {{"txn", Operand(2)}}).ok());
 
   std::atomic<bool> updated{false};
+  // Sleep-free ordering: waits bumps once t3 is queued behind t2's X lock.
+  const uint64_t waits0 = db->lock_manager().stats().waits;
   std::thread other([&] {
     Transaction* t3 = db->Begin();
     auto n = db->Update(t3, t, {Pred::Eq("name", "a")}, {{"txn", Operand(3)}});
@@ -57,7 +59,7 @@ TEST(Concurrency, WriterBlocksWriterUntilCommit) {
     updated.store(true);
     EXPECT_TRUE(db->Commit(t3).ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  while (db->lock_manager().stats().waits == waits0) std::this_thread::yield();
   EXPECT_FALSE(updated.load());  // blocked on t2's X lock
   ASSERT_TRUE(db->Commit(t2).ok());
   other.join();

@@ -2,6 +2,8 @@
 // compensation, 2PC states, daemons, backup/restore, reconcile.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "archive/archive_server.h"
 #include "dlff/filter.h"
 #include "dlfm/server.h"
@@ -596,7 +598,15 @@ TEST_F(DlfmTest, CommitRetryLoopStopsOnShutdown) {
     st = server_->ApiCommit(1);
     done.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Wait for evidence of retries (two fail-point hits) rather than
+  // sleeping a guessed interval.
+  const auto retry_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->fault().HitCount(failpoints::kDlfmCommitAttempt) < 2 &&
+         std::chrono::steady_clock::now() < retry_deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(server_->fault().HitCount(failpoints::kDlfmCommitAttempt), 2u);
   EXPECT_FALSE(done.load());  // still retrying the injected deadlock
   server_->Stop();
   committer.join();
@@ -610,8 +620,23 @@ TEST_F(DlfmTest, EnsureArchivedTimeoutComesFromOptions) {
   server_->Stop();
   DlfmOptions opts;
   opts.server_name = "srv1";
-  opts.clock = std::make_shared<SimClock>(1);
+  auto sim_clock = std::make_shared<SimClock>(1);
+  opts.clock = sim_clock;
   opts.ensure_archived_timeout_micros = 50 * 1000;
+  // Every virtual-clock sleep in the server (WAL media latency during
+  // startup, phase-2 commit delay, the barrier poll, the Copy daemon's
+  // retry backoff) BLOCKS until the clock advances, so pump the clock
+  // from a helper for the whole test — including server construction.
+  std::atomic<bool> pump_stop{false};
+  std::thread pumper([&] {
+    while (!pump_stop.load()) {
+      if (sim_clock->waiters() > 0) {
+        sim_clock->Advance(1000);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
   server_ = std::make_unique<DlfmServer>(opts, &fs_, &archive_);
   ASSERT_TRUE(server_->Start().ok());
   // The archive never accepts the copy, so the barrier can never drain.
@@ -630,16 +655,23 @@ TEST_F(DlfmTest, EnsureArchivedTimeoutComesFromOptions) {
   auto resp = (*conn)->Call(std::move(barrier));
   ASSERT_TRUE(resp.ok());
   EXPECT_FALSE(resp->ToStatus().ok());
-  // The Copy daemon keeps retrying (and failing) on its own schedule.
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // The Copy daemon keeps retrying (and failing) on its own virtual
+  // schedule; the pumper keeps time moving until a failure is recorded.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (server_->counters().archive_copy_failures.load() == 0 &&
          std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::yield();
   }
   EXPECT_GE(server_->counters().archive_copy_failures.load(), 1u);
   DlfmRequest bye;
   bye.api = DlfmApi::kDisconnect;
   (void)(*conn)->Call(std::move(bye));
+  // Stop the server while the pumper still runs: the Copy daemon is
+  // parked in a virtual-clock sleep and needs time to move to notice
+  // the shutdown.  (TearDown's Stop is then a no-op.)
+  server_->Stop();
+  pump_stop.store(true);
+  pumper.join();
 }
 
 }  // namespace

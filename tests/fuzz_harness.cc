@@ -3,13 +3,12 @@
 #include "fuzz_harness.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
-#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/sim.h"
 #include "common/trace.h"
 #include "dlff/filter.h"
 #include "dlfm/server.h"
@@ -209,6 +209,90 @@ ScenarioPlan MakePlan(uint64_t seed) {
   return p;
 }
 
+/// SimSoak plan: one session, 2–3 small txns, a fault ALWAYS armed with the
+/// point cycling deterministically through the registry (seed-indexed) so a
+/// soak of N seeds covers every site ~N/|registry| times; Backup() races the
+/// workload half the time so the barrier regularly expires against a
+/// latched crash, and archive-copy error arms exercise the copy daemon's
+/// retry backoff.  Small on purpose: the soak's job is breadth of
+/// crash-restart coverage per wall-clock second, not workload depth.
+ScenarioPlan MakeSoakPlan(uint64_t seed) {
+  Random rng(seed * 0x9e3779b97f4a7c15ULL + 0x50a50a5aULL);
+  ScenarioPlan p;
+  const std::vector<std::string> points = failpoints::Registry();
+  ArmPlan& a = p.arm;
+  a.armed = !points.empty();
+  if (a.armed) {
+    a.point = points[seed % points.size()];
+    const uint64_t roll = rng.Uniform(100);
+    if (roll < 60) {
+      a.action = FaultInjector::Action::kCrash;
+      a.hits = 1;
+    } else if (roll < 85) {
+      a.action = FaultInjector::Action::kError;
+      a.hits = static_cast<int>(rng.UniformRange(1, 3));
+    } else {
+      a.action = FaultInjector::Action::kDelay;
+      a.delay_micros = rng.UniformRange(500, 3000);
+      a.hits = 1;
+    }
+    a.skip = static_cast<int>(rng.Uniform(4));
+    if (a.point == failpoints::kSqldbBtreeSplit) a.hits = 1;
+    if (StartsWith(a.point, "host.")) {
+      a.target = 0;
+    } else if (StartsWith(a.point, "dlfm.")) {
+      a.target = 1 + static_cast<int>(rng.Uniform(2));
+    } else {
+      a.target = static_cast<int>(rng.Uniform(3));
+    }
+  }
+  p.do_backup = rng.Bernoulli(0.5);
+  p.backup_sleep_ms = static_cast<int>(rng.UniformRange(1, 5));
+  p.pre_restart_reconcile = false;
+  p.reconcile_temp_table = rng.Bernoulli(0.5);
+
+  SessionPlan sp;
+  int64_t next_id = 1000;
+  int file_seq = 0;
+  // Same discipline as MakePlan: at most one write per id per txn, and
+  // unlink victims only from links of previously planned-committed txns.
+  std::vector<std::pair<int64_t, std::string>> pool;
+  const int ntxns = static_cast<int>(rng.UniformRange(2, 4));
+  for (int t = 0; t < ntxns; ++t) {
+    TxnPlan tp;
+    tp.commit = rng.Bernoulli(0.9);
+    std::set<int64_t> touched;
+    std::vector<std::pair<int64_t, std::string>> new_links;
+    const int nops = static_cast<int>(rng.UniformRange(1, 3));
+    for (int o = 0; o < nops; ++o) {
+      OpPlan op;
+      const uint64_t kind = rng.Uniform(100);
+      if (kind < 60 || pool.empty()) {
+        op.kind = OpKind::kLink;
+        op.id = next_id++;
+        op.server = 1 + static_cast<int>(rng.Uniform(2));
+        op.file = "s" + std::to_string(file_seq++);
+        p.files[op.server - 1].push_back(op.file);
+        if (tp.commit) new_links.emplace_back(op.id, Url(op.server, op.file));
+        touched.insert(op.id);
+      } else if (kind < 80 && touched.count(pool.back().first) == 0) {
+        op.kind = OpKind::kUnlink;
+        op.id = pool.back().first;
+        touched.insert(op.id);
+        if (tp.commit) pool.pop_back();
+      } else {
+        op.kind = OpKind::kSelect;
+        op.id = pool.back().first;
+      }
+      tp.ops.push_back(std::move(op));
+    }
+    pool.insert(pool.end(), new_links.begin(), new_links.end());
+    sp.txns.push_back(std::move(tp));
+  }
+  p.sessions.push_back(std::move(sp));
+  return p;
+}
+
 // ---------------------------------------------------------------------------
 // Expectation model.  Each session tracks only its own (disjoint) row ids;
 // the models are merged after the worker threads join.
@@ -246,7 +330,21 @@ struct SessionModel {
 
 class CaseRunner {
  public:
-  explicit CaseRunner(uint64_t seed) : plan_(MakePlan(seed)) {}
+  /// exec == nullptr runs the scenario on real threads; otherwise every
+  /// component thread and session worker is a task of that executor and
+  /// every component clock is its virtual clock (the runner must then be
+  /// invoked from inside SimExecutor::Run).
+  explicit CaseRunner(uint64_t seed, sim::Executor* exec = nullptr)
+      : CaseRunner(MakePlan(seed), exec) {}
+
+  CaseRunner(ScenarioPlan plan, sim::Executor* exec)
+      : plan_(std::move(plan)), exec_(exec) {
+    if (exec_ != nullptr) {
+      // Non-owning alias: the clock lives inside the executor, which
+      // outlives the world (the whole scenario runs inside Run()).
+      sim_clock_ = std::shared_ptr<Clock>(std::shared_ptr<Clock>(), exec_->clock());
+    }
+  }
 
   FuzzCaseResult Run() {
     if (plan_.arm.armed) {
@@ -261,6 +359,7 @@ class CaseRunner {
     } else {
       result_.armed_action = "none";
     }
+    result_.did_backup = plan_.do_backup;
     BuildWorld();
     if (errors_.empty()) Baseline();
     if (errors_.empty()) {
@@ -299,6 +398,10 @@ class CaseRunner {
     // incarnation.
     opts.metrics = idx == 1 ? reg1_ : reg2_;
     opts.trace = ring_;
+    if (exec_ != nullptr) {
+      opts.executor = exec_;
+      opts.clock = sim_clock_;
+    }
     auto& slot = idx == 1 ? dlfm1_ : dlfm2_;
     slot = std::make_unique<dlfm::DlfmServer>(
         opts, idx == 1 ? fs1_.get() : fs2_.get(), archive_.get(), std::move(durable));
@@ -315,6 +418,10 @@ class CaseRunner {
     hopts.fault = fault_host_;
     hopts.metrics = reg_host_;
     hopts.trace = ring_;
+    if (exec_ != nullptr) {
+      hopts.executor = exec_;
+      hopts.clock = sim_clock_;
+    }
     host_ = std::make_unique<hostdb::HostDatabase>(hopts, std::move(durable));
     host_->RegisterDlfm("srv1", dlfm1_->listener());
     host_->RegisterDlfm("srv2", dlfm2_->listener());
@@ -406,22 +513,26 @@ class CaseRunner {
 
   void RunSessions() {
     models_.resize(plan_.sessions.size());
-    std::vector<std::thread> threads;
-    threads.reserve(plan_.sessions.size());
+    // Real mode: plain threads and a wall-clock sleep.  Sim mode: the same
+    // code spawns sim tasks and sleeps on virtual time — the backup races
+    // the sessions under the recorded schedule either way.
+    sim::Executor* exec = sim::OrReal(exec_);
+    std::vector<sim::TaskHandle> workers;
+    workers.reserve(plan_.sessions.size());
     for (size_t si = 0; si < plan_.sessions.size(); ++si) {
-      threads.emplace_back([this, si] {
+      workers.push_back(exec->Spawn("fuzz.session", [this, si] {
         auto s = host_->OpenSession();
         int seq = 0;
         for (const TxnPlan& tp : plan_.sessions[si].txns) {
           RunTxn(s.get(), tp, &models_[si], seq++);
         }
-      });
+      }));
     }
     if (plan_.do_backup) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(plan_.backup_sleep_ms));
+      exec->clock()->SleepForMicros(int64_t{plan_.backup_sleep_ms} * 1000);
       (void)host_->Backup();  // best-effort; may race the armed fault
     }
-    for (std::thread& t : threads) t.join();
+    for (sim::TaskHandle& w : workers) w.join();
   }
 
   void RunTxn(hostdb::HostSession* s, const TxnPlan& tp, SessionModel* m, int seq) {
@@ -905,6 +1016,10 @@ class CaseRunner {
       result_.metrics_json = "{\"host\":" + reg_host_->DumpJson() +
                              ",\"dlfm1\":" + reg1_->DumpJson() +
                              ",\"dlfm2\":" + reg2_->DumpJson() + "}";
+    }
+    if (!result_.ok || exec_ != nullptr) {
+      // Sim mode always captures the trace: byte-identical dumps across
+      // same-seed runs are the determinism criterion.
       result_.trace_json = ring_->DumpJson();
     }
     host_.reset();
@@ -914,6 +1029,8 @@ class CaseRunner {
   }
 
   ScenarioPlan plan_;
+  sim::Executor* exec_ = nullptr;     // null = real threads
+  std::shared_ptr<Clock> sim_clock_;  // aliases exec_->clock() in sim mode
   FuzzCaseResult result_;
   std::string errors_;
 
@@ -934,8 +1051,77 @@ class CaseRunner {
   std::vector<SessionModel> models_;
 };
 
+FuzzCaseResult RunSim(uint64_t seed, const std::vector<uint32_t>* replay,
+                      bool soak = false) {
+  sim::SimExecutor exec(seed);
+  if (replay != nullptr) exec.SetReplay(*replay);
+  // Byte-identical trace dumps need the process-wide id mint rewound to
+  // the same point for every scenario.
+  trace::ResetNextTraceIdForTest();
+  FuzzCaseResult result;
+  exec.Run([&] {
+    result = CaseRunner(soak ? MakeSoakPlan(seed) : MakePlan(seed), &exec).Run();
+  });
+  result.sim = true;
+  result.schedule = exec.decisions();
+  result.replay_diverged = exec.replay_diverged();
+  return result;
+}
+
 }  // namespace
 
 FuzzCaseResult RunCrashFuzzCase(uint64_t seed) { return CaseRunner(seed).Run(); }
+
+FuzzCaseResult RunCrashFuzzCaseSim(uint64_t seed) { return RunSim(seed, nullptr); }
+
+FuzzCaseResult ReplayCrashFuzzCaseSim(uint64_t seed,
+                                      const std::vector<uint32_t>& schedule) {
+  return RunSim(seed, &schedule);
+}
+
+FuzzCaseResult RunCrashSoakCaseSim(uint64_t seed) {
+  return RunSim(seed, nullptr, /*soak=*/true);
+}
+
+FuzzCaseResult RunCrashSoakCase(uint64_t seed) {
+  return CaseRunner(MakeSoakPlan(seed), nullptr).Run();
+}
+
+std::string EncodeScheduleArtifact(uint64_t seed, const FuzzCaseResult& result) {
+  std::ostringstream out;
+  out << "dlx-fuzz-schedule v1\n";
+  out << "seed " << seed << '\n';
+  out << "verdict " << (result.ok ? "pass" : "fail") << '\n';
+  out << "decisions " << result.schedule.size() << '\n';
+  for (size_t i = 0; i < result.schedule.size(); ++i) {
+    out << result.schedule[i];
+    out << ((i + 1) % 16 == 0 || i + 1 == result.schedule.size() ? '\n' : ' ');
+  }
+  return out.str();
+}
+
+bool DecodeScheduleArtifact(const std::string& text, uint64_t* seed,
+                            std::vector<uint32_t>* schedule, std::string* verdict) {
+  std::istringstream in(text);
+  std::string magic, version, key, v;
+  if (!(in >> magic >> version) || magic != "dlx-fuzz-schedule" || version != "v1") {
+    return false;
+  }
+  if (!(in >> key >> *seed) || key != "seed") return false;
+  if (!(in >> key >> v) || key != "verdict" || (v != "pass" && v != "fail")) {
+    return false;
+  }
+  if (verdict != nullptr) *verdict = v;
+  uint64_t count = 0;
+  if (!(in >> key >> count) || key != "decisions") return false;
+  schedule->clear();
+  schedule->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t d = 0;
+    if (!(in >> d)) return false;
+    schedule->push_back(d);
+  }
+  return true;
+}
 
 }  // namespace datalinks::fuzz

@@ -24,12 +24,22 @@
 //
 // The op schedule, session count, fail-point choice, action, and skip
 // count are all pure functions of the seed: the same seed always derives
-// the same scenario.  Thread interleaving is not replayed — the verdict is
-// invariant-based, so any interleaving of the same schedule must pass.
+// the same scenario.  The harness runs in two modes:
+//
+//   RunCrashFuzzCase     real threads; thread interleaving is NOT replayed
+//                        — the verdict is invariant-based, so any
+//                        interleaving of the same schedule must pass.
+//   RunCrashFuzzCaseSim  the whole world (daemons, session workers, 2PC
+//                        fan-out) runs on a seeded SimExecutor with virtual
+//                        time (DESIGN.md §11).  One seed determines the
+//                        complete interleaving; the scheduler's decision
+//                        log is recorded so a failing case can be replayed
+//                        exactly with ReplayCrashFuzzCaseSim.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace datalinks::fuzz {
 
@@ -39,11 +49,23 @@ struct FuzzCaseResult {
   bool ok = true;
   /// Human-readable list of violated invariants; empty when ok.
   std::string detail;
-  /// Diagnostic snapshots, captured only on failure: the metrics
-  /// registries of all three processes ({"host":…,"dlfm1":…,"dlfm2":…})
-  /// and the scenario's span ring, both as JSON.  Empty when ok.
+  /// Diagnostic snapshots: the metrics registries of all three processes
+  /// ({"host":…,"dlfm1":…,"dlfm2":…}) and the scenario's span ring, both
+  /// as JSON.  Metrics are captured only on failure.  The trace dump is
+  /// captured only on failure in real-thread mode but UNCONDITIONALLY in
+  /// sim mode — byte-identical trace dumps across same-seed runs are the
+  /// determinism criterion.
   std::string metrics_json;
   std::string trace_json;
+
+  // Simulation-mode extras (empty/false under RunCrashFuzzCase).
+  bool sim = false;              ///< ran under the deterministic SimExecutor
+  bool replay_diverged = false;  ///< replay: the recorded schedule stopped
+                                 ///< matching the observed runnable sets
+  /// The scheduler's recorded decision log: one index into the id-sorted
+  /// runnable set per scheduling point.  seed + schedule replays the exact
+  /// interleaving via ReplayCrashFuzzCaseSim.
+  std::vector<uint32_t> schedule;
 
   // Coverage bookkeeping.
   std::string armed_point;   // "" when the scenario armed no fault
@@ -51,13 +73,64 @@ struct FuzzCaseResult {
   std::string armed_target;  // "host" | "dlfm1" | "dlfm2" | ""
   bool fired = false;        // the armed point was actually reached
   bool crashed = false;      // some process latched into the crashed state
+  bool did_backup = false;   // the scenario raced a Backup() barrier
   uint64_t txns_attempted = 0;
   uint64_t txns_committed = 0;
   uint64_t txns_uncertain = 0;  // Commit errored: outcome owned by recovery
 };
 
-/// Runs one end-to-end randomized crash-recovery scenario.  Deterministic
-/// schedule per seed; bounded (every daemon wait has a budget).
+/// Runs one end-to-end randomized crash-recovery scenario on real threads.
+/// Deterministic schedule per seed; bounded (every daemon wait has a
+/// budget).
 FuzzCaseResult RunCrashFuzzCase(uint64_t seed);
+
+/// Runs the same scenario under a seeded SimExecutor: every task the world
+/// would have put on a raw thread runs one-at-a-time under the sim
+/// scheduler, all timeouts expire on virtual time, and the result carries
+/// the recorded schedule plus an unconditional trace dump.  Same seed =>
+/// byte-identical trace_json.
+FuzzCaseResult RunCrashFuzzCaseSim(uint64_t seed);
+
+/// Re-runs seed under the sim executor, forcing the recorded schedule
+/// instead of the PRNG.  Reproduces the original run exactly; sets
+/// result.replay_diverged if the schedule stopped matching (e.g. the
+/// binary changed since the recording).
+FuzzCaseResult ReplayCrashFuzzCaseSim(uint64_t seed,
+                                      const std::vector<uint32_t>& schedule);
+
+/// SimSoak scenario: a trimmed workload (one session, few txns) with a
+/// fault ALWAYS armed — the point cycles through the whole registry so a
+/// thousand seeds cover every crash/error/delay site, including the
+/// archive-copy retry backoff and the backup barrier expiring against a
+/// latched crash.  Runs the full crash-restart + I1–I7 verification under
+/// the sim executor; virtual time compresses the second-scale timeouts so
+/// scenarios complete in wall-clock milliseconds.
+FuzzCaseResult RunCrashSoakCaseSim(uint64_t seed);
+
+/// Real-thread twin of RunCrashSoakCaseSim (same seed-derived scenario, OS
+/// scheduler, wall-clock timeouts).  Exists so E17 can measure the
+/// virtual-time compression factor on identical scenarios.
+FuzzCaseResult RunCrashSoakCase(uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Schedule artifact codec.  A failing sim case is persisted as a small text
+// file (seed, verdict, decision count, decisions) that CI uploads next to
+// the failing-seed dump; ReplayCrashFuzzCaseSim on the decoded artifact
+// reproduces the failure byte-for-byte.
+//
+//   dlx-fuzz-schedule v1
+//   seed <u64>
+//   verdict pass|fail
+//   decisions <count>
+//   <d0> <d1> ... (16 per line)
+// ---------------------------------------------------------------------------
+
+std::string EncodeScheduleArtifact(uint64_t seed, const FuzzCaseResult& result);
+
+/// Parses an artifact produced by EncodeScheduleArtifact.  Returns false on
+/// any malformed input.  `verdict` (optional) receives "pass" or "fail".
+bool DecodeScheduleArtifact(const std::string& text, uint64_t* seed,
+                            std::vector<uint32_t>* schedule,
+                            std::string* verdict = nullptr);
 
 }  // namespace datalinks::fuzz

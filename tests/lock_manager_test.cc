@@ -17,6 +17,13 @@ class LockManagerTest : public ::testing::Test {
 
 constexpr int64_t kShort = 50 * 1000;  // 50ms
 
+/// Spins until the manager has registered `n` blocked acquires: the
+/// sleep-free way to order "waiter is queued" before a release (waits_ is
+/// bumped right after the request joins the FIFO).
+void AwaitWaits(const LockManager& lm, uint64_t n) {
+  while (lm.stats().waits < n) std::this_thread::yield();
+}
+
 TEST_F(LockManagerTest, CompatMatrix) {
   using M = LockMode;
   EXPECT_TRUE(LockModesCompatible(M::kIS, M::kIX));
@@ -83,7 +90,7 @@ TEST_F(LockManagerTest, WaiterGrantedOnRelease) {
     Status st = lm_.Acquire(2, id, LockMode::kX, 5 * 1000 * 1000);
     granted.store(st.ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AwaitWaits(lm_, 1);
   EXPECT_FALSE(granted.load());
   lm_.ReleaseAll(1);
   waiter.join();
@@ -107,7 +114,7 @@ TEST_F(LockManagerTest, ConversionWaitsForOtherReaders) {
     Status st = lm_.Acquire(1, id, LockMode::kX, 5 * 1000 * 1000);
     upgraded.store(st.ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AwaitWaits(lm_, 1);
   EXPECT_FALSE(upgraded.load());
   lm_.ReleaseAll(2);
   t.join();
@@ -133,7 +140,7 @@ TEST_F(LockManagerTest, DeadlockDetectedTwoTxns) {
     }
   });
   std::thread t2([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    AwaitWaits(lm_, 1);  // txn 1 must be queued first to close the cycle
     Status st = lm_.Acquire(2, a, LockMode::kX, 10 * 1000 * 1000);
     if (st.IsDeadlock()) {
       deadlocks.fetch_add(1);
@@ -162,7 +169,7 @@ TEST_F(LockManagerTest, UpgradeDeadlockDetected) {
     }
   };
   std::thread t1(upgrade, 1);
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AwaitWaits(lm_, 1);  // first upgrader queued behind the other reader
   std::thread t2(upgrade, 2);
   t1.join();
   t2.join();
@@ -179,14 +186,14 @@ TEST_F(LockManagerTest, FifoFairnessNoWriterStarvation) {
     writer_done.store(true);
     lm_.ReleaseAll(2);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AwaitWaits(lm_, 1);  // writer queued
   // A new reader must queue behind the waiting writer, not jump it.
   std::thread reader([&] {
     ASSERT_TRUE(lm_.Acquire(3, id, LockMode::kS, 5 * 1000 * 1000).ok());
     EXPECT_TRUE(writer_done.load());
     lm_.ReleaseAll(3);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  AwaitWaits(lm_, 2);  // reader queued behind it
   lm_.ReleaseAll(1);
   writer.join();
   reader.join();

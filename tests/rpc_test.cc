@@ -33,8 +33,8 @@ TEST(BlockingQueue, BoundedSendBlocksUntilRecv) {
     ASSERT_TRUE(q.Send(2).ok());
     sent.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(sent.load());  // queue full: the sender is blocked
+  while (q.send_waiters() == 0) std::this_thread::yield();
+  EXPECT_FALSE(sent.load());  // queue full: the sender is parked
   EXPECT_EQ(*q.Recv(), 1);
   t.join();
   EXPECT_TRUE(sent.load());
@@ -46,7 +46,7 @@ TEST(BlockingQueue, CloseWakesWaiters) {
     auto r = q.Recv();
     EXPECT_TRUE(r.status().IsUnavailable());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  while (q.recv_waiters() == 0) std::this_thread::yield();
   q.Close();
   t.join();
   EXPECT_TRUE(q.Send(1).IsUnavailable());
@@ -130,7 +130,7 @@ TEST(Connection, AsyncSenderBlocksWhileServerBusy) {
     ASSERT_TRUE(conn.CallAsync(2).ok());  // blocks: queue full
     second_done.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  while (conn.blocked_request_senders() == 0) std::this_thread::yield();
   EXPECT_FALSE(second_done.load());
   // Server finally serves.
   auto r1 = conn.NextRequest();
@@ -152,7 +152,7 @@ TEST(Listener, CloseUnblocksAccept) {
     auto conn = listener.Accept();
     EXPECT_FALSE(conn.ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  while (listener.blocked_accepts() == 0) std::this_thread::yield();
   listener.Close();
   server.join();
 }

@@ -1,0 +1,276 @@
+// SimExecutor contract tests (DESIGN.md §11): one-at-a-time scheduling,
+// seed-determinism, virtual time advancing only when idle, schedule
+// recording + replay, and the simulation-aware blocking primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sim.h"
+
+namespace datalinks::sim {
+namespace {
+
+TEST(SimExecutor, RunsRootToCompletion) {
+  SimExecutor exec(1);
+  bool ran = false;
+  exec.Run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimExecutor, VirtualTimeAdvancesWhenIdle) {
+  // A 5-virtual-second sleep completes in (wall-clock) microseconds: time
+  // jumps straight to the earliest deadline when every task is blocked.
+  SimExecutor exec(1);
+  int64_t woke_at = -1;
+  exec.Run([&] {
+    exec.clock()->SleepForMicros(5 * 1000 * 1000);
+    woke_at = exec.NowVirtualMicros();
+  });
+  EXPECT_GE(woke_at, 5 * 1000 * 1000);
+}
+
+TEST(SimExecutor, SleepersWakeInDeadlineOrder) {
+  SimExecutor exec(7);
+  std::vector<int> order;
+  exec.Run([&] {
+    auto t1 = exec.Spawn("long", [&] {
+      exec.clock()->SleepForMicros(2000);
+      order.push_back(2);
+    });
+    auto t2 = exec.Spawn("short", [&] {
+      exec.clock()->SleepForMicros(1000);
+      order.push_back(1);
+    });
+    t1.join();
+    t2.join();
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+// A small scenario with real scheduling freedom: N workers contend on a
+// sim::Mutex, sleep, and append to a shared log.  The log is the
+// observable interleaving.
+std::string RunScenario(uint64_t seed, std::vector<uint32_t>* decisions_out,
+                        const std::vector<uint32_t>* replay = nullptr) {
+  SimExecutor exec(seed);
+  if (replay != nullptr) exec.SetReplay(*replay);
+  std::ostringstream log;
+  Mutex mu;
+  CondVar cv;
+  int turns = 0;
+  exec.Run([&] {
+    std::vector<TaskHandle> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.push_back(exec.Spawn("worker", [&, w] {
+        for (int i = 0; i < 5; ++i) {
+          exec.clock()->SleepForMicros(100 * (w + 1));
+          std::lock_guard<Mutex> lk(mu);
+          log << w << ':' << i << '@' << exec.NowVirtualMicros() << ' ';
+          ++turns;
+          cv.notify_all();
+        }
+      }));
+    }
+    {
+      // Predicate condition-wait across all workers' progress.
+      std::unique_lock<Mutex> lk(mu);
+      cv.wait(lk, [&] { return turns == 20; });
+    }
+    for (auto& w : workers) w.join();
+  });
+  if (decisions_out != nullptr) *decisions_out = exec.decisions();
+  return log.str();
+}
+
+TEST(SimExecutor, SameSeedSameInterleaving) {
+  std::vector<uint32_t> d1, d2;
+  const std::string a = RunScenario(42, &d1);
+  const std::string b = RunScenario(42, &d2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d1, d2);
+  EXPECT_FALSE(d1.empty());
+}
+
+TEST(SimExecutor, DifferentSeedsExploreDifferentInterleavings) {
+  // Not guaranteed for any single pair, but over several seeds at least
+  // one interleaving must differ or the scheduler is not really choosing.
+  const std::string base = RunScenario(1, nullptr);
+  bool any_differ = false;
+  for (uint64_t seed = 2; seed <= 8; ++seed) {
+    if (RunScenario(seed, nullptr) != base) {
+      any_differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(SimExecutor, ReplayReproducesInterleaving) {
+  std::vector<uint32_t> decisions;
+  const std::string original = RunScenario(99, &decisions);
+
+  // Replaying the recorded schedule under a DIFFERENT seed must reproduce
+  // the identical interleaving: the decision log, not the PRNG, drives it.
+  SimExecutor probe(1234);
+  std::vector<uint32_t> replay_decisions;
+  const std::string replayed = RunScenario(1234, &replay_decisions, &decisions);
+  EXPECT_EQ(original, replayed);
+  EXPECT_EQ(decisions, replay_decisions);
+}
+
+TEST(SimExecutor, ReplayDivergenceIsDetectedAndRunTerminates) {
+  std::vector<uint32_t> decisions;
+  (void)RunScenario(7, &decisions);
+  // Corrupt the schedule: out-of-range picks must flag divergence and fall
+  // back to the PRNG instead of crashing or hanging.
+  std::vector<uint32_t> garbage(decisions.size(), 0xffffffffu);
+  SimExecutor exec(7);
+  exec.SetReplay(garbage);
+  bool done = false;
+  exec.Run([&] {
+    auto t = exec.Spawn("t", [&] { exec.clock()->SleepForMicros(10); });
+    t.join();
+    done = true;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(exec.replay_diverged());
+}
+
+TEST(SimExecutor, MutexContentionParksInsteadOfSpinning) {
+  // The holder sleeps on VIRTUAL time while a waiter wants the lock.  With
+  // park-on-key waiting, time can advance past the holder's deadline; a
+  // spinning waiter would live-lock the clock at 0 forever.
+  SimExecutor exec(3);
+  Mutex mu;
+  int64_t waiter_got_lock_at = -1;
+  exec.Run([&] {
+    auto holder = exec.Spawn("holder", [&] {
+      std::lock_guard<Mutex> lk(mu);
+      exec.clock()->SleepForMicros(1000 * 1000);  // 1 virtual second
+    });
+    auto waiter = exec.Spawn("waiter", [&] {
+      exec.Yield();  // let the holder grab the lock first... usually
+      std::lock_guard<Mutex> lk(mu);
+      waiter_got_lock_at = exec.NowVirtualMicros();
+    });
+    holder.join();
+    waiter.join();
+  });
+  EXPECT_GE(waiter_got_lock_at, 0);
+}
+
+TEST(SimExecutor, SharedMutexReadersAndWriter) {
+  SimExecutor exec(11);
+  SharedMutex smu;
+  int value = 0;
+  std::vector<int> reads;
+  exec.Run([&] {
+    auto writer = exec.Spawn("writer", [&] {
+      exec.clock()->SleepForMicros(50);
+      std::lock_guard<SharedMutex> lk(smu);
+      value = 7;
+    });
+    std::vector<TaskHandle> readers;
+    for (int i = 0; i < 3; ++i) {
+      readers.push_back(exec.Spawn("reader", [&] {
+        exec.clock()->SleepForMicros(100);
+        std::shared_lock<SharedMutex> lk(smu);
+        reads.push_back(value);
+      }));
+    }
+    writer.join();
+    for (auto& r : readers) r.join();
+  });
+  ASSERT_EQ(reads.size(), 3u);
+  for (int r : reads) EXPECT_EQ(r, 7);
+}
+
+TEST(SimExecutor, CondVarTimedWaitExpiresOnVirtualClock) {
+  SimExecutor exec(5);
+  Mutex mu;
+  CondVar cv;
+  bool timed_out = false;
+  int64_t waited_virtual = -1;
+  exec.Run([&] {
+    const int64_t t0 = exec.NowVirtualMicros();
+    std::unique_lock<Mutex> lk(mu);
+    // Nobody ever notifies: the wait must expire via virtual time, not
+    // wall-clock (the test would hang for 10 real seconds otherwise).
+    timed_out = !cv.wait_for(lk, std::chrono::seconds(10), [] { return false; });
+    waited_virtual = exec.NowVirtualMicros() - t0;
+  });
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(waited_virtual, 10 * 1000 * 1000);
+}
+
+TEST(SimExecutor, DecisionsRecordEveryPickIncludingForcedOnes) {
+  SimExecutor exec(2);
+  exec.Run([&] {
+    auto t = exec.Spawn("t", [&] { exec.Yield(); });
+    t.join();
+  });
+  // Every scheduling point appends exactly one decision — even when only
+  // one task was runnable — so the replay log is self-synchronizing.
+  EXPECT_FALSE(exec.decisions().empty());
+}
+
+// Stress arm (runs under TSan in CI): many tasks hammering every primitive
+// while the scheduler hops between OS threads.  Determinism is asserted by
+// double-running and byte-comparing the logs.
+std::string StressRun(uint64_t seed) {
+  SimExecutor exec(seed);
+  std::ostringstream log;
+  Mutex mu;
+  SharedMutex smu;
+  CondVar cv;
+  int counter = 0;
+  exec.Run([&] {
+    std::vector<TaskHandle> tasks;
+    for (int w = 0; w < 12; ++w) {
+      tasks.push_back(exec.Spawn("stress", [&, w] {
+        for (int i = 0; i < 25; ++i) {
+          switch ((w + i) % 4) {
+            case 0: {
+              std::lock_guard<Mutex> lk(mu);
+              log << w << '.' << i << ';';
+              ++counter;
+              cv.notify_all();
+              break;
+            }
+            case 1:
+              exec.clock()->SleepForMicros(10 + w);
+              break;
+            case 2: {
+              std::shared_lock<SharedMutex> lk(smu);
+              exec.Yield();
+              break;
+            }
+            case 3: {
+              std::lock_guard<SharedMutex> lk(smu);
+              break;
+            }
+          }
+        }
+      }));
+    }
+    for (auto& t : tasks) t.join();
+    log << "counter=" << counter << " now=" << exec.NowVirtualMicros();
+  });
+  return log.str();
+}
+
+TEST(SimExecutorStress, DeterministicUnderLoad) {
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    const std::string a = StressRun(seed);
+    const std::string b = StressRun(seed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace datalinks::sim

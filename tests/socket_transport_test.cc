@@ -198,7 +198,7 @@ TEST(SocketTransport, ChannelCloseWakesPendingRecv) {
     auto r = (*stream)->Recv();  // no server reply is coming
     EXPECT_FALSE(r.ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  while ((*stream)->recv_waiters() == 0) std::this_thread::yield();
   (*channel)->Close();
   waiter.join();
   (*acceptor)->Close();
@@ -229,6 +229,8 @@ TEST(SocketTransport, AcceptCloseRace) {
         (void)(*s)->Recv();
       });
     }
+    // Deliberate jitter, not synchronization: each round widens the race
+    // window between in-flight streams and the shutdown (0µs..700µs).
     std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
     (*acceptor)->Close();
     (*channel)->Close();
