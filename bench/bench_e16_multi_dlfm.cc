@@ -39,6 +39,8 @@
 
 #include "bench_common.h"
 #include "common/metrics.h"
+#include "common/trace.h"
+#include "hostdb/stats_aggregator.h"
 
 namespace datalinks::bench {
 namespace {
@@ -64,7 +66,7 @@ struct ShardedEnv {
   }
 };
 
-std::unique_ptr<ShardedEnv> MakeShardedEnv(int shards) {
+std::unique_ptr<ShardedEnv> MakeShardedEnv(int shards, bool fleet_trace) {
   auto env = std::make_unique<ShardedEnv>();
   env->archive = std::make_unique<archive::ArchiveServer>();
   for (int i = 0; i < shards; ++i) {
@@ -73,6 +75,13 @@ std::unique_ptr<ShardedEnv> MakeShardedEnv(int shards) {
     dlfm::DlfmOptions opts;
     opts.server_name = name;
     opts.listen_port = 0;
+    if (fleet_trace) {
+      // Private ring, sized so the acceptance row's spans all survive:
+      // ~1.25k disjoint-placement txns per shard x a handful of spans each
+      // is well under 64k.  A lossy ring would show up as an incomplete
+      // critical path in tools/dlfm_trace.py --check.
+      opts.trace = std::make_shared<trace::TraceRing>(1 << 16);
+    }
     auto d = std::make_unique<dlfm::DlfmServer>(opts, env->fs.back().get(),
                                                 env->archive.get(), nullptr);
     if (!d->Start().ok() || d->socket_port() <= 0) std::abort();
@@ -81,6 +90,11 @@ std::unique_ptr<ShardedEnv> MakeShardedEnv(int shards) {
   hostdb::HostOptions hopts;
   hopts.dbid = 1;
   hopts.shard_placement = true;
+  if (fleet_trace) {
+    // The host records ~6 spans per commit (begin, commit, per-shard
+    // phase-1/phase-2, decision, ack) x 10k clients.
+    hopts.trace = std::make_shared<trace::TraceRing>(1 << 18);
+  }
   env->host = std::make_unique<hostdb::HostDatabase>(hopts);
   for (int i = 0; i < shards; ++i) {
     env->host->RegisterDlfm("srv" + std::to_string(i),
@@ -96,12 +110,11 @@ std::unique_ptr<ShardedEnv> MakeShardedEnv(int shards) {
   return env;
 }
 
-void DumpRegistry(const metrics::Registry& reg, const std::string& file) {
+void DumpArtifact(const std::string& json, const std::string& file) {
   const char* dir = std::getenv("DLX_BENCH_OUT_DIR");
   const std::string path =
       (dir != nullptr ? std::string(dir) + "/" : std::string()) + file;
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    const std::string json = reg.DumpJson();
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
   }
@@ -116,8 +129,12 @@ void RunMultiDlfm(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   const int clients = static_cast<int>(state.range(1));
 
+  // The acceptance row doubles as the fleet-trace source: private span
+  // rings per shard plus the host's, stitched into one snapshot below.
+  const bool fleet_trace = shards == 8 && clients == 10000;
+
   for (auto _ : state) {
-    auto env = MakeShardedEnv(shards);
+    auto env = MakeShardedEnv(shards, fleet_trace);
 
     // Client c works under prefix "vol<c>"; create its file on the shard
     // the ring places that prefix on so the link upcall finds it.
@@ -189,7 +206,40 @@ void RunMultiDlfm(benchmark::State& state) {
     if (shards == 8 && clients == 10000) {
       state.counters["p99_ratio_8s_over_2s"] =
           g_p99_2shard_us > 0 ? p99 / g_p99_2shard_us : 0.0;
-      DumpRegistry(env->host->metrics(), "BENCH_e16_host_metrics.json");
+      DumpArtifact(env->host->metrics().DumpJson(), "BENCH_e16_host_metrics.json");
+      // Fleet snapshot: every shard's labeled metrics + span ring pulled
+      // over the live socket transport, merged with the host's.  Input to
+      // tools/dlfm_trace.py, which stitches per-transaction critical paths
+      // and fails CI when paths are incomplete (--check).
+      hostdb::StatsAggregator agg(env->host.get());
+      auto fleet = agg.FleetSnapshotJson();
+      if (!fleet.ok()) std::abort();
+      DumpArtifact(*fleet, "BENCH_e16_fleet_snapshot.json");
+      state.counters["trace_dropped_host"] =
+          static_cast<double>(env->host->trace_ring().dropped());
+
+      // Tracing-overhead probes for the perf guard.  `span_record_ns` is
+      // the full cost of a traced SpanScope (mint + clock reads + ring
+      // record); `span_noop_ns` is the untraced fast path — one
+      // thread-local load — which is what every engine wait site pays when
+      // the calling thread carries no trace.
+      {
+        constexpr int kProbes = 100000;
+        trace::TraceRing probe_ring(1024);
+        const auto clk = SystemClock::Instance();
+        auto t0 = std::chrono::steady_clock::now();
+        {
+          trace::TraceContextScope tctx(1, 1, &probe_ring, clk.get(), "bench");
+          for (int i = 0; i < kProbes; ++i) trace::SpanScope s("bench.span");
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kProbes; ++i) trace::SpanScope s("bench.span");
+        auto t2 = std::chrono::steady_clock::now();
+        state.counters["span_record_ns"] =
+            std::chrono::duration<double, std::nano>(t1 - t0).count() / kProbes;
+        state.counters["span_noop_ns"] =
+            std::chrono::duration<double, std::nano>(t2 - t1).count() / kProbes;
+      }
     }
   }
 }

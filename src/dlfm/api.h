@@ -55,6 +55,7 @@ enum class DlfmApi : uint8_t {
   kIsLinked,          // upcall path (also used by tests)
   kListIndoubt,       // prepared-but-unresolved transactions
   kStats,             // metrics snapshot (DumpJson in response.message)
+  kTraceDump,         // span-ring snapshot (TraceRing::DumpJson in message)
   kDisconnect,
 };
 

@@ -147,6 +147,7 @@ DlfmServer::DlfmServer(DlfmOptions options, fsim::FileServer* fs,
       chown_(fs, "dlfm-chown-secret", options_.executor),
       executor_(sim::OrReal(options_.executor)) {
   fault_->BindMetrics(metrics_);
+  trace_->BindMetrics(metrics_.get());
   prepare_latency_us_ = metrics_->GetHistogram("dlfm.prepare.latency_us");
   phase2_commit_us_ = metrics_->GetHistogram("dlfm.commit.phase2_us");
   dg_queue_depth_ = metrics_->GetGauge("dlfm.dg.queue_depth");
@@ -370,6 +371,11 @@ DlfmResponse DlfmServer::Dispatch(const DlfmRequest& req) {
       r.message = StatsJson();
       return r;
     }
+    case DlfmApi::kTraceDump: {
+      DlfmResponse r;
+      r.message = trace_->DumpJson();
+      return r;
+    }
     case DlfmApi::kDisconnect:
       return DlfmResponse{};
   }
@@ -464,6 +470,8 @@ uint64_t DlfmServer::TraceForTxn(GlobalTxnId txn) const {
 
 Status DlfmServer::ApiBegin(GlobalTxnId txn, uint64_t trace_id) {
   if (trace_id != 0) RememberTrace(txn, trace_id);
+  trace::TraceContextScope tctx(trace_id != 0 ? trace_id : TraceForTxn(txn), txn,
+                                trace_.get(), clock_.get(), options_.server_name);
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/true));
   if (ctx->local == nullptr && !ctx->failed && !ctx->prepared) {
     ctx->local = db_->Begin();
@@ -472,6 +480,8 @@ Status DlfmServer::ApiBegin(GlobalTxnId txn, uint64_t trace_id) {
 }
 
 Status DlfmServer::ApiLink(GlobalTxnId txn, const DlfmRequest& req) {
+  trace::TraceContextScope tctx(TraceForTxn(txn), txn, trace_.get(),
+                                clock_.get(), options_.server_name);
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
   if (ctx->failed) return Status::Aborted("transaction already failed at DLFM");
   if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
@@ -553,6 +563,8 @@ Status DlfmServer::ApiLink(GlobalTxnId txn, const DlfmRequest& req) {
 }
 
 Status DlfmServer::ApiUnlink(GlobalTxnId txn, const DlfmRequest& req) {
+  trace::TraceContextScope tctx(TraceForTxn(txn), txn, trace_.get(),
+                                clock_.get(), options_.server_name);
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
   if (ctx->failed) return Status::Aborted("transaction already failed at DLFM");
   if (ctx->local == nullptr) return Status::InvalidArgument("transaction not active");
@@ -612,7 +624,9 @@ Status DlfmServer::ApiDeleteGroup(GlobalTxnId txn, int64_t group_id, int64_t del
 
 Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
   if (trace_id == 0) trace_id = TraceForTxn(txn);
-  Span(trace_id, txn, "dlfm.prepare");
+  trace::TraceContextScope tctx(trace_id, txn, trace_.get(), clock_.get(),
+                                options_.server_name);
+  trace::SpanScope prepare_span("dlfm.prepare");
   metrics::ScopedTimer prepare_timer(prepare_latency_us_);
   DLX_ASSIGN_OR_RETURN(TxnCtx * ctx, GetCtx(txn, /*create=*/false));
   if (ctx->failed) return Status::Aborted("transaction failed before prepare");
@@ -651,7 +665,10 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
     ctx->failed = true;
     return commit_lsn.status();
   }
-  st = db_->FinishCommit(ctx->local, GroupHarden(*commit_lsn));
+  {
+    trace::SpanScope harden_span("dlfm.harden");
+    st = db_->FinishCommit(ctx->local, GroupHarden(*commit_lsn));
+  }
   ctx->local = nullptr;
   if (!st.ok()) {
     ctx->failed = true;
@@ -661,7 +678,6 @@ Status DlfmServer::ApiPrepare(GlobalTxnId txn, uint64_t trace_id) {
   // a host-driven abort must take the compensation path, not the ctx-erase
   // shortcut.
   ctx->prepared = true;
-  Span(trace_id, txn, "dlfm.harden");
   if (auto f = fault_->Hit(failpoints::kDlfmPrepareAfterHarden, clock_.get())) {
     return *f;
   }
@@ -795,6 +811,9 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn, uint64_t trace_id) {
   // database (Fig. 4), so deadlock/timeout is possible; since the outcome
   // of a transaction cannot change in phase 2, we retry until it succeeds.
   if (trace_id == 0) trace_id = TraceForTxn(txn);
+  trace::TraceContextScope tctx(trace_id, txn, trace_.get(), clock_.get(),
+                                options_.server_name);
+  trace::SpanScope commit_span("dlfm.commit");
   metrics::ScopedTimer phase2_timer(phase2_commit_us_);
   if (options_.phase2_start_delay_micros > 0) {
     clock_->SleepForMicros(options_.phase2_start_delay_micros);
@@ -840,7 +859,6 @@ Status DlfmServer::ApiCommit(GlobalTxnId txn, uint64_t trace_id) {
   }
   DropCtx(txn);
   counters_.commits.fetch_add(1);
-  Span(trace_id, txn, "dlfm.commit");
   return Status::OK();
 }
 
@@ -900,6 +918,9 @@ Status DlfmServer::AbortAttempt(GlobalTxnId txn) {
 
 Status DlfmServer::ApiAbort(GlobalTxnId txn, uint64_t trace_id) {
   if (trace_id == 0) trace_id = TraceForTxn(txn);
+  trace::TraceContextScope tctx(trace_id, txn, trace_.get(), clock_.get(),
+                                options_.server_name);
+  trace::SpanScope abort_span("dlfm.abort");
   {
     std::lock_guard<std::mutex> lk(ctx_mu_);
     auto it = ctxs_.find(txn);
@@ -936,7 +957,6 @@ Status DlfmServer::ApiAbort(GlobalTxnId txn, uint64_t trace_id) {
   }
   DropCtx(txn);
   counters_.aborts.fetch_add(1);
-  Span(trace_id, txn, "dlfm.abort");
   return Status::OK();
 }
 
@@ -1083,8 +1103,13 @@ void DlfmServer::DeleteGroupLoop() {
       ++dg_in_progress_;
       dg_queue_depth_->Set(static_cast<int64_t>(dg_queue_.size()));
     }
-    Span(TraceForTxn(txn), txn, "dlfm.dg.process");
-    Status st = ProcessDeleteGroupTxn(txn);
+    Status st;
+    {
+      trace::TraceContextScope tctx(TraceForTxn(txn), txn, trace_.get(),
+                                    clock_.get(), options_.server_name);
+      trace::SpanScope dg_span("dlfm.dg.process");
+      st = ProcessDeleteGroupTxn(txn);
+    }
     {
       std::lock_guard<sim::Mutex> lk(dg_mu_);
       --dg_in_progress_;

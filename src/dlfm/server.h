@@ -225,9 +225,14 @@ class DlfmServer {
   metrics::Registry& metrics() const { return *metrics_; }
   trace::TraceRing& trace_ring() const { return *trace_; }
 
-  /// Metrics snapshot (the kStats RPC payload): the process registry —
-  /// engine histograms, 2PC latencies, daemon gauges, fail-point counters.
-  std::string StatsJson() const { return metrics_->DumpJson(); }
+  /// Metrics snapshot (the kStats RPC payload), scoped to this shard:
+  /// {"shard":"srv0","metrics":{...registry dump...}}.  Each server owns a
+  /// private registry by default, so N in-process shards never mingle
+  /// counts; the shard label tells fleet aggregation which one this is.
+  std::string StatsJson() const {
+    return "{\"shard\":\"" + metrics::JsonEscape(options_.server_name) +
+           "\",\"metrics\":" + metrics_->DumpJson() + "}";
+  }
 
   /// Live child-agent bookkeeping entries.  Regression guard: must stay
   /// bounded by concurrently open connections, not by connections ever

@@ -84,6 +84,7 @@ HostDatabase::HostDatabase(HostOptions options, std::shared_ptr<sqldb::DurableSt
       tokens_(options_.token_secret, clock_),
       ring_(options_.placement_vnodes) {
   fault_->BindMetrics(metrics_);
+  trace_->BindMetrics(metrics_.get());
   commit_latency_us_ = metrics_->GetHistogram("host.commit.latency_us");
   phase1_rtt_us_ = metrics_->GetHistogram("host.2pc.phase1_rtt_us");
   phase2_rtt_us_ = metrics_->GetHistogram("host.2pc.phase2_rtt_us");
@@ -186,6 +187,14 @@ void HostDatabase::RegisterDlfm(const std::string& server_name,
   std::lock_guard<std::mutex> lk(mu_);
   if (dlfms_.find(server_name) == dlfms_.end()) ring_.Add(server_name);
   dlfms_[server_name] = listener;
+}
+
+std::vector<std::string> HostDatabase::RegisteredServers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(dlfms_.size());
+  for (const auto& [name, listener] : dlfms_) out.push_back(name);
+  return out;  // dlfms_ is an ordered map, so the names come out sorted
 }
 
 std::string HostDatabase::ResolveServer(const std::string& server) const {

@@ -177,12 +177,21 @@ class HostDatabase {
   metrics::Registry& metrics() const { return *metrics_; }
   trace::TraceRing& trace_ring() const { return *trace_; }
 
-  /// Metrics snapshot of the host process: engine histograms, commit
-  /// latency, per-DLFM 2PC round-trip times, fail-point counters.
-  std::string StatsJson() const { return metrics_->DumpJson(); }
+  /// Metrics snapshot of the host process, labeled like the shard snapshots
+  /// so fleet aggregation parses one shape:
+  /// {"shard":"hostdb","metrics":{...registry dump...}}.
+  std::string StatsJson() const {
+    return "{\"shard\":\"" + metrics::JsonEscape(options_.name) +
+           "\",\"metrics\":" + metrics_->DumpJson() + "}";
+  }
+
+  /// Names of every DLFM this host has registered, sorted.  Fleet
+  /// aggregation polls each one's kStats / kTraceDump.
+  std::vector<std::string> RegisteredServers() const;
 
  private:
   friend class HostSession;
+  friend class StatsAggregator;
 
   struct DatalinkColumn {
     int col_idx = 0;

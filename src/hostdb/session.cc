@@ -37,9 +37,21 @@ HostSession::~HostSession() {
 
 void HostSession::Span(const char* name) {
   if (trace_id_ == 0) return;
+  if (trace::CurrentTraceContext() != nullptr) {
+    trace::Point(name);  // parented under the innermost open span
+    return;
+  }
   host_->trace_ring().Record(trace_id_, txn_id_, name, host_->options().name,
                              host_->clock()->NowMicros());
 }
+
+// Every public statement entry point installs the ambient trace context so
+// engine waits underneath (locks, latches, WAL force, pool misses) become
+// child spans of this transaction's trace without signature changes.
+#define DLX_SESSION_TRACE_SCOPE()                                       \
+  trace::TraceContextScope dlx_tctx(trace_id_, txn_id_,                 \
+                                    &host_->trace_ring(), host_->clock(), \
+                                    host_->options().name)
 
 Status HostSession::Begin() {
   if (local_ != nullptr) return Status::InvalidArgument("transaction already open");
@@ -50,6 +62,7 @@ Status HostSession::Begin() {
   trace_id_ = trace::NextTraceId();
   rollback_only_ = false;
   touched_.clear();
+  DLX_SESSION_TRACE_SCOPE();
   Span("host.begin");
   return Status::OK();
 }
@@ -187,6 +200,7 @@ void HostSession::CompensateActions(const std::vector<LinkAction>& actions, size
 Status HostSession::Insert(sqldb::TableId table, Row row) {
   if (local_ == nullptr) return Status::InvalidArgument("no transaction");
   if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_SESSION_TRACE_SCOPE();
   DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
 
   std::vector<LinkAction> actions;
@@ -215,6 +229,7 @@ Status HostSession::Insert(sqldb::TableId table, Row row) {
 Result<int64_t> HostSession::Delete(sqldb::TableId table, const Conjunction& where) {
   if (local_ == nullptr) return Status::InvalidArgument("no transaction");
   if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_SESSION_TRACE_SCOPE();
   DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
 
   // The datalink engine reads the victims first (RS keeps them stable),
@@ -247,6 +262,7 @@ Result<int64_t> HostSession::Update(sqldb::TableId table, const Conjunction& whe
                                     const std::vector<sqldb::Assignment>& sets) {
   if (local_ == nullptr) return Status::InvalidArgument("no transaction");
   if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_SESSION_TRACE_SCOPE();
   DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
   DLX_ASSIGN_OR_RETURN(sqldb::TableSchema schema, host_->db()->GetSchema(table));
 
@@ -292,12 +308,14 @@ Result<int64_t> HostSession::Update(sqldb::TableId table, const Conjunction& whe
 
 Result<std::vector<Row>> HostSession::Select(sqldb::TableId table, const Conjunction& where) {
   if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  DLX_SESSION_TRACE_SCOPE();
   return host_->db()->Select(local_, table, where);
 }
 
 Status HostSession::DropTable(sqldb::TableId table) {
   if (local_ == nullptr) return Status::InvalidArgument("no transaction");
   if (rollback_only_) return Status::Aborted("transaction is rollback-only");
+  DLX_SESSION_TRACE_SCOPE();
   DLX_ASSIGN_OR_RETURN(const HostDatabase::TableMeta* meta, host_->MetaFor(table));
 
   // Mark every file group of the table deleted at every registered DLFM;
@@ -342,6 +360,8 @@ Status HostSession::Commit() {
     return st;
   }
 
+  DLX_SESSION_TRACE_SCOPE();
+  trace::SpanScope commit_span("host.commit");
   metrics::ScopedTimer commit_timer(host_->commit_latency_us_);
 
   if (touched_.empty()) {
@@ -367,6 +387,11 @@ Status HostSession::Commit() {
     std::vector<Status> prep(n, Status::OK());
     std::vector<int64_t> rtt(n, 0);
     auto do_prepare = [&](size_t i) {
+      // Workers run on executor threads, so each installs its own ambient
+      // context (a root span of the same trace; the analyzer stitches by
+      // trace id).  The per-shard phase-1 span covers send → prepare reply.
+      DLX_SESSION_TRACE_SCOPE();
+      trace::SpanScope phase1_span("host.phase1." + servers[i]);
       DlfmRequest req;
       req.api = DlfmApi::kPrepare;
       req.txn = txn_id_;
@@ -497,6 +522,7 @@ Status HostSession::Commit() {
     DlfmPeer* peer;
     const std::string* server;
     int64_t t0;
+    int64_t s0;  // span start on the session clock (0 when untraced)
   };
   std::vector<FiredCommit> fired;
   if (sync) fired.reserve(touched_.size());
@@ -507,12 +533,13 @@ Status HostSession::Commit() {
     req.txn = txn_id_;
     req.meta.trace_id = trace_id_;
     const int64_t t0 = metrics::NowMicrosForMetrics();
+    const int64_t s0 = trace::AmbientNowMicros();
     Status send = peer.conn->CallAsync(std::move(req));
     if (send.ok()) {
       ++peer.pending_async;
       peer.inflight.push_back(txn_id_);
       if (sync) {
-        fired.push_back(FiredCommit{&peer, &server, t0});
+        fired.push_back(FiredCommit{&peer, &server, t0, s0});
       } else {
         ++async_sent;
       }
@@ -538,6 +565,10 @@ Status HostSession::Commit() {
         host_->phase2_rtt_us_->Record(rtt);
         host_->metrics().GetHistogram("host.2pc.phase2_rtt_us." + *f.server)->Record(rtt);
       }
+      // Send → ack, on the session clock.  Drains are FIFO, so a later
+      // server's interval includes time spent draining earlier ones — which
+      // is exactly its share of the pipelined critical path.
+      trace::Interval("host.phase2." + *f.server, f.s0, trace::AmbientNowMicros());
       if (!resp.ok() || !resp->ToStatus().ok()) {
         all_acked = false;
       } else {
@@ -566,6 +597,7 @@ Status HostSession::Commit() {
 
 Status HostSession::Rollback() {
   if (local_ == nullptr) return Status::InvalidArgument("no transaction");
+  DLX_SESSION_TRACE_SCOPE();
   (void)host_->db()->Rollback(local_);
   local_ = nullptr;
   for (const std::string& server : touched_) {

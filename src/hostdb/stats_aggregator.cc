@@ -1,0 +1,58 @@
+#include "hostdb/stats_aggregator.h"
+
+#include <sstream>
+
+#include "hostdb/host_database.h"
+
+namespace datalinks::hostdb {
+
+using dlfm::DlfmApi;
+using dlfm::DlfmRequest;
+using dlfm::DlfmResponse;
+
+Result<std::vector<StatsAggregator::ShardSnapshot>> StatsAggregator::Poll() {
+  std::vector<ShardSnapshot> out;
+  for (const std::string& server : host_->RegisteredServers()) {
+    DLX_ASSIGN_OR_RETURN(auto conn, host_->ConnectTo(server));
+    ShardSnapshot snap;
+    snap.name = server;
+
+    DlfmRequest stats_req;
+    stats_req.api = DlfmApi::kStats;
+    DLX_ASSIGN_OR_RETURN(DlfmResponse stats_resp, conn->Call(std::move(stats_req)));
+    DLX_RETURN_IF_ERROR(stats_resp.ToStatus());
+    snap.stats_json = std::move(stats_resp.message);
+
+    DlfmRequest trace_req;
+    trace_req.api = DlfmApi::kTraceDump;
+    DLX_ASSIGN_OR_RETURN(DlfmResponse trace_resp, conn->Call(std::move(trace_req)));
+    DLX_RETURN_IF_ERROR(trace_resp.ToStatus());
+    snap.trace_json = std::move(trace_resp.message);
+
+    DlfmRequest bye;
+    bye.api = DlfmApi::kDisconnect;
+    (void)conn->Call(std::move(bye));  // frees the shard's agent thread
+
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+Result<std::string> StatsAggregator::FleetSnapshotJson() {
+  DLX_ASSIGN_OR_RETURN(std::vector<ShardSnapshot> shards, Poll());
+  std::ostringstream os;
+  os << "{\"host\":{\"stats\":" << host_->StatsJson()
+     << ",\"trace\":" << host_->trace_ring().DumpJson() << "},\"shards\":[";
+  bool first = true;
+  for (const ShardSnapshot& s : shards) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << metrics::JsonEscape(s.name)
+       << "\",\"stats\":" << s.stats_json << ",\"trace\":" << s.trace_json
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace datalinks::hostdb

@@ -1,0 +1,44 @@
+// Fleet-wide stats plane.  The host is the one process that can reach every
+// DLFM shard, so it owns aggregation: poll each registered shard's kStats and
+// kTraceDump RPCs, merge them with the host's own registry and span ring, and
+// emit one labeled fleet snapshot.  `tools/dlfm_trace.py` consumes the
+// snapshot to stitch per-shard span dumps into per-transaction critical
+// paths; bench_e16 dumps one per run for CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace datalinks::hostdb {
+
+class HostDatabase;
+
+class StatsAggregator {
+ public:
+  explicit StatsAggregator(HostDatabase* host) : host_(host) {}
+
+  struct ShardSnapshot {
+    std::string name;        // registered server name, e.g. "srv0"
+    std::string stats_json;  // kStats payload: {"shard":..,"metrics":{..}}
+    std::string trace_json;  // kTraceDump payload: {"capacity":..,"spans":[..]}
+  };
+
+  /// Polls every registered shard over a fresh connection (kStats +
+  /// kTraceDump, then a clean disconnect).  Shard order is the sorted
+  /// registration order, so snapshots are stable across polls.
+  Result<std::vector<ShardSnapshot>> Poll();
+
+  /// One merged fleet document:
+  /// {"host":{"stats":<host StatsJson>,"trace":<host ring dump>},
+  ///  "shards":[{"name":"srv0","stats":{..},"trace":{..}},...]}
+  /// Every sub-document is already labeled (StatsJson carries the shard
+  /// field), so consumers never guess which process a metric came from.
+  Result<std::string> FleetSnapshotJson();
+
+ private:
+  HostDatabase* host_;
+};
+
+}  // namespace datalinks::hostdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/trace.h"
 #include "sqldb/wal.h"
 
 namespace datalinks::sqldb {
@@ -178,7 +179,9 @@ BufferPool::PageRef BufferPool::Pin(PageId id) {
     stats_.misses++;
     if (misses_ != nullptr) misses_->Add(1);
     lk.unlock();
+    const int64_t m0 = trace::AmbientNowMicros();
     pager_->Read(id, &f.bytes);
+    trace::Interval("sqldb.pool.miss", m0, trace::AmbientNowMicros());
     const Lsn disk_lsn =
         f.bytes.size() >= kPageHeaderSize ? page::GetLsn(f.bytes) : kInvalidLsn;
     lk.lock();

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace datalinks::sqldb {
 
@@ -117,10 +118,12 @@ std::shared_lock<sim::SharedMutex> Database::LatchShared(const TableState& t) co
   std::shared_lock<sim::SharedMutex> lk(t.latch, std::try_to_lock);
   if (!lk.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
+    const int64_t s0 = trace::AmbientNowMicros();
     lk.lock();
     const uint64_t waited = ElapsedMicros(t0);
     latch_shared_waits_micros_.fetch_add(waited, std::memory_order_relaxed);
     latch_shared_wait_us_->Record(static_cast<int64_t>(waited));
+    trace::Interval("sqldb.latch.wait", s0, trace::AmbientNowMicros());
   }
   latch_shared_acquires_.fetch_add(1, std::memory_order_relaxed);
   return lk;
@@ -131,10 +134,12 @@ Database::ExclusiveLatch Database::LatchExclusive(const TableState& t) const {
   g.lk_ = std::unique_lock<sim::SharedMutex>(t.latch, std::try_to_lock);
   if (!g.lk_.owns_lock()) {
     const auto t0 = std::chrono::steady_clock::now();
+    const int64_t s0 = trace::AmbientNowMicros();
     g.lk_.lock();
     const uint64_t waited = ElapsedMicros(t0);
     latch_exclusive_waits_micros_.fetch_add(waited, std::memory_order_relaxed);
     latch_exclusive_wait_us_->Record(static_cast<int64_t>(waited));
+    trace::Interval("sqldb.latch.wait", s0, trace::AmbientNowMicros());
   }
   latch_exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
   g.db_ = this;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/trace.h"
+
 namespace datalinks::sqldb {
 
 std::string_view LockModeToString(LockMode m) {
@@ -211,6 +213,10 @@ Status LockManager::Acquire(TxnId txn, const LockId& id, LockMode mode,
   }
 
   waits_.fetch_add(1, std::memory_order_relaxed);
+  // Blocked: attribute the wait to the calling transaction's trace (ambient
+  // context installed by the session / server entry point).  Covers every
+  // exit — grant, deadlock, timeout — via RAII.
+  trace::SpanScope wait_span("sqldb.lock.wait");
   const int64_t wait_t0 =
       wait_us_ != nullptr ? metrics::NowMicrosForMetrics() : 0;
   auto record_wait = [&]() {

@@ -5,6 +5,8 @@
 #include <iterator>
 #include <thread>
 
+#include "common/trace.h"
+
 namespace datalinks::sqldb {
 
 namespace {
@@ -363,7 +365,9 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
       // "!force_leader_active_" alone would strand covered followers
       // through whole extra flush cycles (collapsing batch sizes to ~2).
       force_waits_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t q0 = trace::AmbientNowMicros();
       force_cv_.wait(lk, [&] { return !force_leader_active_ || durable_upto_ >= lsn; });
+      trace::Interval("sqldb.wal.force.queued", q0, trace::AmbientNowMicros());
       continue;
     }
     // Leader-elect.  "sqldb.wal.force" models the fsync itself failing:
@@ -375,6 +379,7 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
         return *f;
       }
     }
+    const int64_t lead0 = trace::AmbientNowMicros();
     force_leader_active_ = true;
     lk.unlock();
 
@@ -461,6 +466,7 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
           SimulateMediaLatency();
           durable_->AppendForced(std::move(prefix));
         }
+        trace::Interval("sqldb.wal.force.leader", lead0, trace::AmbientNowMicros());
         lk.lock();
         if (prefix_end != kInvalidLsn) durable_upto_ = prefix_end;
         force_leader_active_ = false;
@@ -488,6 +494,7 @@ Status WriteAheadLog::ForceTo(Lsn lsn) {
     forces_.fetch_add(1, std::memory_order_relaxed);
     group_commit_records_.fetch_add(nrecords, std::memory_order_relaxed);
     group_commit_commits_.fetch_add(commits, std::memory_order_relaxed);
+    trace::Interval("sqldb.wal.force.leader", lead0, trace::AmbientNowMicros());
     lk.lock();
     durable_upto_ = target;
     force_leader_active_ = false;

@@ -532,11 +532,13 @@ TEST_F(DataLinksTest, StatsRpcReturnsMetricsSnapshot) {
   auto resp = (*conn)->Call(std::move(req));
   ASSERT_TRUE(resp.ok());
   ASSERT_TRUE(resp->ToStatus().ok());
-  EXPECT_EQ(resp->message.rfind("{\"counters\":", 0), 0u) << resp->message;
+  EXPECT_EQ(resp->message.rfind("{\"shard\":\"srv1\",\"metrics\":{\"counters\":", 0), 0u)
+      << resp->message;
   EXPECT_NE(resp->message.find("dlfm.prepare.latency_us"), std::string::npos);
 
   const std::string host_stats = host_->StatsJson();
-  EXPECT_EQ(host_stats.rfind("{\"counters\":", 0), 0u);
+  EXPECT_EQ(host_stats.rfind("{\"shard\":\"hostdb\",\"metrics\":{\"counters\":", 0), 0u)
+      << host_stats;
   EXPECT_NE(host_stats.find("host.commit.latency_us"), std::string::npos);
   EXPECT_NE(host_stats.find("host.2pc.phase1_rtt_us.srv1"), std::string::npos);
 }

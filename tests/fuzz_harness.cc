@@ -1010,6 +1010,13 @@ class CaseRunner {
     }
     result_.ok = errors_.empty();
     result_.detail = errors_;
+    if (!result_.ok && ring_->dropped() > 0) {
+      // A lossy ring means the archived trace is missing the oldest spans;
+      // flag it so nobody debugs the failure assuming a complete timeline.
+      result_.detail += "note: trace ring dropped " +
+                        std::to_string(ring_->dropped()) +
+                        " spans; dump is incomplete\n";
+    }
     if (!result_.ok) {
       // Diagnostic snapshots ride along with the failing seed so CI can
       // archive them without re-running the scenario.
@@ -1058,6 +1065,7 @@ FuzzCaseResult RunSim(uint64_t seed, const std::vector<uint32_t>* replay,
   // Byte-identical trace dumps need the process-wide id mint rewound to
   // the same point for every scenario.
   trace::ResetNextTraceIdForTest();
+  trace::ResetNextSpanIdForTest();
   FuzzCaseResult result;
   exec.Run([&] {
     result = CaseRunner(soak ? MakeSoakPlan(seed) : MakePlan(seed), &exec).Run();

@@ -15,6 +15,7 @@
 #include "dlfm/wire_codec.h"
 #include "fsim/file_server.h"
 #include "hostdb/host_database.h"
+#include "hostdb/stats_aggregator.h"
 
 namespace datalinks {
 namespace {
@@ -208,8 +209,102 @@ TEST_F(MultiDlfmTest, StatsRpcOverSocketTransport) {
   auto resp = (*conn)->Call(std::move(req));
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   ASSERT_TRUE(resp->ToStatus().ok());
-  EXPECT_EQ(resp->message.rfind("{\"counters\":", 0), 0u) << resp->message;
+  EXPECT_EQ(resp->message.rfind("{\"shard\":\"srv2\",\"metrics\":{\"counters\":", 0), 0u)
+      << resp->message;
   EXPECT_NE(resp->message.find("dlfm.prepare.latency_us"), std::string::npos);
+}
+
+TEST_F(MultiDlfmTest, TraceIdSurvivesSocketRoundTrip) {
+  // Regression for the fleet trace plane: the trace id stamped in
+  // rpc::Metadata must survive the socket codec so the shard's spans land
+  // under the host's trace.  Drives a full 2PC over the real TCP transport
+  // with an explicit trace id, then pulls the shard's span ring back over
+  // the same transport (kTraceDump) and stitches by id.
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  constexpr uint64_t kTrace = 424242;
+  constexpr uint64_t kTxn = 9001;
+  ASSERT_TRUE(fs_[1]->CreateFile("t", "alice", 0644, "data").ok());
+
+  auto conn = dlfms_[1]->socket_listener()->Connect();
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto call = [&](dlfm::DlfmRequest req) {
+    req.txn = kTxn;
+    req.meta.trace_id = kTrace;
+    auto resp = (*conn)->Call(std::move(req));
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    return resp->ToStatus();
+  };
+  dlfm::DlfmRequest begin;
+  begin.api = dlfm::DlfmApi::kBeginTxn;
+  ASSERT_TRUE(call(begin).ok());
+  dlfm::DlfmRequest link;
+  link.api = dlfm::DlfmApi::kLinkFile;
+  link.filename = "t";
+  link.recovery_id = dlfm::RecoveryId::Make(1, 1);
+  link.group_id = 1;
+  link.access = AccessControl::kFull;
+  ASSERT_TRUE(call(link).ok());
+  dlfm::DlfmRequest prep;
+  prep.api = dlfm::DlfmApi::kPrepare;
+  ASSERT_TRUE(call(prep).ok());
+  dlfm::DlfmRequest commit;
+  commit.api = dlfm::DlfmApi::kCommit;
+  ASSERT_TRUE(call(commit).ok());
+
+  dlfm::DlfmRequest dump;
+  dump.api = dlfm::DlfmApi::kTraceDump;
+  auto resp = (*conn)->Call(std::move(dump));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_TRUE(resp->ToStatus().ok());
+  const std::string& json = resp->message;
+  EXPECT_EQ(json.rfind("{\"capacity\":", 0), 0u) << json;
+  // Every span the shard recorded for this transaction carries the host's
+  // trace id, not a locally minted one.
+  EXPECT_NE(json.find("\"trace\":424242"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"dlfm.prepare\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"dlfm.commit\""), std::string::npos) << json;
+  // Timed spans: prepare/commit are SpanScopes, so they carry durations.
+  EXPECT_NE(json.find("\"dur_micros\":"), std::string::npos) << json;
+
+  dlfm::DlfmRequest bye;
+  bye.api = dlfm::DlfmApi::kDisconnect;
+  (void)(*conn)->Call(std::move(bye));
+}
+
+TEST_F(MultiDlfmTest, FleetSnapshotAggregatesEveryShard) {
+  // StatsAggregator polls each registered shard's kStats + kTraceDump over
+  // its own connection and merges them with the host's registry and ring
+  // into one labeled fleet document.
+  if (!metrics::kEnabled) GTEST_SKIP() << "metrics compiled out";
+  for (int i = 0; i < kShards; ++i) {
+    ASSERT_TRUE(fs_[i]->CreateFile("f", "alice", 0644, "data").ok());
+  }
+  auto session = host_->OpenSession();
+  ASSERT_TRUE(session->Begin().ok());
+  for (int i = 0; i < kShards; ++i) {
+    ASSERT_TRUE(session
+                    ->Insert(media_, Row{Value(int64_t{i}),
+                                         Value("dlfs://srv" + std::to_string(i) + "/f")})
+                    .ok());
+  }
+  ASSERT_TRUE(session->Commit().ok());
+
+  hostdb::StatsAggregator agg(host_.get());
+  auto snap = agg.FleetSnapshotJson();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->rfind("{\"host\":{\"stats\":{\"shard\":\"hostdb\"", 0), 0u)
+      << snap->substr(0, 120);
+  for (int i = 0; i < kShards; ++i) {
+    const std::string name = "srv" + std::to_string(i);
+    // Each shard appears once, labeled, with its own metrics + span ring.
+    EXPECT_NE(snap->find("{\"name\":\"" + name + "\",\"stats\":{\"shard\":\"" +
+                         name + "\""),
+              std::string::npos)
+        << name;
+  }
+  // The committed 2PC left prepare spans on every shard it touched.
+  EXPECT_NE(snap->find("\"name\":\"dlfm.prepare\""), std::string::npos);
+  EXPECT_NE(snap->find("\"name\":\"host.commit\""), std::string::npos);
 }
 
 TEST_F(MultiDlfmTest, ConcurrentDisjointShardCommits) {

@@ -116,6 +116,65 @@ TEST(TraceRingTest, ConcurrentRecordersStayBounded) {
   EXPECT_EQ(ring.dropped(), 4u * 500u - 64u);
 }
 
+TEST(SpanIdTest, MintedIdsAreUniqueAndResettable) {
+  ResetNextSpanIdForTest(100);
+  const SpanId a = NextSpanId();
+  const SpanId b = NextSpanId();
+  EXPECT_EQ(a, 100u);
+  EXPECT_EQ(b, 101u);
+  ResetNextSpanIdForTest();
+  EXPECT_EQ(NextSpanId(), 1u);
+}
+
+TEST(TraceRingTest, FullSpanEventRoundTripsThroughDump) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(4);
+  SpanEvent ev;
+  ev.trace = 11;
+  ev.span = 22;
+  ev.parent = 21;
+  ev.txn = 33;
+  ev.name = "sqldb.lock.wait";
+  ev.component = "srv1";
+  ev.ts_micros = 1000;
+  ev.dur_micros = 250;
+  ring.Record(ev);
+  const std::string json = ring.DumpJson();
+  EXPECT_NE(json.find("\"span\":22"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent\":21"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur_micros\":250"), std::string::npos) << json;
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].span, 22u);
+  EXPECT_EQ(spans[0].parent, 21u);
+  EXPECT_EQ(spans[0].dur_micros, 250);
+}
+
+TEST(TraceRingTest, LegacyRecordMintsSpanIdWithNoParent) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  TraceRing ring(4);
+  ring.Record(1, 2, "host.begin", "hostdb", 10);
+  ring.Record(1, 2, "host.decision", "hostdb", 20);
+  const std::vector<SpanEvent> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].span, 0u);
+  EXPECT_NE(spans[1].span, 0u);
+  EXPECT_NE(spans[0].span, spans[1].span);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].dur_micros, 0);
+}
+
+TEST(TraceRingTest, BindMetricsMirrorsDropsIntoCounter) {
+  if (!metrics::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  metrics::Registry reg;
+  TraceRing ring(2);
+  ring.BindMetrics(&reg);
+  for (int i = 1; i <= 5; ++i) ring.Record(1, 0, "e", "c", i);
+  EXPECT_EQ(ring.dropped(), 3u);
+  const std::string json = reg.DumpJson();
+  EXPECT_NE(json.find("\"trace.ring.dropped\":3"), std::string::npos) << json;
+}
+
 TEST(TraceRingTest, DefaultIsProcessGlobal) {
   EXPECT_EQ(TraceRing::Default().get(), TraceRing::Default().get());
   ASSERT_NE(TraceRing::Default(), nullptr);

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Stitch a fleet trace snapshot into per-transaction critical paths.
+
+Input is the fleet snapshot produced by hostdb::StatsAggregator (dumped by
+bench_e16 as BENCH_e16_fleet_snapshot.json):
+
+    {"host":{"stats":{..},"trace":{"capacity":..,"dropped":..,"spans":[..]}},
+     "shards":[{"name":"srv0","stats":{..},"trace":{..}},...]}
+
+Every span carries (trace, span, parent, txn, name, component, ts_micros,
+dur_micros).  The host session mints the trace id at Begin and stamps it on
+every shard RPC, so one transaction's spans are scattered across the host
+ring and the rings of every shard 2PC touched; this tool joins them by trace
+id and decomposes the commit critical path:
+
+    host.begin .. host.commit
+        host.phase1.<srv>   parallel prepare fan-out (slowest shard governs)
+            dlfm.prepare        shard-side work, incl. dlfm.harden
+                sqldb.wal.force.*   the shard's log force
+                sqldb.lock.wait     shard lock stalls
+            (phase1 - prepare)  network + rpc dispatch
+        host.decision       commit record hardened at the host
+        host.phase2.<srv>   pipelined phase-2 deliveries
+        host.commit.ack
+
+Modes:
+    dlfm_trace.py SNAPSHOT              breakdown table on stdout
+    dlfm_trace.py SNAPSHOT --out F      also write the table to F (markdown)
+    dlfm_trace.py SNAPSHOT --check      exit 1 on lossy rings, orphan spans,
+                                        or < --min-complete stitched paths
+
+stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(p * len(sorted_vals)))
+    return float(sorted_vals[idx])
+
+
+def load_rings(snapshot):
+    """Yields (ring_label, trace_dict) for the host and every shard."""
+    yield "host", snapshot["host"]["trace"]
+    for shard in snapshot.get("shards", []):
+        yield shard["name"], shard["trace"]
+
+
+class Fleet:
+    def __init__(self, snapshot):
+        self.dropped = {}          # ring label -> dropped count
+        self.by_trace = defaultdict(list)
+        self.span_count = 0
+        for label, ring in load_rings(snapshot):
+            self.dropped[label] = int(ring.get("dropped", 0))
+            for span in ring["spans"]:
+                self.by_trace[span["trace"]].append(span)
+                self.span_count += 1
+
+    def committed_traces(self):
+        """Traces that reached host.commit.ack — the committed population."""
+        out = []
+        for trace, spans in self.by_trace.items():
+            if any(s["name"] == "host.commit.ack" for s in spans):
+                out.append(trace)
+        return sorted(out)
+
+    def orphan_spans(self):
+        """Spans whose parent id is absent from their own trace."""
+        orphans = []
+        for spans in self.by_trace.values():
+            ids = {s["span"] for s in spans}
+            for s in spans:
+                if s["parent"] != 0 and s["parent"] not in ids:
+                    orphans.append(s)
+        return orphans
+
+
+def first(spans, name):
+    best = None
+    for s in spans:
+        if s["name"] == name and (best is None or s["ts_micros"] < best["ts_micros"]):
+            best = s
+    return best
+
+
+def stitch_one(spans):
+    """Critical-path decomposition for one trace.
+
+    Returns (row, missing): `row` is a dict of microsecond components (None
+    when the path cannot be stitched), `missing` lists what was absent.
+    """
+    missing = []
+    begin = first(spans, "host.begin")
+    commit = first(spans, "host.commit")
+    decision = first(spans, "host.decision")
+    ack = first(spans, "host.commit.ack")
+    for name, span in (("host.begin", begin), ("host.commit", commit),
+                       ("host.decision", decision), ("host.commit.ack", ack)):
+        if span is None:
+            missing.append(name)
+
+    phase1 = {}   # srv -> span
+    phase2 = {}
+    for s in spans:
+        if s["name"].startswith("host.phase1."):
+            srv = s["name"][len("host.phase1."):]
+            if srv not in phase1 or s["dur_micros"] > phase1[srv]["dur_micros"]:
+                phase1[srv] = s
+        elif s["name"].startswith("host.phase2."):
+            srv = s["name"][len("host.phase2."):]
+            if srv not in phase2 or s["dur_micros"] > phase2[srv]["dur_micros"]:
+                phase2[srv] = s
+    if not phase1:
+        missing.append("host.phase1.*")
+
+    prepares = {}  # srv -> dlfm.prepare span recorded by that shard
+    for srv in phase1:
+        prep = None
+        for s in spans:
+            if s["name"] == "dlfm.prepare" and s["component"] == srv:
+                prep = s
+                break
+        if prep is None:
+            missing.append("dlfm.prepare@" + srv)
+        else:
+            prepares[srv] = prep
+
+    if missing:
+        return None, missing
+
+    # Slowest prepare RPC governs the parallel fan-out.
+    slow = max(phase1, key=lambda srv: phase1[srv]["dur_micros"])
+    p1 = phase1[slow]["dur_micros"]
+    prep = prepares[slow]["dur_micros"]
+
+    def component_sum(prefix, component):
+        return sum(s["dur_micros"] for s in spans
+                   if s["name"].startswith(prefix) and s["component"] == component)
+
+    shard_wal = component_sum("sqldb.wal.force", slow)
+    shard_lock = component_sum("sqldb.lock.wait", slow)
+    host_component = commit["component"]
+    host_wal = component_sum("sqldb.wal.force", host_component)
+    host_lock = component_sum("sqldb.lock.wait", host_component)
+    p2 = max((s["dur_micros"] for s in phase2.values()), default=0)
+
+    total = commit["dur_micros"]
+    row = {
+        "total": total,
+        "phase1_fanout": p1,
+        "shard_prepare": prep,
+        "shard_wal_force": min(shard_wal, prep),
+        "shard_lock_wait": min(shard_lock, prep),
+        "network_rpc": max(0, p1 - prep),
+        "host_wal_force": host_wal,
+        "host_lock_wait": host_lock,
+        "phase2_pipeline": p2,
+        "host_other": max(0, total - p1 - p2),
+        "shards_touched": len(phase1),
+    }
+    return row, []
+
+
+COLUMNS = [
+    ("total", "host.commit total"),
+    ("phase1_fanout", "phase-1 fan-out (slowest shard)"),
+    ("shard_prepare", ".. shard prepare+harden"),
+    ("shard_wal_force", ".... shard WAL force"),
+    ("shard_lock_wait", ".... shard lock wait"),
+    ("network_rpc", ".. network + rpc dispatch"),
+    ("host_wal_force", "host WAL force"),
+    ("host_lock_wait", "host lock wait"),
+    ("phase2_pipeline", "phase-2 pipeline (slowest shard)"),
+    ("host_other", "host other (decision, bookkeeping)"),
+]
+
+
+def render_table(rows):
+    lines = []
+    lines.append("| component | mean_us | p50_us | p99_us | p99 share |")
+    lines.append("|---|---:|---:|---:|---:|")
+    totals = sorted(r["total"] for r in rows)
+    p99_total = percentile(totals, 0.99) or 1.0
+    for key, label in COLUMNS:
+        vals = sorted(r[key] for r in rows)
+        mean = sum(vals) / len(vals)
+        p50 = percentile(vals, 0.50)
+        p99 = percentile(vals, 0.99)
+        share = p99 / p99_total if key != "total" else 1.0
+        lines.append("| %s | %.0f | %.0f | %.0f | %.1f%% |"
+                     % (label, mean, p50, p99, 100.0 * share))
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("snapshot", help="fleet snapshot JSON (BENCH_e16_fleet_snapshot.json)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on lossy rings, orphan spans, or incomplete paths")
+    ap.add_argument("--min-complete", type=float, default=0.99,
+                    help="minimum stitched fraction of committed transactions")
+    ap.add_argument("--out", help="write the breakdown table (markdown) here")
+    args = ap.parse_args()
+
+    with open(args.snapshot) as f:
+        fleet = Fleet(json.load(f))
+
+    committed = fleet.committed_traces()
+    rows, incomplete = [], []
+    for trace in committed:
+        row, missing = stitch_one(fleet.by_trace[trace])
+        if row is None:
+            incomplete.append((trace, missing))
+        else:
+            rows.append(row)
+
+    orphans = fleet.orphan_spans()
+    complete_frac = (len(rows) / len(committed)) if committed else 0.0
+
+    print("fleet: %d spans across %d rings, %d traces, %d committed"
+          % (fleet.span_count, len(fleet.dropped), len(fleet.by_trace),
+             len(committed)))
+    print("stitched: %d/%d committed transactions (%.2f%%), %d orphan spans"
+          % (len(rows), len(committed), 100.0 * complete_frac, len(orphans)))
+    for label, dropped in sorted(fleet.dropped.items()):
+        if dropped:
+            print("WARNING: ring %s dropped %d spans — paths may be incomplete"
+                  % (label, dropped))
+    for trace, missing in incomplete[:10]:
+        print("incomplete trace %d: missing %s" % (trace, ", ".join(missing)))
+
+    if rows:
+        multi = sum(1 for r in rows if r["shards_touched"] > 1)
+        print("shards touched: %d single-shard, %d multi-shard" %
+              (len(rows) - multi, multi))
+        table = render_table(rows)
+        print()
+        print(table)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write("# E16 commit critical-path breakdown\n\n")
+                f.write("%d committed transactions stitched across %d rings\n\n"
+                        % (len(rows), len(fleet.dropped)))
+                f.write(table + "\n")
+
+    if args.check:
+        failures = []
+        if not committed:
+            failures.append("no committed transactions in snapshot")
+        if complete_frac < args.min_complete:
+            failures.append("stitched %.2f%% < required %.2f%%"
+                            % (100.0 * complete_frac, 100.0 * args.min_complete))
+        if orphans:
+            failures.append("%d orphan spans (parent missing from trace)"
+                            % len(orphans))
+        lossy = {k: v for k, v in fleet.dropped.items() if v}
+        if lossy:
+            failures.append("lossy rings: %s" % lossy)
+        if failures:
+            for msg in failures:
+                print("CHECK FAILED: " + msg, file=sys.stderr)
+            return 1
+        print("check passed: %.2f%% stitched, no orphans, no drops"
+              % (100.0 * complete_frac))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
